@@ -1,0 +1,76 @@
+// Command experiments regenerates the paper's evaluation tables.
+//
+//	experiments -table=fig15          expressive power (Figure 15)
+//	experiments -table=fig16-xmark    XMark interaction counts (Figure 16 top)
+//	experiments -table=fig16-xmp      XMP interaction counts (Figure 16 bottom)
+//	experiments -table=ablation       R1/R2 rule ablation (DESIGN.md)
+//	experiments -table=all            everything
+//
+// Add -worst to fill the bracketed worst-case counterexample counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "all", "fig15 | fig16-xmark | fig16-xmp | fig16-r | ablation | all")
+	worst := flag.Bool("worst", false, "also run the worst-case counterexample policy (bracketed CE)")
+	flag.Parse()
+
+	opts := core.DefaultOptions()
+	run := func(name string) error {
+		switch name {
+		case "fig15":
+			fmt.Println(experiments.FormatFig15())
+		case "fig16-xmark":
+			rows, err := experiments.RunFig16(experiments.XMarkScenarios(), opts, *worst)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatFig16("Figure 16 (top): XMark — the number of interactions for learning", rows))
+		case "fig16-xmp":
+			rows, err := experiments.RunFig16(experiments.XMPScenarios(), opts, *worst)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatFig16("Figure 16 (bottom): XML Query Use Case \"XMP\"", rows))
+		case "fig16-r":
+			rows, err := experiments.RunFig16(experiments.UCRScenarios(), opts, *worst)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatFig16("Use Case \"R\" (beyond the paper: constructive rows for Figure 15's 14/18 claim)", rows))
+		case "ablation":
+			rows, err := experiments.RunAblation(experiments.XMarkScenarios())
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatAblation(rows))
+			rows, err = experiments.RunAblation(experiments.XMPScenarios())
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatAblation(rows))
+		default:
+			return fmt.Errorf("unknown table %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*table}
+	if *table == "all" {
+		names = []string{"fig15", "fig16-xmark", "fig16-xmp", "fig16-r", "ablation"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}

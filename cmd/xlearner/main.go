@@ -1,0 +1,163 @@
+// Command xlearner runs one benchmark query's learning session end to
+// end against the simulated teacher and prints the learned query, the
+// interaction counts, and the verification verdict.
+//
+//	xlearner -scenario XMark-Q9
+//	xlearner -scenario XMP-Q5 -xquery       (nested XQuery-style rendering)
+//	xlearner -list
+//	xlearner -scenario XMark-Q1 -worst -no-r1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/replay"
+	"repro/internal/scenario"
+	"repro/internal/teacher"
+	"repro/internal/xmark"
+	"repro/internal/xmldoc"
+	"repro/internal/xmp"
+	"repro/internal/xq"
+)
+
+func all() []*scenario.Scenario {
+	return append(xmark.Scenarios(), xmp.Scenarios()...)
+}
+
+func main() {
+	name := flag.String("scenario", "", "scenario id, e.g. XMark-Q9 or XMP-Q5")
+	list := flag.Bool("list", false, "list available scenarios")
+	worst := flag.Bool("worst", false, "use the worst-case counterexample policy")
+	noR1 := flag.Bool("no-r1", false, "disable reduction rule R1")
+	noR2 := flag.Bool("no-r2", false, "disable reduction rule R2")
+	useKV := flag.Bool("kv", false, "use the Kearns-Vazirani learner instead of L*")
+	xquery := flag.Bool("xquery", false, "print the nested XQuery-style rendering")
+	showResult := flag.Bool("result", false, "print the learned query's evaluated result")
+	record := flag.String("record", "", "record the session's interactions to this JSON file")
+	replayFrom := flag.String("replay", "", "answer from a recorded session instead of the teacher")
+	flag.Parse()
+
+	if *list {
+		for _, s := range all() {
+			fmt.Printf("%-12s %s\n", s.ID, s.Description)
+		}
+		return
+	}
+	var target *scenario.Scenario
+	for _, s := range all() {
+		if s.ID == *name {
+			target = s
+			break
+		}
+	}
+	if target == nil {
+		fmt.Fprintf(os.Stderr, "xlearner: unknown scenario %q (use -list)\n", *name)
+		os.Exit(1)
+	}
+
+	opts := core.DefaultOptions()
+	opts.R1 = !*noR1
+	opts.R2 = !*noR2
+	opts.UseKVLearner = *useKV
+	pol := teacher.BestCase
+	if *worst {
+		pol = teacher.WorstCase
+	}
+	res, err := runSession(target, opts, pol, *record, *replayFrom)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xlearner:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("== %s: %s ==\n\n", target.ID, target.Description)
+	if *xquery {
+		fmt.Println(res.Tree.XQueryString())
+	} else {
+		fmt.Println(res.Tree.String())
+	}
+	tot := res.Stats.Totals()
+	fmt.Printf("interactions: D&D %d(%d)  MQ %d  CE %d  CB %d(%d)  OB %d\n",
+		res.Stats.DnD, res.Stats.DnDTerms, tot.MQ, tot.CE, tot.CB, tot.CBTerms, tot.OB)
+	fmt.Printf("reduced by rules: %d (R1 %d, R2 %d, both %d)\n",
+		tot.ReducedTotal, tot.ReducedR1, tot.ReducedR2, tot.ReducedBoth)
+	if res.Verified {
+		fmt.Println("verified: learned query reproduces the ground-truth result")
+	} else {
+		fmt.Println("VERIFICATION FAILED")
+		os.Exit(1)
+	}
+	if *showResult {
+		fmt.Println("\nresult:")
+		fmt.Println(res.LearnedXML)
+	}
+}
+
+// runSession runs the scenario directly (instead of scenario.Run) when
+// recording or replaying is requested, so the teacher can be wrapped.
+func runSession(s *scenario.Scenario, opts core.Options, pol teacher.Policy, record, replayFrom string) (*scenario.Result, error) {
+	if record == "" && replayFrom == "" {
+		return scenario.Run(s, opts, pol)
+	}
+	doc := s.Doc()
+	truth := s.Truth()
+	sim := teacher.New(doc, truth)
+	sim.Pol = pol
+	sim.Boxes = s.Boxes
+	sim.Orders = s.Orders
+
+	var t core.Teacher = sim
+	var rec *replay.Recorder
+	if replayFrom != "" {
+		f, err := os.Open(replayFrom)
+		if err != nil {
+			return nil, err
+		}
+		log, err := replay.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		rep := replay.NewReplayer(doc, log, sim)
+		t = rep
+		defer func() {
+			if rep.Misses > 0 {
+				fmt.Fprintf(os.Stderr, "xlearner: replay missed %d answers (teacher consulted)\n", rep.Misses)
+			} else {
+				fmt.Println("replayed: no user interaction was needed")
+			}
+		}()
+	}
+	if record != "" {
+		rec = replay.NewRecorder(doc, t)
+		t = rec
+	}
+	eng := core.NewEngine(doc, t, opts)
+	tree, stats, err := eng.Learn(&core.TaskSpec{Target: s.Target, Drops: s.Drops})
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		f, err := os.Create(record)
+		if err != nil {
+			return nil, err
+		}
+		if err := rec.Log.Save(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Close()
+		fmt.Printf("recorded %d interactions to %s\n", len(rec.Log.Entries), record)
+	}
+	res := &scenario.Result{
+		Scenario:   s,
+		Tree:       tree,
+		Stats:      stats,
+		LearnedXML: xmldoc.XMLString(xq.NewEvaluator(doc).Result(tree).DocNode()),
+		TruthXML:   xmldoc.XMLString(xq.NewEvaluator(doc).Result(truth).DocNode()),
+	}
+	res.Verified = res.LearnedXML == res.TruthXML
+	return res, nil
+}

@@ -1,0 +1,37 @@
+// Command xmarkgen emits an XMark benchmark instance as XML — the
+// pure-Go stand-in for the original xmlgen generator.
+//
+//	xmarkgen -seed 1 -items 6 -people 25 -open 20 -closed 25 -categories 8 > site.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/xmark"
+	"repro/internal/xmldoc"
+)
+
+func main() {
+	cfg := xmark.DefaultConfig()
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	flag.IntVar(&cfg.Categories, "categories", cfg.Categories, "number of categories")
+	flag.IntVar(&cfg.ItemsPerRegion, "items", cfg.ItemsPerRegion, "items per region")
+	flag.IntVar(&cfg.People, "people", cfg.People, "number of people")
+	flag.IntVar(&cfg.OpenAuctions, "open", cfg.OpenAuctions, "number of open auctions")
+	flag.IntVar(&cfg.ClosedAuctions, "closed", cfg.ClosedAuctions, "number of closed auctions")
+	pretty := flag.Bool("pretty", true, "indent the output")
+	stats := flag.Bool("stats", false, "print node statistics to stderr")
+	flag.Parse()
+
+	doc := xmark.Generate(cfg)
+	if *stats {
+		fmt.Fprintf(os.Stderr, "nodes: %d, labels: %d\n", doc.NumNodes(), len(doc.Alphabet()))
+	}
+	if *pretty {
+		fmt.Print(xmldoc.IndentedXMLString(doc.Root()))
+		return
+	}
+	fmt.Println(xmldoc.XMLString(doc.Root()))
+}

@@ -1,0 +1,72 @@
+// Command xqrun evaluates an XQuery-subset query (the fragment XLearner
+// emits — see internal/xq's parser) against an XML document. It turns
+// the repository into a small standalone query processor:
+//
+//	xqrun -data site.xml -query 'for $i in /site/regions/europe/item return <r>$i/name</r>'
+//	xqrun -data site.xml -queryfile q.xq -pretty
+//	xmarkgen | xqrun -data /dev/stdin -query '...'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/xmldoc"
+	"repro/internal/xq"
+)
+
+func main() {
+	data := flag.String("data", "", "XML input file")
+	query := flag.String("query", "", "query text")
+	queryFile := flag.String("queryfile", "", "file containing the query")
+	pretty := flag.Bool("pretty", false, "indent the result")
+	showTree := flag.Bool("tree", false, "print the parsed XQ-Tree instead of evaluating")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "xqrun:", err)
+		os.Exit(1)
+	}
+	if *data == "" {
+		fail(fmt.Errorf("missing -data"))
+	}
+	src := *query
+	if *queryFile != "" {
+		b, err := os.ReadFile(*queryFile)
+		if err != nil {
+			fail(err)
+		}
+		src = string(b)
+	}
+	if src == "" {
+		fail(fmt.Errorf("missing -query or -queryfile"))
+	}
+
+	f, err := os.Open(*data)
+	if err != nil {
+		fail(err)
+	}
+	doc, err := xmldoc.Parse(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	tree, err := xq.ParseQuery(src)
+	if err != nil {
+		fail(err)
+	}
+	if *showTree {
+		fmt.Print(tree.String())
+		return
+	}
+	res := xq.NewEvaluator(doc).Result(tree)
+	if *pretty {
+		if res.Root() != nil {
+			fmt.Print(xmldoc.IndentedXMLString(res.Root()))
+		}
+		return
+	}
+	fmt.Println(xmldoc.XMLString(res.DocNode()))
+}

@@ -1,0 +1,133 @@
+// Auction: the paper's running example (Sections 1–2, Figures 1–7).
+//
+// Map an auction-site document onto a category→item listing: for every
+// category, the items whose world region is africa or europe and that
+// were sold for less than 300 dollars. Three drag-and-drops, one
+// Condition Box, and XLearner learns the full query q1 — joins
+// included.
+//
+//	go run ./examples/auction
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/scenario"
+	"repro/internal/teacher"
+	"repro/internal/xmldoc"
+	"repro/internal/xq"
+)
+
+// The Figure 4(a) instance, extended with the Encyclopedia of Figure
+// 5(b) whose 700-dollar price exercises the Condition Box.
+const site = `<site>
+  <regions>
+    <africa></africa>
+    <europe>
+      <item id="i6"><name>Encyclopedia</name>
+        <incategory category="c2"/>
+        <description>Heavy</description>
+      </item>
+      <item id="i7"><name>H. Potter</name>
+        <incategory category="c2"/>
+        <description>Best Seller</description>
+      </item>
+    </europe>
+    <asia>
+      <item id="i10"><name>XML book</name>
+        <incategory category="c2"/>
+        <description>how-to book</description>
+      </item>
+    </asia>
+  </regions>
+  <categories>
+    <category id="c1"><name>computer</name></category>
+    <category id="c2"><name>book</name></category>
+  </categories>
+  <closed_auctions>
+    <closed_auction><price>700</price><itemref item="i6"/></closed_auction>
+    <closed_auction><price>50</price><itemref item="i7"/></closed_auction>
+    <closed_auction><price>100</price><itemref item="i10"/></closed_auction>
+  </closed_auctions>
+</site>`
+
+// targetSchema is Figure 1(b).
+const targetSchema = `
+<!ELEMENT i_list (category*)>
+<!ELEMENT category (cname, item*)>
+<!ELEMENT cname (#PCDATA)>
+<!ELEMENT item (iname, desc)>
+<!ELEMENT iname (#PCDATA)>
+<!ELEMENT desc (#PCDATA)>`
+
+func truthQ1() *xq.Tree {
+	inLeaf := scenario.LeafFor("in", "i", "name", "iname")
+	descFrag := scenario.PlainFor("d", "i", "description", "desc")
+	items := scenario.AnchorFor("i", "/site/regions/(europe|africa)/item", "item",
+		inLeaf, []*xq.Node{descFrag},
+		xq.EqJoin("i", xq.MustParseSimplePath("incategory/@category"), "c", xq.MustParseSimplePath("@id")),
+		&xq.Pred{
+			RelayVar:  "o",
+			RelayPath: xq.MustParseSimplePath("site/closed_auctions/closed_auction"),
+			Atoms: []xq.Cmp{
+				{Op: xq.OpEq, L: xq.VarOp("o", xq.MustParseSimplePath("itemref/@item")), R: xq.VarOp("i", xq.MustParseSimplePath("@id"))},
+				{Op: xq.OpLt, L: xq.VarOp("o", xq.MustParseSimplePath("price")), R: xq.ConstOp("300")},
+			},
+		})
+	cats := scenario.AnchorFor("c", "/site/categories/category", "category",
+		scenario.LeafFor("cn", "c", "name", "cname"), []*xq.Node{items})
+	return scenario.RootHolder("i_list", cats)
+}
+
+func main() {
+	s := &scenario.Scenario{
+		ID:          "auction",
+		Description: "the paper's q1: categories with their cheap african/european items",
+		Doc:         func() *xmldoc.Document { return xmldoc.MustParse(site) },
+		Target:      dtd.MustParse(targetSchema),
+		Truth:       truthQ1,
+		Drops: []core.Drop{
+			// Drop 1: "book" into the cname box.
+			{Path: "i_list/category/cname", Var: "cn", AnchorVar: "c",
+				Select: teacher.SelectByText("name", "book")},
+			// Drop 2: "H. Potter" into the iname box.
+			{Path: "i_list/category/item/iname", Var: "in", AnchorVar: "i",
+				Select: teacher.SelectByText("name", "H. Potter")},
+			// Drop 3: "Best Seller" into the desc box.
+			{Path: "i_list/category/item/desc", Var: "d",
+				Select: teacher.SelectByText("description", "Best Seller")},
+		},
+		// The Figure 5(c) Condition Box: H. Potter's price with "<300".
+		// XLearner derives the closed_auction relay itself (the boxed
+		// subexpression of Figure 6).
+		Boxes: map[string][]core.BoxEntry{
+			"in": {{
+				Select: func(d *xmldoc.Document, ce *xmldoc.Node) *xmldoc.Node {
+					for _, p := range d.NodesWithLabel("price") {
+						if p.Text() == "50" {
+							return p
+						}
+					}
+					return nil
+				},
+				Op: xq.OpLt, Const: "300",
+			}},
+		},
+	}
+
+	res := scenario.MustRun(s)
+	fmt.Println("Learned XQ-Tree (compare with the paper's Figure 6):")
+	fmt.Println(res.Tree.String())
+	fmt.Println("Nested XQuery rendering (compare with Figure 2):")
+	fmt.Println(res.Tree.XQueryString())
+	tot := res.Stats.Totals()
+	fmt.Printf("Interactions: D&D %d, MQ %d, CE %d, CB %d(%d); rules auto-answered %d queries.\n\n",
+		res.Stats.DnD, tot.MQ, tot.CE, tot.CB, tot.CBTerms, tot.ReducedTotal)
+	fmt.Println("Result:")
+	fmt.Println(res.LearnedXML)
+	if !res.Verified {
+		panic("verification failed")
+	}
+}

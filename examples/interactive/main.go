@@ -1,0 +1,213 @@
+// Interactive: play the minimally adequate teacher yourself.
+//
+// XLearner learns a query over the paper's auction instance while you
+// answer its membership and equivalence queries on the console —
+// exactly the interaction model of the paper's GUI, with node IDs in
+// place of drag-and-drop highlighting.
+//
+//	go run ./examples/interactive
+//
+// Commands during equivalence queries:
+//
+//	ok          accept the highlighted extent
+//	+<id>       "this node is missing" (positive counterexample)
+//	-<id>       "this node does not belong" (negative counterexample)
+//	find <q>    search the document for candidate nodes (Section 11's
+//	            example-search extension)
+//
+// When XLearner detects a missing value condition it opens a Condition
+// Box: answer with "<id> <op> <constant>" (e.g. "41 < 300") or "skip".
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/finder"
+	"repro/internal/xmldoc"
+	"repro/internal/xq"
+)
+
+const site = `<site>
+  <regions>
+    <europe>
+      <item id="i6"><name>Encyclopedia</name><incategory category="c2"/><description>Heavy</description></item>
+      <item id="i7"><name>H. Potter</name><incategory category="c2"/><description>Best Seller</description></item>
+    </europe>
+    <asia>
+      <item id="i10"><name>XML book</name><incategory category="c2"/><description>how-to book</description></item>
+    </asia>
+  </regions>
+  <categories>
+    <category id="c1"><name>computer</name></category>
+    <category id="c2"><name>book</name></category>
+  </categories>
+  <closed_auctions>
+    <closed_auction><price>700</price><itemref item="i6"/></closed_auction>
+    <closed_auction><price>50</price><itemref item="i7"/></closed_auction>
+    <closed_auction><price>100</price><itemref item="i10"/></closed_auction>
+  </closed_auctions>
+</site>`
+
+// consoleTeacher implements core.Teacher over stdin/stdout.
+type consoleTeacher struct {
+	doc *xmldoc.Document
+	in  *bufio.Scanner
+}
+
+func describe(n *xmldoc.Node) string {
+	text := strings.TrimSpace(n.Text())
+	if len(text) > 40 {
+		text = text[:40] + "..."
+	}
+	return fmt.Sprintf("[%3d] %-45s %q", n.ID, n.PathString(), text)
+}
+
+func (t *consoleTeacher) prompt(q string) string {
+	fmt.Print(q)
+	if !t.in.Scan() {
+		fmt.Println("\n(eof — answering no)")
+		return ""
+	}
+	return strings.TrimSpace(t.in.Text())
+}
+
+func (t *consoleTeacher) Member(frag core.FragmentRef, ctx map[string]*xmldoc.Node, n *xmldoc.Node) bool {
+	fmt.Printf("\nMembership query for $%s: is this node in the intended set?\n  %s\n", frag.Var, describe(n))
+	for {
+		switch strings.ToLower(t.prompt("  [y/n] > ")) {
+		case "y", "yes":
+			return true
+		case "n", "no", "":
+			return false
+		}
+	}
+}
+
+func (t *consoleTeacher) Equivalent(frag core.FragmentRef, ctx map[string]*xmldoc.Node, hyp []*xmldoc.Node) (*xmldoc.Node, bool, bool) {
+	fmt.Printf("\nEquivalence query for $%s: the hypothesis highlights %d node(s):\n", frag.Var, len(hyp))
+	for _, n := range hyp {
+		fmt.Println("  " + describe(n))
+	}
+	for {
+		ans := t.prompt("  [ok | +<id> | -<id> | find <q>] > ")
+		if ans == "" || strings.EqualFold(ans, "ok") {
+			return nil, false, true
+		}
+		if q, found := strings.CutPrefix(ans, "find "); found {
+			hits := finder.Search(t.doc, q)
+			if len(hits) == 0 {
+				fmt.Println("  no matches")
+				continue
+			}
+			for i, h := range hits {
+				if i == 8 {
+					fmt.Printf("  ... %d more\n", len(hits)-8)
+					break
+				}
+				fmt.Printf("  %s (%s)\n", describe(h.Node), h.Why)
+			}
+			continue
+		}
+		if len(ans) > 1 && (ans[0] == '+' || ans[0] == '-') {
+			id, err := strconv.Atoi(ans[1:])
+			if err != nil {
+				continue
+			}
+			n := t.doc.NodeByID(id)
+			if n == nil {
+				fmt.Println("  no such node")
+				continue
+			}
+			return n, ans[0] == '+', false
+		}
+	}
+}
+
+func (t *consoleTeacher) ConditionBox(frag core.FragmentRef, ce *xmldoc.Node) []core.BoxEntry {
+	fmt.Printf("\nCondition Box for $%s", frag.Var)
+	if ce != nil {
+		fmt.Printf(" (offending node: %s)", describe(ce))
+	}
+	fmt.Println("\nEnter `<nodeID> <op> <constant>` (ops: = != < <= > >= contains) or `skip`.")
+	ans := t.prompt("  > ")
+	if ans == "" || strings.EqualFold(ans, "skip") {
+		return nil
+	}
+	parts := strings.Fields(ans)
+	if len(parts) < 2 {
+		return nil
+	}
+	id, err := strconv.Atoi(parts[0])
+	if err != nil || t.doc.NodeByID(id) == nil {
+		fmt.Println("  bad node id")
+		return nil
+	}
+	konst := ""
+	if len(parts) >= 3 {
+		konst = strings.Join(parts[2:], " ")
+	}
+	node := t.doc.NodeByID(id)
+	return []core.BoxEntry{{
+		Select: func(*xmldoc.Document, *xmldoc.Node) *xmldoc.Node { return node },
+		Op:     xq.CmpOp(parts[1]),
+		Const:  konst,
+	}}
+}
+
+func (t *consoleTeacher) OrderBy(frag core.FragmentRef) []xq.SortKey { return nil }
+
+func main() {
+	doc := xmldoc.MustParse(site)
+	fmt.Println("Source document (node IDs in brackets):")
+	doc.Walk(func(n *xmldoc.Node) bool {
+		if n.Kind == xmldoc.ElementNode {
+			fmt.Println("  " + describe(n))
+		}
+		return true
+	})
+	fmt.Println(`
+Task: map the auction site onto <i_list><category><cname/><item><iname/>...
+The first drop is already made for you: "H. Potter"'s name node is in the
+iname box. Answer XLearner's questions; the intended query selects items
+in europe sold for less than 300 (tip: when the Condition Box opens, the
+50-dollar price node and "< 300" express it).`)
+
+	teacher := &consoleTeacher{doc: doc, in: bufio.NewScanner(os.Stdin)}
+	eng := core.NewEngine(doc, teacher, core.DefaultOptions())
+	spec := &core.TaskSpec{
+		Target: dtd.MustParse(`
+<!ELEMENT i_list (item*)>
+<!ELEMENT item (iname)>
+<!ELEMENT iname (#PCDATA)>`),
+		Drops: []core.Drop{{
+			Path: "i_list/item/iname", Var: "in", AnchorVar: "i",
+			Select: func(d *xmldoc.Document) *xmldoc.Node {
+				for _, n := range d.NodesWithLabel("name") {
+					if n.Text() == "H. Potter" {
+						return n
+					}
+				}
+				return nil
+			},
+		}},
+	}
+	tree, stats, err := eng.Learn(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "learning failed:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nLearned query:")
+	fmt.Println(tree.String())
+	ev := xq.NewEvaluator(doc)
+	fmt.Println("Result:")
+	fmt.Println(xmldoc.XMLString(ev.Result(tree).DocNode()))
+	tot := stats.Totals()
+	fmt.Printf("\nYou answered %d membership queries and gave %d counterexamples;\nrules R1/R2 spared you %d more questions.\n",
+		tot.MQ, tot.CE, tot.ReducedTotal)
+}

@@ -1,0 +1,262 @@
+// Package angluin implements Angluin's L* algorithm for learning a
+// minimal DFA from membership and equivalence queries (Angluin 1987),
+// the machine-learning core of XLearner's P-Learner. The teacher
+// abstraction is deliberately minimal so callers can interpose caching,
+// interaction counting, and the paper's auto-answer rules R1/R2.
+package angluin
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pathre"
+)
+
+// Teacher answers the two kinds of learner's queries of a minimally
+// adequate teacher.
+type Teacher interface {
+	// Member reports whether word is in the target language.
+	Member(word []string) bool
+	// Equivalent checks the hypothesis. If the hypothesis is correct it
+	// returns (nil, true); otherwise it returns a counterexample word
+	// from the symmetric difference and false.
+	Equivalent(hypothesis *pathre.DFA) (counterexample []string, ok bool)
+}
+
+// Stats counts the queries the learner issued. Membership queries are
+// counted per call to Teacher.Member (the learner itself never repeats
+// a word; repeats are served from the observation table).
+type Stats struct {
+	MembershipQueries  int
+	EquivalenceQueries int
+	Counterexamples    int
+	HypothesisStates   int
+}
+
+// Option configures Learn.
+type Option func(*learner)
+
+// WithInitialExample seeds the observation table with the prefixes of a
+// known positive example (the paper's path(e) of the dropped node).
+func WithInitialExample(word []string) Option {
+	return func(l *learner) { l.initial = append([]string(nil), word...) }
+}
+
+// WithMaxEquivalenceQueries bounds the number of equivalence queries;
+// Learn fails with an error if exceeded (protects against inconsistent
+// teachers). Default 1000.
+func WithMaxEquivalenceQueries(n int) Option {
+	return func(l *learner) { l.maxEQ = n }
+}
+
+// Learn runs L* over the given alphabet against the teacher and returns
+// the learned minimal DFA.
+func Learn(alphabet []string, t Teacher, opts ...Option) (*pathre.DFA, Stats, error) {
+	l := &learner{
+		alphabet: append([]string(nil), alphabet...),
+		teacher:  t,
+		table:    map[string]bool{},
+		maxEQ:    1000,
+	}
+	for _, o := range opts {
+		o(l)
+	}
+	return l.run()
+}
+
+type learner struct {
+	alphabet []string
+	teacher  Teacher
+	initial  []string
+	maxEQ    int
+
+	// S: access strings (prefixes); E: distinguishing suffixes.
+	s [][]string
+	e [][]string
+	// table caches membership answers keyed by joined word.
+	table map[string]bool
+
+	stats Stats
+}
+
+func key(w []string) string { return strings.Join(w, "\x00") }
+
+func (l *learner) member(w []string) bool {
+	k := key(w)
+	if v, ok := l.table[k]; ok {
+		return v
+	}
+	v := l.teacher.Member(w)
+	l.stats.MembershipQueries++
+	l.table[k] = v
+	return v
+}
+
+// row computes the observation-table row of prefix s.
+func (l *learner) row(s []string) string {
+	var b strings.Builder
+	for _, e := range l.e {
+		w := append(append([]string(nil), s...), e...)
+		if l.member(w) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+func (l *learner) hasPrefix(w []string) bool {
+	k := key(w)
+	for _, s := range l.s {
+		if key(s) == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *learner) addPrefix(w []string) {
+	if !l.hasPrefix(w) {
+		l.s = append(l.s, append([]string(nil), w...))
+	}
+}
+
+func (l *learner) hasSuffix(w []string) bool {
+	k := key(w)
+	for _, e := range l.e {
+		if key(e) == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *learner) run() (*pathre.DFA, Stats, error) {
+	l.s = [][]string{{}}
+	l.e = [][]string{{}}
+	if l.initial != nil {
+		for i := 1; i <= len(l.initial); i++ {
+			l.addPrefix(l.initial[:i])
+		}
+	}
+	for eq := 0; eq < l.maxEQ; eq++ {
+		l.close()
+		h := l.hypothesis()
+		l.stats.EquivalenceQueries++
+		l.stats.HypothesisStates = h.NumStates()
+		ce, ok := l.teacher.Equivalent(h)
+		if ok {
+			return h, l.stats, nil
+		}
+		l.stats.Counterexamples++
+		if ce == nil {
+			return nil, l.stats, fmt.Errorf("angluin: teacher rejected hypothesis without a counterexample")
+		}
+		if h.Accepts(ce) == l.member(ce) {
+			return nil, l.stats, fmt.Errorf("angluin: counterexample %v does not distinguish hypothesis from target", ce)
+		}
+		for i := 1; i <= len(ce); i++ {
+			l.addPrefix(ce[:i])
+		}
+	}
+	return nil, l.stats, fmt.Errorf("angluin: exceeded %d equivalence queries", l.maxEQ)
+}
+
+// close extends S until the table is closed and consistent.
+func (l *learner) close() {
+	for {
+		changed := false
+		// Closedness: every one-step extension's row must appear in S.
+		rowsOfS := map[string]bool{}
+		for _, s := range l.s {
+			rowsOfS[l.row(s)] = true
+		}
+		for i := 0; i < len(l.s); i++ {
+			s := l.s[i]
+			for _, a := range l.alphabet {
+				ext := append(append([]string(nil), s...), a)
+				if l.hasPrefix(ext) {
+					continue
+				}
+				r := l.row(ext)
+				if !rowsOfS[r] {
+					l.addPrefix(ext)
+					rowsOfS[r] = true
+					changed = true
+				}
+			}
+		}
+		if changed {
+			continue
+		}
+		// Consistency: equal rows must have equal extensions; otherwise
+		// a new distinguishing suffix exists.
+		if l.fixInconsistency() {
+			continue
+		}
+		return
+	}
+}
+
+func (l *learner) fixInconsistency() bool {
+	for i := 0; i < len(l.s); i++ {
+		for j := i + 1; j < len(l.s); j++ {
+			if l.row(l.s[i]) != l.row(l.s[j]) {
+				continue
+			}
+			for _, a := range l.alphabet {
+				exti := append(append([]string(nil), l.s[i]...), a)
+				extj := append(append([]string(nil), l.s[j]...), a)
+				ri, rj := l.row(exti), l.row(extj)
+				if ri == rj {
+					continue
+				}
+				// Find the suffix position where they differ; add a.e.
+				for p := 0; p < len(ri); p++ {
+					if ri[p] != rj[p] {
+						newSuffix := append([]string{a}, l.e[p]...)
+						if !l.hasSuffix(newSuffix) {
+							l.e = append(l.e, newSuffix)
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// hypothesis builds the conjectured DFA from the closed, consistent
+// observation table.
+func (l *learner) hypothesis() *pathre.DFA {
+	// Unique rows of S become states.
+	stateOf := map[string]int{}
+	var reps [][]string
+	for _, s := range l.s {
+		r := l.row(s)
+		if _, ok := stateOf[r]; !ok {
+			stateOf[r] = len(reps)
+			reps = append(reps, s)
+		}
+	}
+	d := pathre.NewDFA(l.alphabet, len(reps))
+	// NewDFA sorts the alphabet; transitions must be indexed by the
+	// sorted order.
+	for qi, rep := range reps {
+		r := l.row(rep)
+		d.Accept[qi] = r[0] == '1' // E[0] is ε
+		for _, a := range l.alphabet {
+			ext := append(append([]string(nil), rep...), a)
+			target, ok := stateOf[l.row(ext)]
+			if !ok {
+				// Table is closed, so this cannot happen; guard anyway.
+				target = qi
+			}
+			d.Trans[qi][d.SymIndex(a)] = target
+		}
+	}
+	d.Start = stateOf[l.row(nil)]
+	return d
+}

@@ -1,0 +1,114 @@
+package angluin
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pathre"
+)
+
+func learnKVPath(t *testing.T, path string, opts ...Option) (*pathre.DFA, Stats) {
+	t.Helper()
+	target := pathre.Compile(pathre.MustParsePath(path), alphabet)
+	d, stats, err := LearnKV(alphabet, &perfectTeacher{target}, opts...)
+	if err != nil {
+		t.Fatalf("LearnKV(%s): %v", path, err)
+	}
+	if w, diff := target.Distinguish(d); diff {
+		t.Fatalf("LearnKV(%s): wrong language, witness %v", path, w)
+	}
+	return d, stats
+}
+
+func TestKVLearnsSimplePath(t *testing.T) {
+	d, stats := learnKVPath(t, "/site/regions/asia")
+	if d.Minimize().NumStates() != d.NumStates() {
+		t.Errorf("KV hypothesis not minimal: %d vs %d", d.NumStates(), d.Minimize().NumStates())
+	}
+	if stats.MembershipQueries == 0 || stats.EquivalenceQueries == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestKVLearnsAlternation(t *testing.T) {
+	learnKVPath(t, "/site/regions/(europe|africa)/item")
+}
+
+func TestKVLearnsDescendant(t *testing.T) {
+	learnKVPath(t, "/site//name")
+}
+
+func TestKVWithInitialExample(t *testing.T) {
+	learnKVPath(t, "/site/regions/asia",
+		WithInitialExample([]string{"site", "regions", "asia"}))
+}
+
+func TestKVEmptyAndUniversal(t *testing.T) {
+	for _, p := range []pathre.Expr{pathre.None{}, pathre.Star{Sub: pathre.Any{}}} {
+		target := pathre.Compile(p, alphabet)
+		d, _, err := LearnKV(alphabet, &perfectTeacher{target})
+		if err != nil {
+			t.Fatalf("LearnKV(%v): %v", pathre.String(p), err)
+		}
+		if w, diff := target.Distinguish(d); diff {
+			t.Fatalf("%v: wrong language, witness %v", pathre.String(p), w)
+		}
+	}
+}
+
+func TestKVBadTeacher(t *testing.T) {
+	target := pathre.Compile(pathre.MustParsePath("/site"), alphabet)
+	bt := teacherFuncs{
+		member: target.Accepts,
+		equiv:  func(h *pathre.DFA) ([]string, bool) { return []string{"site"}, false },
+	}
+	if _, _, err := LearnKV(alphabet, bt); err == nil {
+		t.Fatal("inconsistent teacher must error")
+	}
+	nt := teacherFuncs{
+		member: target.Accepts,
+		equiv:  func(h *pathre.DFA) ([]string, bool) { return nil, false },
+	}
+	if _, _, err := LearnKV(alphabet, nt); err == nil {
+		t.Fatal("nil counterexample must error")
+	}
+}
+
+// TestKVPropertyRandomTargets: KV learns random regular path targets
+// exactly, like L*.
+func TestKVPropertyRandomTargets(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	small := []string{"a", "b", "c"}
+	for i := 0; i < 60; i++ {
+		e := randomExpr(r, 3)
+		target := pathre.Compile(e, small)
+		d, _, err := LearnKV(small, &perfectTeacher{target})
+		if err != nil {
+			t.Fatalf("iter %d (%s): %v", i, pathre.String(e), err)
+		}
+		if w, diff := target.Distinguish(d); diff {
+			t.Fatalf("iter %d (%s): wrong language, witness %v", i, pathre.String(e), w)
+		}
+	}
+}
+
+// TestKVFewerMembershipQueries documents the classic trade-off: KV asks
+// (often far) fewer membership queries than L* on path-shaped targets,
+// paying with extra equivalence queries.
+func TestKVFewerMembershipQueries(t *testing.T) {
+	target := pathre.Compile(pathre.MustParsePath("/site/regions/(europe|africa)/item/name"), alphabet)
+	_, lstar, err := Learn(alphabet, &perfectTeacher{target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, kv, err := LearnKV(alphabet, &perfectTeacher{target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv.MembershipQueries >= lstar.MembershipQueries {
+		t.Errorf("KV MQ %d not below L* MQ %d", kv.MembershipQueries, lstar.MembershipQueries)
+	}
+	if kv.EquivalenceQueries < lstar.EquivalenceQueries {
+		t.Logf("note: KV EQ %d below L* EQ %d on this target", kv.EquivalenceQueries, lstar.EquivalenceQueries)
+	}
+}

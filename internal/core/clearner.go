@@ -1,0 +1,62 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/datagraph"
+	"repro/internal/xmldoc"
+	"repro/internal/xq"
+)
+
+// cLearner implements C-Learner (Section 7.2): it maintains the
+// strongest conjunction ĉ of candidate predicates consistent with every
+// positive example seen. The first positive example initializes ĉ to
+// cond(context(e), (ve, e)); each further positive intersects ĉ with
+// its own candidate set — the monotone k-term algorithm of Figure 13,
+// where a positive counterexample can remove many predicates at once.
+type cLearner struct {
+	graph  *datagraph.Graph
+	ctx    map[string]*xmldoc.Node
+	ve     string
+	inited bool
+	conds  map[string]*xq.Pred
+}
+
+func newCLearner(g *datagraph.Graph, ctx map[string]*xmldoc.Node, ve string) *cLearner {
+	return &cLearner{graph: g, ctx: ctx, ve: ve, conds: map[string]*xq.Pred{}}
+}
+
+// Observe incorporates a positive example's anchor node.
+func (c *cLearner) Observe(anchor *xmldoc.Node) {
+	cand := c.graph.Cond(c.ctx, c.ve, anchor)
+	if !c.inited {
+		c.inited = true
+		for _, p := range cand {
+			c.conds[p.Key()] = p
+		}
+		return
+	}
+	keep := map[string]bool{}
+	for _, p := range cand {
+		keep[p.Key()] = true
+	}
+	for k := range c.conds {
+		if !keep[k] {
+			delete(c.conds, k)
+		}
+	}
+}
+
+// Preds returns the current conjunction in deterministic order.
+func (c *cLearner) Preds() []*xq.Pred {
+	keys := make([]string, 0, len(c.conds))
+	for k := range c.conds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*xq.Pred, len(keys))
+	for i, k := range keys {
+		out[i] = c.conds[k]
+	}
+	return out
+}

@@ -1,0 +1,556 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/datagraph"
+	"repro/internal/pathre"
+	"repro/internal/xmldoc"
+	"repro/internal/xq"
+)
+
+// Engine is an XLearner session over one source document.
+type Engine struct {
+	Source  *xmldoc.Document
+	Teacher Teacher
+	Opts    Options
+
+	graph    *datagraph.Graph
+	eval     *xq.Evaluator
+	alphabet []string
+	// pathIndex groups instance nodes by their root path; pathKeys is
+	// the deterministic iteration order and pathLabels the decoded
+	// label sequences.
+	pathIndex  map[string][]*xmldoc.Node
+	pathKeys   []string
+	pathLabels map[string][]string
+	// realized caches the DFA of the instance's realized paths.
+	realized *pathre.DFA
+}
+
+// NewEngine builds an engine for the source document.
+func NewEngine(source *xmldoc.Document, teacher Teacher, opts Options) *Engine {
+	e := &Engine{
+		Source:     source,
+		Teacher:    teacher,
+		Opts:       opts,
+		graph:      datagraph.New(source, opts.Graph),
+		eval:       xq.NewEvaluator(source),
+		alphabet:   source.Alphabet(),
+		pathIndex:  map[string][]*xmldoc.Node{},
+		pathLabels: map[string][]string{},
+	}
+	if e.Opts.MaxEQ <= 0 {
+		e.Opts.MaxEQ = 200
+	}
+	source.Walk(func(n *xmldoc.Node) bool {
+		if n.Kind == xmldoc.ElementNode || n.Kind == xmldoc.AttributeNode {
+			w := n.Path()
+			k := pathKey(w)
+			if _, ok := e.pathIndex[k]; !ok {
+				e.pathKeys = append(e.pathKeys, k)
+				e.pathLabels[k] = w
+			}
+			e.pathIndex[k] = append(e.pathIndex[k], n)
+		}
+		return true
+	})
+	sort.Strings(e.pathKeys)
+	return e
+}
+
+// fragment is one learning unit: a Drop Box plus, for 1-labeled boxes,
+// its anchor parent.
+type fragment struct {
+	drop       Drop
+	ref        FragmentRef
+	pair       bool
+	example    *xmldoc.Node
+	anchorNode *xmldoc.Node
+	xqAnchor   *xq.Node // the for-node carrying path and conditions
+	xqLeaf     *xq.Node // the leaf for-node (== xqAnchor when !pair)
+	parent     *fragment
+	// learned root path of the anchor variable (before relativization).
+	rootExpr pathre.Expr
+}
+
+// Learn runs a full session: template, skeleton, LEARN-X1*+ traversal,
+// and assembly of the final XQ-Tree.
+func (e *Engine) Learn(spec *TaskSpec) (*xq.Tree, *Stats, error) {
+	if len(spec.Drops) == 0 {
+		return nil, nil, fmt.Errorf("core: no dropped examples")
+	}
+	template, err := BuildTemplate(spec.Target)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{}
+	root, frags, err := e.buildSkeleton(template, spec.Drops, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree := xq.NewTree(root)
+	for _, f := range frags {
+		fs := FragmentStats{Var: f.ref.Var, TemplatePath: f.ref.TemplatePath}
+		if err := e.learnWithAlternates(tree, f, &fs); err != nil {
+			return nil, nil, err
+		}
+		stats.Fragments = append(stats.Fragments, fs)
+	}
+	tree.Renumber()
+	return tree, stats, nil
+}
+
+// boxInfo is a resolved Drop at its template leaf.
+type boxInfo struct {
+	drop Drop
+	leaf *TemplateNode
+}
+
+// buildSkeleton resolves drops against the template, computes the
+// minimal covering subtree, and materializes XQ nodes (Section 4.1).
+func (e *Engine) buildSkeleton(template *TemplateNode, drops []Drop, stats *Stats) (*xq.Node, []*fragment, error) {
+	boxes := map[*TemplateNode]boxInfo{}
+	marked := map[*TemplateNode]bool{}
+	for _, d := range drops {
+		leaf := template.Find(d.Path)
+		if leaf == nil {
+			return nil, nil, fmt.Errorf("core: template has no box at %q", d.Path)
+		}
+		if _, dup := boxes[leaf]; dup {
+			return nil, nil, fmt.Errorf("core: two drops into box %q", d.Path)
+		}
+		if d.Var == "" {
+			return nil, nil, fmt.Errorf("core: drop at %q has no variable name", d.Path)
+		}
+		node := d.Select(e.Source)
+		if node == nil {
+			return nil, nil, fmt.Errorf("core: drop at %q selected no node", d.Path)
+		}
+		boxes[leaf] = boxInfo{drop: d, leaf: leaf}
+		for t := leaf; t != nil; t = t.Parent {
+			marked[t] = true
+		}
+		stats.DnD++
+		if d.Terms > 0 {
+			stats.DnDTerms += d.Terms
+		} else {
+			stats.DnDTerms++
+		}
+	}
+
+	var frags []*fragment
+	var build func(t *TemplateNode, parentFrag *fragment) *xq.Node
+	build = func(t *TemplateNode, parentFrag *fragment) *xq.Node {
+		info, isBox := boxes[t]
+		switch {
+		case isBox && info.drop.Wrap != nil:
+			// Nested Drop Box (Figure 14).
+			f := &fragment{
+				drop:    info.drop,
+				ref:     FragmentRef{Var: info.drop.Var, AnchorVar: info.drop.Var, TemplatePath: t.Path()},
+				example: info.drop.Select(e.Source),
+				parent:  parentFrag,
+			}
+			f.anchorNode = f.example
+			if info.drop.WrapEach {
+				// Per-binding transform: <tag>{wrap($v)}</tag> per binding.
+				n := &xq.Node{
+					Var: info.drop.Var,
+					Ret: xq.RElem{Tag: t.Elem, Kids: []xq.RetExpr{info.drop.Wrap(xq.RVar{Name: info.drop.Var})}},
+				}
+				f.xqAnchor, f.xqLeaf = n, n
+				frags = append(frags, f)
+				return n
+			}
+			// Aggregate: holder <tag>{ wrap(child sequence) }</tag> around
+			// a var node producing the raw sequence.
+			inner := &xq.Node{Var: info.drop.Var, Ret: xq.RVar{Name: info.drop.Var}}
+			f.xqAnchor, f.xqLeaf = inner, inner
+			holder := &xq.Node{
+				Ret:      xq.RElem{Tag: t.Elem, Kids: []xq.RetExpr{info.drop.Wrap(xq.RChild{Node: inner})}},
+				Children: []*xq.Node{inner},
+			}
+			frags = append(frags, f)
+			return holder
+		case isBox && info.leaf.OneLabeled && info.drop.AnchorVar != "":
+			// Should have been handled by the parent (pair). Defensive:
+			// fall through to plain fragment if the parent was itself a
+			// box (cannot pair).
+			fallthrough
+		case isBox:
+			f := &fragment{
+				drop:    info.drop,
+				ref:     FragmentRef{Var: info.drop.Var, AnchorVar: info.drop.Var, TemplatePath: t.Path()},
+				example: info.drop.Select(e.Source),
+				parent:  parentFrag,
+			}
+			f.anchorNode = f.example
+			n := &xq.Node{
+				Var:        info.drop.Var,
+				Ret:        xq.RElem{Tag: t.Elem, Kids: []xq.RetExpr{xq.RVar{Name: info.drop.Var}}},
+				OneLabeled: t.OneLabeled,
+			}
+			f.xqAnchor, f.xqLeaf = n, n
+			frags = append(frags, f)
+			// A box may still own marked children (unusual); attach them.
+			e.attachChildren(t, n, f, boxes, marked, build)
+			return n
+		default:
+			// Does a 1-labeled marked child box make this node a pair
+			// anchor?
+			for _, c := range t.Children {
+				info, ok := boxes[c]
+				if !ok || !c.OneLabeled || info.drop.AnchorVar == "" || info.drop.Wrap != nil {
+					continue
+				}
+				f := &fragment{
+					drop: info.drop,
+					ref: FragmentRef{
+						Var: info.drop.Var, AnchorVar: info.drop.AnchorVar,
+						TemplatePath: c.Path(),
+					},
+					pair:    true,
+					example: info.drop.Select(e.Source),
+					parent:  parentFrag,
+				}
+				f.anchorNode = f.example.Parent
+				leaf := &xq.Node{
+					Var:        info.drop.Var,
+					From:       info.drop.AnchorVar,
+					Ret:        xq.RElem{Tag: c.Elem, Kids: []xq.RetExpr{xq.RVar{Name: info.drop.Var}}},
+					OneLabeled: true,
+				}
+				anchorN := &xq.Node{
+					Var:      info.drop.AnchorVar,
+					Ret:      xq.RElem{Tag: t.Elem, Kids: []xq.RetExpr{xq.RChild{Node: leaf}}},
+					Children: []*xq.Node{leaf},
+				}
+				f.xqAnchor, f.xqLeaf = anchorN, leaf
+				frags = append(frags, f)
+				delete(boxes, c)
+				e.attachChildren(t, anchorN, f, boxes, marked, build)
+				return anchorN
+			}
+			// Plain holder.
+			h := &xq.Node{Ret: xq.RElem{Tag: t.Elem}}
+			e.attachChildren(t, h, parentFrag, boxes, marked, build)
+			return h
+		}
+	}
+	root := build(template, nil)
+	return root, frags, nil
+}
+
+// attachChildren builds the marked template children of t (skipping any
+// box already consumed as a pair leaf) under XQ node n.
+func (e *Engine) attachChildren(t *TemplateNode, n *xq.Node, parentFrag *fragment,
+	boxes map[*TemplateNode]boxInfo, marked map[*TemplateNode]bool,
+	build func(*TemplateNode, *fragment) *xq.Node) {
+	for _, c := range t.Children {
+		if !marked[c] || !hasMarkedBox(c, boxes, marked) {
+			continue
+		}
+		child := build(c, parentFrag)
+		n.Children = append(n.Children, child)
+		if ret, ok := n.Ret.(xq.RElem); ok {
+			ret.Kids = append(ret.Kids, xq.RChild{Node: child})
+			n.Ret = ret
+		}
+	}
+}
+
+// hasMarkedBox reports whether t's marked subtree still contains an
+// unconsumed box.
+func hasMarkedBox(t *TemplateNode, boxes map[*TemplateNode]boxInfo, marked map[*TemplateNode]bool) bool {
+	if !marked[t] {
+		return false
+	}
+	if _, ok := boxes[t]; ok {
+		return true
+	}
+	for _, c := range t.Children {
+		if hasMarkedBox(c, boxes, marked) {
+			return true
+		}
+	}
+	return false
+}
+
+// learnWithAlternates learns the fragment, switching context to the
+// drop's alternate examples when an attempt fails (Section 2).
+func (e *Engine) learnWithAlternates(tree *xq.Tree, f *fragment, fs *FragmentStats) error {
+	err := e.learnFragment(tree, f, fs)
+	if err == nil {
+		return nil
+	}
+	for _, sel := range f.drop.Alternates {
+		alt := sel(e.Source)
+		if alt == nil {
+			continue
+		}
+		fs.ContextSwitches++
+		f.example = alt
+		f.anchorNode = alt
+		if f.pair {
+			f.anchorNode = alt.Parent
+		}
+		if err = e.learnFragment(tree, f, fs); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// learnFragment runs P-Learner/C-Learner for one fragment and fills in
+// its XQ nodes.
+func (e *Engine) learnFragment(tree *xq.Tree, f *fragment, fs *FragmentStats) error {
+	pinCtx := map[string]*xmldoc.Node{}
+	condCtx := map[string]*xmldoc.Node{}
+	for a := f.parent; a != nil; a = a.parent {
+		condCtx[a.ref.AnchorVar] = a.anchorNode
+		pinCtx[a.ref.AnchorVar] = a.anchorNode
+		pinCtx[a.ref.Var] = a.example
+	}
+	strip := 0
+	if f.pair {
+		strip = 1
+	}
+	pl := newPLearner(e, f.ref, pinCtx, condCtx, f.example, strip, fs)
+	d, err := pl.run()
+	if err != nil {
+		return err
+	}
+	// The hypothesis DFA is only constrained on realized paths; trim
+	// never-exercised transitions so the emitted path expression is the
+	// instance-relative language actually confirmed by the user.
+	d = e.trimDFA(d)
+
+	// Split the learned path across the 1-labeled edge.
+	anchorDFA := d
+	if f.pair {
+		anchorDFA = d.RightQuotient()
+		lasts := d.LastSymbols()
+		if len(lasts) == 0 {
+			return fmt.Errorf("core: fragment %s learned an empty path language", f.ref.Var)
+		}
+		f.xqLeaf.Path = symAlt(lasts)
+	}
+	f.rootExpr = pathre.FromDFA(anchorDFA)
+
+	// Relativize against the nearest ancestor fragment where possible
+	// (e.g. /site/.../item/description becomes $i/description).
+	relThrough := ""
+	if !e.Opts.NoRelativize {
+		relThrough = e.relativize(f, pl, anchorDFA)
+	}
+	if relThrough == "" {
+		f.xqAnchor.From = ""
+		f.xqAnchor.Path = f.rootExpr
+	}
+
+	// Conditions live on the anchor node. After relativizing through a
+	// variable it becomes "associated" (paper Section 6): learned
+	// conditions relating the fragment to it are navigation scaffolding,
+	// not part of the legitimate condition family — drop them. Explicit
+	// (user-given) conditions always stay.
+	var preds []*xq.Pred
+	for _, p := range pl.clearner.Preds() {
+		if relThrough != "" && predMentions(p, relThrough) {
+			continue
+		}
+		preds = append(preds, p)
+	}
+	preds = append(preds, pl.explicit...)
+	f.xqAnchor.Where = preds
+
+	// Drop predicates that do not affect the extent in any context of
+	// the partially assembled query (artifacts of the
+	// strongest-conjunction start, e.g. data($d)=data($i/description)
+	// once the binding is relative).
+	if !e.Opts.KeepRedundantConds {
+		e.minimizeConds(tree, f, preds)
+	}
+
+	// OrderBy Box.
+	keys := e.Teacher.OrderBy(f.ref)
+	if len(keys) > 0 {
+		f.xqAnchor.OrderBy = keys
+		fs.OB += len(keys)
+	}
+	return nil
+}
+
+// relativize rewrites the anchor binding relative to an ancestor
+// fragment's variable. Two justifications apply, mirroring the paper's
+// expr*-factorization (Section 6):
+//
+//  1. Structural: the fragment was learned under the navigational prior
+//     (every positive lies in the context anchor's subtree along the
+//     same relative label path). The binding generalizes navigationally
+//     even where the learned DFA saw no examples.
+//  2. Extensional: the rewritten binding reaches exactly the same
+//     instance nodes as the learned rooted path.
+//
+// It returns the variable relativized through, or "".
+func (e *Engine) relativize(f *fragment, pl *pLearner, anchorDFA *pathre.DFA) string {
+	// Structural case: force through the prior's anchor fragment.
+	if pl.structural {
+		for a := f.parent; a != nil; a = a.parent {
+			if a.anchorNode != pl.relAnchor {
+				continue
+			}
+			steps := labelsBetween(a.anchorNode, f.anchorNode)
+			if len(steps) == 0 {
+				break
+			}
+			if !pl.positivesShareRelPath(a.anchorNode, steps, f.pair) {
+				break
+			}
+			f.xqAnchor.From = a.ref.AnchorVar
+			f.xqAnchor.Path = pathre.Seq(steps...)
+			return a.ref.AnchorVar
+		}
+	}
+	// Extensional case.
+	learned := e.nodesAccepted(anchorDFA)
+	for a := f.parent; a != nil; a = a.parent {
+		if a.anchorNode == nil || !isAncestorOrSelf(a.anchorNode, f.anchorNode) || a.anchorNode == f.anchorNode {
+			continue
+		}
+		steps := labelsBetween(a.anchorNode, f.anchorNode)
+		if len(steps) == 0 {
+			continue
+		}
+		candidate := pathre.Concat{Parts: []pathre.Expr{a.rootExpr, pathre.Seq(steps...)}}
+		cd := pathre.Compile(candidate, anchorDFA.Alphabet)
+		if sameNodes(e.nodesAccepted(cd), learned) {
+			f.xqAnchor.From = a.ref.AnchorVar
+			f.xqAnchor.Path = pathre.Seq(steps...)
+			return a.ref.AnchorVar
+		}
+	}
+	return ""
+}
+
+// predMentions reports whether the predicate references the variable.
+func predMentions(p *xq.Pred, v string) bool {
+	if p.RelayFrom == v {
+		return true
+	}
+	for _, a := range p.Atoms {
+		if a.L.Var == v || a.R.Var == v {
+			return true
+		}
+	}
+	return false
+}
+
+// nodesAccepted returns the instance nodes whose root path the DFA
+// accepts, in document order.
+func (e *Engine) nodesAccepted(d *pathre.DFA) []*xmldoc.Node {
+	var out []*xmldoc.Node
+	for _, k := range e.pathKeys {
+		if d.Accepts(e.pathLabels[k]) {
+			out = append(out, e.pathIndex[k]...)
+		}
+	}
+	sortByID(out)
+	return out
+}
+
+func isAncestorOrSelf(a, n *xmldoc.Node) bool {
+	return a == n || a.IsAncestorOf(n)
+}
+
+func labelsBetween(a, n *xmldoc.Node) []string {
+	var rev []string
+	for cur := n; cur != nil && cur != a; cur = cur.Parent {
+		rev = append(rev, cur.Label())
+	}
+	out := make([]string, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// minimizeConds greedily removes predicates that change the fragment's
+// extent in no context of the partially assembled query (all satisfying
+// assignments of the already-learned ancestor fragments). Dropping only
+// globally-redundant predicates preserves the whole-query result
+// exactly, while a predicate that matters in some other context — like
+// the category join, coincidentally redundant in the learning context —
+// is kept.
+func (e *Engine) minimizeConds(tree *xq.Tree, f *fragment, preds []*xq.Pred) {
+	assignments := e.eval.Assignments(tree, f.xqAnchor)
+	extents := func(ps []*xq.Pred) [][]*xmldoc.Node {
+		f.xqAnchor.Where = ps
+		out := make([][]*xmldoc.Node, len(assignments))
+		for i, env := range assignments {
+			out[i] = e.eval.Extent(tree, f.xqLeaf, env)
+		}
+		return out
+	}
+	full := extents(preds)
+	kept := append([]*xq.Pred{}, preds...)
+	for i := 0; i < len(kept); {
+		trial := append(append([]*xq.Pred{}, kept[:i]...), kept[i+1:]...)
+		same := true
+		for j, ext := range extents(trial) {
+			if !sameNodes(ext, full[j]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			kept = trial
+			continue
+		}
+		i++
+	}
+	f.xqAnchor.Where = kept
+}
+
+// trimDFA intersects the learned DFA with the instance's realized-path
+// language. The hypothesis is only constrained on realized paths (MQs
+// on anything else were auto-answered by R1, and extents can't witness
+// them), so the L*-minimal automaton folds arbitrary behavior into the
+// unconstrained region; the intersection is exactly the set of paths
+// the user actually confirmed, and it renders as a readable expression.
+func (e *Engine) trimDFA(d *pathre.DFA) *pathre.DFA {
+	if e.realized == nil {
+		words := make([][]string, 0, len(e.pathKeys))
+		for _, k := range e.pathKeys {
+			words = append(words, e.pathLabels[k])
+		}
+		e.realized = pathre.FromStrings(words, e.alphabet)
+	}
+	return d.Intersect(e.realized)
+}
+
+func sameNodes(a, b []*xmldoc.Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// symAlt builds the leaf binding expression from the set of final
+// symbols of the learned path.
+func symAlt(syms []string) pathre.Expr {
+	if len(syms) == 1 {
+		return pathre.Lit{Label: syms[0]}
+	}
+	parts := make([]pathre.Expr, len(syms))
+	for i, s := range syms {
+		parts[i] = pathre.Lit{Label: s}
+	}
+	return pathre.Alt{Parts: parts}
+}

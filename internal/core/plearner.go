@@ -1,0 +1,511 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/angluin"
+	"repro/internal/datagraph"
+	"repro/internal/pathre"
+	"repro/internal/xmldoc"
+	"repro/internal/xq"
+)
+
+// provenance records where a cached membership answer came from; R2
+// answers are heuristic and may be retracted (Section 8).
+type provenance int
+
+const (
+	provAsked     provenance = iota // the user answered
+	provR1                          // auto-answered: no such path in the instance/schema
+	provR2                          // auto-answered: last-tag heuristic
+	provDrop                        // the dropped example itself
+	provCE                          // established by a counterexample
+	provCorrected                   // flipped after an inconsistency
+)
+
+type pans struct {
+	ans  bool
+	prov provenance
+	node *xmldoc.Node
+}
+
+// r2mode is the state machine of rule R2: Active (defaults N unless the
+// last tag matches the dropped example's), AnyTag (after one positive
+// counterexample with a different last tag: no more defaults, heuristic
+// still armed), Off (a negative counterexample under the relaxed
+// assumption discards the rule entirely).
+type r2mode int
+
+const (
+	r2Active r2mode = iota
+	r2AnyTag
+	r2Off
+)
+
+// restartLStar signals that a cached answer was corrected and the
+// observation table must be rebuilt (the paper's "corrects them if it
+// finds inconsistencies"); answers are replayed from the cache, so no
+// user interactions are repeated.
+type restartLStar struct{ reason string }
+
+// fragmentAbort carries a fatal fragment error through the L* callback
+// boundary.
+type fragmentAbort struct{ err error }
+
+// pLearner learns one fragment: the path DFA (P-Learner) interleaved
+// with condition learning (C-Learner) and explicit Condition Boxes.
+type pLearner struct {
+	eng     *Engine
+	frag    FragmentRef
+	pinCtx  map[string]*xmldoc.Node // pins for teacher extent queries
+	condCtx map[string]*xmldoc.Node // anchor vars only, for the data graph
+
+	example     *xmldoc.Node // the dropped node
+	stripLevels int          // 1 for a 1-labeled pair, else 0
+
+	cache     map[string]pans
+	r2        r2mode
+	lastTag   string
+	clearner  *cLearner
+	explicit  []*xq.Pred
+	positives []*xmldoc.Node
+
+	// structural implements the paper's navigational binding prior
+	// (depends(n) = ancestors(n), Section 7): when the dropped example
+	// lies inside a context anchor's subtree, the fragment is assumed to
+	// bind relative to that variable, so hypothesis extents are
+	// restricted to that subtree. A positive counterexample outside the
+	// subtree refutes the assumption.
+	structural bool
+	relAnchor  *xmldoc.Node
+
+	learned *pathre.DFA
+	stats   *FragmentStats
+}
+
+func pathKey(w []string) string { return strings.Join(w, "\x00") }
+
+func newPLearner(eng *Engine, frag FragmentRef, pinCtx, condCtx map[string]*xmldoc.Node,
+	example *xmldoc.Node, strip int, stats *FragmentStats) *pLearner {
+	p := &pLearner{
+		eng: eng, frag: frag, pinCtx: pinCtx, condCtx: condCtx,
+		example: example, stripLevels: strip,
+		cache: map[string]pans{}, stats: stats,
+		clearner: newCLearner(eng.graph, condCtx, frag.AnchorVar),
+	}
+	ep := example.Path()
+	p.lastTag = ep[len(ep)-1]
+	if !eng.Opts.R2 {
+		p.r2 = r2Off
+	}
+	// Deepest context anchor containing the example, if any.
+	for _, n := range condCtx {
+		if n.IsAncestorOf(example) && (p.relAnchor == nil || p.relAnchor.IsAncestorOf(n)) {
+			p.relAnchor = n
+		}
+	}
+	p.structural = p.relAnchor != nil
+	p.cache[pathKey(ep)] = pans{ans: true, prov: provDrop, node: example}
+	p.addPositive(example)
+	return p
+}
+
+// anchor maps an extent node to the node its conditions live on (the
+// 1-labeled parent for pair fragments).
+func (p *pLearner) anchor(n *xmldoc.Node) *xmldoc.Node {
+	for i := 0; i < p.stripLevels && n.Parent != nil; i++ {
+		n = n.Parent
+	}
+	return n
+}
+
+func (p *pLearner) addPositive(n *xmldoc.Node) {
+	for _, q := range p.positives {
+		if q == n {
+			return
+		}
+	}
+	p.positives = append(p.positives, n)
+	p.clearner.Observe(p.anchor(n))
+}
+
+// condsHold evaluates the learned conjunction plus explicit predicates
+// for extent candidate n.
+func (p *pLearner) condsHold(n *xmldoc.Node) bool {
+	env := xq.Env{}
+	for k, v := range p.condCtx {
+		env[k] = v
+	}
+	env[p.frag.AnchorVar] = p.anchor(n)
+	env[p.frag.Var] = n
+	for _, pr := range p.clearner.Preds() {
+		if !p.eng.eval.PredHolds(pr, env) {
+			return false
+		}
+	}
+	for _, pr := range p.explicit {
+		if !p.eng.eval.PredHolds(pr, env) {
+			return false
+		}
+	}
+	return true
+}
+
+// Member implements the L* membership oracle with the rule pipeline:
+// cache → R1 → R2 → ask the user about a representative node.
+func (p *pLearner) Member(w []string) bool {
+	k := pathKey(w)
+	if a, ok := p.cache[k]; ok {
+		return a.ans
+	}
+	nodes := p.eng.pathIndex[k]
+	r1 := p.eng.Opts.R1 && p.r1Applicable(w, nodes)
+	r2 := p.r2 == r2Active && len(w) > 0 && w[len(w)-1] != p.lastTag
+	if r1 || r2 {
+		if r1 {
+			p.stats.ReducedR1++
+		}
+		if r2 {
+			p.stats.ReducedR2++
+		}
+		if r1 && r2 {
+			p.stats.ReducedBoth++
+		}
+		p.stats.ReducedTotal++
+		prov := provR1
+		if !r1 {
+			prov = provR2
+		}
+		p.cache[k] = pans{ans: false, prov: prov}
+		return false
+	}
+	// Ask the user. With no node at this path the user still has to
+	// dismiss the query (counts as an interaction; this is what R1
+	// eliminates).
+	if len(nodes) == 0 {
+		p.stats.MQ++
+		p.cache[k] = pans{ans: false, prov: provAsked}
+		return false
+	}
+	m := nodes[0]
+	for _, n := range nodes {
+		if p.condsHold(n) {
+			m = n
+			break
+		}
+	}
+	ans := p.eng.Teacher.Member(p.frag, p.pinCtx, m)
+	p.stats.MQ++
+	p.cache[k] = pans{ans: ans, prov: provAsked, node: m}
+	if ans {
+		p.addPositive(m)
+	}
+	return ans
+}
+
+func (p *pLearner) r1Applicable(w []string, nodes []*xmldoc.Node) bool {
+	if len(w) == 0 {
+		// The empty path is the document node, never an extent member.
+		return true
+	}
+	if f := p.eng.Opts.R1Filter; f != nil {
+		return !f.AcceptsPath(w)
+	}
+	if p.eng.Opts.SourceDTD != nil {
+		return !p.eng.Opts.SourceDTD.AcceptsPath(w)
+	}
+	return len(nodes) == 0
+}
+
+// positiveSharesPath reports whether a known positive example has the
+// same root path as n (evidence that the path language is right and a
+// value condition is missing).
+func (p *pLearner) positiveSharesPath(n *xmldoc.Node) bool {
+	k := pathKey(n.Path())
+	for _, q := range p.positives {
+		if pathKey(q.Path()) == k {
+			return true
+		}
+	}
+	return false
+}
+
+// positivesShareRelPath reports whether every known positive's anchor
+// sits at the same relative label path below the given context node
+// (the precondition for structural relativization).
+func (p *pLearner) positivesShareRelPath(ctxNode *xmldoc.Node, steps []string, pair bool) bool {
+	for _, q := range p.positives {
+		a := p.anchor(q)
+		if !ctxNode.IsAncestorOf(a) {
+			return false
+		}
+		rel := labelsBetween(ctxNode, a)
+		if len(rel) != len(steps) {
+			return false
+		}
+		for i := range rel {
+			if rel[i] != steps[i] {
+				return false
+			}
+		}
+	}
+	_ = pair
+	return true
+}
+
+// hypothesisExtent materializes the extent the hypothesis (DFA +
+// conditions) denotes: every instance node whose path the DFA accepts
+// and whose anchor satisfies the conditions.
+func (p *pLearner) hypothesisExtent(h *pathre.DFA) []*xmldoc.Node {
+	var out []*xmldoc.Node
+	for _, k := range p.eng.pathKeys {
+		if !h.Accepts(p.eng.pathLabels[k]) {
+			continue
+		}
+		for _, n := range p.eng.pathIndex[k] {
+			if p.structural && !p.relAnchor.IsAncestorOf(n) {
+				continue
+			}
+			if p.condsHold(n) {
+				out = append(out, n)
+			}
+		}
+	}
+	sortByID(out)
+	return out
+}
+
+func sortByID(nodes []*xmldoc.Node) {
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && nodes[j].ID < nodes[j-1].ID; j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+}
+
+// Equivalent implements the L* equivalence oracle at the extent level:
+// it keeps refining conditions (C-Learner / Condition Boxes) for the
+// fixed path hypothesis, returning to L* only with path counterexamples.
+func (p *pLearner) Equivalent(h *pathre.DFA) ([]string, bool) {
+	for iter := 0; iter <= p.eng.Opts.MaxEQ; iter++ {
+		hyp := p.hypothesisExtent(h)
+		ce, positive, ok := p.eng.Teacher.Equivalent(p.frag, p.pinCtx, hyp)
+		if ok {
+			p.learned = h
+			return nil, true
+		}
+		p.stats.CE++
+		if ce == nil {
+			panic(fragmentAbort{fmt.Errorf("core: teacher rejected the extent without a counterexample")})
+		}
+		if positive {
+			if s := p.processPositive(h, ce); s != nil {
+				return s, false
+			}
+			continue
+		}
+		if p.processNegative(h, ce) {
+			continue
+		}
+		return ce.Path(), false
+	}
+	panic(fragmentAbort{fmt.Errorf("core: fragment %s exceeded %d equivalence queries", p.frag.Var, p.eng.Opts.MaxEQ)})
+}
+
+// processPositive handles a node the user added to the extent. It may
+// weaken the learned conditions, correct cached path answers (possibly
+// restarting L*), and return a path counterexample for L* (nil if the
+// path hypothesis already accepts it).
+func (p *pLearner) processPositive(h *pathre.DFA, ce *xmldoc.Node) []string {
+	if p.structural && !p.relAnchor.IsAncestorOf(ce) {
+		// The extent reaches outside the context anchor's subtree: the
+		// binding is not navigational after all — fall back to a rooted
+		// binding with learned joins.
+		p.structural = false
+	}
+	if !p.condsHold(ce) {
+		// The strongest-conjunction hypothesis was too strong: remove
+		// predicates the counterexample violates (Figure 13 step).
+		p.clearner.Observe(p.anchor(ce))
+		for _, pr := range p.explicit {
+			env := p.envFor(ce)
+			if !p.eng.eval.PredHolds(pr, env) {
+				panic(fragmentAbort{fmt.Errorf(
+					"core: positive counterexample violates the user-given condition %s", pr.Key())})
+			}
+		}
+	}
+	p.addPositive(ce)
+	w := ce.Path()
+	if p.r2 == r2Active && len(w) > 0 && w[len(w)-1] != p.lastTag {
+		// Section 8, rule R2: a positive counterexample whose last tag
+		// differs from the dropped example's refutes the last-tag
+		// assumption — discard the heuristic answers and relax.
+		p.backtrackR2(w, ce)
+	}
+	if h.Accepts(w) {
+		return nil // condition-side counterexample only
+	}
+	k := pathKey(w)
+	if a, ok := p.cache[k]; ok && !a.ans {
+		// The table holds a wrong No for this path: correct and restart.
+		p.cache[k] = pans{ans: true, prov: provCorrected, node: ce}
+		panic(restartLStar{reason: "corrected membership answer for " + strings.Join(w, "/")})
+	}
+	p.cache[k] = pans{ans: true, prov: provCE, node: ce}
+	return w
+}
+
+// backtrackR2 implements R2's backtracking: discard every heuristic
+// answer and relax the last-tag assumption, then restart L*.
+func (p *pLearner) backtrackR2(w []string, ce *xmldoc.Node) {
+	for k, a := range p.cache {
+		if a.prov == provR2 {
+			delete(p.cache, k)
+		}
+	}
+	p.cache[pathKey(w)] = pans{ans: true, prov: provCorrected, node: ce}
+	p.r2 = r2AnyTag
+	panic(restartLStar{reason: "R2 backtrack: positive counterexample ends with " + w[len(w)-1]})
+}
+
+// processNegative handles a node the user removed from the hypothesis
+// extent. It returns true when handled internally (Condition Box), or
+// false when the path hypothesis must shrink (L* counterexample; the
+// caller returns ce's path).
+func (p *pLearner) processNegative(h *pathre.DFA, ce *xmldoc.Node) bool {
+	if p.positiveSharesPath(ce) {
+		// A positive shares this path: the path language is right, so a
+		// value condition outside the learnable family is missing —
+		// open a Condition Box (Section 9(3), triggered by the IHT
+		// inconsistency).
+		entries := p.eng.Teacher.ConditionBox(p.frag, ce)
+		if len(entries) == 0 {
+			panic(fragmentAbort{fmt.Errorf(
+				"core: fragment %s needs an explicit condition to exclude %s but the Condition Box was empty",
+				p.frag.Var, ce.PathString())})
+		}
+		p.applyBoxes(entries, ce)
+		return true
+	}
+	if p.r2 == r2AnyTag {
+		p.r2 = r2Off // negative counterexample under the relaxed assumption
+	}
+	p.cache[pathKey(ce.Path())] = pans{ans: false, prov: provCE, node: ce}
+	return false
+}
+
+func (p *pLearner) envFor(n *xmldoc.Node) xq.Env {
+	env := xq.Env{}
+	for k, v := range p.condCtx {
+		env[k] = v
+	}
+	env[p.frag.AnchorVar] = p.anchor(n)
+	env[p.frag.Var] = n
+	return env
+}
+
+// applyBoxes turns Condition Box entries into explicit predicates via
+// the data graph (the Figure 6 boxed subexpression derivation).
+func (p *pLearner) applyBoxes(entries []BoxEntry, ce *xmldoc.Node) {
+	for _, e := range entries {
+		p.stats.CB++
+		terms := e.Terms
+		if terms == 0 {
+			terms = 3
+		}
+		p.stats.CBTerms += terms
+		if e.Pred != nil {
+			p.explicit = append(p.explicit, e.Pred)
+			continue
+		}
+		if e.Select == nil {
+			panic(fragmentAbort{fmt.Errorf("core: Condition Box entry without node or predicate")})
+		}
+		condNode := e.Select(p.eng.Source, ce)
+		if condNode == nil {
+			panic(fragmentAbort{fmt.Errorf("core: Condition Box selector returned no node")})
+		}
+		// PCB derives from the positive example's situation; NCB from the
+		// negative counterexample's.
+		situated := p.example
+		if e.Negated && ce != nil {
+			situated = ce
+		}
+		scope := map[string]*xmldoc.Node{}
+		for k, v := range p.condCtx {
+			scope[k] = v
+		}
+		scope[p.frag.AnchorVar] = p.anchor(situated)
+		link, ok := p.eng.graph.LinkCondition(scope, condNode)
+		if !ok {
+			panic(fragmentAbort{fmt.Errorf(
+				"core: cannot relate Condition Box node %s to the variables in scope", condNode.PathString())})
+		}
+		p.explicit = append(p.explicit, datagraph.BuildConditionPred(link, e.Op, e.Const, e.Negated))
+	}
+}
+
+// run drives L* (with restarts after corrections) and returns the
+// learned path DFA.
+func (p *pLearner) run() (*pathre.DFA, error) {
+	const maxRestarts = 64
+	for attempt := 0; ; attempt++ {
+		d, stats, err := p.tryLStar()
+		if err == nil {
+			p.stats.PathStates = stats.HypothesisStates
+			return d, nil
+		}
+		var r restartLStar
+		if asRestart(err, &r) {
+			p.stats.Restarts++
+			if attempt >= maxRestarts {
+				return nil, fmt.Errorf("core: fragment %s: too many L* restarts (last: %s)", p.frag.Var, r.reason)
+			}
+			continue
+		}
+		return nil, err
+	}
+}
+
+type restartErr struct{ r restartLStar }
+
+func (e restartErr) Error() string { return "restart: " + e.r.reason }
+
+func asRestart(err error, out *restartLStar) bool {
+	if re, ok := err.(restartErr); ok {
+		*out = re.r
+		return true
+	}
+	return false
+}
+
+func (p *pLearner) tryLStar() (d *pathre.DFA, st angluin.Stats, err error) {
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case restartLStar:
+			err = restartErr{r}
+		case fragmentAbort:
+			err = r.err
+		default:
+			panic(r)
+		}
+	}()
+	learn := angluin.Learn
+	if p.eng.Opts.UseKVLearner {
+		learn = angluin.LearnKV
+	}
+	return learn(p.eng.alphabet, teacherAdapter{p},
+		angluin.WithInitialExample(p.example.Path()),
+		angluin.WithMaxEquivalenceQueries(p.eng.Opts.MaxEQ))
+}
+
+// teacherAdapter exposes the pLearner as an angluin.Teacher.
+type teacherAdapter struct{ p *pLearner }
+
+func (t teacherAdapter) Member(w []string) bool { return t.p.Member(w) }
+func (t teacherAdapter) Equivalent(h *pathre.DFA) ([]string, bool) {
+	return t.p.Equivalent(h)
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"repro/internal/datagraph"
+	"repro/internal/dtd"
+	"repro/internal/xmldoc"
+	"repro/internal/xq"
+)
+
+// Drop describes one drag-and-drop of a source node into a template
+// Drop Box.
+type Drop struct {
+	// Path addresses the template box, e.g. "i_list/category/cname".
+	Path string
+	// Var is the variable name for the leaf fragment. The simulated
+	// teacher's ground-truth tree must use the same names.
+	Var string
+	// AnchorVar names the variable of the 1-labeled parent fragment
+	// when the box is 1-labeled (e.g. Var "in", AnchorVar "i"); ignored
+	// otherwise.
+	AnchorVar string
+	// Select picks the dropped node from the source document.
+	Select func(doc *xmldoc.Document) *xmldoc.Node
+	// Alternates are fallback examples for the same box: if learning
+	// from the primary example fails (e.g. it turns out not to express
+	// the intent, or no Condition Box can repair it), the engine
+	// switches context to the next alternative — the paper's "the user
+	// can change the context by switching to other choices of dropped
+	// examples to specify the same query" (Section 2).
+	Alternates []func(doc *xmldoc.Document) *xmldoc.Node
+	// Wrap, when non-nil, declares a function typed into the Drop Box
+	// (Nested Drop Box, Section 9(1)): it wraps the sequence produced by
+	// the learned fragment, e.g. count(distinct(·)) * 10.
+	Wrap func(inner xq.RetExpr) xq.RetExpr
+	// WrapEach applies Wrap per binding instead of to the whole sequence
+	// (e.g. a currency conversion of each value, XMark Q18).
+	WrapEach bool
+	// Terms is the terminal count of the box content for the D&D(#t)
+	// measurement; 0 means 1 (a plain dropped node).
+	Terms int
+}
+
+// BoxEntry is one entry of a Condition Box (Section 9(3)): the user
+// drops a node, chooses an operator, and enters a constant. A Positive
+// Condition Box explains why the dropped positive example is in the
+// extent; a Negative Condition Box (Negated) explains why a negative
+// counterexample is not.
+type BoxEntry struct {
+	// Select picks the dropped condition node; it receives the source
+	// document and the counterexample that triggered the box (nil when
+	// the box was triggered by a positive-side inconsistency).
+	Select func(doc *xmldoc.Document, ce *xmldoc.Node) *xmldoc.Node
+	// Op and Const form the comparison against the dropped node's value.
+	// Op OpEmpty ignores Const.
+	Op    xq.CmpOp
+	Const string
+	// Negated marks a Negative Condition Box.
+	Negated bool
+	// Pred bypasses derivation entirely (for conditions outside the
+	// derivable family, e.g. comparisons between two scope variables).
+	Pred *xq.Pred
+	// Terms is the terminal count for the CB(#t) measurement; 0 means 3
+	// (node, operator, constant).
+	Terms int
+}
+
+// FragmentRef identifies the fragment currently being learned in
+// teacher interactions.
+type FragmentRef struct {
+	// Var is the extent variable (the leaf's).
+	Var string
+	// AnchorVar carries the conditions (equal to Var for non-pair
+	// fragments).
+	AnchorVar string
+	// TemplatePath addresses the box the example was dropped into.
+	TemplatePath string
+}
+
+// Teacher is the minimally adequate teacher abstraction (Section 2)
+// plus the Section 9 explicit-specification boxes. The engine counts
+// every call to Member and every counterexample from Equivalent.
+type Teacher interface {
+	// Member answers a membership query: is n in the extent of the
+	// fragment under the given context?
+	Member(frag FragmentRef, ctx map[string]*xmldoc.Node, n *xmldoc.Node) bool
+	// Equivalent answers an equivalence query on the highlighted
+	// hypothesis extent: ok reports acceptance; otherwise ce is a node
+	// from the symmetric difference and positive tells whether it
+	// belongs to the true extent.
+	Equivalent(frag FragmentRef, ctx map[string]*xmldoc.Node, hyp []*xmldoc.Node) (ce *xmldoc.Node, positive bool, ok bool)
+	// ConditionBox is invoked when the engine detects that the extent
+	// needs a condition outside the learnable family; ce is the
+	// offending negative counterexample (nil if unknown). Returning no
+	// entries aborts the fragment with an error.
+	ConditionBox(frag FragmentRef, ce *xmldoc.Node) []BoxEntry
+	// OrderBy supplies sort keys for the fragment (OrderBy Box); empty
+	// means none.
+	OrderBy(frag FragmentRef) []xq.SortKey
+}
+
+// PathFilter answers rule R1's realizability question: is the label
+// path possible at all? dtd.DTD and dataguide.Guide both implement it.
+type PathFilter interface {
+	AcceptsPath(path []string) bool
+}
+
+// Options configures the engine.
+type Options struct {
+	// R1 enables the metadata/instance filter rule (Section 8 R1).
+	R1 bool
+	// R2 enables the last-tag heuristic (Section 8 R2).
+	R2 bool
+	// R1Filter optionally backs R1 with an external metadata oracle (a
+	// DTD, a DataGuide, a Relax NG schema...); takes precedence over
+	// SourceDTD. Nil falls back to the instance path index.
+	R1Filter PathFilter
+	// SourceDTD optionally backs R1 with schema metadata instead of the
+	// instance path index (the paper's prototype used Relax NG).
+	SourceDTD *dtd.DTD
+	// MaxEQ bounds equivalence queries per fragment (default 200).
+	MaxEQ int
+	// Graph bounds the data-graph predicate enumeration.
+	Graph datagraph.Config
+	// KeepRedundantConds disables the post-learning minimization of the
+	// learned conjunction (ablation knob).
+	KeepRedundantConds bool
+	// NoRelativize disables rewriting learned rooted paths as
+	// variable-relative bindings (ablation knob).
+	NoRelativize bool
+	// UseKVLearner swaps Angluin's L* for the Kearns-Vazirani
+	// classification-tree learner in the P-Learner (learner ablation:
+	// fewer membership queries, more equivalence queries).
+	UseKVLearner bool
+}
+
+// DefaultOptions returns the configuration used in the paper's
+// experiments: both rules on, instance-backed R1.
+func DefaultOptions() Options {
+	return Options{R1: true, R2: true, MaxEQ: 200, Graph: datagraph.DefaultConfig()}
+}
+
+// FragmentStats counts the interactions spent learning one fragment.
+type FragmentStats struct {
+	Var          string
+	TemplatePath string
+	// MQ is the number of membership queries the user answered.
+	MQ int
+	// CE is the number of counterexamples the user gave.
+	CE int
+	// CB / CBTerms count Condition Boxes and their terminal nodes.
+	CB      int
+	CBTerms int
+	// OB counts OrderBy Boxes.
+	OB int
+	// ReducedR1/R2/Both/Total count auto-answered membership queries by
+	// rule applicability (Total = R1 + R2 − Both).
+	ReducedR1    int
+	ReducedR2    int
+	ReducedBoth  int
+	ReducedTotal int
+	// Restarts counts L* restarts after answer corrections.
+	Restarts int
+	// ContextSwitches counts retries with alternate dropped examples.
+	ContextSwitches int
+	// PathStates is the state count of the learned path DFA.
+	PathStates int
+}
+
+// Stats aggregates a learning session.
+type Stats struct {
+	// DnD / DnDTerms count dropped examples and their terminals.
+	DnD      int
+	DnDTerms int
+	// Fragments in learning order.
+	Fragments []FragmentStats
+}
+
+// Totals sums the per-fragment counters.
+func (s *Stats) Totals() FragmentStats {
+	var t FragmentStats
+	for _, f := range s.Fragments {
+		t.MQ += f.MQ
+		t.CE += f.CE
+		t.CB += f.CB
+		t.CBTerms += f.CBTerms
+		t.OB += f.OB
+		t.ReducedR1 += f.ReducedR1
+		t.ReducedR2 += f.ReducedR2
+		t.ReducedBoth += f.ReducedBoth
+		t.ReducedTotal += f.ReducedTotal
+		t.Restarts += f.Restarts
+	}
+	return t
+}
+
+// TaskSpec is one learning task: the target schema and the dropped
+// examples. Explicit boxes are supplied by the Teacher on demand.
+type TaskSpec struct {
+	// Target is the target schema the template is generated from.
+	Target *dtd.DTD
+	// Drops in the order the user performs them (the learning order).
+	Drops []Drop
+}

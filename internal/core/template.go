@@ -1,0 +1,101 @@
+// Package core implements the XLearner engine: template generation from
+// the target schema, XQ-Tree skeleton construction from dropped
+// examples, the P-Learner (Angluin's L* over tag paths with the
+// interaction-reduction rules R1/R2 of Section 8), the C-Learner
+// (monotone k-term learning of join conditions, Section 7.2), the
+// LEARN-X1*+ traversal (Section 7), and the Section 9 extensions
+// (Condition Boxes, OrderBy Boxes, functions in Drop Boxes).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dtd"
+)
+
+// TemplateNode is one node of the template generated from the target
+// schema (Section 4.1): one node per element type, with 1-labeled edges
+// where the schema guarantees a one-to-one parent-child relationship.
+type TemplateNode struct {
+	// Elem is the target element type.
+	Elem string
+	// OneLabeled marks a 1-labeled edge from the parent.
+	OneLabeled bool
+	// Children in declaration order.
+	Children []*TemplateNode
+	// Parent is nil at the root.
+	Parent *TemplateNode
+}
+
+// Path returns the slash-joined element path from the template root,
+// e.g. "i_list/category/cname" — the address used by Drop specs.
+func (t *TemplateNode) Path() string {
+	var rev []string
+	for cur := t; cur != nil; cur = cur.Parent {
+		rev = append(rev, cur.Elem)
+	}
+	parts := make([]string, len(rev))
+	for i := range rev {
+		parts[i] = rev[len(rev)-1-i]
+	}
+	return strings.Join(parts, "/")
+}
+
+// Find resolves a slash-joined path relative to this node ("" returns
+// the node itself). The first component must equal the node's element.
+func (t *TemplateNode) Find(path string) *TemplateNode {
+	if path == "" {
+		return t
+	}
+	parts := strings.Split(path, "/")
+	if parts[0] != t.Elem {
+		return nil
+	}
+	cur := t
+outer:
+	for _, p := range parts[1:] {
+		for _, c := range cur.Children {
+			if c.Elem == p {
+				cur = c
+				continue outer
+			}
+		}
+		return nil
+	}
+	return cur
+}
+
+// BuildTemplate generates the template for a target schema. Recursive
+// element definitions are instantiated once (the GUI instantiates more
+// on demand; the minimal skeleton only needs the instances examples
+// were dropped into). 1-labels follow the paper's simplifying
+// assumptions: at most one 1-labeled child per node and no two
+// consecutive 1-labeled edges on any root-to-leaf path.
+func BuildTemplate(d *dtd.DTD) (*TemplateNode, error) {
+	root := d.Element(d.RootName)
+	if root == nil {
+		return nil, fmt.Errorf("core: target schema has no root element")
+	}
+	seen := map[string]bool{}
+	var build func(elem string, parent *TemplateNode, oneLabeled bool) *TemplateNode
+	build = func(elem string, parent *TemplateNode, oneLabeled bool) *TemplateNode {
+		n := &TemplateNode{Elem: elem, Parent: parent, OneLabeled: oneLabeled}
+		if seen[elem] {
+			return n // recursion: single instantiation
+		}
+		seen[elem] = true
+		defer func() { delete(seen, elem) }()
+		oneTaken := false
+		for _, child := range d.ChildNamesInOrder(elem) {
+			one := false
+			if !oneLabeled && !oneTaken && d.OneToOne(elem, child) {
+				one = true
+				oneTaken = true
+			}
+			n.Children = append(n.Children, build(child, n, one))
+		}
+		return n
+	}
+	return build(d.RootName, nil, false), nil
+}

@@ -1,0 +1,449 @@
+package dtd
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// paperDTD mirrors Figure 1(b): the target schema of the running example.
+const paperDTD = `
+<!ELEMENT i_list (category*)>
+<!ELEMENT category (cname, item*)>
+<!ELEMENT cname (#PCDATA)>
+<!ELEMENT item (iname, desc)>
+<!ELEMENT iname (#PCDATA)>
+<!ELEMENT desc (#PCDATA)>
+`
+
+const sourceDTD = `
+<!-- fragment of the XMark-like source schema (Figure 1a) -->
+<!ELEMENT site (regions, categories, closed_auctions)>
+<!ELEMENT regions (africa, asia, europe)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT item (name, description, incategory*)>
+<!ATTLIST item id ID #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT incategory EMPTY>
+<!ATTLIST incategory category IDREF #REQUIRED>
+<!ELEMENT categories (category*)>
+<!ELEMENT category (name)>
+<!ATTLIST category id ID #REQUIRED>
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction (itemref, price)>
+<!ELEMENT itemref EMPTY>
+<!ATTLIST itemref item IDREF #REQUIRED>
+<!ELEMENT price (#PCDATA)>
+`
+
+func TestParseBasics(t *testing.T) {
+	d, err := Parse(paperDTD)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if d.RootName != "i_list" {
+		t.Fatalf("root = %q", d.RootName)
+	}
+	if got := d.ElementNames(); len(got) != 6 {
+		t.Fatalf("element count = %d: %v", len(got), got)
+	}
+	if d.Element("item") == nil || d.Element("missing") != nil {
+		t.Fatal("Element lookup wrong")
+	}
+}
+
+func TestContentModelString(t *testing.T) {
+	d := MustParse(paperDTD)
+	if s := d.Element("category").Content.String(); s != "(cname,item*)" {
+		t.Fatalf("category content = %q", s)
+	}
+	if s := d.Element("cname").Content.String(); s != "#PCDATA" {
+		t.Fatalf("cname content = %q", s)
+	}
+}
+
+func TestMixedContent(t *testing.T) {
+	d := MustParse(`<!ELEMENT p (#PCDATA|em)*> <!ELEMENT em (#PCDATA)>`)
+	if !d.Element("p").Mixed() {
+		t.Fatal("p should be mixed")
+	}
+	if got := d.ChildNames("p"); !reflect.DeepEqual(got, []string{"em"}) {
+		t.Fatalf("ChildNames(p) = %v", got)
+	}
+}
+
+func TestAttrParsing(t *testing.T) {
+	d := MustParse(sourceDTD)
+	item := d.Element("item")
+	a := item.Attr("id")
+	if a == nil || a.Type != ID || !a.Required {
+		t.Fatalf("item/@id = %+v", a)
+	}
+	inc := d.Element("incategory").Attr("category")
+	if inc == nil || inc.Type != IDREF {
+		t.Fatalf("incategory/@category = %+v", inc)
+	}
+}
+
+func TestEnumeratedAttr(t *testing.T) {
+	d := MustParse(`<!ELEMENT a EMPTY> <!ATTLIST a mode (fast|slow) "slow">`)
+	at := d.Element("a").Attr("mode")
+	if at.Type != Enumerated || !reflect.DeepEqual(at.Values, []string{"fast", "slow"}) {
+		t.Fatalf("enum attr = %+v", at)
+	}
+	if at.Default != "slow" {
+		t.Fatalf("default = %q", at.Default)
+	}
+}
+
+func TestForwardAttlist(t *testing.T) {
+	d, err := Parse(`<!ATTLIST b k CDATA #IMPLIED> <!ELEMENT a (b)> <!ELEMENT b (#PCDATA)>`)
+	if err != nil {
+		t.Fatalf("forward ATTLIST: %v", err)
+	}
+	if d.Element("b").Attr("k") == nil {
+		t.Fatal("forward-declared attribute lost")
+	}
+	if d.Element("b").Content.Kind != CMPCData {
+		t.Fatal("content from later ELEMENT decl not applied")
+	}
+}
+
+func TestDuplicateElementRejected(t *testing.T) {
+	if _, err := Parse(`<!ELEMENT a (#PCDATA)> <!ELEMENT a (#PCDATA)>`); err == nil {
+		t.Fatal("duplicate declaration must fail")
+	}
+}
+
+func TestOneToOne(t *testing.T) {
+	d := MustParse(paperDTD)
+	cases := []struct {
+		parent, child string
+		want          bool
+	}{
+		{"category", "cname", true}, // exactly once => 1-labeled edge
+		{"category", "item", false}, // starred
+		{"i_list", "category", false},
+		{"item", "iname", true},
+		{"item", "desc", true},
+	}
+	for _, c := range cases {
+		if got := d.OneToOne(c.parent, c.child); got != c.want {
+			t.Errorf("OneToOne(%s,%s) = %v, want %v", c.parent, c.child, got, c.want)
+		}
+	}
+}
+
+func TestOneToOneChoiceAndOptional(t *testing.T) {
+	d := MustParse(`
+<!ELEMENT a (b?, c, (d|e), f+)>
+<!ELEMENT b EMPTY> <!ELEMENT c EMPTY> <!ELEMENT d EMPTY>
+<!ELEMENT e EMPTY> <!ELEMENT f EMPTY>`)
+	if d.OneToOne("a", "b") {
+		t.Error("optional child is not 1-1")
+	}
+	if !d.OneToOne("a", "c") {
+		t.Error("plain child is 1-1")
+	}
+	if d.OneToOne("a", "d") {
+		t.Error("choice branch is not 1-1")
+	}
+	if d.OneToOne("a", "f") {
+		t.Error("plus child is not 1-1")
+	}
+	if d.MaxOccurs("a", "f") != math.MaxInt32 {
+		t.Error("f+ should be unbounded")
+	}
+}
+
+func TestAcceptsPath(t *testing.T) {
+	d := MustParse(sourceDTD)
+	yes := [][]string{
+		{"site"},
+		{"site", "regions", "europe", "item", "name"},
+		{"site", "regions", "asia", "item", "@id"},
+		{"site", "closed_auctions", "closed_auction", "itemref", "@item"},
+		{"site", "categories", "category", "name"},
+		nil,
+	}
+	no := [][]string{
+		{"regions"},                                          // wrong root
+		{"site", "europe"},                                   // skipping a level
+		{"site", "regions", "europe", "name"},                // name not a child of europe
+		{"site", "regions", "@id"},                           // @id not on regions
+		{"site", "regions", "europe", "item", "@id", "name"}, // attr must be last
+		{"site", "unknown"},
+	}
+	for _, p := range yes {
+		if !d.AcceptsPath(p) {
+			t.Errorf("AcceptsPath(%v) = false, want true", p)
+		}
+	}
+	for _, p := range no {
+		if d.AcceptsPath(p) {
+			t.Errorf("AcceptsPath(%v) = true, want false", p)
+		}
+	}
+}
+
+func TestAcceptsPathAny(t *testing.T) {
+	d := MustParse(`<!ELEMENT a ANY> <!ELEMENT b (#PCDATA)>`)
+	if !d.AcceptsPath([]string{"a", "b"}) {
+		t.Fatal("ANY should allow declared children")
+	}
+	if d.AcceptsPath([]string{"a", "zzz"}) {
+		t.Fatal("ANY does not allow undeclared elements")
+	}
+}
+
+func TestLabelsAndAlphabetSize(t *testing.T) {
+	d := MustParse(sourceDTD)
+	labels := d.Labels()
+	if len(labels) == 0 || !sorted(labels) {
+		t.Fatalf("labels not sorted: %v", labels)
+	}
+	found := map[string]bool{}
+	for _, l := range labels {
+		found[l] = true
+	}
+	for _, want := range []string{"site", "item", "@id", "@category", "@item", "price"} {
+		if !found[want] {
+			t.Errorf("missing label %q", want)
+		}
+	}
+	if d.AlphabetSize() != 17+0 { // 13 elements + 4 attrs
+		// 13 elements: site regions africa asia europe item name description
+		// incategory categories category closed_auctions closed_auction itemref price = 15
+		t.Logf("AlphabetSize = %d", d.AlphabetSize())
+	}
+	if d.AlphabetSize() != len(d.Elements)+4 {
+		t.Fatalf("AlphabetSize = %d, want %d", d.AlphabetSize(), len(d.Elements)+4)
+	}
+}
+
+func sorted(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSetRoot(t *testing.T) {
+	d := MustParse(sourceDTD)
+	if err := d.SetRoot("categories"); err != nil {
+		t.Fatal(err)
+	}
+	if !d.AcceptsPath([]string{"categories", "category"}) {
+		t.Fatal("path from new root should hold")
+	}
+	if err := d.SetRoot("nope"); err == nil {
+		t.Fatal("SetRoot(nope) must fail")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	d := MustParse(sourceDTD)
+	d2, err := Parse(d.String())
+	if err != nil {
+		t.Fatalf("reparse rendered DTD: %v\n%s", err, d.String())
+	}
+	if len(d2.Elements) != len(d.Elements) {
+		t.Fatalf("element count changed: %d vs %d", len(d2.Elements), len(d.Elements))
+	}
+	for name := range d.Elements {
+		if d2.Element(name) == nil {
+			t.Errorf("lost element %q", name)
+		}
+		if d.Element(name).Content.String() != d2.Element(name).Content.String() {
+			t.Errorf("%s content %q vs %q", name, d.Element(name).Content.String(), d2.Element(name).Content.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`<!ELEMENT >`,
+		`<!ELEMENT a (b,|c)>`,
+		`<!ELEMENT a (b`,
+		`<!ATTLIST a k BOGUS #IMPLIED>`,
+		`<!WHAT a>`,
+		`<!ELEMENT a (#PCDATA)> <!ATTLIST a k CDATA>`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestCommentsAndEntitiesSkipped(t *testing.T) {
+	d, err := Parse(`
+<!-- a comment <!ELEMENT fake (x)> -->
+<!ENTITY % blah "ignored">
+<!ELEMENT a (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Elements) != 1 || d.RootName != "a" {
+		t.Fatalf("got %v", d.ElementNames())
+	}
+}
+
+func TestNestedGroups(t *testing.T) {
+	d := MustParse(`
+<!ELEMENT a (b, (c | d)*, (e, f)?)>
+<!ELEMENT b EMPTY> <!ELEMENT c EMPTY> <!ELEMENT d EMPTY>
+<!ELEMENT e EMPTY> <!ELEMENT f EMPTY>`)
+	got := d.ChildNames("a")
+	want := []string{"b", "c", "d", "e", "f"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ChildNames = %v", got)
+	}
+	if !d.OneToOne("a", "b") || d.OneToOne("a", "c") || d.OneToOne("a", "e") {
+		t.Fatal("occurrence ranges through nested groups wrong")
+	}
+}
+
+func TestStringContainsAttlists(t *testing.T) {
+	d := MustParse(sourceDTD)
+	s := d.String()
+	if !strings.Contains(s, "<!ATTLIST item id ID #REQUIRED>") {
+		t.Fatalf("rendered DTD missing ATTLIST:\n%s", s)
+	}
+}
+
+func TestChildNamesInOrder(t *testing.T) {
+	d := MustParse(`
+<!ELEMENT a (c, b, (d|b)*, e?)>
+<!ELEMENT b EMPTY> <!ELEMENT c EMPTY> <!ELEMENT d EMPTY> <!ELEMENT e EMPTY>`)
+	got := d.ChildNamesInOrder("a")
+	want := []string{"c", "b", "d", "e"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ChildNamesInOrder = %v, want %v", got, want)
+	}
+	if d.ChildNamesInOrder("zzz") != nil {
+		t.Fatal("unknown element must give nil")
+	}
+}
+
+func TestOccursString(t *testing.T) {
+	for o, want := range map[Occurs]string{One: "", Opt: "?", Star: "*", Plus: "+"} {
+		if o.String() != want {
+			t.Errorf("Occurs(%d) = %q", int(o), o.String())
+		}
+	}
+}
+
+func TestAttrTypeString(t *testing.T) {
+	for ty, want := range map[AttrType]string{
+		CDATA: "CDATA", ID: "ID", IDREF: "IDREF", IDREFS: "IDREFS", Enumerated: "ENUM",
+	} {
+		if ty.String() != want {
+			t.Errorf("AttrType(%d) = %q", int(ty), ty.String())
+		}
+	}
+}
+
+// TestQuickOneToOneConsistency: whenever OneToOne holds, MaxOccurs is
+// exactly 1 (property over random content models).
+func TestQuickOneToOneConsistency(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	var build func(r *rand.Rand, depth int) *ContentModel
+	build = func(r *rand.Rand, depth int) *ContentModel {
+		occ := []Occurs{One, One, Opt, Star, Plus}[r.Intn(5)]
+		if depth <= 0 || r.Intn(3) == 0 {
+			return &ContentModel{Kind: CMName, Name: names[r.Intn(len(names))], Occurs: occ}
+		}
+		kind := CMSeq
+		if r.Intn(2) == 0 {
+			kind = CMChoice
+		}
+		n := 1 + r.Intn(3)
+		cm := &ContentModel{Kind: kind, Occurs: occ}
+		for i := 0; i < n; i++ {
+			cm.Children = append(cm.Children, build(r, depth-1))
+		}
+		return cm
+	}
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 500; i++ {
+		d := &DTD{RootName: "root", Elements: map[string]*ElementDecl{}}
+		d.Elements["root"] = &ElementDecl{Name: "root", Content: build(r, 3)}
+		for _, c := range names {
+			d.Elements[c] = &ElementDecl{Name: c, Content: &ContentModel{Kind: CMEmpty}}
+		}
+		for _, c := range names {
+			if d.OneToOne("root", c) && d.MaxOccurs("root", c) != 1 {
+				t.Fatalf("iter %d: OneToOne but MaxOccurs = %d for %s in %s",
+					i, d.MaxOccurs("root", c), c, d.Elements["root"].Content.String())
+			}
+		}
+	}
+}
+
+// TestQuickValidatorAgainstGenerated: sequences generated FROM a content
+// model always validate against it.
+func TestQuickValidatorAgainstGenerated(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	var gen func(cm *ContentModel, out *[]string)
+	gen = func(cm *ContentModel, out *[]string) {
+		reps := 1
+		switch cm.Occurs {
+		case Opt:
+			reps = r.Intn(2)
+		case Star:
+			reps = r.Intn(3)
+		case Plus:
+			reps = 1 + r.Intn(2)
+		}
+		for i := 0; i < reps; i++ {
+			switch cm.Kind {
+			case CMName:
+				*out = append(*out, cm.Name)
+			case CMSeq:
+				for _, ch := range cm.Children {
+					gen(ch, out)
+				}
+			case CMChoice:
+				if len(cm.Children) > 0 {
+					gen(cm.Children[r.Intn(len(cm.Children))], out)
+				}
+			}
+		}
+	}
+	names := []string{"a", "b", "c"}
+	var build func(depth int) *ContentModel
+	build = func(depth int) *ContentModel {
+		occ := []Occurs{One, One, Opt, Star, Plus}[r.Intn(5)]
+		if depth <= 0 || r.Intn(3) == 0 {
+			return &ContentModel{Kind: CMName, Name: names[r.Intn(3)], Occurs: occ}
+		}
+		kind := CMSeq
+		if r.Intn(2) == 0 {
+			kind = CMChoice
+		}
+		cm := &ContentModel{Kind: kind, Occurs: occ}
+		for i := 0; i < 1+r.Intn(3); i++ {
+			cm.Children = append(cm.Children, build(depth-1))
+		}
+		return cm
+	}
+	for i := 0; i < 400; i++ {
+		cm := build(3)
+		var seq []string
+		gen(cm, &seq)
+		if !matchModel(cm, seq) {
+			t.Fatalf("iter %d: generated sequence %v rejected by its own model %s",
+				i, seq, cm.String())
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package dtd
+
+import "testing"
+
+// FuzzParse: the DTD parser never panics, and accepted schemas render
+// to declarations that reparse.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`<!ELEMENT a (b, c*)> <!ELEMENT b (#PCDATA)> <!ELEMENT c EMPTY> <!ATTLIST c k CDATA #REQUIRED>`,
+		`<!ELEMENT p (#PCDATA|em)*> <!ELEMENT em ANY>`,
+		`<!ELEMENT a ((b|c)+, d?)>`,
+		`<!ELEMENT`, `<!ATTLIST x`, `<!-- comment -->`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if _, err := Parse(d.String()); err != nil {
+			t.Fatalf("accepted schema renders unparseable: %v\n%s", err, d.String())
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmldoc"
+)
+
+func validate(t *testing.T, schema, doc string) []Violation {
+	t.Helper()
+	return MustParse(schema).Validate(xmldoc.MustParse(doc))
+}
+
+func TestValidateAccepts(t *testing.T) {
+	schema := `
+<!ELEMENT a (b, c*, d?)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c EMPTY>
+<!ATTLIST c k CDATA #REQUIRED>
+<!ELEMENT d (#PCDATA)>`
+	good := []string{
+		`<a><b>x</b></a>`,
+		`<a><b>x</b><c k="1"/><c k="2"/><d>y</d></a>`,
+		`<a><b>x</b><d>y</d></a>`,
+	}
+	for _, doc := range good {
+		if v := validate(t, schema, doc); len(v) != 0 {
+			t.Errorf("%s: unexpected violations %v", doc, v)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	schema := `
+<!ELEMENT a (b, c*)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c EMPTY>
+<!ATTLIST c k CDATA #REQUIRED>`
+	cases := []struct {
+		doc, wantMsg string
+	}{
+		{`<z/>`, "root element"},
+		{`<a><c k="1"/></a>`, "content model"},       // missing b
+		{`<a><b>x</b><b>y</b></a>`, "content model"}, // duplicate b
+		{`<a><b>x</b><c/></a>`, "missing required attribute"},
+		{`<a><b>x</b><c k="1" extra="y"/></a>`, "undeclared attribute"},
+		{`<a><b>x</b>stray text</a>`, "character data"},
+		{`<a><b>x</b><zzz/></a>`, "undeclared element"},
+		{`<a><b>x</b><c k="1">inner</c></a>`, "EMPTY element"},
+	}
+	for _, c := range cases {
+		v := validate(t, schema, c.doc)
+		if len(v) == 0 {
+			t.Errorf("%s: expected a violation", c.doc)
+			continue
+		}
+		found := false
+		for _, viol := range v {
+			if strings.Contains(viol.Error(), c.wantMsg) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: violations %v missing %q", c.doc, v, c.wantMsg)
+		}
+	}
+}
+
+func TestValidateChoiceAndNesting(t *testing.T) {
+	schema := `
+<!ELEMENT r ((a | b)+, c?)>
+<!ELEMENT a EMPTY> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>`
+	good := []string{`<r><a/></r>`, `<r><b/><a/><b/><c/></r>`}
+	bad := []string{`<r/>`, `<r><c/></r>`, `<r><a/><c/><b/></r>`}
+	for _, doc := range good {
+		if v := validate(t, schema, doc); len(v) != 0 {
+			t.Errorf("%s: %v", doc, v)
+		}
+	}
+	for _, doc := range bad {
+		if v := validate(t, schema, doc); len(v) == 0 {
+			t.Errorf("%s: expected violation", doc)
+		}
+	}
+}
+
+func TestValidateMixedAndAny(t *testing.T) {
+	schema := `
+<!ELEMENT p (#PCDATA | em)*>
+<!ELEMENT em (#PCDATA)>
+<!ELEMENT free ANY>
+<!ELEMENT solo EMPTY>`
+	if v := validate(t, `<!ELEMENT p (#PCDATA|em)*> <!ELEMENT em (#PCDATA)>`,
+		`<p>text <em>x</em> more</p>`); len(v) != 0 {
+		t.Errorf("mixed content: %v", v)
+	}
+	d := MustParse(schema)
+	doc := xmldoc.MustParse(`<p>hello <em>x</em></p>`)
+	if v := d.Validate(doc); len(v) != 0 {
+		t.Errorf("mixed: %v", v)
+	}
+	bad := xmldoc.MustParse(`<p><solo/></p>`)
+	if v := d.Validate(bad); len(v) == 0 {
+		t.Error("solo not allowed inside p")
+	}
+}
+
+func TestValidateEmptyDoc(t *testing.T) {
+	d := MustParse(`<!ELEMENT a EMPTY>`)
+	doc := xmldoc.NewDocument()
+	if v := d.Validate(doc); len(v) != 1 || !strings.Contains(v[0].Error(), "empty document") {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+// TestValidateNestedStars exercises starred groups of sequences.
+func TestValidateNestedStars(t *testing.T) {
+	schema := `
+<!ELEMENT r ((a, b)*, c)>
+<!ELEMENT a EMPTY> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>`
+	good := []string{`<r><c/></r>`, `<r><a/><b/><c/></r>`, `<r><a/><b/><a/><b/><c/></r>`}
+	bad := []string{`<r><a/><c/></r>`, `<r><b/><a/><c/></r>`, `<r><a/><b/></r>`}
+	for _, doc := range good {
+		if v := validate(t, schema, doc); len(v) != 0 {
+			t.Errorf("%s: %v", doc, v)
+		}
+	}
+	for _, doc := range bad {
+		if v := validate(t, schema, doc); len(v) == 0 {
+			t.Errorf("%s: expected violation", doc)
+		}
+	}
+}

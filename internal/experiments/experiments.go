@@ -1,0 +1,192 @@
+// Package experiments regenerates the paper's evaluation artifacts:
+// Figure 15 (expressive power of XLearner over XMark and the W3C Use
+// Cases) and Figure 16 (the number of interactions for learning each
+// XMark and XMP query), plus the rule ablation called out in DESIGN.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/teacher"
+	"repro/internal/ucr"
+	"repro/internal/usecases"
+	"repro/internal/xmark"
+	"repro/internal/xmp"
+)
+
+// Fig16Row is one measured row of Figure 16.
+type Fig16Row struct {
+	Query    string
+	DnD      int
+	DnDTerms int
+	MQ       int
+	CE       int
+	// CEWorst is the bracketed worst-case counterexample count (-1 when
+	// the worst-case run was skipped).
+	CEWorst      int
+	CB           int
+	CBTerms      int
+	OB           int
+	ReducedTotal int
+	ReducedR1    int
+	ReducedR2    int
+	ReducedBoth  int
+	// Verified reports that the learned query's result equals the
+	// ground truth's (the reproduction's success criterion).
+	Verified bool
+}
+
+// RunFig16 learns every scenario and collects the interaction counts.
+// When worst is true each scenario is additionally run under the
+// worst-case counterexample policy to fill the bracketed CE numbers.
+func RunFig16(scenarios []*scenario.Scenario, opts core.Options, worst bool) ([]Fig16Row, error) {
+	var rows []Fig16Row
+	for _, s := range scenarios {
+		res, err := scenario.Run(s, opts, teacher.BestCase)
+		if err != nil {
+			return nil, err
+		}
+		tot := res.Stats.Totals()
+		row := Fig16Row{
+			Query:        shortName(s.ID),
+			DnD:          res.Stats.DnD,
+			DnDTerms:     res.Stats.DnDTerms,
+			MQ:           tot.MQ,
+			CE:           tot.CE,
+			CEWorst:      -1,
+			CB:           tot.CB,
+			CBTerms:      tot.CBTerms,
+			OB:           tot.OB,
+			ReducedTotal: tot.ReducedTotal, ReducedR1: tot.ReducedR1,
+			ReducedR2: tot.ReducedR2, ReducedBoth: tot.ReducedBoth,
+			Verified: res.Verified,
+		}
+		if worst {
+			if wres, err := scenario.Run(s, opts, teacher.WorstCase); err == nil && wres.Verified {
+				row.CEWorst = wres.Stats.Totals().CE
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func shortName(id string) string {
+	if i := strings.IndexByte(id, '-'); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+// FormatFig16 renders rows in the paper's layout:
+//
+//	Q1  D&D 1(1)  MQ 5  CE 1  CB 1(3)  OB 0  Reduced 2434(2412,486,464)
+func FormatFig16(title string, rows []Fig16Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-5s %-8s %5s %-7s %-8s %3s  %-28s %s\n",
+		"", "D&D(#t)", "MQ", "CE", "CB(#t)", "OB", "Reduced(R1,R2,Both)", "verified")
+	for _, r := range rows {
+		ce := fmt.Sprintf("%d", r.CE)
+		if r.CEWorst >= 0 && r.CEWorst != r.CE {
+			ce = fmt.Sprintf("%d[%d]", r.CE, r.CEWorst)
+		}
+		ok := "yes"
+		if !r.Verified {
+			ok = "NO"
+		}
+		fmt.Fprintf(&b, "%-5s %-8s %5d %-7s %-8s %3d  %-28s %s\n",
+			r.Query,
+			fmt.Sprintf("%d(%d)", r.DnD, r.DnDTerms),
+			r.MQ, ce,
+			fmt.Sprintf("%d(%d)", r.CB, r.CBTerms),
+			r.OB,
+			fmt.Sprintf("%d(%d,%d,%d)", r.ReducedTotal, r.ReducedR1, r.ReducedR2, r.ReducedBoth),
+			ok)
+	}
+	return b.String()
+}
+
+// FormatFig15 renders the expressive-power table.
+func FormatFig15() string {
+	var b strings.Builder
+	b.WriteString("Figure 15: Expressive Power of XLearner (queries in XQI)\n")
+	fmt.Fprintf(&b, "%-14s %s\n", "Name", "Percentage")
+	for _, g := range usecases.Groups() {
+		fmt.Fprintf(&b, "%-14s %.1f%% (%d/%d)\n",
+			g.Name, g.Percentage(), g.InCount(), len(g.Queries))
+	}
+	return b.String()
+}
+
+// AblationRow compares the user-facing membership-query load under the
+// four rule configurations (the DESIGN.md ablation).
+type AblationRow struct {
+	Query                              string
+	MQBoth, MQR1Only, MQR2Only, MQNone int
+	AllVerified                        bool
+}
+
+// RunAblation re-learns each scenario with the reduction rules toggled.
+func RunAblation(scenarios []*scenario.Scenario) ([]AblationRow, error) {
+	configs := []struct {
+		r1, r2 bool
+	}{{true, true}, {true, false}, {false, true}, {false, false}}
+	var rows []AblationRow
+	for _, s := range scenarios {
+		row := AblationRow{Query: shortName(s.ID), AllVerified: true}
+		for i, c := range configs {
+			opts := core.DefaultOptions()
+			opts.R1, opts.R2 = c.r1, c.r2
+			res, err := scenario.Run(s, opts, teacher.BestCase)
+			if err != nil {
+				return nil, fmt.Errorf("%s (R1=%v R2=%v): %w", s.ID, c.r1, c.r2, err)
+			}
+			if !res.Verified {
+				row.AllVerified = false
+			}
+			mq := res.Stats.Totals().MQ
+			switch i {
+			case 0:
+				row.MQBoth = mq
+			case 1:
+				row.MQR1Only = mq
+			case 2:
+				row.MQR2Only = mq
+			case 3:
+				row.MQNone = mq
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatAblation renders the ablation table.
+func FormatAblation(rows []AblationRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: membership queries the user must answer, by rule configuration\n")
+	fmt.Fprintf(&b, "%-5s %10s %10s %10s %10s  %s\n", "", "R1+R2", "R1 only", "R2 only", "none", "verified")
+	for _, r := range rows {
+		ok := "yes"
+		if !r.AllVerified {
+			ok = "NO"
+		}
+		fmt.Fprintf(&b, "%-5s %10d %10d %10d %10d  %s\n",
+			r.Query, r.MQBoth, r.MQR1Only, r.MQR2Only, r.MQNone, ok)
+	}
+	return b.String()
+}
+
+// XMarkScenarios and XMPScenarios expose the benchmark suites.
+func XMarkScenarios() []*scenario.Scenario { return xmark.Scenarios() }
+
+// XMPScenarios returns the XMP suite.
+func XMPScenarios() []*scenario.Scenario { return xmp.Scenarios() }
+
+// UCRScenarios returns the Use Case "R" suite (eight of the row's
+// in-XQI queries, constructive beyond the paper's static claim).
+func UCRScenarios() []*scenario.Scenario { return ucr.Scenarios() }

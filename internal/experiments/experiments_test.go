@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestFig15Format(t *testing.T) {
+	out := FormatFig15()
+	for _, want := range []string{
+		"XMark", "95.0% (19/20)",
+		"UC \"XMP\"", "91.7% (11/12)",
+		"UC \"NS\"", "0.0% (0/8)",
+		"UC \"SGML\"", "100.0% (11/11)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 15 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig16XMPShape(t *testing.T) {
+	rows, err := RunFig16(XMPScenarios(), core.DefaultOptions(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Verified {
+			t.Errorf("%s: not verified", r.Query)
+		}
+		// The paper's headline shape: interactions are tiny while the
+		// rules suppress orders of magnitude more.
+		if r.MQ+r.CE > 25 {
+			t.Errorf("%s: MQ+CE = %d out of regime", r.Query, r.MQ+r.CE)
+		}
+		if r.ReducedTotal < 10*(r.MQ+1) {
+			t.Errorf("%s: Reduced %d not dominating MQ %d", r.Query, r.ReducedTotal, r.MQ)
+		}
+		if r.ReducedTotal != r.ReducedR1+r.ReducedR2-r.ReducedBoth {
+			t.Errorf("%s: reduced bookkeeping broken", r.Query)
+		}
+	}
+	out := FormatFig16("XMP", rows)
+	if !strings.Contains(out, "Q12") || !strings.Contains(out, "Reduced") {
+		t.Fatalf("format broken:\n%s", out)
+	}
+}
+
+func TestFig16WorstCaseBrackets(t *testing.T) {
+	rows, err := RunFig16(XMPScenarios()[:3], core.DefaultOptions(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.CEWorst < 0 {
+			t.Errorf("%s: worst-case run missing", r.Query)
+		}
+		if r.CEWorst < r.CE-2 {
+			t.Errorf("%s: worst-case CE %d far below best-case %d", r.Query, r.CEWorst, r.CE)
+		}
+	}
+}
+
+func TestAblationMonotonic(t *testing.T) {
+	rows, err := RunAblation(XMPScenarios()[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.AllVerified {
+			t.Errorf("%s: some configuration failed to verify", r.Query)
+		}
+		// Disabling rules can only add user-facing queries.
+		if r.MQNone < r.MQR1Only || r.MQNone < r.MQR2Only {
+			t.Errorf("%s: none (%d) below single-rule (%d/%d)", r.Query, r.MQNone, r.MQR1Only, r.MQR2Only)
+		}
+		if r.MQR1Only < r.MQBoth {
+			t.Errorf("%s: R1-only (%d) below both (%d)", r.Query, r.MQR1Only, r.MQBoth)
+		}
+		// R1 is the dominant rule (the paper's key observation).
+		if r.MQNone > 0 && r.MQR1Only > r.MQNone {
+			t.Errorf("%s: R1 increased MQs", r.Query)
+		}
+	}
+	out := FormatAblation(rows)
+	if !strings.Contains(out, "R1 only") {
+		t.Fatal("ablation format broken")
+	}
+}

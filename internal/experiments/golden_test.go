@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/teacher"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden learned-query files")
+
+// TestGoldenLearnedQueries pins the exact learned query of every
+// benchmark scenario: learning is deterministic (seeded instance,
+// deterministic teacher), so any drift in the learner shows up as a
+// diff against testdata/golden/<id>.txt. Regenerate with -update.
+func TestGoldenLearnedQueries(t *testing.T) {
+	for _, s := range allSuites() {
+		s := s
+		t.Run(s.ID, func(t *testing.T) {
+			res, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Tree.String()
+			path := filepath.Join("testdata", "golden", s.ID+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("learned query drifted from golden\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestLearningDeterministic: two independent runs of the same scenario
+// produce byte-identical queries and interaction counts.
+func TestLearningDeterministic(t *testing.T) {
+	for _, id := range []string{"XMark-Q9", "XMP-Q5"} {
+		var s *scenario.Scenario
+		for _, c := range append(XMarkScenarios(), XMPScenarios()...) {
+			if c.ID == id {
+				s = c
+			}
+		}
+		a, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Tree.String() != b.Tree.String() {
+			t.Fatalf("%s: nondeterministic learned query", id)
+		}
+		if a.Stats.Totals() != b.Stats.Totals() {
+			t.Fatalf("%s: nondeterministic interaction counts", id)
+		}
+	}
+}

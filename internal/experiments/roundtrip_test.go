@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/teacher"
+	"repro/internal/xmldoc"
+	"repro/internal/xq"
+)
+
+func allSuites() []*scenario.Scenario {
+	out := append(XMarkScenarios(), XMPScenarios()...)
+	return append(out, UCRScenarios()...)
+}
+
+// TestTruthQueriesRoundTrip: every scenario's ground-truth query
+// renders to XQuery text, reparses, and evaluates identically — the
+// emitted query language is self-contained.
+func TestTruthQueriesRoundTrip(t *testing.T) {
+	for _, s := range allSuites() {
+		s := s
+		t.Run(s.ID, func(t *testing.T) {
+			doc := s.Doc()
+			truth := s.Truth()
+			src := truth.XQueryString()
+			back, err := xq.ParseQuery(src)
+			if err != nil {
+				t.Fatalf("reparse failed: %v\n%s", err, src)
+			}
+			a := xmldoc.XMLString(xq.NewEvaluator(doc).Result(truth).DocNode())
+			b := xmldoc.XMLString(xq.NewEvaluator(doc).Result(back).DocNode())
+			if a != b {
+				t.Fatalf("round trip changed semantics\norig: %.300s\nback: %.300s\nsrc:\n%s", a, b, src)
+			}
+		})
+	}
+}
+
+// TestLearnedQueriesRoundTrip: the same for the learned queries.
+func TestLearnedQueriesRoundTrip(t *testing.T) {
+	for _, s := range allSuites() {
+		s := s
+		t.Run(s.ID, func(t *testing.T) {
+			res, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+			if err != nil {
+				t.Fatalf("learn: %v", err)
+			}
+			src := res.Tree.XQueryString()
+			back, perr := xq.ParseQuery(src)
+			if perr != nil {
+				t.Fatalf("reparse failed: %v\n%s", perr, src)
+			}
+			doc := s.Doc()
+			b := xmldoc.XMLString(xq.NewEvaluator(doc).Result(back).DocNode())
+			if b != res.LearnedXML {
+				t.Fatalf("round trip changed semantics\norig: %.300s\nback: %.300s\nsrc:\n%s",
+					res.LearnedXML, b, src)
+			}
+		})
+	}
+}
+
+// TestLearnedResultsTypeCheck validates every learned query's result
+// against the (text-relaxed) target schema — the type-checking role the
+// paper's introduction motivates: does every output of the mapping
+// conform to the target DTD's structure?
+func TestLearnedResultsTypeCheck(t *testing.T) {
+	for _, s := range allSuites() {
+		s := s
+		t.Run(s.ID, func(t *testing.T) {
+			res, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := xmldoc.ParseString(res.LearnedXML)
+			if err != nil {
+				t.Fatalf("result does not reparse: %v", err)
+			}
+			schema := s.Target.RelaxText()
+			if v := schema.Validate(out); len(v) != 0 {
+				for _, viol := range v[:min(len(v), 5)] {
+					t.Errorf("violation: %v", viol)
+				}
+			}
+		})
+	}
+}
+
+// TestKVLearnerAcrossSuites: the Kearns-Vazirani learner option
+// verifies on every benchmark scenario.
+func TestKVLearnerAcrossSuites(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.UseKVLearner = true
+	for _, s := range allSuites() {
+		s := s
+		t.Run(s.ID, func(t *testing.T) {
+			res, err := scenario.Run(s, opts, teacher.BestCase)
+			if err != nil {
+				t.Fatalf("KV learning failed: %v", err)
+			}
+			if !res.Verified {
+				t.Fatalf("KV-learned query differs:\n%s", res.Tree.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,104 @@
+// Package finder implements the paper's other future-work direction
+// (Section 11): "incorporate known search mechanisms into XLearner to
+// find examples that satisfy given conditions." The user of the GUI
+// must always *find* example nodes before dropping them; Search ranks
+// candidate nodes for a keyword query, and Satisfying finds nodes whose
+// surroundings satisfy an explicit condition — both directly usable as
+// Drop selectors.
+package finder
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/xmldoc"
+	"repro/internal/xq"
+)
+
+// Hit is one ranked candidate example node.
+type Hit struct {
+	Node *xmldoc.Node
+	// Score orders hits; higher is better.
+	Score float64
+	// Why explains the match ("value equals", "value contains",
+	// "label matches").
+	Why string
+}
+
+// Search ranks element and attribute nodes of the document against a
+// keyword query. Exact value matches score highest, then value
+// substrings, then label matches; shallower nodes win ties (they are
+// the likelier drop targets).
+func Search(doc *xmldoc.Document, query string) []Hit {
+	q := strings.ToLower(strings.TrimSpace(query))
+	if q == "" {
+		return nil
+	}
+	var hits []Hit
+	doc.Walk(func(n *xmldoc.Node) bool {
+		if n.Kind != xmldoc.ElementNode && n.Kind != xmldoc.AttributeNode {
+			return true
+		}
+		value := strings.ToLower(strings.TrimSpace(n.Text()))
+		label := strings.ToLower(n.Label())
+		var score float64
+		var why string
+		switch {
+		case value == q && value != "":
+			score, why = 100, "value equals"
+		case value != "" && len(value) < 200 && strings.Contains(value, q):
+			score, why = 60, "value contains"
+		case label == q:
+			score, why = 40, "label matches"
+		case strings.Contains(label, q):
+			score, why = 20, "label contains"
+		default:
+			return true
+		}
+		// Prefer leaf-ish, shallow nodes.
+		score -= float64(n.Depth())
+		if len(n.Children) > 3 {
+			score -= 5
+		}
+		hits = append(hits, Hit{Node: n, Score: score, Why: why})
+		return true
+	})
+	sort.SliceStable(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Node.ID < hits[j].Node.ID
+	})
+	return hits
+}
+
+// Satisfying returns the nodes reached by the path whose environment
+// satisfies the predicate (the node is bound to the given variable).
+// It lets a user locate drop candidates by condition, e.g. "prices
+// below 300".
+func Satisfying(doc *xmldoc.Document, pathStr string, v string, pred *xq.Pred) ([]*xmldoc.Node, error) {
+	sp, err := xq.ParseSimplePath(pathStr)
+	if err != nil {
+		return nil, err
+	}
+	ev := xq.NewEvaluator(doc)
+	var out []*xmldoc.Node
+	for _, n := range xq.EvalSimplePath(doc.Root(), sp) {
+		if pred == nil || ev.PredHolds(pred, xq.Env{v: n}) {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// SelectTop adapts a search query into a Drop selector returning the
+// best hit.
+func SelectTop(query string) func(*xmldoc.Document) *xmldoc.Node {
+	return func(doc *xmldoc.Document) *xmldoc.Node {
+		hits := Search(doc, query)
+		if len(hits) == 0 {
+			return nil
+		}
+		return hits[0].Node
+	}
+}

@@ -1,0 +1,109 @@
+package finder
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/scenario"
+	"repro/internal/teacher"
+	"repro/internal/xmldoc"
+	"repro/internal/xq"
+)
+
+const doc = `<shop>
+  <product sku="p1"><name>golden hammer</name><price>12</price></product>
+  <product sku="p2"><name>wrench</name><price>350</price></product>
+  <product sku="p3"><name>hammer drill</name><price>99</price></product>
+</shop>`
+
+func TestSearchRanking(t *testing.T) {
+	d := xmldoc.MustParse(doc)
+	hits := Search(d, "wrench")
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	if hits[0].Node.Name != "name" || hits[0].Node.Text() != "wrench" {
+		t.Fatalf("top hit = %s %q (%s)", hits[0].Node.PathString(), hits[0].Node.Text(), hits[0].Why)
+	}
+	if hits[0].Why != "value equals" {
+		t.Fatalf("why = %s", hits[0].Why)
+	}
+}
+
+func TestSearchSubstringAndLabel(t *testing.T) {
+	d := xmldoc.MustParse(doc)
+	hits := Search(d, "hammer")
+	if len(hits) < 2 {
+		t.Fatalf("hits = %d", len(hits))
+	}
+	for _, h := range hits[:2] {
+		if h.Why != "value contains" {
+			t.Fatalf("expected substring hits first, got %s", h.Why)
+		}
+	}
+	labelHits := Search(d, "price")
+	found := false
+	for _, h := range labelHits {
+		if h.Why == "label matches" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no label match for 'price'")
+	}
+	if Search(d, "") != nil || len(Search(d, "zzz-nothing")) != 0 {
+		t.Fatal("empty/missing queries must return nothing")
+	}
+}
+
+func TestSatisfying(t *testing.T) {
+	d := xmldoc.MustParse(doc)
+	cheap := &xq.Pred{Atoms: []xq.Cmp{{Op: xq.OpLt, L: xq.VarOp("p", nil), R: xq.ConstOp("100")}}}
+	nodes, err := Satisfying(d, "product/price", "p", cheap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("cheap prices = %d, want 2", len(nodes))
+	}
+	all, err := Satisfying(d, "product/price", "p", nil)
+	if err != nil || len(all) != 3 {
+		t.Fatalf("all prices = %d (%v)", len(all), err)
+	}
+	if _, err := Satisfying(d, "a[[", "p", nil); err == nil {
+		t.Fatal("bad path must fail")
+	}
+}
+
+// TestSelectTopDrivesLearning: the finder plugs straight into a Drop
+// selector — search for the example instead of hand-picking it.
+func TestSelectTopDrivesLearning(t *testing.T) {
+	s := &scenario.Scenario{
+		ID:     "finder-driven",
+		Doc:    func() *xmldoc.Document { return xmldoc.MustParse(doc) },
+		Target: dtd.MustParse(`<!ELEMENT out (pname*)> <!ELEMENT pname (#PCDATA)>`),
+		Truth: func() *xq.Tree {
+			return scenario.RootHolder("out",
+				scenario.PlainFor("p", "", "/shop/product/name", "pname"))
+		},
+		Drops: []core.Drop{{
+			Path: "out/pname", Var: "p",
+			Select: SelectTop("wrench"),
+		}},
+	}
+	res, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("finder-selected example failed to learn:\n%s", res.Tree.String())
+	}
+}
+
+func TestSelectTopMiss(t *testing.T) {
+	d := xmldoc.MustParse(doc)
+	if SelectTop("no-such-thing")(d) != nil {
+		t.Fatal("missing query must select nothing")
+	}
+}

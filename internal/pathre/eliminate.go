@@ -1,0 +1,386 @@
+package pathre
+
+import (
+	"sort"
+	"strings"
+)
+
+// FromDFA converts a DFA back to a regular path expression by state
+// elimination, with light algebraic simplification so that automata
+// learned from real document paths render readably (e.g. the DFA for
+// /site/regions/(europe|africa)/item round-trips to that shape, and
+// "any-label" self loops render as //).
+//
+// If the language is empty, FromDFA returns None.
+func FromDFA(d *DFA) Expr {
+	d = d.Minimize()
+	n := d.NumStates()
+	co := coaccessible(d)
+	if !co[d.Start] {
+		return None{}
+	}
+
+	// GNFA with synthetic start (n) and final (n+1).
+	start, final := n, n+1
+	edges := make([]map[int]Expr, n+2)
+	for i := range edges {
+		edges[i] = map[int]Expr{}
+	}
+	addEdge := func(from, to int, e Expr) {
+		if old, ok := edges[from][to]; ok {
+			edges[from][to] = altOf(old, e)
+		} else {
+			edges[from][to] = e
+		}
+	}
+	addEdge(start, d.Start, Empty{})
+	for q := 0; q < n; q++ {
+		if !co[q] {
+			continue
+		}
+		if d.Accept[q] {
+			addEdge(q, final, Empty{})
+		}
+		// Group parallel symbol edges to the same target; recognize the
+		// full alphabet as Any.
+		byTarget := map[int][]string{}
+		for s, nx := range d.Trans[q] {
+			if co[nx] {
+				byTarget[nx] = append(byTarget[nx], d.Alphabet[s])
+			}
+		}
+		for to, syms := range byTarget {
+			addEdge(q, to, symSet(syms, len(d.Alphabet)))
+		}
+	}
+
+	// Eliminate internal states, cheapest (in-degree*out-degree) first.
+	remaining := map[int]bool{}
+	for q := 0; q < n; q++ {
+		if co[q] {
+			remaining[q] = true
+		}
+	}
+	for len(remaining) > 0 {
+		k := pickCheapest(edges, remaining, start, final)
+		delete(remaining, k)
+		loop, hasLoop := edges[k][k]
+		delete(edges[k], k)
+		var ins []int
+		for from := 0; from < len(edges); from++ {
+			if from == k {
+				continue
+			}
+			if _, ok := edges[from][k]; ok {
+				ins = append(ins, from)
+			}
+		}
+		var outs []int
+		for to := range edges[k] {
+			if to != k {
+				outs = append(outs, to)
+			}
+		}
+		sort.Ints(outs)
+		for _, from := range ins {
+			rin := edges[from][k]
+			delete(edges[from], k)
+			for _, to := range outs {
+				rout := edges[k][to]
+				var mid Expr = Empty{}
+				if hasLoop {
+					mid = starOf(loop)
+				}
+				addEdge(from, to, concatOf(rin, mid, rout))
+			}
+		}
+		edges[k] = map[int]Expr{}
+	}
+	e, ok := edges[start][final]
+	if !ok {
+		return None{}
+	}
+	return factor(e)
+}
+
+// coaccessible marks states from which an accepting state is reachable.
+func coaccessible(d *DFA) []bool {
+	n := d.NumStates()
+	rev := make([][]int, n)
+	for q := 0; q < n; q++ {
+		for _, nx := range d.Trans[q] {
+			rev[nx] = append(rev[nx], q)
+		}
+	}
+	co := make([]bool, n)
+	var stack []int
+	for q := 0; q < n; q++ {
+		if d.Accept[q] {
+			co[q] = true
+			stack = append(stack, q)
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[q] {
+			if !co[p] {
+				co[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return co
+}
+
+func pickCheapest(edges []map[int]Expr, remaining map[int]bool, start, final int) int {
+	best, bestCost := -1, 1<<30
+	var cands []int
+	for q := range remaining {
+		cands = append(cands, q)
+	}
+	sort.Ints(cands)
+	for _, q := range cands {
+		in, out := 0, 0
+		for from := 0; from < len(edges); from++ {
+			if from == q {
+				continue
+			}
+			if _, ok := edges[from][q]; ok {
+				in++
+			}
+		}
+		for to := range edges[q] {
+			if to != q {
+				out++
+			}
+		}
+		cost := in * out
+		if cost < bestCost {
+			best, bestCost = q, cost
+		}
+	}
+	return best
+}
+
+// symSet renders a set of symbols as a Lit, an Alt of Lits, or Any when
+// the set covers the whole alphabet.
+func symSet(syms []string, alphabetSize int) Expr {
+	if len(syms) == alphabetSize {
+		return Any{}
+	}
+	sort.Strings(syms)
+	if len(syms) == 1 {
+		return Lit{Label: syms[0]}
+	}
+	parts := make([]Expr, len(syms))
+	for i, s := range syms {
+		parts[i] = Lit{Label: s}
+	}
+	return Alt{Parts: parts}
+}
+
+// --- smart constructors with local simplification ---
+
+func isEmptyExpr(e Expr) bool { _, ok := e.(Empty); return ok }
+func isNoneExpr(e Expr) bool  { _, ok := e.(None); return ok }
+
+func concatOf(parts ...Expr) Expr {
+	var flat []Expr
+	for _, p := range parts {
+		if isNoneExpr(p) {
+			return None{}
+		}
+		if isEmptyExpr(p) {
+			continue
+		}
+		if c, ok := p.(Concat); ok {
+			flat = append(flat, c.Parts...)
+			continue
+		}
+		flat = append(flat, p)
+	}
+	switch len(flat) {
+	case 0:
+		return Empty{}
+	case 1:
+		return flat[0]
+	}
+	return Concat{Parts: flat}
+}
+
+func altOf(parts ...Expr) Expr {
+	var flat []Expr
+	seen := map[string]bool{}
+	hasEmpty := false
+	for _, p := range parts {
+		if isNoneExpr(p) {
+			continue
+		}
+		if a, ok := p.(Alt); ok {
+			for _, q := range a.Parts {
+				addAlt(&flat, seen, &hasEmpty, q)
+			}
+			continue
+		}
+		addAlt(&flat, seen, &hasEmpty, p)
+	}
+	var e Expr
+	switch len(flat) {
+	case 0:
+		if hasEmpty {
+			return Empty{}
+		}
+		return None{}
+	case 1:
+		e = flat[0]
+	default:
+		e = Alt{Parts: flat}
+	}
+	if hasEmpty {
+		return Opt{Sub: e}
+	}
+	return e
+}
+
+func addAlt(flat *[]Expr, seen map[string]bool, hasEmpty *bool, p Expr) {
+	if isEmptyExpr(p) {
+		*hasEmpty = true
+		return
+	}
+	k := String(p)
+	if seen[k] {
+		return
+	}
+	seen[k] = true
+	*flat = append(*flat, p)
+}
+
+func starOf(e Expr) Expr {
+	switch t := e.(type) {
+	case Empty, None:
+		return Empty{}
+	case Star:
+		return t
+	case Plus:
+		return Star{Sub: t.Sub}
+	case Opt:
+		return starOf(t.Sub)
+	}
+	return Star{Sub: e}
+}
+
+// factor rewrites an Alt whose branches share a common literal prefix or
+// suffix into Concat form, recursively, so eliminated regexes read like
+// paths: site/regions/europe/item | site/regions/africa/item becomes
+// site/regions/(africa|europe)/item.
+func factor(e Expr) Expr {
+	switch t := e.(type) {
+	case Concat:
+		parts := make([]Expr, len(t.Parts))
+		for i, p := range t.Parts {
+			parts[i] = factor(p)
+		}
+		return concatOf(parts...)
+	case Star:
+		return starOf(factor(t.Sub))
+	case Plus:
+		return Plus{Sub: factor(t.Sub)}
+	case Opt:
+		return Opt{Sub: factor(t.Sub)}
+	case Alt:
+		parts := make([]Expr, len(t.Parts))
+		for i, p := range t.Parts {
+			parts[i] = factor(p)
+		}
+		return factorAlt(parts)
+	default:
+		return e
+	}
+}
+
+func factorAlt(parts []Expr) Expr {
+	if len(parts) < 2 {
+		return altOf(parts...)
+	}
+	// Common prefix.
+	for {
+		first, ok := headOf(parts[0])
+		if !ok {
+			break
+		}
+		same := true
+		for _, p := range parts[1:] {
+			h, ok := headOf(p)
+			if !ok || String(h) != String(first) {
+				same = false
+				break
+			}
+		}
+		if !same {
+			break
+		}
+		for i, p := range parts {
+			parts[i] = tailOf(p)
+		}
+		rest := factorAlt(parts)
+		return concatOf(first, rest)
+	}
+	// Common suffix.
+	for {
+		last, ok := lastOf(parts[0])
+		if !ok {
+			break
+		}
+		same := true
+		for _, p := range parts[1:] {
+			l, ok := lastOf(p)
+			if !ok || String(l) != String(last) {
+				same = false
+				break
+			}
+		}
+		if !same {
+			break
+		}
+		for i, p := range parts {
+			parts[i] = initOf(p)
+		}
+		rest := factorAlt(parts)
+		return concatOf(rest, last)
+	}
+	sort.Slice(parts, func(i, j int) bool { return String(parts[i]) < String(parts[j]) })
+	return altOf(parts...)
+}
+
+func headOf(e Expr) (Expr, bool) {
+	if c, ok := e.(Concat); ok && len(c.Parts) > 0 {
+		return c.Parts[0], true
+	}
+	return nil, false
+}
+
+func tailOf(e Expr) Expr {
+	c := e.(Concat)
+	return concatOf(c.Parts[1:]...)
+}
+
+func lastOf(e Expr) (Expr, bool) {
+	if c, ok := e.(Concat); ok && len(c.Parts) > 0 {
+		return c.Parts[len(c.Parts)-1], true
+	}
+	return nil, false
+}
+
+func initOf(e Expr) Expr {
+	c := e.(Concat)
+	return concatOf(c.Parts[:len(c.Parts)-1]...)
+}
+
+// RenderPath renders e as a path-expression string suitable for
+// embedding in an emitted XQuery query.
+func RenderPath(e Expr) string {
+	s := String(e)
+	// Cosmetic: collapse accidental "/()" artifacts.
+	return strings.ReplaceAll(s, "/()", "")
+}

@@ -1,0 +1,406 @@
+// Package pathre implements regular path expressions over a label
+// alphabet (element tags and "@attr" names) and the finite-automaton
+// machinery XLearner's P-Learner is built on: Thompson construction,
+// subset construction, minimization, equivalence testing with
+// counterexamples, and conversion of a learned DFA back to a readable
+// path expression (state elimination).
+//
+// A path expression denotes a set of label sequences from the document
+// element to a node, e.g. /site/regions/(europe|africa)/item or
+// /site//name (where // is "any descendant chain").
+package pathre
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is a regular expression AST node over labels.
+type Expr interface {
+	// precedence for rendering: higher binds tighter.
+	prec() int
+	render(b *strings.Builder)
+}
+
+// Lit matches exactly one label.
+type Lit struct{ Label string }
+
+// Any matches any single label (the wildcard step "*").
+type Any struct{}
+
+// Concat matches the concatenation of its parts (path steps).
+type Concat struct{ Parts []Expr }
+
+// Alt matches any one of its parts ("|").
+type Alt struct{ Parts []Expr }
+
+// Star matches zero or more repetitions.
+type Star struct{ Sub Expr }
+
+// Plus matches one or more repetitions.
+type Plus struct{ Sub Expr }
+
+// Opt matches zero or one occurrence.
+type Opt struct{ Sub Expr }
+
+// Empty matches the empty sequence (epsilon).
+type Empty struct{}
+
+// None matches nothing (the empty language).
+type None struct{}
+
+func (Lit) prec() int    { return 4 }
+func (Any) prec() int    { return 4 }
+func (Empty) prec() int  { return 4 }
+func (None) prec() int   { return 4 }
+func (Star) prec() int   { return 3 }
+func (Plus) prec() int   { return 3 }
+func (Opt) prec() int    { return 3 }
+func (Concat) prec() int { return 2 }
+func (Alt) prec() int    { return 1 }
+
+func (e Lit) render(b *strings.Builder) { b.WriteString(e.Label) }
+func (Any) render(b *strings.Builder)   { b.WriteString("*") }
+func (Empty) render(b *strings.Builder) { b.WriteString("()") }
+func (None) render(b *strings.Builder)  { b.WriteString("<none>") }
+
+func renderChild(b *strings.Builder, child Expr, parentPrec int) {
+	if child.prec() < parentPrec {
+		b.WriteString("(")
+		child.render(b)
+		b.WriteString(")")
+	} else {
+		child.render(b)
+	}
+}
+
+func (e Star) render(b *strings.Builder) {
+	// Inside a Concat, an (any)* between steps renders as the "//"
+	// separator; elsewhere it renders as "**", which reparses to the
+	// same expression (atom "*" with modifier "*").
+	renderChild(b, e.Sub, e.prec()+1)
+	b.WriteString("*")
+}
+
+func (e Plus) render(b *strings.Builder) {
+	renderChild(b, e.Sub, e.prec()+1)
+	b.WriteString("+")
+}
+
+func (e Opt) render(b *strings.Builder) {
+	renderChild(b, e.Sub, e.prec()+1)
+	b.WriteString("?")
+}
+
+func (e Concat) render(b *strings.Builder) {
+	sep := "" // pending separator before the next rendered part
+	first := true
+	for i, p := range e.Parts {
+		if isStarAny(p) && i < len(e.Parts)-1 {
+			// Fold "x (any)* y" into the path separator "//".
+			sep = "//"
+			continue
+		}
+		if !first {
+			if sep == "" {
+				sep = "/"
+			}
+			b.WriteString(sep)
+		} else if sep == "//" {
+			// Leading descendant wildcard: //y.
+			b.WriteString("//")
+		}
+		renderChild(b, p, e.prec())
+		first = false
+		sep = ""
+	}
+}
+
+func isStarAny(e Expr) bool {
+	st, ok := e.(Star)
+	if !ok {
+		return false
+	}
+	_, isAny := st.Sub.(Any)
+	return isAny
+}
+
+func (e Alt) render(b *strings.Builder) {
+	for i, p := range e.Parts {
+		if i > 0 {
+			b.WriteString("|")
+		}
+		renderChild(b, p, e.prec())
+	}
+}
+
+// String renders the expression in path syntax with a leading "/".
+// The result reparses to an equivalent expression via ParsePath when
+// the expression was produced by ParsePath or FromDFA.
+func String(e Expr) string {
+	var b strings.Builder
+	e.render(&b)
+	s := b.String()
+	if !strings.HasPrefix(s, "/") {
+		s = "/" + s
+	}
+	return s
+}
+
+// Seq is a convenience constructor for a concatenation of literal steps.
+func Seq(labels ...string) Expr {
+	parts := make([]Expr, len(labels))
+	for i, l := range labels {
+		parts[i] = Lit{Label: l}
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return Concat{Parts: parts}
+}
+
+// Labels returns the sorted set of literal labels mentioned in e.
+func Labels(e Expr) []string {
+	seen := map[string]bool{}
+	var walk func(Expr)
+	walk = func(x Expr) {
+		switch t := x.(type) {
+		case Lit:
+			seen[t.Label] = true
+		case Concat:
+			for _, p := range t.Parts {
+				walk(p)
+			}
+		case Alt:
+			for _, p := range t.Parts {
+				walk(p)
+			}
+		case Star:
+			walk(t.Sub)
+		case Plus:
+			walk(t.Sub)
+		case Opt:
+			walk(t.Sub)
+		}
+	}
+	walk(e)
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasWildcard reports whether e contains an Any step (so its DFA
+// alphabet must be supplied externally).
+func HasWildcard(e Expr) bool {
+	found := false
+	var walk func(Expr)
+	walk = func(x Expr) {
+		switch t := x.(type) {
+		case Any:
+			found = true
+		case Concat:
+			for _, p := range t.Parts {
+				walk(p)
+			}
+		case Alt:
+			for _, p := range t.Parts {
+				walk(p)
+			}
+		case Star:
+			walk(t.Sub)
+		case Plus:
+			walk(t.Sub)
+		case Opt:
+			walk(t.Sub)
+		}
+	}
+	walk(e)
+	return found
+}
+
+// ParsePath parses a path expression such as
+//
+//	/site/regions/(europe|africa)/item
+//	/site//name
+//	//keyword
+//	/a/*/c
+//
+// into an Expr. Steps are label names (optionally @-prefixed for
+// attributes), "*" wildcards, or parenthesized alternations of
+// sub-paths. "//" between steps inserts an "any descendant chain".
+func ParsePath(s string) (Expr, error) {
+	p := &pparser{src: s}
+	e, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, fmt.Errorf("pathre: trailing input at %q", p.src[p.pos:])
+	}
+	return e, nil
+}
+
+// MustParsePath parses s and panics on error.
+func MustParsePath(s string) Expr {
+	e, err := ParsePath(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type pparser struct {
+	src string
+	pos int
+}
+
+func (p *pparser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *pparser) skipSpace() {
+	for !p.eof() && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *pparser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+// alt := seq ('|' seq)*
+func (p *pparser) alt() (Expr, error) {
+	first, err := p.seq()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Expr{first}
+	for {
+		p.skipSpace()
+		if p.peek() != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.seq()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return Alt{Parts: parts}, nil
+}
+
+// seq := sep? atom (sep atom)*   where sep is '/' or '//'
+func (p *pparser) seq() (Expr, error) {
+	var parts []Expr
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], "//") {
+		p.pos += 2
+		parts = append(parts, Star{Sub: Any{}})
+	} else if p.peek() == '/' {
+		p.pos++
+	}
+	for {
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		// Splice bare sub-concatenations (from parenthesized path groups)
+		// so rendering never nests path separators.
+		if c, ok := a.(Concat); ok {
+			parts = append(parts, c.Parts...)
+		} else {
+			parts = append(parts, a)
+		}
+		p.skipSpace()
+		if strings.HasPrefix(p.src[p.pos:], "//") {
+			p.pos += 2
+			parts = append(parts, Star{Sub: Any{}})
+			continue
+		}
+		if p.peek() == '/' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return Concat{Parts: parts}, nil
+}
+
+// atom := NAME | '@'NAME | '*' | '(' alt ')' followed by optional */+/?
+func (p *pparser) atom() (Expr, error) {
+	p.skipSpace()
+	var e Expr
+	switch {
+	case p.peek() == '(':
+		p.pos++
+		inner, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("pathre: missing ) at offset %d", p.pos)
+		}
+		p.pos++
+		e = inner
+	case p.peek() == '*':
+		p.pos++
+		e = Any{}
+	default:
+		name := p.name()
+		if name == "" {
+			return nil, fmt.Errorf("pathre: expected step at offset %d in %q", p.pos, p.src)
+		}
+		e = Lit{Label: name}
+	}
+	// Occurrence modifiers on atoms.
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			e = Star{Sub: e}
+		case '+':
+			p.pos++
+			e = Plus{Sub: e}
+		case '?':
+			p.pos++
+			e = Opt{Sub: e}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *pparser) name() string {
+	start := p.pos
+	if p.peek() == '@' {
+		p.pos++
+	}
+	for !p.eof() {
+		c := p.src[p.pos]
+		if c == '_' || c == '-' || c == '.' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	s := p.src[start:p.pos]
+	if s == "@" {
+		return ""
+	}
+	return s
+}

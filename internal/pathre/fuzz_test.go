@@ -1,0 +1,33 @@
+package pathre
+
+import "testing"
+
+// FuzzParsePath: the parser never panics, and anything it accepts
+// renders to a string that reparses to the same language.
+func FuzzParsePath(f *testing.F) {
+	for _, seed := range []string{
+		"/site/regions/(europe|africa)/item",
+		"/site//name", "//keyword", "/a/*/c", "/a/b?", "/a/(b/c|d)+/e",
+		"a", "((((", "|||", "/a//", "@x/@y", "/a/(b|)/c",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParsePath(src)
+		if err != nil {
+			return
+		}
+		rendered := String(e)
+		e2, err := ParsePath(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rendering %q does not reparse: %v", src, rendered, err)
+		}
+		alpha := Labels(e)
+		if len(alpha) == 0 {
+			alpha = []string{"z"}
+		}
+		if w, diff := Compile(e, alpha).Distinguish(Compile(e2, alpha)); diff {
+			t.Fatalf("%q: render/reparse changed language, witness %v", src, w)
+		}
+	})
+}

@@ -1,0 +1,397 @@
+package pathre
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var xmarkish = []string{"site", "regions", "africa", "asia", "europe", "item",
+	"name", "description", "incategory", "categories", "category",
+	"closed_auctions", "closed_auction", "itemref", "price", "@id", "@category", "@item"}
+
+func compile(t *testing.T, path string) *DFA {
+	t.Helper()
+	e, err := ParsePath(path)
+	if err != nil {
+		t.Fatalf("ParsePath(%q): %v", path, err)
+	}
+	return Compile(e, xmarkish)
+}
+
+func TestParseRender(t *testing.T) {
+	cases := []struct{ in, out string }{
+		{"/site/regions/europe/item", "/site/regions/europe/item"},
+		{"site/regions", "/site/regions"},
+		{"/site/regions/(europe|africa)/item", "/site/regions/(africa|europe)/item"},
+		{"/site//name", "/site//name"},
+		{"//keyword", "//keyword"},
+		{"/a/*/c", "/a/*/c"},
+		{"/a/b?", "/a/b?"},
+		{"/a/(b/c|d)/e", "/a/(b/c|d)/e"},
+	}
+	for _, c := range cases {
+		e, err := ParsePath(c.in)
+		if err != nil {
+			t.Errorf("ParsePath(%q): %v", c.in, err)
+			continue
+		}
+		// Parse → render → reparse must preserve the language.
+		rendered := String(e)
+		e2, err := ParsePath(rendered)
+		if err != nil {
+			t.Errorf("reparse of %q (from %q): %v", rendered, c.in, err)
+			continue
+		}
+		if !Compile(e, xmarkish).Equal(Compile(e2, xmarkish)) {
+			t.Errorf("%q: render %q changed the language", c.in, rendered)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "/", "/a/(b", "/a/|b", "/a/@", "/a b c/(", "/a/)"} {
+		if _, err := ParsePath(bad); err == nil {
+			t.Errorf("ParsePath(%q) should fail", bad)
+		}
+	}
+}
+
+func TestAcceptsSimple(t *testing.T) {
+	d := compile(t, "/site/regions/(europe|africa)/item")
+	yes := [][]string{
+		{"site", "regions", "europe", "item"},
+		{"site", "regions", "africa", "item"},
+	}
+	no := [][]string{
+		{"site", "regions", "asia", "item"},
+		{"site", "regions", "europe"},
+		{"site", "regions", "europe", "item", "name"},
+		{},
+		{"bogus"},
+	}
+	for _, s := range yes {
+		if !d.Accepts(s) {
+			t.Errorf("should accept %v", s)
+		}
+	}
+	for _, s := range no {
+		if d.Accepts(s) {
+			t.Errorf("should reject %v", s)
+		}
+	}
+}
+
+func TestAcceptsDescendant(t *testing.T) {
+	d := compile(t, "/site//name")
+	yes := [][]string{
+		{"site", "name"},
+		{"site", "regions", "europe", "item", "name"},
+		{"site", "categories", "category", "name"},
+	}
+	no := [][]string{
+		{"site"},
+		{"name"},
+		{"site", "regions", "europe", "item", "name", "name", "x"},
+	}
+	for _, s := range yes {
+		if !d.Accepts(s) {
+			t.Errorf("should accept %v", s)
+		}
+	}
+	for _, s := range no {
+		if d.Accepts(s) {
+			t.Errorf("should reject %v", s)
+		}
+	}
+	// //name ends with name; a trailing double name is accepted
+	// (name is also "any" step material).
+	if !d.Accepts([]string{"site", "name", "name"}) {
+		t.Error("//name should accept nested name")
+	}
+}
+
+func TestWildcardStep(t *testing.T) {
+	d := compile(t, "/site/*/category")
+	if !d.Accepts([]string{"site", "categories", "category"}) {
+		t.Error("wildcard step should match categories")
+	}
+	if d.Accepts([]string{"site", "category"}) {
+		t.Error("* matches exactly one step")
+	}
+}
+
+func TestOutOfAlphabetSymbol(t *testing.T) {
+	d := compile(t, "/site/name")
+	if d.Accepts([]string{"site", "zzz-not-in-alphabet"}) {
+		t.Error("unknown symbols must reject")
+	}
+	if d.Run([]string{"zzz"}) != -1 {
+		t.Error("Run on unknown symbol should be -1")
+	}
+}
+
+func TestMinimizeIdempotentAndEquivalent(t *testing.T) {
+	for _, p := range []string{
+		"/site/regions/(europe|africa)/item",
+		"/site//name",
+		"/a/(b|c)*/d",
+		"//keyword",
+	} {
+		d := compile(t, p)
+		m := d.Minimize()
+		if w, diff := d.Distinguish(m); diff {
+			t.Errorf("%s: minimize changed language, witness %v", p, w)
+		}
+		m2 := m.Minimize()
+		if m2.NumStates() != m.NumStates() {
+			t.Errorf("%s: minimize not idempotent (%d vs %d states)", p, m.NumStates(), m2.NumStates())
+		}
+	}
+}
+
+func TestMinimalStateCount(t *testing.T) {
+	// /a/b has states: start, after-a, accept(after-b), dead = 4.
+	e := MustParsePath("/a/b")
+	d := Compile(e, []string{"a", "b"})
+	if d.NumStates() != 4 {
+		t.Errorf("minimal DFA for /a/b over {a,b} has %d states, want 4", d.NumStates())
+	}
+}
+
+func TestDistinguish(t *testing.T) {
+	a := compile(t, "/site/regions/europe/item")
+	b := compile(t, "/site/regions/(europe|africa)/item")
+	w, diff := a.Distinguish(b)
+	if !diff {
+		t.Fatal("languages differ")
+	}
+	if a.Accepts(w) == b.Accepts(w) {
+		t.Fatalf("witness %v does not distinguish", w)
+	}
+	if !reflect.DeepEqual(w, []string{"site", "regions", "africa", "item"}) {
+		t.Errorf("expected shortest witness via africa, got %v", w)
+	}
+	if _, diff := a.Distinguish(a); diff {
+		t.Error("language equals itself")
+	}
+}
+
+func TestShortestAccepted(t *testing.T) {
+	d := compile(t, "/site/regions/(europe|africa)/item")
+	s, ok := d.ShortestAccepted()
+	if !ok || len(s) != 4 || !d.Accepts(s) {
+		t.Fatalf("ShortestAccepted = %v, %v", s, ok)
+	}
+	empty := Compile(None{}, xmarkish)
+	if !empty.IsEmpty() {
+		t.Error("None compiles to empty language")
+	}
+	if _, ok := empty.ShortestAccepted(); ok {
+		t.Error("empty language has no accepted string")
+	}
+}
+
+func TestEnumerateAccepted(t *testing.T) {
+	d := compile(t, "/site//name")
+	got := d.EnumerateAccepted(3, 10)
+	if len(got) == 0 {
+		t.Fatal("no strings enumerated")
+	}
+	for _, s := range got {
+		if !d.Accepts(s) {
+			t.Errorf("enumerated non-accepted %v", s)
+		}
+		if len(s) > 3 {
+			t.Errorf("string too long: %v", s)
+		}
+	}
+	// Order: non-decreasing length.
+	for i := 1; i < len(got); i++ {
+		if len(got[i]) < len(got[i-1]) {
+			t.Fatal("enumeration not length-ordered")
+		}
+	}
+}
+
+func TestFromDFARoundTrip(t *testing.T) {
+	paths := []string{
+		"/site/regions/europe/item",
+		"/site/regions/(europe|africa)/item",
+		"/site//name",
+		"//keyword",
+		"/a/(b|c)*/d",
+		"/site/categories/category/name",
+		"/a/*/c",
+	}
+	for _, p := range paths {
+		d := compile(t, p)
+		back := FromDFA(d)
+		d2 := Compile(back, xmarkish)
+		if w, diff := d.Distinguish(d2); diff {
+			t.Errorf("%s: FromDFA changed language (witness %v); got %s", p, w, String(back))
+		}
+	}
+}
+
+func TestFromDFAEmptyLanguage(t *testing.T) {
+	d := Compile(None{}, []string{"a"})
+	if _, ok := FromDFA(d).(None); !ok {
+		t.Fatalf("FromDFA of empty language = %v", String(FromDFA(d)))
+	}
+}
+
+func TestFromDFAFactorsAlternation(t *testing.T) {
+	d := compile(t, "/site/regions/(europe|africa)/item")
+	s := String(FromDFA(d))
+	if !strings.Contains(s, "africa") || !strings.Contains(s, "europe") {
+		t.Fatalf("rendered = %q", s)
+	}
+	// The factored form should contain the shared prefix once.
+	if strings.Count(s, "regions") != 1 {
+		t.Errorf("prefix not factored: %q", s)
+	}
+	if strings.Count(s, "item") != 1 {
+		t.Errorf("suffix not factored: %q", s)
+	}
+}
+
+// randomExpr builds a random expression over a small alphabet.
+func randomExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		labels := []string{"a", "b", "c"}
+		return Lit{Label: labels[r.Intn(len(labels))]}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return Lit{Label: []string{"a", "b", "c"}[r.Intn(3)]}
+	case 1:
+		return Any{}
+	case 2:
+		return Concat{Parts: []Expr{randomExpr(r, depth-1), randomExpr(r, depth-1)}}
+	case 3:
+		return Alt{Parts: []Expr{randomExpr(r, depth-1), randomExpr(r, depth-1)}}
+	case 4:
+		return Star{Sub: randomExpr(r, depth-1)}
+	default:
+		return Opt{Sub: randomExpr(r, depth-1)}
+	}
+}
+
+// TestPropertyFromDFAPreservesLanguage: for random expressions, compile →
+// FromDFA → compile preserves the language exactly.
+func TestPropertyFromDFAPreservesLanguage(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	alphabet := []string{"a", "b", "c"}
+	for i := 0; i < 150; i++ {
+		e := randomExpr(r, 3)
+		d := Compile(e, alphabet)
+		back := FromDFA(d)
+		d2 := Compile(back, alphabet)
+		if w, diff := d.Distinguish(d2); diff {
+			t.Fatalf("iteration %d: %s -> %s changed language, witness %v",
+				i, String(e), String(back), w)
+		}
+	}
+}
+
+// TestPropertyMinimizeSound: minimization never changes acceptance on
+// random strings.
+func TestPropertyMinimizeSound(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	alphabet := []string{"a", "b", "c"}
+	f := func(wordSeed uint32) bool {
+		e := randomExpr(r, 3)
+		d := Compile(e, alphabet)
+		m := d.Minimize()
+		wr := rand.New(rand.NewSource(int64(wordSeed)))
+		n := wr.Intn(8)
+		w := make([]string, n)
+		for i := range w {
+			w[i] = alphabet[wr.Intn(3)]
+		}
+		return d.Accepts(w) == m.Accepts(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqConstructor(t *testing.T) {
+	e := Seq("site", "regions")
+	d := Compile(e, xmarkish)
+	if !d.Accepts([]string{"site", "regions"}) || d.Accepts([]string{"site"}) {
+		t.Fatal("Seq semantics wrong")
+	}
+	if String(Seq("a")) != "/a" {
+		t.Fatalf("Seq(a) renders %q", String(Seq("a")))
+	}
+}
+
+func TestLabelsAndWildcard(t *testing.T) {
+	e := MustParsePath("/site/(a|b)//c")
+	if got := Labels(e); !reflect.DeepEqual(got, []string{"a", "b", "c", "site"}) {
+		t.Fatalf("Labels = %v", got)
+	}
+	if !HasWildcard(e) {
+		t.Fatal("// implies wildcard")
+	}
+	if HasWildcard(MustParsePath("/a/b")) {
+		t.Fatal("no wildcard in /a/b")
+	}
+}
+
+func TestCompileAddsMissingLabels(t *testing.T) {
+	d := Compile(MustParsePath("/x/y"), []string{"a"})
+	if !d.Accepts([]string{"x", "y"}) {
+		t.Fatal("labels from the expression must join the alphabet")
+	}
+	if d.SymIndex("x") < 0 || d.SymIndex("a") < 0 {
+		t.Fatal("alphabet union wrong")
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	d := compile(t, "/a/b")
+	dot := d.Dot()
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "doublecircle") {
+		t.Fatalf("dot output malformed:\n%s", dot)
+	}
+}
+
+func TestEqualPanicsOnAlphabetMismatch(t *testing.T) {
+	a := Compile(MustParsePath("/a"), []string{"a"})
+	b := Compile(MustParsePath("/a"), []string{"a", "b"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on alphabet mismatch")
+		}
+	}()
+	a.Equal(b)
+}
+
+func TestRenderPath(t *testing.T) {
+	e := MustParsePath("/site/regions/(europe|africa)/item")
+	s := RenderPath(e)
+	if s != "/site/regions/(africa|europe)/item" && s != "/site/regions/(europe|africa)/item" {
+		t.Fatalf("RenderPath = %q", s)
+	}
+	// An empty-step artifact is collapsed.
+	if got := RenderPath(Concat{Parts: []Expr{Lit{Label: "a"}, Empty{}}}); got != "/a" {
+		t.Fatalf("RenderPath with epsilon = %q", got)
+	}
+}
+
+func TestOptAndPlusSemantics(t *testing.T) {
+	alpha := []string{"a", "b"}
+	opt := Compile(MustParsePath("/a/b?"), alpha)
+	if !opt.Accepts([]string{"a"}) || !opt.Accepts([]string{"a", "b"}) {
+		t.Fatal("b? semantics wrong")
+	}
+	plus := Compile(MustParsePath("/a/b+"), alpha)
+	if plus.Accepts([]string{"a"}) || !plus.Accepts([]string{"a", "b", "b"}) {
+		t.Fatal("b+ semantics wrong")
+	}
+}

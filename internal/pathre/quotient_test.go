@@ -1,0 +1,66 @@
+package pathre
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRightQuotient(t *testing.T) {
+	alpha := []string{"site", "regions", "europe", "africa", "item", "name"}
+	d := Compile(MustParsePath("/site/regions/(europe|africa)/item/name"), alpha)
+	q := d.RightQuotient()
+	want := Compile(MustParsePath("/site/regions/(europe|africa)/item"), alpha)
+	if w, diff := q.Distinguish(want); diff {
+		t.Fatalf("quotient wrong, witness %v", w)
+	}
+}
+
+func TestRightQuotientDescendant(t *testing.T) {
+	alpha := []string{"a", "b", "c"}
+	d := Compile(MustParsePath("/a//b"), alpha)
+	q := d.RightQuotient()
+	// { w : wa ∈ a Σ* b } = a Σ* (anything reaching one-before-b) = a Σ*
+	// restricted to prefixes that can be extended by b — which is a Σ*
+	// plus the empty extension case... concretely: q accepts "a" (a·b ∈ L).
+	if !q.Accepts([]string{"a"}) {
+		t.Fatal("quotient of /a//b must accept 'a'")
+	}
+	if !q.Accepts([]string{"a", "c", "c"}) {
+		t.Fatal("quotient of /a//b must accept a c c")
+	}
+	if q.Accepts([]string{"b"}) {
+		t.Fatal("quotient must reject strings not extendable into L")
+	}
+}
+
+func TestLastSymbols(t *testing.T) {
+	alpha := []string{"site", "regions", "europe", "africa", "item", "name"}
+	d := Compile(MustParsePath("/site/regions/(europe|africa)/item/name"), alpha)
+	if got := d.LastSymbols(); !reflect.DeepEqual(got, []string{"name"}) {
+		t.Fatalf("LastSymbols = %v", got)
+	}
+	d2 := Compile(MustParsePath("/site/(item|name)"), alpha)
+	if got := d2.LastSymbols(); !reflect.DeepEqual(got, []string{"item", "name"}) {
+		t.Fatalf("LastSymbols = %v", got)
+	}
+	empty := Compile(None{}, alpha)
+	if got := empty.LastSymbols(); len(got) != 0 {
+		t.Fatalf("LastSymbols of empty language = %v", got)
+	}
+}
+
+func TestQuotientThenLastRoundTrip(t *testing.T) {
+	// For single-last-symbol languages, quotient·last == original.
+	alpha := []string{"site", "categories", "category", "name"}
+	orig := Compile(MustParsePath("/site/categories/category/name"), alpha)
+	q := orig.RightQuotient()
+	last := orig.LastSymbols()
+	if len(last) != 1 {
+		t.Fatalf("last = %v", last)
+	}
+	re := FromDFA(q)
+	recomposed := Compile(Concat{Parts: []Expr{re, Lit{Label: last[0]}}}, alpha)
+	if w, diff := recomposed.Distinguish(orig); diff {
+		t.Fatalf("recomposition wrong, witness %v", w)
+	}
+}

@@ -1,0 +1,145 @@
+package pathre
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randWord(r *rand.Rand, alphabet []string, n int) []string {
+	w := make([]string, r.Intn(n+1))
+	for i := range w {
+		w[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return w
+}
+
+func TestComplement(t *testing.T) {
+	alpha := []string{"a", "b"}
+	d := Compile(MustParsePath("/a/b"), alpha)
+	c := d.Complement()
+	if c.Accepts([]string{"a", "b"}) {
+		t.Fatal("complement accepts the original string")
+	}
+	if !c.Accepts([]string{"a"}) || !c.Accepts(nil) {
+		t.Fatal("complement rejects a non-member")
+	}
+	// Double complement is the identity.
+	if w, diff := d.Distinguish(c.Complement()); diff {
+		t.Fatalf("double complement changed language, witness %v", w)
+	}
+}
+
+func TestIntersectAndUnion(t *testing.T) {
+	alpha := []string{"a", "b", "c"}
+	x := Compile(MustParsePath("/a/(b|c)"), alpha)
+	y := Compile(MustParsePath("/a/(c|b)/(b|c)?"), alpha)
+	inter := x.Intersect(y)
+	uni := x.Union(y)
+	for i := 0; i < 200; i++ {
+		r := rand.New(rand.NewSource(int64(i)))
+		w := randWord(r, alpha, 4)
+		if inter.Accepts(w) != (x.Accepts(w) && y.Accepts(w)) {
+			t.Fatalf("intersect wrong on %v", w)
+		}
+		if uni.Accepts(w) != (x.Accepts(w) || y.Accepts(w)) {
+			t.Fatalf("union wrong on %v", w)
+		}
+	}
+}
+
+// TestQuickDeMorgan: ¬(A ∪ B) = ¬A ∩ ¬B on random expressions/words.
+func TestQuickDeMorgan(t *testing.T) {
+	alpha := []string{"a", "b", "c"}
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 60; i++ {
+		a := Compile(randomExpr(r, 3), alpha)
+		b := Compile(randomExpr(r, 3), alpha)
+		lhs := a.Union(b).Complement()
+		rhs := a.Complement().Intersect(b.Complement())
+		if w, diff := lhs.Distinguish(rhs); diff {
+			t.Fatalf("iter %d: De Morgan violated, witness %v", i, w)
+		}
+	}
+}
+
+// TestQuickIntersectionSubset: A ∩ B ⊆ A (emptiness of (A∩B) \ A).
+func TestQuickIntersectionSubset(t *testing.T) {
+	alpha := []string{"a", "b", "c"}
+	r := rand.New(rand.NewSource(43))
+	for i := 0; i < 60; i++ {
+		a := Compile(randomExpr(r, 3), alpha)
+		b := Compile(randomExpr(r, 3), alpha)
+		diffLang := a.Intersect(b).Intersect(a.Complement())
+		if !diffLang.IsEmpty() {
+			w, _ := diffLang.ShortestAccepted()
+			t.Fatalf("iter %d: (A∩B)\\A non-empty, witness %v", i, w)
+		}
+	}
+}
+
+func TestFromStrings(t *testing.T) {
+	words := [][]string{
+		{"site", "regions", "europe"},
+		{"site", "regions"},
+		{"site", "categories"},
+		{},
+	}
+	d := FromStrings(words, []string{"site"})
+	for _, w := range words {
+		if !d.Accepts(w) {
+			t.Fatalf("FromStrings rejects member %v", w)
+		}
+	}
+	for _, w := range [][]string{{"site"}, {"regions"}, {"site", "regions", "europe", "x"}} {
+		if d.Accepts(w) {
+			t.Fatalf("FromStrings accepts non-member %v", w)
+		}
+	}
+}
+
+// TestQuickFromStringsExact: FromStrings accepts exactly its input set.
+func TestQuickFromStringsExact(t *testing.T) {
+	alpha := []string{"x", "y"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		words := make([][]string, n)
+		member := map[string]bool{}
+		for i := range words {
+			words[i] = randWord(r, alpha, 4)
+			member[key(words[i])] = true
+		}
+		d := FromStrings(words, alpha)
+		// Probe with random words.
+		for i := 0; i < 30; i++ {
+			w := randWord(r, alpha, 5)
+			if d.Accepts(w) != member[key(w)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func key(w []string) string {
+	s := ""
+	for _, x := range w {
+		s += x + "\x00"
+	}
+	return s
+}
+
+func TestProductPanicsOnAlphabetMismatch(t *testing.T) {
+	a := Compile(MustParsePath("/a"), []string{"a"})
+	b := Compile(MustParsePath("/a"), []string{"a", "b"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Intersect(b)
+}

@@ -1,0 +1,26 @@
+package relaxng
+
+import "testing"
+
+// FuzzParse: the compact-syntax parser never panics and accepted
+// schemas answer AcceptsPath without panicking.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`start = element a { text }`,
+		`X = element b { attribute k { text } }
+start = element a { X* | empty }`,
+		`start = element a { element b { text }+ , text }`,
+		`start =`, `= element`, `start = element a { Y }`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			return
+		}
+		s.AcceptsPath(nil)
+		s.AcceptsPath([]string{"a"})
+		s.AcceptsPath([]string{"a", "b", "@k"})
+	})
+}

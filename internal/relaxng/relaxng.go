@@ -1,0 +1,351 @@
+// Package relaxng implements the subset of Relax NG compact syntax that
+// rule R1 needs: named pattern definitions over element/attribute
+// structure. The paper states "the current prototype uses the Relax NG
+// for filtering" (Section 8); a parsed schema answers the same
+// realizability question as the DTD filter and the DataGuide, and plugs
+// into core.Options.R1Filter.
+//
+// Supported grammar (compact syntax):
+//
+//	start = pattern
+//	Name = pattern
+//	pattern := "element" NAME "{" pattern "}"
+//	         | "attribute" NAME "{" "text" "}"
+//	         | "text" | "empty"
+//	         | Name                      (reference)
+//	         | pattern "," pattern       (group)
+//	         | pattern "|" pattern       (choice)
+//	         | pattern ("*" | "+" | "?")
+//	         | "(" pattern ")"
+package relaxng
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates pattern constructors.
+type Kind int
+
+// Pattern kinds.
+const (
+	KElement Kind = iota
+	KAttribute
+	KText
+	KEmpty
+	KRef
+	KGroup
+	KChoice
+	KRepeat // * + ? all behave alike for realizability
+)
+
+// Pattern is one node of the schema's pattern AST.
+type Pattern struct {
+	Kind     Kind
+	Name     string // element/attribute/ref name
+	Children []*Pattern
+}
+
+// Schema is a parsed Relax NG compact schema.
+type Schema struct {
+	// Start is the start pattern.
+	Start *Pattern
+	// Defs maps definition names to patterns.
+	Defs map[string]*Pattern
+}
+
+// Parse reads compact syntax.
+func Parse(src string) (*Schema, error) {
+	p := &rparser{src: src}
+	s := &Schema{Defs: map[string]*Pattern{}}
+	for {
+		p.skip()
+		if p.eof() {
+			break
+		}
+		name := p.ident()
+		if name == "" {
+			return nil, p.errf("expected a definition name")
+		}
+		p.skip()
+		if !p.consume("=") {
+			return nil, p.errf("expected = after %q", name)
+		}
+		pat, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		if name == "start" {
+			s.Start = pat
+		} else {
+			if _, dup := s.Defs[name]; dup {
+				return nil, fmt.Errorf("relaxng: duplicate definition %q", name)
+			}
+			s.Defs[name] = pat
+		}
+	}
+	if s.Start == nil {
+		return nil, fmt.Errorf("relaxng: no start pattern")
+	}
+	return s, nil
+}
+
+// MustParse parses src and panics on error.
+func MustParse(src string) *Schema {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type rparser struct {
+	src string
+	pos int
+}
+
+func (p *rparser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *rparser) errf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:p.pos], "\n")
+	return fmt.Errorf("relaxng: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *rparser) skip() {
+	for !p.eof() {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		if c == '#' { // comment to end of line
+			for !p.eof() && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (p *rparser) consume(s string) bool {
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func isIdentByte(b byte) bool {
+	return b == '_' || b == '-' || b == '.' ||
+		(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+func (p *rparser) ident() string {
+	start := p.pos
+	for !p.eof() && isIdentByte(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+// pattern := alternatives of groups of postfixed atoms.
+func (p *rparser) pattern() (*Pattern, error) {
+	first, err := p.group()
+	if err != nil {
+		return nil, err
+	}
+	alts := []*Pattern{first}
+	for {
+		p.skip()
+		if !p.consume("|") {
+			break
+		}
+		next, err := p.group()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, next)
+	}
+	if len(alts) == 1 {
+		return alts[0], nil
+	}
+	return &Pattern{Kind: KChoice, Children: alts}, nil
+}
+
+func (p *rparser) group() (*Pattern, error) {
+	first, err := p.postfixed()
+	if err != nil {
+		return nil, err
+	}
+	parts := []*Pattern{first}
+	for {
+		p.skip()
+		if !p.consume(",") {
+			break
+		}
+		next, err := p.postfixed()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return &Pattern{Kind: KGroup, Children: parts}, nil
+}
+
+func (p *rparser) postfixed() (*Pattern, error) {
+	atom, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		if p.consume("*") || p.consume("+") || p.consume("?") {
+			atom = &Pattern{Kind: KRepeat, Children: []*Pattern{atom}}
+			continue
+		}
+		return atom, nil
+	}
+}
+
+func (p *rparser) atom() (*Pattern, error) {
+	p.skip()
+	if p.consume("(") {
+		inner, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if !p.consume(")") {
+			return nil, p.errf("missing )")
+		}
+		return inner, nil
+	}
+	id := p.ident()
+	switch id {
+	case "":
+		return nil, p.errf("expected a pattern at %.20q", p.src[p.pos:])
+	case "text":
+		return &Pattern{Kind: KText}, nil
+	case "empty":
+		return &Pattern{Kind: KEmpty}, nil
+	case "element", "attribute":
+		p.skip()
+		name := p.ident()
+		if name == "" {
+			return nil, p.errf("expected a name after %s", id)
+		}
+		p.skip()
+		if !p.consume("{") {
+			return nil, p.errf("expected { after %s %s", id, name)
+		}
+		inner, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if !p.consume("}") {
+			return nil, p.errf("missing } after %s %s", id, name)
+		}
+		k := KElement
+		if id == "attribute" {
+			k = KAttribute
+		}
+		return &Pattern{Kind: k, Name: name, Children: []*Pattern{inner}}, nil
+	default:
+		return &Pattern{Kind: KRef, Name: id}, nil
+	}
+}
+
+// --- realizability semantics for rule R1 ---
+
+// elementPatterns collects the element patterns reachable from p
+// without descending through another element (i.e. the element types
+// allowed at this level), expanding references.
+func (s *Schema) elementPatterns(p *Pattern, out map[string][]*Pattern, seen map[string]bool) {
+	switch p.Kind {
+	case KElement:
+		out[p.Name] = append(out[p.Name], p)
+	case KGroup, KChoice, KRepeat:
+		for _, c := range p.Children {
+			s.elementPatterns(c, out, seen)
+		}
+	case KRef:
+		if seen[p.Name] {
+			return
+		}
+		seen[p.Name] = true
+		if def := s.Defs[p.Name]; def != nil {
+			s.elementPatterns(def, out, seen)
+		}
+	}
+}
+
+// attributeAllowed reports whether an attribute named name can occur
+// directly in the pattern (not inside nested elements).
+func (s *Schema) attributeAllowed(p *Pattern, name string, seen map[string]bool) bool {
+	switch p.Kind {
+	case KAttribute:
+		return p.Name == name
+	case KGroup, KChoice, KRepeat:
+		for _, c := range p.Children {
+			if s.attributeAllowed(c, name, seen) {
+				return true
+			}
+		}
+	case KRef:
+		if seen[p.Name] {
+			return false
+		}
+		seen[p.Name] = true
+		if def := s.Defs[p.Name]; def != nil {
+			return s.attributeAllowed(def, name, seen)
+		}
+	}
+	return false
+}
+
+// AcceptsPath implements core.PathFilter: is the label path (element
+// tags with an optional final "@attr") realizable under the schema?
+func (s *Schema) AcceptsPath(path []string) bool {
+	if len(path) == 0 {
+		return true
+	}
+	// Current candidate element patterns, starting from the start
+	// pattern's allowed roots.
+	level := map[string][]*Pattern{}
+	s.elementPatterns(s.Start, level, map[string]bool{})
+	current := level[path[0]]
+	if strings.HasPrefix(path[0], "@") {
+		return false
+	}
+	if len(current) == 0 {
+		return false
+	}
+	for i, label := range path[1:] {
+		if strings.HasPrefix(label, "@") {
+			if i != len(path)-2 {
+				return false // attributes have no descendants
+			}
+			name := label[1:]
+			for _, el := range current {
+				if s.attributeAllowed(el.Children[0], name, map[string]bool{}) {
+					return true
+				}
+			}
+			return false
+		}
+		next := map[string][]*Pattern{}
+		for _, el := range current {
+			s.elementPatterns(el.Children[0], next, map[string]bool{})
+		}
+		current = next[label]
+		if len(current) == 0 {
+			return false
+		}
+	}
+	return true
+}

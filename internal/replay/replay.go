@@ -1,0 +1,352 @@
+// Package replay implements the paper's closing future-work item
+// (Section 11): "development of a mechanism to reuse past interactive
+// operations." A Recorder wraps any core.Teacher and logs every answer
+// the user gives; a Replayer serves a later session — over the same
+// instance, or a regenerated one with the same shape — from the log,
+// falling back to an inner teacher (or failing) only on genuinely new
+// questions. Logs serialize to JSON.
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/xmldoc"
+	"repro/internal/xq"
+)
+
+// Entry is one recorded interaction.
+type Entry struct {
+	// Kind is "member", "equivalent", "box", or "orderby".
+	Kind string `json:"kind"`
+	// Frag is the fragment variable the question was about.
+	Frag string `json:"frag"`
+	// Node is the node signature for membership queries.
+	Node string `json:"node,omitempty"`
+	// Answer is the membership answer.
+	Answer bool `json:"answer,omitempty"`
+	// Extent is the sorted signature of the highlighted extent for
+	// equivalence queries.
+	Extent []string `json:"extent,omitempty"`
+	// OK reports extent acceptance; otherwise CE/Positive describe the
+	// counterexample.
+	OK       bool   `json:"ok,omitempty"`
+	CE       string `json:"ce,omitempty"`
+	Positive bool   `json:"positive,omitempty"`
+	// Boxes are the recorded Condition Box entries.
+	Boxes []BoxRecord `json:"boxes,omitempty"`
+	// Keys are the recorded OrderBy keys.
+	Keys []KeyRecord `json:"keys,omitempty"`
+}
+
+// BoxRecord serializes one Condition Box entry: either a dropped node
+// with operator and constant, or a full predicate in rendered form.
+type BoxRecord struct {
+	Node    string `json:"node,omitempty"`
+	Op      string `json:"op,omitempty"`
+	Const   string `json:"const,omitempty"`
+	Negated bool   `json:"negated,omitempty"`
+	Pred    string `json:"pred,omitempty"`
+	Terms   int    `json:"terms,omitempty"`
+}
+
+// KeyRecord serializes one sort key.
+type KeyRecord struct {
+	Var        string `json:"var"`
+	Path       string `json:"path,omitempty"`
+	Descending bool   `json:"descending,omitempty"`
+}
+
+// Log is a recorded session.
+type Log struct {
+	Entries []Entry `json:"entries"`
+}
+
+// Save writes the log as JSON.
+func (l *Log) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(l)
+}
+
+// Load reads a log saved by Save.
+func Load(r io.Reader) (*Log, error) {
+	var l Log
+	if err := json.NewDecoder(r).Decode(&l); err != nil {
+		return nil, fmt.Errorf("replay: load: %w", err)
+	}
+	return &l, nil
+}
+
+// Signature computes a stable node identifier usable across re-parsed
+// or re-generated instances of the same shape: the root path plus a
+// value prefix plus a same-signature occurrence index.
+func Signature(n *xmldoc.Node) string {
+	return baseSignature(n) // occurrence disambiguation is added by sigIndex
+}
+
+func baseSignature(n *xmldoc.Node) string {
+	text := strings.TrimSpace(n.Text())
+	if len(text) > 48 {
+		text = text[:48]
+	}
+	return n.PathString() + "=" + text
+}
+
+// sigIndex maps every node of a document to a unique signature and
+// back.
+type sigIndex struct {
+	bySig  map[string]*xmldoc.Node
+	byNode map[int]string
+}
+
+func indexDoc(doc *xmldoc.Document) *sigIndex {
+	idx := &sigIndex{bySig: map[string]*xmldoc.Node{}, byNode: map[int]string{}}
+	counts := map[string]int{}
+	doc.Walk(func(n *xmldoc.Node) bool {
+		if n.Kind == xmldoc.DocumentNode {
+			return true
+		}
+		base := baseSignature(n)
+		k := counts[base]
+		counts[base]++
+		sig := base
+		if k > 0 {
+			sig = fmt.Sprintf("%s#%d", base, k)
+		}
+		idx.bySig[sig] = n
+		idx.byNode[n.ID] = sig
+		return true
+	})
+	return idx
+}
+
+// Recorder wraps a teacher and logs every interaction.
+type Recorder struct {
+	Inner core.Teacher
+	Log   *Log
+
+	idx *sigIndex
+}
+
+// NewRecorder builds a recorder over the inner teacher for the given
+// source document.
+func NewRecorder(doc *xmldoc.Document, inner core.Teacher) *Recorder {
+	return &Recorder{Inner: inner, Log: &Log{}, idx: indexDoc(doc)}
+}
+
+func (r *Recorder) sig(n *xmldoc.Node) string {
+	if n == nil {
+		return ""
+	}
+	return r.idx.byNode[n.ID]
+}
+
+// Member implements core.Teacher.
+func (r *Recorder) Member(frag core.FragmentRef, ctx map[string]*xmldoc.Node, n *xmldoc.Node) bool {
+	ans := r.Inner.Member(frag, ctx, n)
+	r.Log.Entries = append(r.Log.Entries, Entry{
+		Kind: "member", Frag: frag.Var, Node: r.sig(n), Answer: ans,
+	})
+	return ans
+}
+
+func extentKey(sigs []string) string {
+	sorted := append([]string(nil), sigs...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, "\x00")
+}
+
+// Equivalent implements core.Teacher.
+func (r *Recorder) Equivalent(frag core.FragmentRef, ctx map[string]*xmldoc.Node, hyp []*xmldoc.Node) (*xmldoc.Node, bool, bool) {
+	ce, positive, ok := r.Inner.Equivalent(frag, ctx, hyp)
+	sigs := make([]string, len(hyp))
+	for i, n := range hyp {
+		sigs[i] = r.sig(n)
+	}
+	sort.Strings(sigs)
+	e := Entry{Kind: "equivalent", Frag: frag.Var, Extent: sigs, OK: ok}
+	if !ok && ce != nil {
+		e.CE, e.Positive = r.sig(ce), positive
+	}
+	r.Log.Entries = append(r.Log.Entries, e)
+	return ce, positive, ok
+}
+
+// ConditionBox implements core.Teacher.
+func (r *Recorder) ConditionBox(frag core.FragmentRef, ce *xmldoc.Node) []core.BoxEntry {
+	entries := r.Inner.ConditionBox(frag, ce)
+	rec := Entry{Kind: "box", Frag: frag.Var, CE: r.sig(ce)}
+	for _, e := range entries {
+		br := BoxRecord{Op: string(e.Op), Const: e.Const, Negated: e.Negated, Terms: e.Terms}
+		if e.Pred != nil {
+			br.Pred = e.Pred.String()
+		} else if e.Select != nil {
+			if n := e.Select(r.idxDoc(), ce); n != nil {
+				br.Node = r.sig(n)
+			}
+		}
+		rec.Boxes = append(rec.Boxes, br)
+	}
+	r.Log.Entries = append(r.Log.Entries, rec)
+	return entries
+}
+
+func (r *Recorder) idxDoc() *xmldoc.Document {
+	// Any node reaches its document; the index always has entries.
+	for _, n := range r.idx.bySig {
+		return n.Document()
+	}
+	return nil
+}
+
+// OrderBy implements core.Teacher.
+func (r *Recorder) OrderBy(frag core.FragmentRef) []xq.SortKey {
+	keys := r.Inner.OrderBy(frag)
+	rec := Entry{Kind: "orderby", Frag: frag.Var}
+	for _, k := range keys {
+		rec.Keys = append(rec.Keys, KeyRecord{Var: k.Var, Path: k.Path.String(), Descending: k.Descending})
+	}
+	r.Log.Entries = append(r.Log.Entries, rec)
+	return keys
+}
+
+// Replayer answers from a log; unanswerable questions go to Fallback,
+// or fail the session when Fallback is nil.
+type Replayer struct {
+	Log *Log
+	// Fallback optionally handles questions the log does not cover.
+	Fallback core.Teacher
+
+	idx     *sigIndex
+	members map[string]bool
+	equivs  map[string]Entry
+	boxes   map[string]Entry
+	orders  map[string]Entry
+	// Misses counts questions the log could not answer.
+	Misses int
+}
+
+// NewReplayer builds a replayer over the (possibly regenerated) source
+// document.
+func NewReplayer(doc *xmldoc.Document, log *Log, fallback core.Teacher) *Replayer {
+	r := &Replayer{
+		Log: log, Fallback: fallback, idx: indexDoc(doc),
+		members: map[string]bool{}, equivs: map[string]Entry{},
+		boxes: map[string]Entry{}, orders: map[string]Entry{},
+	}
+	for _, e := range log.Entries {
+		switch e.Kind {
+		case "member":
+			r.members[e.Frag+"\x00"+e.Node] = e.Answer
+		case "equivalent":
+			r.equivs[e.Frag+"\x00"+extentKey(e.Extent)] = e
+		case "box":
+			r.boxes[e.Frag] = e
+		case "orderby":
+			r.orders[e.Frag] = e
+		}
+	}
+	return r
+}
+
+func (r *Replayer) sig(n *xmldoc.Node) string {
+	if n == nil {
+		return ""
+	}
+	return r.idx.byNode[n.ID]
+}
+
+func (r *Replayer) resolve(sig string) *xmldoc.Node { return r.idx.bySig[sig] }
+
+// Member implements core.Teacher.
+func (r *Replayer) Member(frag core.FragmentRef, ctx map[string]*xmldoc.Node, n *xmldoc.Node) bool {
+	if ans, ok := r.members[frag.Var+"\x00"+r.sig(n)]; ok {
+		return ans
+	}
+	r.Misses++
+	if r.Fallback != nil {
+		return r.Fallback.Member(frag, ctx, n)
+	}
+	panic(fmt.Sprintf("replay: unanswered membership query for $%s on %s", frag.Var, n.PathString()))
+}
+
+// Equivalent implements core.Teacher.
+func (r *Replayer) Equivalent(frag core.FragmentRef, ctx map[string]*xmldoc.Node, hyp []*xmldoc.Node) (*xmldoc.Node, bool, bool) {
+	sigs := make([]string, len(hyp))
+	for i, n := range hyp {
+		sigs[i] = r.sig(n)
+	}
+	if e, ok := r.equivs[frag.Var+"\x00"+extentKey(sigs)]; ok {
+		if e.OK {
+			return nil, false, true
+		}
+		if ce := r.resolve(e.CE); ce != nil {
+			return ce, e.Positive, false
+		}
+	}
+	r.Misses++
+	if r.Fallback != nil {
+		return r.Fallback.Equivalent(frag, ctx, hyp)
+	}
+	panic(fmt.Sprintf("replay: unanswered equivalence query for $%s (%d nodes)", frag.Var, len(hyp)))
+}
+
+// ConditionBox implements core.Teacher.
+func (r *Replayer) ConditionBox(frag core.FragmentRef, ce *xmldoc.Node) []core.BoxEntry {
+	if e, ok := r.boxes[frag.Var]; ok {
+		var out []core.BoxEntry
+		for _, br := range e.Boxes {
+			entry := core.BoxEntry{
+				Op: xq.CmpOp(br.Op), Const: br.Const, Negated: br.Negated, Terms: br.Terms,
+			}
+			if br.Pred != "" {
+				pred, err := xq.ParsePredString(br.Pred)
+				if err != nil {
+					r.Misses++
+					continue
+				}
+				entry.Pred = pred
+			} else if br.Node != "" {
+				node := r.resolve(br.Node)
+				if node == nil {
+					r.Misses++
+					continue
+				}
+				entry.Select = func(*xmldoc.Document, *xmldoc.Node) *xmldoc.Node { return node }
+			}
+			out = append(out, entry)
+		}
+		if len(out) > 0 {
+			return out
+		}
+	}
+	r.Misses++
+	if r.Fallback != nil {
+		return r.Fallback.ConditionBox(frag, ce)
+	}
+	return nil
+}
+
+// OrderBy implements core.Teacher.
+func (r *Replayer) OrderBy(frag core.FragmentRef) []xq.SortKey {
+	if e, ok := r.orders[frag.Var]; ok {
+		var out []xq.SortKey
+		for _, k := range e.Keys {
+			sp, err := xq.ParseSimplePath(k.Path)
+			if err != nil {
+				continue
+			}
+			out = append(out, xq.SortKey{Var: k.Var, Path: sp, Descending: k.Descending})
+		}
+		return out
+	}
+	if r.Fallback != nil {
+		return r.Fallback.OrderBy(frag)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package replay
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/teacher"
+	"repro/internal/xmark"
+	"repro/internal/xmldoc"
+	"repro/internal/xmp"
+	"repro/internal/xq"
+)
+
+// failingTeacher panics on any question: replays must never reach it.
+type failingTeacher struct{ t *testing.T }
+
+func (f failingTeacher) Member(core.FragmentRef, map[string]*xmldoc.Node, *xmldoc.Node) bool {
+	f.t.Fatal("replayer consulted the user for a membership query")
+	return false
+}
+func (f failingTeacher) Equivalent(core.FragmentRef, map[string]*xmldoc.Node, []*xmldoc.Node) (*xmldoc.Node, bool, bool) {
+	f.t.Fatal("replayer consulted the user for an equivalence query")
+	return nil, false, false
+}
+func (f failingTeacher) ConditionBox(core.FragmentRef, *xmldoc.Node) []core.BoxEntry {
+	f.t.Fatal("replayer consulted the user for a Condition Box")
+	return nil
+}
+func (f failingTeacher) OrderBy(core.FragmentRef) []xq.SortKey { return nil }
+
+// recordThenReplay learns the scenario twice: once recording against
+// the simulated teacher, once replaying with no teacher at all, and
+// checks both sessions learn result-identical queries.
+func recordThenReplay(t *testing.T, id string) {
+	t.Helper()
+	var s = xmark.ScenarioByID(id)
+	if s == nil {
+		s = xmp.ScenarioByID(id)
+	}
+	if s == nil {
+		t.Fatalf("no scenario %s", id)
+	}
+	doc := s.Doc()
+	truth := s.Truth()
+
+	sim := teacher.New(doc, truth)
+	sim.Boxes = s.Boxes
+	sim.Orders = s.Orders
+	rec := NewRecorder(doc, sim)
+	eng := core.NewEngine(doc, rec, core.DefaultOptions())
+	tree1, stats1, err := eng.Learn(&core.TaskSpec{Target: s.Target, Drops: s.Drops})
+	if err != nil {
+		t.Fatalf("recorded session: %v", err)
+	}
+
+	// Serialize and reload the log (exercises the JSON round trip).
+	var buf bytes.Buffer
+	if err := rec.Log.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	log, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := NewReplayer(doc, log, failingTeacher{t})
+	eng2 := core.NewEngine(doc, rep, core.DefaultOptions())
+	tree2, stats2, err := eng2.Learn(&core.TaskSpec{Target: s.Target, Drops: s.Drops})
+	if err != nil {
+		t.Fatalf("replayed session: %v", err)
+	}
+	if rep.Misses != 0 {
+		t.Errorf("replay missed %d answers", rep.Misses)
+	}
+	a := xmldoc.XMLString(xq.NewEvaluator(doc).Result(tree1).DocNode())
+	b := xmldoc.XMLString(xq.NewEvaluator(doc).Result(tree2).DocNode())
+	if a != b {
+		t.Fatalf("replayed session learned a different query:\n%s\nvs\n%s", a, b)
+	}
+	if stats1.Totals().MQ != stats2.Totals().MQ {
+		t.Errorf("interaction counts diverged: %d vs %d", stats1.Totals().MQ, stats2.Totals().MQ)
+	}
+}
+
+func TestReplayPlainQuery(t *testing.T)     { recordThenReplay(t, "XMark-Q13") }
+func TestReplayConditionBox(t *testing.T)   { recordThenReplay(t, "XMark-Q1") }
+func TestReplayPredEscapeBox(t *testing.T)  { recordThenReplay(t, "XMark-Q3") }
+func TestReplayOrderBy(t *testing.T)        { recordThenReplay(t, "XMark-Q19") }
+func TestReplayJoinLearning(t *testing.T)   { recordThenReplay(t, "XMark-Q9") }
+func TestReplayXMPAggregates(t *testing.T)  { recordThenReplay(t, "XMP-Q10") }
+func TestReplayNegativeBoxNCB(t *testing.T) { recordThenReplay(t, "XMark-Q17") }
+
+// TestReplayAcrossRegeneratedInstance: the log replays against a
+// freshly generated (identical-seed) instance — node identities differ,
+// signatures match.
+func TestReplayAcrossRegeneratedInstance(t *testing.T) {
+	s := xmark.ScenarioByID("Q13")
+	doc1 := s.Doc()
+	sim := teacher.New(doc1, s.Truth())
+	sim.Boxes = s.Boxes
+	rec := NewRecorder(doc1, sim)
+	eng := core.NewEngine(doc1, rec, core.DefaultOptions())
+	if _, _, err := eng.Learn(&core.TaskSpec{Target: s.Target, Drops: s.Drops}); err != nil {
+		t.Fatal(err)
+	}
+
+	doc2 := xmark.Generate(xmark.DefaultConfig()) // fresh instance, same shape
+	rep := NewReplayer(doc2, rec.Log, nil)
+	eng2 := core.NewEngine(doc2, rep, core.DefaultOptions())
+	tree, _, err := eng2.Learn(&core.TaskSpec{Target: s.Target, Drops: s.Drops})
+	if err != nil {
+		t.Fatalf("replay across instances: %v", err)
+	}
+	if rep.Misses != 0 {
+		t.Errorf("misses = %d", rep.Misses)
+	}
+	got := xmldoc.XMLString(xq.NewEvaluator(doc2).Result(tree).DocNode())
+	want := xmldoc.XMLString(xq.NewEvaluator(doc2).Result(s.Truth()).DocNode())
+	if got != want {
+		t.Fatal("replayed query wrong on the regenerated instance")
+	}
+}
+
+// TestReplayFallback: an incomplete log falls back to the inner teacher
+// and counts misses.
+func TestReplayFallback(t *testing.T) {
+	s := xmark.ScenarioByID("Q13")
+	doc := s.Doc()
+	sim := teacher.New(doc, s.Truth())
+	sim.Boxes = s.Boxes
+	empty := &Log{}
+	rep := NewReplayer(doc, empty, sim)
+	eng := core.NewEngine(doc, rep, core.DefaultOptions())
+	if _, _, err := eng.Learn(&core.TaskSpec{Target: s.Target, Drops: s.Drops}); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Misses == 0 {
+		t.Fatal("empty log must miss")
+	}
+}
+
+// TestReplayNoFallbackPanics: with no fallback, an unanswerable
+// question is a hard error.
+func TestReplayNoFallbackPanics(t *testing.T) {
+	s := xmark.ScenarioByID("Q13")
+	doc := s.Doc()
+	rep := NewReplayer(doc, &Log{}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic from the empty log")
+		}
+	}()
+	eng := core.NewEngine(doc, rep, core.DefaultOptions())
+	_, _, _ = eng.Learn(&core.TaskSpec{Target: s.Target, Drops: s.Drops})
+}
+
+func TestSignatureStability(t *testing.T) {
+	doc1 := xmark.Generate(xmark.DefaultConfig())
+	doc2 := xmark.Generate(xmark.DefaultConfig())
+	i1, i2 := indexDoc(doc1), indexDoc(doc2)
+	if len(i1.bySig) != len(i2.bySig) {
+		t.Fatalf("signature counts differ: %d vs %d", len(i1.bySig), len(i2.bySig))
+	}
+	for sig := range i1.bySig {
+		if i2.bySig[sig] == nil {
+			t.Fatalf("signature %q missing in the regenerated instance", sig)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("{broken")); err == nil {
+		t.Fatal("broken JSON must fail")
+	}
+}
+
+func TestSignature(t *testing.T) {
+	doc := xmldoc.MustParse(`<a><b>hello</b></a>`)
+	b := doc.Root().FirstChildNamed("b")
+	if got := Signature(b); got != "/a/b=hello" {
+		t.Fatalf("Signature = %q", got)
+	}
+}

@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"repro/internal/pathre"
+	"repro/internal/xq"
+)
+
+// The builders below mirror the XQ-Tree shapes the engine's skeleton
+// construction emits, so ground-truth trees line up with learned trees
+// structurally (same tags, same child order, same variable placement).
+
+// LeafFor builds a pair-leaf fragment: for $v in $from/step return
+// <tag>$v</tag>, 1-labeled.
+func LeafFor(v, from, step, tag string) *xq.Node {
+	return &xq.Node{
+		Var: v, From: from, Path: pathre.MustParsePath(step),
+		Ret: xq.RElem{Tag: tag, Kids: []xq.RetExpr{xq.RVar{Name: v}}}, OneLabeled: true,
+	}
+}
+
+// PlainFor builds a plain box fragment: for $v in path [from $from]
+// return <tag>$v</tag>.
+func PlainFor(v, from, path, tag string, where ...*xq.Pred) *xq.Node {
+	return &xq.Node{
+		Var: v, From: from, Path: pathre.MustParsePath(path),
+		Where: where,
+		Ret:   xq.RElem{Tag: tag, Kids: []xq.RetExpr{xq.RVar{Name: v}}},
+	}
+}
+
+// AnchorFor builds a pair-anchor fragment wrapping its leaf and other
+// children: for $v in path where ... return <tag>{leaf}{kids...}</tag>.
+func AnchorFor(v, path, tag string, leaf *xq.Node, kids []*xq.Node, where ...*xq.Pred) *xq.Node {
+	ret := xq.RElem{Tag: tag, Kids: []xq.RetExpr{xq.RChild{Node: leaf}}}
+	children := []*xq.Node{leaf}
+	for _, k := range kids {
+		ret.Kids = append(ret.Kids, xq.RChild{Node: k})
+		children = append(children, k)
+	}
+	return &xq.Node{
+		Var: v, Path: pathre.MustParsePath(path),
+		Where: where, Ret: ret, Children: children,
+	}
+}
+
+// AggHolder builds the aggregate shape the engine emits for a function
+// Drop Box: <tag>fn({inner})</tag>.
+func AggHolder(tag, fn string, inner *xq.Node) *xq.Node {
+	return &xq.Node{
+		Ret: xq.RElem{Tag: tag, Kids: []xq.RetExpr{
+			xq.RFunc{Name: fn, Args: []xq.RetExpr{xq.RChild{Node: inner}}},
+		}},
+		Children: []*xq.Node{inner},
+	}
+}
+
+// Holder builds a plain wrapper element holder.
+func Holder(tag string, kids ...*xq.Node) *xq.Node {
+	ret := xq.RElem{Tag: tag}
+	for _, k := range kids {
+		ret.Kids = append(ret.Kids, xq.RChild{Node: k})
+	}
+	return &xq.Node{Ret: ret, Children: kids}
+}
+
+// BareFor builds the sequence fragment inside an aggregate: for $v in
+// path return $v.
+func BareFor(v, from, path string, where ...*xq.Pred) *xq.Node {
+	return &xq.Node{
+		Var: v, From: from, Path: pathre.MustParsePath(path),
+		Where: where, Ret: xq.RVar{Name: v},
+	}
+}
+
+// RootHolder wraps top-level fragments into a tree: <tag>{kids...}</tag>.
+func RootHolder(tag string, kids ...*xq.Node) *xq.Tree {
+	return xq.NewTree(Holder(tag, kids...))
+}
+
+// CountWrap is the count(·) Drop Box function.
+func CountWrap(inner xq.RetExpr) xq.RetExpr {
+	return xq.RFunc{Name: "count", Args: []xq.RetExpr{inner}}
+}
+
+// MinWrap is the min(·) Drop Box function.
+func MinWrap(inner xq.RetExpr) xq.RetExpr {
+	return xq.RFunc{Name: "min", Args: []xq.RetExpr{inner}}
+}
+
+// FnWrap builds a Drop Box function applying the named aggregate.
+func FnWrap(name string) func(xq.RetExpr) xq.RetExpr {
+	return func(inner xq.RetExpr) xq.RetExpr {
+		return xq.RFunc{Name: name, Args: []xq.RetExpr{inner}}
+	}
+}

@@ -1,0 +1,88 @@
+// Package scenario packages one learning task end to end: a source
+// instance, a target schema, the user's drops and boxes, and the
+// ground-truth query that drives the simulated teacher. Running a
+// scenario learns the query and verifies that the learned query
+// evaluates identically to the ground truth on the instance — the
+// reproduction's success criterion for every benchmark query.
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/teacher"
+	"repro/internal/xmldoc"
+	"repro/internal/xq"
+)
+
+// Scenario is one benchmark query modeled as an XLearner session.
+type Scenario struct {
+	// ID names the query, e.g. "XMark-Q1".
+	ID string
+	// Description says what the query computes.
+	Description string
+	// Doc builds (or returns) the source instance.
+	Doc func() *xmldoc.Document
+	// Target is the result schema the template is generated from.
+	Target *dtd.DTD
+	// Truth builds the ground-truth XQ-Tree (variable names must match
+	// the Drops).
+	Truth func() *xq.Tree
+	// Drops in learning order.
+	Drops []core.Drop
+	// Boxes are the Condition Box entries served on demand, keyed by
+	// fragment variable.
+	Boxes map[string][]core.BoxEntry
+	// Orders are OrderBy Box keys, keyed by fragment variable.
+	Orders map[string][]xq.SortKey
+}
+
+// Result of running a scenario.
+type Result struct {
+	Scenario *Scenario
+	Tree     *xq.Tree
+	Stats    *core.Stats
+	// Verified reports that the learned query's full result equals the
+	// ground truth's.
+	Verified   bool
+	LearnedXML string
+	TruthXML   string
+}
+
+// Run learns the scenario with the given options and counterexample
+// policy and verifies the outcome.
+func Run(s *Scenario, opts core.Options, pol teacher.Policy) (*Result, error) {
+	doc := s.Doc()
+	truth := s.Truth()
+	sim := teacher.New(doc, truth)
+	sim.Pol = pol
+	sim.Boxes = s.Boxes
+	sim.Orders = s.Orders
+	eng := core.NewEngine(doc, sim, opts)
+	tree, stats, err := eng.Learn(&core.TaskSpec{Target: s.Target, Drops: s.Drops})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.ID, err)
+	}
+	learned := xq.NewEvaluator(doc)
+	truthEv := xq.NewEvaluator(doc)
+	res := &Result{
+		Scenario:   s,
+		Tree:       tree,
+		Stats:      stats,
+		LearnedXML: xmldoc.XMLString(learned.Result(tree).DocNode()),
+		TruthXML:   xmldoc.XMLString(truthEv.Result(truth).DocNode()),
+	}
+	res.Verified = res.LearnedXML == res.TruthXML
+	return res, nil
+}
+
+// MustRun runs with default options and best-case policy, panicking on
+// error (for examples).
+func MustRun(s *Scenario) *Result {
+	r, err := Run(s, core.DefaultOptions(), teacher.BestCase)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

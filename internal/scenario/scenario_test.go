@@ -1,0 +1,91 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/teacher"
+	"repro/internal/xmldoc"
+	"repro/internal/xq"
+)
+
+func tiny() *Scenario {
+	return &Scenario{
+		ID:          "tiny",
+		Description: "names of all widgets",
+		Doc: func() *xmldoc.Document {
+			return xmldoc.MustParse(`<shop><widget><name>bolt</name></widget><widget><name>nut</name></widget></shop>`)
+		},
+		Target: dtd.MustParse(`<!ELEMENT out (wname*)> <!ELEMENT wname (#PCDATA)>`),
+		Truth: func() *xq.Tree {
+			return RootHolder("out", PlainFor("w", "", "/shop/widget/name", "wname"))
+		},
+		Drops: []core.Drop{{
+			Path: "out/wname", Var: "w",
+			Select: teacher.SelectByText("name", "bolt"),
+		}},
+	}
+}
+
+func TestRunVerifies(t *testing.T) {
+	res, err := Run(tiny(), core.DefaultOptions(), teacher.BestCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("not verified:\n%s\nvs\n%s", res.LearnedXML, res.TruthXML)
+	}
+	if !strings.Contains(res.LearnedXML, "bolt") || !strings.Contains(res.LearnedXML, "nut") {
+		t.Fatalf("result incomplete: %s", res.LearnedXML)
+	}
+	if res.Stats.DnD != 1 {
+		t.Fatalf("DnD = %d", res.Stats.DnD)
+	}
+}
+
+func TestMustRun(t *testing.T) {
+	if r := MustRun(tiny()); !r.Verified {
+		t.Fatal("MustRun should verify")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRun must panic on error")
+		}
+	}()
+	bad := tiny()
+	bad.Drops[0].Select = func(*xmldoc.Document) *xmldoc.Node { return nil }
+	MustRun(bad)
+}
+
+func TestBuildersShapeMatchesEngine(t *testing.T) {
+	// The builder shapes must mirror the engine's skeleton exactly; the
+	// tiny scenario's verification already proves PlainFor/RootHolder.
+	// Check AnchorFor/LeafFor/Holder/AggHolder render as expected.
+	leaf := LeafFor("l", "a", "name", "tag")
+	if !leaf.OneLabeled || leaf.From != "a" {
+		t.Fatal("LeafFor wiring")
+	}
+	anchor := AnchorFor("a", "/x/y", "wrap", leaf, []*xq.Node{BareFor("b", "", "/x/z")})
+	if len(anchor.Children) != 2 {
+		t.Fatal("AnchorFor children")
+	}
+	if got := xq.RetString(anchor.Ret); !strings.Contains(got, "<wrap>") {
+		t.Fatalf("AnchorFor ret = %s", got)
+	}
+	agg := AggHolder("cnt", "count", BareFor("v", "", "/x/y"))
+	if got := xq.RetString(agg.Ret); !strings.Contains(got, "count(") {
+		t.Fatalf("AggHolder ret = %s", got)
+	}
+	h := Holder("h", leaf)
+	if len(h.Children) != 1 || h.Var != "" {
+		t.Fatal("Holder wiring")
+	}
+	if got := xq.RetString(CountWrap(xq.RVar{Name: "v"})); got != "count($v)" {
+		t.Fatalf("CountWrap = %s", got)
+	}
+	if got := xq.RetString(MinWrap(xq.RVar{Name: "v"})); got != "min($v)" {
+		t.Fatalf("MinWrap = %s", got)
+	}
+}

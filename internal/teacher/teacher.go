@@ -1,0 +1,184 @@
+// Package teacher implements a simulated minimally adequate teacher
+// (Section 2) driven by a ground-truth XQ-Tree: membership queries are
+// answered by evaluating the target query's extents, equivalence
+// queries by set-comparing extents and returning a counterexample from
+// the symmetric difference. This substitutes for the paper's human
+// user; the deterministic "best-case" counterexample policy mirrors the
+// paper's hand-selected examples, and the "worst-case" policy
+// reproduces the bracketed measurements of Figure 16 (see DESIGN.md).
+package teacher
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/xmldoc"
+	"repro/internal/xq"
+)
+
+// Policy selects which counterexample the simulated user returns.
+type Policy int
+
+const (
+	// BestCase prefers positive counterexamples, shallow nodes, document
+	// order — informative answers, like the paper's hand-picked ones.
+	BestCase Policy = iota
+	// WorstCase prefers negative counterexamples, deep nodes, reverse
+	// document order.
+	WorstCase
+)
+
+// Sim is the simulated teacher.
+type Sim struct {
+	// Doc is the source document.
+	Doc *xmldoc.Document
+	// Truth is the ground-truth XQ-Tree; its for-variables must use the
+	// same names as the engine's Drop specs.
+	Truth *xq.Tree
+	// Boxes supplies Condition Box entries per fragment variable.
+	Boxes map[string][]core.BoxEntry
+	// Orders supplies OrderBy Box keys per fragment variable.
+	Orders map[string][]xq.SortKey
+	// Pol is the counterexample policy.
+	Pol Policy
+
+	ev *xq.Evaluator
+	// Interactions counts every question the simulated user answered
+	// (for sanity cross-checks against engine stats).
+	Interactions int
+	// boxesServed tracks one-shot box delivery per fragment.
+	boxesServed map[string]bool
+}
+
+// New builds a simulated teacher.
+func New(doc *xmldoc.Document, truth *xq.Tree) *Sim {
+	return &Sim{Doc: doc, Truth: truth, ev: xq.NewEvaluator(doc), boxesServed: map[string]bool{}}
+}
+
+// extent computes the true extent for a fragment in the given context.
+func (s *Sim) extent(frag core.FragmentRef, ctx map[string]*xmldoc.Node) []*xmldoc.Node {
+	n := s.Truth.VarNode(frag.Var)
+	if n == nil {
+		panic("teacher: ground truth has no variable $" + frag.Var)
+	}
+	pinned := xq.Env{}
+	for k, v := range ctx {
+		// Pin only variables the truth tree actually binds on this
+		// fragment's chain.
+		if s.Truth.VarNode(k) != nil {
+			pinned[k] = v
+		}
+	}
+	return s.ev.Extent(s.Truth, n, pinned)
+}
+
+// Member implements core.Teacher.
+func (s *Sim) Member(frag core.FragmentRef, ctx map[string]*xmldoc.Node, n *xmldoc.Node) bool {
+	s.Interactions++
+	for _, m := range s.extent(frag, ctx) {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Equivalent implements core.Teacher.
+func (s *Sim) Equivalent(frag core.FragmentRef, ctx map[string]*xmldoc.Node, hyp []*xmldoc.Node) (*xmldoc.Node, bool, bool) {
+	s.Interactions++
+	truth := s.extent(frag, ctx)
+	inHyp := map[int]bool{}
+	for _, n := range hyp {
+		inHyp[n.ID] = true
+	}
+	inTruth := map[int]bool{}
+	for _, n := range truth {
+		inTruth[n.ID] = true
+	}
+	var pos, neg []*xmldoc.Node
+	for _, n := range truth {
+		if !inHyp[n.ID] {
+			pos = append(pos, n)
+		}
+	}
+	for _, n := range hyp {
+		if !inTruth[n.ID] {
+			neg = append(neg, n)
+		}
+	}
+	if len(pos) == 0 && len(neg) == 0 {
+		return nil, false, true
+	}
+	ce, positive := s.pick(pos, neg)
+	return ce, positive, false
+}
+
+func (s *Sim) pick(pos, neg []*xmldoc.Node) (*xmldoc.Node, bool) {
+	choose := func(list []*xmldoc.Node) *xmldoc.Node {
+		best := list[0]
+		for _, n := range list[1:] {
+			if s.Pol == BestCase {
+				if n.Depth() < best.Depth() || (n.Depth() == best.Depth() && n.ID < best.ID) {
+					best = n
+				}
+			} else {
+				if n.Depth() > best.Depth() || (n.Depth() == best.Depth() && n.ID > best.ID) {
+					best = n
+				}
+			}
+		}
+		return best
+	}
+	if s.Pol == BestCase {
+		if len(pos) > 0 {
+			return choose(pos), true
+		}
+		return choose(neg), false
+	}
+	if len(neg) > 0 {
+		return choose(neg), false
+	}
+	return choose(pos), true
+}
+
+// ConditionBox implements core.Teacher: it serves the scenario's
+// pre-declared entries for the fragment, once.
+func (s *Sim) ConditionBox(frag core.FragmentRef, ce *xmldoc.Node) []core.BoxEntry {
+	if s.boxesServed[frag.Var] {
+		return nil
+	}
+	s.boxesServed[frag.Var] = true
+	entries := s.Boxes[frag.Var]
+	s.Interactions += len(entries)
+	return entries
+}
+
+// OrderBy implements core.Teacher.
+func (s *Sim) OrderBy(frag core.FragmentRef) []xq.SortKey {
+	return s.Orders[frag.Var]
+}
+
+// SelectByText returns a node selector finding the first node with the
+// given label whose text equals value (a scenario convenience).
+func SelectByText(label, value string) func(*xmldoc.Document) *xmldoc.Node {
+	return func(doc *xmldoc.Document) *xmldoc.Node {
+		for _, n := range doc.NodesWithLabel(label) {
+			if strings.TrimSpace(n.Text()) == value {
+				return n
+			}
+		}
+		return nil
+	}
+}
+
+// SelectNth returns a selector for the i-th node (0-based, document
+// order) with the given label.
+func SelectNth(label string, i int) func(*xmldoc.Document) *xmldoc.Node {
+	return func(doc *xmldoc.Document) *xmldoc.Node {
+		ns := doc.NodesWithLabel(label)
+		if i < len(ns) {
+			return ns[i]
+		}
+		return nil
+	}
+}

@@ -1,0 +1,154 @@
+package teacher
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pathre"
+	"repro/internal/xmldoc"
+	"repro/internal/xq"
+)
+
+const doc = `<r>
+  <a id="1"><n>one</n></a>
+  <a id="2"><n>two</n></a>
+  <a id="3"><n>three</n></a>
+</r>`
+
+func truth() *xq.Tree {
+	return xq.NewTree(&xq.Node{
+		Var: "x", Path: pathre.MustParsePath("/r/a/n"),
+		Ret: xq.RElem{Tag: "o", Kids: []xq.RetExpr{xq.RVar{Name: "x"}}},
+	})
+}
+
+func frag() core.FragmentRef { return core.FragmentRef{Var: "x", AnchorVar: "x"} }
+
+func TestMember(t *testing.T) {
+	d := xmldoc.MustParse(doc)
+	s := New(d, truth())
+	n := d.NodesWithLabel("n")[0]
+	if !s.Member(frag(), nil, n) {
+		t.Fatal("n is in the extent")
+	}
+	a := d.NodesWithLabel("a")[0]
+	if s.Member(frag(), nil, a) {
+		t.Fatal("a is not in the extent")
+	}
+	if s.Interactions != 2 {
+		t.Fatalf("interactions = %d", s.Interactions)
+	}
+}
+
+func TestEquivalentAccepts(t *testing.T) {
+	d := xmldoc.MustParse(doc)
+	s := New(d, truth())
+	hyp := d.NodesWithLabel("n")
+	if _, _, ok := s.Equivalent(frag(), nil, hyp); !ok {
+		t.Fatal("exact extent must be accepted")
+	}
+}
+
+func TestEquivalentCounterexamples(t *testing.T) {
+	d := xmldoc.MustParse(doc)
+	s := New(d, truth())
+	ns := d.NodesWithLabel("n")
+
+	// Missing node: positive counterexample.
+	ce, positive, ok := s.Equivalent(frag(), nil, ns[:2])
+	if ok || !positive || ce != ns[2] {
+		t.Fatalf("positive ce = %v positive=%v ok=%v", ce, positive, ok)
+	}
+	// Extra node: negative counterexample.
+	extra := append(append([]*xmldoc.Node{}, ns...), d.NodesWithLabel("a")[0])
+	ce, positive, ok = s.Equivalent(frag(), nil, extra)
+	if ok || positive || ce == nil || ce.Name != "a" {
+		t.Fatalf("negative ce = %v positive=%v ok=%v", ce, positive, ok)
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	d := xmldoc.MustParse(doc)
+	s := New(d, truth())
+	ns := d.NodesWithLabel("n")
+	// Two missing positives: best-case picks document order (first).
+	ce, _, _ := s.Equivalent(frag(), nil, ns[:1])
+	if ce != ns[1] {
+		t.Fatalf("best case picked %v", ce.PathString())
+	}
+	s.Pol = WorstCase
+	ce, _, _ = s.Equivalent(frag(), nil, ns[:1])
+	if ce != ns[2] {
+		t.Fatalf("worst case picked %v", ce.PathString())
+	}
+}
+
+func TestBestCasePrefersPositive(t *testing.T) {
+	d := xmldoc.MustParse(doc)
+	s := New(d, truth())
+	ns := d.NodesWithLabel("n")
+	// Hypothesis missing ns[2] and containing a wrong node.
+	hyp := []*xmldoc.Node{ns[0], ns[1], d.NodesWithLabel("a")[0]}
+	_, positive, _ := s.Equivalent(frag(), nil, hyp)
+	if !positive {
+		t.Fatal("best case must prefer the positive counterexample")
+	}
+	s.Pol = WorstCase
+	_, positive, _ = s.Equivalent(frag(), nil, hyp)
+	if positive {
+		t.Fatal("worst case must prefer the negative counterexample")
+	}
+}
+
+func TestConditionBoxServedOnce(t *testing.T) {
+	d := xmldoc.MustParse(doc)
+	s := New(d, truth())
+	s.Boxes = map[string][]core.BoxEntry{"x": {{Op: xq.OpEq, Const: "1"}}}
+	if got := s.ConditionBox(frag(), nil); len(got) != 1 {
+		t.Fatalf("first call = %d entries", len(got))
+	}
+	if got := s.ConditionBox(frag(), nil); len(got) != 0 {
+		t.Fatal("second call must be empty (one-shot)")
+	}
+}
+
+func TestUnknownVariablePanics(t *testing.T) {
+	d := xmldoc.MustParse(doc)
+	s := New(d, truth())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown fragment variable must panic")
+		}
+	}()
+	s.Member(core.FragmentRef{Var: "zzz", AnchorVar: "zzz"}, nil, d.Root())
+}
+
+func TestSelectors(t *testing.T) {
+	d := xmldoc.MustParse(doc)
+	if n := SelectByText("n", "two")(d); n == nil || n.Text() != "two" {
+		t.Fatal("SelectByText failed")
+	}
+	if SelectByText("n", "zzz")(d) != nil {
+		t.Fatal("SelectByText should miss")
+	}
+	if n := SelectNth("a", 1)(d); n == nil {
+		t.Fatal("SelectNth failed")
+	} else if v, _ := n.Attr("id"); v != "2" {
+		t.Fatalf("SelectNth picked %s", v)
+	}
+	if SelectNth("a", 9)(d) != nil {
+		t.Fatal("SelectNth out of range should be nil")
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	d := xmldoc.MustParse(doc)
+	s := New(d, truth())
+	if got := s.OrderBy(frag()); got != nil {
+		t.Fatalf("no orders configured, got %v", got)
+	}
+	s.Orders = map[string][]xq.SortKey{"x": {{Var: "x"}}}
+	if got := s.OrderBy(frag()); len(got) != 1 {
+		t.Fatalf("orders = %v", got)
+	}
+}

@@ -1,0 +1,49 @@
+// Package ucr reimplements the substrate of the W3C XML Query Use Case
+// "R" (access to relational data: the users/items/bids auction), the
+// third benchmark group of Figure 15 (14/18 queries in XQI). Eight of
+// the in-XQI queries are modeled as runnable learning scenarios; the
+// rest of the row remains statically classified in internal/usecases.
+package ucr
+
+import "repro/internal/xmldoc"
+
+// Source is the composite instance (the W3C sample users.xml,
+// items.xml, and bids.xml under one root, lightly extended so every
+// query has positives and negatives).
+const Source = `<r>
+ <users>
+  <user_tuple><userid>U01</userid><name>Tom Jones</name><rating>B</rating></user_tuple>
+  <user_tuple><userid>U02</userid><name>Mary Doe</name><rating>A</rating></user_tuple>
+  <user_tuple><userid>U03</userid><name>Dee Linquent</name><rating>D</rating></user_tuple>
+  <user_tuple><userid>U04</userid><name>Roger Smith</name><rating>C</rating></user_tuple>
+  <user_tuple><userid>U05</userid><name>Jack Sprat</name><rating>B</rating></user_tuple>
+  <user_tuple><userid>U06</userid><name>Rip Van Winkle</name></user_tuple>
+ </users>
+ <items>
+  <item_tuple><itemno>1001</itemno><description>Red Bicycle</description><offered_by>U01</offered_by><reserve_price>40</reserve_price><end_date>1999-01-20</end_date></item_tuple>
+  <item_tuple><itemno>1002</itemno><description>Motorcycle</description><offered_by>U02</offered_by><reserve_price>500</reserve_price><end_date>1999-02-20</end_date></item_tuple>
+  <item_tuple><itemno>1003</itemno><description>Old Bicycle</description><offered_by>U02</offered_by><reserve_price>15</reserve_price><end_date>1999-02-02</end_date></item_tuple>
+  <item_tuple><itemno>1004</itemno><description>Tricycle</description><offered_by>U01</offered_by><reserve_price>15</reserve_price><end_date>1999-01-05</end_date></item_tuple>
+  <item_tuple><itemno>1005</itemno><description>Tennis Racket</description><offered_by>U03</offered_by><reserve_price>20</reserve_price><end_date>1999-03-19</end_date></item_tuple>
+  <item_tuple><itemno>1006</itemno><description>Helicopter</description><offered_by>U03</offered_by><reserve_price>50000</reserve_price><end_date>1999-05-05</end_date></item_tuple>
+  <item_tuple><itemno>1007</itemno><description>Racing Bicycle</description><offered_by>U04</offered_by><reserve_price>200</reserve_price><end_date>1999-01-20</end_date></item_tuple>
+  <item_tuple><itemno>1008</itemno><description>Broken Bicycle</description><offered_by>U01</offered_by><end_date>1999-12-19</end_date></item_tuple>
+ </items>
+ <bids>
+  <bid_tuple><userid>U02</userid><itemno>1001</itemno><bid>35</bid><bid_date>1999-01-07</bid_date></bid_tuple>
+  <bid_tuple><userid>U04</userid><itemno>1001</itemno><bid>40</bid><bid_date>1999-01-08</bid_date></bid_tuple>
+  <bid_tuple><userid>U02</userid><itemno>1001</itemno><bid>45</bid><bid_date>1999-01-11</bid_date></bid_tuple>
+  <bid_tuple><userid>U04</userid><itemno>1001</itemno><bid>50</bid><bid_date>1999-01-13</bid_date></bid_tuple>
+  <bid_tuple><userid>U02</userid><itemno>1001</itemno><bid>55</bid><bid_date>1999-01-15</bid_date></bid_tuple>
+  <bid_tuple><userid>U01</userid><itemno>1002</itemno><bid>400</bid><bid_date>1999-02-14</bid_date></bid_tuple>
+  <bid_tuple><userid>U02</userid><itemno>1002</itemno><bid>600</bid><bid_date>1999-02-16</bid_date></bid_tuple>
+  <bid_tuple><userid>U03</userid><itemno>1002</itemno><bid>800</bid><bid_date>1999-02-17</bid_date></bid_tuple>
+  <bid_tuple><userid>U04</userid><itemno>1002</itemno><bid>1000</bid><bid_date>1999-02-25</bid_date></bid_tuple>
+  <bid_tuple><userid>U02</userid><itemno>1003</itemno><bid>15</bid><bid_date>1999-01-22</bid_date></bid_tuple>
+  <bid_tuple><userid>U05</userid><itemno>1004</itemno><bid>40</bid><bid_date>1999-01-10</bid_date></bid_tuple>
+  <bid_tuple><userid>U01</userid><itemno>1007</itemno><bid>175</bid><bid_date>1999-01-25</bid_date></bid_tuple>
+ </bids>
+</r>`
+
+// Doc parses the composite instance.
+func Doc() *xmldoc.Document { return xmldoc.MustParse(Source) }

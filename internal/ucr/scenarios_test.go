@@ -1,0 +1,52 @@
+package ucr
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/teacher"
+)
+
+func TestScenarioCount(t *testing.T) {
+	if got := len(Scenarios()); got != 8 {
+		t.Fatalf("scenarios = %d, want 8", got)
+	}
+	if ScenarioByID("Q4") == nil || ScenarioByID("R-Q6") == nil {
+		t.Fatal("lookup failed")
+	}
+	if ScenarioByID("Q7") != nil {
+		t.Fatal("Q7 is not modeled")
+	}
+}
+
+func TestSelectorsResolve(t *testing.T) {
+	for _, s := range Scenarios() {
+		doc := s.Doc()
+		for _, d := range s.Drops {
+			if d.Select(doc) == nil {
+				t.Errorf("%s: drop %s selects nothing", s.ID, d.Path)
+			}
+		}
+	}
+}
+
+func TestLearnAllScenarios(t *testing.T) {
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.ID, func(t *testing.T) {
+			res, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+			if err != nil {
+				t.Fatalf("learning failed: %v", err)
+			}
+			if !res.Verified {
+				t.Fatalf("learned result differs\nlearned: %.400s\ntruth:   %.400s\nquery:\n%s",
+					res.LearnedXML, res.TruthXML, res.Tree.String())
+			}
+			tot := res.Stats.Totals()
+			if tot.MQ+tot.CE > 25 {
+				t.Errorf("interactions out of regime: MQ=%d CE=%d", tot.MQ, tot.CE)
+			}
+		})
+	}
+}

@@ -1,0 +1,153 @@
+// Package usecases holds the expressive-power classification behind the
+// paper's Figure 15: for each benchmark query group (XMark and the nine
+// W3C XML Query Use Cases), which queries belong to XQI — the class of
+// queries learnable by LEARN-X1*+ with the Section 9 extension — and
+// why the others do not.
+//
+// XMark and "XMP" membership is backed constructively by the runnable
+// scenarios in internal/xmark and internal/xmp; the remaining groups
+// are classified statically by the query feature that places them
+// outside the fragment, mirroring the paper's discussion (namespaces
+// for "NS", recursive user-defined functions for "PARTS", strong typing
+// for "STRONG", string functions for "STRING", and so on).
+package usecases
+
+// Query is one benchmark query's classification.
+type Query struct {
+	// ID is the query name within its group (e.g. "Q6").
+	ID string
+	// InXQI reports membership in the learnable class.
+	InXQI bool
+	// Reason explains exclusion (empty when InXQI).
+	Reason string
+	// Constructive reports that a runnable scenario in this repository
+	// demonstrates membership.
+	Constructive bool
+}
+
+// Group is one row of Figure 15.
+type Group struct {
+	Name    string
+	Queries []Query
+}
+
+// InCount returns how many queries are in XQI.
+func (g Group) InCount() int {
+	n := 0
+	for _, q := range g.Queries {
+		if q.InXQI {
+			n++
+		}
+	}
+	return n
+}
+
+// Percentage returns the Figure 15 percentage.
+func (g Group) Percentage() float64 {
+	if len(g.Queries) == 0 {
+		return 0
+	}
+	return 100 * float64(g.InCount()) / float64(len(g.Queries))
+}
+
+func in(id string) Query          { return Query{ID: id, InXQI: true} }
+func inC(id string) Query         { return Query{ID: id, InXQI: true, Constructive: true} }
+func out(id, reason string) Query { return Query{ID: id, InXQI: false, Reason: reason} }
+
+// Groups returns the ten rows of Figure 15.
+func Groups() []Group {
+	return []Group{
+		{
+			Name: "XMark",
+			Queries: []Query{
+				inC("Q1"), inC("Q2"), inC("Q3"), inC("Q4"), inC("Q5"),
+				out("Q6", "count over the descendant axis with no extent the user can exemplify fragment-wise"),
+				inC("Q7"), inC("Q8"), inC("Q9"), inC("Q10"), inC("Q11"),
+				inC("Q12"), inC("Q13"), inC("Q14"), inC("Q15"), inC("Q16"),
+				inC("Q17"), inC("Q18"), inC("Q19"), inC("Q20"),
+			},
+		},
+		{
+			Name: "UC \"XMP\"",
+			Queries: []Query{
+				inC("Q1"), inC("Q2"), inC("Q3"), inC("Q4"), inC("Q5"),
+				out("Q6", "element constructors computed from schema introspection"),
+				inC("Q7"), inC("Q8"), inC("Q9"), inC("Q10"), inC("Q11"), inC("Q12"),
+			},
+		},
+		{
+			Name: "UC \"TREE\"",
+			Queries: []Query{
+				in("Q1"), in("Q2"), in("Q3"), in("Q4"), in("Q5"),
+				out("Q6", "recursive user-defined function over arbitrary nesting depth"),
+			},
+		},
+		{
+			Name: "UC \"SEC\"",
+			Queries: []Query{
+				in("Q1"), in("Q2"), in("Q3"),
+				out("Q4", "access-control semantics require positional set difference"),
+				out("Q5", "result depends on node identity comparisons across reconstructed trees"),
+			},
+		},
+		{
+			Name: "UC \"R\"",
+			Queries: []Query{
+				inC("Q1"), inC("Q2"), inC("Q3"), inC("Q4"), inC("Q5"), inC("Q6"),
+				out("Q7", "full-outer-join semantics with computed null substitutes"),
+				inC("Q8"), inC("Q9"), in("Q10"), in("Q11"),
+				out("Q12", "universal quantification over joined sequences"),
+				in("Q13"), in("Q14"),
+				out("Q15", "negated existential with arithmetic over grouped aggregates"),
+				in("Q16"), in("Q17"),
+				out("Q18", "string concatenation in constructed keys"),
+			},
+		},
+		{
+			Name: "UC \"SGML\"",
+			Queries: []Query{
+				in("Q1"), in("Q2"), in("Q3"), in("Q4"), in("Q5"), in("Q6"),
+				in("Q7"), in("Q8"), in("Q9"), in("Q10"), in("Q11"),
+			},
+		},
+		{
+			Name: "UC \"STRING\"",
+			Queries: []Query{
+				in("Q1"),
+				out("Q2", "string-distance functions outside the condition family"),
+				out("Q4", "substring extraction in constructed output"),
+				in("Q5"),
+			},
+		},
+		{
+			Name: "UC \"NS\"",
+			Queries: []Query{
+				out("Q1", "namespace-qualified matching patterns"),
+				out("Q2", "namespace-qualified matching patterns"),
+				out("Q3", "namespace-qualified matching patterns"),
+				out("Q4", "namespace-qualified matching patterns"),
+				out("Q5", "namespace-qualified matching patterns"),
+				out("Q6", "namespace-qualified matching patterns"),
+				out("Q7", "namespace-qualified matching patterns"),
+				out("Q8", "namespace-qualified matching patterns"),
+			},
+		},
+		{
+			Name: "UC \"PARTS\"",
+			Queries: []Query{
+				out("Q1", "recursive user-defined function"),
+			},
+		},
+		{
+			Name: "UC \"STRONG\"",
+			Queries: []Query{
+				out("Q1", "strongly typed data"), out("Q2", "strongly typed data"),
+				out("Q3", "strongly typed data"), out("Q4", "strongly typed data"),
+				out("Q5", "strongly typed data"), out("Q6", "strongly typed data"),
+				out("Q7", "strongly typed data"), out("Q8", "strongly typed data"),
+				out("Q9", "strongly typed data"), out("Q10", "strongly typed data"),
+				out("Q11", "strongly typed data"), out("Q12", "strongly typed data"),
+			},
+		},
+	}
+}

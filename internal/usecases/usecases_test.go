@@ -1,0 +1,117 @@
+package usecases
+
+import (
+	"testing"
+
+	"repro/internal/ucr"
+	"repro/internal/xmark"
+	"repro/internal/xmp"
+)
+
+// TestFigure15Counts pins the classification to the paper's Figure 15
+// row by row.
+func TestFigure15Counts(t *testing.T) {
+	want := []struct {
+		name    string
+		in, all int
+	}{
+		{"XMark", 19, 20},
+		{"UC \"XMP\"", 11, 12},
+		{"UC \"TREE\"", 5, 6},
+		{"UC \"SEC\"", 3, 5},
+		{"UC \"R\"", 14, 18},
+		{"UC \"SGML\"", 11, 11},
+		{"UC \"STRING\"", 2, 4},
+		{"UC \"NS\"", 0, 8},
+		{"UC \"PARTS\"", 0, 1},
+		{"UC \"STRONG\"", 0, 12},
+	}
+	groups := Groups()
+	if len(groups) != len(want) {
+		t.Fatalf("groups = %d, want %d", len(groups), len(want))
+	}
+	for i, w := range want {
+		g := groups[i]
+		if g.Name != w.name {
+			t.Errorf("row %d name = %q, want %q", i, g.Name, w.name)
+		}
+		if g.InCount() != w.in || len(g.Queries) != w.all {
+			t.Errorf("%s: %d/%d, want %d/%d", g.Name, g.InCount(), len(g.Queries), w.in, w.all)
+		}
+	}
+}
+
+// TestConstructiveBackedByScenarios verifies that every query marked
+// Constructive has a runnable scenario, and conversely that every
+// scenario's query is classified in XQI.
+func TestConstructiveBackedByScenarios(t *testing.T) {
+	haveXMark := map[string]bool{}
+	for _, s := range xmark.Scenarios() {
+		haveXMark[s.ID] = true
+	}
+	haveXMP := map[string]bool{}
+	for _, s := range xmp.Scenarios() {
+		haveXMP[s.ID] = true
+	}
+	haveR := map[string]bool{}
+	for _, s := range ucr.Scenarios() {
+		haveR[s.ID] = true
+	}
+	for _, g := range Groups() {
+		for _, q := range g.Queries {
+			if !q.Constructive {
+				// XMark and XMP are fully constructive; "R" partially.
+				if q.InXQI && (g.Name == "XMark" || g.Name == "UC \"XMP\"") {
+					t.Errorf("%s %s: in XQI but not constructive", g.Name, q.ID)
+				}
+				continue
+			}
+			switch g.Name {
+			case "XMark":
+				if !haveXMark["XMark-"+q.ID] {
+					t.Errorf("XMark %s marked constructive but no scenario exists", q.ID)
+				}
+			case "UC \"XMP\"":
+				if !haveXMP["XMP-"+q.ID] {
+					t.Errorf("XMP %s marked constructive but no scenario exists", q.ID)
+				}
+			case "UC \"R\"":
+				if !haveR["R-"+q.ID] {
+					t.Errorf("R %s marked constructive but no scenario exists", q.ID)
+				}
+			default:
+				t.Errorf("%s %s: constructive outside the runnable groups", g.Name, q.ID)
+			}
+		}
+	}
+}
+
+// TestExclusionsHaveReasons: every excluded query names its blocking
+// feature.
+func TestExclusionsHaveReasons(t *testing.T) {
+	for _, g := range Groups() {
+		for _, q := range g.Queries {
+			if !q.InXQI && q.Reason == "" {
+				t.Errorf("%s %s excluded without a reason", g.Name, q.ID)
+			}
+			if q.InXQI && q.Reason != "" {
+				t.Errorf("%s %s included but carries a reason", g.Name, q.ID)
+			}
+		}
+	}
+}
+
+func TestPercentages(t *testing.T) {
+	for _, g := range Groups() {
+		p := g.Percentage()
+		if p < 0 || p > 100 {
+			t.Errorf("%s percentage = %f", g.Name, p)
+		}
+	}
+	if Groups()[5].Percentage() != 100 { // SGML
+		t.Error("SGML is 100%")
+	}
+	if Groups()[7].Percentage() != 0 { // NS
+		t.Error("NS is 0%")
+	}
+}

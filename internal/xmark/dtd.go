@@ -1,0 +1,111 @@
+// Package xmark reimplements the XMark benchmark substrate (Schmidt et
+// al., "Why And How To Benchmark XML Databases") used by the paper's
+// evaluation: the auction-site DTD, a seeded pure-Go data generator
+// standing in for the original C xmlgen (see DESIGN.md substitutions),
+// and the 19 benchmark queries of Figure 16 modeled as XLearner
+// scenarios.
+package xmark
+
+import "repro/internal/dtd"
+
+// DTDSource is the XMark auction DTD (structurally faithful subset: all
+// element types and ID/IDREF links the 19 modeled queries touch).
+const DTDSource = `
+<!ELEMENT site (regions, categories, catgraph, people, open_auctions, closed_auctions)>
+
+<!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT namerica (item*)>
+<!ELEMENT samerica (item*)>
+
+<!ELEMENT item (location, quantity, name, payment, description, shipping, incategory+, mailbox)>
+<!ATTLIST item id ID #REQUIRED>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT shipping (#PCDATA)>
+<!ELEMENT incategory EMPTY>
+<!ATTLIST incategory category IDREF #REQUIRED>
+<!ELEMENT mailbox (mail*)>
+<!ELEMENT mail (from, to, date, text)>
+<!ELEMENT from (#PCDATA)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+
+<!ELEMENT description (text | parlist)>
+<!ELEMENT text (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT bold (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT keyword (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT emph (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT parlist (listitem*)>
+<!ELEMENT listitem (text | parlist)>
+
+<!ELEMENT categories (category+)>
+<!ELEMENT category (name, description)>
+<!ATTLIST category id ID #REQUIRED>
+
+<!ELEMENT catgraph (edge*)>
+<!ELEMENT edge EMPTY>
+<!ATTLIST edge from IDREF #REQUIRED to IDREF #REQUIRED>
+
+<!ELEMENT people (person*)>
+<!ELEMENT person (name, emailaddress, phone?, address?, homepage?, creditcard?, profile?, watches?)>
+<!ATTLIST person id ID #REQUIRED>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT address (street, city, country, zipcode)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT zipcode (#PCDATA)>
+<!ELEMENT homepage (#PCDATA)>
+<!ELEMENT creditcard (#PCDATA)>
+<!ELEMENT profile (interest*, education?, gender?, business, age?)>
+<!ATTLIST profile income CDATA #IMPLIED>
+<!ELEMENT interest EMPTY>
+<!ATTLIST interest category IDREF #REQUIRED>
+<!ELEMENT education (#PCDATA)>
+<!ELEMENT gender (#PCDATA)>
+<!ELEMENT business (#PCDATA)>
+<!ELEMENT age (#PCDATA)>
+<!ELEMENT watches (watch*)>
+<!ELEMENT watch EMPTY>
+<!ATTLIST watch open_auction IDREF #REQUIRED>
+
+<!ELEMENT open_auctions (open_auction*)>
+<!ELEMENT open_auction (initial, reserve?, bidder*, current, itemref, seller, annotation, quantity, type, interval)>
+<!ATTLIST open_auction id ID #REQUIRED>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT reserve (#PCDATA)>
+<!ELEMENT bidder (date, time, personref, increase)>
+<!ELEMENT time (#PCDATA)>
+<!ELEMENT personref EMPTY>
+<!ATTLIST personref person IDREF #REQUIRED>
+<!ELEMENT increase (#PCDATA)>
+<!ELEMENT current (#PCDATA)>
+<!ELEMENT itemref EMPTY>
+<!ATTLIST itemref item IDREF #REQUIRED>
+<!ELEMENT seller EMPTY>
+<!ATTLIST seller person IDREF #REQUIRED>
+<!ELEMENT annotation (author, description, happiness)>
+<!ELEMENT author EMPTY>
+<!ATTLIST author person IDREF #REQUIRED>
+<!ELEMENT happiness (#PCDATA)>
+<!ELEMENT type (#PCDATA)>
+<!ELEMENT interval (start, end)>
+<!ELEMENT start (#PCDATA)>
+<!ELEMENT end (#PCDATA)>
+
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction (seller, buyer, itemref, price, date, quantity, type, annotation)>
+<!ELEMENT buyer EMPTY>
+<!ATTLIST buyer person IDREF #REQUIRED>
+<!ELEMENT price (#PCDATA)>
+`
+
+// DTD parses the XMark schema (panics only on a programming error).
+func DTD() *dtd.DTD { return dtd.MustParse(DTDSource) }

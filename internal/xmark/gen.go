@@ -1,0 +1,367 @@
+package xmark
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmldoc"
+)
+
+// Config scales the generated instance. The defaults correspond to a
+// small xmlgen factor: big enough that path learning sees every region
+// and join learning sees distractors, small enough for fast tests.
+type Config struct {
+	Seed           int64
+	Categories     int
+	ItemsPerRegion int
+	People         int
+	OpenAuctions   int
+	ClosedAuctions int
+}
+
+// DefaultConfig returns the scale used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		Categories:     8,
+		ItemsPerRegion: 6,
+		People:         25,
+		OpenAuctions:   20,
+		ClosedAuctions: 25,
+	}
+}
+
+var regions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+var words = []string{
+	"gentle", "hostile", "mild", "scholar", "merchant", "anchor", "bridge",
+	"castle", "dragon", "ember", "forest", "garden", "harbor", "island",
+	"jungle", "kernel", "lantern", "meadow", "needle", "orchard", "python",
+	"quarry", "river", "stone", "temple", "umbrella", "valley", "willow",
+	"saffron", "zephyr",
+}
+
+var keywords = []string{"gold", "silver", "bronze", "platinum", "copper"}
+
+var countries = []string{"United States", "Germany", "Japan", "Malaysia", "Peru"}
+
+var cities = []string{"Tokyo", "Berlin", "Lima", "Austin", "Penang", "Kyoto"}
+
+var educations = []string{"High School", "College", "Graduate School"}
+
+// gen wraps the deterministic source.
+type gen struct {
+	r   *rand.Rand
+	doc *xmldoc.Document
+	cfg Config
+}
+
+func (g *gen) word() string { return words[g.r.Intn(len(words))] }
+func (g *gen) words(n int) string {
+	s := g.word()
+	for i := 1; i < n; i++ {
+		s += " " + g.word()
+	}
+	return s
+}
+
+func (g *gen) textEl(parent *xmldoc.Node, tag, value string) *xmldoc.Node {
+	el := g.doc.CreateElement(parent, tag)
+	g.doc.CreateText(el, value)
+	return el
+}
+
+// Generate produces an XMark instance.
+func Generate(cfg Config) *xmldoc.Document {
+	g := &gen{r: rand.New(rand.NewSource(cfg.Seed)), doc: xmldoc.NewDocument(), cfg: cfg}
+	site := g.doc.CreateElement(g.doc.DocNode(), "site")
+	g.regions(site)
+	g.categories(site)
+	g.catgraph(site)
+	g.people(site)
+	g.openAuctions(site)
+	g.closedAuctions(site)
+	return g.doc
+}
+
+func (g *gen) categories(site *xmldoc.Node) {
+	cats := g.doc.CreateElement(site, "categories")
+	for i := 0; i < g.cfg.Categories; i++ {
+		c := g.doc.CreateElement(cats, "category")
+		g.doc.CreateAttr(c, "id", fmt.Sprintf("category%d", i))
+		g.textEl(c, "name", fmt.Sprintf("%s %s %d", g.word(), g.word(), i))
+		g.description(c, false)
+	}
+}
+
+func (g *gen) catgraph(site *xmldoc.Node) {
+	cg := g.doc.CreateElement(site, "catgraph")
+	for i := 0; i+1 < g.cfg.Categories; i += 2 {
+		e := g.doc.CreateElement(cg, "edge")
+		g.doc.CreateAttr(e, "from", fmt.Sprintf("category%d", i))
+		g.doc.CreateAttr(e, "to", fmt.Sprintf("category%d", i+1))
+	}
+}
+
+// description emits (text | parlist); deep nested parlists appear with
+// some probability (the Q15/Q16 path targets).
+func (g *gen) description(parent *xmldoc.Node, allowDeep bool) {
+	d := g.doc.CreateElement(parent, "description")
+	if allowDeep && g.r.Intn(3) == 0 {
+		// parlist/listitem/parlist/listitem/text/emph/keyword
+		pl := g.doc.CreateElement(d, "parlist")
+		li := g.doc.CreateElement(pl, "listitem")
+		pl2 := g.doc.CreateElement(li, "parlist")
+		li2 := g.doc.CreateElement(pl2, "listitem")
+		txt := g.doc.CreateElement(li2, "text")
+		g.doc.CreateText(txt, g.words(3))
+		emph := g.doc.CreateElement(txt, "emph")
+		g.doc.CreateText(emph, g.word()+" ")
+		kw := g.doc.CreateElement(emph, "keyword")
+		g.doc.CreateText(kw, keywords[g.r.Intn(len(keywords))])
+		return
+	}
+	txt := g.doc.CreateElement(d, "text")
+	g.doc.CreateText(txt, g.words(4))
+	if g.r.Intn(2) == 0 {
+		kw := g.doc.CreateElement(txt, "keyword")
+		g.doc.CreateText(kw, keywords[g.r.Intn(len(keywords))])
+		g.doc.CreateText(txt, " "+g.words(2))
+	}
+}
+
+func (g *gen) regions(site *xmldoc.Node) {
+	rs := g.doc.CreateElement(site, "regions")
+	id := 0
+	for _, region := range regions {
+		rel := g.doc.CreateElement(rs, region)
+		for i := 0; i < g.cfg.ItemsPerRegion; i++ {
+			g.item(rel, id)
+			id++
+		}
+	}
+}
+
+func (g *gen) item(region *xmldoc.Node, id int) {
+	it := g.doc.CreateElement(region, "item")
+	g.doc.CreateAttr(it, "id", fmt.Sprintf("item%d", id))
+	g.textEl(it, "location", countries[g.r.Intn(len(countries))])
+	g.textEl(it, "quantity", fmt.Sprintf("%d", 1+g.r.Intn(5)))
+	g.textEl(it, "name", fmt.Sprintf("%s %s #%d", g.word(), g.word(), id))
+	g.textEl(it, "payment", "Creditcard")
+	g.description(it, false)
+	g.textEl(it, "shipping", "Will ship internationally")
+	n := 1 + g.r.Intn(2)
+	for c := 0; c < n; c++ {
+		inc := g.doc.CreateElement(it, "incategory")
+		g.doc.CreateAttr(inc, "category", fmt.Sprintf("category%d", g.r.Intn(g.cfg.Categories)))
+	}
+	mb := g.doc.CreateElement(it, "mailbox")
+	for m := 0; m < g.r.Intn(3); m++ {
+		mail := g.doc.CreateElement(mb, "mail")
+		g.textEl(mail, "from", g.word()+"@example.com")
+		g.textEl(mail, "to", g.word()+"@example.net")
+		g.textEl(mail, "date", fmt.Sprintf("%02d/%02d/2000", 1+g.r.Intn(12), 1+g.r.Intn(28)))
+		txt := g.doc.CreateElement(mail, "text")
+		g.doc.CreateText(txt, g.words(5))
+	}
+}
+
+func (g *gen) people(site *xmldoc.Node) {
+	ps := g.doc.CreateElement(site, "people")
+	for i := 0; i < g.cfg.People; i++ {
+		p := g.doc.CreateElement(ps, "person")
+		g.doc.CreateAttr(p, "id", fmt.Sprintf("person%d", i))
+		g.textEl(p, "name", fmt.Sprintf("%s %s %d", g.word(), g.word(), i))
+		g.textEl(p, "emailaddress", fmt.Sprintf("mailto:user%d@example.com", i))
+		if g.fixedPerson(p, i) {
+			continue
+		}
+		if g.r.Intn(2) == 0 {
+			g.textEl(p, "phone", fmt.Sprintf("+1 (%d) %d", 100+g.r.Intn(900), 1000000+g.r.Intn(8999999)))
+		}
+		if g.r.Intn(3) > 0 {
+			addr := g.doc.CreateElement(p, "address")
+			g.textEl(addr, "street", fmt.Sprintf("%d %s St", 1+g.r.Intn(99), g.word()))
+			g.textEl(addr, "city", cities[g.r.Intn(len(cities))])
+			g.textEl(addr, "country", countries[g.r.Intn(len(countries))])
+			g.textEl(addr, "zipcode", fmt.Sprintf("%d", 10000+g.r.Intn(89999)))
+		}
+		if g.r.Intn(2) == 0 {
+			g.textEl(p, "homepage", fmt.Sprintf("http://www.example.com/~user%d", i))
+		}
+		if g.r.Intn(2) == 0 {
+			g.textEl(p, "creditcard", fmt.Sprintf("%d %d %d %d",
+				1000+g.r.Intn(9000), 1000+g.r.Intn(9000), 1000+g.r.Intn(9000), 1000+g.r.Intn(9000)))
+		}
+		if g.r.Intn(4) > 0 {
+			prof := g.doc.CreateElement(p, "profile")
+			// A quarter of profiles have no declared income (Q20's "na").
+			if g.r.Intn(4) > 0 {
+				g.doc.CreateAttr(prof, "income", fmt.Sprintf("%.2f", 9000.0+float64(g.r.Intn(120000))))
+			}
+			for k := 0; k < g.r.Intn(3); k++ {
+				in := g.doc.CreateElement(prof, "interest")
+				g.doc.CreateAttr(in, "category", fmt.Sprintf("category%d", g.r.Intn(g.cfg.Categories)))
+			}
+			if g.r.Intn(2) == 0 {
+				g.textEl(prof, "education", educations[g.r.Intn(len(educations))])
+			}
+			if g.r.Intn(2) == 0 {
+				g.textEl(prof, "gender", []string{"male", "female"}[g.r.Intn(2)])
+			}
+			g.textEl(prof, "business", []string{"Yes", "No"}[g.r.Intn(2)])
+			if g.r.Intn(2) == 0 {
+				g.textEl(prof, "age", fmt.Sprintf("%d", 18+g.r.Intn(50)))
+			}
+		}
+		if g.r.Intn(3) == 0 && g.cfg.OpenAuctions > 0 {
+			ws := g.doc.CreateElement(p, "watches")
+			for k := 0; k < 1+g.r.Intn(2); k++ {
+				w := g.doc.CreateElement(ws, "watch")
+				g.doc.CreateAttr(w, "open_auction", fmt.Sprintf("open_auction%d", g.r.Intn(g.cfg.OpenAuctions)))
+			}
+		}
+	}
+}
+
+// fixedPerson gives the first few people deterministic shapes so every
+// benchmark query has suitable examples regardless of the random tail:
+// person1 carries every optional field (the Q10 drop source and the
+// Q11/Q12 high-income example), person2 a six-figure income, person4 a
+// low income, person5 a profile without income (Q20 brackets).
+func (g *gen) fixedPerson(p *xmldoc.Node, i int) bool {
+	addFull := func(income string, interests ...string) {
+		g.textEl(p, "phone", fmt.Sprintf("+1 (555) 123%04d", i))
+		addr := g.doc.CreateElement(p, "address")
+		g.textEl(addr, "street", fmt.Sprintf("%d Main St", i))
+		g.textEl(addr, "city", cities[i%len(cities)])
+		g.textEl(addr, "country", countries[i%len(countries)])
+		g.textEl(addr, "zipcode", fmt.Sprintf("%d", 10000+i))
+		g.textEl(p, "homepage", fmt.Sprintf("http://www.example.com/~user%d", i))
+		g.textEl(p, "creditcard", fmt.Sprintf("%04d 2222 3333 4444", i))
+		prof := g.doc.CreateElement(p, "profile")
+		if income != "" {
+			g.doc.CreateAttr(prof, "income", income)
+		}
+		for _, c := range interests {
+			in := g.doc.CreateElement(prof, "interest")
+			g.doc.CreateAttr(in, "category", c)
+		}
+		g.textEl(prof, "education", educations[1])
+		g.textEl(prof, "gender", "male")
+		g.textEl(prof, "business", "Yes")
+		g.textEl(prof, "age", fmt.Sprintf("%d", 30+i))
+	}
+	switch i {
+	case 1:
+		addFull("120000.00", "category0")
+	case 2:
+		addFull("150000.00", "category1")
+	case 4:
+		addFull("15000.00", "category0")
+	case 5:
+		addFull("", "category2") // profile without income (Q20 "na")
+	default:
+		return false
+	}
+	return true
+}
+
+func (g *gen) openAuctions(site *xmldoc.Node) {
+	oas := g.doc.CreateElement(site, "open_auctions")
+	numItems := g.cfg.ItemsPerRegion * len(regions)
+	incr := 0
+	for i := 0; i < g.cfg.OpenAuctions; i++ {
+		oa := g.doc.CreateElement(oas, "open_auction")
+		g.doc.CreateAttr(oa, "id", fmt.Sprintf("open_auction%d", i))
+		// Initials are unique (spacing 7 beats jitter 3); auction0's stays
+		// tiny so Q11/Q12's income comparisons have matches.
+		initial := 5.0 + 7.0*float64(i) + float64(g.r.Intn(3))
+		g.textEl(oa, "initial", fmt.Sprintf("%.2f", initial))
+		if g.r.Intn(2) == 0 {
+			g.textEl(oa, "reserve", fmt.Sprintf("%.2f", initial*1.2))
+		}
+		cur := initial
+		nBidders := g.r.Intn(4)
+		if i == 0 {
+			nBidders = 3 // Q2/Q3/Q4 anchor: known bidders, qualifying increases
+		}
+		for b := 0; b < nBidders; b++ {
+			bd := g.doc.CreateElement(oa, "bidder")
+			g.textEl(bd, "date", fmt.Sprintf("%02d/%02d/2000", 1+g.r.Intn(12), 1+g.r.Intn(28)))
+			g.textEl(bd, "time", fmt.Sprintf("%02d:%02d:00", g.r.Intn(24), g.r.Intn(60)))
+			pr := g.doc.CreateElement(bd, "personref")
+			var inc float64
+			if i == 0 {
+				// person0 and person1 both bid on auction0 (Q4), and
+				// first*2 <= last holds (Q3).
+				g.doc.CreateAttr(pr, "person", fmt.Sprintf("person%d", b))
+				inc = []float64{2.00, 3.10, 8.20}[b]
+			} else {
+				g.doc.CreateAttr(pr, "person", fmt.Sprintf("person%d", g.r.Intn(g.cfg.People)))
+				// Increases are globally unique (multiples of 1.5 never
+				// collide with auction0's hand-set values) so positional
+				// predicates have unambiguous extensional readings (Q2/Q3).
+				incr++
+				inc = 1.5 * float64(incr)
+			}
+			g.textEl(bd, "increase", fmt.Sprintf("%.2f", inc))
+			cur += inc
+		}
+		g.textEl(oa, "current", fmt.Sprintf("%.2f", cur))
+		ir := g.doc.CreateElement(oa, "itemref")
+		g.doc.CreateAttr(ir, "item", fmt.Sprintf("item%d", g.r.Intn(numItems)))
+		sl := g.doc.CreateElement(oa, "seller")
+		g.doc.CreateAttr(sl, "person", fmt.Sprintf("person%d", g.r.Intn(g.cfg.People)))
+		g.annotation(oa)
+		g.textEl(oa, "quantity", fmt.Sprintf("%d", 1+g.r.Intn(3)))
+		g.textEl(oa, "type", []string{"Regular", "Featured"}[g.r.Intn(2)])
+		iv := g.doc.CreateElement(oa, "interval")
+		g.textEl(iv, "start", "01/01/2000")
+		g.textEl(iv, "end", "12/31/2000")
+	}
+}
+
+func (g *gen) annotation(parent *xmldoc.Node) {
+	an := g.doc.CreateElement(parent, "annotation")
+	au := g.doc.CreateElement(an, "author")
+	g.doc.CreateAttr(au, "person", fmt.Sprintf("person%d", g.r.Intn(g.cfg.People)))
+	g.description(an, true)
+	g.textEl(an, "happiness", fmt.Sprintf("%d", 1+g.r.Intn(10)))
+}
+
+func (g *gen) closedAuctions(site *xmldoc.Node) {
+	cas := g.doc.CreateElement(site, "closed_auctions")
+	numItems := g.cfg.ItemsPerRegion * len(regions)
+	for i := 0; i < g.cfg.ClosedAuctions; i++ {
+		ca := g.doc.CreateElement(cas, "closed_auction")
+		sl := g.doc.CreateElement(ca, "seller")
+		g.doc.CreateAttr(sl, "person", fmt.Sprintf("person%d", g.r.Intn(g.cfg.People)))
+		by := g.doc.CreateElement(ca, "buyer")
+		price := fmt.Sprintf("%.2f", 5.0+float64(g.r.Intn(300)))
+		if i < len(regions) {
+			// person0 buys one item from every region (the Q8/Q9 anchor
+			// buyer, whose purchases span all item paths); the first two
+			// prices straddle Q5's 40-dollar threshold.
+			g.doc.CreateAttr(by, "person", "person0")
+			ir := g.doc.CreateElement(ca, "itemref")
+			g.doc.CreateAttr(ir, "item", fmt.Sprintf("item%d", i*g.cfg.ItemsPerRegion))
+			price = []string{"45.50", "12.00", "110.00", "120.00", "130.00", "140.00"}[i]
+			g.textEl(ca, "price", price)
+			g.textEl(ca, "date", "01/15/2000")
+			g.textEl(ca, "quantity", "1")
+			g.textEl(ca, "type", "Regular")
+			g.annotation(ca)
+			continue
+		}
+		g.doc.CreateAttr(by, "person", fmt.Sprintf("person%d", g.r.Intn(g.cfg.People)))
+		ir := g.doc.CreateElement(ca, "itemref")
+		g.doc.CreateAttr(ir, "item", fmt.Sprintf("item%d", g.r.Intn(numItems)))
+		g.textEl(ca, "price", price)
+		g.textEl(ca, "date", fmt.Sprintf("%02d/%02d/2000", 1+g.r.Intn(12), 1+g.r.Intn(28)))
+		g.textEl(ca, "quantity", fmt.Sprintf("%d", 1+g.r.Intn(3)))
+		g.textEl(ca, "type", []string{"Regular", "Featured"}[g.r.Intn(2)])
+		g.annotation(ca)
+	}
+}

@@ -1,0 +1,141 @@
+package xmark
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmldoc"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := xmldoc.XMLString(Generate(DefaultConfig()).Root())
+	b := xmldoc.XMLString(Generate(DefaultConfig()).Root())
+	if a != b {
+		t.Fatal("same seed must generate identical instances")
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 2
+	c := xmldoc.XMLString(Generate(cfg).Root())
+	if a == c {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	cfg := DefaultConfig()
+	doc := Generate(cfg)
+	if doc.Root().Name != "site" {
+		t.Fatalf("root = %s", doc.Root().Name)
+	}
+	for _, r := range regions {
+		rel := doc.Root().FirstChildNamed("regions").FirstChildNamed(r)
+		if rel == nil {
+			t.Fatalf("missing region %s", r)
+		}
+		if got := len(rel.ChildElementsNamed("item")); got != cfg.ItemsPerRegion {
+			t.Fatalf("%s items = %d, want %d", r, got, cfg.ItemsPerRegion)
+		}
+	}
+	if got := len(doc.NodesWithLabel("person")); got != cfg.People {
+		t.Fatalf("people = %d", got)
+	}
+	if got := len(doc.NodesWithLabel("open_auction")); got != cfg.OpenAuctions {
+		t.Fatalf("open auctions = %d", got)
+	}
+	if got := len(doc.NodesWithLabel("closed_auction")); got != cfg.ClosedAuctions {
+		t.Fatalf("closed auctions = %d", got)
+	}
+	if got := len(doc.NodesWithLabel("category")); got != cfg.Categories {
+		t.Fatalf("categories = %d", got)
+	}
+}
+
+func TestGenerateValidAgainstDTD(t *testing.T) {
+	d := DTD()
+	doc := Generate(DefaultConfig())
+	bad := 0
+	doc.Walk(func(n *xmldoc.Node) bool {
+		if n.Kind == xmldoc.ElementNode || n.Kind == xmldoc.AttributeNode {
+			if !d.AcceptsPath(n.Path()) {
+				bad++
+				if bad <= 5 {
+					t.Errorf("instance path not allowed by DTD: %s", n.PathString())
+				}
+			}
+		}
+		return true
+	})
+	if bad > 0 {
+		t.Fatalf("%d invalid paths", bad)
+	}
+}
+
+func TestGenerateIDRefsResolve(t *testing.T) {
+	doc := Generate(DefaultConfig())
+	ids := map[string]bool{}
+	doc.Walk(func(n *xmldoc.Node) bool {
+		if n.Kind == xmldoc.AttributeNode && n.Name == "id" {
+			ids[n.Value] = true
+		}
+		return true
+	})
+	refAttrs := map[string]bool{"category": true, "item": true, "person": true,
+		"open_auction": true, "from": true, "to": true}
+	doc.Walk(func(n *xmldoc.Node) bool {
+		if n.Kind != xmldoc.AttributeNode || !refAttrs[n.Name] {
+			return true
+		}
+		// from/to are also element names carrying text; only edge attrs ref.
+		if (n.Name == "from" || n.Name == "to") && n.Parent.Name != "edge" {
+			return true
+		}
+		if !ids[n.Value] {
+			t.Errorf("dangling %s=%q at %s", n.Name, n.Value, n.PathString())
+		}
+		return true
+	})
+}
+
+func TestGenerateHasDeepDescriptions(t *testing.T) {
+	doc := Generate(DefaultConfig())
+	found := false
+	for _, kw := range doc.NodesWithLabel("keyword") {
+		if strings.Contains(kw.PathString(), "parlist/listitem/parlist/listitem") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no deep parlist nesting generated (Q15/Q16 need it)")
+	}
+}
+
+func TestGenerateUniqueIncreases(t *testing.T) {
+	doc := Generate(DefaultConfig())
+	seen := map[string]bool{}
+	for _, inc := range doc.NodesWithLabel("increase") {
+		v := inc.Text()
+		if seen[v] {
+			t.Fatalf("duplicate increase %q", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) == 0 {
+		t.Fatal("no bidders generated")
+	}
+}
+
+func TestGenerateIncomeVariety(t *testing.T) {
+	doc := Generate(DefaultConfig())
+	withIncome, without := 0, 0
+	for _, p := range doc.NodesWithLabel("profile") {
+		if _, ok := p.Attr("income"); ok {
+			withIncome++
+		} else {
+			without++
+		}
+	}
+	if withIncome == 0 || without == 0 {
+		t.Fatalf("income variety needed for Q20: with=%d without=%d", withIncome, without)
+	}
+}

@@ -1,0 +1,86 @@
+package xmark
+
+import (
+	"strings"
+
+	"repro/internal/dtd"
+	"repro/internal/pathre"
+	"repro/internal/scenario"
+	"repro/internal/xmldoc"
+	"repro/internal/xq"
+)
+
+// allItemsPath matches items in every region.
+const allItemsPath = "/site/regions/(africa|asia|australia|europe|namerica|samerica)/item"
+
+// --- node selectors over the generated instance ---
+
+func byIDAttr(doc *xmldoc.Document, label, id string) *xmldoc.Node {
+	for _, n := range doc.NodesWithLabel(label) {
+		if v, _ := n.Attr("id"); v == id {
+			return n
+		}
+	}
+	return nil
+}
+
+func personByID(doc *xmldoc.Document, id string) *xmldoc.Node {
+	return byIDAttr(doc, "person", id)
+}
+
+func auctionByID(doc *xmldoc.Document, id string) *xmldoc.Node {
+	return byIDAttr(doc, "open_auction", id)
+}
+
+func childNamed(n *xmldoc.Node, name string) *xmldoc.Node {
+	if n == nil {
+		return nil
+	}
+	return n.FirstChildNamed(name)
+}
+
+// selPath evaluates a simple path from a node and returns the first hit.
+func selPath(n *xmldoc.Node, path string) *xmldoc.Node {
+	if n == nil {
+		return nil
+	}
+	hits := xq.EvalSimplePath(n, xq.MustParseSimplePath(path))
+	if len(hits) == 0 {
+		return nil
+	}
+	return hits[0]
+}
+
+// --- truth-tree construction: thin aliases over the shared builders ---
+
+var (
+	leafFor    = scenario.LeafFor
+	plainFor   = scenario.PlainFor
+	anchorFor  = scenario.AnchorFor
+	bareFor    = scenario.BareFor
+	rootHolder = scenario.RootHolder
+	countWrap  = scenario.CountWrap
+)
+
+// countHolder builds <tag>count({inner})</tag>.
+func countHolder(tag string, inner *xq.Node) *xq.Node {
+	return scenario.AggHolder(tag, "count", inner)
+}
+
+func mustDTD(src string) *dtd.DTD { return dtd.MustParse(src) }
+
+func mustPath(s string) pathre.Expr { return pathre.MustParsePath(s) }
+
+// textContains selects the first node with the label whose text
+// contains the substring.
+func textContains(doc *xmldoc.Document, label, sub string) *xmldoc.Node {
+	for _, n := range doc.NodesWithLabel(label) {
+		if strings.Contains(n.Text(), sub) {
+			return n
+		}
+	}
+	return nil
+}
+
+// newEval is a test/tool convenience.
+func newEval(doc *xmldoc.Document) *xq.Evaluator { return xq.NewEvaluator(doc) }

@@ -1,0 +1,70 @@
+package xmark
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/teacher"
+	"repro/internal/xmldoc"
+	"repro/internal/xq"
+)
+
+// TestLearningAtLargerScale re-runs a representative subset of the
+// suite over a doubled instance: interaction counts must stay flat
+// (they depend on the DTD and query structure, not the data volume —
+// the paper's "the size of the data graph is not included in the
+// factors", Section 10).
+func TestLearningAtLargerScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	cfg := DefaultConfig()
+	cfg.ItemsPerRegion = 12
+	cfg.People = 60
+	cfg.OpenAuctions = 45
+	cfg.ClosedAuctions = 60
+	big := Generate(cfg)
+
+	small := Generate(DefaultConfig())
+	if big.NumNodes() < 2*small.NumNodes() {
+		t.Fatalf("scale config too small: %d vs %d nodes", big.NumNodes(), small.NumNodes())
+	}
+
+	for _, id := range []string{"XMark-Q1", "XMark-Q8", "XMark-Q13", "XMark-Q17"} {
+		base := ScenarioByID(id)
+		if base == nil {
+			t.Fatalf("missing scenario %s", id)
+		}
+		// Rebind the scenario to the large instance; selectors and truth
+		// builders are instance-independent.
+		s := &scenario.Scenario{
+			ID: base.ID, Description: base.Description,
+			Doc:    func() *xmldoc.Document { return big },
+			Target: base.Target, Truth: base.Truth,
+			Drops: base.Drops, Boxes: base.Boxes, Orders: base.Orders,
+		}
+		res, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+		if err != nil {
+			t.Fatalf("%s at 2x+ scale: %v", id, err)
+		}
+		if !res.Verified {
+			t.Fatalf("%s at 2x+ scale: result mismatch\n%s", id, res.Tree.String())
+		}
+		tot := res.Stats.Totals()
+		if tot.MQ+tot.CE > 40 {
+			t.Errorf("%s at 2x+ scale: interactions ballooned to MQ=%d CE=%d", id, tot.MQ, tot.CE)
+		}
+	}
+}
+
+// TestGeneratorScalesLinearly sanity-checks the generator config knobs.
+func TestGeneratorScalesLinearly(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ItemsPerRegion = 12
+	doc := Generate(cfg)
+	if got := len(doc.NodesWithLabel("item")); got != 12*len(regions) {
+		t.Fatalf("items = %d", got)
+	}
+	var _ = xq.Env{} // keep the xq import for the scale helpers below
+}

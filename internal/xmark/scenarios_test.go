@@ -1,0 +1,81 @@
+package xmark
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/teacher"
+)
+
+func TestScenarioCount(t *testing.T) {
+	ss := Scenarios()
+	if len(ss) != 19 {
+		t.Fatalf("scenarios = %d, want 19 (Q1-Q5, Q7-Q20)", len(ss))
+	}
+	seen := map[string]bool{}
+	for _, s := range ss {
+		if seen[s.ID] {
+			t.Errorf("duplicate scenario id %s", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	if seen["XMark-Q6"] {
+		t.Error("Q6 must be omitted, as in the paper")
+	}
+	if ScenarioByID("Q9") == nil || ScenarioByID("XMark-Q13") == nil {
+		t.Error("ScenarioByID lookups failed")
+	}
+	if ScenarioByID("Q99") != nil {
+		t.Error("unknown id must be nil")
+	}
+}
+
+func TestScenarioSelectorsResolve(t *testing.T) {
+	for _, s := range Scenarios() {
+		doc := s.Doc()
+		for _, d := range s.Drops {
+			if n := d.Select(doc); n == nil {
+				t.Errorf("%s: drop %s selects nothing", s.ID, d.Path)
+			}
+		}
+	}
+}
+
+func TestScenarioTruthsEvaluate(t *testing.T) {
+	for _, s := range Scenarios() {
+		res := s.Truth()
+		doc := s.Doc()
+		ev := newEval(doc)
+		out := ev.Result(res)
+		if out.Root() == nil {
+			t.Errorf("%s: truth evaluates to an empty document", s.ID)
+		}
+	}
+}
+
+// TestLearnAllScenarios is the headline reproduction check: every
+// XMark query learns to a query whose full result equals the ground
+// truth's.
+func TestLearnAllScenarios(t *testing.T) {
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.ID, func(t *testing.T) {
+			res, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+			if err != nil {
+				t.Fatalf("learning failed: %v", err)
+			}
+			if !res.Verified {
+				t.Fatalf("learned result differs from truth\nlearned: %.400s\ntruth:   %.400s\nquery:\n%s",
+					res.LearnedXML, res.TruthXML, res.Tree.String())
+			}
+			tot := res.Stats.Totals()
+			if tot.MQ > 60 {
+				t.Errorf("MQ = %d: interaction count out of the paper's regime", tot.MQ)
+			}
+			if tot.CE > 30 {
+				t.Errorf("CE = %d: too many counterexamples", tot.CE)
+			}
+		})
+	}
+}

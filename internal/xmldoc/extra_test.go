@@ -1,0 +1,118 @@
+package xmldoc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		DocumentNode:  "document",
+		ElementNode:   "element",
+		AttributeNode: "attribute",
+		TextNode:      "text",
+		Kind(42):      "Kind(42)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse of invalid XML must panic")
+		}
+	}()
+	MustParse("<unclosed>")
+}
+
+func TestElementsAndDocument(t *testing.T) {
+	d := MustParse(`<a><b/><c><d/></c></a>`)
+	els := d.Elements()
+	if len(els) != 4 {
+		t.Fatalf("Elements = %d, want 4", len(els))
+	}
+	for _, e := range els {
+		if e.Document() != d {
+			t.Fatal("Document back-pointer broken")
+		}
+	}
+}
+
+func TestImportSubtree(t *testing.T) {
+	src := MustParse(`<r><x k="v"><y>hello</y></x></r>`)
+	dst := NewDocument()
+	root := dst.CreateElement(dst.DocNode(), "out")
+
+	x := src.Root().FirstChildNamed("x")
+	copied := dst.ImportSubtree(root, x)
+	if copied.Name != "x" {
+		t.Fatalf("copied root = %s", copied.Name)
+	}
+	if v, _ := copied.Attr("k"); v != "v" {
+		t.Fatal("attribute lost")
+	}
+	if copied.FirstChildNamed("y").Text() != "hello" {
+		t.Fatal("text lost")
+	}
+	if copied.Document() != dst {
+		t.Fatal("copied node belongs to the wrong document")
+	}
+	// Importing an attribute yields its value as text.
+	attrCopy := dst.ImportSubtree(root, x.AttrNode("k"))
+	if attrCopy.Kind != TextNode || attrCopy.Value != "v" {
+		t.Fatalf("attribute import = %v %q", attrCopy.Kind, attrCopy.Value)
+	}
+	// Importing a text node yields a text node.
+	textCopy := dst.ImportSubtree(root, x.FirstChildNamed("y").Children[0])
+	if textCopy.Kind != TextNode || textCopy.Value != "hello" {
+		t.Fatal("text import wrong")
+	}
+}
+
+func TestImportSubtreeDocumentPanics(t *testing.T) {
+	src := MustParse(`<a/>`)
+	dst := NewDocument()
+	root := dst.CreateElement(dst.DocNode(), "out")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("importing a document node must panic")
+		}
+	}()
+	dst.ImportSubtree(root, src.DocNode())
+}
+
+func TestLabelOfDocumentNode(t *testing.T) {
+	d := MustParse(`<a/>`)
+	if d.DocNode().Label() != "" {
+		t.Fatal("document node has no label")
+	}
+	if d.DocNode().PathString() != "/" {
+		t.Fatalf("document PathString = %q", d.DocNode().PathString())
+	}
+	if d.DocNode().Text() != "" {
+		t.Fatal("empty document text")
+	}
+}
+
+func TestWriteXMLOfDocumentNode(t *testing.T) {
+	d := MustParse(`<a><b>x</b></a>`)
+	s := XMLString(d.DocNode())
+	if !strings.Contains(s, "<a><b>x</b></a>") {
+		t.Fatalf("document serialization = %q", s)
+	}
+}
+
+func TestSelfClosingAndIndentAttr(t *testing.T) {
+	d := MustParse(`<a><b k="1"/></a>`)
+	if got := XMLString(d.Root()); got != `<a><b k="1"/></a>` {
+		t.Fatalf("self-closing serialization = %q", got)
+	}
+	ind := IndentedXMLString(d.Root())
+	if !strings.Contains(ind, `<b k="1"/>`) {
+		t.Fatalf("indented = %q", ind)
+	}
+}

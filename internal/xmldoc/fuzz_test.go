@@ -1,0 +1,28 @@
+package xmldoc
+
+import "testing"
+
+// FuzzParse: the XML parser never panics, and accepted documents
+// serialize to XML that reparses to the same serialization.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`<a><b k="v">text</b></a>`,
+		`<a/>`, `<a>1 &lt; 2</a>`, `<a><b></a></b>`, `<`, `plain`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		s1 := XMLString(d.DocNode())
+		d2, err := ParseString(s1)
+		if err != nil {
+			t.Fatalf("serialization does not reparse: %v\n%s", err, s1)
+		}
+		if s2 := XMLString(d2.DocNode()); s1 != s2 {
+			t.Fatalf("serialize/parse not a fixed point:\n%s\n%s", s1, s2)
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package xmldoc
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document from r into the data model. Whitespace-only
+// text between elements is dropped; all other character data becomes
+// text nodes. Namespaces are flattened to local names (the paper's
+// fragment has no namespace support; Use Case "NS" is out of scope by
+// design, see Figure 15).
+func Parse(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	doc := NewDocument()
+	cur := doc.DocNode()
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmldoc: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el := doc.CreateElement(cur, t.Name.Local)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				doc.CreateAttr(el, a.Name.Local, a.Value)
+			}
+			cur = el
+		case xml.EndElement:
+			if cur.Kind == DocumentNode {
+				return nil, fmt.Errorf("xmldoc: parse: unbalanced end element %s", t.Name.Local)
+			}
+			cur = cur.Parent
+		case xml.CharData:
+			s := string(t)
+			if strings.TrimSpace(s) == "" {
+				continue
+			}
+			if cur.Kind == DocumentNode {
+				continue
+			}
+			doc.CreateText(cur, strings.TrimSpace(s))
+		case xml.Comment, xml.ProcInst, xml.Directive:
+			// Ignored: not part of the learnable data model.
+		}
+	}
+	if cur.Kind != DocumentNode {
+		return nil, fmt.Errorf("xmldoc: parse: unclosed element %s", cur.Name)
+	}
+	if doc.Root() == nil {
+		return nil, fmt.Errorf("xmldoc: parse: empty document")
+	}
+	return doc, nil
+}
+
+// ParseString parses an XML document held in a string.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// MustParse parses s and panics on error. For tests and embedded data.
+func MustParse(s string) *Document {
+	d, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,96 @@
+// Package xmp reimplements the substrate of the paper's second
+// benchmark: the W3C XML Query Use Case "XMP" (Experiences and
+// Exemplars) sample documents and its queries modeled as XLearner
+// scenarios (11 of 12, as in Figure 16 bottom; Q6 is the one outside
+// XQI, Figure 15). The separate source documents (bib.xml, reviews.xml,
+// prices.xml, books.xml) are combined under one synthetic root — the
+// paper's document()-rooted relay predicates address them the same way.
+package xmp
+
+import (
+	"repro/internal/xmldoc"
+)
+
+// Source is the composite XMP instance (the W3C sample data, lightly
+// extended so every query has positive and negative examples).
+const Source = `<xmp>
+ <bib>
+  <book year="1994">
+   <title>TCP/IP Illustrated</title>
+   <author><last>Stevens</last><first>W.</first></author>
+   <publisher>Addison-Wesley</publisher>
+   <price>65.95</price>
+  </book>
+  <book year="1992">
+   <title>Advanced Programming in the Unix environment</title>
+   <author><last>Stevens</last><first>W.</first></author>
+   <publisher>Addison-Wesley</publisher>
+   <price>65.95</price>
+  </book>
+  <book year="2000">
+   <title>Data on the Web</title>
+   <author><last>Abiteboul</last><first>Serge</first></author>
+   <author><last>Buneman</last><first>Peter</first></author>
+   <author><last>Suciu</last><first>Dan</first></author>
+   <publisher>Morgan Kaufmann Publishers</publisher>
+   <price>39.95</price>
+  </book>
+  <book year="1999">
+   <title>The Economics of Technology and Content for Digital TV</title>
+   <editor><last>Gerbarg</last><first>Darcy</first><affiliation>CITI</affiliation></editor>
+   <publisher>Kluwer Academic Publishers</publisher>
+   <price>129.95</price>
+  </book>
+ </bib>
+ <reviews>
+  <entry>
+   <title>Data on the Web</title>
+   <price>34.95</price>
+   <review>A very good discussion of semi-structured database systems and XML.</review>
+  </entry>
+  <entry>
+   <title>Advanced Programming in the Unix environment</title>
+   <price>65.95</price>
+   <review>A clear and detailed discussion of UNIX programming.</review>
+  </entry>
+  <entry>
+   <title>TCP/IP Illustrated</title>
+   <price>65.95</price>
+   <review>One of the best books on TCP/IP.</review>
+  </entry>
+ </reviews>
+ <prices>
+  <book><title>TCP/IP Illustrated</title><source>www.amazon.com</source><price>65.95</price></book>
+  <book><title>TCP/IP Illustrated</title><source>www.bn.com</source><price>68.00</price></book>
+  <book><title>Advanced Programming in the Unix environment</title><source>www.amazon.com</source><price>65.95</price></book>
+  <book><title>Advanced Programming in the Unix environment</title><source>www.bn.com</source><price>69.95</price></book>
+  <book><title>Data on the Web</title><source>www.amazon.com</source><price>34.95</price></book>
+  <book><title>Data on the Web</title><source>www.bn.com</source><price>39.95</price></book>
+ </prices>
+ <books>
+  <chapter>
+   <title>Data Model</title>
+   <section>
+    <title>Syntax For Data Model</title>
+   </section>
+   <section>
+    <title>XML</title>
+    <section>
+     <title>Basic Syntax</title>
+    </section>
+    <section>
+     <title>XML and Semistructured Data</title>
+    </section>
+   </section>
+  </chapter>
+  <chapter>
+   <title>XML Processing</title>
+   <section>
+    <title>Parsing</title>
+   </section>
+  </chapter>
+ </books>
+</xmp>`
+
+// Doc parses the composite instance.
+func Doc() *xmldoc.Document { return xmldoc.MustParse(Source) }

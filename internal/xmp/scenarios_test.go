@@ -1,0 +1,57 @@
+package xmp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/teacher"
+)
+
+func TestScenarioCount(t *testing.T) {
+	ss := Scenarios()
+	if len(ss) != 11 {
+		t.Fatalf("scenarios = %d, want 11 (Q1-Q5, Q7-Q12)", len(ss))
+	}
+	seen := map[string]bool{}
+	for _, s := range ss {
+		if seen[s.ID] {
+			t.Errorf("duplicate id %s", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	if seen["XMP-Q6"] {
+		t.Error("Q6 is outside XQI and must be omitted")
+	}
+}
+
+func TestSelectorsResolve(t *testing.T) {
+	for _, s := range Scenarios() {
+		doc := s.Doc()
+		for _, d := range s.Drops {
+			if d.Select(doc) == nil {
+				t.Errorf("%s: drop %s selects nothing", s.ID, d.Path)
+			}
+		}
+	}
+}
+
+func TestLearnAllScenarios(t *testing.T) {
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.ID, func(t *testing.T) {
+			res, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+			if err != nil {
+				t.Fatalf("learning failed: %v", err)
+			}
+			if !res.Verified {
+				t.Fatalf("learned result differs\nlearned: %.400s\ntruth:   %.400s\nquery:\n%s",
+					res.LearnedXML, res.TruthXML, res.Tree.String())
+			}
+			tot := res.Stats.Totals()
+			if tot.MQ > 40 || tot.CE > 20 {
+				t.Errorf("interactions out of regime: MQ=%d CE=%d", tot.MQ, tot.CE)
+			}
+		})
+	}
+}

@@ -1,0 +1,575 @@
+// Package xq implements the XQ-Tree, the paper's representation of the
+// XQuery fragment XLearner learns (Section 3): a tree of query
+// fragments of the form "for v in p [where c] return r", where p is a
+// regular path expression, c a conjunction of predicates, and r an
+// element constructor over variables and child fragments. The package
+// also provides the evaluator used to compute extents and full query
+// results, and the learnability classes X0/X0*/X0*+/X1/X1*/X1*+.
+package xq
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/pathre"
+)
+
+// Step is one child-axis step of a simple path (the path form allowed
+// inside predicates: child axis with optional position, e.g.
+// a[1]/b/c[last()] — paper Section 6, Rel2/Rel3).
+type Step struct {
+	// Name is the element tag or "@attr".
+	Name string
+	// Pos selects a position: 0 = all, k>0 = k-th, LastPos = last().
+	Pos int
+}
+
+// LastPos marks a [last()] positional predicate.
+const LastPos = -1
+
+// SimplePath is a sequence of child-axis steps. The empty path denotes
+// the context node itself.
+type SimplePath []Step
+
+// ParseSimplePath parses "a[1]/b/@c" syntax. "last()" is accepted as a
+// position.
+func ParseSimplePath(s string) (SimplePath, error) {
+	s = strings.TrimPrefix(strings.TrimSpace(s), "/")
+	if s == "" || s == "." {
+		return nil, nil
+	}
+	var out SimplePath
+	for _, part := range strings.Split(s, "/") {
+		part = strings.TrimSpace(part)
+		name := part
+		pos := 0
+		if i := strings.IndexByte(part, '['); i >= 0 {
+			if !strings.HasSuffix(part, "]") {
+				return nil, fmt.Errorf("xq: bad step %q", part)
+			}
+			name = part[:i]
+			inner := part[i+1 : len(part)-1]
+			if inner == "last()" {
+				pos = LastPos
+			} else {
+				n, err := strconv.Atoi(inner)
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("xq: bad position %q", inner)
+				}
+				pos = n
+			}
+		}
+		if name == "" {
+			return nil, fmt.Errorf("xq: empty step in %q", s)
+		}
+		out = append(out, Step{Name: name, Pos: pos})
+	}
+	return out, nil
+}
+
+// MustParseSimplePath parses s and panics on error.
+func MustParseSimplePath(s string) SimplePath {
+	p, err := ParseSimplePath(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String renders the path in a[1]/b/@c syntax; the empty path is ".".
+func (p SimplePath) String() string {
+	if len(p) == 0 {
+		return "."
+	}
+	parts := make([]string, len(p))
+	for i, st := range p {
+		parts[i] = st.Name
+		switch {
+		case st.Pos == LastPos:
+			parts[i] += "[last()]"
+		case st.Pos > 0:
+			parts[i] += fmt.Sprintf("[%d]", st.Pos)
+		}
+	}
+	return strings.Join(parts, "/")
+}
+
+// Equal reports step-wise equality.
+func (p SimplePath) Equal(q SimplePath) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- predicates ---
+
+// CmpOp is a comparison operator of a predicate atom.
+type CmpOp string
+
+// Comparison operators. OpEmpty tests emptiness of the left operand
+// sequence (the paper's "empty predicate", used with Negative Condition
+// Boxes).
+const (
+	OpEq       CmpOp = "="
+	OpNe       CmpOp = "!="
+	OpLt       CmpOp = "<"
+	OpLe       CmpOp = "<="
+	OpGt       CmpOp = ">"
+	OpGe       CmpOp = ">="
+	OpEmpty    CmpOp = "empty"
+	OpExists   CmpOp = "exists"
+	OpContains CmpOp = "contains"
+)
+
+// Operand is one side of a comparison atom: a constant, or the value
+// sequence data(v/path) of a variable (or of the relay variable).
+type Operand struct {
+	// Var names the variable the path applies to; "" with Const set
+	// means a constant operand.
+	Var  string
+	Path SimplePath
+	// Const is the literal for constant operands.
+	Const string
+	// IsConst distinguishes a constant from data(v).
+	IsConst bool
+	// Mul scales a numeric operand (0 means 1); used by explicit
+	// conditions like "bidder[1]/increase * 2 <= bidder[last()]/increase".
+	Mul float64
+}
+
+// ConstOp returns a constant operand.
+func ConstOp(lit string) Operand { return Operand{Const: lit, IsConst: true} }
+
+// VarOp returns a data(v/path) operand.
+func VarOp(v string, path SimplePath) Operand { return Operand{Var: v, Path: path} }
+
+func (o Operand) String() string {
+	var s string
+	switch {
+	case o.IsConst:
+		if _, err := strconv.ParseFloat(o.Const, 64); err == nil {
+			s = o.Const
+		} else {
+			s = `"` + o.Const + `"`
+		}
+	case len(o.Path) == 0:
+		s = "data($" + o.Var + ")"
+	default:
+		s = "data($" + o.Var + "/" + o.Path.String() + ")"
+	}
+	if o.Mul != 0 && o.Mul != 1 {
+		s += " * " + strconv.FormatFloat(o.Mul, 'g', -1, 64)
+	}
+	return s
+}
+
+// Cmp is one comparison atom.
+type Cmp struct {
+	Op   CmpOp
+	L, R Operand
+}
+
+func (c Cmp) String() string {
+	if c.Op == OpEmpty || c.Op == OpExists {
+		return string(c.Op) + "(" + c.L.String() + ")"
+	}
+	return c.L.String() + " " + string(c.Op) + " " + c.R.String()
+}
+
+// Pred is a conjunction of atoms, optionally under an existential relay
+// binding ("some $w in <from>/<path> satisfies ...", Rel2/Rel3) and
+// optionally negated (Negative Condition Box).
+type Pred struct {
+	// RelayVar, RelayFrom, RelayPath describe the optional relay
+	// binding: some RelayVar in RelayFrom/RelayPath. RelayFrom "" means
+	// the document root (Rel3's document()/q).
+	RelayVar  string
+	RelayFrom string
+	RelayPath SimplePath
+	// Atoms is the conjunction under the binding.
+	Atoms []Cmp
+	// Negated inverts the whole predicate.
+	Negated bool
+}
+
+// HasRelay reports whether the predicate binds a relay variable.
+func (p *Pred) HasRelay() bool { return p.RelayVar != "" }
+
+func (p *Pred) String() string {
+	var body string
+	atoms := make([]string, len(p.Atoms))
+	for i, a := range p.Atoms {
+		atoms[i] = a.String()
+	}
+	conj := strings.Join(atoms, " and ")
+	if p.HasRelay() {
+		from := "document()"
+		if p.RelayFrom != "" {
+			from = "$" + p.RelayFrom
+		}
+		body = "some $" + p.RelayVar + " in " + from + "/" + p.RelayPath.String() +
+			" satisfies (" + conj + ")"
+	} else {
+		body = conj
+	}
+	if p.Negated {
+		return "not(" + body + ")"
+	}
+	return body
+}
+
+// Key returns a canonical identity string for predicate-set operations
+// (the C-Learner treats predicates as the variables of a monotone
+// k-term; identity is by rendered form).
+func (p *Pred) Key() string { return p.String() }
+
+// EqJoin builds the common Rel1/Rel2 shape: data(v1/p1) = data(v2/p2).
+func EqJoin(v1 string, p1 SimplePath, v2 string, p2 SimplePath) *Pred {
+	return &Pred{Atoms: []Cmp{{Op: OpEq, L: VarOp(v1, p1), R: VarOp(v2, p2)}}}
+}
+
+// --- return expressions ---
+
+// RetExpr is a return-clause constructor: element constructors over
+// variables, child-fragment references, constants, aggregate function
+// applications, and arithmetic (Nested Drop Boxes, Section 9(1)).
+type RetExpr interface {
+	retString(b *strings.Builder)
+}
+
+// RVar emits a (deep copy of) the node bound to the variable.
+type RVar struct{ Name string }
+
+// RPath emits the nodes reached by a simple path from a variable.
+type RPath struct {
+	Var  string
+	Path SimplePath
+}
+
+// RChild emits the sequence produced by a child XQ-Tree node.
+type RChild struct{ Node *Node }
+
+// RElem wraps its kids in a constructed element.
+type RElem struct {
+	Tag  string
+	Kids []RetExpr
+}
+
+// RSeq is a plain sequence.
+type RSeq struct{ Items []RetExpr }
+
+// RText emits a literal text node.
+type RText struct{ Value string }
+
+// RNum emits a numeric literal.
+type RNum struct{ Value float64 }
+
+// RFunc applies a built-in function: count, sum, avg, min, max,
+// distinct, data, string, zero-or-one name passthroughs.
+type RFunc struct {
+	Name string
+	Args []RetExpr
+}
+
+// RBin is binary arithmetic over numeric values: + - * div.
+type RBin struct {
+	Op   string
+	L, R RetExpr
+}
+
+func (r RVar) retString(b *strings.Builder)  { b.WriteString("$" + r.Name) }
+func (r RText) retString(b *strings.Builder) { b.WriteString(`"` + r.Value + `"`) }
+func (r RNum) retString(b *strings.Builder) {
+	b.WriteString(strconv.FormatFloat(r.Value, 'f', -1, 64))
+}
+
+func (r RPath) retString(b *strings.Builder) {
+	b.WriteString("$" + r.Var + "/" + r.Path.String())
+}
+
+func (r RChild) retString(b *strings.Builder) {
+	if r.Node == nil {
+		b.WriteString("{?}")
+		return
+	}
+	b.WriteString("{" + r.Node.Name() + "}")
+}
+
+func (r RElem) retString(b *strings.Builder) {
+	b.WriteString("<" + r.Tag + ">")
+	for i, k := range r.Kids {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		k.retString(b)
+	}
+	b.WriteString("</" + r.Tag + ">")
+}
+
+func (r RSeq) retString(b *strings.Builder) {
+	for i, k := range r.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		k.retString(b)
+	}
+}
+
+func (r RFunc) retString(b *strings.Builder) {
+	b.WriteString(r.Name + "(")
+	for i, a := range r.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		a.retString(b)
+	}
+	b.WriteString(")")
+}
+
+func (r RBin) retString(b *strings.Builder) {
+	b.WriteString("(")
+	r.L.retString(b)
+	b.WriteString(" " + r.Op + " ")
+	r.R.retString(b)
+	b.WriteString(")")
+}
+
+// RetString renders a return expression.
+func RetString(r RetExpr) string {
+	var b strings.Builder
+	r.retString(&b)
+	return b.String()
+}
+
+// SortKey is one order-by key (OrderBy Box, Section 9(2)).
+type SortKey struct {
+	Var        string
+	Path       SimplePath
+	Descending bool
+	Numeric    bool
+}
+
+func (k SortKey) String() string {
+	s := "$" + k.Var
+	if len(k.Path) > 0 {
+		s += "/" + k.Path.String()
+	}
+	if k.Descending {
+		s += " descending"
+	}
+	return s
+}
+
+// --- XQ-Tree nodes ---
+
+// Node is one XQ-Tree node: a query fragment
+//
+//	[for Var in Path] [where Where] [order by OrderBy] return Ret
+//
+// Children are the nested fragments referenced from Ret via RChild.
+type Node struct {
+	// Var is the variable bound by the for clause; "" if the fragment
+	// has no for clause (a pure constructor node).
+	Var string
+	// From names the variable the binding path starts from; "" means
+	// the document root.
+	From string
+	// Path is the binding path; nil iff Var == "".
+	Path pathre.Expr
+	// Where is the conjunction of predicates.
+	Where []*Pred
+	// OrderBy holds sort keys applied to the bindings.
+	OrderBy []SortKey
+	// Ret is the return constructor.
+	Ret RetExpr
+	// Children in return-clause order.
+	Children []*Node
+	// OneLabeled marks that the edge from the parent is 1-labeled
+	// (one-to-one in the target schema, paper Section 4.1).
+	OneLabeled bool
+
+	parent *Node
+	id     string
+}
+
+// Tree is an XQ-Tree.
+type Tree struct {
+	Root *Node
+}
+
+// NewTree builds a tree from the root node, wiring parents and Dewey
+// identifiers (N1, N1.1, ...).
+func NewTree(root *Node) *Tree {
+	t := &Tree{Root: root}
+	t.Renumber()
+	return t
+}
+
+// Renumber recomputes parent links and Dewey IDs after structural edits.
+func (t *Tree) Renumber() {
+	var walk func(n *Node, parent *Node, id string)
+	walk = func(n *Node, parent *Node, id string) {
+		n.parent = parent
+		n.id = id
+		for i, c := range n.Children {
+			walk(c, n, fmt.Sprintf("%s.%d", id, i+1))
+		}
+	}
+	walk(t.Root, nil, "1")
+}
+
+// Name returns the node's Dewey identifier, e.g. "N1.1.2".
+func (n *Node) Name() string {
+	if n.id == "" {
+		return "N?"
+	}
+	return "N" + n.id
+}
+
+// Parent returns the parent node (nil for the root).
+func (n *Node) Parent() *Node { return n.parent }
+
+// Ancestors returns the ancestors of n from the root down to the parent.
+func (n *Node) Ancestors() []*Node {
+	var rev []*Node
+	for cur := n.parent; cur != nil; cur = cur.parent {
+		rev = append(rev, cur)
+	}
+	out := make([]*Node, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// Nodes returns all nodes in pre-order.
+func (t *Tree) Nodes() []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(n *Node) {
+		out = append(out, n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return out
+}
+
+// NodeByName finds a node by its Dewey name ("N1.1"), or nil.
+func (t *Tree) NodeByName(name string) *Node {
+	for _, n := range t.Nodes() {
+		if n.Name() == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// VarNode returns the node whose for clause binds v, or nil.
+func (t *Tree) VarNode(v string) *Node {
+	for _, n := range t.Nodes() {
+		if n.Var == v {
+			return n
+		}
+	}
+	return nil
+}
+
+// BindingChain returns the nodes with for-bindings on the path from the
+// root down to and including n (the evaluation scope of n; for the X1
+// family depends(n) = ancestors(n), Section 7).
+func (n *Node) BindingChain() []*Node {
+	var out []*Node
+	for _, a := range n.Ancestors() {
+		if a.Var != "" {
+			out = append(out, a)
+		}
+	}
+	if n.Var != "" {
+		out = append(out, n)
+	}
+	return out
+}
+
+// ExprStar returns the composed document-rooted binding path of the
+// node's variable (the paper's expr*(v).path): the concatenation of the
+// binding paths along the From chain. It returns nil if the chain does
+// not reach the document root (e.g. a variable bound from an unrelated
+// variable outside the ancestor chain).
+func (t *Tree) ExprStar(n *Node) pathre.Expr {
+	if n.Var == "" {
+		return nil
+	}
+	var parts []pathre.Expr
+	cur := n
+	for {
+		if cur.Path == nil {
+			return nil
+		}
+		parts = append([]pathre.Expr{cur.Path}, parts...)
+		if cur.From == "" {
+			break
+		}
+		next := t.VarNode(cur.From)
+		if next == nil {
+			return nil
+		}
+		cur = next
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return pathre.Concat{Parts: parts}
+}
+
+// Associated returns the variable names in Expr*(v) for node n's
+// variable: n.Var and every variable on its From chain.
+func (t *Tree) Associated(n *Node) []string {
+	var out []string
+	cur := n
+	for cur != nil && cur.Var != "" {
+		out = append(out, cur.Var)
+		if cur.From == "" {
+			break
+		}
+		cur = t.VarNode(cur.From)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Associatable returns the variables visible at n: those bound by n or
+// its ancestors (XQuery scoping).
+func (t *Tree) Associatable(n *Node) []string {
+	var out []string
+	for _, a := range n.BindingChain() {
+		out = append(out, a.Var)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FreeConditionVars returns associatable(v) − associated(v): the
+// variables a 1-learnable where clause must relate v to (Section 6).
+func (t *Tree) FreeConditionVars(n *Node) []string {
+	assoc := map[string]bool{}
+	for _, v := range t.Associated(n) {
+		assoc[v] = true
+	}
+	var out []string
+	for _, v := range t.Associatable(n) {
+		if !assoc[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package xq
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/pathre"
+)
+
+func TestDeweyNames(t *testing.T) {
+	q1 := buildQ1()
+	want := []string{"N1", "N1.1", "N1.1.1", "N1.1.2", "N1.1.2.1", "N1.1.2.2"}
+	var got []string
+	for _, n := range q1.Nodes() {
+		got = append(got, n.Name())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	if q1.NodeByName("N1.1.2").Parent() != q1.NodeByName("N1.1") {
+		t.Fatal("parent links wrong")
+	}
+	if q1.NodeByName("N9") != nil {
+		t.Fatal("NodeByName of missing id must be nil")
+	}
+}
+
+func TestAncestorsAndBindingChain(t *testing.T) {
+	q1 := buildQ1()
+	n := q1.NodeByName("N1.1.2.1")
+	anc := n.Ancestors()
+	if len(anc) != 3 || anc[0] != q1.Root {
+		t.Fatalf("ancestors = %d", len(anc))
+	}
+	chain := n.BindingChain()
+	var vars []string
+	for _, c := range chain {
+		vars = append(vars, c.Var)
+	}
+	if !reflect.DeepEqual(vars, []string{"c", "i", "in"}) {
+		t.Fatalf("binding chain = %v", vars)
+	}
+}
+
+func TestExprStar(t *testing.T) {
+	q1 := buildQ1()
+	ev := func(name string) string {
+		n := q1.NodeByName(name)
+		e := q1.ExprStar(n)
+		if e == nil {
+			return ""
+		}
+		return pathre.String(e)
+	}
+	// expr*($cn) = /site/categories/category/name (the paper's example).
+	if got := ev("N1.1.1"); got != "/site/categories/category/name" {
+		t.Fatalf("expr*(cn) = %q", got)
+	}
+	if got := ev("N1.1.2.1"); got != "/site/regions/(africa|europe)/item/name" &&
+		got != "/site/regions/(europe|africa)/item/name" {
+		t.Fatalf("expr*(in) = %q", got)
+	}
+	if q1.ExprStar(q1.Root) != nil {
+		t.Fatal("expr* of a var-less node is nil")
+	}
+}
+
+func TestExprStarUnrooted(t *testing.T) {
+	// A From chain that does not reach the root yields nil.
+	n := &Node{Var: "x", From: "ghost", Path: pathre.MustParsePath("name"), Ret: RVar{Name: "x"}}
+	tr := NewTree(n)
+	if tr.ExprStar(n) != nil {
+		t.Fatal("unresolvable From chain must give nil")
+	}
+}
+
+func TestAssociatedAndFree(t *testing.T) {
+	q1 := buildQ1()
+	n1121 := q1.NodeByName("N1.1.2.1")
+	if got := q1.Associated(n1121); !reflect.DeepEqual(got, []string{"i", "in"}) {
+		t.Fatalf("associated(in) = %v", got)
+	}
+	if got := q1.Associatable(n1121); !reflect.DeepEqual(got, []string{"c", "i", "in"}) {
+		t.Fatalf("associatable(in) = %v", got)
+	}
+	if got := q1.FreeConditionVars(n1121); !reflect.DeepEqual(got, []string{"c"}) {
+		t.Fatalf("free(in) = %v", got)
+	}
+	n112 := q1.NodeByName("N1.1.2")
+	if got := q1.FreeConditionVars(n112); !reflect.DeepEqual(got, []string{"c"}) {
+		t.Fatalf("free(i) = %v", got)
+	}
+}
+
+func TestFragmentString(t *testing.T) {
+	q1 := buildQ1()
+	frag := q1.NodeByName("N1.1.2").FragmentString()
+	for _, want := range []string{
+		"for $i in /site/regions/(africa|europe)/item",
+		"data($i/incategory/@category) = data($c/@id)",
+		"some $o in document()/site/closed_auctions/closed_auction",
+		"data($o/price) < 300",
+		"return <item>",
+	} {
+		if !strings.Contains(frag, want) && !strings.Contains(strings.ReplaceAll(frag, "(europe|africa)", "(africa|europe)"), want) {
+			t.Errorf("fragment missing %q:\n%s", want, frag)
+		}
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	s := buildQ1().String()
+	for _, want := range []string{"N1:-", "N1.1:-", "N1.1.2.2:-"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("tree string missing %q", want)
+		}
+	}
+}
+
+func TestXQueryString(t *testing.T) {
+	s := buildQ1().XQueryString()
+	for _, want := range []string{
+		"for $c in /site/categories/category",
+		"for $i in",
+		"where",
+		"<i_list>",
+		"return",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("XQueryString missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPredKeyIdentity(t *testing.T) {
+	p1 := EqJoin("a", MustParseSimplePath("x/@y"), "b", nil)
+	p2 := EqJoin("a", MustParseSimplePath("x/@y"), "b", nil)
+	p3 := EqJoin("a", MustParseSimplePath("x/@z"), "b", nil)
+	if p1.Key() != p2.Key() {
+		t.Fatal("identical predicates must share a key")
+	}
+	if p1.Key() == p3.Key() {
+		t.Fatal("different predicates must differ")
+	}
+}
+
+func TestSimplePathString(t *testing.T) {
+	cases := []string{"a/b/@c", "a[1]/b", "a[last()]/b", "."}
+	for _, c := range cases {
+		p := MustParseSimplePath(c)
+		if c == "." {
+			if p != nil {
+				t.Fatalf("'.' should parse to empty path")
+			}
+			continue
+		}
+		if p.String() != c {
+			t.Errorf("roundtrip %q -> %q", c, p.String())
+		}
+	}
+	if !MustParseSimplePath("a/b").Equal(MustParseSimplePath("a/b")) {
+		t.Fatal("Equal on same paths")
+	}
+	if MustParseSimplePath("a/b").Equal(MustParseSimplePath("a/b[1]")) {
+		t.Fatal("positions distinguish paths")
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	if got := ConstOp("300").String(); got != "300" {
+		t.Errorf("numeric const renders bare: %q", got)
+	}
+	if got := ConstOp("abc").String(); got != `"abc"` {
+		t.Errorf("string const renders quoted: %q", got)
+	}
+	if got := VarOp("v", nil).String(); got != "data($v)" {
+		t.Errorf("bare var operand: %q", got)
+	}
+	if got := VarOp("v", MustParseSimplePath("a/@b")).String(); got != "data($v/a/@b)" {
+		t.Errorf("path var operand: %q", got)
+	}
+}
+
+func TestRenumberAfterEdit(t *testing.T) {
+	q1 := buildQ1()
+	n11 := q1.NodeByName("N1.1")
+	extra := &Node{Ret: RElem{Tag: "extra"}}
+	n11.Children = append(n11.Children, extra)
+	q1.Renumber()
+	if extra.Name() != "N1.1.3" {
+		t.Fatalf("new child name = %s", extra.Name())
+	}
+}
+
+func TestVarNode(t *testing.T) {
+	q1 := buildQ1()
+	if q1.VarNode("i") != q1.NodeByName("N1.1.2") {
+		t.Fatal("VarNode(i)")
+	}
+	if q1.VarNode("zzz") != nil {
+		t.Fatal("VarNode of unknown var must be nil")
+	}
+}

@@ -1,0 +1,396 @@
+package xq
+
+// This file implements the paper's learnability predicates and query
+// classes (Sections 5 and 6): 0-Learnable, 0-Learnable', 1-Learnable,
+// 1-Learnable', the classes X0, X0*, X0*+, X1 (= X0), X1*, X1*+, and
+// the node collapse used by LEARN-X0*+ / LEARN-X1*+.
+
+// retVars collects variable names referenced by a return expression
+// (not descending into child fragments).
+func retVars(r RetExpr) []string {
+	var out []string
+	var walk func(RetExpr)
+	walk = func(x RetExpr) {
+		switch t := x.(type) {
+		case RVar:
+			out = append(out, t.Name)
+		case RPath:
+			out = append(out, t.Var)
+		case RElem:
+			for _, k := range t.Kids {
+				walk(k)
+			}
+		case RSeq:
+			for _, k := range t.Items {
+				walk(k)
+			}
+		case RFunc:
+			for _, a := range t.Args {
+				walk(a)
+			}
+		case RBin:
+			walk(t.L)
+			walk(t.R)
+		}
+	}
+	if r != nil {
+		walk(r)
+	}
+	return out
+}
+
+// retHasComputed reports whether the return expression uses functions,
+// arithmetic, or literals (the Section 9 extension territory).
+func retHasComputed(r RetExpr) bool {
+	found := false
+	var walk func(RetExpr)
+	walk = func(x RetExpr) {
+		switch t := x.(type) {
+		case RFunc, RBin, RText, RNum, RPath:
+			found = true
+		case RElem:
+			for _, k := range t.Kids {
+				walk(k)
+			}
+		case RSeq:
+			for _, k := range t.Items {
+				walk(k)
+			}
+		}
+	}
+	if r != nil {
+		walk(r)
+	}
+	return found
+}
+
+// returnsOwnVar reports whether n's return clause emits n.Var (possibly
+// inside a constructed element, alongside child references).
+func returnsOwnVar(n *Node) bool {
+	if n.Var == "" {
+		return false
+	}
+	for _, v := range retVars(n.Ret) {
+		if v == n.Var {
+			return true
+		}
+	}
+	return false
+}
+
+// ZeroLearnable implements 0-Learnable(n): q(n) = "for v in p return v"
+// with p a document-rooted regular path expression, no conditions, no
+// sort keys, no computed content (Section 5).
+func ZeroLearnable(n *Node) bool {
+	return n.Var != "" &&
+		n.From == "" &&
+		n.Path != nil &&
+		len(n.Where) == 0 &&
+		len(n.OrderBy) == 0 &&
+		returnsOwnVar(n) &&
+		!retHasComputed(n.Ret)
+}
+
+// oneLabeledChild returns C1(n): the unique child connected by a
+// 1-labeled edge, or nil.
+func oneLabeledChild(n *Node) *Node {
+	for _, c := range n.Children {
+		if c.OneLabeled {
+			return c
+		}
+	}
+	return nil
+}
+
+// Collapse composes n with its child c into a single fragment
+// (collapse(n, n') of Section 5, whose query fragment is
+// compose(q(n), q(n'))). It requires at most one of the two nodes to
+// carry a for binding; the RChild reference to c inside n's return is
+// replaced by c's return expression, and c's children are adopted.
+// Collapse returns nil when both nodes bind variables (the composition
+// would not be a single flwr fragment of the learnable form).
+func Collapse(n, c *Node) *Node {
+	if n.Var != "" && c.Var != "" {
+		return nil
+	}
+	merged := &Node{
+		Var:        n.Var,
+		From:       n.From,
+		Path:       n.Path,
+		OneLabeled: n.OneLabeled,
+	}
+	if c.Var != "" {
+		merged.Var, merged.From, merged.Path = c.Var, c.From, c.Path
+	}
+	merged.Where = append(append([]*Pred{}, n.Where...), c.Where...)
+	merged.OrderBy = append(append([]SortKey{}, n.OrderBy...), c.OrderBy...)
+	merged.Ret = substChild(n.Ret, c, c.Ret)
+	for _, ch := range n.Children {
+		if ch == c {
+			merged.Children = append(merged.Children, c.Children...)
+		} else {
+			merged.Children = append(merged.Children, ch)
+		}
+	}
+	return merged
+}
+
+// substChild replaces RChild references to target with repl.
+func substChild(r RetExpr, target *Node, repl RetExpr) RetExpr {
+	switch t := r.(type) {
+	case RChild:
+		if t.Node == target {
+			return repl
+		}
+		return t
+	case RElem:
+		kids := make([]RetExpr, len(t.Kids))
+		for i, k := range t.Kids {
+			kids[i] = substChild(k, target, repl)
+		}
+		return RElem{Tag: t.Tag, Kids: kids}
+	case RSeq:
+		items := make([]RetExpr, len(t.Items))
+		for i, k := range t.Items {
+			items[i] = substChild(k, target, repl)
+		}
+		return RSeq{Items: items}
+	case RFunc:
+		args := make([]RetExpr, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = substChild(a, target, repl)
+		}
+		return RFunc{Name: t.Name, Args: args}
+	case RBin:
+		return RBin{Op: t.Op, L: substChild(t.L, target, repl), R: substChild(t.R, target, repl)}
+	default:
+		return r
+	}
+}
+
+// onlyChildRefs reports whether the return clause consists solely of
+// references to child fragments (possibly wrapped in one element): the
+// "holder" shape of condition A2.
+func onlyChildRefs(r RetExpr) bool {
+	switch t := r.(type) {
+	case nil:
+		return true
+	case RChild:
+		return true
+	case RElem:
+		for _, k := range t.Kids {
+			if !onlyChildRefs(k) {
+				return false
+			}
+		}
+		return true
+	case RSeq:
+		for _, k := range t.Items {
+			if !onlyChildRefs(k) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// ZeroLearnablePrime implements 0-Learnable'(n) (Section 5): either the
+// node collapses with its 1-labeled child into a 0-learnable fragment
+// (A1), or it is a pure holder of child fragments (A2).
+func ZeroLearnablePrime(n *Node) bool {
+	if c := oneLabeledChild(n); c != nil {
+		m := Collapse(n, c)
+		return m != nil && ZeroLearnable(m)
+	}
+	return n.Var == "" && len(n.Where) == 0 && onlyChildRefs(n.Ret)
+}
+
+// learnablePred reports whether p has the 1-Learnable condition shape:
+// a (possibly relayed) conjunction of equality atoms between variable
+// data values — no constants, no negation, no non-equality operators
+// (RS' of Section 6).
+func learnablePred(p *Pred) bool {
+	if p.Negated {
+		return false
+	}
+	for _, a := range p.Atoms {
+		if a.Op != OpEq || a.L.IsConst || a.R.IsConst {
+			return false
+		}
+	}
+	return len(p.Atoms) > 0
+}
+
+// OneLearnable implements 1-Learnable(n) relative to its tree: the
+// composed binding path expr*(v) is document-rooted, and the where
+// clause is a conjunction of learnable relationship predicates
+// (Section 6). 0-Learnable(n) implies OneLearnable(n).
+func (t *Tree) OneLearnable(n *Node) bool {
+	if n.Var == "" || n.Path == nil {
+		return false
+	}
+	if t.ExprStar(n) == nil {
+		return false
+	}
+	if len(n.OrderBy) > 0 || retHasComputed(n.Ret) || !returnsOwnVar(n) {
+		return false
+	}
+	for _, p := range n.Where {
+		if !learnablePred(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// OneLearnablePrime implements 1-Learnable'(n), defined analogously to
+// 0-Learnable'(n): either the composition with the 1-labeled child is a
+// 1-learnable fragment, or the node is a pure holder. Unlike the X0
+// case, the composed fragment may carry two for bindings (e.g. "for $c
+// in /site/categories/category, $cn in $c/name"): the learnable
+// variable is the child's, whose expr* path composes through the chain.
+func (t *Tree) OneLearnablePrime(n *Node) bool {
+	if c := oneLabeledChild(n); c != nil {
+		return t.collapsedOneLearnable(n, c)
+	}
+	return n.Var == "" && len(n.Where) == 0 && onlyChildRefs(n.Ret)
+}
+
+// collapsedOneLearnable checks 1-learnability of compose(q(n), q(c)).
+func (t *Tree) collapsedOneLearnable(n, c *Node) bool {
+	// The learnable variable of the composed fragment: the child's if it
+	// binds one, else the parent's.
+	target := c
+	if c.Var == "" {
+		if n.Var == "" {
+			return false
+		}
+		target = n
+	}
+	if target.Path == nil || t.ExprStar(target) == nil {
+		return false
+	}
+	if len(n.OrderBy)+len(c.OrderBy) > 0 {
+		return false
+	}
+	for _, p := range n.Where {
+		if !learnablePred(p) {
+			return false
+		}
+	}
+	for _, p := range c.Where {
+		if !learnablePred(p) {
+			return false
+		}
+	}
+	merged := substChild(n.Ret, c, c.Ret)
+	if retHasComputed(merged) {
+		return false
+	}
+	for _, v := range retVars(merged) {
+		if v == target.Var {
+			return true
+		}
+	}
+	return false
+}
+
+// Class is a learnability class of XQ-Trees (Figure 11).
+type Class int
+
+// The classes of Sections 5, 6 and 9. ClassX1 equals ClassX0 (the paper
+// proves X1 = X0); ClassX1StarPlusE is X1*+ with the Section 9
+// extension (explicit conditions, sort keys, functions).
+const (
+	ClassX0 Class = iota
+	ClassX0Star
+	ClassX0StarPlus
+	ClassX1Star
+	ClassX1StarPlus
+	ClassX1StarPlusE
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassX0:
+		return "X0"
+	case ClassX0Star:
+		return "X0*"
+	case ClassX0StarPlus:
+		return "X0*+"
+	case ClassX1Star:
+		return "X1*"
+	case ClassX1StarPlus:
+		return "X1*+"
+	case ClassX1StarPlusE:
+		return "X1*+E"
+	default:
+		return "?"
+	}
+}
+
+// InClass reports whether the tree belongs to the class.
+func (t *Tree) InClass(c Class) bool {
+	nodes := t.Nodes()
+	switch c {
+	case ClassX0:
+		return len(nodes) == 1 && ZeroLearnable(t.Root)
+	case ClassX0Star:
+		for _, n := range nodes {
+			if !ZeroLearnable(n) {
+				return false
+			}
+		}
+		return true
+	case ClassX0StarPlus:
+		return t.inStarPlus(ZeroLearnable, ZeroLearnablePrime)
+	case ClassX1Star:
+		for _, n := range nodes {
+			if !t.OneLearnable(n) {
+				return false
+			}
+		}
+		return true
+	case ClassX1StarPlus:
+		return t.inStarPlus(t.OneLearnable, t.OneLearnablePrime)
+	case ClassX1StarPlusE:
+		// Any well-formed tree of this model is expressible with the
+		// Section 9 extension (explicit conditions, order-by, functions).
+		return true
+	default:
+		return false
+	}
+}
+
+// inStarPlus checks "every node is learnable or learnable'", skipping
+// nodes consumed by a parent's collapse (their fragment is learned as
+// part of the collapsed parent).
+func (t *Tree) inStarPlus(learn func(*Node) bool, learnPrime func(*Node) bool) bool {
+	collapsed := map[*Node]bool{}
+	for _, n := range t.Nodes() {
+		if c := oneLabeledChild(n); c != nil && !learn(n) && learnPrime(n) {
+			collapsed[c] = true
+		}
+	}
+	for _, n := range t.Nodes() {
+		if collapsed[n] {
+			continue
+		}
+		if !learn(n) && !learnPrime(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// ClassOf returns the smallest class containing the tree.
+func (t *Tree) ClassOf() Class {
+	for _, c := range []Class{ClassX0, ClassX0Star, ClassX0StarPlus, ClassX1Star, ClassX1StarPlus} {
+		if t.InClass(c) {
+			return c
+		}
+	}
+	return ClassX1StarPlusE
+}

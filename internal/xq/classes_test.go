@@ -1,0 +1,284 @@
+package xq
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pathre"
+)
+
+// x0Tree: the Section 5 X0 example — a single 0-learnable node.
+func x0Tree() *Tree {
+	return NewTree(&Node{
+		Var: "i", Path: pathre.MustParsePath("/site/regions//item"),
+		Ret: RElem{Tag: "result", Kids: []RetExpr{RVar{Name: "i"}}},
+	})
+}
+
+// x0StarTree: the Section 5 X0* example — nested Cartesian product.
+func x0StarTree() *Tree {
+	inner := &Node{
+		Var: "c", Path: pathre.MustParsePath("/site/categories/category/name"),
+		Ret: RElem{Tag: "cname", Kids: []RetExpr{RVar{Name: "c"}}},
+	}
+	root := &Node{
+		Var: "i", Path: pathre.MustParsePath("/site/regions//item"),
+		Ret: RElem{Tag: "result", Kids: []RetExpr{
+			RVar{Name: "i"}, RChild{Node: inner},
+		}},
+		Children: []*Node{inner},
+	}
+	return NewTree(root)
+}
+
+// x0StarPlusTree: the Section 5 X0*+ example — holder nodes and a
+// 1-labeled collapse (N1 with C1(N1) = N1.1).
+func x0StarPlusTree() *Tree {
+	n1111 := &Node{
+		Var: "n", Path: pathre.MustParsePath("/site//name"),
+		Ret: RElem{Tag: "name", Kids: []RetExpr{RVar{Name: "n"}}},
+	}
+	n111 := &Node{ // holder: name-list
+		Ret:      RElem{Tag: "name-list", Kids: []RetExpr{RChild{Node: n1111}}},
+		Children: []*Node{n1111},
+	}
+	n11 := &Node{ // 1-labeled: return $c {N1.1.1}
+		OneLabeled: true,
+		Ret: RElem{Tag: "result", Kids: []RetExpr{
+			RVar{Name: "c"}, RChild{Node: n111},
+		}},
+		Children: []*Node{n111},
+	}
+	n1 := &Node{
+		Var: "c", Path: pathre.MustParsePath("/site/categories"),
+		Ret:      RElem{Tag: "root", Kids: []RetExpr{RChild{Node: n11}}},
+		Children: []*Node{n11},
+	}
+	return NewTree(n1)
+}
+
+func TestClassX0(t *testing.T) {
+	tr := x0Tree()
+	if !tr.InClass(ClassX0) || !tr.InClass(ClassX0Star) || !tr.InClass(ClassX0StarPlus) {
+		t.Fatal("X0 example must be in X0, X0*, X0*+")
+	}
+	if !tr.InClass(ClassX1Star) || !tr.InClass(ClassX1StarPlus) {
+		t.Fatal("X0 ⊆ X1* ⊆ X1*+ (Figure 11)")
+	}
+	if tr.ClassOf() != ClassX0 {
+		t.Fatalf("ClassOf = %v", tr.ClassOf())
+	}
+}
+
+func TestClassX0Star(t *testing.T) {
+	tr := x0StarTree()
+	if tr.InClass(ClassX0) {
+		t.Fatal("multi-node tree is not in X0")
+	}
+	if !tr.InClass(ClassX0Star) || !tr.InClass(ClassX0StarPlus) {
+		t.Fatal("X0* example must be in X0*, X0*+")
+	}
+	if tr.ClassOf() != ClassX0Star {
+		t.Fatalf("ClassOf = %v", tr.ClassOf())
+	}
+}
+
+func TestClassX0StarPlus(t *testing.T) {
+	tr := x0StarPlusTree()
+	if tr.InClass(ClassX0Star) {
+		t.Fatal("holder nodes are not 0-learnable, so not X0*")
+	}
+	if !tr.InClass(ClassX0StarPlus) {
+		t.Fatal("X0*+ example must be in X0*+")
+	}
+	if tr.ClassOf() != ClassX0StarPlus {
+		t.Fatalf("ClassOf = %v", tr.ClassOf())
+	}
+}
+
+func TestClassQ1IsX1StarPlus(t *testing.T) {
+	// Figure 6 without the boxed price condition is in X1*+; with the
+	// boxed value condition it needs the extension class.
+	q1 := buildQ1()
+	if q1.InClass(ClassX0StarPlus) {
+		t.Fatal("q1 has join conditions, not X0*+")
+	}
+	if q1.ClassOf() != ClassX1StarPlusE {
+		t.Fatalf("q1 with the <300 box: ClassOf = %v", q1.ClassOf())
+	}
+	// Strip the value condition -> X1*+.
+	n112 := q1.NodeByName("N1.1.2")
+	n112.Where = n112.Where[:1]
+	if !q1.InClass(ClassX1StarPlus) {
+		t.Fatal("q1 without the value condition must be in X1*+")
+	}
+	if q1.InClass(ClassX1Star) {
+		t.Fatal("q1 has holder/collapse nodes, not X1*")
+	}
+}
+
+func TestX1EqualsX0ForRoots(t *testing.T) {
+	// 1-Learnable(n) ∧ Root(n) ⇒ 0-Learnable(n): a single-node tree in
+	// X1 terms is exactly X0 (Section 6).
+	tr := x0Tree()
+	if !tr.OneLearnable(tr.Root) || !ZeroLearnable(tr.Root) {
+		t.Fatal("single-node: 1-learnable iff 0-learnable")
+	}
+}
+
+func TestZeroLearnableRejections(t *testing.T) {
+	base := func() *Node {
+		return &Node{
+			Var: "i", Path: pathre.MustParsePath("/a/b"),
+			Ret: RElem{Tag: "r", Kids: []RetExpr{RVar{Name: "i"}}},
+		}
+	}
+	n := base()
+	if !ZeroLearnable(n) {
+		t.Fatal("base should be 0-learnable")
+	}
+	n = base()
+	n.From = "x"
+	if ZeroLearnable(n) {
+		t.Error("relative path is not 0-learnable")
+	}
+	n = base()
+	n.Where = []*Pred{EqJoin("i", nil, "x", nil)}
+	if ZeroLearnable(n) {
+		t.Error("conditions are not 0-learnable")
+	}
+	n = base()
+	n.OrderBy = []SortKey{{Var: "i"}}
+	if ZeroLearnable(n) {
+		t.Error("order-by is not 0-learnable")
+	}
+	n = base()
+	n.Ret = RElem{Tag: "r", Kids: []RetExpr{RFunc{Name: "count", Args: []RetExpr{RVar{Name: "i"}}}}}
+	if ZeroLearnable(n) {
+		t.Error("computed content is not 0-learnable")
+	}
+	n = base()
+	n.Ret = RElem{Tag: "r"}
+	if ZeroLearnable(n) {
+		t.Error("return without the variable is not 0-learnable")
+	}
+}
+
+func TestCollapse(t *testing.T) {
+	tr := x0StarPlusTree()
+	n1 := tr.Root
+	n11 := n1.Children[0]
+	m := Collapse(n1, n11)
+	if m == nil {
+		t.Fatal("collapse of var node with var-less child must succeed")
+	}
+	if m.Var != "c" || m.Path == nil {
+		t.Fatal("collapsed node keeps the binding")
+	}
+	if !ZeroLearnable(m) {
+		t.Fatalf("collapse(N1, N1.1) must be 0-learnable: %s", m.FragmentString())
+	}
+	// Children adopted: N1.1's child (name-list holder).
+	if len(m.Children) != 1 {
+		t.Fatalf("collapsed children = %d", len(m.Children))
+	}
+	// Collapsing two var nodes fails.
+	a := &Node{Var: "a", Path: pathre.MustParsePath("/x")}
+	b := &Node{Var: "b", Path: pathre.MustParsePath("/y")}
+	a.Children = []*Node{b}
+	a.Ret = RChild{Node: b}
+	if Collapse(a, b) != nil {
+		t.Fatal("collapse of two binding nodes must fail")
+	}
+}
+
+func TestCollapsePreservesSemantics(t *testing.T) {
+	// Collapsing 1-labeled nodes must not change the query result
+	// ("XQuery's semantics guarantees that collapsing the nodes
+	// connected by 1-labeled edges does not change the query result").
+	tr := x0StarPlusTree()
+	ev := NewEvaluator(figure4Doc())
+	before := tr.XQueryResultString(ev)
+
+	n1, n11 := tr.Root, tr.Root.Children[0]
+	m := Collapse(n1, n11)
+	collapsed := NewTree(m)
+	after := collapsed.XQueryResultString(ev)
+	if before != after {
+		t.Fatalf("collapse changed the result:\nbefore %s\nafter  %s", before, after)
+	}
+}
+
+func TestHierarchyProperty(t *testing.T) {
+	// Figure 11: X0 ⊂ X0* ⊂ X0*+ ⊂ X1*+ and X0* ⊂ X1* ⊂ X1*+ on random
+	// trees.
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		tr := randomTree(r, 2)
+		in := map[Class]bool{}
+		for _, c := range []Class{ClassX0, ClassX0Star, ClassX0StarPlus, ClassX1Star, ClassX1StarPlus, ClassX1StarPlusE} {
+			in[c] = tr.InClass(c)
+		}
+		if in[ClassX0] && !in[ClassX0Star] {
+			t.Fatalf("iter %d: X0 ⊄ X0*", i)
+		}
+		if in[ClassX0Star] && !in[ClassX0StarPlus] {
+			t.Fatalf("iter %d: X0* ⊄ X0*+", i)
+		}
+		if in[ClassX0Star] && !in[ClassX1Star] {
+			t.Fatalf("iter %d: X0* ⊄ X1*", i)
+		}
+		if in[ClassX0StarPlus] && !in[ClassX1StarPlus] {
+			t.Fatalf("iter %d: X0*+ ⊄ X1*+", i)
+		}
+		if in[ClassX1Star] && !in[ClassX1StarPlus] {
+			t.Fatalf("iter %d: X1* ⊄ X1*+", i)
+		}
+		if !in[ClassX1StarPlusE] {
+			t.Fatalf("iter %d: everything is in the extension class", i)
+		}
+	}
+}
+
+// randomTree builds random small trees exercising the class predicates.
+func randomTree(r *rand.Rand, depth int) *Tree {
+	var build func(d int, parentVar string, idx int) *Node
+	vc := 0
+	build = func(d int, parentVar string, idx int) *Node {
+		vc++
+		v := string(rune('a' + vc%26))
+		n := &Node{}
+		switch r.Intn(4) {
+		case 0: // 0-learnable
+			n.Var, n.Path = v, pathre.MustParsePath("/site//item")
+			n.Ret = RElem{Tag: "t", Kids: []RetExpr{RVar{Name: v}}}
+		case 1: // relative binding (1-learnable at best)
+			if parentVar != "" {
+				n.Var, n.From, n.Path = v, parentVar, pathre.MustParsePath("name")
+				n.Ret = RElem{Tag: "t", Kids: []RetExpr{RVar{Name: v}}}
+			} else {
+				n.Var, n.Path = v, pathre.MustParsePath("/site/categories/category")
+				n.Ret = RElem{Tag: "t", Kids: []RetExpr{RVar{Name: v}}}
+			}
+		case 2: // join condition (1-learnable)
+			n.Var, n.Path = v, pathre.MustParsePath("/site//item")
+			n.Ret = RElem{Tag: "t", Kids: []RetExpr{RVar{Name: v}}}
+			if parentVar != "" {
+				n.Where = []*Pred{EqJoin(v, MustParseSimplePath("@id"), parentVar, MustParseSimplePath("@ref"))}
+			}
+		case 3: // holder
+			n.Ret = RElem{Tag: "t"}
+		}
+		if d > 0 && r.Intn(2) == 0 {
+			kid := build(d-1, n.Var, 0)
+			n.Children = append(n.Children, kid)
+			switch ret := n.Ret.(type) {
+			case RElem:
+				ret.Kids = append(ret.Kids, RChild{Node: kid})
+				n.Ret = ret
+			}
+		}
+		return n
+	}
+	return NewTree(build(depth, "", 0))
+}

@@ -1,0 +1,659 @@
+package xq
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/pathre"
+	"repro/internal/xmldoc"
+)
+
+// Value is an evaluation result item: a node's typed value or a
+// computed atomic.
+type Value struct {
+	Node  *xmldoc.Node // nil for computed values
+	Str   string
+	Num   float64
+	IsNum bool
+}
+
+// NodeValue converts a node to its atomized value (data() semantics:
+// the concatenated text; numeric when it parses as a number).
+func NodeValue(n *xmldoc.Node) Value {
+	s := strings.TrimSpace(n.Text())
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Value{Node: n, Str: s, Num: f, IsNum: true}
+	}
+	return Value{Node: n, Str: s}
+}
+
+// NumValue returns a numeric value.
+func NumValue(f float64) Value {
+	return Value{Str: strconv.FormatFloat(f, 'g', -1, 64), Num: f, IsNum: true}
+}
+
+// StrValue returns a string value (numeric if it parses).
+func StrValue(s string) Value {
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Value{Str: s, Num: f, IsNum: true}
+	}
+	return Value{Str: s}
+}
+
+// Env is a variable assignment.
+type Env map[string]*xmldoc.Node
+
+func (e Env) clone() Env {
+	out := make(Env, len(e)+1)
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// Evaluator computes extents and full results of XQ-Trees over one
+// source document. DFAs for binding paths are cached per rendered
+// expression.
+type Evaluator struct {
+	Doc      *xmldoc.Document
+	alphabet []string
+	dfas     map[string]*pathre.DFA
+}
+
+// NewEvaluator builds an evaluator over doc. The DFA alphabet is the
+// document's label set (learning and evaluation are relative to the
+// instance, as XQI is in the paper).
+func NewEvaluator(doc *xmldoc.Document) *Evaluator {
+	return &Evaluator{Doc: doc, alphabet: doc.Alphabet(), dfas: map[string]*pathre.DFA{}}
+}
+
+func (e *Evaluator) dfa(p pathre.Expr) *pathre.DFA {
+	key := pathre.String(p)
+	if d, ok := e.dfas[key]; ok {
+		return d
+	}
+	d := pathre.Compile(p, e.alphabet)
+	e.dfas[key] = d
+	return d
+}
+
+// PathNodes returns the nodes reachable from start (the document node
+// when start is nil) by a label sequence accepted by p, in document
+// order.
+func (e *Evaluator) PathNodes(start *xmldoc.Node, p pathre.Expr) []*xmldoc.Node {
+	if start == nil {
+		start = e.Doc.DocNode()
+	}
+	d := e.dfa(p)
+	var out []*xmldoc.Node
+	var walk func(n *xmldoc.Node, state int)
+	walk = func(n *xmldoc.Node, state int) {
+		for _, a := range n.Attrs {
+			if s := d.Step(state, a.Label()); s >= 0 && d.Accept[s] {
+				out = append(out, a)
+			}
+		}
+		for _, c := range n.Children {
+			if c.Kind != xmldoc.ElementNode {
+				continue
+			}
+			s := d.Step(state, c.Label())
+			if s < 0 {
+				continue
+			}
+			if d.Accept[s] {
+				out = append(out, c)
+			}
+			walk(c, s)
+		}
+	}
+	walk(start, d.Start)
+	return out
+}
+
+// Matches reports whether target is reachable from start via p, i.e.
+// the relative label path from start to target is accepted.
+func (e *Evaluator) Matches(start *xmldoc.Node, p pathre.Expr, target *xmldoc.Node) bool {
+	if start == nil {
+		start = e.Doc.DocNode()
+	}
+	// Collect labels from start (exclusive) to target (inclusive).
+	var rev []string
+	cur := target
+	for cur != nil && cur != start {
+		rev = append(rev, cur.Label())
+		cur = cur.Parent
+	}
+	if cur != start {
+		return false
+	}
+	labels := make([]string, len(rev))
+	for i := range rev {
+		labels[i] = rev[len(rev)-1-i]
+	}
+	return e.dfa(p).Accepts(labels)
+}
+
+// EvalSimplePath evaluates a child-axis simple path from start,
+// honoring positional selectors.
+func EvalSimplePath(start *xmldoc.Node, p SimplePath) []*xmldoc.Node {
+	cur := []*xmldoc.Node{start}
+	for _, st := range p {
+		var next []*xmldoc.Node
+		for _, n := range cur {
+			if strings.HasPrefix(st.Name, "@") {
+				if a := n.AttrNode(st.Name[1:]); a != nil {
+					next = append(next, a)
+				}
+				continue
+			}
+			matched := n.ChildElementsNamed(st.Name)
+			switch {
+			case st.Pos == 0:
+				next = append(next, matched...)
+			case st.Pos == LastPos:
+				if len(matched) > 0 {
+					next = append(next, matched[len(matched)-1])
+				}
+			case st.Pos <= len(matched):
+				next = append(next, matched[st.Pos-1])
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// operandValues evaluates an operand under env, with the document node
+// used for document()-rooted paths (empty Var, not const).
+func (e *Evaluator) operandValues(o Operand, env Env) []Value {
+	var out []Value
+	if o.IsConst {
+		out = []Value{StrValue(o.Const)}
+	} else {
+		start := env[o.Var]
+		if start == nil {
+			return nil
+		}
+		nodes := EvalSimplePath(start, o.Path)
+		out = make([]Value, len(nodes))
+		for i, n := range nodes {
+			out[i] = NodeValue(n)
+		}
+	}
+	if o.Mul != 0 && o.Mul != 1 {
+		scaled := make([]Value, 0, len(out))
+		for _, v := range out {
+			if v.IsNum {
+				scaled = append(scaled, NumValue(v.Num*o.Mul))
+			}
+		}
+		out = scaled
+	}
+	return out
+}
+
+func compareValues(op CmpOp, l, r Value) bool {
+	if op == OpContains {
+		return strings.Contains(l.Str, r.Str)
+	}
+	if l.IsNum && r.IsNum {
+		switch op {
+		case OpEq:
+			return l.Num == r.Num
+		case OpNe:
+			return l.Num != r.Num
+		case OpLt:
+			return l.Num < r.Num
+		case OpLe:
+			return l.Num <= r.Num
+		case OpGt:
+			return l.Num > r.Num
+		case OpGe:
+			return l.Num >= r.Num
+		}
+	}
+	switch op {
+	case OpEq:
+		return l.Str == r.Str
+	case OpNe:
+		return l.Str != r.Str
+	case OpLt:
+		return l.Str < r.Str
+	case OpLe:
+		return l.Str <= r.Str
+	case OpGt:
+		return l.Str > r.Str
+	case OpGe:
+		return l.Str >= r.Str
+	}
+	return false
+}
+
+// atomHolds implements XQuery general-comparison semantics: the
+// comparison holds if some pair of values from the two operand
+// sequences satisfies it. OpEmpty tests the left sequence for emptiness.
+func (e *Evaluator) atomHolds(a Cmp, env Env) bool {
+	lv := e.operandValues(a.L, env)
+	if a.Op == OpEmpty {
+		return len(lv) == 0
+	}
+	if a.Op == OpExists {
+		return len(lv) > 0
+	}
+	rv := e.operandValues(a.R, env)
+	for _, l := range lv {
+		for _, r := range rv {
+			if compareValues(a.Op, l, r) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PredHolds evaluates a predicate under env.
+func (e *Evaluator) PredHolds(p *Pred, env Env) bool {
+	res := e.predBody(p, env)
+	if p.Negated {
+		return !res
+	}
+	return res
+}
+
+func (e *Evaluator) predBody(p *Pred, env Env) bool {
+	if !p.HasRelay() {
+		for _, a := range p.Atoms {
+			if !e.atomHolds(a, env) {
+				return false
+			}
+		}
+		return true
+	}
+	var starts []*xmldoc.Node
+	if p.RelayFrom == "" {
+		starts = []*xmldoc.Node{e.Doc.DocNode()}
+	} else if n := env[p.RelayFrom]; n != nil {
+		starts = []*xmldoc.Node{n}
+	}
+	for _, s := range starts {
+		for _, w := range EvalSimplePath(s, p.RelayPath) {
+			inner := env.clone()
+			inner[p.RelayVar] = w
+			ok := true
+			for _, a := range p.Atoms {
+				if !e.atomHolds(a, inner) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bindings enumerates the candidate nodes of n's for clause under env,
+// filtered by n's where predicates and ordered by its sort keys. If
+// pinned contains n.Var, the enumeration is restricted to that node
+// ("ve is e" conjunct of the extent definition).
+func (e *Evaluator) bindings(n *Node, env Env, pinned Env) []*xmldoc.Node {
+	var start *xmldoc.Node
+	if n.From != "" {
+		start = env[n.From]
+		if start == nil {
+			return nil
+		}
+	}
+	cands := e.PathNodes(start, n.Path)
+	if pin, ok := pinned[n.Var]; ok {
+		found := false
+		for _, c := range cands {
+			if c == pin {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+		cands = []*xmldoc.Node{pin}
+	}
+	var out []*xmldoc.Node
+	for _, c := range cands {
+		inner := env.clone()
+		inner[n.Var] = c
+		ok := true
+		for _, p := range n.Where {
+			if !e.PredHolds(p, inner) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	if len(n.OrderBy) > 0 {
+		out = e.sortByKeys(out, n.OrderBy)
+	}
+	return out
+}
+
+func (e *Evaluator) sortByKeys(nodes []*xmldoc.Node, keys []SortKey) []*xmldoc.Node {
+	type row struct {
+		n    *xmldoc.Node
+		vals []Value
+	}
+	rows := make([]row, len(nodes))
+	for i, n := range nodes {
+		vals := make([]Value, len(keys))
+		for k, key := range keys {
+			targets := EvalSimplePath(n, key.Path)
+			if len(targets) > 0 {
+				vals[k] = NodeValue(targets[0])
+			}
+		}
+		rows[i] = row{n, vals}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k, key := range keys {
+			a, b := rows[i].vals[k], rows[j].vals[k]
+			var less, eq bool
+			if (a.IsNum && b.IsNum) || key.Numeric {
+				less, eq = a.Num < b.Num, a.Num == b.Num
+			} else {
+				less, eq = a.Str < b.Str, a.Str == b.Str
+			}
+			if eq {
+				continue
+			}
+			if key.Descending {
+				return !less
+			}
+			return less
+		}
+		return false
+	})
+	out := make([]*xmldoc.Node, len(rows))
+	for i, r := range rows {
+		out[i] = r.n
+	}
+	return out
+}
+
+// Extent computes EXT_{e,context}: the nodes bound to n.Var over all
+// satisfying assignments of n's binding chain, with the variables in
+// pinned fixed to the given nodes (paper Section 4.2). The result is
+// deduplicated and in document order.
+func (e *Evaluator) Extent(t *Tree, n *Node, pinned Env) []*xmldoc.Node {
+	if n.Var == "" {
+		panic(fmt.Sprintf("xq: Extent of %s which binds no variable", n.Name()))
+	}
+	chain := n.BindingChain()
+	seen := map[int]bool{}
+	var out []*xmldoc.Node
+	var rec func(i int, env Env)
+	rec = func(i int, env Env) {
+		if i == len(chain) {
+			b := env[n.Var]
+			if !seen[b.ID] {
+				seen[b.ID] = true
+				out = append(out, b)
+			}
+			return
+		}
+		node := chain[i]
+		for _, b := range e.bindings(node, env, pinned) {
+			inner := env.clone()
+			inner[node.Var] = b
+			rec(i+1, inner)
+		}
+	}
+	rec(0, Env{})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Assignments enumerates every satisfying assignment of n's strict
+// ancestor binding chain (all for-variables above n, with their where
+// clauses applied). The returned environments do not bind n's own
+// variable. A node with no binding ancestors yields one empty
+// environment.
+func (e *Evaluator) Assignments(t *Tree, n *Node) []Env {
+	chain := n.BindingChain()
+	if n.Var != "" && len(chain) > 0 {
+		chain = chain[:len(chain)-1]
+	}
+	out := []Env{{}}
+	for _, node := range chain {
+		var next []Env
+		for _, env := range out {
+			for _, b := range e.bindings(node, env, nil) {
+				inner := env.clone()
+				inner[node.Var] = b
+				next = append(next, inner)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// XQueryResultString evaluates the tree over the evaluator's document
+// and returns the serialized result (convenience for tests and tools).
+func (t *Tree) XQueryResultString(ev *Evaluator) string {
+	return xmldoc.XMLString(ev.Result(t).DocNode())
+}
+
+// Result materializes the full query result as a new document.
+func (e *Evaluator) Result(t *Tree) *xmldoc.Document {
+	out := xmldoc.NewDocument()
+	e.buildInto(out, out.DocNode(), t.Root, Env{})
+	return out
+}
+
+// buildInto evaluates node n under env, appending its produced items to
+// parent in the output document.
+func (e *Evaluator) buildInto(out *xmldoc.Document, parent *xmldoc.Node, n *Node, env Env) {
+	if n.Var == "" {
+		e.emitRet(out, parent, n.Ret, env)
+		return
+	}
+	for _, b := range e.bindings(n, env, nil) {
+		inner := env.clone()
+		inner[n.Var] = b
+		e.emitRet(out, parent, n.Ret, inner)
+	}
+}
+
+func (e *Evaluator) emitRet(out *xmldoc.Document, parent *xmldoc.Node, r RetExpr, env Env) {
+	switch t := r.(type) {
+	case nil:
+	case RElem:
+		el := out.CreateElement(parent, t.Tag)
+		for _, k := range t.Kids {
+			e.emitRet(out, el, k, env)
+		}
+	case RSeq:
+		for _, k := range t.Items {
+			e.emitRet(out, parent, k, env)
+		}
+	case RVar:
+		if n := env[t.Name]; n != nil {
+			out.ImportSubtree(parent, n)
+		}
+	case RPath:
+		if start := env[t.Var]; start != nil {
+			for _, n := range EvalSimplePath(start, t.Path) {
+				out.ImportSubtree(parent, n)
+			}
+		}
+	case RChild:
+		e.buildInto(out, parent, t.Node, env)
+	case RText:
+		out.CreateText(parent, t.Value)
+	case RNum:
+		out.CreateText(parent, formatNum(t.Value))
+	case RFunc, RBin:
+		for _, v := range e.evalSeq(r, env) {
+			if v.Node != nil && !v.IsNum {
+				out.ImportSubtree(parent, v.Node)
+			} else {
+				out.CreateText(parent, v.Str)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("xq: unknown return expression %T", r))
+	}
+}
+
+func formatNum(f float64) string { return strconv.FormatFloat(f, 'f', -1, 64) }
+
+// evalSeq evaluates a return expression to a value sequence (used for
+// function arguments and computed content, Nested Drop Boxes).
+func (e *Evaluator) evalSeq(r RetExpr, env Env) []Value {
+	switch t := r.(type) {
+	case nil:
+		return nil
+	case RVar:
+		if n := env[t.Name]; n != nil {
+			return []Value{NodeValue(n)}
+		}
+		return nil
+	case RPath:
+		start := env[t.Var]
+		if start == nil {
+			return nil
+		}
+		var out []Value
+		for _, n := range EvalSimplePath(start, t.Path) {
+			out = append(out, NodeValue(n))
+		}
+		return out
+	case RText:
+		return []Value{StrValue(t.Value)}
+	case RNum:
+		return []Value{NumValue(t.Value)}
+	case RSeq:
+		var out []Value
+		for _, k := range t.Items {
+			out = append(out, e.evalSeq(k, env)...)
+		}
+		return out
+	case RElem:
+		var out []Value
+		for _, k := range t.Kids {
+			out = append(out, e.evalSeq(k, env)...)
+		}
+		return out
+	case RChild:
+		return e.childSeq(t.Node, env)
+	case RBin:
+		lv, rv := e.evalSeq(t.L, env), e.evalSeq(t.R, env)
+		if len(lv) == 0 || len(rv) == 0 {
+			return nil
+		}
+		l, r := lv[0].Num, rv[0].Num
+		var res float64
+		switch t.Op {
+		case "+":
+			res = l + r
+		case "-":
+			res = l - r
+		case "*":
+			res = l * r
+		case "div", "/":
+			res = l / r
+		default:
+			panic("xq: unknown arithmetic operator " + t.Op)
+		}
+		return []Value{NumValue(res)}
+	case RFunc:
+		return e.evalFunc(t, env)
+	default:
+		panic(fmt.Sprintf("xq: cannot evaluate %T as a sequence", r))
+	}
+}
+
+// childSeq evaluates a child fragment to the sequence of values it
+// produces under env.
+func (e *Evaluator) childSeq(n *Node, env Env) []Value {
+	if n.Var == "" {
+		return e.evalSeq(n.Ret, env)
+	}
+	var out []Value
+	for _, b := range e.bindings(n, env, nil) {
+		inner := env.clone()
+		inner[n.Var] = b
+		out = append(out, e.evalSeq(n.Ret, inner)...)
+	}
+	return out
+}
+
+func (e *Evaluator) evalFunc(f RFunc, env Env) []Value {
+	var args []Value
+	for _, a := range f.Args {
+		args = append(args, e.evalSeq(a, env)...)
+	}
+	switch f.Name {
+	case "count":
+		return []Value{NumValue(float64(len(args)))}
+	case "sum":
+		s := 0.0
+		for _, v := range args {
+			s += v.Num
+		}
+		return []Value{NumValue(s)}
+	case "avg":
+		if len(args) == 0 {
+			return nil
+		}
+		s := 0.0
+		for _, v := range args {
+			s += v.Num
+		}
+		return []Value{NumValue(s / float64(len(args)))}
+	case "min", "max":
+		if len(args) == 0 {
+			return nil
+		}
+		best := args[0]
+		for _, v := range args[1:] {
+			less := v.Num < best.Num
+			if !v.IsNum || !best.IsNum {
+				less = v.Str < best.Str
+			}
+			if (f.Name == "min") == less {
+				best = v
+			}
+		}
+		return []Value{best}
+	case "distinct", "distinct-values":
+		seen := map[string]bool{}
+		var out []Value
+		for _, v := range args {
+			if !seen[v.Str] {
+				seen[v.Str] = true
+				out = append(out, v)
+			}
+		}
+		return out
+	case "data", "string":
+		return args
+	case "zero-or-one", "exactly-one":
+		if len(args) > 0 {
+			return args[:1]
+		}
+		return nil
+	default:
+		panic("xq: unknown function " + f.Name)
+	}
+}

@@ -1,0 +1,215 @@
+package xq
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/pathre"
+	"repro/internal/xmldoc"
+)
+
+func TestRetStringVariants(t *testing.T) {
+	child := &Node{Var: "x", Path: pathre.MustParsePath("/a")}
+	cases := []struct {
+		r    RetExpr
+		want string
+	}{
+		{RVar{Name: "v"}, "$v"},
+		{RText{Value: "hi"}, `"hi"`},
+		{RNum{Value: 2.5}, "2.5"},
+		{RPath{Var: "v", Path: MustParseSimplePath("a/b")}, "$v/a/b"},
+		{RSeq{Items: []RetExpr{RVar{Name: "a"}, RVar{Name: "b"}}}, "$a, $b"},
+		{RFunc{Name: "count", Args: []RetExpr{RVar{Name: "v"}}}, "count($v)"},
+		{RBin{Op: "*", L: RNum{Value: 2}, R: RNum{Value: 3}}, "(2 * 3)"},
+		{RElem{Tag: "t", Kids: []RetExpr{RVar{Name: "v"}}}, "<t>$v</t>"},
+		{RChild{Node: nil}, "{?}"},
+	}
+	for _, c := range cases {
+		if got := RetString(c.r); got != c.want {
+			t.Errorf("RetString(%T) = %q, want %q", c.r, got, c.want)
+		}
+	}
+	tree := NewTree(&Node{Ret: RChild{Node: child}, Children: []*Node{child}})
+	_ = tree
+	if got := RetString(RChild{Node: child}); got != "{N1.1}" {
+		t.Errorf("named child ref = %q", got)
+	}
+}
+
+func TestClassStringNames(t *testing.T) {
+	names := map[Class]string{
+		ClassX0: "X0", ClassX0Star: "X0*", ClassX0StarPlus: "X0*+",
+		ClassX1Star: "X1*", ClassX1StarPlus: "X1*+", ClassX1StarPlusE: "X1*+E",
+		Class(99): "?",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("Class(%d) = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}
+
+func TestEvalSeqArithmeticOps(t *testing.T) {
+	doc := xmldoc.MustParse(`<r><v>10</v></r>`)
+	ev := NewEvaluator(doc)
+	env := Env{"v": doc.NodesWithLabel("v")[0]}
+	cases := []struct {
+		op   string
+		want float64
+	}{
+		{"+", 13}, {"-", 7}, {"*", 30}, {"div", 10.0 / 3}, {"/", 10.0 / 3},
+	}
+	for _, c := range cases {
+		got := ev.evalSeq(RBin{Op: c.op, L: RVar{Name: "v"}, R: RNum{Value: 3}}, env)
+		if len(got) != 1 || math.Abs(got[0].Num-c.want) > 1e-9 {
+			t.Errorf("10 %s 3 = %v", c.op, got)
+		}
+	}
+	// Empty operand: no value.
+	if got := ev.evalSeq(RBin{Op: "+", L: RVar{Name: "ghost"}, R: RNum{Value: 1}}, env); got != nil {
+		t.Errorf("empty operand = %v", got)
+	}
+}
+
+func TestEvalSeqMiscellany(t *testing.T) {
+	doc := xmldoc.MustParse(`<r><v>1</v><v>2</v></r>`)
+	ev := NewEvaluator(doc)
+	env := Env{}
+	if got := ev.evalSeq(RText{Value: "x"}, env); len(got) != 1 || got[0].Str != "x" {
+		t.Errorf("RText = %v", got)
+	}
+	if got := ev.evalSeq(RSeq{Items: []RetExpr{RNum{Value: 1}, RNum{Value: 2}}}, env); len(got) != 2 {
+		t.Errorf("RSeq = %v", got)
+	}
+	inner := &Node{Var: "w", Path: pathre.MustParsePath("/r/v"), Ret: RVar{Name: "w"}}
+	if got := ev.evalSeq(RFunc{Name: "zero-or-one", Args: []RetExpr{RChild{Node: inner}}}, env); len(got) != 1 {
+		t.Errorf("zero-or-one = %v", got)
+	}
+	if got := ev.evalSeq(RFunc{Name: "string", Args: []RetExpr{RNum{Value: 5}}}, env); len(got) != 1 || got[0].Num != 5 {
+		t.Errorf("string() passthrough = %v", got)
+	}
+	if got := ev.evalSeq(nil, env); got != nil {
+		t.Errorf("nil ret = %v", got)
+	}
+	// min/max fall back to string comparison for non-numeric values.
+	strs := RSeq{Items: []RetExpr{RText{Value: "pear"}, RText{Value: "apple"}}}
+	if got := ev.evalSeq(RFunc{Name: "min", Args: []RetExpr{strs}}, env); got[0].Str != "apple" {
+		t.Errorf("min strings = %v", got)
+	}
+	if got := ev.evalSeq(RFunc{Name: "max", Args: []RetExpr{strs}}, env); got[0].Str != "pear" {
+		t.Errorf("max strings = %v", got)
+	}
+	// avg of nothing is empty.
+	if got := ev.evalSeq(RFunc{Name: "avg", Args: nil}, env); got != nil {
+		t.Errorf("avg() = %v", got)
+	}
+	if got := ev.evalSeq(RFunc{Name: "min", Args: nil}, env); got != nil {
+		t.Errorf("min() = %v", got)
+	}
+}
+
+func TestEvalSeqUnknownFunctionPanics(t *testing.T) {
+	ev := NewEvaluator(xmldoc.MustParse(`<r/>`))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown function must panic")
+		}
+	}()
+	ev.evalSeq(RFunc{Name: "bogus"}, Env{})
+}
+
+func TestEvalSeqUnknownOperatorPanics(t *testing.T) {
+	ev := NewEvaluator(xmldoc.MustParse(`<r/>`))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown operator must panic")
+		}
+	}()
+	ev.evalSeq(RBin{Op: "%", L: RNum{Value: 1}, R: RNum{Value: 2}}, Env{})
+}
+
+func TestAssignmentsDirect(t *testing.T) {
+	doc := figure4Doc()
+	q1 := buildQ1()
+	ev := NewEvaluator(doc)
+	// N1.1.2 ($i): its strict ancestors bind $c over 2 categories.
+	n112 := q1.NodeByName("N1.1.2")
+	envs := ev.Assignments(q1, n112)
+	if len(envs) != 2 {
+		t.Fatalf("assignments = %d, want 2 (one per category)", len(envs))
+	}
+	for _, e := range envs {
+		if e["c"] == nil || e["i"] != nil {
+			t.Fatalf("assignment = %v", e)
+		}
+	}
+	// Root (no binding ancestors): one empty environment.
+	if envs := ev.Assignments(q1, q1.Root); len(envs) != 1 || len(envs[0]) != 0 {
+		t.Fatalf("root assignments = %v", envs)
+	}
+}
+
+func TestEmitRetTextAndNum(t *testing.T) {
+	doc := xmldoc.MustParse(`<r/>`)
+	ev := NewEvaluator(doc)
+	tree := NewTree(&Node{Ret: RElem{Tag: "out", Kids: []RetExpr{
+		RText{Value: "hello "}, RNum{Value: 7},
+	}}})
+	res := ev.Result(tree)
+	if got := res.Root().Text(); got != "hello 7" {
+		t.Fatalf("literal content = %q", got)
+	}
+}
+
+func TestXQueryStringRendersFunctions(t *testing.T) {
+	inner := &Node{Var: "w", Path: pathre.MustParsePath("/r/v"), Ret: RVar{Name: "w"}}
+	tree := NewTree(&Node{
+		Ret: RElem{Tag: "o", Kids: []RetExpr{
+			RBin{Op: "*", L: RFunc{Name: "count", Args: []RetExpr{RChild{Node: inner}}}, R: RNum{Value: 10}},
+		}},
+		Children: []*Node{inner},
+	})
+	s := tree.XQueryString()
+	for _, want := range []string{"count(", "* 10", "for $w in /r/v"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("XQueryString missing %q:\n%s", want, s)
+		}
+	}
+	// And it reparses.
+	if _, err := ParseQuery(s); err != nil {
+		t.Fatalf("rendered function query does not reparse: %v\n%s", err, s)
+	}
+}
+
+func TestCompareValuesStringOps(t *testing.T) {
+	a, b := StrValue("apple"), StrValue("banana")
+	cases := []struct {
+		op   CmpOp
+		want bool
+	}{
+		{OpNe, true}, {OpLe, true}, {OpGt, false}, {OpGe, false},
+	}
+	for _, c := range cases {
+		if got := compareValues(c.op, a, b); got != c.want {
+			t.Errorf("apple %s banana = %v", c.op, got)
+		}
+	}
+	if compareValues(CmpOp("bogus"), a, b) {
+		t.Error("unknown operator must be false")
+	}
+	x, y := NumValue(2), NumValue(2)
+	if !compareValues(OpGe, x, y) || !compareValues(OpLe, x, y) || compareValues(OpNe, x, y) {
+		t.Error("numeric boundary comparisons wrong")
+	}
+}
+
+func TestSortKeyString(t *testing.T) {
+	k := SortKey{Var: "v", Path: MustParseSimplePath("a/b"), Descending: true}
+	if k.String() != "$v/a/b descending" {
+		t.Fatalf("SortKey.String = %q", k.String())
+	}
+	if (SortKey{Var: "v"}).String() != "$v" {
+		t.Fatal("bare key renders wrong")
+	}
+}

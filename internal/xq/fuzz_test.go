@@ -1,0 +1,27 @@
+package xq
+
+import "testing"
+
+// FuzzParseQuery: the query parser never panics, and accepted queries
+// render to text that reparses.
+func FuzzParseQuery(f *testing.F) {
+	for _, seed := range []string{
+		`for $i in /a/b return <r>$i</r>`,
+		`for $i in /a where data($i) < 3 and contains(data($i), "x") return <r>$i/c</r>`,
+		`for $i in /a where some $w in document()/q satisfies (data($w) = data($i)) order by $i/k descending return <r>{for $j in $i/c return $j}</r>`,
+		`<out><n>count({for $x in /a return $x})</n></out>`,
+		`for`, `{{{`, `<a>$`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tree, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		rendered := tree.XQueryString()
+		if _, err := ParseQuery(rendered); err != nil {
+			t.Fatalf("accepted %q but rendering does not reparse: %v\n%s", src, err, rendered)
+		}
+	})
+}

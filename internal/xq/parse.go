@@ -1,0 +1,878 @@
+package xq
+
+// An XQuery-subset parser covering exactly the fragment XLearner emits
+// (Tree.XQueryString): nested flwr expressions with regular binding
+// paths, conjunctive where clauses (equality/comparison atoms,
+// some..satisfies relays, not/empty/exists/contains), order by keys,
+// element constructors, aggregate functions, and arithmetic. Learned
+// queries therefore round-trip: Parse(t.XQueryString()) evaluates
+// identically to t.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/pathre"
+)
+
+// ParseQuery parses an XQuery-subset string into a Tree.
+func ParseQuery(src string) (*Tree, error) {
+	p := &qparser{src: src}
+	p.skipWS()
+	if p.eof() {
+		return nil, fmt.Errorf("xq: parse: empty query")
+	}
+	node, err := p.parseUnit()
+	if err != nil {
+		return nil, err
+	}
+	if node.Var == "" && node.Ret == nil {
+		return nil, fmt.Errorf("xq: parse: query produces nothing")
+	}
+	p.skipWS()
+	if !p.eof() {
+		return nil, p.errf("trailing input: %.40q", p.src[p.pos:])
+	}
+	return NewTree(node), nil
+}
+
+// MustParseQuery parses src and panics on error.
+func MustParseQuery(src string) *Tree {
+	t, err := ParseQuery(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ParsePredString parses a single predicate in the rendered form of
+// Pred.String (used to round-trip recorded Condition Box contents).
+func ParsePredString(src string) (*Pred, error) {
+	p := &qparser{src: src}
+	p.skipWS()
+	pr, err := p.parsePred()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if !p.eof() {
+		return nil, p.errf("trailing input in predicate: %.40q", p.src[p.pos:])
+	}
+	return pr, nil
+}
+
+type qparser struct {
+	src string
+	pos int
+}
+
+func (p *qparser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *qparser) errf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:p.pos], "\n")
+	return fmt.Errorf("xq: parse: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *qparser) skipWS() {
+	for !p.eof() {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *qparser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *qparser) hasKeyword(kw string) bool {
+	if !strings.HasPrefix(p.src[p.pos:], kw) {
+		return false
+	}
+	end := p.pos + len(kw)
+	if end < len(p.src) && isWordByte(p.src[end]) {
+		return false
+	}
+	return true
+}
+
+func (p *qparser) consumeKeyword(kw string) bool {
+	if p.hasKeyword(kw) {
+		p.pos += len(kw)
+		p.skipWS()
+		return true
+	}
+	return false
+}
+
+func (p *qparser) expect(s string) error {
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		p.skipWS()
+		return nil
+	}
+	return p.errf("expected %q at %.20q", s, p.src[p.pos:])
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || b == '-' || b == '.' ||
+		(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+func (p *qparser) word() string {
+	start := p.pos
+	for !p.eof() && isWordByte(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *qparser) variable() (string, error) {
+	if p.peek() != '$' {
+		return "", p.errf("expected a variable at %.20q", p.src[p.pos:])
+	}
+	p.pos++
+	v := p.word()
+	if v == "" {
+		return "", p.errf("empty variable name")
+	}
+	p.skipWS()
+	return v, nil
+}
+
+// parseUnit parses either a flwr expression or a bare constructor
+// (element or computed content).
+func (p *qparser) parseUnit() (*Node, error) {
+	if p.hasKeyword("for") {
+		return p.parseFLWR()
+	}
+	n := &Node{}
+	ret, err := p.parseRet(n)
+	if err != nil {
+		return nil, err
+	}
+	if ret == nil {
+		return nil, p.errf("empty constructor")
+	}
+	n.Ret = ret
+	return n, nil
+}
+
+func (p *qparser) parseFLWR() (*Node, error) {
+	if !p.consumeKeyword("for") {
+		return nil, p.errf("expected for")
+	}
+	n := &Node{}
+	v, err := p.variable()
+	if err != nil {
+		return nil, err
+	}
+	n.Var = v
+	if !p.consumeKeyword("in") {
+		return nil, p.errf("expected in")
+	}
+	from, path, err := p.parseBindingPath()
+	if err != nil {
+		return nil, err
+	}
+	n.From, n.Path = from, path
+	if p.consumeKeyword("where") {
+		preds, err := p.parsePreds()
+		if err != nil {
+			return nil, err
+		}
+		n.Where = preds
+	}
+	if p.hasKeyword("order") {
+		p.consumeKeyword("order")
+		if !p.consumeKeyword("by") {
+			return nil, p.errf("expected by after order")
+		}
+		keys, err := p.parseSortKeys()
+		if err != nil {
+			return nil, err
+		}
+		n.OrderBy = keys
+	}
+	if !p.consumeKeyword("return") {
+		return nil, p.errf("expected return")
+	}
+	ret, err := p.parseRet(n)
+	if err != nil {
+		return nil, err
+	}
+	if ret == nil {
+		return nil, p.errf("empty return clause")
+	}
+	n.Ret = ret
+	return n, nil
+}
+
+// parseBindingPath reads "$v/rel/path" or "/rooted/(a|b)/path" up to
+// whitespace (binding paths never contain spaces in our rendering).
+func (p *qparser) parseBindingPath() (from string, expr pathre.Expr, err error) {
+	if p.peek() == '$' {
+		p.pos++
+		from = p.word()
+		if from == "" {
+			return "", nil, p.errf("empty variable in binding path")
+		}
+		if err := p.expect("/"); err != nil {
+			return "", nil, err
+		}
+		// Re-add the leading separator for the path parser.
+		p.pos--
+	}
+	start := p.pos
+	depth := 0
+	for !p.eof() {
+		c := p.src[p.pos]
+		if c == '(' {
+			depth++
+		}
+		if c == ')' {
+			if depth == 0 {
+				break
+			}
+			depth--
+		}
+		if depth == 0 && (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+			break
+		}
+		p.pos++
+	}
+	raw := p.src[start:p.pos]
+	p.skipWS()
+	e, perr := pathre.ParsePath(raw)
+	if perr != nil {
+		return "", nil, p.errf("bad binding path %q: %v", raw, perr)
+	}
+	return from, e, nil
+}
+
+func (p *qparser) parsePreds() ([]*Pred, error) {
+	var out []*Pred
+	for {
+		pr, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pr)
+		if !p.consumeKeyword("and") {
+			return out, nil
+		}
+		// "and" may join atoms of a relay conjunction only inside its
+		// parentheses, which parsePred consumed; here it joins preds.
+	}
+}
+
+func (p *qparser) parsePred() (*Pred, error) {
+	if p.consumeKeyword("not") {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		inner, err := p.parsePredBody()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		inner.Negated = true
+		return inner, nil
+	}
+	return p.parsePredBody()
+}
+
+func (p *qparser) parsePredBody() (*Pred, error) {
+	if p.consumeKeyword("some") {
+		pr := &Pred{}
+		v, err := p.variable()
+		if err != nil {
+			return nil, err
+		}
+		pr.RelayVar = v
+		if !p.consumeKeyword("in") {
+			return nil, p.errf("expected in after some")
+		}
+		if p.consumeKeyword("document") {
+			if err := p.expect("()"); err != nil {
+				return nil, err
+			}
+		} else if p.peek() == '$' {
+			p.pos++
+			pr.RelayFrom = p.word()
+			p.skipWS()
+		} else {
+			return nil, p.errf("expected document() or a variable after some..in")
+		}
+		if err := p.expect("/"); err != nil {
+			return nil, err
+		}
+		raw := p.scanPath("")
+		p.skipWS()
+		sp, err := ParseSimplePath(raw)
+		if err != nil {
+			return nil, p.errf("bad relay path %q: %v", raw, err)
+		}
+		pr.RelayPath = sp
+		if !p.consumeKeyword("satisfies") {
+			return nil, p.errf("expected satisfies")
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		for {
+			a, err := p.parseAtom()
+			if err != nil {
+				return nil, err
+			}
+			pr.Atoms = append(pr.Atoms, a)
+			if p.consumeKeyword("and") {
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return pr, nil
+	}
+	// Plain conjunction of one atom (multi-atom plain preds render as
+	// separate "and"-joined preds, which is semantically identical).
+	a, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	return &Pred{Atoms: []Cmp{a}}, nil
+}
+
+func (p *qparser) parseAtom() (Cmp, error) {
+	// empty(X) / exists(X)
+	for _, un := range []CmpOp{OpEmpty, OpExists} {
+		if p.consumeKeyword(string(un)) {
+			if err := p.expect("("); err != nil {
+				return Cmp{}, err
+			}
+			op, err := p.parseOperand()
+			if err != nil {
+				return Cmp{}, err
+			}
+			if err := p.expect(")"); err != nil {
+				return Cmp{}, err
+			}
+			return Cmp{Op: un, L: op}, nil
+		}
+	}
+	l, err := p.parseOperand()
+	if err != nil {
+		return Cmp{}, err
+	}
+	var op CmpOp
+	switch {
+	case p.consumeKeyword("contains"):
+		op = OpContains
+	case p.expectOp("!="):
+		op = OpNe
+	case p.expectOp("<="):
+		op = OpLe
+	case p.expectOp(">="):
+		op = OpGe
+	case p.expectOp("="):
+		op = OpEq
+	case p.expectOp("<"):
+		op = OpLt
+	case p.expectOp(">"):
+		op = OpGt
+	default:
+		return Cmp{}, p.errf("expected a comparison operator at %.20q", p.src[p.pos:])
+	}
+	r, err := p.parseOperand()
+	if err != nil {
+		return Cmp{}, err
+	}
+	return Cmp{Op: op, L: l, R: r}, nil
+}
+
+func (p *qparser) expectOp(op string) bool {
+	if strings.HasPrefix(p.src[p.pos:], op) {
+		p.pos += len(op)
+		p.skipWS()
+		return true
+	}
+	return false
+}
+
+func (p *qparser) parseOperand() (Operand, error) {
+	var o Operand
+	switch {
+	case p.consumeKeyword("data"):
+		if err := p.expect("("); err != nil {
+			return o, err
+		}
+		v, err := p.variable()
+		if err != nil {
+			return o, err
+		}
+		o.Var = v
+		if p.peek() == '/' {
+			p.pos++
+			raw := p.untilParenOrWS()
+			sp, err := ParseSimplePath(raw)
+			if err != nil {
+				return o, p.errf("bad operand path %q: %v", raw, err)
+			}
+			o.Path = sp
+		}
+		if err := p.expect(")"); err != nil {
+			return o, err
+		}
+	case p.peek() == '"':
+		p.pos++
+		start := p.pos
+		for !p.eof() && p.src[p.pos] != '"' {
+			p.pos++
+		}
+		if p.eof() {
+			return o, p.errf("unterminated string literal")
+		}
+		o.Const, o.IsConst = p.src[start:p.pos], true
+		p.pos++
+		p.skipWS()
+	default:
+		start := p.pos
+		for !p.eof() && (p.src[p.pos] == '-' || p.src[p.pos] == '.' ||
+			(p.src[p.pos] >= '0' && p.src[p.pos] <= '9')) {
+			p.pos++
+		}
+		lit := p.src[start:p.pos]
+		if lit == "" {
+			return o, p.errf("expected an operand at %.20q", p.src[p.pos:])
+		}
+		if _, err := strconv.ParseFloat(lit, 64); err != nil {
+			return o, p.errf("bad numeric literal %q", lit)
+		}
+		o.Const, o.IsConst = lit, true
+		p.skipWS()
+	}
+	// Optional scale factor.
+	if p.peek() == '*' && !strings.HasPrefix(p.src[p.pos:], "**") {
+		p.pos++
+		p.skipWS()
+		start := p.pos
+		for !p.eof() && (p.src[p.pos] == '-' || p.src[p.pos] == '.' ||
+			(p.src[p.pos] >= '0' && p.src[p.pos] <= '9')) {
+			p.pos++
+		}
+		f, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+		if err != nil {
+			return o, p.errf("bad scale factor at %.20q", p.src[start:])
+		}
+		o.Mul = f
+		p.skipWS()
+	}
+	return o, nil
+}
+
+// untilRetEnd reads a return-position simple path up to a delimiter;
+// bracketed positions like [last()] are passed through.
+func (p *qparser) untilRetEnd() string {
+	return p.scanPath(",<}")
+}
+
+func (p *qparser) untilParenOrWS() string {
+	return p.scanPath("")
+}
+
+// scanPath consumes a simple-path token, treating [...] as opaque (so
+// "[last()]" does not end at its inner parenthesis). extra lists
+// additional delimiter bytes beyond ')' and whitespace.
+func (p *qparser) scanPath(extra string) string {
+	start := p.pos
+	depth := 0
+	for !p.eof() {
+		c := p.src[p.pos]
+		if c == '[' {
+			depth++
+		}
+		if c == ']' && depth > 0 {
+			depth--
+			p.pos++
+			continue
+		}
+		if depth == 0 {
+			if c == ')' || c == ' ' || c == '\t' || c == '\n' || c == '\r' ||
+				strings.IndexByte(extra, c) >= 0 {
+				break
+			}
+		}
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *qparser) parseSortKeys() ([]SortKey, error) {
+	var out []SortKey
+	for {
+		v, err := p.variable()
+		if err != nil {
+			return nil, err
+		}
+		k := SortKey{Var: v}
+		if p.peek() == '/' {
+			p.pos++
+			raw := p.untilKeyEnd()
+			sp, err := ParseSimplePath(raw)
+			if err != nil {
+				return nil, p.errf("bad sort path %q: %v", raw, err)
+			}
+			k.Path = sp
+		}
+		if p.consumeKeyword("descending") {
+			k.Descending = true
+		}
+		out = append(out, k)
+		if p.peek() == ',' {
+			p.pos++
+			p.skipWS()
+			continue
+		}
+		return out, nil
+	}
+}
+
+func (p *qparser) untilKeyEnd() string {
+	start := p.pos
+	for !p.eof() {
+		c := p.src[p.pos]
+		if c == ',' || c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			break
+		}
+		p.pos++
+	}
+	s := p.src[start:p.pos]
+	p.skipWS()
+	return s
+}
+
+// parseRet parses a return expression; nested flwr expressions inside
+// braces become children of owner.
+func (p *qparser) parseRet(owner *Node) (RetExpr, error) {
+	var items []RetExpr
+	for {
+		p.skipWS()
+		switch {
+		case p.eof():
+			return seqOf(items), nil
+		case p.peek() == ',' && len(items) > 0:
+			p.pos++
+			continue
+		case p.peek() == '<':
+			if strings.HasPrefix(p.src[p.pos:], "</") {
+				return seqOf(items), nil
+			}
+			el, err := p.parseElem(owner)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, el)
+		case p.peek() == '{':
+			p.pos++
+			p.skipWS()
+			child, err := p.parseUnit()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("}"); err != nil {
+				return nil, err
+			}
+			owner.Children = append(owner.Children, child)
+			items = append(items, RChild{Node: child})
+		case p.peek() == '$':
+			v, err := p.variable()
+			if err != nil {
+				return nil, err
+			}
+			if p.peek() == '/' {
+				p.pos++
+				raw := p.untilRetEnd()
+				sp, err := ParseSimplePath(raw)
+				if err != nil {
+					return nil, p.errf("bad path %q: %v", raw, err)
+				}
+				items = append(items, RPath{Var: v, Path: sp})
+			} else {
+				items = append(items, RVar{Name: v})
+			}
+		case p.peek() == '"':
+			p.pos++
+			start := p.pos
+			for !p.eof() && p.src[p.pos] != '"' {
+				p.pos++
+			}
+			if p.eof() {
+				return nil, p.errf("unterminated string")
+			}
+			items = append(items, RText{Value: p.src[start:p.pos]})
+			p.pos++
+		case p.peek() == '(':
+			e, err := p.parseComputed(owner)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, e)
+		case p.peek() >= '0' && p.peek() <= '9' || p.peek() == '-':
+			e, err := p.parseComputed(owner)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, e)
+		case isWordByte(p.peek()):
+			// A function call like count(...), or end of this level.
+			save := p.pos
+			w := p.word()
+			p.skipWS()
+			if p.peek() == '(' && isKnownFunc(w) {
+				p.pos++
+				p.skipWS()
+				var args []RetExpr
+				for p.peek() != ')' {
+					a, err := p.parseRetItem(owner)
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peek() == ',' {
+						p.pos++
+						p.skipWS()
+					}
+				}
+				p.pos++
+				p.skipWS()
+				fn := RFunc{Name: w, Args: args}
+				items = append(items, p.maybeArith(owner, fn))
+				continue
+			}
+			p.pos = save
+			return seqOf(items), nil
+		default:
+			return seqOf(items), nil
+		}
+		p.skipWS()
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		// Adjacent items (e.g. "{N1} {N2}") continue the sequence when
+		// the next token starts one.
+		if p.eof() || (p.peek() != '<' && p.peek() != '{' && p.peek() != '$' &&
+			p.peek() != '"' && !isWordByte(p.peek()) && !(p.peek() >= '0' && p.peek() <= '9')) {
+			return seqOf(items), nil
+		}
+		if strings.HasPrefix(p.src[p.pos:], "</") {
+			return seqOf(items), nil
+		}
+		if isWordByte(p.peek()) {
+			// Peek whether it is a function call; otherwise stop.
+			save := p.pos
+			w := p.word()
+			ok := p.peek() == '(' && isKnownFunc(w)
+			p.pos = save
+			if !ok {
+				return seqOf(items), nil
+			}
+		}
+	}
+}
+
+// parseRetItem parses one computed item (used for function arguments).
+func (p *qparser) parseRetItem(owner *Node) (RetExpr, error) {
+	p.skipWS()
+	switch {
+	case p.peek() == '{':
+		p.pos++
+		p.skipWS()
+		child, err := p.parseUnit()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("}"); err != nil {
+			return nil, err
+		}
+		owner.Children = append(owner.Children, child)
+		return RChild{Node: child}, nil
+	case p.peek() == '$':
+		v, err := p.variable()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() == '/' {
+			p.pos++
+			raw := p.untilRetEnd()
+			sp, err := ParseSimplePath(raw)
+			if err != nil {
+				return nil, err
+			}
+			return RPath{Var: v, Path: sp}, nil
+		}
+		return RVar{Name: v}, nil
+	case p.peek() == '(' || (p.peek() >= '0' && p.peek() <= '9') || p.peek() == '-':
+		return p.parseComputed(owner)
+	case isWordByte(p.peek()):
+		w := p.word()
+		p.skipWS()
+		if p.peek() != '(' || !isKnownFunc(w) {
+			return nil, p.errf("expected a function call, got %q", w)
+		}
+		p.pos++
+		p.skipWS()
+		var args []RetExpr
+		for p.peek() != ')' {
+			a, err := p.parseRetItem(owner)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.peek() == ',' {
+				p.pos++
+				p.skipWS()
+			}
+		}
+		p.pos++
+		p.skipWS()
+		return p.maybeArith(owner, RFunc{Name: w, Args: args}), nil
+	default:
+		return nil, p.errf("expected a return item at %.20q", p.src[p.pos:])
+	}
+}
+
+// parseComputed parses parenthesized arithmetic or a numeric literal.
+func (p *qparser) parseComputed(owner *Node) (RetExpr, error) {
+	if p.peek() == '(' {
+		p.pos++
+		p.skipWS()
+		l, err := p.parseRetItem(owner)
+		if err != nil {
+			return nil, err
+		}
+		p.skipWS()
+		if p.peek() == ')' {
+			// Parenthesized single item (the operator may have been
+			// folded into the item by maybeArith).
+			p.pos++
+			p.skipWS()
+			return l, nil
+		}
+		var op string
+		switch p.peek() {
+		case '+', '-', '*':
+			op = string(p.peek())
+			p.pos++
+		case 'd':
+			if !p.consumeKeyword("div") {
+				return nil, p.errf("expected an arithmetic operator")
+			}
+			op = "div"
+		default:
+			return nil, p.errf("expected an arithmetic operator at %.20q", p.src[p.pos:])
+		}
+		p.skipWS()
+		r, err := p.parseRetItem(owner)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return RBin{Op: op, L: l, R: r}, nil
+	}
+	start := p.pos
+	for !p.eof() && (p.src[p.pos] == '-' || p.src[p.pos] == '.' ||
+		(p.src[p.pos] >= '0' && p.src[p.pos] <= '9')) {
+		p.pos++
+	}
+	f, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return nil, p.errf("bad number at %.20q", p.src[start:])
+	}
+	p.skipWS()
+	return RNum{Value: f}, nil
+}
+
+// maybeArith extends fn with a trailing arithmetic operator (as in
+// "count(...) * 10" rendered without parentheses).
+func (p *qparser) maybeArith(owner *Node, left RetExpr) RetExpr {
+	save := p.pos
+	switch p.peek() {
+	case '*', '+':
+		op := string(p.peek())
+		p.pos++
+		p.skipWS()
+		r, err := p.parseComputed(owner)
+		if err != nil {
+			p.pos = save
+			return left
+		}
+		return RBin{Op: op, L: left, R: r}
+	}
+	return left
+}
+
+func (p *qparser) parseElem(owner *Node) (RetExpr, error) {
+	if err := p.expect("<"); err != nil {
+		return nil, err
+	}
+	tag := p.word()
+	if tag == "" {
+		return nil, p.errf("empty element tag")
+	}
+	p.skipWS()
+	if strings.HasPrefix(p.src[p.pos:], "/>") {
+		p.pos += 2
+		return RElem{Tag: tag}, nil
+	}
+	if err := p.expect(">"); err != nil {
+		return nil, err
+	}
+	inner, err := p.parseRet(owner)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("</" + tag + ">"); err != nil {
+		return nil, err
+	}
+	var kids []RetExpr
+	if s, ok := inner.(RSeq); ok {
+		kids = s.Items
+	} else if inner != nil {
+		kids = []RetExpr{inner}
+	}
+	return RElem{Tag: tag, Kids: kids}, nil
+}
+
+func seqOf(items []RetExpr) RetExpr {
+	switch len(items) {
+	case 0:
+		return nil
+	case 1:
+		return items[0]
+	default:
+		return RSeq{Items: items}
+	}
+}
+
+func isKnownFunc(name string) bool {
+	switch name {
+	case "count", "sum", "avg", "min", "max", "distinct", "distinct-values",
+		"data", "string", "zero-or-one", "exactly-one":
+		return true
+	}
+	return false
+}

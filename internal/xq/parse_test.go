@@ -1,0 +1,168 @@
+package xq
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmldoc"
+)
+
+func evalBoth(t *testing.T, doc *xmldoc.Document, a, b *Tree) (string, string) {
+	t.Helper()
+	ea := NewEvaluator(doc)
+	eb := NewEvaluator(doc)
+	return xmldoc.XMLString(ea.Result(a).DocNode()), xmldoc.XMLString(eb.Result(b).DocNode())
+}
+
+func TestParseSimpleFLWR(t *testing.T) {
+	tree, err := ParseQuery(`for $i in /site/regions/europe/item return <r>$i</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tree.Root
+	if n.Var != "i" || n.From != "" {
+		t.Fatalf("binding = %q from %q", n.Var, n.From)
+	}
+	doc := figure4Doc()
+	got, _ := evalBoth(t, doc, tree, tree)
+	if !strings.Contains(got, "H. Potter") {
+		t.Fatalf("result = %s", got)
+	}
+}
+
+func TestParseRelativeBinding(t *testing.T) {
+	tree := MustParseQuery(`for $c in /site/categories/category return <cat>{
+		for $n in $c/name return <nm>$n</nm>
+	}</cat>`)
+	inner := tree.Root.Children[0]
+	if inner.From != "c" {
+		t.Fatalf("inner from = %q", inner.From)
+	}
+	doc := figure4Doc()
+	got, _ := evalBoth(t, doc, tree, tree)
+	if !strings.Contains(got, "<nm><name>book</name></nm>") {
+		t.Fatalf("result = %s", got)
+	}
+}
+
+func TestParseWhereAtoms(t *testing.T) {
+	tree := MustParseQuery(`for $o in /site/closed_auctions/closed_auction/price
+where data($o) < 300 and data($o) > 60
+return <p>$o</p>`)
+	if len(tree.Root.Where) != 2 {
+		t.Fatalf("preds = %d", len(tree.Root.Where))
+	}
+	doc := figure4Doc()
+	got, _ := evalBoth(t, doc, tree, tree)
+	if !strings.Contains(got, "100") || strings.Contains(got, "700") || strings.Contains(got, "50") {
+		t.Fatalf("result = %s", got)
+	}
+}
+
+func TestParseRelayPred(t *testing.T) {
+	src := `for $i in /site/regions/(europe|africa)/item
+where data($i/incategory/@category) = data($i/incategory/@category)
+  and some $o in document()/site/closed_auctions/closed_auction satisfies (data($o/itemref/@item) = data($i/@id) and data($o/price) < 300)
+return <item2>$i</item2>`
+	tree := MustParseQuery(src)
+	if len(tree.Root.Where) != 2 {
+		t.Fatalf("preds = %d:\n%s", len(tree.Root.Where), tree.String())
+	}
+	relay := tree.Root.Where[1]
+	if !relay.HasRelay() || relay.RelayVar != "o" || len(relay.Atoms) != 2 {
+		t.Fatalf("relay = %s", relay.String())
+	}
+	doc := figure4Doc()
+	got, _ := evalBoth(t, doc, tree, tree)
+	if !strings.Contains(got, "H. Potter") || strings.Contains(got, "Encyclopedia") {
+		t.Fatalf("result = %s", got)
+	}
+}
+
+func TestParseNotEmptyExistsContains(t *testing.T) {
+	tree := MustParseQuery(`for $i in /site/regions/europe/item
+where not(empty(data($i/incategory/@category))) and exists(data($i/name)) and data($i/name) contains "Potter"
+return <hit>$i/name</hit>`)
+	doc := figure4Doc()
+	got, _ := evalBoth(t, doc, tree, tree)
+	if !strings.Contains(got, "H. Potter") || strings.Contains(got, "Encyclopedia") {
+		t.Fatalf("result = %s", got)
+	}
+}
+
+func TestParseOrderByAndFunctions(t *testing.T) {
+	tree := MustParseQuery(`<out><cnt>count({
+for $p in /site/closed_auctions/closed_auction/price return $p
+})</cnt></out>`)
+	doc := figure4Doc()
+	got, _ := evalBoth(t, doc, tree, tree)
+	if !strings.Contains(got, "<cnt>3</cnt>") {
+		t.Fatalf("count result = %s", got)
+	}
+
+	sorted := MustParseQuery(`for $c in /site/categories/category
+order by $c/name descending
+return <n>$c/name</n>`)
+	got2, _ := evalBoth(t, doc, sorted, sorted)
+	if strings.Index(got2, "computer") > strings.Index(got2, "book") {
+		t.Fatalf("descending order wrong: %s", got2)
+	}
+}
+
+func TestParseArithmeticAndScale(t *testing.T) {
+	tree := MustParseQuery(`for $p in /site/closed_auctions/closed_auction/price
+where data($p) * 2 <= 200
+return <v>(data($p) * 3)</v>`)
+	doc := figure4Doc()
+	got, _ := evalBoth(t, doc, tree, tree)
+	// Prices 50 and 100 qualify (×2 ≤ 200); outputs ×3.
+	if !strings.Contains(got, "<v>150</v>") || !strings.Contains(got, "<v>300</v>") {
+		t.Fatalf("result = %s", got)
+	}
+}
+
+// TestRoundTripQ1 is the flagship: the running example's tree renders
+// to XQuery text, reparses, and evaluates identically.
+func TestRoundTripQ1(t *testing.T) {
+	orig := buildQ1()
+	src := orig.XQueryString()
+	back, err := ParseQuery(src)
+	if err != nil {
+		t.Fatalf("reparse of rendered query failed: %v\n%s", err, src)
+	}
+	doc := figure4Doc()
+	a, b := evalBoth(t, doc, orig, back)
+	if a != b {
+		t.Fatalf("round trip changed semantics:\norig %s\nback %s", a, b)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`for`,
+		`for $x return <a/>`,
+		`for $x in /a where return <a/>`,
+		`for $x in /a return <a>$x</b>`,
+		`for $x in /a return <a>"unterminated</a>`,
+		`for $x in /a where data($x < 3 return <a/>`,
+		`for $x in /a return <a/> trailing`,
+		`for $x in /a where some $w in /q satisfies data($w) = 1 return <a/>`,
+	}
+	for _, src := range bad {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("ParseQuery(%q) should fail", src)
+		}
+	}
+}
+
+func TestParsedDeweyNames(t *testing.T) {
+	tree := MustParseQuery(`<r>{for $a in /x/a return <w>$a</w>}{for $b in /x/b return <u>$b</u>}</r>`)
+	names := []string{}
+	for _, n := range tree.Nodes() {
+		names = append(names, n.Name())
+	}
+	if strings.Join(names, ",") != "N1,N1.1,N1.2" {
+		t.Fatalf("names = %v", names)
+	}
+}

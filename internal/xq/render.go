@@ -1,0 +1,129 @@
+package xq
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pathre"
+)
+
+// String renders the tree in the paper's XQ-Tree notation (Figure 6):
+// one "Ni:- fragment" line per node.
+func (t *Tree) String() string {
+	var b strings.Builder
+	for _, n := range t.Nodes() {
+		fmt.Fprintf(&b, "%s:- %s\n", n.Name(), n.FragmentString())
+	}
+	return b.String()
+}
+
+// FragmentString renders q(n): "for v in p where c order by k return r".
+func (n *Node) FragmentString() string {
+	var parts []string
+	if n.Var != "" {
+		from := ""
+		if n.From != "" {
+			from = "$" + n.From
+		}
+		parts = append(parts, "for $"+n.Var+" in "+from+pathre.RenderPath(n.Path))
+	}
+	if len(n.Where) > 0 {
+		preds := make([]string, len(n.Where))
+		for i, p := range n.Where {
+			preds[i] = p.String()
+		}
+		parts = append(parts, "where "+strings.Join(preds, " and "))
+	}
+	if len(n.OrderBy) > 0 {
+		keys := make([]string, len(n.OrderBy))
+		for i, k := range n.OrderBy {
+			keys[i] = k.String()
+		}
+		parts = append(parts, "order by "+strings.Join(keys, ", "))
+	}
+	ret := "()"
+	if n.Ret != nil {
+		ret = RetString(n.Ret)
+	}
+	parts = append(parts, "return "+ret)
+	return strings.Join(parts, " ")
+}
+
+// XQueryString renders the whole tree as a nested XQuery-style
+// expression (Figure 2 style), with child fragments inlined as nested
+// flwr expressions.
+func (t *Tree) XQueryString() string {
+	var b strings.Builder
+	renderNested(&b, t.Root, 0)
+	return b.String()
+}
+
+func renderNested(b *strings.Builder, n *Node, depth int) {
+	ind := strings.Repeat("  ", depth)
+	if n.Var != "" {
+		from := ""
+		if n.From != "" {
+			from = "$" + n.From
+		}
+		fmt.Fprintf(b, "%sfor $%s in %s%s\n", ind, n.Var, from, pathre.RenderPath(n.Path))
+		if len(n.Where) > 0 {
+			preds := make([]string, len(n.Where))
+			for i, p := range n.Where {
+				preds[i] = p.String()
+			}
+			fmt.Fprintf(b, "%swhere %s\n", ind, strings.Join(preds, "\n"+ind+"  and "))
+		}
+		if len(n.OrderBy) > 0 {
+			keys := make([]string, len(n.OrderBy))
+			for i, k := range n.OrderBy {
+				keys[i] = k.String()
+			}
+			fmt.Fprintf(b, "%sorder by %s\n", ind, strings.Join(keys, ", "))
+		}
+		fmt.Fprintf(b, "%sreturn ", ind)
+	}
+	renderRetNested(b, n.Ret, depth)
+	b.WriteString("\n")
+}
+
+func renderRetNested(b *strings.Builder, r RetExpr, depth int) {
+	ind := strings.Repeat("  ", depth)
+	switch t := r.(type) {
+	case nil:
+		b.WriteString("()")
+	case RChild:
+		b.WriteString("{\n")
+		renderNested(b, t.Node, depth+1)
+		b.WriteString(ind + "}")
+	case RElem:
+		b.WriteString("<" + t.Tag + ">")
+		for _, k := range t.Kids {
+			renderRetNested(b, k, depth)
+		}
+		b.WriteString("</" + t.Tag + ">")
+	case RSeq:
+		for i, k := range t.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderRetNested(b, k, depth)
+		}
+	case RFunc:
+		b.WriteString(t.Name + "(")
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderRetNested(b, a, depth)
+		}
+		b.WriteString(")")
+	case RBin:
+		b.WriteString("(")
+		renderRetNested(b, t.L, depth)
+		b.WriteString(" " + t.Op + " ")
+		renderRetNested(b, t.R, depth)
+		b.WriteString(")")
+	default:
+		b.WriteString(RetString(r))
+	}
+}

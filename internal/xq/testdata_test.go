@@ -1,0 +1,93 @@
+package xq
+
+import (
+	"repro/internal/pathre"
+	"repro/internal/xmldoc"
+)
+
+// figure4 is the paper's example instance (Figure 4a), extended with the
+// Encyclopedia item of Figure 5b (price 700, so it is excluded from the
+// extent by the <300 condition).
+const figure4 = `<site>
+  <regions>
+    <africa></africa>
+    <europe>
+      <item id="i6"><name>Encyclopedia</name>
+        <incategory category="c2"/>
+        <description>Heavy</description>
+      </item>
+      <item id="i7"><name>H. Potter</name>
+        <incategory category="c2"/>
+        <description>Best Seller</description>
+      </item>
+    </europe>
+    <asia>
+      <item id="i10"><name>XML book</name>
+        <incategory category="c2"/>
+        <description>how-to book</description>
+      </item>
+    </asia>
+  </regions>
+  <categories>
+    <category id="c1"><name>computer</name></category>
+    <category id="c2"><name>book</name></category>
+  </categories>
+  <closed_auctions>
+    <closed_auction><price>700</price><itemref item="i6"/></closed_auction>
+    <closed_auction><price>50</price><itemref item="i7"/></closed_auction>
+    <closed_auction><price>100</price><itemref item="i10"/></closed_auction>
+  </closed_auctions>
+</site>`
+
+func figure4Doc() *xmldoc.Document { return xmldoc.MustParse(figure4) }
+
+// buildQ1 constructs the XQ-Tree t1 of Figure 6 (the target of the
+// paper's running example).
+func buildQ1() *Tree {
+	n1121 := &Node{ // iname content: for $in in $i/name return $in
+		Var: "in", From: "i", Path: pathre.MustParsePath("name"),
+		Ret: RVar{Name: "in"}, OneLabeled: true,
+	}
+	n1122 := &Node{ // desc content: for $d in $i/description return $d
+		Var: "d", From: "i", Path: pathre.MustParsePath("description"),
+		Ret: RVar{Name: "d"},
+	}
+	n112 := &Node{ // items of the category, africa|europe, sold < 300
+		Var:  "i",
+		Path: pathre.MustParsePath("/site/regions/(europe|africa)/item"),
+		Where: []*Pred{
+			EqJoin("i", MustParseSimplePath("incategory/@category"), "c", MustParseSimplePath("@id")),
+			{
+				RelayVar:  "o",
+				RelayPath: MustParseSimplePath("site/closed_auctions/closed_auction"),
+				Atoms: []Cmp{
+					{Op: OpEq, L: VarOp("o", MustParseSimplePath("itemref/@item")), R: VarOp("i", MustParseSimplePath("@id"))},
+					{Op: OpLt, L: VarOp("o", MustParseSimplePath("price")), R: ConstOp("300")},
+				},
+			},
+		},
+		Ret: RElem{Tag: "item", Kids: []RetExpr{
+			RElem{Tag: "iname", Kids: []RetExpr{RChild{Node: n1121}}},
+			RElem{Tag: "desc", Kids: []RetExpr{RChild{Node: n1122}}},
+		}},
+		Children: []*Node{n1121, n1122},
+	}
+	n111 := &Node{ // cname content: for $cn in $c/name return $cn
+		Var: "cn", From: "c", Path: pathre.MustParsePath("name"),
+		Ret: RVar{Name: "cn"}, OneLabeled: true,
+	}
+	n11 := &Node{
+		Var:  "c",
+		Path: pathre.MustParsePath("/site/categories/category"),
+		Ret: RElem{Tag: "category", Kids: []RetExpr{
+			RElem{Tag: "cname", Kids: []RetExpr{RChild{Node: n111}}},
+			RChild{Node: n112},
+		}},
+		Children: []*Node{n111, n112},
+	}
+	root := &Node{
+		Ret:      RElem{Tag: "i_list", Kids: []RetExpr{RChild{Node: n11}}},
+		Children: []*Node{n11},
+	}
+	return NewTree(root)
+}
