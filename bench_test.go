@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/angluin"
@@ -39,7 +40,7 @@ func benchScenarios(b *testing.B, scenarios []*scenario.Scenario) {
 		s := s
 		b.Run(s.ID, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+				res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -75,7 +76,7 @@ func BenchmarkAblationRules(b *testing.B) {
 			opts.R1, opts.R2 = c.r1, c.r2
 			totalMQ := 0
 			for i := 0; i < b.N; i++ {
-				res, err := scenario.Run(s, opts, teacher.BestCase)
+				res, err := scenario.Run(context.Background(), s, opts, teacher.BestCase)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -103,7 +104,7 @@ func BenchmarkAblationR1Source(b *testing.B) {
 				opts.R1Filter = guide
 			}
 			for i := 0; i < b.N; i++ {
-				res, err := scenario.Run(s, opts, teacher.BestCase)
+				res, err := scenario.Run(context.Background(), s, opts, teacher.BestCase)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -127,7 +128,7 @@ func BenchmarkAblationCounterexamplePolicy(b *testing.B) {
 		b.Run(pol.name, func(b *testing.B) {
 			ces := 0
 			for i := 0; i < b.N; i++ {
-				res, err := scenario.Run(s, core.DefaultOptions(), pol.p)
+				res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), pol.p)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -149,7 +150,7 @@ func BenchmarkAblationLearner(b *testing.B) {
 			opts.UseKVLearner = mode == "kv"
 			asked, ces, reduced := 0, 0, 0
 			for i := 0; i < b.N; i++ {
-				res, err := scenario.Run(s, opts, teacher.BestCase)
+				res, err := scenario.Run(context.Background(), s, opts, teacher.BestCase)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -190,13 +191,13 @@ func BenchmarkDFAFromDFA(b *testing.B) {
 
 type perfectTeacher struct{ target *pathre.DFA }
 
-func (t perfectTeacher) Member(w []string) bool { return t.target.Accepts(w) }
-func (t perfectTeacher) Equivalent(h *pathre.DFA) ([]string, bool) {
+func (t perfectTeacher) Member(w []string) (bool, error) { return t.target.Accepts(w), nil }
+func (t perfectTeacher) Equivalent(h *pathre.DFA) ([]string, bool, error) {
 	w, diff := t.target.Distinguish(h)
 	if !diff {
-		return nil, true
+		return nil, true, nil
 	}
-	return w, false
+	return w, false, nil
 }
 
 func BenchmarkAngluinLearn(b *testing.B) {
@@ -248,7 +249,11 @@ func BenchmarkQueryEvaluation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev := xq.NewEvaluator(doc)
-		if ev.Result(truth).NumNodes() == 0 {
+		res, err := ev.Result(context.Background(), truth)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.NumNodes() == 0 {
 			b.Fatal("empty result")
 		}
 	}
@@ -263,6 +268,8 @@ func BenchmarkExtentComputation(b *testing.B) {
 	person := doc.NodesWithLabel("person")[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ev.Extent(truth, n, xq.Env{"p9": person})
+		if _, err := ev.Extent(context.Background(), truth, n, xq.Env{"p9": person}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

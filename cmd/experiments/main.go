@@ -6,13 +6,18 @@
 //	experiments -table=ablation       R1/R2 rule ablation (DESIGN.md)
 //	experiments -table=all            everything
 //
-// Add -worst to fill the bracketed worst-case counterexample counts.
+// Add -worst to fill the bracketed worst-case counterexample counts and
+// -parallel N to learn scenarios on N concurrent sessions (the tables
+// are byte-identical to a serial run). Ctrl-C cancels all sessions.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -21,7 +26,11 @@ import (
 func main() {
 	table := flag.String("table", "all", "fig15 | fig16-xmark | fig16-xmp | fig16-r | ablation | all")
 	worst := flag.Bool("worst", false, "also run the worst-case counterexample policy (bracketed CE)")
+	parallel := flag.Int("parallel", 1, "number of concurrent learning sessions (<=1 runs serially)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opts := core.DefaultOptions()
 	run := func(name string) error {
@@ -29,30 +38,30 @@ func main() {
 		case "fig15":
 			fmt.Println(experiments.FormatFig15())
 		case "fig16-xmark":
-			rows, err := experiments.RunFig16(experiments.XMarkScenarios(), opts, *worst)
+			rows, err := experiments.RunFig16(ctx, experiments.XMarkScenarios(), opts, *worst, *parallel)
 			if err != nil {
 				return err
 			}
 			fmt.Println(experiments.FormatFig16("Figure 16 (top): XMark — the number of interactions for learning", rows))
 		case "fig16-xmp":
-			rows, err := experiments.RunFig16(experiments.XMPScenarios(), opts, *worst)
+			rows, err := experiments.RunFig16(ctx, experiments.XMPScenarios(), opts, *worst, *parallel)
 			if err != nil {
 				return err
 			}
 			fmt.Println(experiments.FormatFig16("Figure 16 (bottom): XML Query Use Case \"XMP\"", rows))
 		case "fig16-r":
-			rows, err := experiments.RunFig16(experiments.UCRScenarios(), opts, *worst)
+			rows, err := experiments.RunFig16(ctx, experiments.UCRScenarios(), opts, *worst, *parallel)
 			if err != nil {
 				return err
 			}
 			fmt.Println(experiments.FormatFig16("Use Case \"R\" (beyond the paper: constructive rows for Figure 15's 14/18 claim)", rows))
 		case "ablation":
-			rows, err := experiments.RunAblation(experiments.XMarkScenarios())
+			rows, err := experiments.RunAblation(ctx, experiments.XMarkScenarios(), *parallel)
 			if err != nil {
 				return err
 			}
 			fmt.Println(experiments.FormatAblation(rows))
-			rows, err = experiments.RunAblation(experiments.XMPScenarios())
+			rows, err = experiments.RunAblation(ctx, experiments.XMPScenarios(), *parallel)
 			if err != nil {
 				return err
 			}
@@ -69,6 +78,10 @@ func main() {
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "experiments: interrupted")
+				os.Exit(130)
+			}
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

@@ -1,17 +1,26 @@
-// Command xlearner runs one benchmark query's learning session end to
-// end against the simulated teacher and prints the learned query, the
-// interaction counts, and the verification verdict.
+// Command xlearner runs benchmark learning sessions end to end against
+// the simulated teacher and prints the learned query, the interaction
+// counts, and the verification verdict.
 //
 //	xlearner -scenario XMark-Q9
 //	xlearner -scenario XMP-Q5 -xquery       (nested XQuery-style rendering)
+//	xlearner -scenario XMark-Q1,XMark-Q2    (several sessions)
+//	xlearner -scenario all -parallel 8      (every scenario, 8 sessions at a time)
 //	xlearner -list
 //	xlearner -scenario XMark-Q1 -worst -no-r1
+//
+// Ctrl-C cancels the running sessions.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/replay"
@@ -28,7 +37,7 @@ func all() []*scenario.Scenario {
 }
 
 func main() {
-	name := flag.String("scenario", "", "scenario id, e.g. XMark-Q9 or XMP-Q5")
+	name := flag.String("scenario", "", "scenario id(s), e.g. XMark-Q9, a comma-separated list, or \"all\"")
 	list := flag.Bool("list", false, "list available scenarios")
 	worst := flag.Bool("worst", false, "use the worst-case counterexample policy")
 	noR1 := flag.Bool("no-r1", false, "disable reduction rule R1")
@@ -38,6 +47,7 @@ func main() {
 	showResult := flag.Bool("result", false, "print the learned query's evaluated result")
 	record := flag.String("record", "", "record the session's interactions to this JSON file")
 	replayFrom := flag.String("replay", "", "answer from a recorded session instead of the teacher")
+	parallel := flag.Int("parallel", 1, "number of concurrent sessions when learning several scenarios")
 	flag.Parse()
 
 	if *list {
@@ -46,17 +56,18 @@ func main() {
 		}
 		return
 	}
-	var target *scenario.Scenario
-	for _, s := range all() {
-		if s.ID == *name {
-			target = s
-			break
-		}
-	}
-	if target == nil {
-		fmt.Fprintf(os.Stderr, "xlearner: unknown scenario %q (use -list)\n", *name)
+	targets, err := selectScenarios(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xlearner:", err)
 		os.Exit(1)
 	}
+	if len(targets) > 1 && (*record != "" || *replayFrom != "") {
+		fmt.Fprintln(os.Stderr, "xlearner: -record/-replay need a single -scenario")
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opts := core.DefaultOptions()
 	opts.R1 = !*noR1
@@ -66,14 +77,89 @@ func main() {
 	if *worst {
 		pol = teacher.WorstCase
 	}
-	res, err := runSession(target, opts, pol, *record, *replayFrom)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "xlearner:", err)
-		os.Exit(1)
+
+	results := make([]*scenario.Result, len(targets))
+	errs := make([]error, len(targets))
+	if len(targets) == 1 {
+		results[0], errs[0] = runSession(ctx, targets[0], opts, pol, *record, *replayFrom)
+	} else {
+		// One session per goroutine; results land in index order so the
+		// report below is deterministic regardless of -parallel.
+		width := *parallel
+		if width < 1 {
+			width = 1
+		}
+		if width > len(targets) {
+			width = len(targets)
+		}
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < width; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i], errs[i] = scenario.Run(ctx, targets[i], opts, pol)
+				}
+			}()
+		}
+		for i := range targets {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
 	}
 
-	fmt.Printf("== %s: %s ==\n\n", target.ID, target.Description)
-	if *xquery {
+	failed := false
+	for i, s := range targets {
+		if err := errs[i]; err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "xlearner: interrupted")
+				os.Exit(130)
+			}
+			fmt.Fprintln(os.Stderr, "xlearner:", err)
+			failed = true
+			continue
+		}
+		report(s, results[i], *xquery, *showResult)
+		if !results[i].Verified {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func selectScenarios(spec string) ([]*scenario.Scenario, error) {
+	if spec == "all" {
+		return all(), nil
+	}
+	byID := map[string]*scenario.Scenario{}
+	for _, s := range all() {
+		byID[s.ID] = s
+	}
+	var targets []*scenario.Scenario
+	for _, id := range strings.Split(spec, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		s, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario %q (use -list)", id)
+		}
+		targets = append(targets, s)
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("no scenario given (use -scenario, or -list)")
+	}
+	return targets, nil
+}
+
+func report(s *scenario.Scenario, res *scenario.Result, xquery, showResult bool) {
+	fmt.Printf("== %s: %s ==\n\n", s.ID, s.Description)
+	if xquery {
 		fmt.Println(res.Tree.XQueryString())
 	} else {
 		fmt.Println(res.Tree.String())
@@ -87,9 +173,8 @@ func main() {
 		fmt.Println("verified: learned query reproduces the ground-truth result")
 	} else {
 		fmt.Println("VERIFICATION FAILED")
-		os.Exit(1)
 	}
-	if *showResult {
+	if showResult {
 		fmt.Println("\nresult:")
 		fmt.Println(res.LearnedXML)
 	}
@@ -97,9 +182,9 @@ func main() {
 
 // runSession runs the scenario directly (instead of scenario.Run) when
 // recording or replaying is requested, so the teacher can be wrapped.
-func runSession(s *scenario.Scenario, opts core.Options, pol teacher.Policy, record, replayFrom string) (*scenario.Result, error) {
+func runSession(ctx context.Context, s *scenario.Scenario, opts core.Options, pol teacher.Policy, record, replayFrom string) (*scenario.Result, error) {
 	if record == "" && replayFrom == "" {
-		return scenario.Run(s, opts, pol)
+		return scenario.Run(ctx, s, opts, pol)
 	}
 	doc := s.Doc()
 	truth := s.Truth()
@@ -134,8 +219,8 @@ func runSession(s *scenario.Scenario, opts core.Options, pol teacher.Policy, rec
 		rec = replay.NewRecorder(doc, t)
 		t = rec
 	}
-	eng := core.NewEngine(doc, t, opts)
-	tree, stats, err := eng.Learn(&core.TaskSpec{Target: s.Target, Drops: s.Drops})
+	sess := core.NewSession(doc, t, opts)
+	tree, stats, err := sess.Learn(ctx, &core.TaskSpec{Target: s.Target, Drops: s.Drops})
 	if err != nil {
 		return nil, err
 	}
@@ -151,12 +236,20 @@ func runSession(s *scenario.Scenario, opts core.Options, pol teacher.Policy, rec
 		f.Close()
 		fmt.Printf("recorded %d interactions to %s\n", len(rec.Log.Entries), record)
 	}
+	learnedDoc, err := xq.NewEvaluator(doc).Result(ctx, tree)
+	if err != nil {
+		return nil, err
+	}
+	truthDoc, err := xq.NewEvaluator(doc).Result(ctx, truth)
+	if err != nil {
+		return nil, err
+	}
 	res := &scenario.Result{
 		Scenario:   s,
 		Tree:       tree,
 		Stats:      stats,
-		LearnedXML: xmldoc.XMLString(xq.NewEvaluator(doc).Result(tree).DocNode()),
-		TruthXML:   xmldoc.XMLString(xq.NewEvaluator(doc).Result(truth).DocNode()),
+		LearnedXML: xmldoc.XMLString(learnedDoc.DocNode()),
+		TruthXML:   xmldoc.XMLString(truthDoc.DocNode()),
 	}
 	res.Verified = res.LearnedXML == res.TruthXML
 	return res, nil

@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/xmldoc"
 	"repro/internal/xq"
@@ -61,7 +63,12 @@ func main() {
 		fmt.Print(tree.String())
 		return
 	}
-	res := xq.NewEvaluator(doc).Result(tree)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := xq.NewEvaluator(doc).Result(ctx, tree)
+	if err != nil {
+		fail(err)
+	}
 	if *pretty {
 		if res.Root() != nil {
 			fmt.Print(xmldoc.IndentedXMLString(res.Root()))

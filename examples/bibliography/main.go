@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -21,7 +22,7 @@ func main() {
 	if s == nil {
 		panic("XMP-Q5 scenario missing")
 	}
-	res, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+	res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
 	if err != nil {
 		panic(err)
 	}

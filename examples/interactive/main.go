@@ -21,8 +21,10 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -77,27 +79,33 @@ func (t *consoleTeacher) prompt(q string) string {
 	return strings.TrimSpace(t.in.Text())
 }
 
-func (t *consoleTeacher) Member(frag core.FragmentRef, ctx map[string]*xmldoc.Node, n *xmldoc.Node) bool {
+func (t *consoleTeacher) Member(ctx context.Context, frag core.FragmentRef, pin map[string]*xmldoc.Node, n *xmldoc.Node) (bool, error) {
 	fmt.Printf("\nMembership query for $%s: is this node in the intended set?\n  %s\n", frag.Var, describe(n))
 	for {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		switch strings.ToLower(t.prompt("  [y/n] > ")) {
 		case "y", "yes":
-			return true
+			return true, nil
 		case "n", "no", "":
-			return false
+			return false, nil
 		}
 	}
 }
 
-func (t *consoleTeacher) Equivalent(frag core.FragmentRef, ctx map[string]*xmldoc.Node, hyp []*xmldoc.Node) (*xmldoc.Node, bool, bool) {
+func (t *consoleTeacher) Equivalent(ctx context.Context, frag core.FragmentRef, pin map[string]*xmldoc.Node, hyp []*xmldoc.Node) (*xmldoc.Node, bool, bool, error) {
 	fmt.Printf("\nEquivalence query for $%s: the hypothesis highlights %d node(s):\n", frag.Var, len(hyp))
 	for _, n := range hyp {
 		fmt.Println("  " + describe(n))
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, false, err
+		}
 		ans := t.prompt("  [ok | +<id> | -<id> | find <q>] > ")
 		if ans == "" || strings.EqualFold(ans, "ok") {
-			return nil, false, true
+			return nil, false, true, nil
 		}
 		if q, found := strings.CutPrefix(ans, "find "); found {
 			hits := finder.Search(t.doc, q)
@@ -124,12 +132,12 @@ func (t *consoleTeacher) Equivalent(frag core.FragmentRef, ctx map[string]*xmldo
 				fmt.Println("  no such node")
 				continue
 			}
-			return n, ans[0] == '+', false
+			return n, ans[0] == '+', false, nil
 		}
 	}
 }
 
-func (t *consoleTeacher) ConditionBox(frag core.FragmentRef, ce *xmldoc.Node) []core.BoxEntry {
+func (t *consoleTeacher) ConditionBox(ctx context.Context, frag core.FragmentRef, ce *xmldoc.Node) ([]core.BoxEntry, error) {
 	fmt.Printf("\nCondition Box for $%s", frag.Var)
 	if ce != nil {
 		fmt.Printf(" (offending node: %s)", describe(ce))
@@ -137,16 +145,16 @@ func (t *consoleTeacher) ConditionBox(frag core.FragmentRef, ce *xmldoc.Node) []
 	fmt.Println("\nEnter `<nodeID> <op> <constant>` (ops: = != < <= > >= contains) or `skip`.")
 	ans := t.prompt("  > ")
 	if ans == "" || strings.EqualFold(ans, "skip") {
-		return nil
+		return nil, nil
 	}
 	parts := strings.Fields(ans)
 	if len(parts) < 2 {
-		return nil
+		return nil, nil
 	}
 	id, err := strconv.Atoi(parts[0])
 	if err != nil || t.doc.NodeByID(id) == nil {
 		fmt.Println("  bad node id")
-		return nil
+		return nil, nil
 	}
 	konst := ""
 	if len(parts) >= 3 {
@@ -157,10 +165,12 @@ func (t *consoleTeacher) ConditionBox(frag core.FragmentRef, ce *xmldoc.Node) []
 		Select: func(*xmldoc.Document, *xmldoc.Node) *xmldoc.Node { return node },
 		Op:     xq.CmpOp(parts[1]),
 		Const:  konst,
-	}}
+	}}, nil
 }
 
-func (t *consoleTeacher) OrderBy(frag core.FragmentRef) []xq.SortKey { return nil }
+func (t *consoleTeacher) OrderBy(ctx context.Context, frag core.FragmentRef) ([]xq.SortKey, error) {
+	return nil, nil
+}
 
 func main() {
 	doc := xmldoc.MustParse(site)
@@ -178,8 +188,11 @@ iname box. Answer XLearner's questions; the intended query selects items
 in europe sold for less than 300 (tip: when the Condition Box opens, the
 50-dollar price node and "< 300" express it).`)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	teacher := &consoleTeacher{doc: doc, in: bufio.NewScanner(os.Stdin)}
-	eng := core.NewEngine(doc, teacher, core.DefaultOptions())
+	sess := core.NewSession(doc, teacher, core.DefaultOptions())
 	spec := &core.TaskSpec{
 		Target: dtd.MustParse(`
 <!ELEMENT i_list (item*)>
@@ -197,16 +210,20 @@ in europe sold for less than 300 (tip: when the Condition Box opens, the
 			},
 		}},
 	}
-	tree, stats, err := eng.Learn(spec)
+	tree, stats, err := sess.Learn(ctx, spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "learning failed:", err)
 		os.Exit(1)
 	}
 	fmt.Println("\nLearned query:")
 	fmt.Println(tree.String())
-	ev := xq.NewEvaluator(doc)
+	result, err := xq.NewEvaluator(doc).Result(ctx, tree)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evaluation failed:", err)
+		os.Exit(1)
+	}
 	fmt.Println("Result:")
-	fmt.Println(xmldoc.XMLString(ev.Result(tree).DocNode()))
+	fmt.Println(xmldoc.XMLString(result.DocNode()))
 	tot := stats.Totals()
 	fmt.Printf("\nYou answered %d membership queries and gave %d counterexamples;\nrules R1/R2 spared you %d more questions.\n",
 		tot.MQ, tot.CE, tot.ReducedTotal)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -88,7 +89,11 @@ func main() {
 	fmt.Printf("Interactions: D&D %d, MQ %d, CE %d; rules auto-answered %d.\n\n",
 		res.Stats.DnD, tot.MQ, tot.CE, tot.ReducedTotal)
 	fmt.Println("Rendered page (programme in slot order, bios joined by speaker):")
-	fmt.Println(xmldoc.IndentedXMLString(xq.NewEvaluator(s.Doc()).Result(res.Tree).Root()))
+	page, err := xq.NewEvaluator(s.Doc()).Result(context.Background(), res.Tree)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(xmldoc.IndentedXMLString(page.Root()))
 	if !res.Verified {
 		panic("verification failed")
 	}

@@ -13,14 +13,17 @@ import (
 )
 
 // Teacher answers the two kinds of learner's queries of a minimally
-// adequate teacher.
+// adequate teacher. Either method may return an error — a canceled
+// session, a teacher who walked away, an inconsistency that demands a
+// restart — which aborts the learner immediately and propagates out of
+// Learn/LearnKV unwrapped, so callers can match it with errors.Is/As.
 type Teacher interface {
 	// Member reports whether word is in the target language.
-	Member(word []string) bool
+	Member(word []string) (bool, error)
 	// Equivalent checks the hypothesis. If the hypothesis is correct it
-	// returns (nil, true); otherwise it returns a counterexample word
-	// from the symmetric difference and false.
-	Equivalent(hypothesis *pathre.DFA) (counterexample []string, ok bool)
+	// returns (nil, true, nil); otherwise it returns a counterexample
+	// word from the symmetric difference and false.
+	Equivalent(hypothesis *pathre.DFA) (counterexample []string, ok bool, err error)
 }
 
 // Stats counts the queries the learner issued. Membership queries are
@@ -81,29 +84,36 @@ type learner struct {
 
 func key(w []string) string { return strings.Join(w, "\x00") }
 
-func (l *learner) member(w []string) bool {
+func (l *learner) member(w []string) (bool, error) {
 	k := key(w)
 	if v, ok := l.table[k]; ok {
-		return v
+		return v, nil
 	}
-	v := l.teacher.Member(w)
+	v, err := l.teacher.Member(w)
+	if err != nil {
+		return false, err
+	}
 	l.stats.MembershipQueries++
 	l.table[k] = v
-	return v
+	return v, nil
 }
 
 // row computes the observation-table row of prefix s.
-func (l *learner) row(s []string) string {
+func (l *learner) row(s []string) (string, error) {
 	var b strings.Builder
 	for _, e := range l.e {
 		w := append(append([]string(nil), s...), e...)
-		if l.member(w) {
+		v, err := l.member(w)
+		if err != nil {
+			return "", err
+		}
+		if v {
 			b.WriteByte('1')
 		} else {
 			b.WriteByte('0')
 		}
 	}
-	return b.String()
+	return b.String(), nil
 }
 
 func (l *learner) hasPrefix(w []string) bool {
@@ -141,11 +151,19 @@ func (l *learner) run() (*pathre.DFA, Stats, error) {
 		}
 	}
 	for eq := 0; eq < l.maxEQ; eq++ {
-		l.close()
-		h := l.hypothesis()
+		if err := l.close(); err != nil {
+			return nil, l.stats, err
+		}
+		h, err := l.hypothesis()
+		if err != nil {
+			return nil, l.stats, err
+		}
 		l.stats.EquivalenceQueries++
 		l.stats.HypothesisStates = h.NumStates()
-		ce, ok := l.teacher.Equivalent(h)
+		ce, ok, err := l.teacher.Equivalent(h)
+		if err != nil {
+			return nil, l.stats, err
+		}
 		if ok {
 			return h, l.stats, nil
 		}
@@ -153,7 +171,11 @@ func (l *learner) run() (*pathre.DFA, Stats, error) {
 		if ce == nil {
 			return nil, l.stats, fmt.Errorf("angluin: teacher rejected hypothesis without a counterexample")
 		}
-		if h.Accepts(ce) == l.member(ce) {
+		inTarget, err := l.member(ce)
+		if err != nil {
+			return nil, l.stats, err
+		}
+		if h.Accepts(ce) == inTarget {
 			return nil, l.stats, fmt.Errorf("angluin: counterexample %v does not distinguish hypothesis from target", ce)
 		}
 		for i := 1; i <= len(ce); i++ {
@@ -164,13 +186,17 @@ func (l *learner) run() (*pathre.DFA, Stats, error) {
 }
 
 // close extends S until the table is closed and consistent.
-func (l *learner) close() {
+func (l *learner) close() error {
 	for {
 		changed := false
 		// Closedness: every one-step extension's row must appear in S.
 		rowsOfS := map[string]bool{}
 		for _, s := range l.s {
-			rowsOfS[l.row(s)] = true
+			r, err := l.row(s)
+			if err != nil {
+				return err
+			}
+			rowsOfS[r] = true
 		}
 		for i := 0; i < len(l.s); i++ {
 			s := l.s[i]
@@ -179,7 +205,10 @@ func (l *learner) close() {
 				if l.hasPrefix(ext) {
 					continue
 				}
-				r := l.row(ext)
+				r, err := l.row(ext)
+				if err != nil {
+					return err
+				}
 				if !rowsOfS[r] {
 					l.addPrefix(ext)
 					rowsOfS[r] = true
@@ -192,23 +221,42 @@ func (l *learner) close() {
 		}
 		// Consistency: equal rows must have equal extensions; otherwise
 		// a new distinguishing suffix exists.
-		if l.fixInconsistency() {
+		fixed, err := l.fixInconsistency()
+		if err != nil {
+			return err
+		}
+		if fixed {
 			continue
 		}
-		return
+		return nil
 	}
 }
 
-func (l *learner) fixInconsistency() bool {
+func (l *learner) fixInconsistency() (bool, error) {
 	for i := 0; i < len(l.s); i++ {
 		for j := i + 1; j < len(l.s); j++ {
-			if l.row(l.s[i]) != l.row(l.s[j]) {
+			ri0, err := l.row(l.s[i])
+			if err != nil {
+				return false, err
+			}
+			rj0, err := l.row(l.s[j])
+			if err != nil {
+				return false, err
+			}
+			if ri0 != rj0 {
 				continue
 			}
 			for _, a := range l.alphabet {
 				exti := append(append([]string(nil), l.s[i]...), a)
 				extj := append(append([]string(nil), l.s[j]...), a)
-				ri, rj := l.row(exti), l.row(extj)
+				ri, err := l.row(exti)
+				if err != nil {
+					return false, err
+				}
+				rj, err := l.row(extj)
+				if err != nil {
+					return false, err
+				}
 				if ri == rj {
 					continue
 				}
@@ -218,24 +266,27 @@ func (l *learner) fixInconsistency() bool {
 						newSuffix := append([]string{a}, l.e[p]...)
 						if !l.hasSuffix(newSuffix) {
 							l.e = append(l.e, newSuffix)
-							return true
+							return true, nil
 						}
 					}
 				}
 			}
 		}
 	}
-	return false
+	return false, nil
 }
 
 // hypothesis builds the conjectured DFA from the closed, consistent
 // observation table.
-func (l *learner) hypothesis() *pathre.DFA {
+func (l *learner) hypothesis() (*pathre.DFA, error) {
 	// Unique rows of S become states.
 	stateOf := map[string]int{}
 	var reps [][]string
 	for _, s := range l.s {
-		r := l.row(s)
+		r, err := l.row(s)
+		if err != nil {
+			return nil, err
+		}
 		if _, ok := stateOf[r]; !ok {
 			stateOf[r] = len(reps)
 			reps = append(reps, s)
@@ -245,11 +296,18 @@ func (l *learner) hypothesis() *pathre.DFA {
 	// NewDFA sorts the alphabet; transitions must be indexed by the
 	// sorted order.
 	for qi, rep := range reps {
-		r := l.row(rep)
+		r, err := l.row(rep)
+		if err != nil {
+			return nil, err
+		}
 		d.Accept[qi] = r[0] == '1' // E[0] is ε
 		for _, a := range l.alphabet {
 			ext := append(append([]string(nil), rep...), a)
-			target, ok := stateOf[l.row(ext)]
+			re, err := l.row(ext)
+			if err != nil {
+				return nil, err
+			}
+			target, ok := stateOf[re]
 			if !ok {
 				// Table is closed, so this cannot happen; guard anyway.
 				target = qi
@@ -257,6 +315,10 @@ func (l *learner) hypothesis() *pathre.DFA {
 			d.Trans[qi][d.SymIndex(a)] = target
 		}
 	}
-	d.Start = stateOf[l.row(nil)]
-	return d
+	r0, err := l.row(nil)
+	if err != nil {
+		return nil, err
+	}
+	d.Start = stateOf[r0]
+	return d, nil
 }

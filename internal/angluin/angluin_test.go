@@ -1,6 +1,7 @@
 package angluin
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -13,14 +14,14 @@ type perfectTeacher struct {
 	target *pathre.DFA
 }
 
-func (t *perfectTeacher) Member(w []string) bool { return t.target.Accepts(w) }
+func (t *perfectTeacher) Member(w []string) (bool, error) { return t.target.Accepts(w), nil }
 
-func (t *perfectTeacher) Equivalent(h *pathre.DFA) ([]string, bool) {
+func (t *perfectTeacher) Equivalent(h *pathre.DFA) ([]string, bool, error) {
 	w, diff := t.target.Distinguish(h)
 	if !diff {
-		return nil, true
+		return nil, true, nil
 	}
-	return w, false
+	return w, false, nil
 }
 
 var alphabet = []string{"site", "regions", "africa", "asia", "europe", "item", "name"}
@@ -112,7 +113,7 @@ type countingTeacher struct {
 	asked map[string]int
 }
 
-func (t *countingTeacher) Member(w []string) bool {
+func (t *countingTeacher) Member(w []string) (bool, error) {
 	t.asked[key(w)]++
 	return t.perfectTeacher.Member(w)
 }
@@ -143,8 +144,11 @@ type teacherFuncs struct {
 	equiv  func(*pathre.DFA) ([]string, bool)
 }
 
-func (t teacherFuncs) Member(w []string) bool                    { return t.member(w) }
-func (t teacherFuncs) Equivalent(h *pathre.DFA) ([]string, bool) { return t.equiv(h) }
+func (t teacherFuncs) Member(w []string) (bool, error) { return t.member(w), nil }
+func (t teacherFuncs) Equivalent(h *pathre.DFA) ([]string, bool, error) {
+	ce, ok := t.equiv(h)
+	return ce, ok, nil
+}
 
 func TestMaxEquivalenceQueries(t *testing.T) {
 	// Target needs several EQs; cap at 1 must fail.
@@ -215,5 +219,24 @@ func TestQueryComplexityPolynomial(t *testing.T) {
 	m := 8 // longest counterexample bound here
 	if stats.MembershipQueries > k*m*n*n {
 		t.Fatalf("MQ = %d exceeds k*m*n^2 = %d", stats.MembershipQueries, k*m*n*n)
+	}
+}
+
+// errTeacher fails every membership query with a fixed error; Learn and
+// LearnKV must surface it unwrapped so callers can errors.Is it.
+type errTeacher struct{ err error }
+
+func (t errTeacher) Member(w []string) (bool, error) { return false, t.err }
+func (t errTeacher) Equivalent(h *pathre.DFA) ([]string, bool, error) {
+	return nil, false, t.err
+}
+
+func TestTeacherErrorPropagates(t *testing.T) {
+	sentinel := errors.New("teacher walked away")
+	if _, _, err := Learn(alphabet, errTeacher{sentinel}); !errors.Is(err, sentinel) {
+		t.Fatalf("Learn error = %v, want %v", err, sentinel)
+	}
+	if _, _, err := LearnKV(alphabet, errTeacher{sentinel}); !errors.Is(err, sentinel) {
+		t.Fatalf("LearnKV error = %v, want %v", err, sentinel)
 	}
 }

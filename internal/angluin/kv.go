@@ -59,29 +59,36 @@ func LearnKV(alphabet []string, t Teacher, opts ...Option) (*pathre.DFA, Stats, 
 	return k.run()
 }
 
-func (k *kvLearner) member(w []string) bool {
+func (k *kvLearner) member(w []string) (bool, error) {
 	key := strings.Join(w, "\x00")
 	if v, ok := k.cache[key]; ok {
-		return v
+		return v, nil
 	}
-	v := k.teacher.Member(w)
+	v, err := k.teacher.Member(w)
+	if err != nil {
+		return false, err
+	}
 	k.stats.MembershipQueries++
 	k.cache[key] = v
-	return v
+	return v, nil
 }
 
 // sift walks the word down the classification tree to its leaf.
-func (k *kvLearner) sift(w []string) *ctNode {
+func (k *kvLearner) sift(w []string) (*ctNode, error) {
 	cur := k.root
 	for !cur.isLeaf() {
 		probe := append(append([]string(nil), w...), cur.suffix...)
-		if k.member(probe) {
+		v, err := k.member(probe)
+		if err != nil {
+			return nil, err
+		}
+		if v {
 			cur = cur.yes
 		} else {
 			cur = cur.no
 		}
 	}
-	return cur
+	return cur, nil
 }
 
 func (k *kvLearner) run() (*pathre.DFA, Stats, error) {
@@ -93,16 +100,32 @@ func (k *kvLearner) run() (*pathre.DFA, Stats, error) {
 		// Seed the tree as if the dropped example's path were a first
 		// positive counterexample (mirrors WithInitialExample for L*):
 		// only useful when it actually distinguishes.
-		if k.member(k.initial) != k.member(nil) {
-			k.split(k.root, k.initial, nil)
+		mi, err := k.member(k.initial)
+		if err != nil {
+			return nil, k.stats, err
+		}
+		me, err := k.member(nil)
+		if err != nil {
+			return nil, k.stats, err
+		}
+		if mi != me {
+			if err := k.split(k.root, k.initial, nil); err != nil {
+				return nil, k.stats, err
+			}
 		}
 	}
 
 	for eq := 0; eq < k.maxEQ; eq++ {
-		h, leaves := k.hypothesis()
+		h, leaves, err := k.hypothesis()
+		if err != nil {
+			return nil, k.stats, err
+		}
 		k.stats.EquivalenceQueries++
 		k.stats.HypothesisStates = h.NumStates()
-		ce, ok := k.teacher.Equivalent(h)
+		ce, ok, err := k.teacher.Equivalent(h)
+		if err != nil {
+			return nil, k.stats, err
+		}
 		if ok {
 			return h, k.stats, nil
 		}
@@ -110,16 +133,22 @@ func (k *kvLearner) run() (*pathre.DFA, Stats, error) {
 		if ce == nil {
 			return nil, k.stats, fmt.Errorf("angluin: KV teacher rejected hypothesis without a counterexample")
 		}
-		if h.Accepts(ce) == k.member(ce) {
+		inTarget, err := k.member(ce)
+		if err != nil {
+			return nil, k.stats, err
+		}
+		if h.Accepts(ce) == inTarget {
 			return nil, k.stats, fmt.Errorf("angluin: KV counterexample %v does not distinguish", ce)
 		}
-		k.process(ce, h, leaves)
+		if err := k.process(ce, h, leaves); err != nil {
+			return nil, k.stats, err
+		}
 	}
 	return nil, k.stats, fmt.Errorf("angluin: KV exceeded %d equivalence queries", k.maxEQ)
 }
 
 // hypothesis builds the DFA whose states are the leaves.
-func (k *kvLearner) hypothesis() (*pathre.DFA, []*ctNode) {
+func (k *kvLearner) hypothesis() (*pathre.DFA, []*ctNode, error) {
 	var leaves []*ctNode
 	var collect func(n *ctNode)
 	collect = func(n *ctNode) {
@@ -140,21 +169,33 @@ func (k *kvLearner) hypothesis() (*pathre.DFA, []*ctNode) {
 	}
 	d := pathre.NewDFA(k.alphabet, len(leaves))
 	for i, l := range leaves {
-		d.Accept[i] = k.member(l.access)
+		acc, err := k.member(l.access)
+		if err != nil {
+			return nil, nil, err
+		}
+		d.Accept[i] = acc
 		for _, a := range k.alphabet {
 			ext := append(append([]string(nil), l.access...), a)
-			d.Trans[i][d.SymIndex(a)] = index[k.sift(ext)]
+			target, err := k.sift(ext)
+			if err != nil {
+				return nil, nil, err
+			}
+			d.Trans[i][d.SymIndex(a)] = index[target]
 		}
 	}
-	d.Start = index[k.sift(nil)]
-	return d, leaves
+	start, err := k.sift(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	d.Start = index[start]
+	return d, leaves, nil
 }
 
 // process refines the tree with a counterexample: find the first
 // position where the hypothesis state's access string and the sifted
 // leaf diverge, and split the predecessor leaf with a new
 // distinguishing suffix.
-func (k *kvLearner) process(ce []string, h *pathre.DFA, leaves []*ctNode) {
+func (k *kvLearner) process(ce []string, h *pathre.DFA, leaves []*ctNode) error {
 	// Hypothesis states along ce, as leaves.
 	hypLeaf := make([]*ctNode, len(ce)+1)
 	q := h.Start
@@ -164,7 +205,10 @@ func (k *kvLearner) process(ce []string, h *pathre.DFA, leaves []*ctNode) {
 		hypLeaf[i+1] = leaves[q]
 	}
 	for i := 1; i <= len(ce); i++ {
-		sifted := k.sift(ce[:i])
+		sifted, err := k.sift(ce[:i])
+		if err != nil {
+			return err
+		}
 		if sifted == hypLeaf[i] {
 			continue
 		}
@@ -176,13 +220,12 @@ func (k *kvLearner) process(ce []string, h *pathre.DFA, leaves []*ctNode) {
 		// the two leaves' paths diverge.
 		d := k.lcaSuffix(sifted, hypLeaf[i])
 		newSuffix := append([]string{ce[i-1]}, d...)
-		k.split(hypLeaf[i-1], ce[:i-1], newSuffix)
-		return
+		return k.split(hypLeaf[i-1], ce[:i-1], newSuffix)
 	}
 	// The hypothesis path agrees everywhere but classification differs:
 	// split the final leaf by ε... this only occurs with a single-leaf
 	// tree (before the first refinement).
-	k.split(hypLeaf[len(ce)], ce, nil)
+	return k.split(hypLeaf[len(ce)], ce, nil)
 }
 
 // lcaSuffix returns the distinguishing suffix at the least common
@@ -214,7 +257,7 @@ func (k *kvLearner) lcaSuffix(a, b *ctNode) []string {
 
 // split turns leaf (with existing access string) into an internal node
 // distinguishing it from the new access string by the suffix.
-func (k *kvLearner) split(leaf *ctNode, newAccess, suffix []string) {
+func (k *kvLearner) split(leaf *ctNode, newAccess, suffix []string) error {
 	oldAccess := leaf.access
 	internal := leaf
 	internal.suffix = append([]string(nil), suffix...)
@@ -222,9 +265,14 @@ func (k *kvLearner) split(leaf *ctNode, newAccess, suffix []string) {
 	oldLeaf := &ctNode{access: oldAccess, parent: internal}
 	newLeaf := &ctNode{access: append([]string(nil), newAccess...), parent: internal}
 	probeOld := append(append([]string(nil), oldAccess...), suffix...)
-	if k.member(probeOld) {
+	v, err := k.member(probeOld)
+	if err != nil {
+		return err
+	}
+	if v {
 		internal.yes, internal.no = oldLeaf, newLeaf
 	} else {
 		internal.no, internal.yes = oldLeaf, newLeaf
 	}
+	return nil
 }

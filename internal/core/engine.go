@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -10,7 +11,15 @@ import (
 	"repro/internal/xq"
 )
 
-// Engine is an XLearner session over one source document.
+// Engine is the learning machinery of one XLearner session over one
+// source document.
+//
+// An Engine is NOT goroutine-safe: the path index, the evaluator's DFA
+// cache, and the realized-path DFA are mutated during Learn. It shares
+// no mutable state with other Engine instances, though — xmldoc
+// documents are read-only after parsing, and every cache here is
+// per-instance — so independent Engines (one per Session) may run
+// concurrently over the same or different documents.
 type Engine struct {
 	Source  *xmldoc.Document
 	Teacher Teacher
@@ -76,10 +85,16 @@ type fragment struct {
 }
 
 // Learn runs a full session: template, skeleton, LEARN-X1*+ traversal,
-// and assembly of the final XQ-Tree.
-func (e *Engine) Learn(spec *TaskSpec) (*xq.Tree, *Stats, error) {
+// and assembly of the final XQ-Tree. The context is threaded through
+// every membership query, equivalence query, and evaluator call;
+// canceling it aborts the session promptly with an error matching
+// errors.Is(err, context.Canceled).
+func (e *Engine) Learn(ctx context.Context, spec *TaskSpec) (*xq.Tree, *Stats, error) {
 	if len(spec.Drops) == 0 {
 		return nil, nil, fmt.Errorf("core: no dropped examples")
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, err
 	}
 	template, err := BuildTemplate(spec.Target)
 	if err != nil {
@@ -93,7 +108,7 @@ func (e *Engine) Learn(spec *TaskSpec) (*xq.Tree, *Stats, error) {
 	tree := xq.NewTree(root)
 	for _, f := range frags {
 		fs := FragmentStats{Var: f.ref.Var, TemplatePath: f.ref.TemplatePath}
-		if err := e.learnWithAlternates(tree, f, &fs); err != nil {
+		if err := e.learnWithAlternates(ctx, tree, f, &fs); err != nil {
 			return nil, nil, err
 		}
 		stats.Fragments = append(stats.Fragments, fs)
@@ -279,13 +294,18 @@ func hasMarkedBox(t *TemplateNode, boxes map[*TemplateNode]boxInfo, marked map[*
 }
 
 // learnWithAlternates learns the fragment, switching context to the
-// drop's alternate examples when an attempt fails (Section 2).
-func (e *Engine) learnWithAlternates(tree *xq.Tree, f *fragment, fs *FragmentStats) error {
-	err := e.learnFragment(tree, f, fs)
+// drop's alternate examples when an attempt fails (Section 2). A
+// canceled session is not retried — switching examples cannot answer a
+// cancellation.
+func (e *Engine) learnWithAlternates(ctx context.Context, tree *xq.Tree, f *fragment, fs *FragmentStats) error {
+	err := e.learnFragment(ctx, tree, f, fs)
 	if err == nil {
 		return nil
 	}
 	for _, sel := range f.drop.Alternates {
+		if ctx.Err() != nil {
+			return err
+		}
 		alt := sel(e.Source)
 		if alt == nil {
 			continue
@@ -296,7 +316,7 @@ func (e *Engine) learnWithAlternates(tree *xq.Tree, f *fragment, fs *FragmentSta
 		if f.pair {
 			f.anchorNode = alt.Parent
 		}
-		if err = e.learnFragment(tree, f, fs); err == nil {
+		if err = e.learnFragment(ctx, tree, f, fs); err == nil {
 			return nil
 		}
 	}
@@ -305,7 +325,7 @@ func (e *Engine) learnWithAlternates(tree *xq.Tree, f *fragment, fs *FragmentSta
 
 // learnFragment runs P-Learner/C-Learner for one fragment and fills in
 // its XQ nodes.
-func (e *Engine) learnFragment(tree *xq.Tree, f *fragment, fs *FragmentStats) error {
+func (e *Engine) learnFragment(ctx context.Context, tree *xq.Tree, f *fragment, fs *FragmentStats) error {
 	pinCtx := map[string]*xmldoc.Node{}
 	condCtx := map[string]*xmldoc.Node{}
 	for a := f.parent; a != nil; a = a.parent {
@@ -317,7 +337,7 @@ func (e *Engine) learnFragment(tree *xq.Tree, f *fragment, fs *FragmentStats) er
 	if f.pair {
 		strip = 1
 	}
-	pl := newPLearner(e, f.ref, pinCtx, condCtx, f.example, strip, fs)
+	pl := newPLearner(ctx, e, f.ref, pinCtx, condCtx, f.example, strip, fs)
 	d, err := pl.run()
 	if err != nil {
 		return err
@@ -370,11 +390,16 @@ func (e *Engine) learnFragment(tree *xq.Tree, f *fragment, fs *FragmentStats) er
 	// strongest-conjunction start, e.g. data($d)=data($i/description)
 	// once the binding is relative).
 	if !e.Opts.KeepRedundantConds {
-		e.minimizeConds(tree, f, preds)
+		if err := e.minimizeConds(ctx, tree, f, preds); err != nil {
+			return err
+		}
 	}
 
 	// OrderBy Box.
-	keys := e.Teacher.OrderBy(f.ref)
+	keys, err := e.Teacher.OrderBy(ctx, f.ref)
+	if err != nil {
+		return fmt.Errorf("core: fragment %s: OrderBy Box: %w", f.ref.Var, err)
+	}
 	if len(keys) > 0 {
 		f.xqAnchor.OrderBy = keys
 		fs.OB += len(keys)
@@ -483,22 +508,36 @@ func labelsBetween(a, n *xmldoc.Node) []string {
 // exactly, while a predicate that matters in some other context — like
 // the category join, coincidentally redundant in the learning context —
 // is kept.
-func (e *Engine) minimizeConds(tree *xq.Tree, f *fragment, preds []*xq.Pred) {
-	assignments := e.eval.Assignments(tree, f.xqAnchor)
-	extents := func(ps []*xq.Pred) [][]*xmldoc.Node {
+func (e *Engine) minimizeConds(ctx context.Context, tree *xq.Tree, f *fragment, preds []*xq.Pred) error {
+	assignments, err := e.eval.Assignments(ctx, tree, f.xqAnchor)
+	if err != nil {
+		return err
+	}
+	extents := func(ps []*xq.Pred) ([][]*xmldoc.Node, error) {
 		f.xqAnchor.Where = ps
 		out := make([][]*xmldoc.Node, len(assignments))
 		for i, env := range assignments {
-			out[i] = e.eval.Extent(tree, f.xqLeaf, env)
+			ext, err := e.eval.Extent(ctx, tree, f.xqLeaf, env)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = ext
 		}
-		return out
+		return out, nil
 	}
-	full := extents(preds)
+	full, err := extents(preds)
+	if err != nil {
+		return err
+	}
 	kept := append([]*xq.Pred{}, preds...)
 	for i := 0; i < len(kept); {
 		trial := append(append([]*xq.Pred{}, kept[:i]...), kept[i+1:]...)
+		trialExts, err := extents(trial)
+		if err != nil {
+			return err
+		}
 		same := true
-		for j, ext := range extents(trial) {
+		for j, ext := range trialExts {
 			if !sameNodes(ext, full[j]) {
 				same = false
 				break
@@ -511,6 +550,7 @@ func (e *Engine) minimizeConds(tree *xq.Tree, f *fragment, preds []*xq.Pred) {
 		i++
 	}
 	f.xqAnchor.Where = kept
+	return nil
 }
 
 // trimDFA intersects the learned DFA with the instance's realized-path

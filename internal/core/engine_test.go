@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+	"repro/internal/must"
 	"strings"
 	"testing"
 
@@ -140,7 +142,7 @@ func runningExample(t *testing.T, opts core.Options, pol teacher.Policy) (*xq.Tr
 				Select: teacher.SelectByText("description", "Best Seller")},
 		},
 	}
-	tree, stats, err := eng.Learn(spec)
+	tree, stats, err := eng.Learn(context.Background(), spec)
 	if err != nil {
 		t.Fatalf("Learn: %v", err)
 	}
@@ -150,9 +152,9 @@ func runningExample(t *testing.T, opts core.Options, pol teacher.Policy) (*xq.Tr
 // resultEqual compares the evaluated results of two trees on a document.
 func resultEqual(doc *xmldoc.Document, a, b *xq.Tree) (string, string, bool) {
 	ev := xq.NewEvaluator(doc)
-	sa := xmldoc.XMLString(ev.Result(a).DocNode())
+	sa := xmldoc.XMLString(must.Must(ev.Result(context.Background(), a)).DocNode())
 	ev2 := xq.NewEvaluator(doc)
-	sb := xmldoc.XMLString(ev2.Result(b).DocNode())
+	sb := xmldoc.XMLString(must.Must(ev2.Result(context.Background(), b)).DocNode())
 	return sa, sb, sa == sb
 }
 
@@ -345,26 +347,26 @@ func TestLearnErrorPaths(t *testing.T) {
 	eng := core.NewEngine(doc, sim, core.DefaultOptions())
 	target := dtd.MustParse(targetDTD)
 
-	if _, _, err := eng.Learn(&core.TaskSpec{Target: target}); err == nil {
+	if _, _, err := eng.Learn(context.Background(), &core.TaskSpec{Target: target}); err == nil {
 		t.Error("no drops must fail")
 	}
-	if _, _, err := eng.Learn(&core.TaskSpec{Target: target, Drops: []core.Drop{
+	if _, _, err := eng.Learn(context.Background(), &core.TaskSpec{Target: target, Drops: []core.Drop{
 		{Path: "i_list/zzz", Var: "x", Select: teacher.SelectNth("name", 0)},
 	}}); err == nil {
 		t.Error("unknown box must fail")
 	}
-	if _, _, err := eng.Learn(&core.TaskSpec{Target: target, Drops: []core.Drop{
+	if _, _, err := eng.Learn(context.Background(), &core.TaskSpec{Target: target, Drops: []core.Drop{
 		{Path: "i_list/category/cname", Var: "x",
 			Select: func(*xmldoc.Document) *xmldoc.Node { return nil }},
 	}}); err == nil {
 		t.Error("empty selection must fail")
 	}
-	if _, _, err := eng.Learn(&core.TaskSpec{Target: target, Drops: []core.Drop{
+	if _, _, err := eng.Learn(context.Background(), &core.TaskSpec{Target: target, Drops: []core.Drop{
 		{Path: "i_list/category/cname", Var: "", Select: teacher.SelectNth("name", 0)},
 	}}); err == nil {
 		t.Error("missing variable name must fail")
 	}
-	if _, _, err := eng.Learn(&core.TaskSpec{Target: target, Drops: []core.Drop{
+	if _, _, err := eng.Learn(context.Background(), &core.TaskSpec{Target: target, Drops: []core.Drop{
 		{Path: "i_list/category/cname", Var: "a", Select: teacher.SelectNth("name", 0)},
 		{Path: "i_list/category/cname", Var: "b", Select: teacher.SelectNth("name", 1)},
 	}}); err == nil {
@@ -385,7 +387,7 @@ func TestMissingConditionBoxFails(t *testing.T) {
 				Select: teacher.SelectByText("name", "H. Potter")},
 		},
 	}
-	if _, _, err := eng.Learn(spec); err == nil {
+	if _, _, err := eng.Learn(context.Background(), spec); err == nil {
 		t.Fatal("learning must fail when the needed Condition Box is not provided")
 	} else if !strings.Contains(err.Error(), "Condition Box") {
 		t.Fatalf("unexpected error: %v", err)

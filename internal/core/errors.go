@@ -1,0 +1,32 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the learning pipeline. All are surfaced wrapped
+// with fragment context, so match them with errors.Is.
+var (
+	// ErrNoCounterexample: the teacher rejected a hypothesis extent but
+	// supplied no counterexample node.
+	ErrNoCounterexample = errors.New("core: teacher rejected the extent without a counterexample")
+	// ErrEmptyConditionBox: an explicit condition was required but the
+	// teacher's Condition Box returned no entries.
+	ErrEmptyConditionBox = errors.New("core: Condition Box returned no entries")
+	// ErrMaxEQ: a fragment exceeded Options.MaxEQ equivalence queries.
+	ErrMaxEQ = errors.New("core: exceeded the equivalence-query budget")
+	// ErrSessionBusy: Session.Learn was called while a previous Learn on
+	// the same Session was still running.
+	ErrSessionBusy = errors.New("core: session is already learning")
+)
+
+// ctxErr reports a context cancellation as a wrapped error so callers
+// can match errors.Is(err, context.Canceled) / DeadlineExceeded.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: session canceled: %w", err)
+	}
+	return nil
+}

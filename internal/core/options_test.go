@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+	"repro/internal/must"
 	"strings"
 	"testing"
 
@@ -69,7 +71,7 @@ func TestR2Backtracking(t *testing.T) {
 
 	sim := teacher.New(doc, truth)
 	eng := core.NewEngine(doc, sim, core.DefaultOptions())
-	tree, stats, err := eng.Learn(&core.TaskSpec{
+	tree, stats, err := eng.Learn(context.Background(), &core.TaskSpec{
 		Target: dtd.MustParse(`<!ELEMENT out (entry*)> <!ELEMENT entry (#PCDATA)>`),
 		Drops: []core.Drop{{
 			Path: "out/entry", Var: "x",
@@ -80,9 +82,9 @@ func TestR2Backtracking(t *testing.T) {
 		t.Fatalf("Learn: %v", err)
 	}
 	ev := xmldocEval(doc)
-	got := xmldoc.XMLString(ev.Result(tree).DocNode())
+	got := xmldoc.XMLString(must.Must(ev.Result(context.Background(), tree)).DocNode())
 	tev := xmldocEval(doc)
-	want := xmldoc.XMLString(tev.Result(truth).DocNode())
+	want := xmldoc.XMLString(must.Must(tev.Result(context.Background(), truth)).DocNode())
 	if got != want {
 		t.Fatalf("mixed-final-tag extent not learned:\ngot  %s\nwant %s\n%s", got, want, tree.String())
 	}
@@ -147,7 +149,7 @@ func TestStructuralPriorRefuted(t *testing.T) {
 
 	sim := teacher.New(doc, truth)
 	eng := core.NewEngine(doc, sim, core.DefaultOptions())
-	tree, _, err := eng.Learn(&core.TaskSpec{
+	tree, _, err := eng.Learn(context.Background(), &core.TaskSpec{
 		Target: dtd.MustParse(`
 <!ELEMENT report (cust2*)>
 <!ELEMENT cust2 (name2, ototal*)>
@@ -163,8 +165,8 @@ func TestStructuralPriorRefuted(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Learn: %v", err)
 	}
-	got := xmldoc.XMLString(xmldocEval(doc).Result(tree).DocNode())
-	want := xmldoc.XMLString(xmldocEval(doc).Result(truth).DocNode())
+	got := xmldoc.XMLString(must.Must(xmldocEval(doc).Result(context.Background(), tree)).DocNode())
+	want := xmldoc.XMLString(must.Must(xmldocEval(doc).Result(context.Background(), truth)).DocNode())
 	if got != want {
 		t.Fatalf("join over non-descendant data not learned:\ngot  %s\nwant %s\nquery:\n%s",
 			got, want, tree.String())
@@ -196,7 +198,7 @@ func TestContextSwitching(t *testing.T) {
 	})
 	sim := teacher.New(doc, truth)
 	eng := core.NewEngine(doc, sim, core.DefaultOptions())
-	tree, stats, err := eng.Learn(&core.TaskSpec{
+	tree, stats, err := eng.Learn(context.Background(), &core.TaskSpec{
 		Target: dtd.MustParse(`<!ELEMENT out (entry*)> <!ELEMENT entry (#PCDATA)>`),
 		Drops: []core.Drop{{
 			Path: "out/entry", Var: "x",
@@ -214,7 +216,7 @@ func TestContextSwitching(t *testing.T) {
 	if stats.Fragments[0].ContextSwitches == 0 {
 		t.Fatal("expected a context switch")
 	}
-	got := xmldoc.XMLString(xmldocEval(doc).Result(tree).DocNode())
+	got := xmldoc.XMLString(must.Must(xmldocEval(doc).Result(context.Background(), tree)).DocNode())
 	if !strings.Contains(got, "A") || !strings.Contains(got, "B") || strings.Contains(got, "C") {
 		t.Fatalf("result after context switch = %s", got)
 	}
@@ -235,7 +237,7 @@ func TestContextSwitchingExhausted(t *testing.T) {
 	})
 	sim := teacher.New(doc, truth)
 	eng := core.NewEngine(doc, sim, core.DefaultOptions())
-	_, _, err := eng.Learn(&core.TaskSpec{
+	_, _, err := eng.Learn(context.Background(), &core.TaskSpec{
 		Target: dtd.MustParse(`<!ELEMENT out (entry*)> <!ELEMENT entry (#PCDATA)>`),
 		Drops: []core.Drop{{
 			Path: "out/entry", Var: "x",
@@ -274,7 +276,7 @@ func TestChoiceTargetSchema(t *testing.T) {
 	})
 	sim := teacher.New(doc, truth)
 	eng := core.NewEngine(doc, sim, core.DefaultOptions())
-	tree, _, err := eng.Learn(&core.TaskSpec{
+	tree, _, err := eng.Learn(context.Background(), &core.TaskSpec{
 		Target: dtd.MustParse(`
 <!ELEMENT animals (feline | canine)*>
 <!ELEMENT feline (#PCDATA)>
@@ -287,7 +289,7 @@ func TestChoiceTargetSchema(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Learn: %v", err)
 	}
-	got := xmldoc.XMLString(xmldocEval(doc).Result(tree).DocNode())
+	got := xmldoc.XMLString(must.Must(xmldocEval(doc).Result(context.Background(), tree)).DocNode())
 	for _, want := range []string{"Tom", "Felix", "Rex", "<feline>", "<canine>"} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("choice result missing %q: %s", want, got)

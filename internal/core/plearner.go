@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -43,19 +45,19 @@ const (
 	r2Off
 )
 
-// restartLStar signals that a cached answer was corrected and the
+// restartErr signals that a cached answer was corrected and the
 // observation table must be rebuilt (the paper's "corrects them if it
 // finds inconsistencies"); answers are replayed from the cache, so no
-// user interactions are repeated.
-type restartLStar struct{ reason string }
+// user interactions are repeated. It flows through the angluin.Teacher
+// error return and is caught in run with errors.As.
+type restartErr struct{ reason string }
 
-// fragmentAbort carries a fatal fragment error through the L* callback
-// boundary.
-type fragmentAbort struct{ err error }
+func (e restartErr) Error() string { return "core: restart L*: " + e.reason }
 
 // pLearner learns one fragment: the path DFA (P-Learner) interleaved
 // with condition learning (C-Learner) and explicit Condition Boxes.
 type pLearner struct {
+	ctx     context.Context // the session context, checked at every MQ/EQ
 	eng     *Engine
 	frag    FragmentRef
 	pinCtx  map[string]*xmldoc.Node // pins for teacher extent queries
@@ -86,10 +88,10 @@ type pLearner struct {
 
 func pathKey(w []string) string { return strings.Join(w, "\x00") }
 
-func newPLearner(eng *Engine, frag FragmentRef, pinCtx, condCtx map[string]*xmldoc.Node,
+func newPLearner(ctx context.Context, eng *Engine, frag FragmentRef, pinCtx, condCtx map[string]*xmldoc.Node,
 	example *xmldoc.Node, strip int, stats *FragmentStats) *pLearner {
 	p := &pLearner{
-		eng: eng, frag: frag, pinCtx: pinCtx, condCtx: condCtx,
+		ctx: ctx, eng: eng, frag: frag, pinCtx: pinCtx, condCtx: condCtx,
 		example: example, stripLevels: strip,
 		cache: map[string]pans{}, stats: stats,
 		clearner: newCLearner(eng.graph, condCtx, frag.AnchorVar),
@@ -153,11 +155,16 @@ func (p *pLearner) condsHold(n *xmldoc.Node) bool {
 }
 
 // Member implements the L* membership oracle with the rule pipeline:
-// cache → R1 → R2 → ask the user about a representative node.
-func (p *pLearner) Member(w []string) bool {
+// cache → R1 → R2 → ask the user about a representative node. The
+// session context is checked before every query, so a cancellation
+// aborts the learner at the next MQ boundary.
+func (p *pLearner) Member(w []string) (bool, error) {
+	if err := ctxErr(p.ctx); err != nil {
+		return false, err
+	}
 	k := pathKey(w)
 	if a, ok := p.cache[k]; ok {
-		return a.ans
+		return a.ans, nil
 	}
 	nodes := p.eng.pathIndex[k]
 	r1 := p.eng.Opts.R1 && p.r1Applicable(w, nodes)
@@ -178,7 +185,7 @@ func (p *pLearner) Member(w []string) bool {
 			prov = provR2
 		}
 		p.cache[k] = pans{ans: false, prov: prov}
-		return false
+		return false, nil
 	}
 	// Ask the user. With no node at this path the user still has to
 	// dismiss the query (counts as an interaction; this is what R1
@@ -186,7 +193,7 @@ func (p *pLearner) Member(w []string) bool {
 	if len(nodes) == 0 {
 		p.stats.MQ++
 		p.cache[k] = pans{ans: false, prov: provAsked}
-		return false
+		return false, nil
 	}
 	m := nodes[0]
 	for _, n := range nodes {
@@ -195,13 +202,16 @@ func (p *pLearner) Member(w []string) bool {
 			break
 		}
 	}
-	ans := p.eng.Teacher.Member(p.frag, p.pinCtx, m)
+	ans, err := p.eng.Teacher.Member(p.ctx, p.frag, p.pinCtx, m)
+	if err != nil {
+		return false, fmt.Errorf("core: fragment %s: membership query: %w", p.frag.Var, err)
+	}
 	p.stats.MQ++
 	p.cache[k] = pans{ans: ans, prov: provAsked, node: m}
 	if ans {
 		p.addPositive(m)
 	}
-	return ans
+	return ans, nil
 }
 
 func (p *pLearner) r1Applicable(w []string, nodes []*xmldoc.Node) bool {
@@ -287,37 +297,51 @@ func sortByID(nodes []*xmldoc.Node) {
 // Equivalent implements the L* equivalence oracle at the extent level:
 // it keeps refining conditions (C-Learner / Condition Boxes) for the
 // fixed path hypothesis, returning to L* only with path counterexamples.
-func (p *pLearner) Equivalent(h *pathre.DFA) ([]string, bool) {
+func (p *pLearner) Equivalent(h *pathre.DFA) ([]string, bool, error) {
 	for iter := 0; iter <= p.eng.Opts.MaxEQ; iter++ {
+		if err := ctxErr(p.ctx); err != nil {
+			return nil, false, err
+		}
 		hyp := p.hypothesisExtent(h)
-		ce, positive, ok := p.eng.Teacher.Equivalent(p.frag, p.pinCtx, hyp)
+		ce, positive, ok, err := p.eng.Teacher.Equivalent(p.ctx, p.frag, p.pinCtx, hyp)
+		if err != nil {
+			return nil, false, fmt.Errorf("core: fragment %s: equivalence query: %w", p.frag.Var, err)
+		}
 		if ok {
 			p.learned = h
-			return nil, true
+			return nil, true, nil
 		}
 		p.stats.CE++
 		if ce == nil {
-			panic(fragmentAbort{fmt.Errorf("core: teacher rejected the extent without a counterexample")})
+			return nil, false, fmt.Errorf("core: fragment %s: %w", p.frag.Var, ErrNoCounterexample)
 		}
 		if positive {
-			if s := p.processPositive(h, ce); s != nil {
-				return s, false
+			s, err := p.processPositive(h, ce)
+			if err != nil {
+				return nil, false, err
+			}
+			if s != nil {
+				return s, false, nil
 			}
 			continue
 		}
-		if p.processNegative(h, ce) {
+		handled, err := p.processNegative(h, ce)
+		if err != nil {
+			return nil, false, err
+		}
+		if handled {
 			continue
 		}
-		return ce.Path(), false
+		return ce.Path(), false, nil
 	}
-	panic(fragmentAbort{fmt.Errorf("core: fragment %s exceeded %d equivalence queries", p.frag.Var, p.eng.Opts.MaxEQ)})
+	return nil, false, fmt.Errorf("core: fragment %s: %w (%d)", p.frag.Var, ErrMaxEQ, p.eng.Opts.MaxEQ)
 }
 
 // processPositive handles a node the user added to the extent. It may
 // weaken the learned conditions, correct cached path answers (possibly
-// restarting L*), and return a path counterexample for L* (nil if the
-// path hypothesis already accepts it).
-func (p *pLearner) processPositive(h *pathre.DFA, ce *xmldoc.Node) []string {
+// restarting L* via a restartErr), and return a path counterexample for
+// L* (nil if the path hypothesis already accepts it).
+func (p *pLearner) processPositive(h *pathre.DFA, ce *xmldoc.Node) ([]string, error) {
 	if p.structural && !p.relAnchor.IsAncestorOf(ce) {
 		// The extent reaches outside the context anchor's subtree: the
 		// binding is not navigational after all — fall back to a rooted
@@ -331,8 +355,8 @@ func (p *pLearner) processPositive(h *pathre.DFA, ce *xmldoc.Node) []string {
 		for _, pr := range p.explicit {
 			env := p.envFor(ce)
 			if !p.eng.eval.PredHolds(pr, env) {
-				panic(fragmentAbort{fmt.Errorf(
-					"core: positive counterexample violates the user-given condition %s", pr.Key())})
+				return nil, fmt.Errorf(
+					"core: positive counterexample violates the user-given condition %s", pr.Key())
 			}
 		}
 	}
@@ -342,24 +366,24 @@ func (p *pLearner) processPositive(h *pathre.DFA, ce *xmldoc.Node) []string {
 		// Section 8, rule R2: a positive counterexample whose last tag
 		// differs from the dropped example's refutes the last-tag
 		// assumption — discard the heuristic answers and relax.
-		p.backtrackR2(w, ce)
+		return nil, p.backtrackR2(w, ce)
 	}
 	if h.Accepts(w) {
-		return nil // condition-side counterexample only
+		return nil, nil // condition-side counterexample only
 	}
 	k := pathKey(w)
 	if a, ok := p.cache[k]; ok && !a.ans {
 		// The table holds a wrong No for this path: correct and restart.
 		p.cache[k] = pans{ans: true, prov: provCorrected, node: ce}
-		panic(restartLStar{reason: "corrected membership answer for " + strings.Join(w, "/")})
+		return nil, restartErr{reason: "corrected membership answer for " + strings.Join(w, "/")}
 	}
 	p.cache[k] = pans{ans: true, prov: provCE, node: ce}
-	return w
+	return w, nil
 }
 
 // backtrackR2 implements R2's backtracking: discard every heuristic
 // answer and relax the last-tag assumption, then restart L*.
-func (p *pLearner) backtrackR2(w []string, ce *xmldoc.Node) {
+func (p *pLearner) backtrackR2(w []string, ce *xmldoc.Node) error {
 	for k, a := range p.cache {
 		if a.prov == provR2 {
 			delete(p.cache, k)
@@ -367,33 +391,38 @@ func (p *pLearner) backtrackR2(w []string, ce *xmldoc.Node) {
 	}
 	p.cache[pathKey(w)] = pans{ans: true, prov: provCorrected, node: ce}
 	p.r2 = r2AnyTag
-	panic(restartLStar{reason: "R2 backtrack: positive counterexample ends with " + w[len(w)-1]})
+	return restartErr{reason: "R2 backtrack: positive counterexample ends with " + w[len(w)-1]}
 }
 
 // processNegative handles a node the user removed from the hypothesis
 // extent. It returns true when handled internally (Condition Box), or
 // false when the path hypothesis must shrink (L* counterexample; the
 // caller returns ce's path).
-func (p *pLearner) processNegative(h *pathre.DFA, ce *xmldoc.Node) bool {
+func (p *pLearner) processNegative(h *pathre.DFA, ce *xmldoc.Node) (bool, error) {
 	if p.positiveSharesPath(ce) {
 		// A positive shares this path: the path language is right, so a
 		// value condition outside the learnable family is missing —
 		// open a Condition Box (Section 9(3), triggered by the IHT
 		// inconsistency).
-		entries := p.eng.Teacher.ConditionBox(p.frag, ce)
-		if len(entries) == 0 {
-			panic(fragmentAbort{fmt.Errorf(
-				"core: fragment %s needs an explicit condition to exclude %s but the Condition Box was empty",
-				p.frag.Var, ce.PathString())})
+		entries, err := p.eng.Teacher.ConditionBox(p.ctx, p.frag, ce)
+		if err != nil {
+			return false, fmt.Errorf("core: fragment %s: Condition Box: %w", p.frag.Var, err)
 		}
-		p.applyBoxes(entries, ce)
-		return true
+		if len(entries) == 0 {
+			return false, fmt.Errorf(
+				"core: fragment %s needs an explicit condition to exclude %s: %w",
+				p.frag.Var, ce.PathString(), ErrEmptyConditionBox)
+		}
+		if err := p.applyBoxes(entries, ce); err != nil {
+			return false, err
+		}
+		return true, nil
 	}
 	if p.r2 == r2AnyTag {
 		p.r2 = r2Off // negative counterexample under the relaxed assumption
 	}
 	p.cache[pathKey(ce.Path())] = pans{ans: false, prov: provCE, node: ce}
-	return false
+	return false, nil
 }
 
 func (p *pLearner) envFor(n *xmldoc.Node) xq.Env {
@@ -408,7 +437,7 @@ func (p *pLearner) envFor(n *xmldoc.Node) xq.Env {
 
 // applyBoxes turns Condition Box entries into explicit predicates via
 // the data graph (the Figure 6 boxed subexpression derivation).
-func (p *pLearner) applyBoxes(entries []BoxEntry, ce *xmldoc.Node) {
+func (p *pLearner) applyBoxes(entries []BoxEntry, ce *xmldoc.Node) error {
 	for _, e := range entries {
 		p.stats.CB++
 		terms := e.Terms
@@ -421,11 +450,11 @@ func (p *pLearner) applyBoxes(entries []BoxEntry, ce *xmldoc.Node) {
 			continue
 		}
 		if e.Select == nil {
-			panic(fragmentAbort{fmt.Errorf("core: Condition Box entry without node or predicate")})
+			return fmt.Errorf("core: Condition Box entry without node or predicate")
 		}
 		condNode := e.Select(p.eng.Source, ce)
 		if condNode == nil {
-			panic(fragmentAbort{fmt.Errorf("core: Condition Box selector returned no node")})
+			return fmt.Errorf("core: Condition Box selector returned no node")
 		}
 		// PCB derives from the positive example's situation; NCB from the
 		// negative counterexample's.
@@ -440,25 +469,34 @@ func (p *pLearner) applyBoxes(entries []BoxEntry, ce *xmldoc.Node) {
 		scope[p.frag.AnchorVar] = p.anchor(situated)
 		link, ok := p.eng.graph.LinkCondition(scope, condNode)
 		if !ok {
-			panic(fragmentAbort{fmt.Errorf(
-				"core: cannot relate Condition Box node %s to the variables in scope", condNode.PathString())})
+			return fmt.Errorf(
+				"core: cannot relate Condition Box node %s to the variables in scope", condNode.PathString())
 		}
 		p.explicit = append(p.explicit, datagraph.BuildConditionPred(link, e.Op, e.Const, e.Negated))
 	}
+	return nil
 }
 
 // run drives L* (with restarts after corrections) and returns the
-// learned path DFA.
+// learned path DFA. A restartErr from the oracle callbacks rebuilds the
+// observation table (the cache replays every answered query, so no user
+// interaction is repeated); any other error is final.
 func (p *pLearner) run() (*pathre.DFA, error) {
 	const maxRestarts = 64
 	for attempt := 0; ; attempt++ {
-		d, stats, err := p.tryLStar()
+		learn := angluin.Learn
+		if p.eng.Opts.UseKVLearner {
+			learn = angluin.LearnKV
+		}
+		d, stats, err := learn(p.eng.alphabet, teacherAdapter{p},
+			angluin.WithInitialExample(p.example.Path()),
+			angluin.WithMaxEquivalenceQueries(p.eng.Opts.MaxEQ))
 		if err == nil {
 			p.stats.PathStates = stats.HypothesisStates
 			return d, nil
 		}
-		var r restartLStar
-		if asRestart(err, &r) {
+		var r restartErr
+		if errors.As(err, &r) {
 			p.stats.Restarts++
 			if attempt >= maxRestarts {
 				return nil, fmt.Errorf("core: fragment %s: too many L* restarts (last: %s)", p.frag.Var, r.reason)
@@ -469,43 +507,10 @@ func (p *pLearner) run() (*pathre.DFA, error) {
 	}
 }
 
-type restartErr struct{ r restartLStar }
-
-func (e restartErr) Error() string { return "restart: " + e.r.reason }
-
-func asRestart(err error, out *restartLStar) bool {
-	if re, ok := err.(restartErr); ok {
-		*out = re.r
-		return true
-	}
-	return false
-}
-
-func (p *pLearner) tryLStar() (d *pathre.DFA, st angluin.Stats, err error) {
-	defer func() {
-		switch r := recover().(type) {
-		case nil:
-		case restartLStar:
-			err = restartErr{r}
-		case fragmentAbort:
-			err = r.err
-		default:
-			panic(r)
-		}
-	}()
-	learn := angluin.Learn
-	if p.eng.Opts.UseKVLearner {
-		learn = angluin.LearnKV
-	}
-	return learn(p.eng.alphabet, teacherAdapter{p},
-		angluin.WithInitialExample(p.example.Path()),
-		angluin.WithMaxEquivalenceQueries(p.eng.Opts.MaxEQ))
-}
-
 // teacherAdapter exposes the pLearner as an angluin.Teacher.
 type teacherAdapter struct{ p *pLearner }
 
-func (t teacherAdapter) Member(w []string) bool { return t.p.Member(w) }
-func (t teacherAdapter) Equivalent(h *pathre.DFA) ([]string, bool) {
+func (t teacherAdapter) Member(w []string) (bool, error) { return t.p.Member(w) }
+func (t teacherAdapter) Equivalent(h *pathre.DFA) ([]string, bool, error) {
 	return t.p.Equivalent(h)
 }

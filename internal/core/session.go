@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/xmldoc"
+	"repro/internal/xq"
+)
+
+// SessionState is the lifecycle phase of a Session.
+type SessionState int
+
+const (
+	// SessionIdle: created, Learn not yet called.
+	SessionIdle SessionState = iota
+	// SessionLearning: a Learn call is in flight.
+	SessionLearning
+	// SessionDone: the last Learn succeeded; Result holds the query.
+	SessionDone
+	// SessionFailed: the last Learn returned an error.
+	SessionFailed
+)
+
+func (s SessionState) String() string {
+	switch s {
+	case SessionIdle:
+		return "idle"
+	case SessionLearning:
+		return "learning"
+	case SessionDone:
+		return "done"
+	case SessionFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// Session owns one learning dialogue: an Engine over one source
+// document, the Teacher answering its queries, and the lifecycle of the
+// resulting query and interaction statistics.
+//
+// Concurrency model: the session is the unit of concurrency. One
+// session serves one dialogue at a time (a second Learn while one is in
+// flight fails with ErrSessionBusy), and the Engine/Evaluator state
+// inside it is not goroutine-safe — but distinct Sessions share no
+// mutable state, even over the same source document (the engine's path
+// index and DFA caches are per-instance, and xmldoc documents are never
+// mutated after parsing), so any number of Sessions may learn in
+// parallel. See DESIGN.md, "Session lifecycle & concurrency model".
+type Session struct {
+	engine *Engine
+
+	mu     sync.Mutex
+	state  SessionState
+	cancel context.CancelFunc
+	tree   *xq.Tree
+	stats  *Stats
+	err    error
+}
+
+// NewSession builds a session over the source document. The teacher's
+// methods are called from the goroutine that calls Learn.
+func NewSession(source *xmldoc.Document, teacher Teacher, opts Options) *Session {
+	return &Session{engine: NewEngine(source, teacher, opts)}
+}
+
+// Engine exposes the session's engine (source document, options).
+func (s *Session) Engine() *Engine { return s.engine }
+
+// State reports the current lifecycle phase.
+func (s *Session) State() SessionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Learn runs one full learning dialogue. It derives a cancelable
+// sub-context so Cancel can abort a run without canceling the caller's
+// context. Calling Learn while another Learn is in flight returns
+// ErrSessionBusy; re-running a finished session is allowed and replaces
+// the stored result.
+func (s *Session) Learn(ctx context.Context, spec *TaskSpec) (*xq.Tree, *Stats, error) {
+	s.mu.Lock()
+	if s.state == SessionLearning {
+		s.mu.Unlock()
+		return nil, nil, ErrSessionBusy
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	s.state = SessionLearning
+	s.cancel = cancel
+	s.mu.Unlock()
+	defer cancel()
+
+	tree, stats, err := s.engine.Learn(runCtx, spec)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cancel = nil
+	s.tree, s.stats, s.err = tree, stats, err
+	if err != nil {
+		s.state = SessionFailed
+	} else {
+		s.state = SessionDone
+	}
+	return tree, stats, err
+}
+
+// Cancel aborts an in-flight Learn. It is a no-op when no Learn is
+// running, and safe to call from any goroutine (the typical caller is a
+// Teacher implementation or a signal handler).
+func (s *Session) Cancel() {
+	s.mu.Lock()
+	cancel := s.cancel
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Result returns the outcome of the last completed Learn: the learned
+// XQ-Tree, the interaction statistics, and the error (nil after a
+// successful run). All are nil/zero while the session is idle or
+// learning.
+func (s *Session) Result() (*xq.Tree, *Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree, s.stats, s.err
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/datagraph"
 	"repro/internal/dtd"
 	"repro/internal/xmldoc"
@@ -79,23 +81,30 @@ type FragmentRef struct {
 // Teacher is the minimally adequate teacher abstraction (Section 2)
 // plus the Section 9 explicit-specification boxes. The engine counts
 // every call to Member and every counterexample from Equivalent.
+//
+// Every method receives the session context and may return an error: a
+// canceled context, a closed interaction channel, an exhausted replay
+// log. Any teacher error aborts the session immediately and propagates
+// out of Engine.Learn wrapped, so callers can match it with
+// errors.Is/errors.As (context cancellations satisfy
+// errors.Is(err, context.Canceled)).
 type Teacher interface {
 	// Member answers a membership query: is n in the extent of the
-	// fragment under the given context?
-	Member(frag FragmentRef, ctx map[string]*xmldoc.Node, n *xmldoc.Node) bool
+	// fragment under the given pinned context?
+	Member(ctx context.Context, frag FragmentRef, pin map[string]*xmldoc.Node, n *xmldoc.Node) (bool, error)
 	// Equivalent answers an equivalence query on the highlighted
 	// hypothesis extent: ok reports acceptance; otherwise ce is a node
 	// from the symmetric difference and positive tells whether it
 	// belongs to the true extent.
-	Equivalent(frag FragmentRef, ctx map[string]*xmldoc.Node, hyp []*xmldoc.Node) (ce *xmldoc.Node, positive bool, ok bool)
+	Equivalent(ctx context.Context, frag FragmentRef, pin map[string]*xmldoc.Node, hyp []*xmldoc.Node) (ce *xmldoc.Node, positive bool, ok bool, err error)
 	// ConditionBox is invoked when the engine detects that the extent
 	// needs a condition outside the learnable family; ce is the
 	// offending negative counterexample (nil if unknown). Returning no
-	// entries aborts the fragment with an error.
-	ConditionBox(frag FragmentRef, ce *xmldoc.Node) []BoxEntry
+	// entries aborts the fragment with ErrEmptyConditionBox.
+	ConditionBox(ctx context.Context, frag FragmentRef, ce *xmldoc.Node) ([]BoxEntry, error)
 	// OrderBy supplies sort keys for the fragment (OrderBy Box); empty
 	// means none.
-	OrderBy(frag FragmentRef) []xq.SortKey
+	OrderBy(ctx context.Context, frag FragmentRef) ([]xq.SortKey, error)
 }
 
 // PathFilter answers rule R1's realizability question: is the label

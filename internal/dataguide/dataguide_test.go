@@ -1,6 +1,7 @@
 package dataguide
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -65,14 +66,14 @@ func TestGuideAsR1Filter(t *testing.T) {
 	guide := Build(s.Doc())
 	opts := core.DefaultOptions()
 	opts.R1Filter = guide
-	res, err := scenario.Run(s, opts, teacher.BestCase)
+	res, err := scenario.Run(context.Background(), s, opts, teacher.BestCase)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Verified {
 		t.Fatal("DataGuide-filtered learning failed to verify")
 	}
-	base, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+	base, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,10 @@ package dtd
 
 import (
 	"fmt"
+	"io"
 	"strings"
+
+	"repro/internal/must"
 )
 
 // Parse parses a DTD (a sequence of <!ELEMENT ...> and <!ATTLIST ...>
@@ -57,13 +60,21 @@ func Parse(src string) (*DTD, error) {
 	return d, nil
 }
 
-// MustParse parses src and panics on error. For embedded schemas.
-func MustParse(src string) *DTD {
-	d, err := Parse(src)
+// ParseReader reads a DTD from r, returning read errors as well as
+// syntax errors. Runtime input (schema files) comes through here or
+// Parse; neither ever panics.
+func ParseReader(r io.Reader) (*DTD, error) {
+	src, err := io.ReadAll(r)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("dtd: read: %w", err)
 	}
-	return d
+	return Parse(string(src))
+}
+
+// MustParse parses src and panics on error. For embedded schema
+// literals only; runtime input goes through Parse/ParseReader.
+func MustParse(src string) *DTD {
+	return must.Must(Parse(src))
 }
 
 type parser struct {

@@ -1,0 +1,62 @@
+package dtd
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// brokenReader fails after serving a prefix, simulating an unreadable
+// or truncated schema file.
+type brokenReader struct {
+	prefix string
+	err    error
+	served bool
+}
+
+func (r *brokenReader) Read(p []byte) (int, error) {
+	if !r.served && r.prefix != "" {
+		r.served = true
+		return copy(p, r.prefix), nil
+	}
+	return 0, r.err
+}
+
+func TestParseReaderUnreadable(t *testing.T) {
+	ioErr := errors.New("disk on fire")
+	_, err := ParseReader(&brokenReader{err: ioErr})
+	if !errors.Is(err, ioErr) {
+		t.Fatalf("ParseReader must wrap the read error, got %v", err)
+	}
+}
+
+func TestParseReaderFailsMidStream(t *testing.T) {
+	ioErr := errors.New("connection reset")
+	_, err := ParseReader(&brokenReader{prefix: "<!ELEMENT a (#PC", err: ioErr})
+	if !errors.Is(err, ioErr) {
+		t.Fatalf("mid-stream read error must surface, got %v", err)
+	}
+}
+
+func TestParseReaderOK(t *testing.T) {
+	d, err := ParseReader(strings.NewReader("<!ELEMENT a (#PCDATA)>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.RootName != "a" {
+		t.Fatalf("root = %q", d.RootName)
+	}
+}
+
+func TestParseTruncatedDecl(t *testing.T) {
+	for _, src := range []string{
+		"<!ELEMENT a (b, c",     // unterminated content model
+		"<!ELEMENT",             // name missing
+		"<!ATTLIST a id CDATA",  // attribute default missing
+		"<!ELEMENT a (#PCDATA)", // missing '>'
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) must fail", src)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/teacher"
+)
+
+// mixedScenarios picks ≥8 scenarios across the XMark and XMP suites for
+// the concurrency regression (one independent session each).
+func mixedScenarios(t *testing.T) []*scenario.Scenario {
+	t.Helper()
+	xmark := XMarkScenarios()
+	xmp := XMPScenarios()
+	if len(xmark) < 5 || len(xmp) < 4 {
+		t.Fatalf("suites too small: xmark=%d xmp=%d", len(xmark), len(xmp))
+	}
+	var mixed []*scenario.Scenario
+	mixed = append(mixed, xmark[:5]...)
+	mixed = append(mixed, xmp[:4]...)
+	return mixed
+}
+
+// TestParallelSessionsMatchSerial runs ≥8 independent learning sessions
+// in parallel goroutines and asserts each learns exactly the query the
+// serial run learns. Sessions share the scenario definitions (read-only)
+// but build their own document, teacher, and engine; this test is the
+// regression gate for that isolation and must pass under -race.
+func TestParallelSessionsMatchSerial(t *testing.T) {
+	scenarios := mixedScenarios(t)
+
+	serial := make([]*scenario.Result, len(scenarios))
+	for i, s := range scenarios {
+		res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
+		if err != nil {
+			t.Fatalf("serial %s: %v", s.ID, err)
+		}
+		serial[i] = res
+	}
+
+	parallel := make([]*scenario.Result, len(scenarios))
+	errs := make([]error, len(scenarios))
+	var wg sync.WaitGroup
+	for i, s := range scenarios {
+		wg.Add(1)
+		go func(i int, s *scenario.Scenario) {
+			defer wg.Done()
+			parallel[i], errs[i] = scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
+		}(i, s)
+	}
+	wg.Wait()
+
+	for i, s := range scenarios {
+		if errs[i] != nil {
+			t.Errorf("parallel %s: %v", s.ID, errs[i])
+			continue
+		}
+		if got, want := parallel[i].Tree.String(), serial[i].Tree.String(); got != want {
+			t.Errorf("%s: parallel session learned a different query\nparallel:\n%s\nserial:\n%s", s.ID, got, want)
+		}
+		if got, want := parallel[i].LearnedXML, serial[i].LearnedXML; got != want {
+			t.Errorf("%s: parallel result differs from serial", s.ID)
+		}
+		if !parallel[i].Verified {
+			t.Errorf("%s: parallel session failed verification", s.ID)
+		}
+		if got, want := parallel[i].Stats.Totals().MQ, serial[i].Stats.Totals().MQ; got != want {
+			t.Errorf("%s: interaction counts diverged: parallel MQ=%d serial MQ=%d", s.ID, got, want)
+		}
+	}
+}
+
+// TestRunFig16ParallelIdentical: the worker-pool runner must produce the
+// exact rows — and therefore byte-identical formatted tables — at any
+// pool width.
+func TestRunFig16ParallelIdentical(t *testing.T) {
+	opts := core.DefaultOptions()
+	serialRows, err := RunFig16(context.Background(), XMarkScenarios(), opts, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range []int{8} {
+		rows, err := RunFig16(context.Background(), XMarkScenarios(), opts, false, width)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", width, err)
+		}
+		got := FormatFig16("t", rows)
+		want := FormatFig16("t", serialRows)
+		if got != want {
+			t.Fatalf("parallel=%d table differs from serial:\n%s\nvs\n%s", width, got, want)
+		}
+	}
+}
+
+// TestRunAblationParallelIdentical mirrors the Fig16 check for the
+// ablation table.
+func TestRunAblationParallelIdentical(t *testing.T) {
+	serialRows, err := RunAblation(context.Background(), XMPScenarios()[:4], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunAblation(context.Background(), XMPScenarios()[:4], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatAblation(rows) != FormatAblation(serialRows) {
+		t.Fatal("parallel ablation table differs from serial")
+	}
+}
+
+// TestRunPoolErrorCancels: the first job error cancels the pool and is
+// the error returned.
+func TestRunPoolErrorCancels(t *testing.T) {
+	boom := context.DeadlineExceeded // any sentinel-ish error value
+	_, err := runPool(context.Background(), 16, 4, func(ctx context.Context, i int) (int, error) {
+		if i == 3 {
+			return 0, boom
+		}
+		<-ctx.Done() // jobs park until the failure cancels the pool
+		return i, nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want the first job error", err)
+	}
+}
+
+// TestRunPoolCanceledContext: a canceled caller context surfaces as the
+// pool error.
+func TestRunPoolCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := runPool(ctx, 4, 2, func(ctx context.Context, i int) (int, error) {
+		return i, ctx.Err()
+	})
+	if err == nil {
+		t.Fatal("canceled context must fail the pool")
+	}
+}
+
+// TestRunPoolOrder: results come back in index order regardless of
+// completion order.
+func TestRunPoolOrder(t *testing.T) {
+	got, err := runPool(context.Background(), 64, 8, func(ctx context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}

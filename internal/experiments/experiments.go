@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -42,12 +43,15 @@ type Fig16Row struct {
 // RunFig16 learns every scenario and collects the interaction counts.
 // When worst is true each scenario is additionally run under the
 // worst-case counterexample policy to fill the bracketed CE numbers.
-func RunFig16(scenarios []*scenario.Scenario, opts core.Options, worst bool) ([]Fig16Row, error) {
-	var rows []Fig16Row
-	for _, s := range scenarios {
-		res, err := scenario.Run(s, opts, teacher.BestCase)
+// parallel sets the worker-pool width (one independent learning session
+// per scenario per worker); values <= 1 run serially, and any width
+// yields identical rows because results are ordered by scenario index.
+func RunFig16(ctx context.Context, scenarios []*scenario.Scenario, opts core.Options, worst bool, parallel int) ([]Fig16Row, error) {
+	return runPool(ctx, len(scenarios), parallel, func(ctx context.Context, i int) (Fig16Row, error) {
+		s := scenarios[i]
+		res, err := scenario.Run(ctx, s, opts, teacher.BestCase)
 		if err != nil {
-			return nil, err
+			return Fig16Row{}, err
 		}
 		tot := res.Stats.Totals()
 		row := Fig16Row{
@@ -65,13 +69,14 @@ func RunFig16(scenarios []*scenario.Scenario, opts core.Options, worst bool) ([]
 			Verified: res.Verified,
 		}
 		if worst {
-			if wres, err := scenario.Run(s, opts, teacher.WorstCase); err == nil && wres.Verified {
+			if wres, err := scenario.Run(ctx, s, opts, teacher.WorstCase); err == nil && wres.Verified {
 				row.CEWorst = wres.Stats.Totals().CE
+			} else if ctx.Err() != nil {
+				return Fig16Row{}, ctx.Err()
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 func shortName(id string) string {
@@ -131,19 +136,21 @@ type AblationRow struct {
 }
 
 // RunAblation re-learns each scenario with the reduction rules toggled.
-func RunAblation(scenarios []*scenario.Scenario) ([]AblationRow, error) {
+// parallel bounds the worker pool (each scenario's four configurations
+// run on one worker, as four independent sessions).
+func RunAblation(ctx context.Context, scenarios []*scenario.Scenario, parallel int) ([]AblationRow, error) {
 	configs := []struct {
 		r1, r2 bool
 	}{{true, true}, {true, false}, {false, true}, {false, false}}
-	var rows []AblationRow
-	for _, s := range scenarios {
+	return runPool(ctx, len(scenarios), parallel, func(ctx context.Context, si int) (AblationRow, error) {
+		s := scenarios[si]
 		row := AblationRow{Query: shortName(s.ID), AllVerified: true}
 		for i, c := range configs {
 			opts := core.DefaultOptions()
 			opts.R1, opts.R2 = c.r1, c.r2
-			res, err := scenario.Run(s, opts, teacher.BestCase)
+			res, err := scenario.Run(ctx, s, opts, teacher.BestCase)
 			if err != nil {
-				return nil, fmt.Errorf("%s (R1=%v R2=%v): %w", s.ID, c.r1, c.r2, err)
+				return AblationRow{}, fmt.Errorf("%s (R1=%v R2=%v): %w", s.ID, c.r1, c.r2, err)
 			}
 			if !res.Verified {
 				row.AllVerified = false
@@ -160,9 +167,8 @@ func RunAblation(scenarios []*scenario.Scenario) ([]AblationRow, error) {
 				row.MQNone = mq
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // FormatAblation renders the ablation table.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -22,7 +23,7 @@ func TestFig15Format(t *testing.T) {
 }
 
 func TestFig16XMPShape(t *testing.T) {
-	rows, err := RunFig16(XMPScenarios(), core.DefaultOptions(), false)
+	rows, err := RunFig16(context.Background(), XMPScenarios(), core.DefaultOptions(), false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestFig16XMPShape(t *testing.T) {
 }
 
 func TestFig16WorstCaseBrackets(t *testing.T) {
-	rows, err := RunFig16(XMPScenarios()[:3], core.DefaultOptions(), true)
+	rows, err := RunFig16(context.Background(), XMPScenarios()[:3], core.DefaultOptions(), true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestFig16WorstCaseBrackets(t *testing.T) {
 }
 
 func TestAblationMonotonic(t *testing.T) {
-	rows, err := RunAblation(XMPScenarios()[:4])
+	rows, err := RunAblation(context.Background(), XMPScenarios()[:4], 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -21,7 +22,7 @@ func TestGoldenLearnedQueries(t *testing.T) {
 	for _, s := range allSuites() {
 		s := s
 		t.Run(s.ID, func(t *testing.T) {
-			res, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+			res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -57,11 +58,11 @@ func TestLearningDeterministic(t *testing.T) {
 				s = c
 			}
 		}
-		a, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+		a, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+		b, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"repro/internal/must"
 	"testing"
 
 	"repro/internal/core"
@@ -29,8 +31,8 @@ func TestTruthQueriesRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatalf("reparse failed: %v\n%s", err, src)
 			}
-			a := xmldoc.XMLString(xq.NewEvaluator(doc).Result(truth).DocNode())
-			b := xmldoc.XMLString(xq.NewEvaluator(doc).Result(back).DocNode())
+			a := xmldoc.XMLString(must.Must(xq.NewEvaluator(doc).Result(context.Background(), truth)).DocNode())
+			b := xmldoc.XMLString(must.Must(xq.NewEvaluator(doc).Result(context.Background(), back)).DocNode())
 			if a != b {
 				t.Fatalf("round trip changed semantics\norig: %.300s\nback: %.300s\nsrc:\n%s", a, b, src)
 			}
@@ -43,7 +45,7 @@ func TestLearnedQueriesRoundTrip(t *testing.T) {
 	for _, s := range allSuites() {
 		s := s
 		t.Run(s.ID, func(t *testing.T) {
-			res, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+			res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
 			if err != nil {
 				t.Fatalf("learn: %v", err)
 			}
@@ -53,7 +55,7 @@ func TestLearnedQueriesRoundTrip(t *testing.T) {
 				t.Fatalf("reparse failed: %v\n%s", perr, src)
 			}
 			doc := s.Doc()
-			b := xmldoc.XMLString(xq.NewEvaluator(doc).Result(back).DocNode())
+			b := xmldoc.XMLString(must.Must(xq.NewEvaluator(doc).Result(context.Background(), back)).DocNode())
 			if b != res.LearnedXML {
 				t.Fatalf("round trip changed semantics\norig: %.300s\nback: %.300s\nsrc:\n%s",
 					res.LearnedXML, b, src)
@@ -70,7 +72,7 @@ func TestLearnedResultsTypeCheck(t *testing.T) {
 	for _, s := range allSuites() {
 		s := s
 		t.Run(s.ID, func(t *testing.T) {
-			res, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+			res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -96,7 +98,7 @@ func TestKVLearnerAcrossSuites(t *testing.T) {
 	for _, s := range allSuites() {
 		s := s
 		t.Run(s.ID, func(t *testing.T) {
-			res, err := scenario.Run(s, opts, teacher.BestCase)
+			res, err := scenario.Run(context.Background(), s, opts, teacher.BestCase)
 			if err != nil {
 				t.Fatalf("KV learning failed: %v", err)
 			}

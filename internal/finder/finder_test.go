@@ -1,6 +1,7 @@
 package finder
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -92,7 +93,7 @@ func TestSelectTopDrivesLearning(t *testing.T) {
 			Select: SelectTop("wrench"),
 		}},
 	}
-	res, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+	res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
 	if err != nil {
 		t.Fatal(err)
 	}

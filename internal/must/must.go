@@ -1,0 +1,16 @@
+// Package must holds the single panic-on-error helper the repository
+// allows outside of true invariant checks. It exists so that embedded,
+// compile-time-constant inputs (benchmark instances, ground-truth
+// queries, schema literals) can be materialized without error plumbing,
+// while keeping every runtime input and I/O path on returned errors.
+package must
+
+// Must returns v, panicking if err is non-nil. It asserts the invariant
+// that an embedded literal parses; it must never be applied to external
+// input (files, flags, network data) — those paths return errors.
+func Must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

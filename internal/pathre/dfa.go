@@ -214,18 +214,27 @@ func (d *DFA) reachable() []bool {
 	return seen
 }
 
+// mustSameAlphabet panics unless both automata share an identical
+// alphabet. Every DFA in a learning session is built over the one
+// alphabet of its source document, so a mismatch is a programming error
+// (mixing automata from different sessions), not a recoverable input
+// condition — this is one of the repository's few allowed invariant
+// panics.
+func mustSameAlphabet(d, o *DFA, op string) {
+	same := len(d.Alphabet) == len(o.Alphabet)
+	for i := 0; same && i < len(d.Alphabet); i++ {
+		same = d.Alphabet[i] == o.Alphabet[i]
+	}
+	if !same {
+		panic("pathre: " + op + " requires identical alphabets")
+	}
+}
+
 // Distinguish searches for a shortest string on which d and o disagree.
 // Both automata must share the same alphabet. It returns (witness, true)
 // if the languages differ, or (nil, false) if they are equal.
 func (d *DFA) Distinguish(o *DFA) ([]string, bool) {
-	if len(d.Alphabet) != len(o.Alphabet) {
-		panic("pathre: Distinguish requires identical alphabets")
-	}
-	for i := range d.Alphabet {
-		if d.Alphabet[i] != o.Alphabet[i] {
-			panic("pathre: Distinguish requires identical alphabets")
-		}
-	}
+	mustSameAlphabet(d, o, "Distinguish")
 	type pair struct{ a, b int }
 	type entry struct {
 		p    pair
@@ -313,14 +322,7 @@ func (d *DFA) Complement() *DFA {
 // product builds the reachable product automaton with the given
 // acceptance combiner. Both automata must share the alphabet.
 func (d *DFA) product(o *DFA, accept func(a, b bool) bool) *DFA {
-	if len(d.Alphabet) != len(o.Alphabet) {
-		panic("pathre: product requires identical alphabets")
-	}
-	for i := range d.Alphabet {
-		if d.Alphabet[i] != o.Alphabet[i] {
-			panic("pathre: product requires identical alphabets")
-		}
-	}
+	mustSameAlphabet(d, o, "product")
 	type pair struct{ a, b int }
 	index := map[pair]int{}
 	var states []pair

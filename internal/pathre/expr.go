@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/must"
 )
 
 // Expr is a regular expression AST node over labels.
@@ -245,13 +247,10 @@ func ParsePath(s string) (Expr, error) {
 	return e, nil
 }
 
-// MustParsePath parses s and panics on error.
+// MustParsePath parses s and panics on error. For embedded literals
+// only; external input goes through ParsePath.
 func MustParsePath(s string) Expr {
-	e, err := ParsePath(s)
-	if err != nil {
-		panic(err)
-	}
-	return e
+	return must.Must(ParsePath(s))
 }
 
 type pparser struct {

@@ -22,6 +22,8 @@ package relaxng
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/must"
 )
 
 // Kind discriminates pattern constructors.
@@ -90,13 +92,10 @@ func Parse(src string) (*Schema, error) {
 	return s, nil
 }
 
-// MustParse parses src and panics on error.
+// MustParse parses src and panics on error. For embedded schema
+// literals only; runtime input goes through Parse.
 func MustParse(src string) *Schema {
-	s, err := Parse(src)
-	if err != nil {
-		panic(err)
-	}
-	return s
+	return must.Must(Parse(src))
 }
 
 type rparser struct {

@@ -1,6 +1,7 @@
 package relaxng
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -144,7 +145,7 @@ func TestAsR1Filter(t *testing.T) {
 	opts := core.DefaultOptions()
 	opts.R1Filter = s
 	eng := core.NewEngine(doc, sim, opts)
-	tree, stats, err := eng.Learn(&core.TaskSpec{
+	tree, stats, err := eng.Learn(context.Background(), &core.TaskSpec{
 		Target: mustDTD(`<!ELEMENT out (iname*)> <!ELEMENT iname (#PCDATA)>`),
 		Drops: []core.Drop{{
 			Path: "out/iname", Var: "x",

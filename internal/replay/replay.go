@@ -8,7 +8,9 @@
 package replay
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -18,6 +20,10 @@ import (
 	"repro/internal/xmldoc"
 	"repro/internal/xq"
 )
+
+// ErrUnanswered reports a question the log does not cover when the
+// Replayer has no Fallback teacher. Match it with errors.Is.
+var ErrUnanswered = errors.New("replay: the log does not answer this query")
 
 // Entry is one recorded interaction.
 type Entry struct {
@@ -147,12 +153,15 @@ func (r *Recorder) sig(n *xmldoc.Node) string {
 }
 
 // Member implements core.Teacher.
-func (r *Recorder) Member(frag core.FragmentRef, ctx map[string]*xmldoc.Node, n *xmldoc.Node) bool {
-	ans := r.Inner.Member(frag, ctx, n)
+func (r *Recorder) Member(ctx context.Context, frag core.FragmentRef, pin map[string]*xmldoc.Node, n *xmldoc.Node) (bool, error) {
+	ans, err := r.Inner.Member(ctx, frag, pin, n)
+	if err != nil {
+		return false, err
+	}
 	r.Log.Entries = append(r.Log.Entries, Entry{
 		Kind: "member", Frag: frag.Var, Node: r.sig(n), Answer: ans,
 	})
-	return ans
+	return ans, nil
 }
 
 func extentKey(sigs []string) string {
@@ -162,8 +171,11 @@ func extentKey(sigs []string) string {
 }
 
 // Equivalent implements core.Teacher.
-func (r *Recorder) Equivalent(frag core.FragmentRef, ctx map[string]*xmldoc.Node, hyp []*xmldoc.Node) (*xmldoc.Node, bool, bool) {
-	ce, positive, ok := r.Inner.Equivalent(frag, ctx, hyp)
+func (r *Recorder) Equivalent(ctx context.Context, frag core.FragmentRef, pin map[string]*xmldoc.Node, hyp []*xmldoc.Node) (*xmldoc.Node, bool, bool, error) {
+	ce, positive, ok, err := r.Inner.Equivalent(ctx, frag, pin, hyp)
+	if err != nil {
+		return nil, false, false, err
+	}
 	sigs := make([]string, len(hyp))
 	for i, n := range hyp {
 		sigs[i] = r.sig(n)
@@ -174,12 +186,15 @@ func (r *Recorder) Equivalent(frag core.FragmentRef, ctx map[string]*xmldoc.Node
 		e.CE, e.Positive = r.sig(ce), positive
 	}
 	r.Log.Entries = append(r.Log.Entries, e)
-	return ce, positive, ok
+	return ce, positive, ok, nil
 }
 
 // ConditionBox implements core.Teacher.
-func (r *Recorder) ConditionBox(frag core.FragmentRef, ce *xmldoc.Node) []core.BoxEntry {
-	entries := r.Inner.ConditionBox(frag, ce)
+func (r *Recorder) ConditionBox(ctx context.Context, frag core.FragmentRef, ce *xmldoc.Node) ([]core.BoxEntry, error) {
+	entries, err := r.Inner.ConditionBox(ctx, frag, ce)
+	if err != nil {
+		return nil, err
+	}
 	rec := Entry{Kind: "box", Frag: frag.Var, CE: r.sig(ce)}
 	for _, e := range entries {
 		br := BoxRecord{Op: string(e.Op), Const: e.Const, Negated: e.Negated, Terms: e.Terms}
@@ -193,7 +208,7 @@ func (r *Recorder) ConditionBox(frag core.FragmentRef, ce *xmldoc.Node) []core.B
 		rec.Boxes = append(rec.Boxes, br)
 	}
 	r.Log.Entries = append(r.Log.Entries, rec)
-	return entries
+	return entries, nil
 }
 
 func (r *Recorder) idxDoc() *xmldoc.Document {
@@ -205,14 +220,17 @@ func (r *Recorder) idxDoc() *xmldoc.Document {
 }
 
 // OrderBy implements core.Teacher.
-func (r *Recorder) OrderBy(frag core.FragmentRef) []xq.SortKey {
-	keys := r.Inner.OrderBy(frag)
+func (r *Recorder) OrderBy(ctx context.Context, frag core.FragmentRef) ([]xq.SortKey, error) {
+	keys, err := r.Inner.OrderBy(ctx, frag)
+	if err != nil {
+		return nil, err
+	}
 	rec := Entry{Kind: "orderby", Frag: frag.Var}
 	for _, k := range keys {
 		rec.Keys = append(rec.Keys, KeyRecord{Var: k.Var, Path: k.Path.String(), Descending: k.Descending})
 	}
 	r.Log.Entries = append(r.Log.Entries, rec)
-	return keys
+	return keys, nil
 }
 
 // Replayer answers from a log; unanswerable questions go to Fallback,
@@ -264,40 +282,40 @@ func (r *Replayer) sig(n *xmldoc.Node) string {
 func (r *Replayer) resolve(sig string) *xmldoc.Node { return r.idx.bySig[sig] }
 
 // Member implements core.Teacher.
-func (r *Replayer) Member(frag core.FragmentRef, ctx map[string]*xmldoc.Node, n *xmldoc.Node) bool {
+func (r *Replayer) Member(ctx context.Context, frag core.FragmentRef, pin map[string]*xmldoc.Node, n *xmldoc.Node) (bool, error) {
 	if ans, ok := r.members[frag.Var+"\x00"+r.sig(n)]; ok {
-		return ans
+		return ans, nil
 	}
 	r.Misses++
 	if r.Fallback != nil {
-		return r.Fallback.Member(frag, ctx, n)
+		return r.Fallback.Member(ctx, frag, pin, n)
 	}
-	panic(fmt.Sprintf("replay: unanswered membership query for $%s on %s", frag.Var, n.PathString()))
+	return false, fmt.Errorf("%w: membership of %s for $%s", ErrUnanswered, n.PathString(), frag.Var)
 }
 
 // Equivalent implements core.Teacher.
-func (r *Replayer) Equivalent(frag core.FragmentRef, ctx map[string]*xmldoc.Node, hyp []*xmldoc.Node) (*xmldoc.Node, bool, bool) {
+func (r *Replayer) Equivalent(ctx context.Context, frag core.FragmentRef, pin map[string]*xmldoc.Node, hyp []*xmldoc.Node) (*xmldoc.Node, bool, bool, error) {
 	sigs := make([]string, len(hyp))
 	for i, n := range hyp {
 		sigs[i] = r.sig(n)
 	}
 	if e, ok := r.equivs[frag.Var+"\x00"+extentKey(sigs)]; ok {
 		if e.OK {
-			return nil, false, true
+			return nil, false, true, nil
 		}
 		if ce := r.resolve(e.CE); ce != nil {
-			return ce, e.Positive, false
+			return ce, e.Positive, false, nil
 		}
 	}
 	r.Misses++
 	if r.Fallback != nil {
-		return r.Fallback.Equivalent(frag, ctx, hyp)
+		return r.Fallback.Equivalent(ctx, frag, pin, hyp)
 	}
-	panic(fmt.Sprintf("replay: unanswered equivalence query for $%s (%d nodes)", frag.Var, len(hyp)))
+	return nil, false, false, fmt.Errorf("%w: equivalence of a %d-node extent for $%s", ErrUnanswered, len(hyp), frag.Var)
 }
 
 // ConditionBox implements core.Teacher.
-func (r *Replayer) ConditionBox(frag core.FragmentRef, ce *xmldoc.Node) []core.BoxEntry {
+func (r *Replayer) ConditionBox(ctx context.Context, frag core.FragmentRef, ce *xmldoc.Node) ([]core.BoxEntry, error) {
 	if e, ok := r.boxes[frag.Var]; ok {
 		var out []core.BoxEntry
 		for _, br := range e.Boxes {
@@ -322,18 +340,18 @@ func (r *Replayer) ConditionBox(frag core.FragmentRef, ce *xmldoc.Node) []core.B
 			out = append(out, entry)
 		}
 		if len(out) > 0 {
-			return out
+			return out, nil
 		}
 	}
 	r.Misses++
 	if r.Fallback != nil {
-		return r.Fallback.ConditionBox(frag, ce)
+		return r.Fallback.ConditionBox(ctx, frag, ce)
 	}
-	return nil
+	return nil, nil
 }
 
 // OrderBy implements core.Teacher.
-func (r *Replayer) OrderBy(frag core.FragmentRef) []xq.SortKey {
+func (r *Replayer) OrderBy(ctx context.Context, frag core.FragmentRef) ([]xq.SortKey, error) {
 	if e, ok := r.orders[frag.Var]; ok {
 		var out []xq.SortKey
 		for _, k := range e.Keys {
@@ -343,10 +361,10 @@ func (r *Replayer) OrderBy(frag core.FragmentRef) []xq.SortKey {
 			}
 			out = append(out, xq.SortKey{Var: k.Var, Path: sp, Descending: k.Descending})
 		}
-		return out
+		return out, nil
 	}
 	if r.Fallback != nil {
-		return r.Fallback.OrderBy(frag)
+		return r.Fallback.OrderBy(ctx, frag)
 	}
-	return nil
+	return nil, nil
 }

@@ -2,6 +2,8 @@ package replay
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/core"
@@ -12,22 +14,25 @@ import (
 	"repro/internal/xq"
 )
 
-// failingTeacher panics on any question: replays must never reach it.
+// failingTeacher fails the test on any question: replays must never
+// reach it.
 type failingTeacher struct{ t *testing.T }
 
-func (f failingTeacher) Member(core.FragmentRef, map[string]*xmldoc.Node, *xmldoc.Node) bool {
+func (f failingTeacher) Member(context.Context, core.FragmentRef, map[string]*xmldoc.Node, *xmldoc.Node) (bool, error) {
 	f.t.Fatal("replayer consulted the user for a membership query")
-	return false
+	return false, nil
 }
-func (f failingTeacher) Equivalent(core.FragmentRef, map[string]*xmldoc.Node, []*xmldoc.Node) (*xmldoc.Node, bool, bool) {
+func (f failingTeacher) Equivalent(context.Context, core.FragmentRef, map[string]*xmldoc.Node, []*xmldoc.Node) (*xmldoc.Node, bool, bool, error) {
 	f.t.Fatal("replayer consulted the user for an equivalence query")
-	return nil, false, false
+	return nil, false, false, nil
 }
-func (f failingTeacher) ConditionBox(core.FragmentRef, *xmldoc.Node) []core.BoxEntry {
+func (f failingTeacher) ConditionBox(context.Context, core.FragmentRef, *xmldoc.Node) ([]core.BoxEntry, error) {
 	f.t.Fatal("replayer consulted the user for a Condition Box")
-	return nil
+	return nil, nil
 }
-func (f failingTeacher) OrderBy(core.FragmentRef) []xq.SortKey { return nil }
+func (f failingTeacher) OrderBy(context.Context, core.FragmentRef) ([]xq.SortKey, error) {
+	return nil, nil
+}
 
 // recordThenReplay learns the scenario twice: once recording against
 // the simulated teacher, once replaying with no teacher at all, and
@@ -49,7 +54,7 @@ func recordThenReplay(t *testing.T, id string) {
 	sim.Orders = s.Orders
 	rec := NewRecorder(doc, sim)
 	eng := core.NewEngine(doc, rec, core.DefaultOptions())
-	tree1, stats1, err := eng.Learn(&core.TaskSpec{Target: s.Target, Drops: s.Drops})
+	tree1, stats1, err := eng.Learn(context.Background(), &core.TaskSpec{Target: s.Target, Drops: s.Drops})
 	if err != nil {
 		t.Fatalf("recorded session: %v", err)
 	}
@@ -66,15 +71,23 @@ func recordThenReplay(t *testing.T, id string) {
 
 	rep := NewReplayer(doc, log, failingTeacher{t})
 	eng2 := core.NewEngine(doc, rep, core.DefaultOptions())
-	tree2, stats2, err := eng2.Learn(&core.TaskSpec{Target: s.Target, Drops: s.Drops})
+	tree2, stats2, err := eng2.Learn(context.Background(), &core.TaskSpec{Target: s.Target, Drops: s.Drops})
 	if err != nil {
 		t.Fatalf("replayed session: %v", err)
 	}
 	if rep.Misses != 0 {
 		t.Errorf("replay missed %d answers", rep.Misses)
 	}
-	a := xmldoc.XMLString(xq.NewEvaluator(doc).Result(tree1).DocNode())
-	b := xmldoc.XMLString(xq.NewEvaluator(doc).Result(tree2).DocNode())
+	d1, err := xq.NewEvaluator(doc).Result(context.Background(), tree1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := xq.NewEvaluator(doc).Result(context.Background(), tree2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := xmldoc.XMLString(d1.DocNode())
+	b := xmldoc.XMLString(d2.DocNode())
 	if a != b {
 		t.Fatalf("replayed session learned a different query:\n%s\nvs\n%s", a, b)
 	}
@@ -101,22 +114,30 @@ func TestReplayAcrossRegeneratedInstance(t *testing.T) {
 	sim.Boxes = s.Boxes
 	rec := NewRecorder(doc1, sim)
 	eng := core.NewEngine(doc1, rec, core.DefaultOptions())
-	if _, _, err := eng.Learn(&core.TaskSpec{Target: s.Target, Drops: s.Drops}); err != nil {
+	if _, _, err := eng.Learn(context.Background(), &core.TaskSpec{Target: s.Target, Drops: s.Drops}); err != nil {
 		t.Fatal(err)
 	}
 
 	doc2 := xmark.Generate(xmark.DefaultConfig()) // fresh instance, same shape
 	rep := NewReplayer(doc2, rec.Log, nil)
 	eng2 := core.NewEngine(doc2, rep, core.DefaultOptions())
-	tree, _, err := eng2.Learn(&core.TaskSpec{Target: s.Target, Drops: s.Drops})
+	tree, _, err := eng2.Learn(context.Background(), &core.TaskSpec{Target: s.Target, Drops: s.Drops})
 	if err != nil {
 		t.Fatalf("replay across instances: %v", err)
 	}
 	if rep.Misses != 0 {
 		t.Errorf("misses = %d", rep.Misses)
 	}
-	got := xmldoc.XMLString(xq.NewEvaluator(doc2).Result(tree).DocNode())
-	want := xmldoc.XMLString(xq.NewEvaluator(doc2).Result(s.Truth()).DocNode())
+	gd, err := xq.NewEvaluator(doc2).Result(context.Background(), tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, err := xq.NewEvaluator(doc2).Result(context.Background(), s.Truth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := xmldoc.XMLString(gd.DocNode())
+	want := xmldoc.XMLString(wd.DocNode())
 	if got != want {
 		t.Fatal("replayed query wrong on the regenerated instance")
 	}
@@ -132,7 +153,7 @@ func TestReplayFallback(t *testing.T) {
 	empty := &Log{}
 	rep := NewReplayer(doc, empty, sim)
 	eng := core.NewEngine(doc, rep, core.DefaultOptions())
-	if _, _, err := eng.Learn(&core.TaskSpec{Target: s.Target, Drops: s.Drops}); err != nil {
+	if _, _, err := eng.Learn(context.Background(), &core.TaskSpec{Target: s.Target, Drops: s.Drops}); err != nil {
 		t.Fatal(err)
 	}
 	if rep.Misses == 0 {
@@ -140,19 +161,17 @@ func TestReplayFallback(t *testing.T) {
 	}
 }
 
-// TestReplayNoFallbackPanics: with no fallback, an unanswerable
+// TestReplayNoFallbackErrors: with no fallback, an unanswerable
 // question is a hard error.
-func TestReplayNoFallbackPanics(t *testing.T) {
+func TestReplayNoFallbackErrors(t *testing.T) {
 	s := xmark.ScenarioByID("Q13")
 	doc := s.Doc()
 	rep := NewReplayer(doc, &Log{}, nil)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected a panic from the empty log")
-		}
-	}()
 	eng := core.NewEngine(doc, rep, core.DefaultOptions())
-	_, _, _ = eng.Learn(&core.TaskSpec{Target: s.Target, Drops: s.Drops})
+	_, _, err := eng.Learn(context.Background(), &core.TaskSpec{Target: s.Target, Drops: s.Drops})
+	if !errors.Is(err, ErrUnanswered) {
+		t.Fatalf("expected ErrUnanswered from the empty log, got %v", err)
+	}
 }
 
 func TestSignatureStability(t *testing.T) {

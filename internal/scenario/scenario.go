@@ -7,10 +7,12 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/dtd"
+	"repro/internal/must"
 	"repro/internal/teacher"
 	"repro/internal/xmldoc"
 	"repro/internal/xq"
@@ -51,38 +53,42 @@ type Result struct {
 }
 
 // Run learns the scenario with the given options and counterexample
-// policy and verifies the outcome.
-func Run(s *Scenario, opts core.Options, pol teacher.Policy) (*Result, error) {
+// policy and verifies the outcome. Each call builds a fresh document,
+// teacher, and session, so concurrent Runs share nothing mutable; the
+// context aborts the session when canceled.
+func Run(ctx context.Context, s *Scenario, opts core.Options, pol teacher.Policy) (*Result, error) {
 	doc := s.Doc()
 	truth := s.Truth()
 	sim := teacher.New(doc, truth)
 	sim.Pol = pol
 	sim.Boxes = s.Boxes
 	sim.Orders = s.Orders
-	eng := core.NewEngine(doc, sim, opts)
-	tree, stats, err := eng.Learn(&core.TaskSpec{Target: s.Target, Drops: s.Drops})
+	sess := core.NewSession(doc, sim, opts)
+	tree, stats, err := sess.Learn(ctx, &core.TaskSpec{Target: s.Target, Drops: s.Drops})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.ID, err)
 	}
-	learned := xq.NewEvaluator(doc)
-	truthEv := xq.NewEvaluator(doc)
+	learnedDoc, err := xq.NewEvaluator(doc).Result(ctx, tree)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: evaluate learned query: %w", s.ID, err)
+	}
+	truthDoc, err := xq.NewEvaluator(doc).Result(ctx, truth)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: evaluate ground truth: %w", s.ID, err)
+	}
 	res := &Result{
 		Scenario:   s,
 		Tree:       tree,
 		Stats:      stats,
-		LearnedXML: xmldoc.XMLString(learned.Result(tree).DocNode()),
-		TruthXML:   xmldoc.XMLString(truthEv.Result(truth).DocNode()),
+		LearnedXML: xmldoc.XMLString(learnedDoc.DocNode()),
+		TruthXML:   xmldoc.XMLString(truthDoc.DocNode()),
 	}
 	res.Verified = res.LearnedXML == res.TruthXML
 	return res, nil
 }
 
 // MustRun runs with default options and best-case policy, panicking on
-// error (for examples).
+// error (for examples over embedded scenarios only).
 func MustRun(s *Scenario) *Result {
-	r, err := Run(s, core.DefaultOptions(), teacher.BestCase)
-	if err != nil {
-		panic(err)
-	}
-	return r
+	return must.Must(Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase))
 }

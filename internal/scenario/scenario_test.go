@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -30,7 +31,7 @@ func tiny() *Scenario {
 }
 
 func TestRunVerifies(t *testing.T) {
-	res, err := Run(tiny(), core.DefaultOptions(), teacher.BestCase)
+	res, err := Run(context.Background(), tiny(), core.DefaultOptions(), teacher.BestCase)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,8 @@
 package teacher
 
 import (
+	"context"
+	"fmt"
 	"strings"
 
 	"repro/internal/core"
@@ -56,37 +58,44 @@ func New(doc *xmldoc.Document, truth *xq.Tree) *Sim {
 }
 
 // extent computes the true extent for a fragment in the given context.
-func (s *Sim) extent(frag core.FragmentRef, ctx map[string]*xmldoc.Node) []*xmldoc.Node {
+func (s *Sim) extent(ctx context.Context, frag core.FragmentRef, pin map[string]*xmldoc.Node) ([]*xmldoc.Node, error) {
 	n := s.Truth.VarNode(frag.Var)
 	if n == nil {
-		panic("teacher: ground truth has no variable $" + frag.Var)
+		return nil, fmt.Errorf("teacher: ground truth has no variable $%s", frag.Var)
 	}
 	pinned := xq.Env{}
-	for k, v := range ctx {
+	for k, v := range pin {
 		// Pin only variables the truth tree actually binds on this
 		// fragment's chain.
 		if s.Truth.VarNode(k) != nil {
 			pinned[k] = v
 		}
 	}
-	return s.ev.Extent(s.Truth, n, pinned)
+	return s.ev.Extent(ctx, s.Truth, n, pinned)
 }
 
 // Member implements core.Teacher.
-func (s *Sim) Member(frag core.FragmentRef, ctx map[string]*xmldoc.Node, n *xmldoc.Node) bool {
+func (s *Sim) Member(ctx context.Context, frag core.FragmentRef, pin map[string]*xmldoc.Node, n *xmldoc.Node) (bool, error) {
 	s.Interactions++
-	for _, m := range s.extent(frag, ctx) {
+	ext, err := s.extent(ctx, frag, pin)
+	if err != nil {
+		return false, err
+	}
+	for _, m := range ext {
 		if m == n {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
 // Equivalent implements core.Teacher.
-func (s *Sim) Equivalent(frag core.FragmentRef, ctx map[string]*xmldoc.Node, hyp []*xmldoc.Node) (*xmldoc.Node, bool, bool) {
+func (s *Sim) Equivalent(ctx context.Context, frag core.FragmentRef, pin map[string]*xmldoc.Node, hyp []*xmldoc.Node) (*xmldoc.Node, bool, bool, error) {
 	s.Interactions++
-	truth := s.extent(frag, ctx)
+	truth, err := s.extent(ctx, frag, pin)
+	if err != nil {
+		return nil, false, false, err
+	}
 	inHyp := map[int]bool{}
 	for _, n := range hyp {
 		inHyp[n.ID] = true
@@ -107,10 +116,10 @@ func (s *Sim) Equivalent(frag core.FragmentRef, ctx map[string]*xmldoc.Node, hyp
 		}
 	}
 	if len(pos) == 0 && len(neg) == 0 {
-		return nil, false, true
+		return nil, false, true, nil
 	}
 	ce, positive := s.pick(pos, neg)
-	return ce, positive, false
+	return ce, positive, false, nil
 }
 
 func (s *Sim) pick(pos, neg []*xmldoc.Node) (*xmldoc.Node, bool) {
@@ -143,19 +152,19 @@ func (s *Sim) pick(pos, neg []*xmldoc.Node) (*xmldoc.Node, bool) {
 
 // ConditionBox implements core.Teacher: it serves the scenario's
 // pre-declared entries for the fragment, once.
-func (s *Sim) ConditionBox(frag core.FragmentRef, ce *xmldoc.Node) []core.BoxEntry {
+func (s *Sim) ConditionBox(ctx context.Context, frag core.FragmentRef, ce *xmldoc.Node) ([]core.BoxEntry, error) {
 	if s.boxesServed[frag.Var] {
-		return nil
+		return nil, nil
 	}
 	s.boxesServed[frag.Var] = true
 	entries := s.Boxes[frag.Var]
 	s.Interactions += len(entries)
-	return entries
+	return entries, nil
 }
 
 // OrderBy implements core.Teacher.
-func (s *Sim) OrderBy(frag core.FragmentRef) []xq.SortKey {
-	return s.Orders[frag.Var]
+func (s *Sim) OrderBy(ctx context.Context, frag core.FragmentRef) ([]xq.SortKey, error) {
+	return s.Orders[frag.Var], nil
 }
 
 // SelectByText returns a node selector finding the first node with the

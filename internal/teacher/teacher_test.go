@@ -1,6 +1,8 @@
 package teacher
 
 import (
+	"context"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -24,16 +26,18 @@ func truth() *xq.Tree {
 
 func frag() core.FragmentRef { return core.FragmentRef{Var: "x", AnchorVar: "x"} }
 
+func ctx() context.Context { return context.Background() }
+
 func TestMember(t *testing.T) {
 	d := xmldoc.MustParse(doc)
 	s := New(d, truth())
 	n := d.NodesWithLabel("n")[0]
-	if !s.Member(frag(), nil, n) {
-		t.Fatal("n is in the extent")
+	if in, err := s.Member(ctx(), frag(), nil, n); err != nil || !in {
+		t.Fatalf("n is in the extent (in=%v err=%v)", in, err)
 	}
 	a := d.NodesWithLabel("a")[0]
-	if s.Member(frag(), nil, a) {
-		t.Fatal("a is not in the extent")
+	if in, err := s.Member(ctx(), frag(), nil, a); err != nil || in {
+		t.Fatalf("a is not in the extent (in=%v err=%v)", in, err)
 	}
 	if s.Interactions != 2 {
 		t.Fatalf("interactions = %d", s.Interactions)
@@ -44,8 +48,8 @@ func TestEquivalentAccepts(t *testing.T) {
 	d := xmldoc.MustParse(doc)
 	s := New(d, truth())
 	hyp := d.NodesWithLabel("n")
-	if _, _, ok := s.Equivalent(frag(), nil, hyp); !ok {
-		t.Fatal("exact extent must be accepted")
+	if _, _, ok, err := s.Equivalent(ctx(), frag(), nil, hyp); err != nil || !ok {
+		t.Fatalf("exact extent must be accepted (ok=%v err=%v)", ok, err)
 	}
 }
 
@@ -55,15 +59,15 @@ func TestEquivalentCounterexamples(t *testing.T) {
 	ns := d.NodesWithLabel("n")
 
 	// Missing node: positive counterexample.
-	ce, positive, ok := s.Equivalent(frag(), nil, ns[:2])
-	if ok || !positive || ce != ns[2] {
-		t.Fatalf("positive ce = %v positive=%v ok=%v", ce, positive, ok)
+	ce, positive, ok, err := s.Equivalent(ctx(), frag(), nil, ns[:2])
+	if err != nil || ok || !positive || ce != ns[2] {
+		t.Fatalf("positive ce = %v positive=%v ok=%v err=%v", ce, positive, ok, err)
 	}
 	// Extra node: negative counterexample.
 	extra := append(append([]*xmldoc.Node{}, ns...), d.NodesWithLabel("a")[0])
-	ce, positive, ok = s.Equivalent(frag(), nil, extra)
-	if ok || positive || ce == nil || ce.Name != "a" {
-		t.Fatalf("negative ce = %v positive=%v ok=%v", ce, positive, ok)
+	ce, positive, ok, err = s.Equivalent(ctx(), frag(), nil, extra)
+	if err != nil || ok || positive || ce == nil || ce.Name != "a" {
+		t.Fatalf("negative ce = %v positive=%v ok=%v err=%v", ce, positive, ok, err)
 	}
 }
 
@@ -72,12 +76,18 @@ func TestPolicies(t *testing.T) {
 	s := New(d, truth())
 	ns := d.NodesWithLabel("n")
 	// Two missing positives: best-case picks document order (first).
-	ce, _, _ := s.Equivalent(frag(), nil, ns[:1])
+	ce, _, _, err := s.Equivalent(ctx(), frag(), nil, ns[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ce != ns[1] {
 		t.Fatalf("best case picked %v", ce.PathString())
 	}
 	s.Pol = WorstCase
-	ce, _, _ = s.Equivalent(frag(), nil, ns[:1])
+	ce, _, _, err = s.Equivalent(ctx(), frag(), nil, ns[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ce != ns[2] {
 		t.Fatalf("worst case picked %v", ce.PathString())
 	}
@@ -89,12 +99,18 @@ func TestBestCasePrefersPositive(t *testing.T) {
 	ns := d.NodesWithLabel("n")
 	// Hypothesis missing ns[2] and containing a wrong node.
 	hyp := []*xmldoc.Node{ns[0], ns[1], d.NodesWithLabel("a")[0]}
-	_, positive, _ := s.Equivalent(frag(), nil, hyp)
+	_, positive, _, err := s.Equivalent(ctx(), frag(), nil, hyp)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !positive {
 		t.Fatal("best case must prefer the positive counterexample")
 	}
 	s.Pol = WorstCase
-	_, positive, _ = s.Equivalent(frag(), nil, hyp)
+	_, positive, _, err = s.Equivalent(ctx(), frag(), nil, hyp)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if positive {
 		t.Fatal("worst case must prefer the negative counterexample")
 	}
@@ -104,23 +120,35 @@ func TestConditionBoxServedOnce(t *testing.T) {
 	d := xmldoc.MustParse(doc)
 	s := New(d, truth())
 	s.Boxes = map[string][]core.BoxEntry{"x": {{Op: xq.OpEq, Const: "1"}}}
-	if got := s.ConditionBox(frag(), nil); len(got) != 1 {
-		t.Fatalf("first call = %d entries", len(got))
+	if got, err := s.ConditionBox(ctx(), frag(), nil); err != nil || len(got) != 1 {
+		t.Fatalf("first call = %d entries, err=%v", len(got), err)
 	}
-	if got := s.ConditionBox(frag(), nil); len(got) != 0 {
+	if got, err := s.ConditionBox(ctx(), frag(), nil); err != nil || len(got) != 0 {
 		t.Fatal("second call must be empty (one-shot)")
 	}
 }
 
-func TestUnknownVariablePanics(t *testing.T) {
+func TestUnknownVariableErrors(t *testing.T) {
 	d := xmldoc.MustParse(doc)
 	s := New(d, truth())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown fragment variable must panic")
-		}
-	}()
-	s.Member(core.FragmentRef{Var: "zzz", AnchorVar: "zzz"}, nil, d.Root())
+	_, err := s.Member(ctx(), core.FragmentRef{Var: "zzz", AnchorVar: "zzz"}, nil, d.Root())
+	if err == nil || !strings.Contains(err.Error(), "zzz") {
+		t.Fatalf("unknown fragment variable must error, got %v", err)
+	}
+	_, _, _, err = s.Equivalent(ctx(), core.FragmentRef{Var: "zzz", AnchorVar: "zzz"}, nil, nil)
+	if err == nil {
+		t.Fatal("unknown fragment variable must error on EQ too")
+	}
+}
+
+func TestMemberCanceled(t *testing.T) {
+	d := xmldoc.MustParse(doc)
+	s := New(d, truth())
+	c, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Member(c, frag(), nil, d.NodesWithLabel("n")[0]); err == nil {
+		t.Fatal("canceled context must propagate as an error")
+	}
 }
 
 func TestSelectors(t *testing.T) {
@@ -144,11 +172,11 @@ func TestSelectors(t *testing.T) {
 func TestOrderBy(t *testing.T) {
 	d := xmldoc.MustParse(doc)
 	s := New(d, truth())
-	if got := s.OrderBy(frag()); got != nil {
-		t.Fatalf("no orders configured, got %v", got)
+	if got, err := s.OrderBy(ctx(), frag()); err != nil || got != nil {
+		t.Fatalf("no orders configured, got %v (err=%v)", got, err)
 	}
 	s.Orders = map[string][]xq.SortKey{"x": {{Var: "x"}}}
-	if got := s.OrderBy(frag()); len(got) != 1 {
-		t.Fatalf("orders = %v", got)
+	if got, err := s.OrderBy(ctx(), frag()); err != nil || len(got) != 1 {
+		t.Fatalf("orders = %v (err=%v)", got, err)
 	}
 }

@@ -1,6 +1,7 @@
 package ucr
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -35,7 +36,7 @@ func TestLearnAllScenarios(t *testing.T) {
 	for _, s := range Scenarios() {
 		s := s
 		t.Run(s.ID, func(t *testing.T) {
-			res, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+			res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
 			if err != nil {
 				t.Fatalf("learning failed: %v", err)
 			}

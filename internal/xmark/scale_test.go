@@ -1,6 +1,7 @@
 package xmark
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -44,7 +45,7 @@ func TestLearningAtLargerScale(t *testing.T) {
 			Target: base.Target, Truth: base.Truth,
 			Drops: base.Drops, Boxes: base.Boxes, Orders: base.Orders,
 		}
-		res, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+		res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
 		if err != nil {
 			t.Fatalf("%s at 2x+ scale: %v", id, err)
 		}

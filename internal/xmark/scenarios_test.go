@@ -1,6 +1,8 @@
 package xmark
 
 import (
+	"context"
+	"repro/internal/must"
 	"testing"
 
 	"repro/internal/core"
@@ -47,7 +49,7 @@ func TestScenarioTruthsEvaluate(t *testing.T) {
 		res := s.Truth()
 		doc := s.Doc()
 		ev := newEval(doc)
-		out := ev.Result(res)
+		out := must.Must(ev.Result(context.Background(), res))
 		if out.Root() == nil {
 			t.Errorf("%s: truth evaluates to an empty document", s.ID)
 		}
@@ -61,7 +63,7 @@ func TestLearnAllScenarios(t *testing.T) {
 	for _, s := range Scenarios() {
 		s := s
 		t.Run(s.ID, func(t *testing.T) {
-			res, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+			res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
 			if err != nil {
 				t.Fatalf("learning failed: %v", err)
 			}

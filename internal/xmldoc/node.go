@@ -112,13 +112,24 @@ func (d *Document) NodeByID(id int) *Node {
 // including the document node).
 func (d *Document) NumNodes() int { return len(d.nodes) }
 
+// invariant panics with the formatted message. The Document mutation
+// API treats structurally impossible requests — children under text
+// nodes, cross-document parents, importing a document node — as
+// programmer errors rather than recoverable input conditions: every
+// call site passes nodes the caller just created or walked, so a bad
+// kind can only come from a code bug. This is one of the repository's
+// few allowed invariant panics.
+func invariant(format string, args ...any) {
+	panic("xmldoc: " + fmt.Sprintf(format, args...))
+}
+
 // CreateElement appends a new element named name under parent and
 // returns it. parent must belong to this document and be the document
 // node or an element.
 func (d *Document) CreateElement(parent *Node, name string) *Node {
 	d.checkParent(parent)
 	if parent.Kind != DocumentNode && parent.Kind != ElementNode {
-		panic(fmt.Sprintf("xmldoc: cannot add element under %s node", parent.Kind))
+		invariant("cannot add element under %s node", parent.Kind)
 	}
 	n := d.newNode(ElementNode, name, "")
 	n.Parent = parent
@@ -131,7 +142,7 @@ func (d *Document) CreateElement(parent *Node, name string) *Node {
 func (d *Document) CreateAttr(el *Node, name, value string) *Node {
 	d.checkParent(el)
 	if el.Kind != ElementNode {
-		panic(fmt.Sprintf("xmldoc: cannot add attribute to %s node", el.Kind))
+		invariant("cannot add attribute to %s node", el.Kind)
 	}
 	n := d.newNode(AttributeNode, name, value)
 	n.Parent = el
@@ -144,7 +155,7 @@ func (d *Document) CreateAttr(el *Node, name, value string) *Node {
 func (d *Document) CreateText(el *Node, value string) *Node {
 	d.checkParent(el)
 	if el.Kind != ElementNode {
-		panic(fmt.Sprintf("xmldoc: cannot add text to %s node", el.Kind))
+		invariant("cannot add text to %s node", el.Kind)
 	}
 	n := d.newNode(TextNode, "", value)
 	n.Parent = el
@@ -154,7 +165,7 @@ func (d *Document) CreateText(el *Node, value string) *Node {
 
 func (d *Document) checkParent(p *Node) {
 	if p == nil || p.doc != d {
-		panic("xmldoc: parent node does not belong to this document")
+		invariant("parent node does not belong to this document")
 	}
 }
 
@@ -401,7 +412,8 @@ func (d *Document) ImportSubtree(parent *Node, src *Node) *Node {
 		}
 		return el
 	default:
-		panic("xmldoc: cannot import a document node")
+		invariant("cannot import a document node")
+		return nil
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/must"
 )
 
 // Parse reads an XML document from r into the data model. Whitespace-only
@@ -66,11 +68,9 @@ func ParseString(s string) (*Document, error) {
 	return Parse(strings.NewReader(s))
 }
 
-// MustParse parses s and panics on error. For tests and embedded data.
+// MustParse parses s and panics on error. For tests and embedded data
+// only; runtime input (files, readers) goes through Parse or
+// ParseString, which return the error.
 func MustParse(s string) *Document {
-	d, err := ParseString(s)
-	if err != nil {
-		panic(err)
-	}
-	return d
+	return must.Must(ParseString(s))
 }

@@ -1,0 +1,51 @@
+package xmldoc
+
+import (
+	"errors"
+	"testing"
+)
+
+// brokenReader fails after serving a prefix, simulating an unreadable
+// or truncated document.
+type brokenReader struct {
+	prefix string
+	err    error
+	served bool
+}
+
+func (r *brokenReader) Read(p []byte) (int, error) {
+	if !r.served && r.prefix != "" {
+		r.served = true
+		return copy(p, r.prefix), nil
+	}
+	return 0, r.err
+}
+
+func TestParseUnreadable(t *testing.T) {
+	ioErr := errors.New("permission denied")
+	_, err := Parse(&brokenReader{err: ioErr})
+	if !errors.Is(err, ioErr) {
+		t.Fatalf("Parse must wrap the read error, got %v", err)
+	}
+}
+
+func TestParseFailsMidStream(t *testing.T) {
+	ioErr := errors.New("connection reset")
+	_, err := Parse(&brokenReader{prefix: "<site><regions><item>", err: ioErr})
+	if !errors.Is(err, ioErr) {
+		t.Fatalf("mid-stream read error must surface, got %v", err)
+	}
+}
+
+func TestParseTruncatedDocument(t *testing.T) {
+	for _, src := range []string{
+		"<a><b>text</b>", // unclosed root
+		"<a></a></b>",    // unbalanced close
+		"",               // empty input
+		"   ",            // whitespace only
+	} {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q) must fail", src)
+		}
+	}
+}

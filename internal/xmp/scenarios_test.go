@@ -1,6 +1,7 @@
 package xmp
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -40,7 +41,7 @@ func TestLearnAllScenarios(t *testing.T) {
 	for _, s := range Scenarios() {
 		s := s
 		t.Run(s.ID, func(t *testing.T) {
-			res, err := scenario.Run(s, core.DefaultOptions(), teacher.BestCase)
+			res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
 			if err != nil {
 				t.Fatalf("learning failed: %v", err)
 			}

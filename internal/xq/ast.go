@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/must"
 	"repro/internal/pathre"
 )
 
@@ -69,13 +70,10 @@ func ParseSimplePath(s string) (SimplePath, error) {
 	return out, nil
 }
 
-// MustParseSimplePath parses s and panics on error.
+// MustParseSimplePath parses s and panics on error. For embedded
+// literals only; runtime input goes through ParseSimplePath.
 func MustParseSimplePath(s string) SimplePath {
-	p, err := ParseSimplePath(s)
-	if err != nil {
-		panic(err)
-	}
-	return p
+	return must.Must(ParseSimplePath(s))
 }
 
 // String renders the path in a[1]/b/@c syntax; the empty path is ".".

@@ -2,6 +2,7 @@ package xq
 
 import (
 	"math/rand"
+	"repro/internal/must"
 	"testing"
 
 	"repro/internal/pathre"
@@ -198,12 +199,12 @@ func TestCollapsePreservesSemantics(t *testing.T) {
 	// connected by 1-labeled edges does not change the query result").
 	tr := x0StarPlusTree()
 	ev := NewEvaluator(figure4Doc())
-	before := tr.XQueryResultString(ev)
+	before := must.Must(tr.XQueryResultString(ev))
 
 	n1, n11 := tr.Root, tr.Root.Children[0]
 	m := Collapse(n1, n11)
 	collapsed := NewTree(m)
-	after := collapsed.XQueryResultString(ev)
+	after := must.Must(collapsed.XQueryResultString(ev))
 	if before != after {
 		t.Fatalf("collapse changed the result:\nbefore %s\nafter  %s", before, after)
 	}

@@ -1,6 +1,7 @@
 package xq
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -9,6 +10,15 @@ import (
 	"repro/internal/pathre"
 	"repro/internal/xmldoc"
 )
+
+// ctxErr reports a context cancellation as a wrapped error, so callers
+// can match it with errors.Is(err, context.Canceled) or DeadlineExceeded.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("xq: evaluation canceled: %w", err)
+	}
+	return nil
+}
 
 // Value is an evaluation result item: a node's typed value or a
 // computed atomic.
@@ -392,34 +402,44 @@ func (e *Evaluator) sortByKeys(nodes []*xmldoc.Node, keys []SortKey) []*xmldoc.N
 // Extent computes EXT_{e,context}: the nodes bound to n.Var over all
 // satisfying assignments of n's binding chain, with the variables in
 // pinned fixed to the given nodes (paper Section 4.2). The result is
-// deduplicated and in document order.
-func (e *Evaluator) Extent(t *Tree, n *Node, pinned Env) []*xmldoc.Node {
+// deduplicated and in document order. The context is checked at every
+// level of the binding enumeration, so a cancellation aborts promptly
+// even on large instances.
+func (e *Evaluator) Extent(ctx context.Context, t *Tree, n *Node, pinned Env) ([]*xmldoc.Node, error) {
 	if n.Var == "" {
-		panic(fmt.Sprintf("xq: Extent of %s which binds no variable", n.Name()))
+		return nil, fmt.Errorf("xq: Extent of %s which binds no variable", n.Name())
 	}
 	chain := n.BindingChain()
 	seen := map[int]bool{}
 	var out []*xmldoc.Node
-	var rec func(i int, env Env)
-	rec = func(i int, env Env) {
+	var rec func(i int, env Env) error
+	rec = func(i int, env Env) error {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		if i == len(chain) {
 			b := env[n.Var]
 			if !seen[b.ID] {
 				seen[b.ID] = true
 				out = append(out, b)
 			}
-			return
+			return nil
 		}
 		node := chain[i]
 		for _, b := range e.bindings(node, env, pinned) {
 			inner := env.clone()
 			inner[node.Var] = b
-			rec(i+1, inner)
+			if err := rec(i+1, inner); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	rec(0, Env{})
+	if err := rec(0, Env{}); err != nil {
+		return nil, err
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return out, nil
 }
 
 // Assignments enumerates every satisfying assignment of n's strict
@@ -427,7 +447,7 @@ func (e *Evaluator) Extent(t *Tree, n *Node, pinned Env) []*xmldoc.Node {
 // clauses applied). The returned environments do not bind n's own
 // variable. A node with no binding ancestors yields one empty
 // environment.
-func (e *Evaluator) Assignments(t *Tree, n *Node) []Env {
+func (e *Evaluator) Assignments(ctx context.Context, t *Tree, n *Node) ([]Env, error) {
 	chain := n.BindingChain()
 	if n.Var != "" && len(chain) > 0 {
 		chain = chain[:len(chain)-1]
@@ -436,6 +456,9 @@ func (e *Evaluator) Assignments(t *Tree, n *Node) []Env {
 	for _, node := range chain {
 		var next []Env
 		for _, env := range out {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
 			for _, b := range e.bindings(node, env, nil) {
 				inner := env.clone()
 				inner[node.Var] = b
@@ -444,47 +467,62 @@ func (e *Evaluator) Assignments(t *Tree, n *Node) []Env {
 		}
 		out = next
 	}
-	return out
+	return out, nil
 }
 
 // XQueryResultString evaluates the tree over the evaluator's document
 // and returns the serialized result (convenience for tests and tools).
-func (t *Tree) XQueryResultString(ev *Evaluator) string {
-	return xmldoc.XMLString(ev.Result(t).DocNode())
+func (t *Tree) XQueryResultString(ev *Evaluator) (string, error) {
+	res, err := ev.Result(context.Background(), t)
+	if err != nil {
+		return "", err
+	}
+	return xmldoc.XMLString(res.DocNode()), nil
 }
 
 // Result materializes the full query result as a new document.
-func (e *Evaluator) Result(t *Tree) *xmldoc.Document {
+func (e *Evaluator) Result(ctx context.Context, t *Tree) (*xmldoc.Document, error) {
 	out := xmldoc.NewDocument()
-	e.buildInto(out, out.DocNode(), t.Root, Env{})
-	return out
+	if err := e.buildInto(ctx, out, out.DocNode(), t.Root, Env{}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // buildInto evaluates node n under env, appending its produced items to
 // parent in the output document.
-func (e *Evaluator) buildInto(out *xmldoc.Document, parent *xmldoc.Node, n *Node, env Env) {
+func (e *Evaluator) buildInto(ctx context.Context, out *xmldoc.Document, parent *xmldoc.Node, n *Node, env Env) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	if n.Var == "" {
-		e.emitRet(out, parent, n.Ret, env)
-		return
+		return e.emitRet(ctx, out, parent, n.Ret, env)
 	}
 	for _, b := range e.bindings(n, env, nil) {
 		inner := env.clone()
 		inner[n.Var] = b
-		e.emitRet(out, parent, n.Ret, inner)
+		if err := e.emitRet(ctx, out, parent, n.Ret, inner); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-func (e *Evaluator) emitRet(out *xmldoc.Document, parent *xmldoc.Node, r RetExpr, env Env) {
+func (e *Evaluator) emitRet(ctx context.Context, out *xmldoc.Document, parent *xmldoc.Node, r RetExpr, env Env) error {
 	switch t := r.(type) {
 	case nil:
 	case RElem:
 		el := out.CreateElement(parent, t.Tag)
 		for _, k := range t.Kids {
-			e.emitRet(out, el, k, env)
+			if err := e.emitRet(ctx, out, el, k, env); err != nil {
+				return err
+			}
 		}
 	case RSeq:
 		for _, k := range t.Items {
-			e.emitRet(out, parent, k, env)
+			if err := e.emitRet(ctx, out, parent, k, env); err != nil {
+				return err
+			}
 		}
 	case RVar:
 		if n := env[t.Name]; n != nil {
@@ -497,13 +535,17 @@ func (e *Evaluator) emitRet(out *xmldoc.Document, parent *xmldoc.Node, r RetExpr
 			}
 		}
 	case RChild:
-		e.buildInto(out, parent, t.Node, env)
+		return e.buildInto(ctx, out, parent, t.Node, env)
 	case RText:
 		out.CreateText(parent, t.Value)
 	case RNum:
 		out.CreateText(parent, formatNum(t.Value))
 	case RFunc, RBin:
-		for _, v := range e.evalSeq(r, env) {
+		vals, err := e.evalSeq(r, env)
+		if err != nil {
+			return err
+		}
+		for _, v := range vals {
 			if v.Node != nil && !v.IsNum {
 				out.ImportSubtree(parent, v.Node)
 			} else {
@@ -511,55 +553,71 @@ func (e *Evaluator) emitRet(out *xmldoc.Document, parent *xmldoc.Node, r RetExpr
 			}
 		}
 	default:
-		panic(fmt.Sprintf("xq: unknown return expression %T", r))
+		return fmt.Errorf("xq: unknown return expression %T", r)
 	}
+	return nil
 }
 
 func formatNum(f float64) string { return strconv.FormatFloat(f, 'f', -1, 64) }
 
 // evalSeq evaluates a return expression to a value sequence (used for
 // function arguments and computed content, Nested Drop Boxes).
-func (e *Evaluator) evalSeq(r RetExpr, env Env) []Value {
+func (e *Evaluator) evalSeq(r RetExpr, env Env) ([]Value, error) {
 	switch t := r.(type) {
 	case nil:
-		return nil
+		return nil, nil
 	case RVar:
 		if n := env[t.Name]; n != nil {
-			return []Value{NodeValue(n)}
+			return []Value{NodeValue(n)}, nil
 		}
-		return nil
+		return nil, nil
 	case RPath:
 		start := env[t.Var]
 		if start == nil {
-			return nil
+			return nil, nil
 		}
 		var out []Value
 		for _, n := range EvalSimplePath(start, t.Path) {
 			out = append(out, NodeValue(n))
 		}
-		return out
+		return out, nil
 	case RText:
-		return []Value{StrValue(t.Value)}
+		return []Value{StrValue(t.Value)}, nil
 	case RNum:
-		return []Value{NumValue(t.Value)}
+		return []Value{NumValue(t.Value)}, nil
 	case RSeq:
 		var out []Value
 		for _, k := range t.Items {
-			out = append(out, e.evalSeq(k, env)...)
+			vs, err := e.evalSeq(k, env)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, vs...)
 		}
-		return out
+		return out, nil
 	case RElem:
 		var out []Value
 		for _, k := range t.Kids {
-			out = append(out, e.evalSeq(k, env)...)
+			vs, err := e.evalSeq(k, env)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, vs...)
 		}
-		return out
+		return out, nil
 	case RChild:
 		return e.childSeq(t.Node, env)
 	case RBin:
-		lv, rv := e.evalSeq(t.L, env), e.evalSeq(t.R, env)
+		lv, err := e.evalSeq(t.L, env)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := e.evalSeq(t.R, env)
+		if err != nil {
+			return nil, err
+		}
 		if len(lv) == 0 || len(rv) == 0 {
-			return nil
+			return nil, nil
 		}
 		l, r := lv[0].Num, rv[0].Num
 		var res float64
@@ -573,19 +631,19 @@ func (e *Evaluator) evalSeq(r RetExpr, env Env) []Value {
 		case "div", "/":
 			res = l / r
 		default:
-			panic("xq: unknown arithmetic operator " + t.Op)
+			return nil, fmt.Errorf("xq: unknown arithmetic operator %q", t.Op)
 		}
-		return []Value{NumValue(res)}
+		return []Value{NumValue(res)}, nil
 	case RFunc:
 		return e.evalFunc(t, env)
 	default:
-		panic(fmt.Sprintf("xq: cannot evaluate %T as a sequence", r))
+		return nil, fmt.Errorf("xq: cannot evaluate %T as a sequence", r)
 	}
 }
 
 // childSeq evaluates a child fragment to the sequence of values it
 // produces under env.
-func (e *Evaluator) childSeq(n *Node, env Env) []Value {
+func (e *Evaluator) childSeq(n *Node, env Env) ([]Value, error) {
 	if n.Var == "" {
 		return e.evalSeq(n.Ret, env)
 	}
@@ -593,37 +651,45 @@ func (e *Evaluator) childSeq(n *Node, env Env) []Value {
 	for _, b := range e.bindings(n, env, nil) {
 		inner := env.clone()
 		inner[n.Var] = b
-		out = append(out, e.evalSeq(n.Ret, inner)...)
+		vs, err := e.evalSeq(n.Ret, inner)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
 	}
-	return out
+	return out, nil
 }
 
-func (e *Evaluator) evalFunc(f RFunc, env Env) []Value {
+func (e *Evaluator) evalFunc(f RFunc, env Env) ([]Value, error) {
 	var args []Value
 	for _, a := range f.Args {
-		args = append(args, e.evalSeq(a, env)...)
+		vs, err := e.evalSeq(a, env)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, vs...)
 	}
 	switch f.Name {
 	case "count":
-		return []Value{NumValue(float64(len(args)))}
+		return []Value{NumValue(float64(len(args)))}, nil
 	case "sum":
 		s := 0.0
 		for _, v := range args {
 			s += v.Num
 		}
-		return []Value{NumValue(s)}
+		return []Value{NumValue(s)}, nil
 	case "avg":
 		if len(args) == 0 {
-			return nil
+			return nil, nil
 		}
 		s := 0.0
 		for _, v := range args {
 			s += v.Num
 		}
-		return []Value{NumValue(s / float64(len(args)))}
+		return []Value{NumValue(s / float64(len(args)))}, nil
 	case "min", "max":
 		if len(args) == 0 {
-			return nil
+			return nil, nil
 		}
 		best := args[0]
 		for _, v := range args[1:] {
@@ -635,7 +701,7 @@ func (e *Evaluator) evalFunc(f RFunc, env Env) []Value {
 				best = v
 			}
 		}
-		return []Value{best}
+		return []Value{best}, nil
 	case "distinct", "distinct-values":
 		seen := map[string]bool{}
 		var out []Value
@@ -645,15 +711,15 @@ func (e *Evaluator) evalFunc(f RFunc, env Env) []Value {
 				out = append(out, v)
 			}
 		}
-		return out
+		return out, nil
 	case "data", "string":
-		return args
+		return args, nil
 	case "zero-or-one", "exactly-one":
 		if len(args) > 0 {
-			return args[:1]
+			return args[:1], nil
 		}
-		return nil
+		return nil, nil
 	default:
-		panic("xq: unknown function " + f.Name)
+		return nil, fmt.Errorf("xq: unknown function %q", f.Name)
 	}
 }

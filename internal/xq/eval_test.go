@@ -1,6 +1,8 @@
 package xq
 
 import (
+	"context"
+	"repro/internal/must"
 	"strings"
 	"testing"
 
@@ -36,7 +38,7 @@ func TestExtentOfBook(t *testing.T) {
 	if n111 == nil {
 		t.Fatal("N1.1.1 not found")
 	}
-	got := texts(ev.Extent(q1, n111, nil))
+	got := texts(must.Must(ev.Extent(context.Background(), q1, n111, nil)))
 	if len(got) != 2 || got[0] != "computer" || got[1] != "book" {
 		t.Fatalf("EXT_book = %v", got)
 	}
@@ -51,13 +53,13 @@ func TestExtentOfHPotterInContext(t *testing.T) {
 	ev := NewEvaluator(doc)
 	n1121 := q1.NodeByName("N1.1.2.1")
 	book := findCategory(t, doc, "book")
-	got := texts(ev.Extent(q1, n1121, Env{"c": book}))
+	got := texts(must.Must(ev.Extent(context.Background(), q1, n1121, Env{"c": book})))
 	if len(got) != 1 || got[0] != "H. Potter" {
 		t.Fatalf("EXT_HPotter = %v", got)
 	}
 	// In the computer category the extent is empty.
 	computer := findCategory(t, doc, "computer")
-	if got := ev.Extent(q1, n1121, Env{"c": computer}); len(got) != 0 {
+	if got := must.Must(ev.Extent(context.Background(), q1, n1121, Env{"c": computer})); len(got) != 0 {
 		t.Fatalf("computer-category extent = %v", texts(got))
 	}
 }
@@ -69,7 +71,7 @@ func TestExtentItemNode(t *testing.T) {
 	ev := NewEvaluator(doc)
 	n112 := q1.NodeByName("N1.1.2")
 	book := findCategory(t, doc, "book")
-	got := ev.Extent(q1, n112, Env{"c": book})
+	got := must.Must(ev.Extent(context.Background(), q1, n112, Env{"c": book}))
 	if len(got) != 1 {
 		t.Fatalf("item extent size = %d", len(got))
 	}
@@ -95,10 +97,10 @@ func TestExtentPinnedOwnVar(t *testing.T) {
 			i7 = it
 		}
 	}
-	if got := ev.Extent(q1, n112, Env{"c": book, "i": i7}); len(got) != 1 {
+	if got := must.Must(ev.Extent(context.Background(), q1, n112, Env{"c": book, "i": i7})); len(got) != 1 {
 		t.Fatalf("pin i7: %v", texts(got))
 	}
-	if got := ev.Extent(q1, n112, Env{"c": book, "i": i6}); len(got) != 0 {
+	if got := must.Must(ev.Extent(context.Background(), q1, n112, Env{"c": book, "i": i6})); len(got) != 0 {
 		t.Fatalf("pin i6 (price 700) should be empty: %v", texts(got))
 	}
 }
@@ -107,7 +109,7 @@ func TestFullResult(t *testing.T) {
 	doc := figure4Doc()
 	q1 := buildQ1()
 	ev := NewEvaluator(doc)
-	res := ev.Result(q1)
+	res := must.Must(ev.Result(context.Background(), q1))
 	root := res.Root()
 	if root == nil || root.Name != "i_list" {
 		t.Fatalf("result root = %v", root)
@@ -143,7 +145,7 @@ func TestFullResult(t *testing.T) {
 
 func TestResultSerializes(t *testing.T) {
 	ev := NewEvaluator(figure4Doc())
-	res := ev.Result(buildQ1())
+	res := must.Must(ev.Result(context.Background(), buildQ1()))
 	s := xmldoc.XMLString(res.Root())
 	if _, err := xmldoc.ParseString(s); err != nil {
 		t.Fatalf("result does not reparse: %v\n%s", err, s)
@@ -273,7 +275,7 @@ func TestOrderBy(t *testing.T) {
 		Ret:     RElem{Tag: "o", Kids: []RetExpr{RPath{Var: "p", Path: MustParseSimplePath("n")}}},
 	})
 	ev := NewEvaluator(doc)
-	res := ev.Result(tree)
+	res := must.Must(ev.Result(context.Background(), tree))
 	var got []string
 	for _, o := range res.NodesWithLabel("o") {
 		got = append(got, o.Text())
@@ -282,7 +284,7 @@ func TestOrderBy(t *testing.T) {
 		t.Fatalf("ascending order = %v", got)
 	}
 	tree.Root.OrderBy[0].Descending = true
-	res = ev.Result(tree)
+	res = must.Must(ev.Result(context.Background(), tree))
 	got = nil
 	for _, o := range res.NodesWithLabel("o") {
 		got = append(got, o.Text())
@@ -305,7 +307,7 @@ func TestFunctionsFigure14(t *testing.T) {
 		Children: []*Node{inner},
 	}
 	ev := NewEvaluator(doc)
-	res := ev.Result(NewTree(root))
+	res := must.Must(ev.Result(context.Background(), NewTree(root)))
 	amount := res.NodesWithLabel("amount")[0]
 	if amount.Text() != "30" { // 3 distinct values * 10
 		t.Fatalf("amount = %q, want 30", amount.Text())
@@ -326,7 +328,7 @@ func TestAggregates(t *testing.T) {
 			Ret:      RElem{Tag: "out", Kids: []RetExpr{RFunc{Name: c.fn, Args: []RetExpr{RChild{Node: inner}}}}},
 			Children: []*Node{inner},
 		}
-		res := ev.Result(NewTree(root))
+		res := must.Must(ev.Result(context.Background(), NewTree(root)))
 		if got := res.NodesWithLabel("out")[0].Text(); got != c.want {
 			t.Errorf("%s = %q, want %q", c.fn, got, c.want)
 		}
@@ -378,7 +380,7 @@ func TestExtentPanicsWithoutVar(t *testing.T) {
 			t.Fatal("Extent of a var-less node must panic")
 		}
 	}()
-	ev.Extent(q1, q1.Root, nil)
+	must.Must(ev.Extent(context.Background(), q1, q1.Root, nil))
 }
 
 func TestContainsAndScale(t *testing.T) {

@@ -1,7 +1,9 @@
 package xq
 
 import (
+	"context"
 	"math"
+	"repro/internal/must"
 	"strings"
 	"testing"
 
@@ -61,13 +63,13 @@ func TestEvalSeqArithmeticOps(t *testing.T) {
 		{"+", 13}, {"-", 7}, {"*", 30}, {"div", 10.0 / 3}, {"/", 10.0 / 3},
 	}
 	for _, c := range cases {
-		got := ev.evalSeq(RBin{Op: c.op, L: RVar{Name: "v"}, R: RNum{Value: 3}}, env)
+		got := must.Must(ev.evalSeq(RBin{Op: c.op, L: RVar{Name: "v"}, R: RNum{Value: 3}}, env))
 		if len(got) != 1 || math.Abs(got[0].Num-c.want) > 1e-9 {
 			t.Errorf("10 %s 3 = %v", c.op, got)
 		}
 	}
 	// Empty operand: no value.
-	if got := ev.evalSeq(RBin{Op: "+", L: RVar{Name: "ghost"}, R: RNum{Value: 1}}, env); got != nil {
+	if got := must.Must(ev.evalSeq(RBin{Op: "+", L: RVar{Name: "ghost"}, R: RNum{Value: 1}}, env)); got != nil {
 		t.Errorf("empty operand = %v", got)
 	}
 }
@@ -76,57 +78,51 @@ func TestEvalSeqMiscellany(t *testing.T) {
 	doc := xmldoc.MustParse(`<r><v>1</v><v>2</v></r>`)
 	ev := NewEvaluator(doc)
 	env := Env{}
-	if got := ev.evalSeq(RText{Value: "x"}, env); len(got) != 1 || got[0].Str != "x" {
+	if got := must.Must(ev.evalSeq(RText{Value: "x"}, env)); len(got) != 1 || got[0].Str != "x" {
 		t.Errorf("RText = %v", got)
 	}
-	if got := ev.evalSeq(RSeq{Items: []RetExpr{RNum{Value: 1}, RNum{Value: 2}}}, env); len(got) != 2 {
+	if got := must.Must(ev.evalSeq(RSeq{Items: []RetExpr{RNum{Value: 1}, RNum{Value: 2}}}, env)); len(got) != 2 {
 		t.Errorf("RSeq = %v", got)
 	}
 	inner := &Node{Var: "w", Path: pathre.MustParsePath("/r/v"), Ret: RVar{Name: "w"}}
-	if got := ev.evalSeq(RFunc{Name: "zero-or-one", Args: []RetExpr{RChild{Node: inner}}}, env); len(got) != 1 {
+	if got := must.Must(ev.evalSeq(RFunc{Name: "zero-or-one", Args: []RetExpr{RChild{Node: inner}}}, env)); len(got) != 1 {
 		t.Errorf("zero-or-one = %v", got)
 	}
-	if got := ev.evalSeq(RFunc{Name: "string", Args: []RetExpr{RNum{Value: 5}}}, env); len(got) != 1 || got[0].Num != 5 {
+	if got := must.Must(ev.evalSeq(RFunc{Name: "string", Args: []RetExpr{RNum{Value: 5}}}, env)); len(got) != 1 || got[0].Num != 5 {
 		t.Errorf("string() passthrough = %v", got)
 	}
-	if got := ev.evalSeq(nil, env); got != nil {
+	if got := must.Must(ev.evalSeq(nil, env)); got != nil {
 		t.Errorf("nil ret = %v", got)
 	}
 	// min/max fall back to string comparison for non-numeric values.
 	strs := RSeq{Items: []RetExpr{RText{Value: "pear"}, RText{Value: "apple"}}}
-	if got := ev.evalSeq(RFunc{Name: "min", Args: []RetExpr{strs}}, env); got[0].Str != "apple" {
+	if got := must.Must(ev.evalSeq(RFunc{Name: "min", Args: []RetExpr{strs}}, env)); got[0].Str != "apple" {
 		t.Errorf("min strings = %v", got)
 	}
-	if got := ev.evalSeq(RFunc{Name: "max", Args: []RetExpr{strs}}, env); got[0].Str != "pear" {
+	if got := must.Must(ev.evalSeq(RFunc{Name: "max", Args: []RetExpr{strs}}, env)); got[0].Str != "pear" {
 		t.Errorf("max strings = %v", got)
 	}
 	// avg of nothing is empty.
-	if got := ev.evalSeq(RFunc{Name: "avg", Args: nil}, env); got != nil {
+	if got := must.Must(ev.evalSeq(RFunc{Name: "avg", Args: nil}, env)); got != nil {
 		t.Errorf("avg() = %v", got)
 	}
-	if got := ev.evalSeq(RFunc{Name: "min", Args: nil}, env); got != nil {
+	if got := must.Must(ev.evalSeq(RFunc{Name: "min", Args: nil}, env)); got != nil {
 		t.Errorf("min() = %v", got)
 	}
 }
 
-func TestEvalSeqUnknownFunctionPanics(t *testing.T) {
+func TestEvalSeqUnknownFunctionErrors(t *testing.T) {
 	ev := NewEvaluator(xmldoc.MustParse(`<r/>`))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown function must panic")
-		}
-	}()
-	ev.evalSeq(RFunc{Name: "bogus"}, Env{})
+	if _, err := ev.evalSeq(RFunc{Name: "bogus"}, Env{}); err == nil {
+		t.Fatal("unknown function must error")
+	}
 }
 
-func TestEvalSeqUnknownOperatorPanics(t *testing.T) {
+func TestEvalSeqUnknownOperatorErrors(t *testing.T) {
 	ev := NewEvaluator(xmldoc.MustParse(`<r/>`))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown operator must panic")
-		}
-	}()
-	ev.evalSeq(RBin{Op: "%", L: RNum{Value: 1}, R: RNum{Value: 2}}, Env{})
+	if _, err := ev.evalSeq(RBin{Op: "%", L: RNum{Value: 1}, R: RNum{Value: 2}}, Env{}); err == nil {
+		t.Fatal("unknown operator must error")
+	}
 }
 
 func TestAssignmentsDirect(t *testing.T) {
@@ -135,7 +131,7 @@ func TestAssignmentsDirect(t *testing.T) {
 	ev := NewEvaluator(doc)
 	// N1.1.2 ($i): its strict ancestors bind $c over 2 categories.
 	n112 := q1.NodeByName("N1.1.2")
-	envs := ev.Assignments(q1, n112)
+	envs := must.Must(ev.Assignments(context.Background(), q1, n112))
 	if len(envs) != 2 {
 		t.Fatalf("assignments = %d, want 2 (one per category)", len(envs))
 	}
@@ -145,7 +141,7 @@ func TestAssignmentsDirect(t *testing.T) {
 		}
 	}
 	// Root (no binding ancestors): one empty environment.
-	if envs := ev.Assignments(q1, q1.Root); len(envs) != 1 || len(envs[0]) != 0 {
+	if envs := must.Must(ev.Assignments(context.Background(), q1, q1.Root)); len(envs) != 1 || len(envs[0]) != 0 {
 		t.Fatalf("root assignments = %v", envs)
 	}
 }
@@ -156,7 +152,7 @@ func TestEmitRetTextAndNum(t *testing.T) {
 	tree := NewTree(&Node{Ret: RElem{Tag: "out", Kids: []RetExpr{
 		RText{Value: "hello "}, RNum{Value: 7},
 	}}})
-	res := ev.Result(tree)
+	res := must.Must(ev.Result(context.Background(), tree))
 	if got := res.Root().Text(); got != "hello 7" {
 		t.Fatalf("literal content = %q", got)
 	}

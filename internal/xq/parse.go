@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/must"
 	"repro/internal/pathre"
 )
 
@@ -37,13 +38,10 @@ func ParseQuery(src string) (*Tree, error) {
 	return NewTree(node), nil
 }
 
-// MustParseQuery parses src and panics on error.
+// MustParseQuery parses src and panics on error. For embedded
+// ground-truth literals only; runtime input goes through ParseQuery.
 func MustParseQuery(src string) *Tree {
-	t, err := ParseQuery(src)
-	if err != nil {
-		panic(err)
-	}
-	return t
+	return must.Must(ParseQuery(src))
 }
 
 // ParsePredString parses a single predicate in the rendered form of

@@ -1,6 +1,8 @@
 package xq
 
 import (
+	"context"
+	"repro/internal/must"
 	"strings"
 	"testing"
 
@@ -11,7 +13,7 @@ func evalBoth(t *testing.T, doc *xmldoc.Document, a, b *Tree) (string, string) {
 	t.Helper()
 	ea := NewEvaluator(doc)
 	eb := NewEvaluator(doc)
-	return xmldoc.XMLString(ea.Result(a).DocNode()), xmldoc.XMLString(eb.Result(b).DocNode())
+	return xmldoc.XMLString(must.Must(ea.Result(context.Background(), a)).DocNode()), xmldoc.XMLString(must.Must(eb.Result(context.Background(), b)).DocNode())
 }
 
 func TestParseSimpleFLWR(t *testing.T) {
