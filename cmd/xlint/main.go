@@ -1,0 +1,100 @@
+// Command xlint is the repository's multichecker: it loads the
+// packages named by its arguments (default ./...) and runs every
+// analyzer in internal/analysis over them, printing one line per
+// finding. Exit status: 0 clean, 1 findings, 2 load/usage failure.
+//
+// It is part of the tier-1 verify loop:
+//
+//	go build ./... && go test ./... && go run ./cmd/xlint ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	run := flag.String("run", "", "run only analyzers whose name matches this regexp")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: xlint [-list] [-run regexp] [packages]\n\n"+
+				"Runs the project analyzers (nopanic, ctxfirst, wrapsentinel,\n"+
+				"determinism) over the named packages (default ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *run != "" {
+		re, err := regexp.Compile(*run)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xlint: bad -run regexp: %v\n", err)
+			os.Exit(2)
+		}
+		var keep []*analysis.Analyzer
+		for _, a := range analyzers {
+			if re.MatchString(a.Name) {
+				keep = append(keep, a)
+			}
+		}
+		analyzers = keep
+	}
+
+	pkgs, err := analysis.Load(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	type finding struct {
+		file      string
+		line, col int
+		analyzer  string
+		message   string
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xlint: %v\n", err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				findings = append(findings, finding{pos.Filename, pos.Line, pos.Column, a.Name, d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: %s: %s\n", f.file, f.line, f.col, f.analyzer, f.message)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,108 @@
+// Package analysis is the repository's static-analysis suite: a small,
+// dependency-free framework in the shape of golang.org/x/tools/go/analysis
+// plus the four project-specific analyzers (nopanic, ctxfirst,
+// wrapsentinel, determinism) that mechanically enforce the error-discipline
+// and determinism invariants documented in DESIGN.md.
+//
+// The framework mirrors the x/tools API surface (Analyzer, Pass,
+// Diagnostic, "// want" golden fixtures) so the analyzers can migrate to
+// the real module with mechanical edits, but it is built entirely on the
+// standard library: packages are loaded with `go list -export` and
+// typechecked through go/types with a gc-export-data importer, because
+// this build environment has no module network access.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one named check. Run is invoked once per loaded
+// package and reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the xlint
+	// command line. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph description shown by `xlint -list`.
+	Doc string
+
+	// Run applies the analyzer to a single package.
+	Run func(*Pass) error
+}
+
+// A Pass connects an Analyzer to the single package being analyzed.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. The driver and the fixture test
+	// harness install their own sinks.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// All returns the full analyzer suite in deterministic order; cmd/xlint
+// runs exactly this list.
+func All() []*Analyzer {
+	return []*Analyzer{NoPanic, CtxFirst, WrapSentinel, Determinism}
+}
+
+// enclosingFuncDecl returns the top-level function declaration whose
+// body contains pos, or nil when pos sits outside every declared
+// function (package-level initializer expressions). Function literals
+// inherit the name of the declaration they appear in: the allowlists
+// key on the documented function, not on anonymous helpers inside it.
+func enclosingFuncDecl(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if fd.Body.Pos() <= pos && pos < fd.Body.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// or nil for builtins, type conversions, and calls through function
+// values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isErrorType reports whether t implements the built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface)
+}

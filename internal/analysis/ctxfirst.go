@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFirst enforces the cancellation contract from DESIGN.md "Session
+// lifecycle & concurrency model": context threads through the whole
+// learning chain. Concretely:
+//
+//  1. In every analyzed package, a context.Context parameter must come
+//     first (receivers aside) — a buried ctx is a signature that cannot
+//     be threaded uniformly.
+//  2. In the pipeline packages (core, teacher, experiments, xq), no
+//     function may manufacture its own context with context.Background
+//     or context.TODO: exported entry points must accept ctx from the
+//     caller, and a function that already has a ctx parameter must pass
+//     it on instead of detaching its callees from cancellation. The
+//     documented Must* conveniences over embedded literals are the one
+//     exception.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc: "require context.Context as the first parameter and forbid " +
+		"context.Background()/TODO() inside the learning pipeline",
+	Run: runCtxFirst,
+}
+
+// ctxPipelinePkgs are the packages forming the cancellable learning
+// chain; rule 2 applies only here (cmd/ mains legitimately create the
+// root context via signal.NotifyContext).
+var ctxPipelinePkgs = map[string]bool{
+	"repro/internal/core":        true,
+	"repro/internal/teacher":     true,
+	"repro/internal/experiments": true,
+	"repro/internal/xq":          true,
+}
+
+func runCtxFirst(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxPosition(pass, n.Name.Name, n.Type)
+			case *ast.FuncLit:
+				checkCtxPosition(pass, "function literal", n.Type)
+			case *ast.CallExpr:
+				if !ctxPipelinePkgs[pass.Pkg.Path()] {
+					return true
+				}
+				fn := calleeFunc(pass.TypesInfo, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+					return true
+				}
+				if fn.Name() != "Background" && fn.Name() != "TODO" {
+					return true
+				}
+				fd := enclosingFuncDecl(file, n.Pos())
+				if fd == nil {
+					return true
+				}
+				name := fd.Name.Name
+				if strings.HasPrefix(name, "Must") {
+					return true // documented panic-on-error conveniences
+				}
+				if funcHasCtxParam(pass.TypesInfo, fd.Type) {
+					pass.Reportf(n.Pos(),
+						"%s has a ctx parameter but calls context.%s(); pass ctx through",
+						name, fn.Name())
+				} else if ast.IsExported(name) {
+					pass.Reportf(n.Pos(),
+						"exported %s calls context.%s(); accept a context.Context first parameter instead",
+						name, fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxPosition reports a context.Context parameter that is not the
+// first parameter.
+func checkCtxPosition(pass *Pass, name string, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pass.TypesInfo, field.Type) && idx > 0 {
+			pass.Reportf(field.Pos(),
+				"%s takes context.Context as parameter %d; ctx must come first", name, idx+1)
+		}
+		idx += n
+	}
+}
+
+func funcHasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(info, field.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(info *types.Info, expr ast.Expr) bool {
+	t := info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

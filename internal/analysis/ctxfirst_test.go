@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestCtxFirstPipeline(t *testing.T) {
+	RunFixture(t, CtxFirst, "repro/internal/core")
+}
+
+func TestCtxFirstPositionOnlyOutsidePipeline(t *testing.T) {
+	RunFixture(t, CtxFirst, "repro/internal/ctxpos")
+}

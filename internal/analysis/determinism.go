@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism guards the "byte-identical experiment tables at any
+// -parallel width" invariant (DESIGN.md): the paper's results are
+// MQ/EQ interaction counts, so a silently reordered table row or an
+// unseeded random draw corrupts the experiment without failing a test.
+// Rules:
+//
+//  1. In the table-producing packages (experiments, scenario, core): a
+//     `range` over a map whose body accumulates output (appends to an
+//     outer slice, or prints/writes) needs a sort after the loop in the
+//     same function — map iteration order is deliberately randomized by
+//     the runtime.
+//  2. Same packages: time.Now is forbidden; tables must not embed
+//     wall-clock values (cmd/ layers may measure wall-clock for
+//     reporting around the tables).
+//  3. Everywhere except internal/xmark (the seeded generator that owns
+//     all randomness): no math/rand at all — neither the globally
+//     seeded top-level functions nor a locally constructed rand.New.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid unsorted map-iteration output, time.Now, and math/rand " +
+		"in code feeding the experiment tables",
+	Run: runDeterminism,
+}
+
+// determinismTablePkgs produce or aggregate the experiment tables.
+var determinismTablePkgs = map[string]bool{
+	"repro/internal/experiments": true,
+	"repro/internal/scenario":    true,
+	"repro/internal/core":        true,
+}
+
+func runDeterminism(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !underInternalOrCmd(path) {
+		return nil
+	}
+	tablePkg := determinismTablePkgs[path]
+	randExempt := strings.HasSuffix(path, "internal/xmark")
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.TypesInfo, n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch pkg, name := fn.Pkg().Path(), fn.Name(); {
+				case tablePkg && pkg == "time" && name == "Now" && fn.Type().(*types.Signature).Recv() == nil:
+					pass.Reportf(n.Pos(),
+						"time.Now in a table-producing package; tables must be reproducible byte-for-byte")
+				case !randExempt && (pkg == "math/rand" || pkg == "math/rand/v2") &&
+					fn.Type().(*types.Signature).Recv() == nil:
+					pass.Reportf(n.Pos(),
+						"math/rand.%s outside internal/xmark; route randomness through the seeded generator",
+						name)
+				}
+			case *ast.RangeStmt:
+				if tablePkg {
+					checkMapRangeOutput(pass, file, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRangeOutput implements rule 1 for one range statement.
+func checkMapRangeOutput(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	sink := orderSensitiveSink(pass, rng)
+	if sink == "" {
+		return
+	}
+	fd := enclosingFuncDecl(file, rng.Pos())
+	if fd != nil && sortsAfter(pass, fd, rng) {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"map iteration %s in unspecified order; sort before emitting (map order is randomized)",
+		sink)
+}
+
+// orderSensitiveSink scans a map-range body for accumulation whose
+// order the iteration dictates: appends to a variable declared outside
+// the loop, or direct printing/writing. It returns a description of the
+// first sink found, or "".
+func orderSensitiveSink(pass *Pass, rng *ast.RangeStmt) string {
+	sink := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					if v := appendTargetOutsideLoop(pass, rng, call); v != "" {
+						sink = "appends to " + v
+						return false
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name := writerCall(pass, n); name != "" {
+				sink = "writes output via " + name
+				return false
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// appendTargetOutsideLoop returns the name of the slice being appended
+// to when that slice is declared outside the range statement (so the
+// iteration order becomes element order), or "".
+func appendTargetOutsideLoop(pass *Pass, rng *ast.RangeStmt, call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return ""
+	}
+	if v.Pos() >= rng.Pos() && v.Pos() < rng.End() {
+		return "" // loop-local accumulator; order dies with the iteration
+	}
+	return id.Name
+}
+
+// writerCall recognizes direct output inside the loop body: fmt
+// printing, io.WriteString, and Write/WriteString/WriteByte/WriteRune
+// methods (strings.Builder, bytes.Buffer, io.Writer).
+func writerCall(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return ""
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+		return "fmt." + name
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "io" && name == "WriteString" {
+		return "io.WriteString"
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil &&
+		(name == "Write" || name == "WriteString" || name == "WriteByte" || name == "WriteRune") {
+		return name
+	}
+	return ""
+}
+
+// sortsAfter reports whether the enclosing function calls sort.* or
+// slices.Sort* somewhere after the range statement — the idiomatic
+// collect-then-sort pattern.
+func sortsAfter(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort":
+			found = true
+		case "slices":
+			if strings.HasPrefix(fn.Name(), "Sort") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

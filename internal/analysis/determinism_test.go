@@ -1,0 +1,15 @@
+package analysis
+
+import "testing"
+
+func TestDeterminismTablePackages(t *testing.T) {
+	RunFixture(t, Determinism, "repro/internal/experiments")
+}
+
+func TestDeterminismXmarkExemption(t *testing.T) {
+	RunFixture(t, Determinism, "repro/internal/xmark")
+}
+
+func TestDeterminismScope(t *testing.T) {
+	RunFixture(t, Determinism, "other/pkg")
+}

@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// This file is the suite's analogue of x/tools' analysistest: golden
+// fixture packages live under testdata/src/<import path>/ and annotate
+// the lines where an analyzer must report with
+//
+//	code() // want "regexp"
+//
+// RunFixture loads the named fixture packages (resolving imports of
+// other fixture packages from the same tree and standard-library
+// imports from compiler export data), runs one analyzer over each, and
+// fails the test on any unmatched diagnostic or unsatisfied expectation.
+
+// RunFixture runs a over the fixture packages named by pkgpaths, rooted
+// at testdata/src relative to the current test's working directory.
+func RunFixture(t *testing.T, a *Analyzer, pkgpaths ...string) {
+	t.Helper()
+	ld, err := newFixtureLoader("testdata")
+	if err != nil {
+		t.Fatalf("fixture loader: %v", err)
+	}
+	for _, path := range pkgpaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", path, err)
+		}
+		diags, err := RunAnalyzer(a, pkg)
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, path, err)
+		}
+		checkExpectations(t, a, pkg, diags)
+	}
+}
+
+// checkExpectations compares diagnostics against the package's // want
+// comments.
+func checkExpectations(t *testing.T, a *Analyzer, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	type expectation struct {
+		file string
+		line int
+		re   *regexp.Regexp
+		hit  bool
+	}
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range parseWantPatterns(text[len("want "):]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected %s diagnostic: %s", pos.Filename, pos.Line, a.Name, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no %s diagnostic matching %q", w.file, w.line, a.Name, w.re)
+		}
+	}
+}
+
+// parseWantPatterns extracts the quoted or backquoted patterns from the
+// remainder of a want comment.
+func parseWantPatterns(s string) []string {
+	var pats []string
+	for _, m := range wantTokenRE.FindAllString(s, -1) {
+		if p, err := strconv.Unquote(m); err == nil {
+			pats = append(pats, p)
+		}
+	}
+	return pats
+}
+
+var wantTokenRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// fixtureLoader typechecks fixture packages under root/src, resolving
+// imports of sibling fixtures from source and everything else from gc
+// export data.
+type fixtureLoader struct {
+	root    string // testdata directory
+	fset    *token.FileSet
+	pkgs    map[string]*Package // by fixture import path
+	loading map[string]bool     // import-cycle guard
+	gc      types.Importer
+}
+
+func newFixtureLoader(root string) (*fixtureLoader, error) {
+	ld := &fixtureLoader{
+		root:    root,
+		fset:    token.NewFileSet(),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	exports, err := fixtureExports(root)
+	if err != nil {
+		return nil, err
+	}
+	ld.gc = importer.ForCompiler(ld.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return ld, nil
+}
+
+// Import implements types.Importer over the two-tier fixture universe.
+func (ld *fixtureLoader) Import(path string) (*types.Package, error) {
+	if dirExists(filepath.Join(ld.root, "src", path)) {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.gc.Import(path)
+}
+
+// load parses and typechecks one fixture package (memoized).
+func (ld *fixtureLoader) load(path string) (*Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("fixture import cycle through %q", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	dir := filepath.Join(ld.root, "src", path)
+	names, err := fixtureGoFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fixture %q has no .go files", path)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{PkgPath: path, Fset: ld.fset, Files: files, Types: tpkg, TypesInfo: info}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// fixtureExports walks the fixture tree once, collects every import
+// path that is not itself a fixture, and resolves all of them (plus
+// transitive dependencies) to export-data files with a single
+// `go list -export` invocation.
+func fixtureExports(root string) (map[string]string, error) {
+	fset := token.NewFileSet()
+	external := map[string]bool{}
+	src := filepath.Join(root, "src")
+	err := filepath.WalkDir(src, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(fset, p, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if !dirExists(filepath.Join(src, path)) {
+				external[path] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(external) == 0 {
+		return map[string]string{}, nil
+	}
+	paths := make([]string, 0, len(external))
+	for p := range external {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	listed, err := goList(".", paths)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// fixtureGoFiles lists the non-test .go files of a fixture directory in
+// sorted order.
+func fixtureGoFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func dirExists(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && st.IsDir()
+}

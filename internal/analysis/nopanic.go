@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPanic enforces the repository's panic policy (DESIGN.md "Error
+// propagation"): non-test code under internal/ and cmd/ must return
+// errors, never panic. Exactly four documented invariant sites are
+// allowed, keyed by (package path, enclosing function); calls to
+// must.Must count as panics because the helper panics on error. The
+// one structural exception: a function named Must* may call must.Must,
+// because the prefix advertises the panic-on-error contract to its
+// callers — that is the documented convenience pattern for embedded
+// compile-time-constant literals.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc: "forbid panic and must.Must in non-test internal/ and cmd/ code, " +
+		"except the four documented invariant sites",
+	Run: runNoPanic,
+}
+
+// panicAllowlist names the only functions whose bodies may panic, with
+// the invariant each panic asserts. Adding an entry here is a reviewed
+// design decision: DESIGN.md's "Enforced invariants" section must list
+// the new site.
+var panicAllowlist = map[string]string{
+	"repro/internal/must.Must":               "embedded compile-time-constant literals must parse",
+	"repro/internal/pathre.mustSameAlphabet": "DFA set operations require automata from one session alphabet",
+	"repro/internal/pathre.build":            "Thompson construction covers every pathre expression kind",
+	"repro/internal/xmldoc.invariant":        "Document mutation API rejects structurally impossible requests",
+}
+
+func runNoPanic(pass *Pass) error {
+	if !underInternalOrCmd(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind := panicKind(pass.TypesInfo, call)
+			if kind == "" {
+				return true
+			}
+			fd := enclosingFuncDecl(file, call.Pos())
+			site := pass.Pkg.Path() + "."
+			if fd != nil {
+				site += fd.Name.Name
+			}
+			if _, ok := panicAllowlist[site]; ok {
+				return true
+			}
+			if kind == "must.Must" && fd != nil && strings.HasPrefix(fd.Name.Name, "Must") {
+				return true // contract-propagating Must* convenience
+			}
+			pass.Reportf(call.Pos(),
+				"%s outside the documented invariant allowlist (%s); return an error instead",
+				kind, site)
+			return true
+		})
+	}
+	return nil
+}
+
+// panicKind classifies a call as the builtin panic, a must.Must call,
+// or neither.
+func panicKind(info *types.Info, call *ast.CallExpr) string {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			return "panic"
+		}
+	}
+	if fn := calleeFunc(info, call); fn != nil && fn.Name() == "Must" &&
+		fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "internal/must") {
+		return "must.Must"
+	}
+	return ""
+}
+
+// underInternalOrCmd reports whether the package is in the enforced
+// tree: repro/internal/... or repro/cmd/... (examples/ and the root are
+// exempt, as are test files, which the loader never includes).
+func underInternalOrCmd(path string) bool {
+	return strings.HasPrefix(path, "repro/internal/") || strings.HasPrefix(path, "repro/cmd/")
+}

@@ -1,0 +1,26 @@
+package analysis
+
+import "testing"
+
+// TestNoPanicAllowlist is the allowlist-mechanism proof: the fixtures
+// reproduce all four documented invariant sites (must.Must,
+// pathre.mustSameAlphabet, pathre.build, xmldoc.invariant) with no
+// diagnostic expected, while an undocumented panic alongside each one
+// must be reported.
+func TestNoPanicAllowlist(t *testing.T) {
+	RunFixture(t, NoPanic,
+		"repro/internal/must",
+		"repro/internal/pathre",
+		"repro/internal/xmldoc",
+	)
+}
+
+func TestNoPanicMustConvenience(t *testing.T) {
+	RunFixture(t, NoPanic, "repro/internal/npuser")
+}
+
+// TestNoPanicScope: packages outside repro/internal and repro/cmd are
+// not subject to the policy.
+func TestNoPanicScope(t *testing.T) {
+	RunFixture(t, NoPanic, "other/pkg")
+}

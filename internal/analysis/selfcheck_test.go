@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTreeIsClean runs the full suite over the real repository — the
+// same invocation as `go run ./cmd/xlint ./...` in CI — and fails on
+// any finding, so a violation introduced anywhere in the module breaks
+// tier-1 tests, not just the lint step.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("load repository: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	var sawAnalysis bool
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.PkgPath, "internal/analysis") {
+			sawAnalysis = true
+		}
+		for _, a := range All() {
+			diags, err := RunAnalyzer(a, pkg)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				t.Errorf("%s: %s: %s", pos, a.Name, d.Message)
+			}
+		}
+	}
+	if !sawAnalysis {
+		t.Error("repository load missed internal/analysis itself")
+	}
+}

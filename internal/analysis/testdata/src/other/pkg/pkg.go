@@ -1,0 +1,11 @@
+// Fixture outside repro/internal and repro/cmd: nopanic and
+// determinism are scoped to the enforced tree and must stay silent.
+package pkg
+
+import "time"
+
+func boom() time.Time {
+	panic(time.Now())
+}
+
+var _ = boom

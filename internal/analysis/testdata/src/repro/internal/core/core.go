@@ -1,0 +1,44 @@
+// Fixture for ctxfirst inside a designated pipeline package
+// (repro/internal/core): ctx must come first, and no function may
+// detach itself from the caller's cancellation chain.
+package core
+
+import "context"
+
+type Options struct{}
+
+// Learn is the well-formed shape: ctx first, threaded through.
+func Learn(ctx context.Context, opts Options) error {
+	return run(ctx, opts)
+}
+
+func run(ctx context.Context, opts Options) error {
+	_ = opts
+	return ctx.Err()
+}
+
+// Buried takes ctx in second position.
+func Buried(opts Options, ctx context.Context) error { // want `Buried takes context.Context as parameter 2; ctx must come first`
+	return run(ctx, opts)
+}
+
+// Detached is an exported entry point manufacturing its own context.
+func Detached(opts Options) error {
+	return run(context.Background(), opts) // want `exported Detached calls context.Background\(\); accept a context.Context first parameter`
+}
+
+// dropsCtx has ctx in hand but detaches its callee anyway.
+func dropsCtx(ctx context.Context, opts Options) error {
+	_ = ctx.Err()
+	return run(context.TODO(), opts) // want `dropsCtx has a ctx parameter but calls context.TODO\(\); pass ctx through`
+}
+
+// MustLearn is the documented panic-on-error convenience over embedded
+// literals; it may root its own context.
+func MustLearn(opts Options) {
+	if err := run(context.Background(), opts); err != nil {
+		_ = err
+	}
+}
+
+var _, _, _, _, _ = Learn, Buried, Detached, dropsCtx, MustLearn

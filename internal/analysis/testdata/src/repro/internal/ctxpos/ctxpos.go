@@ -1,0 +1,18 @@
+// Fixture for ctxfirst outside the designated pipeline packages: the
+// parameter-position rule still applies everywhere, but rooting a
+// context is legal (cmd/ mains do it via signal.NotifyContext).
+package ctxpos
+
+import "context"
+
+func Root() error {
+	ctx := context.Background()
+	return ctx.Err()
+}
+
+func buried(n int, ctx context.Context) error { // want `buried takes context.Context as parameter 2`
+	_ = n
+	return ctx.Err()
+}
+
+var _, _ = Root, buried

@@ -1,0 +1,75 @@
+// Fixture for determinism inside a table-producing package
+// (repro/internal/experiments): map iteration feeding output must
+// sort, and wall-clock/randomness are forbidden.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// sorted is the idiomatic collect-then-sort shape: allowed.
+func sorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// unsorted lets map order become row order: flagged.
+func unsorted(m map[string]int) []string {
+	var rows []string
+	for k, v := range m { // want `map iteration appends to rows in unspecified order`
+		rows = append(rows, fmt.Sprintf("%s=%d", k, v))
+	}
+	return rows
+}
+
+// prints writes rows straight out of the iteration: flagged.
+func prints(m map[string]int, sb *strings.Builder) {
+	for k := range m { // want `map iteration writes output via WriteString in unspecified order`
+		sb.WriteString(k)
+	}
+}
+
+// loopLocal accumulates into a slice that dies with each iteration:
+// order cannot leak, so it is allowed.
+func loopLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var squares []int
+		for _, v := range vs {
+			squares = append(squares, v*v)
+		}
+		total += len(squares)
+	}
+	return total
+}
+
+// prune mutates the map itself: no ordered output, allowed.
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func stamp() time.Time {
+	return time.Now() // want `time.Now in a table-producing package`
+}
+
+func draw() int {
+	return rand.Intn(10) // want `math/rand.Intn outside internal/xmark`
+}
+
+func fresh() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want `math/rand.New outside internal/xmark` `math/rand.NewSource outside internal/xmark`
+}
+
+var _, _, _, _, _, _, _, _ = sorted, unsorted, prints, loopLocal, prune, stamp, draw, fresh

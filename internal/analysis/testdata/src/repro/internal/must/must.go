@@ -1,0 +1,18 @@
+// Fixture mirroring repro/internal/must: the documented allowlist site
+// passes while an undocumented panic in the same package fails.
+package must
+
+func Must[T any](v T, err error) T {
+	if err != nil {
+		panic(err) // allowlisted: repro/internal/must.Must
+	}
+	return v
+}
+
+func helper(err error) {
+	if err != nil {
+		panic(err) // want `panic outside the documented invariant allowlist`
+	}
+}
+
+var _ = helper

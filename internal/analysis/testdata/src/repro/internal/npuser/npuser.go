@@ -1,0 +1,19 @@
+// Fixture exercising the must.Must leg of nopanic: bare use fails,
+// the contract-propagating Must* convenience wrapper passes.
+package npuser
+
+import "repro/internal/must"
+
+func parse(s string) (string, error) { return s, nil }
+
+// MustParse is the documented convenience pattern: the Must prefix
+// advertises panic-on-error to callers.
+func MustParse(s string) string {
+	return must.Must(parse(s))
+}
+
+func sneaky(s string) string {
+	return must.Must(parse(s)) // want `must.Must outside the documented invariant allowlist`
+}
+
+var _, _ = MustParse, sneaky

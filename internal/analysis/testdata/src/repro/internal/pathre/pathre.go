@@ -1,0 +1,29 @@
+// Fixture mirroring the two documented pathre invariant sites
+// (mustSameAlphabet, build) plus an undocumented panic that must fail.
+package pathre
+
+type DFA struct{ Alphabet []string }
+
+func mustSameAlphabet(d, o *DFA, op string) {
+	if len(d.Alphabet) != len(o.Alphabet) {
+		panic("pathre: " + op + " requires identical alphabets") // allowlisted
+	}
+}
+
+func build(kind int) int {
+	switch kind {
+	case 0:
+		return 1
+	default:
+		panic("pathre: unknown expression type") // allowlisted
+	}
+}
+
+func frobnicate(n int) int {
+	if n < 0 {
+		panic("pathre: negative") // want `panic outside the documented invariant allowlist \(repro/internal/pathre.frobnicate\)`
+	}
+	return n
+}
+
+var _, _, _ = mustSameAlphabet, build, frobnicate

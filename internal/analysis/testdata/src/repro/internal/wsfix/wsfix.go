@@ -1,0 +1,47 @@
+// Fixture for wrapsentinel: fmt.Errorf must wrap error values with %w,
+// and sentinel comparisons must go through errors.Is.
+package wsfix
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrBoom = errors.New("wsfix: boom")
+
+func wrap(err error) error {
+	return fmt.Errorf("learning: %w", err)
+}
+
+func sever(err error) error {
+	return fmt.Errorf("learning: %v", err) // want `fmt.Errorf formats an error value without %w`
+}
+
+func compare(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrBoom) {
+		return true
+	}
+	if err == ErrBoom { // want `comparison with sentinel ErrBoom breaks under wrapping; use errors.Is`
+		return true
+	}
+	if err != ErrBoom { // want `comparison with sentinel ErrBoom breaks under wrapping; use errors.Is`
+		return false
+	}
+	return io.EOF == err // want `comparison with sentinel EOF breaks under wrapping; use errors.Is`
+}
+
+func classify(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case ErrBoom: // want `switch case on sentinel ErrBoom breaks under wrapping; use errors.Is`
+		return 1
+	}
+	return 2
+}
+
+var _, _, _, _ = wrap, sever, compare, classify

@@ -1,0 +1,11 @@
+// Fixture for determinism's one randomness exemption: internal/xmark
+// owns the seeded generator, so constructing rand there is legal.
+package xmark
+
+import "math/rand"
+
+func gen(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+var _ = gen

@@ -1,0 +1,10 @@
+// Fixture mirroring the documented xmldoc invariant site.
+package xmldoc
+
+import "fmt"
+
+func invariant(format string, args ...any) {
+	panic("xmldoc: " + fmt.Sprintf(format, args...)) // allowlisted
+}
+
+var _ = invariant

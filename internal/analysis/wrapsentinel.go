@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WrapSentinel enforces the error-matching discipline from DESIGN.md:
+// the engine wraps every error with fragment context, so sentinel
+// errors (core.ErrMaxEQ, replay.ErrUnanswered, io.EOF, ...) survive
+// only through the errors.Is/errors.As protocol. Two rules:
+//
+//  1. fmt.Errorf must wrap: if any argument is an error value, the
+//     format must contain %w, otherwise the chain is severed and every
+//     downstream errors.Is silently stops matching.
+//  2. sentinel comparisons must go through errors.Is: `err == ErrX`
+//     (or !=, or `case ErrX:` in a switch over an error) matches only
+//     the unwrapped value and breaks as soon as any layer wraps.
+var WrapSentinel = &Analyzer{
+	Name: "wrapsentinel",
+	Doc: "require %w when fmt.Errorf formats an error and errors.Is/As " +
+		"for sentinel comparisons",
+	Run: runWrapSentinel,
+}
+
+func runWrapSentinel(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfWraps(pass, n)
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkSentinelCompare(pass, n.Pos(), n.X, n.Y)
+				}
+			case *ast.SwitchStmt:
+				checkErrorSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorfWraps flags fmt.Errorf calls that format an error value
+// without %w.
+func checkErrorfWraps(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Errorf" || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format; out of reach
+	}
+	if strings.Contains(constant.StringVal(tv.Value), "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if isErrorType(pass.TypesInfo.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(),
+				"fmt.Errorf formats an error value without %%w; wrapping keeps errors.Is matching")
+			return
+		}
+	}
+}
+
+// checkSentinelCompare flags == / != where one side is a sentinel error
+// variable and the other an error value.
+func checkSentinelCompare(pass *Pass, pos token.Pos, x, y ast.Expr) {
+	for _, pair := range [2][2]ast.Expr{{x, y}, {y, x}} {
+		sentinel, other := pair[0], pair[1]
+		name, ok := sentinelErrorVar(pass.TypesInfo, sentinel)
+		if !ok || !isErrorType(pass.TypesInfo.TypeOf(other)) {
+			continue
+		}
+		pass.Reportf(pos,
+			"comparison with sentinel %s breaks under wrapping; use errors.Is", name)
+		return
+	}
+}
+
+// checkErrorSwitch flags `switch err { case ErrX: }` over an error
+// value — equality semantics in switch clothing.
+func checkErrorSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorType(pass.TypesInfo.TypeOf(sw.Tag)) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, v := range cc.List {
+			if name, ok := sentinelErrorVar(pass.TypesInfo, v); ok {
+				pass.Reportf(v.Pos(),
+					"switch case on sentinel %s breaks under wrapping; use errors.Is", name)
+			}
+		}
+	}
+}
+
+// sentinelErrorVar reports whether expr denotes a package-level error
+// variable following the sentinel naming convention (ErrFoo, or the
+// historical io.EOF).
+func sentinelErrorVar(info *types.Info, expr ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !isErrorType(v.Type()) {
+		return "", false
+	}
+	name := v.Name()
+	if !strings.HasPrefix(name, "Err") && !strings.HasPrefix(name, "err") && name != "EOF" {
+		return "", false
+	}
+	return name, true
+}

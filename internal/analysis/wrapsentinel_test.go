@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestWrapSentinel(t *testing.T) {
+	RunFixture(t, WrapSentinel, "repro/internal/wsfix")
+}

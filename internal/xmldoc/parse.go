@@ -2,6 +2,7 @@ package xmldoc
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -20,7 +21,7 @@ func Parse(r io.Reader) (*Document, error) {
 	cur := doc.DocNode()
 	for {
 		tok, err := dec.Token()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

@@ -1,10 +1,11 @@
 package xq
 
 import (
+	"context"
 	"math/rand"
-	"repro/internal/must"
 	"testing"
 
+	"repro/internal/must"
 	"repro/internal/pathre"
 )
 
@@ -199,12 +200,12 @@ func TestCollapsePreservesSemantics(t *testing.T) {
 	// connected by 1-labeled edges does not change the query result").
 	tr := x0StarPlusTree()
 	ev := NewEvaluator(figure4Doc())
-	before := must.Must(tr.XQueryResultString(ev))
+	before := must.Must(tr.XQueryResultString(context.Background(), ev))
 
 	n1, n11 := tr.Root, tr.Root.Children[0]
 	m := Collapse(n1, n11)
 	collapsed := NewTree(m)
-	after := must.Must(collapsed.XQueryResultString(ev))
+	after := must.Must(collapsed.XQueryResultString(context.Background(), ev))
 	if before != after {
 		t.Fatalf("collapse changed the result:\nbefore %s\nafter  %s", before, after)
 	}

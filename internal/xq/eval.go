@@ -472,8 +472,8 @@ func (e *Evaluator) Assignments(ctx context.Context, t *Tree, n *Node) ([]Env, e
 
 // XQueryResultString evaluates the tree over the evaluator's document
 // and returns the serialized result (convenience for tests and tools).
-func (t *Tree) XQueryResultString(ev *Evaluator) (string, error) {
-	res, err := ev.Result(context.Background(), t)
+func (t *Tree) XQueryResultString(ctx context.Context, ev *Evaluator) (string, error) {
+	res, err := ev.Result(ctx, t)
 	if err != nil {
 		return "", err
 	}
