@@ -9,6 +9,8 @@
 // Add -worst to fill the bracketed worst-case counterexample counts and
 // -parallel N to learn scenarios on N concurrent sessions (the tables
 // are byte-identical to a serial run). Ctrl-C cancels all sessions.
+// -bench-json FILE additionally writes each table's wall-clock to FILE
+// (the committed BENCH_eval.json baseline).
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -27,6 +30,7 @@ func main() {
 	table := flag.String("table", "all", "fig15 | fig16-xmark | fig16-xmp | fig16-r | ablation | all")
 	worst := flag.Bool("worst", false, "also run the worst-case counterexample policy (bracketed CE)")
 	parallel := flag.Int("parallel", 1, "number of concurrent learning sessions (<=1 runs serially)")
+	benchJSON := flag.String("bench-json", "", "write per-table wall-clock timings to this JSON file")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -76,12 +80,25 @@ func main() {
 	if *table == "all" {
 		names = []string{"fig15", "fig16-xmark", "fig16-xmp", "fig16-r", "ablation"}
 	}
+	var records []experiments.BenchRecord
 	for _, n := range names {
+		start := time.Now()
 		if err := run(n); err != nil {
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintln(os.Stderr, "experiments: interrupted")
 				os.Exit(130)
 			}
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		records = append(records, experiments.BenchRecord{
+			Name:   n,
+			Millis: float64(time.Since(start).Microseconds()) / 1000,
+		})
+	}
+	if *benchJSON != "" {
+		report := experiments.NewBenchReport(*table, records)
+		if err := experiments.WriteBenchJSON(*benchJSON, report); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

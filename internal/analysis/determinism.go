@@ -12,11 +12,12 @@ import (
 // unseeded random draw corrupts the experiment without failing a test.
 // Rules:
 //
-//  1. In the table-producing packages (experiments, scenario, core): a
-//     `range` over a map whose body accumulates output (appends to an
-//     outer slice, or prints/writes) needs a sort after the loop in the
-//     same function — map iteration order is deliberately randomized by
-//     the runtime.
+//  1. In the table-producing packages (experiments, scenario, core, and
+//     the evaluation layer they stand on: xq with its memo caches,
+//     teacher): a `range` over a map whose body accumulates output
+//     (appends to an outer slice, or prints/writes) needs a sort after
+//     the loop in the same function — map iteration order is
+//     deliberately randomized by the runtime.
 //  2. Same packages: time.Now is forbidden; tables must not embed
 //     wall-clock values (cmd/ layers may measure wall-clock for
 //     reporting around the tables).
@@ -30,11 +31,16 @@ var Determinism = &Analyzer{
 	Run: runDeterminism,
 }
 
-// determinismTablePkgs produce or aggregate the experiment tables.
+// determinismTablePkgs produce or aggregate the experiment tables, or
+// implement the evaluation/teacher layer whose node orderings the
+// tables depend on (xq's acceleration caches file nodes in maps; any
+// map-order leak there would perturb extents and thus counts).
 var determinismTablePkgs = map[string]bool{
 	"repro/internal/experiments": true,
 	"repro/internal/scenario":    true,
 	"repro/internal/core":        true,
+	"repro/internal/xq":          true,
+	"repro/internal/teacher":     true,
 }
 
 func runDeterminism(pass *Pass) error {

@@ -6,6 +6,10 @@ func TestDeterminismTablePackages(t *testing.T) {
 	RunFixture(t, Determinism, "repro/internal/experiments")
 }
 
+func TestDeterminismEvalLayer(t *testing.T) {
+	RunFixture(t, Determinism, "repro/internal/xq")
+}
+
 func TestDeterminismXmarkExemption(t *testing.T) {
 	RunFixture(t, Determinism, "repro/internal/xmark")
 }

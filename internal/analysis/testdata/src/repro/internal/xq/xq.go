@@ -1,0 +1,34 @@
+// Fixture for determinism inside the evaluation acceleration layer
+// (repro/internal/xq): cache maps must not leak iteration order into
+// node sets, and the evaluator must not read the wall clock.
+package xq
+
+import (
+	"sort"
+	"time"
+)
+
+// fingerprint is the canonicalization shape the extent cache uses:
+// map-range append followed by a sort in the same function is allowed.
+func fingerprint(pinned map[string]int) []string {
+	parts := make([]string, 0, len(pinned))
+	for k := range pinned {
+		parts = append(parts, k)
+	}
+	sort.Strings(parts)
+	return parts
+}
+
+// drainCache lets cache-map order become candidate order: flagged.
+func drainCache(idx map[string][]int) []int {
+	var out []int
+	for _, nodes := range idx { // want `map iteration appends to out in unspecified order`
+		out = append(out, nodes...)
+	}
+	return out
+}
+
+// stamp embeds wall-clock in evaluation state: flagged.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in a table-producing package`
+}

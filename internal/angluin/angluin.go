@@ -73,16 +73,69 @@ type learner struct {
 	initial  []string
 	maxEQ    int
 
-	// S: access strings (prefixes); E: distinguishing suffixes.
-	s [][]string
-	e [][]string
+	// S: access strings (prefixes), each carrying its pre-joined map
+	// key; E: distinguishing suffixes, with eKeys their pre-joined keys.
+	s     []prefix
+	e     [][]string
+	eKeys []string
 	// table caches membership answers keyed by joined word.
 	table map[string]bool
+	// sSet mirrors s as a set of joined prefixes for O(1) hasPrefix.
+	sSet map[string]bool
+	// rows caches row(s) per joined prefix. A row is a function of the
+	// prefix and the current suffix set E only, so the cache is exact
+	// until E grows and is dropped whenever a suffix is added.
+	rows map[string]string
+	// Incremental closedness state, valid for the current E. rowsOfS
+	// holds the rows S realizes (it only grows while E is fixed: prefixes
+	// are never removed); tabled counts the prefixes of s already folded
+	// into it; checked marks extension keys whose row was confirmed
+	// present. All three reset together when a suffix is added.
+	rowsOfS map[string]bool
+	tabled  int
+	checked map[string]bool
+	// kb is a scratch buffer for building map keys without allocating:
+	// lookups go through the non-allocating map[string(kb)] form, and a
+	// key string is only materialized on insertion.
+	kb []byte
 
 	stats Stats
 }
 
 func key(w []string) string { return strings.Join(w, "\x00") }
+
+// prefix is an access string with its pre-joined key, so table scans do
+// not re-join the same word on every pass.
+type prefix struct {
+	w []string
+	k string
+}
+
+// extKey is the key of the one-symbol extension of the word keyed k.
+func extKey(k, a string) string {
+	if k == "" {
+		return a
+	}
+	return k + "\x00" + a
+}
+
+// extend returns p.w + a with the extension's key computed from p.k.
+func (p prefix) extend(a string) prefix {
+	return prefix{w: append(append([]string(nil), p.w...), a), k: extKey(p.k, a)}
+}
+
+// appendKey appends the key of a further word (given its key k) to the
+// word key already in kb — the allocation-free form of extKey, also
+// covering whole-word concatenation (empty parts contribute nothing).
+func appendKey(kb []byte, k string) []byte {
+	if k == "" {
+		return kb
+	}
+	if len(kb) > 0 {
+		kb = append(kb, 0)
+	}
+	return append(kb, k...)
+}
 
 func (l *learner) member(w []string) (bool, error) {
 	k := key(w)
@@ -98,37 +151,58 @@ func (l *learner) member(w []string) (bool, error) {
 	return v, nil
 }
 
-// row computes the observation-table row of prefix s.
-func (l *learner) row(s []string) (string, error) {
-	var b strings.Builder
-	for _, e := range l.e {
-		w := append(append([]string(nil), s...), e...)
-		v, err := l.member(w)
-		if err != nil {
-			return "", err
+// row computes the observation-table row of prefix p, memoized until
+// the suffix set changes. Membership lookups build their cache key from
+// the pre-joined prefix and suffix keys; the concatenated word itself is
+// materialized only when the teacher actually has to be asked.
+func (l *learner) row(p prefix) (string, error) {
+	if r, ok := l.rows[p.k]; ok {
+		return r, nil
+	}
+	buf := make([]byte, len(l.e))
+	for i, e := range l.e {
+		kb := appendKey(append(l.kb[:0], p.k...), l.eKeys[i])
+		l.kb = kb
+		v, ok := l.table[string(kb)]
+		if !ok {
+			w := append(append([]string(nil), p.w...), e...)
+			var err error
+			v, err = l.teacher.Member(w)
+			if err != nil {
+				return "", err
+			}
+			l.stats.MembershipQueries++
+			l.table[string(kb)] = v
 		}
 		if v {
-			b.WriteByte('1')
+			buf[i] = '1'
 		} else {
-			b.WriteByte('0')
+			buf[i] = '0'
 		}
 	}
-	return b.String(), nil
-}
-
-func (l *learner) hasPrefix(w []string) bool {
-	k := key(w)
-	for _, s := range l.s {
-		if key(s) == k {
-			return true
-		}
+	r := string(buf)
+	if l.rows == nil {
+		l.rows = map[string]string{}
 	}
-	return false
+	l.rows[p.k] = r
+	return r, nil
 }
 
-func (l *learner) addPrefix(w []string) {
-	if !l.hasPrefix(w) {
-		l.s = append(l.s, append([]string(nil), w...))
+// rowExt computes the row of p's one-symbol extension by a, building
+// the extended word (and its key) only on a row-cache miss.
+func (l *learner) rowExt(p prefix, a string) (string, error) {
+	kb := appendKey(append(l.kb[:0], p.k...), a)
+	l.kb = kb
+	if r, ok := l.rows[string(kb)]; ok {
+		return r, nil
+	}
+	return l.row(p.extend(a))
+}
+
+func (l *learner) addPrefix(p prefix) {
+	if !l.sSet[p.k] {
+		l.sSet[p.k] = true
+		l.s = append(l.s, p)
 	}
 }
 
@@ -143,11 +217,14 @@ func (l *learner) hasSuffix(w []string) bool {
 }
 
 func (l *learner) run() (*pathre.DFA, Stats, error) {
-	l.s = [][]string{{}}
+	l.s = []prefix{{}}
+	l.sSet = map[string]bool{"": true}
 	l.e = [][]string{{}}
+	l.eKeys = []string{""}
 	if l.initial != nil {
 		for i := 1; i <= len(l.initial); i++ {
-			l.addPrefix(l.initial[:i])
+			w := l.initial[:i]
+			l.addPrefix(prefix{w: append([]string(nil), w...), k: key(w)})
 		}
 	}
 	for eq := 0; eq < l.maxEQ; eq++ {
@@ -179,56 +256,71 @@ func (l *learner) run() (*pathre.DFA, Stats, error) {
 			return nil, l.stats, fmt.Errorf("angluin: counterexample %v does not distinguish hypothesis from target", ce)
 		}
 		for i := 1; i <= len(ce); i++ {
-			l.addPrefix(ce[:i])
+			w := ce[:i]
+			l.addPrefix(prefix{w: append([]string(nil), w...), k: key(w)})
 		}
 	}
 	return nil, l.stats, fmt.Errorf("angluin: exceeded %d equivalence queries", l.maxEQ)
 }
 
-// close extends S until the table is closed and consistent.
+// close extends S until the table is closed and consistent. The
+// closedness scan is incremental: under a fixed suffix set rows never
+// change and S only grows, so extension checks that passed once are
+// never repeated — neither within one call nor across the successive
+// close calls of the counterexample loop.
 func (l *learner) close() error {
 	for {
-		changed := false
-		// Closedness: every one-step extension's row must appear in S.
-		rowsOfS := map[string]bool{}
-		for _, s := range l.s {
-			r, err := l.row(s)
+		if l.rowsOfS == nil {
+			l.rowsOfS = map[string]bool{}
+			l.checked = map[string]bool{}
+			l.tabled = 0
+		}
+		for l.tabled < len(l.s) {
+			r, err := l.row(l.s[l.tabled])
 			if err != nil {
 				return err
 			}
-			rowsOfS[r] = true
+			l.rowsOfS[r] = true
+			l.tabled++
 		}
+		// Closedness: every one-step extension's row must appear in S.
+		// Prefixes appended mid-scan are reached by the same loop, so one
+		// pass suffices.
 		for i := 0; i < len(l.s); i++ {
 			s := l.s[i]
 			for _, a := range l.alphabet {
-				ext := append(append([]string(nil), s...), a)
-				if l.hasPrefix(ext) {
+				kb := appendKey(append(l.kb[:0], s.k...), a)
+				l.kb = kb
+				if l.sSet[string(kb)] || l.checked[string(kb)] {
 					continue
 				}
-				r, err := l.row(ext)
+				// rowExt reuses the scratch buffer, so the key string is
+				// materialized here, where it is needed for insertion.
+				ek := extKey(s.k, a)
+				r, err := l.rowExt(s, a)
 				if err != nil {
 					return err
 				}
-				if !rowsOfS[r] {
-					l.addPrefix(ext)
-					rowsOfS[r] = true
-					changed = true
+				if l.rowsOfS[r] {
+					l.checked[ek] = true
+					continue
 				}
+				l.addPrefix(s.extend(a))
+				l.rowsOfS[r] = true
 			}
 		}
-		if changed {
-			continue
-		}
+		l.tabled = len(l.s)
 		// Consistency: equal rows must have equal extensions; otherwise
 		// a new distinguishing suffix exists.
 		fixed, err := l.fixInconsistency()
 		if err != nil {
 			return err
 		}
-		if fixed {
-			continue
+		if !fixed {
+			return nil
 		}
-		return nil
+		// A suffix was added: every row-derived structure is stale.
+		l.rowsOfS = nil
 	}
 }
 
@@ -247,13 +339,11 @@ func (l *learner) fixInconsistency() (bool, error) {
 				continue
 			}
 			for _, a := range l.alphabet {
-				exti := append(append([]string(nil), l.s[i]...), a)
-				extj := append(append([]string(nil), l.s[j]...), a)
-				ri, err := l.row(exti)
+				ri, err := l.rowExt(l.s[i], a)
 				if err != nil {
 					return false, err
 				}
-				rj, err := l.row(extj)
+				rj, err := l.rowExt(l.s[j], a)
 				if err != nil {
 					return false, err
 				}
@@ -266,6 +356,8 @@ func (l *learner) fixInconsistency() (bool, error) {
 						newSuffix := append([]string{a}, l.e[p]...)
 						if !l.hasSuffix(newSuffix) {
 							l.e = append(l.e, newSuffix)
+							l.eKeys = append(l.eKeys, key(newSuffix))
+							l.rows = nil // rows are a function of E
 							return true, nil
 						}
 					}
@@ -281,7 +373,7 @@ func (l *learner) fixInconsistency() (bool, error) {
 func (l *learner) hypothesis() (*pathre.DFA, error) {
 	// Unique rows of S become states.
 	stateOf := map[string]int{}
-	var reps [][]string
+	var reps []prefix
 	for _, s := range l.s {
 		r, err := l.row(s)
 		if err != nil {
@@ -302,8 +394,7 @@ func (l *learner) hypothesis() (*pathre.DFA, error) {
 		}
 		d.Accept[qi] = r[0] == '1' // E[0] is ε
 		for _, a := range l.alphabet {
-			ext := append(append([]string(nil), rep...), a)
-			re, err := l.row(ext)
+			re, err := l.rowExt(rep, a)
 			if err != nil {
 				return nil, err
 			}
@@ -315,7 +406,7 @@ func (l *learner) hypothesis() (*pathre.DFA, error) {
 			d.Trans[qi][d.SymIndex(a)] = target
 		}
 	}
-	r0, err := l.row(nil)
+	r0, err := l.row(prefix{})
 	if err != nil {
 		return nil, err
 	}

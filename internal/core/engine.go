@@ -515,6 +515,10 @@ func (e *Engine) minimizeConds(ctx context.Context, tree *xq.Tree, f *fragment, 
 	}
 	extents := func(ps []*xq.Pred) ([][]*xmldoc.Node, error) {
 		f.xqAnchor.Where = ps
+		// The trial mutates a tree the evaluator has memoized extents
+		// for; drop them so every trial is computed against its own
+		// predicate set.
+		e.eval.InvalidateExtents()
 		out := make([][]*xmldoc.Node, len(assignments))
 		for i, env := range assignments {
 			ext, err := e.eval.Extent(ctx, tree, f.xqLeaf, env)
@@ -550,6 +554,7 @@ func (e *Engine) minimizeConds(ctx context.Context, tree *xq.Tree, f *fragment, 
 		i++
 	}
 	f.xqAnchor.Where = kept
+	e.eval.InvalidateExtents()
 	return nil
 }
 

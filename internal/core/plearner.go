@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/angluin"
@@ -81,6 +82,13 @@ type pLearner struct {
 	// subtree refutes the assumption.
 	structural bool
 	relAnchor  *xmldoc.Node
+
+	// hypDFA/hypKeys cache the instance path keys the current hypothesis
+	// DFA accepts. The EQ loop re-materializes the hypothesis extent for
+	// the same DFA every condition-refinement iteration; acceptance
+	// depends only on the DFA, so it is computed once per hypothesis.
+	hypDFA  *pathre.DFA
+	hypKeys []string
 
 	learned *pathre.DFA
 	stats   *FragmentStats
@@ -268,13 +276,20 @@ func (p *pLearner) positivesShareRelPath(ctxNode *xmldoc.Node, steps []string, p
 // conditions) denotes: every instance node whose path the DFA accepts
 // and whose anchor satisfies the conditions.
 func (p *pLearner) hypothesisExtent(h *pathre.DFA) []*xmldoc.Node {
-	var out []*xmldoc.Node
-	for _, k := range p.eng.pathKeys {
-		if !h.Accepts(p.eng.pathLabels[k]) {
-			continue
+	if p.hypDFA != h {
+		p.hypDFA = h
+		p.hypKeys = p.hypKeys[:0]
+		for _, k := range p.eng.pathKeys {
+			if h.Accepts(p.eng.pathLabels[k]) {
+				p.hypKeys = append(p.hypKeys, k)
+			}
 		}
+	}
+	ix := p.eng.eval.Index()
+	var out []*xmldoc.Node
+	for _, k := range p.hypKeys {
 		for _, n := range p.eng.pathIndex[k] {
-			if p.structural && !p.relAnchor.IsAncestorOf(n) {
+			if p.structural && !ix.Ancestor(p.relAnchor, n) {
 				continue
 			}
 			if p.condsHold(n) {
@@ -287,11 +302,7 @@ func (p *pLearner) hypothesisExtent(h *pathre.DFA) []*xmldoc.Node {
 }
 
 func sortByID(nodes []*xmldoc.Node) {
-	for i := 1; i < len(nodes); i++ {
-		for j := i; j > 0 && nodes[j].ID < nodes[j-1].ID; j-- {
-			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
-		}
-	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
 }
 
 // Equivalent implements the L* equivalence oracle at the extent level:

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchRecord is the measured wall-clock of one table regeneration.
+// Timing happens in the caller (cmd/experiments): this package produces
+// deterministic tables and takes measured durations as plain data, so
+// it stays free of clock reads.
+type BenchRecord struct {
+	Name   string  `json:"name"`
+	Millis float64 `json:"millis"`
+}
+
+// BenchReport is the JSON document written next to the tables; the
+// committed BENCH_eval.json baseline lets a later change compare its
+// evaluation wall-clock against this one's.
+type BenchReport struct {
+	Suite       string        `json:"suite"`
+	Runs        []BenchRecord `json:"runs"`
+	TotalMillis float64       `json:"total_millis"`
+}
+
+// NewBenchReport assembles a report, filling in the total.
+func NewBenchReport(suite string, runs []BenchRecord) BenchReport {
+	r := BenchReport{Suite: suite, Runs: runs}
+	for _, run := range runs {
+		r.TotalMillis += run.Millis
+	}
+	return r
+}
+
+// WriteBenchJSON writes the report as indented JSON.
+func WriteBenchJSON(path string, r BenchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: encoding bench report: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("experiments: writing bench report: %w", err)
+	}
+	return nil
+}

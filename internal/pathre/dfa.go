@@ -3,6 +3,7 @@ package pathre
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -152,24 +153,23 @@ func (d *DFA) Minimize() *DFA {
 		}
 	}
 	numBlocks := 2
+	buf := make([]byte, 0, 64)
 	for {
-		// Signature: (block, successor blocks).
-		sig := make([]string, n)
-		for i, q := range states {
-			var b strings.Builder
-			fmt.Fprintf(&b, "%d", part[i])
-			for _, nx := range d.Trans[q] {
-				fmt.Fprintf(&b, ",%d", part[idx[nx]])
-			}
-			sig[i] = b.String()
-		}
+		// Signature: (block, successor blocks). Block numbers follow
+		// first occurrence in state order, so refinement is
+		// deterministic.
 		blockOf := map[string]int{}
 		next := make([]int, n)
-		for i := range states {
-			b, ok := blockOf[sig[i]]
+		for i, q := range states {
+			buf = strconv.AppendInt(buf[:0], int64(part[i]), 10)
+			for _, nx := range d.Trans[q] {
+				buf = append(buf, ',')
+				buf = strconv.AppendInt(buf, int64(part[idx[nx]]), 10)
+			}
+			b, ok := blockOf[string(buf)]
 			if !ok {
 				b = len(blockOf)
-				blockOf[sig[i]] = b
+				blockOf[string(buf)] = b
 			}
 			next[i] = b
 		}

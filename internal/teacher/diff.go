@@ -1,0 +1,77 @@
+package teacher
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/xmldoc"
+)
+
+// diffMinLen gates the parallel diff path: below it, chunking overhead
+// outweighs the scan. It is a variable so tests can lower it and drive
+// the parallel path on small extents.
+var diffMinLen = 2048
+
+// diffExtents computes the two sides of the symmetric difference of the
+// truth and hypothesis extents — pos is truth minus hypothesis (nodes
+// the user would add), neg is hypothesis minus truth (nodes the user
+// would remove) — preserving the input order of each side. Large sides
+// fan the membership scan out over a bounded worker pool (the PR-1
+// runner shape: fixed workers, results concatenated in chunk index
+// order), so the parallel path is element-identical to the serial scan
+// at any width.
+func diffExtents(truth, hyp []*xmldoc.Node) (pos, neg []*xmldoc.Node) {
+	inHyp := make(map[int]bool, len(hyp))
+	for _, n := range hyp {
+		inHyp[n.ID] = true
+	}
+	inTruth := make(map[int]bool, len(truth))
+	for _, n := range truth {
+		inTruth[n.ID] = true
+	}
+	pos = filterNotIn(truth, inHyp)
+	neg = filterNotIn(hyp, inTruth)
+	return pos, neg
+}
+
+// filterNotIn returns the nodes whose IDs are not in the set, in input
+// order. The set is only read, so chunk workers share it safely.
+func filterNotIn(nodes []*xmldoc.Node, in map[int]bool) []*xmldoc.Node {
+	serial := func(part []*xmldoc.Node) []*xmldoc.Node {
+		var out []*xmldoc.Node
+		for _, n := range part {
+			if !in[n.ID] {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	if len(nodes) < diffMinLen {
+		return serial(nodes)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	chunk := (len(nodes) + workers - 1) / workers
+	parts := make([][]*xmldoc.Node, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(nodes))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w int, part []*xmldoc.Node) {
+			defer wg.Done()
+			parts[w] = serial(part)
+		}(w, nodes[lo:hi])
+	}
+	wg.Wait()
+	var out []*xmldoc.Node
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package teacher
+
+import (
+	"testing"
+
+	"repro/internal/xmldoc"
+)
+
+// fakeNodes builds n distinct nodes with sequential IDs. Only the ID
+// matters to the diff.
+func fakeNodes(start, n int) []*xmldoc.Node {
+	out := make([]*xmldoc.Node, n)
+	for i := range out {
+		out[i] = &xmldoc.Node{ID: start + i}
+	}
+	return out
+}
+
+// TestDiffExtentsParallelMatchesSerial lowers diffMinLen so the chunked
+// worker path runs on small inputs, and checks it is element-identical
+// (same nodes, same order) to the serial scan it replaces.
+func TestDiffExtentsParallelMatchesSerial(t *testing.T) {
+	truth := fakeNodes(0, 100)
+	// hyp shares every third truth node, plus 40 of its own.
+	var hyp []*xmldoc.Node
+	for i := 0; i < 100; i += 3 {
+		hyp = append(hyp, truth[i])
+	}
+	hyp = append(hyp, fakeNodes(1000, 40)...)
+
+	serialPos, serialNeg := diffExtents(truth, hyp)
+
+	saved := diffMinLen
+	diffMinLen = 4
+	defer func() { diffMinLen = saved }()
+	for round := 0; round < 5; round++ {
+		pos, neg := diffExtents(truth, hyp)
+		if !equalNodeSlices(pos, serialPos) {
+			t.Fatalf("round %d: parallel pos (%d nodes) differs from serial (%d nodes)",
+				round, len(pos), len(serialPos))
+		}
+		if !equalNodeSlices(neg, serialNeg) {
+			t.Fatalf("round %d: parallel neg (%d nodes) differs from serial (%d nodes)",
+				round, len(neg), len(serialNeg))
+		}
+	}
+	// Sanity on the expected shapes: pos = truth nodes not shared (66),
+	// neg = hyp's own 40.
+	if len(serialPos) != 66 || len(serialNeg) != 40 {
+		t.Fatalf("serial diff = %d pos, %d neg; want 66, 40", len(serialPos), len(serialNeg))
+	}
+}
+
+// TestDiffExtentsEmptySides pins the edge cases: empty truth, empty
+// hypothesis, and identical extents.
+func TestDiffExtentsEmptySides(t *testing.T) {
+	nodes := fakeNodes(0, 10)
+	if pos, neg := diffExtents(nil, nodes); len(pos) != 0 || !equalNodeSlices(neg, nodes) {
+		t.Errorf("diff(nil, nodes) = %d pos, %d neg; want 0, %d", len(pos), len(neg), len(nodes))
+	}
+	if pos, neg := diffExtents(nodes, nil); !equalNodeSlices(pos, nodes) || len(neg) != 0 {
+		t.Errorf("diff(nodes, nil) = %d pos, %d neg; want %d, 0", len(pos), len(neg), len(nodes))
+	}
+	if pos, neg := diffExtents(nodes, nodes); len(pos) != 0 || len(neg) != 0 {
+		t.Errorf("diff(nodes, nodes) = %d pos, %d neg; want 0, 0", len(pos), len(neg))
+	}
+}
+
+func equalNodeSlices(a, b []*xmldoc.Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -96,25 +96,7 @@ func (s *Sim) Equivalent(ctx context.Context, frag core.FragmentRef, pin map[str
 	if err != nil {
 		return nil, false, false, err
 	}
-	inHyp := map[int]bool{}
-	for _, n := range hyp {
-		inHyp[n.ID] = true
-	}
-	inTruth := map[int]bool{}
-	for _, n := range truth {
-		inTruth[n.ID] = true
-	}
-	var pos, neg []*xmldoc.Node
-	for _, n := range truth {
-		if !inHyp[n.ID] {
-			pos = append(pos, n)
-		}
-	}
-	for _, n := range hyp {
-		if !inTruth[n.ID] {
-			neg = append(neg, n)
-		}
-	}
+	pos, neg := diffExtents(truth, hyp)
 	if len(pos) == 0 && len(neg) == 0 {
 		return nil, false, true, nil
 	}

@@ -1,0 +1,284 @@
+package xq
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/pathre"
+	"repro/internal/xmldoc"
+)
+
+// This file is the evaluation acceleration layer: memoization and
+// index-backed fast paths layered over the naive evaluator. Every fast
+// path is result-identical to the naive code — the caches key on
+// immutable inputs (the document, rendered path expressions, node
+// identities), candidate prefilters are verified by the unchanged
+// predicate code afterwards, and index-gathered node sets are re-sorted
+// into the exact walk order the naive enumeration produces. The one
+// cache that depends on mutable state — the extent memo, which sees the
+// query tree's where clauses — has an explicit invalidation hook
+// (InvalidateExtents) that tree-mutating callers must use.
+//
+// Determinism guarantee: no map iteration order reaches any output;
+// fingerprints sort their components and index lookups re-sort by
+// document order (see DESIGN.md "Evaluation acceleration layer").
+
+// Cache bounds. Explicit invalidation is the correctness mechanism; the
+// caps are safety valves so a pathological workload cannot grow a cache
+// without bound — on overflow a cache is dropped wholesale and rebuilt,
+// which affects speed, never results.
+const (
+	// relayIndexMinSize gates the equality-join index: relay scans over
+	// fewer candidates are cheaper to run than to index.
+	relayIndexMinSize = 8
+	extentCacheMax    = 1 << 14
+	pathCacheMax      = 1 << 15
+	simpleCacheMax    = 1 << 17
+	valueCacheMax     = 1 << 17
+)
+
+// pathCacheKey memoizes PathNodes per (start node, rendered expression).
+type pathCacheKey struct {
+	start int
+	expr  string
+}
+
+// simpleCacheKey memoizes EvalSimplePath per (start node, rendered path).
+type simpleCacheKey struct {
+	start int
+	path  string
+}
+
+// extentKey memoizes Extent per (query-node identity, pinned-env
+// fingerprint). Node identity is pointer identity: two query nodes are
+// the same extent subject iff they are the same *Node.
+type extentKey struct {
+	node *Node
+	pin  string
+}
+
+// Index returns the per-document index, building it on first use. The
+// index depends only on the immutable document, never on query state.
+func (e *Evaluator) Index() *Index {
+	if e.idx == nil {
+		e.idx = NewIndex(e.Doc)
+	}
+	return e.idx
+}
+
+// SetAcceleration toggles the acceleration layer. It is on by default;
+// turning it off clears every cache and routes all evaluation through
+// the naive enumeration paths (the reference implementation the
+// property tests compare against).
+func (e *Evaluator) SetAcceleration(on bool) {
+	e.accel = on
+	if !on {
+		e.pathCache = nil
+		e.simpleCache = nil
+		e.valueCache = nil
+		e.relayIdx = nil
+		e.extents = nil
+	}
+}
+
+// InvalidateExtents drops every memoized extent. Callers that mutate a
+// query tree previously passed to Extent — changing a node's Where,
+// Path, or OrderBy — must invalidate before the next Extent call;
+// extents are the only cache that reads mutable query state, so nothing
+// else needs flushing. Evaluating a never-before-seen tree needs no
+// invalidation: its nodes are fresh pointers.
+func (e *Evaluator) InvalidateExtents() { e.extents = nil }
+
+// pinFingerprint canonicalizes a pinned environment: sorted var=nodeID
+// pairs, so fingerprint equality is exactly environment equality.
+func pinFingerprint(pinned Env) string {
+	if len(pinned) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(pinned))
+	for k, v := range pinned {
+		parts = append(parts, k+"="+strconv.Itoa(v.ID))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// cachedExtent returns the memoized extent for the key, if any.
+func (e *Evaluator) cachedExtent(key extentKey) ([]*xmldoc.Node, bool) {
+	ext, ok := e.extents[key]
+	if !ok {
+		return nil, false
+	}
+	// Return a copy: callers own their result slice.
+	return append([]*xmldoc.Node(nil), ext...), true
+}
+
+// storeExtent memoizes a computed extent.
+func (e *Evaluator) storeExtent(key extentKey, ext []*xmldoc.Node) {
+	if len(e.extents) >= extentCacheMax {
+		e.extents = nil
+	}
+	if e.extents == nil {
+		e.extents = map[extentKey][]*xmldoc.Node{}
+	}
+	e.extents[key] = ext
+}
+
+// simplePath is EvalSimplePath with memoization: the document is
+// immutable, so the result depends only on (start, path).
+func (e *Evaluator) simplePath(start *xmldoc.Node, p SimplePath) []*xmldoc.Node {
+	if !e.accel || len(p) == 0 || start.Document() != e.Doc {
+		return EvalSimplePath(start, p)
+	}
+	key := simpleCacheKey{start: start.ID, path: p.String()}
+	if out, ok := e.simpleCache[key]; ok {
+		return out
+	}
+	out := EvalSimplePath(start, p)
+	if len(e.simpleCache) >= simpleCacheMax {
+		e.simpleCache = nil
+	}
+	if e.simpleCache == nil {
+		e.simpleCache = map[simpleCacheKey][]*xmldoc.Node{}
+	}
+	e.simpleCache[key] = out
+	return out
+}
+
+// nodeValue is NodeValue with memoization keyed by node identity (the
+// atomized value of an immutable node never changes; element Text()
+// concatenation and float parsing are the hot part).
+func (e *Evaluator) nodeValue(n *xmldoc.Node) Value {
+	if !e.accel || n.Document() != e.Doc {
+		return NodeValue(n)
+	}
+	if v, ok := e.valueCache[n.ID]; ok {
+		return v
+	}
+	v := NodeValue(n)
+	if len(e.valueCache) >= valueCacheMax {
+		e.valueCache = nil
+	}
+	if e.valueCache == nil {
+		e.valueCache = map[int]Value{}
+	}
+	e.valueCache[n.ID] = v
+	return v
+}
+
+// pathNodesIndexed evaluates a document-rooted binding path through the
+// distinct-root-path table: one DFA run per distinct label path in the
+// instance instead of one DFA step per node. The gathered groups are
+// re-sorted by pre-order clock, which is exactly the naive walk order.
+func (e *Evaluator) pathNodesIndexed(d *pathre.DFA) []*xmldoc.Node {
+	ix := e.Index()
+	var out []*xmldoc.Node
+	for _, k := range ix.pathKeys {
+		if d.Accepts(ix.pathLabels[k]) {
+			out = append(out, ix.pathNodes[k]...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return ix.docOrderLess(out[i], out[j]) })
+	return out
+}
+
+// valueKeys returns the join-index keys a value is filed under. Equality
+// in compareValues holds numerically when both sides parse as numbers
+// and textually otherwise, so a value is reachable through its
+// canonical numeric key (both-numeric case) and its literal string key
+// (either-side-non-numeric case); filing under both makes the index
+// lookup complete for every pairing.
+func valueKeys(v Value) []string {
+	if v.IsNum {
+		return []string{"n\x00" + strconv.FormatFloat(v.Num, 'g', -1, 64), "s\x00" + v.Str}
+	}
+	return []string{"s\x00" + v.Str}
+}
+
+// relayJoinIndex builds (or returns) the value index for an equality
+// join: relay nodes reached by relayPath from start, keyed by the
+// atomized values of their atomPath. This is the ID/IDREF case — e.g.
+// "some $w in /site/people/person satisfies w/@id = data($p/person)" —
+// where the naive evaluator re-scans every relay node per candidate.
+func (e *Evaluator) relayJoinIndex(start *xmldoc.Node, relayPath, atomPath SimplePath) map[string][]*xmldoc.Node {
+	key := strconv.Itoa(start.ID) + "\x00" + relayPath.String() + "\x01" + atomPath.String()
+	if idx, ok := e.relayIdx[key]; ok {
+		return idx
+	}
+	idx := map[string][]*xmldoc.Node{}
+	for _, w := range e.simplePath(start, relayPath) {
+		for _, t := range e.simplePath(w, atomPath) {
+			for _, vk := range valueKeys(e.nodeValue(t)) {
+				ws := idx[vk]
+				if len(ws) > 0 && ws[len(ws)-1] == w {
+					continue // this relay node already filed under vk
+				}
+				idx[vk] = append(idx[vk], w)
+			}
+		}
+	}
+	if e.relayIdx == nil {
+		e.relayIdx = map[string]map[string][]*xmldoc.Node{}
+	}
+	e.relayIdx[key] = idx
+	return idx
+}
+
+// splitJoinAtom recognizes an index-friendly equality atom of a relay
+// predicate: exactly one side is data(relayVar/path) (unscaled), the
+// other side is a constant or mentions only outer variables. It returns
+// the relay-side path and the other operand.
+func splitJoinAtom(a Cmp, relayVar string) (SimplePath, Operand, bool) {
+	if a.Op != OpEq {
+		return nil, Operand{}, false
+	}
+	relayOperand := func(o Operand) bool {
+		return !o.IsConst && o.Var == relayVar && (o.Mul == 0 || o.Mul == 1)
+	}
+	outerOperand := func(o Operand) bool { return o.IsConst || o.Var != relayVar }
+	switch {
+	case relayOperand(a.L) && outerOperand(a.R):
+		return a.L.Path, a.R, true
+	case relayOperand(a.R) && outerOperand(a.L):
+		return a.R.Path, a.L, true
+	}
+	return nil, Operand{}, false
+}
+
+// relayCandidates returns the relay bindings worth testing for the
+// predicate under env. The naive candidate set is every node reached by
+// the relay path; when the set is large and the predicate carries an
+// equality-join atom, the value index narrows it to the nodes that can
+// satisfy that atom. The prefilter only ever removes nodes the indexed
+// atom rejects — every returned candidate still runs through the full
+// atom conjunction — and candidates stay in document order.
+func (e *Evaluator) relayCandidates(start *xmldoc.Node, p *Pred, env Env) []*xmldoc.Node {
+	full := e.simplePath(start, p.RelayPath)
+	if !e.accel || len(full) < relayIndexMinSize || start.Document() != e.Doc {
+		return full
+	}
+	for _, a := range p.Atoms {
+		atomPath, other, ok := splitJoinAtom(a, p.RelayVar)
+		if !ok {
+			continue
+		}
+		idx := e.relayJoinIndex(start, p.RelayPath, atomPath)
+		var cands []*xmldoc.Node
+		seen := map[int]bool{}
+		for _, v := range e.operandValues(other, env) {
+			for _, vk := range valueKeys(v) {
+				for _, w := range idx[vk] {
+					if !seen[w.ID] {
+						seen[w.ID] = true
+						cands = append(cands, w)
+					}
+				}
+			}
+		}
+		ix := e.Index()
+		sort.Slice(cands, func(i, j int) bool { return ix.docOrderLess(cands[i], cands[j]) })
+		return cands
+	}
+	return full
+}

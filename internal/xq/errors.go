@@ -1,0 +1,8 @@
+package xq
+
+import "errors"
+
+// ErrNoVariable reports that Extent was asked for an XQ-Tree node that
+// binds no variable (a pure constructor node has no extent). Callers
+// match it with errors.Is; the wrapped message names the offending node.
+var ErrNoVariable = errors.New("xq: node binds no variable")

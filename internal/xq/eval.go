@@ -66,17 +66,34 @@ func (e Env) clone() Env {
 // Evaluator computes extents and full results of XQ-Trees over one
 // source document. DFAs for binding paths are cached per rendered
 // expression.
+//
+// An Evaluator is not goroutine-safe: the DFA cache and the
+// acceleration-layer caches (accel.go) are mutated during evaluation.
+// Sessions own one evaluator each and share nothing, matching the
+// repository's concurrency model.
 type Evaluator struct {
 	Doc      *xmldoc.Document
 	alphabet []string
 	dfas     map[string]*pathre.DFA
+
+	// Acceleration layer (accel.go). accel is on by default; the caches
+	// are lazy. extents is the one cache keyed on mutable query state
+	// and has an explicit invalidation hook (InvalidateExtents); every
+	// other cache keys on the immutable document only.
+	accel       bool
+	idx         *Index
+	pathCache   map[pathCacheKey][]*xmldoc.Node
+	simpleCache map[simpleCacheKey][]*xmldoc.Node
+	valueCache  map[int]Value
+	relayIdx    map[string]map[string][]*xmldoc.Node
+	extents     map[extentKey][]*xmldoc.Node
 }
 
 // NewEvaluator builds an evaluator over doc. The DFA alphabet is the
 // document's label set (learning and evaluation are relative to the
 // instance, as XQI is in the paper).
 func NewEvaluator(doc *xmldoc.Document) *Evaluator {
-	return &Evaluator{Doc: doc, alphabet: doc.Alphabet(), dfas: map[string]*pathre.DFA{}}
+	return &Evaluator{Doc: doc, alphabet: doc.Alphabet(), dfas: map[string]*pathre.DFA{}, accel: true}
 }
 
 func (e *Evaluator) dfa(p pathre.Expr) *pathre.DFA {
@@ -91,11 +108,38 @@ func (e *Evaluator) dfa(p pathre.Expr) *pathre.DFA {
 
 // PathNodes returns the nodes reachable from start (the document node
 // when start is nil) by a label sequence accepted by p, in document
-// order.
+// order. Results are memoized per (start, expression) when acceleration
+// is on; callers must not mutate the returned slice.
 func (e *Evaluator) PathNodes(start *xmldoc.Node, p pathre.Expr) []*xmldoc.Node {
 	if start == nil {
 		start = e.Doc.DocNode()
 	}
+	if !e.accel || start.Document() != e.Doc {
+		return e.pathNodesWalk(start, p)
+	}
+	key := pathCacheKey{start: start.ID, expr: pathre.String(p)}
+	if out, ok := e.pathCache[key]; ok {
+		return out
+	}
+	var out []*xmldoc.Node
+	if start == e.Doc.DocNode() {
+		out = e.pathNodesIndexed(e.dfa(p))
+	} else {
+		out = e.pathNodesWalk(start, p)
+	}
+	if len(e.pathCache) >= pathCacheMax {
+		e.pathCache = nil
+	}
+	if e.pathCache == nil {
+		e.pathCache = map[pathCacheKey][]*xmldoc.Node{}
+	}
+	e.pathCache[key] = out
+	return out
+}
+
+// pathNodesWalk is the naive enumeration: one DFA walk over the whole
+// subtree under start.
+func (e *Evaluator) pathNodesWalk(start *xmldoc.Node, p pathre.Expr) []*xmldoc.Node {
 	d := e.dfa(p)
 	var out []*xmldoc.Node
 	var walk func(n *xmldoc.Node, state int)
@@ -190,10 +234,10 @@ func (e *Evaluator) operandValues(o Operand, env Env) []Value {
 		if start == nil {
 			return nil
 		}
-		nodes := EvalSimplePath(start, o.Path)
+		nodes := e.simplePath(start, o.Path)
 		out = make([]Value, len(nodes))
 		for i, n := range nodes {
-			out[i] = NodeValue(n)
+			out[i] = e.nodeValue(n)
 		}
 	}
 	if o.Mul != 0 && o.Mul != 1 {
@@ -292,7 +336,7 @@ func (e *Evaluator) predBody(p *Pred, env Env) bool {
 		starts = []*xmldoc.Node{n}
 	}
 	for _, s := range starts {
-		for _, w := range EvalSimplePath(s, p.RelayPath) {
+		for _, w := range e.relayCandidates(s, p, env) {
 			inner := env.clone()
 			inner[p.RelayVar] = w
 			ok := true
@@ -366,9 +410,9 @@ func (e *Evaluator) sortByKeys(nodes []*xmldoc.Node, keys []SortKey) []*xmldoc.N
 	for i, n := range nodes {
 		vals := make([]Value, len(keys))
 		for k, key := range keys {
-			targets := EvalSimplePath(n, key.Path)
+			targets := e.simplePath(n, key.Path)
 			if len(targets) > 0 {
-				vals[k] = NodeValue(targets[0])
+				vals[k] = e.nodeValue(targets[0])
 			}
 		}
 		rows[i] = row{n, vals}
@@ -377,9 +421,15 @@ func (e *Evaluator) sortByKeys(nodes []*xmldoc.Node, keys []SortKey) []*xmldoc.N
 		for k, key := range keys {
 			a, b := rows[i].vals[k], rows[j].vals[k]
 			var less, eq bool
-			if (a.IsNum && b.IsNum) || key.Numeric {
+			switch {
+			case a.IsNum && b.IsNum:
 				less, eq = a.Num < b.Num, a.Num == b.Num
-			} else {
+			case key.Numeric && a.IsNum != b.IsNum:
+				// NaN-last rule: under a numeric key, values that do
+				// not parse as numbers sort after every number (in both
+				// directions), rather than comparing their zero Num.
+				return a.IsNum
+			default:
 				less, eq = a.Str < b.Str, a.Str == b.Str
 			}
 			if eq {
@@ -407,7 +457,14 @@ func (e *Evaluator) sortByKeys(nodes []*xmldoc.Node, keys []SortKey) []*xmldoc.N
 // even on large instances.
 func (e *Evaluator) Extent(ctx context.Context, t *Tree, n *Node, pinned Env) ([]*xmldoc.Node, error) {
 	if n.Var == "" {
-		return nil, fmt.Errorf("xq: Extent of %s which binds no variable", n.Name())
+		return nil, fmt.Errorf("xq: Extent of %s: %w", n.Name(), ErrNoVariable)
+	}
+	var key extentKey
+	if e.accel {
+		key = extentKey{node: n, pin: pinFingerprint(pinned)}
+		if ext, ok := e.cachedExtent(key); ok {
+			return ext, nil
+		}
 	}
 	chain := n.BindingChain()
 	seen := map[int]bool{}
@@ -439,6 +496,10 @@ func (e *Evaluator) Extent(ctx context.Context, t *Tree, n *Node, pinned Env) ([
 		return nil, err
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	if e.accel {
+		// Store a private copy: the caller owns the returned slice.
+		e.storeExtent(key, append([]*xmldoc.Node(nil), out...))
+	}
 	return out, nil
 }
 
@@ -558,7 +619,10 @@ func (e *Evaluator) emitRet(ctx context.Context, out *xmldoc.Document, parent *x
 	return nil
 }
 
-func formatNum(f float64) string { return strconv.FormatFloat(f, 'f', -1, 64) }
+// formatNum renders a computed number for output text. It uses the same
+// 'g' format as NumValue, so a number prints identically whether it
+// reaches the output through a Value or directly from an RNum literal.
+func formatNum(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 
 // evalSeq evaluates a return expression to a value sequence (used for
 // function arguments and computed content, Nested Drop Boxes).

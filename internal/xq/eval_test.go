@@ -2,6 +2,7 @@ package xq
 
 import (
 	"context"
+	"errors"
 	"repro/internal/must"
 	"strings"
 	"testing"
@@ -372,15 +373,16 @@ func TestPathNodesAttributes(t *testing.T) {
 	}
 }
 
-func TestExtentPanicsWithoutVar(t *testing.T) {
+func TestExtentErrNoVariable(t *testing.T) {
 	q1 := buildQ1()
 	ev := NewEvaluator(figure4Doc())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Extent of a var-less node must panic")
-		}
-	}()
-	must.Must(ev.Extent(context.Background(), q1, q1.Root, nil))
+	_, err := ev.Extent(context.Background(), q1, q1.Root, nil)
+	if !errors.Is(err, ErrNoVariable) {
+		t.Fatalf("Extent of a var-less node: err = %v, want errors.Is(..., ErrNoVariable)", err)
+	}
+	if !strings.Contains(err.Error(), q1.Root.Name()) {
+		t.Errorf("error %q does not name the offending node %s", err, q1.Root.Name())
+	}
 }
 
 func TestContainsAndScale(t *testing.T) {

@@ -1,0 +1,94 @@
+package xq
+
+import (
+	"strings"
+
+	"repro/internal/xmldoc"
+)
+
+// Index is the per-document acceleration structure behind the
+// evaluator's fast paths: tag→nodes lookup, O(1) ancestor/descendant
+// tests via pre/post-order intervals, and the distinct-root-path table
+// that turns document-rooted path evaluation from a full tree walk into
+// a handful of DFA runs. An Index is built once per document, depends
+// only on the (immutable) document, and is therefore safe to reuse for
+// the lifetime of the evaluator; it holds no query state.
+type Index struct {
+	doc *xmldoc.Document
+	// pre/post are pre-/post-order visit clocks indexed by node ID.
+	// A properly contains B iff pre[A] < pre[B] && post[B] < post[A].
+	// pre also encodes document order: sorting nodes by pre reproduces
+	// exactly the order a full document walk would visit them in.
+	pre, post []int
+	// byLabel maps a label ("item", "@id") to its element/attribute
+	// nodes in document order.
+	byLabel map[string][]*xmldoc.Node
+	// pathKeys lists the distinct root label paths in first-seen
+	// (document) order; pathNodes/pathLabels are keyed by rootKey.
+	pathKeys   []string
+	pathNodes  map[string][]*xmldoc.Node
+	pathLabels map[string][]string
+}
+
+// rootKey encodes a label sequence as a map key.
+func rootKey(w []string) string { return strings.Join(w, "\x00") }
+
+// NewIndex builds the index for doc in one document walk.
+func NewIndex(doc *xmldoc.Document) *Index {
+	ix := &Index{
+		doc:        doc,
+		pre:        make([]int, doc.NumNodes()),
+		post:       make([]int, doc.NumNodes()),
+		byLabel:    map[string][]*xmldoc.Node{},
+		pathNodes:  map[string][]*xmldoc.Node{},
+		pathLabels: map[string][]string{},
+	}
+	clock := 0
+	var walk func(n *xmldoc.Node, path []string)
+	walk = func(n *xmldoc.Node, path []string) {
+		ix.pre[n.ID] = clock
+		clock++
+		if n.Kind == xmldoc.ElementNode || n.Kind == xmldoc.AttributeNode {
+			ix.byLabel[n.Label()] = append(ix.byLabel[n.Label()], n)
+			k := rootKey(path)
+			if _, ok := ix.pathNodes[k]; !ok {
+				ix.pathKeys = append(ix.pathKeys, k)
+				ix.pathLabels[k] = append([]string(nil), path...)
+			}
+			ix.pathNodes[k] = append(ix.pathNodes[k], n)
+		}
+		for _, a := range n.Attrs {
+			walk(a, append(path, a.Label()))
+		}
+		for _, c := range n.Children {
+			walk(c, append(path, c.Label()))
+		}
+		ix.post[n.ID] = clock
+		clock++
+	}
+	walk(doc.DocNode(), make([]string, 0, 16))
+	return ix
+}
+
+// Nodes returns the element/attribute nodes with the given label in
+// document order. Callers must not mutate the returned slice.
+func (ix *Index) Nodes(label string) []*xmldoc.Node { return ix.byLabel[label] }
+
+// Ancestor reports whether anc is a proper ancestor of n, in O(1) for
+// nodes of the indexed document (falling back to the pointer walk for
+// foreign nodes, so it is always equivalent to anc.IsAncestorOf(n)).
+func (ix *Index) Ancestor(anc, n *xmldoc.Node) bool {
+	if anc == nil || n == nil {
+		return false
+	}
+	if anc.Document() != ix.doc || n.Document() != ix.doc ||
+		anc.ID >= len(ix.pre) || n.ID >= len(ix.pre) {
+		return anc.IsAncestorOf(n)
+	}
+	return ix.pre[anc.ID] < ix.pre[n.ID] && ix.post[n.ID] < ix.post[anc.ID]
+}
+
+// docOrderLess reports whether a precedes b in document (walk) order.
+func (ix *Index) docOrderLess(a, b *xmldoc.Node) bool {
+	return ix.pre[a.ID] < ix.pre[b.ID]
+}

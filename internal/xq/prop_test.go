@@ -1,0 +1,102 @@
+// Property test for the acceleration layer: on every scenario truth
+// tree, the indexed/memoized Extent path must be node-for-node
+// identical to the naive walk — including repeated calls (memo hits)
+// and pinned environments (distinct cache keys). External test package
+// because xmark/xmp pull in core, which imports xq.
+package xq_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/xmark"
+	"repro/internal/xmldoc"
+	"repro/internal/xmp"
+	"repro/internal/xq"
+)
+
+func sameNodes(a, b []*xmldoc.Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkExtents compares both evaluators on every bound variable of the
+// tree, twice per pinned environment so the second call is served from
+// the extent memo.
+func checkExtents(t *testing.T, doc *xmldoc.Document, tree *xq.Tree, naive, accel *xq.Evaluator) {
+	t.Helper()
+	ctx := context.Background()
+	for _, n := range tree.Nodes() {
+		if n.Var == "" {
+			continue
+		}
+		want, err := naive.Extent(ctx, tree, n, nil)
+		if err != nil {
+			t.Fatalf("naive Extent($%s): %v", n.Var, err)
+		}
+		pins := []xq.Env{nil}
+		if len(want) > 0 {
+			// Pin the variable to a member (restricts the extent) and to
+			// a node outside it (usually empties it): two more cache keys.
+			pins = append(pins, xq.Env{n.Var: want[0]}, xq.Env{n.Var: doc.DocNode()})
+		}
+		for _, pin := range pins {
+			want, err := naive.Extent(ctx, tree, n, pin)
+			if err != nil {
+				t.Fatalf("naive Extent($%s, pin): %v", n.Var, err)
+			}
+			for round := 0; round < 2; round++ {
+				got, err := accel.Extent(ctx, tree, n, pin)
+				if err != nil {
+					t.Fatalf("accelerated Extent($%s) round %d: %v", n.Var, round, err)
+				}
+				if !sameNodes(want, got) {
+					t.Errorf("extent($%s) pin=%v round %d: accelerated %d nodes != naive %d nodes",
+						n.Var, pin, round, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+func TestAcceleratedExtentMatchesNaive(t *testing.T) {
+	var scens []*scenario.Scenario
+	scens = append(scens, xmark.Scenarios()...)
+	scens = append(scens, xmp.Scenarios()...)
+	for _, s := range scens {
+		t.Run(s.ID, func(t *testing.T) {
+			doc := s.Doc()
+			naive := xq.NewEvaluator(doc)
+			naive.SetAcceleration(false)
+			checkExtents(t, doc, s.Truth(), naive, xq.NewEvaluator(doc))
+		})
+	}
+}
+
+// TestAcceleratedExtentMatchesNaiveReseeded re-checks the XMark truth
+// trees against a differently seeded, differently sized instance, so
+// the comparison is not specific to the one document the experiment
+// tables use.
+func TestAcceleratedExtentMatchesNaiveReseeded(t *testing.T) {
+	cfg := xmark.DefaultConfig()
+	cfg.Seed = 7
+	cfg.People = 13
+	cfg.OpenAuctions = 9
+	cfg.ClosedAuctions = 11
+	doc := xmark.Generate(cfg)
+	for _, s := range xmark.Scenarios() {
+		t.Run(s.ID, func(t *testing.T) {
+			naive := xq.NewEvaluator(doc)
+			naive.SetAcceleration(false)
+			checkExtents(t, doc, s.Truth(), naive, xq.NewEvaluator(doc))
+		})
+	}
+}
