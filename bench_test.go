@@ -40,7 +40,7 @@ func benchScenarios(b *testing.B, scenarios []*scenario.Scenario) {
 		s := s
 		b.Run(s.ID, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
+				res, err := scenario.Run(context.Background(), s, teacher.BestCase)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -72,11 +72,10 @@ func BenchmarkAblationRules(b *testing.B) {
 	for _, c := range configs {
 		c := c
 		b.Run(c.name, func(b *testing.B) {
-			opts := core.DefaultOptions()
-			opts.R1, opts.R2 = c.r1, c.r2
 			totalMQ := 0
 			for i := 0; i < b.N; i++ {
-				res, err := scenario.Run(context.Background(), s, opts, teacher.BestCase)
+				res, err := scenario.Run(context.Background(), s, teacher.BestCase,
+					core.WithR1(c.r1), core.WithR2(c.r2))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -96,15 +95,15 @@ func BenchmarkAblationR1Source(b *testing.B) {
 	for _, mode := range []string{"instance", "dtd", "guide"} {
 		mode := mode
 		b.Run(mode, func(b *testing.B) {
-			opts := core.DefaultOptions()
+			var opts []core.Option
 			if mode == "dtd" {
-				opts.SourceDTD = xmark.DTD()
+				opts = append(opts, core.WithSourceDTD(xmark.DTD()))
 			}
 			if mode == "guide" {
-				opts.R1Filter = guide
+				opts = append(opts, core.WithR1Filter(guide))
 			}
 			for i := 0; i < b.N; i++ {
-				res, err := scenario.Run(context.Background(), s, opts, teacher.BestCase)
+				res, err := scenario.Run(context.Background(), s, teacher.BestCase, opts...)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -128,7 +127,7 @@ func BenchmarkAblationCounterexamplePolicy(b *testing.B) {
 		b.Run(pol.name, func(b *testing.B) {
 			ces := 0
 			for i := 0; i < b.N; i++ {
-				res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), pol.p)
+				res, err := scenario.Run(context.Background(), s, pol.p)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -146,11 +145,10 @@ func BenchmarkAblationLearner(b *testing.B) {
 	for _, mode := range []string{"lstar", "kv"} {
 		mode := mode
 		b.Run(mode, func(b *testing.B) {
-			opts := core.DefaultOptions()
-			opts.UseKVLearner = mode == "kv"
 			asked, ces, reduced := 0, 0, 0
 			for i := 0; i < b.N; i++ {
-				res, err := scenario.Run(context.Background(), s, opts, teacher.BestCase)
+				res, err := scenario.Run(context.Background(), s, teacher.BestCase,
+					core.WithKVLearner(mode == "kv"))
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,0 +1,31 @@
+// Command jsonfield prints one top-level field of a JSON object read
+// from stdin. It exists so CI shell steps (the xlearnerd smoke job) can
+// pluck session ids and states out of API responses without depending
+// on jq being installed on the runner.
+//
+//	curl -s .../v1/sessions/s-0001 | go run ./ci/jsonfield state
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: jsonfield <field> < doc.json")
+		os.Exit(2)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(os.Stdin).Decode(&doc); err != nil {
+		fmt.Fprintf(os.Stderr, "jsonfield: decode stdin: %v\n", err)
+		os.Exit(1)
+	}
+	v, ok := doc[os.Args[1]]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "jsonfield: no field %q in document\n", os.Args[1])
+		os.Exit(1)
+	}
+	fmt.Println(v)
+}

@@ -22,7 +22,6 @@ import (
 	"os/signal"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -36,25 +35,24 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := core.DefaultOptions()
 	run := func(name string) error {
 		switch name {
 		case "fig15":
 			fmt.Println(experiments.FormatFig15())
 		case "fig16-xmark":
-			rows, err := experiments.RunFig16(ctx, experiments.XMarkScenarios(), opts, *worst, *parallel)
+			rows, err := experiments.RunFig16(ctx, experiments.XMarkScenarios(), *worst, *parallel)
 			if err != nil {
 				return err
 			}
 			fmt.Println(experiments.FormatFig16("Figure 16 (top): XMark — the number of interactions for learning", rows))
 		case "fig16-xmp":
-			rows, err := experiments.RunFig16(ctx, experiments.XMPScenarios(), opts, *worst, *parallel)
+			rows, err := experiments.RunFig16(ctx, experiments.XMPScenarios(), *worst, *parallel)
 			if err != nil {
 				return err
 			}
 			fmt.Println(experiments.FormatFig16("Figure 16 (bottom): XML Query Use Case \"XMP\"", rows))
 		case "fig16-r":
-			rows, err := experiments.RunFig16(ctx, experiments.UCRScenarios(), opts, *worst, *parallel)
+			rows, err := experiments.RunFig16(ctx, experiments.UCRScenarios(), *worst, *parallel)
 			if err != nil {
 				return err
 			}

@@ -6,6 +6,7 @@
 //	xlearner -scenario XMP-Q5 -xquery       (nested XQuery-style rendering)
 //	xlearner -scenario XMark-Q1,XMark-Q2    (several sessions)
 //	xlearner -scenario all -parallel 8      (every scenario, 8 sessions at a time)
+//	xlearner -scenario XMP-Q3 -json       (machine-readable api.ResultV1)
 //	xlearner -list
 //	xlearner -scenario XMark-Q1 -worst -no-r1
 //
@@ -14,6 +15,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -22,6 +24,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/replay"
 	"repro/internal/scenario"
@@ -44,6 +47,7 @@ func main() {
 	noR2 := flag.Bool("no-r2", false, "disable reduction rule R2")
 	useKV := flag.Bool("kv", false, "use the Kearns-Vazirani learner instead of L*")
 	xquery := flag.Bool("xquery", false, "print the nested XQuery-style rendering")
+	jsonOut := flag.Bool("json", false, "emit api.ResultV1 JSON instead of the text report")
 	showResult := flag.Bool("result", false, "print the learned query's evaluated result")
 	record := flag.String("record", "", "record the session's interactions to this JSON file")
 	replayFrom := flag.String("replay", "", "answer from a recorded session instead of the teacher")
@@ -69,10 +73,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := core.DefaultOptions()
-	opts.R1 = !*noR1
-	opts.R2 = !*noR2
-	opts.UseKVLearner = *useKV
+	opts := []core.Option{
+		core.WithR1(!*noR1),
+		core.WithR2(!*noR2),
+		core.WithKVLearner(*useKV),
+	}
 	pol := teacher.BestCase
 	if *worst {
 		pol = teacher.WorstCase
@@ -99,7 +104,7 @@ func main() {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					results[i], errs[i] = scenario.Run(ctx, targets[i], opts, pol)
+					results[i], errs[i] = scenario.Run(ctx, targets[i], pol, opts...)
 				}
 			}()
 		}
@@ -111,6 +116,7 @@ func main() {
 	}
 
 	failed := false
+	var jsonResults []*api.ResultV1
 	for i, s := range targets {
 		if err := errs[i]; err != nil {
 			if errors.Is(err, context.Canceled) {
@@ -121,14 +127,36 @@ func main() {
 			failed = true
 			continue
 		}
-		report(s, results[i], *xquery, *showResult)
-		if !results[i].Verified {
+		res := results[i]
+		if *jsonOut {
+			jsonResults = append(jsonResults, api.NewResultV1(s.ID, res.Verified, res.Tree, res.Stats))
+		} else {
+			report(s, res, *xquery, *showResult)
+		}
+		if !res.Verified {
 			failed = true
+		}
+	}
+	if *jsonOut {
+		if err := emitJSON(jsonResults); err != nil {
+			fmt.Fprintln(os.Stderr, "xlearner:", err)
+			os.Exit(1)
 		}
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// emitJSON prints one ResultV1 for a single scenario and an array for
+// several, so shell pipelines need no unwrapping in the common case.
+func emitJSON(results []*api.ResultV1) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if len(results) == 1 {
+		return enc.Encode(results[0])
+	}
+	return enc.Encode(results)
 }
 
 func selectScenarios(spec string) ([]*scenario.Scenario, error) {
@@ -164,9 +192,12 @@ func report(s *scenario.Scenario, res *scenario.Result, xquery, showResult bool)
 	} else {
 		fmt.Println(res.Tree.String())
 	}
-	tot := res.Stats.Totals()
+	// Render through the wire type so the text table and the -json /
+	// daemon output can never disagree about what a counter means.
+	stats := api.NewStatsV1(res.Stats)
+	tot := stats.Totals
 	fmt.Printf("interactions: D&D %d(%d)  MQ %d  CE %d  CB %d(%d)  OB %d\n",
-		res.Stats.DnD, res.Stats.DnDTerms, tot.MQ, tot.CE, tot.CB, tot.CBTerms, tot.OB)
+		stats.DnD, stats.DnDTerms, tot.MQ, tot.CE, tot.CB, tot.CBTerms, tot.OB)
 	fmt.Printf("reduced by rules: %d (R1 %d, R2 %d, both %d)\n",
 		tot.ReducedTotal, tot.ReducedR1, tot.ReducedR2, tot.ReducedBoth)
 	if res.Verified {
@@ -182,9 +213,9 @@ func report(s *scenario.Scenario, res *scenario.Result, xquery, showResult bool)
 
 // runSession runs the scenario directly (instead of scenario.Run) when
 // recording or replaying is requested, so the teacher can be wrapped.
-func runSession(ctx context.Context, s *scenario.Scenario, opts core.Options, pol teacher.Policy, record, replayFrom string) (*scenario.Result, error) {
+func runSession(ctx context.Context, s *scenario.Scenario, opts []core.Option, pol teacher.Policy, record, replayFrom string) (*scenario.Result, error) {
 	if record == "" && replayFrom == "" {
-		return scenario.Run(ctx, s, opts, pol)
+		return scenario.Run(ctx, s, pol, opts...)
 	}
 	doc := s.Doc()
 	truth := s.Truth()
@@ -219,7 +250,7 @@ func runSession(ctx context.Context, s *scenario.Scenario, opts core.Options, po
 		rec = replay.NewRecorder(doc, t)
 		t = rec
 	}
-	sess := core.NewSession(doc, t, opts)
+	sess := core.New(doc, t, opts...)
 	tree, stats, err := sess.Learn(ctx, &core.TaskSpec{Target: s.Target, Drops: s.Drops})
 	if err != nil {
 		return nil, err

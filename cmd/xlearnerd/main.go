@@ -1,0 +1,69 @@
+// Command xlearnerd serves the learning pipeline as an HTTP/JSON
+// daemon: clients create sessions (from the registered benchmark
+// scenarios or an uploaded spec), start asynchronous cancellable
+// learns, poll state, and fetch the learned query. See DESIGN.md,
+// "The xlearnerd daemon", and README.md, "Running the service".
+//
+//	xlearnerd                        (listen on :8089)
+//	xlearnerd -addr :9000 -max-learning 8 -queue 32
+//	xlearnerd -ttl 5m -drain 30s
+//
+// SIGINT/SIGTERM shuts down gracefully: in-flight HTTP requests
+// complete, active learns drain within -drain, and stragglers are
+// canceled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/server"
+	"repro/internal/ucr"
+	"repro/internal/xmark"
+	"repro/internal/xmp"
+)
+
+func registry() []*scenario.Scenario {
+	out := append(xmark.Scenarios(), xmp.Scenarios()...)
+	return append(out, ucr.Scenarios()...)
+}
+
+func main() {
+	addr := flag.String("addr", ":8089", "listen address")
+	maxLearning := flag.Int("max-learning", 4, "max concurrently running learns")
+	queue := flag.Int("queue", 16, "max learns waiting for a slot (beyond that: 429)")
+	ttl := flag.Duration("ttl", 15*time.Minute, "evict sessions idle longer than this")
+	drain := flag.Duration("drain", 10*time.Second, "grace period for active learns on shutdown")
+	verbose := flag.Bool("v", false, "debug-level logging")
+	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(server.Config{
+		Addr:         *addr,
+		MaxLearning:  *maxLearning,
+		QueueDepth:   *queue,
+		TTL:          *ttl,
+		DrainTimeout: *drain,
+		Scenarios:    registry(),
+		Logger:       logger,
+	})
+	if err := srv.Run(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "xlearnerd:", err)
+		os.Exit(1)
+	}
+}

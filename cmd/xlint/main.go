@@ -25,7 +25,7 @@ func main() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: xlint [-list] [-run regexp] [packages]\n\n"+
 				"Runs the project analyzers (nopanic, ctxfirst, wrapsentinel,\n"+
-				"determinism) over the named packages (default ./...).\n\n")
+				"determinism, httpstatus) over the named packages (default ./...).\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()

@@ -11,7 +11,6 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/scenario"
 	"repro/internal/teacher"
 	"repro/internal/xmp"
@@ -22,7 +21,7 @@ func main() {
 	if s == nil {
 		panic("XMP-Q5 scenario missing")
 	}
-	res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
+	res, err := scenario.Run(context.Background(), s, teacher.BestCase)
 	if err != nil {
 		panic(err)
 	}

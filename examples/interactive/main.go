@@ -192,7 +192,7 @@ in europe sold for less than 300 (tip: when the Condition Box opens, the
 	defer stop()
 
 	teacher := &consoleTeacher{doc: doc, in: bufio.NewScanner(os.Stdin)}
-	sess := core.NewSession(doc, teacher, core.DefaultOptions())
+	sess := core.New(doc, teacher)
 	spec := &core.TaskSpec{
 		Target: dtd.MustParse(`
 <!ELEMENT i_list (item*)>

@@ -1,8 +1,9 @@
 // Package analysis is the repository's static-analysis suite: a small,
 // dependency-free framework in the shape of golang.org/x/tools/go/analysis
-// plus the four project-specific analyzers (nopanic, ctxfirst,
-// wrapsentinel, determinism) that mechanically enforce the error-discipline
-// and determinism invariants documented in DESIGN.md.
+// plus the five project-specific analyzers (nopanic, ctxfirst,
+// wrapsentinel, determinism, httpstatus) that mechanically enforce the
+// error-discipline, determinism, and HTTP-taxonomy invariants
+// documented in DESIGN.md.
 //
 // The framework mirrors the x/tools API surface (Analyzer, Pass,
 // Diagnostic, "// want" golden fixtures) so the analyzers can migrate to
@@ -60,7 +61,7 @@ type Diagnostic struct {
 // All returns the full analyzer suite in deterministic order; cmd/xlint
 // runs exactly this list.
 func All() []*Analyzer {
-	return []*Analyzer{NoPanic, CtxFirst, WrapSentinel, Determinism}
+	return []*Analyzer{NoPanic, CtxFirst, WrapSentinel, Determinism, HTTPStatus}
 }
 
 // enclosingFuncDecl returns the top-level function declaration whose

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// HTTPStatus enforces the daemon's single-status-table contract
+// (DESIGN.md, "Error taxonomy"): in repro/internal/server every error
+// response must flow through the taxonomy table in errors.go, so
+// clients see one uniform envelope and one classification per
+// sentinel. Concretely, within that package:
+//
+//  1. http.Error is banned everywhere — it emits a text/plain body
+//     that bypasses the api.ErrorV1 envelope.
+//  2. Outside errors.go, no integer literal in 400–599 and no net/http
+//     Status* constant with value >= 400 may appear: picking an error
+//     status is errors.go's job, and an ad-hoc literal at a call site
+//     silently forks the taxonomy.
+//
+// Success statuses (2xx/3xx) stay free for handlers, and the logging
+// middleware may forward WriteHeader calls; only the error half of the
+// status space is centralized.
+var HTTPStatus = &Analyzer{
+	Name: "httpstatus",
+	Doc: "require HTTP error statuses in internal/server to come from " +
+		"the errors.go taxonomy table, never ad-hoc literals or http.Error",
+	Run: runHTTPStatus,
+}
+
+// httpStatusPkg is the one package the contract applies to.
+const httpStatusPkg = "repro/internal/server"
+
+// httpStatusTableFile is the file allowed to name error statuses.
+const httpStatusTableFile = "errors.go"
+
+func runHTTPStatus(pass *Pass) error {
+	if pass.Pkg.Path() != httpStatusPkg {
+		return nil
+	}
+	for _, file := range pass.Files {
+		inTable := filepath.Base(pass.Fset.Position(file.Pos()).Filename) == httpStatusTableFile
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass.TypesInfo, n); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "net/http" && fn.Name() == "Error" {
+					pass.Reportf(n.Pos(),
+						"http.Error bypasses the api.ErrorV1 envelope; use writeError from errors.go")
+				}
+			case *ast.BasicLit:
+				if inTable || n.Kind != token.INT || !isIntegerTyped(pass.TypesInfo, n) {
+					return true
+				}
+				if v, err := strconv.Atoi(n.Value); err == nil && v >= 400 && v <= 599 {
+					pass.Reportf(n.Pos(),
+						"HTTP error status literal %s outside errors.go; add it to the taxonomy table", n.Value)
+				}
+			case *ast.Ident:
+				if inTable {
+					return true
+				}
+				if c, ok := pass.TypesInfo.Uses[n].(*types.Const); ok && isHTTPErrorStatusConst(c) {
+					pass.Reportf(n.Pos(),
+						"HTTP error status %s outside errors.go; add it to the taxonomy table", c.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isIntegerTyped reports whether the literal is used at an integer
+// type: statuses are ints, so an in-range literal adopted as float64
+// (histogram bucket bounds, durations in ms) is not a status.
+func isIntegerTyped(info *types.Info, lit *ast.BasicLit) bool {
+	tv, ok := info.Types[lit]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// isHTTPErrorStatusConst reports whether c is a net/http Status*
+// constant in the error half of the status space.
+func isHTTPErrorStatusConst(c *types.Const) bool {
+	if c.Pkg() == nil || c.Pkg().Path() != "net/http" || !strings.HasPrefix(c.Name(), "Status") {
+		return false
+	}
+	v, ok := constantInt(c)
+	return ok && v >= 400 && v <= 599
+}
+
+// constantInt extracts an integer constant's value.
+func constantInt(c *types.Const) (int64, bool) {
+	val := c.Val()
+	if val == nil {
+		return 0, false
+	}
+	i, err := strconv.ParseInt(val.ExactString(), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return i, true
+}

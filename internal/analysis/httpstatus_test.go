@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestHTTPStatus(t *testing.T) {
+	RunFixture(t, HTTPStatus, "repro/internal/server")
+}

@@ -1,0 +1,15 @@
+// Fixture for httpstatus, file 1: errors.go is the taxonomy table and
+// may name error statuses freely.
+package server
+
+import "net/http"
+
+var statusTable = []int{
+	http.StatusNotFound,
+	http.StatusTooManyRequests,
+	500,
+}
+
+func writeError(w http.ResponseWriter, status int) {
+	w.WriteHeader(status)
+}

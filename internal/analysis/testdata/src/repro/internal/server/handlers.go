@@ -1,0 +1,33 @@
+// Fixture for httpstatus, file 2: handlers must not pick error
+// statuses — no http.Error, no 4xx/5xx literals, no net/http Status*
+// constants >= 400. Success statuses and plain integers stay legal.
+package server
+
+import "net/http"
+
+func handleOK(w http.ResponseWriter) {
+	writeError(w, http.StatusOK) // 2xx constants are fine anywhere
+	w.WriteHeader(http.StatusCreated)
+}
+
+func handleCapacity() int {
+	return 404 // want `HTTP error status literal 404 outside errors.go`
+}
+
+func handleLiteral(w http.ResponseWriter) {
+	writeError(w, 503) // want `HTTP error status literal 503 outside errors.go`
+}
+
+func handleConst(w http.ResponseWriter) {
+	writeError(w, http.StatusBadRequest) // want `HTTP error status StatusBadRequest outside errors.go`
+}
+
+func handleHTTPError(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "no", http.StatusTeapot) // want `http.Error bypasses the api.ErrorV1 envelope` `HTTP error status StatusTeapot outside errors.go`
+}
+
+func handleNonStatus() int {
+	return 1000 // out of range: not a status
+}
+
+var bucketBounds = []float64{250, 500, 1000} // float-typed: not statuses

@@ -1,0 +1,127 @@
+package api
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestWireFieldNamesFrozen snapshots the V1 JSON field names: within a
+// schema version, names may be added but never renamed or removed (the
+// package's versioning contract). A failure here means a breaking wire
+// change — mint a V2 type instead of editing the golden set.
+func TestWireFieldNamesFrozen(t *testing.T) {
+	golden := map[string][]string{
+		"ErrorV1":   {"schema_version", "error", "status"},
+		"SessionV1": {"schema_version", "id", "scenario", "state", "created_at_unix_ms", "error", "verified", "stats"},
+		"SessionListV1": {"schema_version", "sessions"},
+		"FragmentStatsV1": {"var", "template_path", "mq", "ce", "cb", "cb_terms", "ob",
+			"reduced_r1", "reduced_r2", "reduced_both", "reduced_total",
+			"restarts", "context_switches", "path_states"},
+		"StatsV1":         {"schema_version", "dnd", "dnd_terms", "fragments", "totals"},
+		"TreeV1":          {"schema_version", "xqi", "xquery"},
+		"ResultV1":        {"schema_version", "scenario", "verified", "stats", "tree"},
+		"CreateSessionV1": {"scenario", "spec", "policy", "options"},
+		"SpecV1":          {"source_xml", "target_dtd", "truth_xquery", "drops"},
+		"DropV1":          {"path", "var", "anchor_var", "select", "alternates"},
+		"SelectV1":        {"label", "text", "nth"},
+		"OptionsV1":       {"r1", "r2", "max_eq", "kv_learner", "keep_redundant_conds", "relativize"},
+		"HealthV1":        {"schema_version", "status", "sessions", "learning", "uptime_ms"},
+		"MetricsV1": {"schema_version", "sessions_by_state", "sessions_created", "sessions_deleted",
+			"sessions_evicted", "learn", "interactions", "xq_cache"},
+		"LearnMetricsV1":      {"started", "completed", "failed", "canceled", "latency_ms"},
+		"HistogramV1":         {"upper_bounds", "counts", "sum", "count"},
+		"CacheCounterV1":      {"hits", "misses", "hit_rate"},
+		"CacheStatsV1":        {"path", "simple", "value", "extent", "relay"},
+		"InteractionTotalsV1": {"mq", "ce", "cb", "ob"},
+		"BenchRecordV1":       {"name", "millis"},
+		"BenchReportV1":       {"schema_version", "suite", "runs", "total_millis"},
+	}
+	types := []any{
+		ErrorV1{}, SessionV1{}, SessionListV1{}, FragmentStatsV1{}, StatsV1{},
+		TreeV1{}, ResultV1{}, CreateSessionV1{}, SpecV1{}, DropV1{}, SelectV1{},
+		OptionsV1{}, HealthV1{}, MetricsV1{}, LearnMetricsV1{}, HistogramV1{},
+		CacheCounterV1{}, CacheStatsV1{}, InteractionTotalsV1{},
+		BenchRecordV1{}, BenchReportV1{},
+	}
+	seen := make(map[string]bool)
+	for _, v := range types {
+		rt := reflect.TypeOf(v)
+		seen[rt.Name()] = true
+		want, ok := golden[rt.Name()]
+		if !ok {
+			t.Errorf("%s: no golden field set; new top-level types must be snapshotted here", rt.Name())
+			continue
+		}
+		got := jsonFieldNames(rt)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s wire fields changed:\n got %v\nwant %v", rt.Name(), got, want)
+		}
+	}
+	for name := range golden {
+		if !seen[name] {
+			t.Errorf("golden entry %s has no type under test", name)
+		}
+	}
+}
+
+func jsonFieldNames(rt reflect.Type) []string {
+	var out []string
+	for i := 0; i < rt.NumField(); i++ {
+		tag := rt.Field(i).Tag.Get("json")
+		name, _, _ := strings.Cut(tag, ",")
+		if name != "" && name != "-" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// TestResultV1Golden pins a full serialized document byte for byte.
+func TestResultV1Golden(t *testing.T) {
+	stats := &core.Stats{DnD: 2, DnDTerms: 3}
+	stats.Fragments = []core.FragmentStats{{Var: "v", TemplatePath: "x/y", MQ: 4, CE: 1, ReducedR1: 7, ReducedTotal: 7}}
+	doc := NewResultV1("XMP-Q1", true, nil, stats)
+	got, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"schema_version":1,"scenario":"XMP-Q1","verified":true,` +
+		`"stats":{"schema_version":1,"dnd":2,"dnd_terms":3,` +
+		`"fragments":[{"var":"v","template_path":"x/y","mq":4,"ce":1,"cb":0,"cb_terms":0,"ob":0,` +
+		`"reduced_r1":7,"reduced_r2":0,"reduced_both":0,"reduced_total":7,` +
+		`"restarts":0,"context_switches":0,"path_states":0}],` +
+		`"totals":{"var":"","mq":4,"ce":1,"cb":0,"cb_terms":0,"ob":0,` +
+		`"reduced_r1":7,"reduced_r2":0,"reduced_both":0,"reduced_total":7,` +
+		`"restarts":0,"context_switches":0,"path_states":0}},` +
+		`"tree":null}`
+	if string(got) != want {
+		t.Errorf("ResultV1 serialization drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestOptionsV1RoundTrip: absent fields keep defaults, present fields
+// override them.
+func TestOptionsV1RoundTrip(t *testing.T) {
+	var o *OptionsV1
+	if opts := o.CoreOptions(); len(opts) != 0 {
+		t.Fatalf("nil options produced %d core options", len(opts))
+	}
+	var parsed OptionsV1
+	if err := json.Unmarshal([]byte(`{"r1":false,"max_eq":9}`), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	resolved := core.DefaultOptions()
+	for _, opt := range parsed.CoreOptions() {
+		opt(&resolved)
+	}
+	if resolved.R1 || resolved.MaxEQ != 9 {
+		t.Fatalf("overrides not applied: %+v", resolved)
+	}
+	if !resolved.R2 {
+		t.Fatal("absent field clobbered a default")
+	}
+}

@@ -1,0 +1,27 @@
+package api
+
+// BenchRecordV1 is the measured wall-clock of one table regeneration.
+type BenchRecordV1 struct {
+	Name   string  `json:"name"`
+	Millis float64 `json:"millis"`
+}
+
+// BenchReportV1 is the -bench-json document (the committed
+// BENCH_eval.json baseline); it joined the versioned wire schema so the
+// daemon, the CLI, and the baseline all serialize through one package.
+type BenchReportV1 struct {
+	SchemaVersion int             `json:"schema_version"`
+	Suite         string          `json:"suite"`
+	Runs          []BenchRecordV1 `json:"runs"`
+	TotalMillis   float64         `json:"total_millis"`
+}
+
+// NewBenchReportV1 assembles a report, filling in the version and the
+// total.
+func NewBenchReportV1(suite string, runs []BenchRecordV1) BenchReportV1 {
+	r := BenchReportV1{SchemaVersion: SchemaVersion, Suite: suite, Runs: runs}
+	for _, run := range runs {
+		r.TotalMillis += run.Millis
+	}
+	return r
+}

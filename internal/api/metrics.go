@@ -1,0 +1,88 @@
+package api
+
+import "repro/internal/xq"
+
+// HealthV1 is the GET /healthz body.
+type HealthV1 struct {
+	SchemaVersion int    `json:"schema_version"`
+	Status        string `json:"status"` // "ok" or "draining"
+	Sessions      int    `json:"sessions"`
+	Learning      int    `json:"learning"`
+	UptimeMS      int64  `json:"uptime_ms"`
+}
+
+// MetricsV1 is the GET /metrics body: expvar-style counters, all
+// monotonic since process start except the by-state gauge.
+type MetricsV1 struct {
+	SchemaVersion int `json:"schema_version"`
+	// SessionsByState is the current gauge: idle/queued/learning/
+	// done/failed → count (absent states omitted).
+	SessionsByState map[string]int `json:"sessions_by_state"`
+	SessionsCreated uint64         `json:"sessions_created"`
+	SessionsDeleted uint64         `json:"sessions_deleted"`
+	SessionsEvicted uint64         `json:"sessions_evicted"`
+	Learn           LearnMetricsV1 `json:"learn"`
+	// Interactions aggregates the teacher dialogue across every
+	// completed learn.
+	Interactions InteractionTotalsV1 `json:"interactions"`
+	// XQCache aggregates the evaluation acceleration caches (engine and
+	// teacher evaluators) across every completed learn.
+	XQCache CacheStatsV1 `json:"xq_cache"`
+}
+
+// LearnMetricsV1 counts learn runs and their wall-clock.
+type LearnMetricsV1 struct {
+	Started   uint64      `json:"started"`
+	Completed uint64      `json:"completed"`
+	Failed    uint64      `json:"failed"`
+	Canceled  uint64      `json:"canceled"`
+	LatencyMS HistogramV1 `json:"latency_ms"`
+}
+
+// HistogramV1 is a fixed-bucket histogram. Counts[i] tallies samples
+// <= UpperBounds[i]; Counts has one extra final entry for the unbounded
+// overflow bucket, so len(Counts) == len(UpperBounds)+1.
+type HistogramV1 struct {
+	UpperBounds []float64 `json:"upper_bounds"`
+	Counts      []uint64  `json:"counts"`
+	Sum         float64   `json:"sum"`
+	Count       uint64    `json:"count"`
+}
+
+// CacheCounterV1 is one cache's tally with the derived rate.
+type CacheCounterV1 struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// CacheStatsV1 mirrors xq.CacheStats on the wire.
+type CacheStatsV1 struct {
+	Path   CacheCounterV1 `json:"path"`
+	Simple CacheCounterV1 `json:"simple"`
+	Value  CacheCounterV1 `json:"value"`
+	Extent CacheCounterV1 `json:"extent"`
+	Relay  CacheCounterV1 `json:"relay"`
+}
+
+// InteractionTotalsV1 sums the user-facing interaction counters.
+type InteractionTotalsV1 struct {
+	MQ uint64 `json:"mq"`
+	CE uint64 `json:"ce"`
+	CB uint64 `json:"cb"`
+	OB uint64 `json:"ob"`
+}
+
+// NewCacheStatsV1 converts an aggregated counter snapshot.
+func NewCacheStatsV1(s xq.CacheStats) CacheStatsV1 {
+	conv := func(c xq.CacheCounter) CacheCounterV1 {
+		return CacheCounterV1{Hits: c.Hits, Misses: c.Misses, HitRate: c.HitRate()}
+	}
+	return CacheStatsV1{
+		Path:   conv(s.Path),
+		Simple: conv(s.Simple),
+		Value:  conv(s.Value),
+		Extent: conv(s.Extent),
+		Relay:  conv(s.Relay),
+	}
+}

@@ -1,0 +1,100 @@
+package api
+
+import "repro/internal/core"
+
+// CreateSessionV1 is the POST /v1/sessions request body. Exactly one of
+// Scenario (a registered benchmark scenario id) or Spec (an uploaded
+// task) must be set.
+type CreateSessionV1 struct {
+	Scenario string `json:"scenario,omitempty"`
+	Spec     *SpecV1 `json:"spec,omitempty"`
+	// Policy selects the simulated teacher's counterexample policy:
+	// "best" (default) or "worst".
+	Policy  string     `json:"policy,omitempty"`
+	Options *OptionsV1 `json:"options,omitempty"`
+}
+
+// SpecV1 is an uploaded learning task: the source instance, the target
+// schema, the drops, and the ground-truth query that drives the
+// simulated teacher (the serializable subset of scenario.Scenario —
+// Condition/OrderBy boxes and Drop Box functions need code and are only
+// available on registered scenarios).
+type SpecV1 struct {
+	// SourceXML is the source instance document.
+	SourceXML string `json:"source_xml"`
+	// TargetDTD is the target schema the template is generated from, in
+	// the DTD subset internal/dtd parses.
+	TargetDTD string `json:"target_dtd"`
+	// TruthXQuery is the ground-truth query in the XQuery subset
+	// xq.ParseQuery accepts; the simulated teacher answers MQ/EQ from
+	// it. Its for-variables must use the same names as the drops.
+	TruthXQuery string `json:"truth_xquery"`
+	// Drops in learning order.
+	Drops []DropV1 `json:"drops"`
+}
+
+// DropV1 is one drag-and-drop into a template box.
+type DropV1 struct {
+	// Path addresses the template box, e.g. "i_list/category/cname".
+	Path string `json:"path"`
+	// Var names the leaf fragment's variable.
+	Var string `json:"var"`
+	// AnchorVar names the 1-labeled parent fragment's variable, when
+	// the box is 1-labeled.
+	AnchorVar string `json:"anchor_var,omitempty"`
+	// Select picks the dropped example node.
+	Select SelectV1 `json:"select"`
+	// Alternates are fallback examples tried when learning from the
+	// primary example fails.
+	Alternates []SelectV1 `json:"alternates,omitempty"`
+}
+
+// SelectV1 addresses one source node: the Text form picks the first
+// node with the label whose trimmed text equals Text; otherwise the Nth
+// node (0-based, document order) with the label.
+type SelectV1 struct {
+	Label string `json:"label"`
+	Text  string `json:"text,omitempty"`
+	Nth   int    `json:"nth,omitempty"`
+}
+
+// OptionsV1 is the serializable engine configuration. Every field is
+// optional; an absent field keeps the engine default, so the document
+// only states deviations (and old clients keep working as fields are
+// added).
+type OptionsV1 struct {
+	R1                 *bool `json:"r1,omitempty"`
+	R2                 *bool `json:"r2,omitempty"`
+	MaxEQ              *int  `json:"max_eq,omitempty"`
+	KVLearner          *bool `json:"kv_learner,omitempty"`
+	KeepRedundantConds *bool `json:"keep_redundant_conds,omitempty"`
+	Relativize         *bool `json:"relativize,omitempty"`
+}
+
+// CoreOptions converts the document into a core option list; nil (no
+// options given) converts to an empty list, i.e. all defaults.
+func (o *OptionsV1) CoreOptions() []core.Option {
+	if o == nil {
+		return nil
+	}
+	var opts []core.Option
+	if o.R1 != nil {
+		opts = append(opts, core.WithR1(*o.R1))
+	}
+	if o.R2 != nil {
+		opts = append(opts, core.WithR2(*o.R2))
+	}
+	if o.MaxEQ != nil {
+		opts = append(opts, core.WithMaxEQ(*o.MaxEQ))
+	}
+	if o.KVLearner != nil {
+		opts = append(opts, core.WithKVLearner(*o.KVLearner))
+	}
+	if o.KeepRedundantConds != nil {
+		opts = append(opts, core.WithKeepRedundantConds(*o.KeepRedundantConds))
+	}
+	if o.Relativize != nil {
+		opts = append(opts, core.WithRelativize(*o.Relativize))
+	}
+	return opts
+}

@@ -38,8 +38,17 @@ type Engine struct {
 	realized *pathre.DFA
 }
 
-// NewEngine builds an engine for the source document.
+// NewEngine builds an engine for the source document from a resolved
+// Options value.
+//
+// Superseded by core.New (functional options) plus Session.Engine; the
+// positional form is kept so existing callers compile and is equivalent
+// to New(source, teacher, WithOptions(opts)).Engine().
 func NewEngine(source *xmldoc.Document, teacher Teacher, opts Options) *Engine {
+	return newEngine(source, teacher, opts)
+}
+
+func newEngine(source *xmldoc.Document, teacher Teacher, opts Options) *Engine {
 	e := &Engine{
 		Source:     source,
 		Teacher:    teacher,
@@ -67,6 +76,14 @@ func NewEngine(source *xmldoc.Document, teacher Teacher, opts Options) *Engine {
 	})
 	sort.Strings(e.pathKeys)
 	return e
+}
+
+// CacheStats reports the hit/miss counters of the engine evaluator's
+// acceleration caches (see internal/xq). The counters cover the
+// learner-side evaluation work — extent trials, condition minimization,
+// relativization — not the teacher's own evaluator.
+func (e *Engine) CacheStats() xq.CacheStats {
+	return e.eval.CacheStats()
 }
 
 // fragment is one learning unit: a Drop Box plus, for 1-labeled boxes,

@@ -20,6 +20,17 @@ var (
 	// ErrSessionBusy: Session.Learn was called while a previous Learn on
 	// the same Session was still running.
 	ErrSessionBusy = errors.New("core: session is already learning")
+	// ErrSessionNotFound: a session lookup by identifier failed. The
+	// core package never returns it itself (a *Session is its own
+	// handle); it anchors the taxonomy for session stores such as
+	// internal/server, so every layer reports the same sentinel.
+	ErrSessionNotFound = errors.New("core: no such session")
+	// ErrSessionNotDone: a result (tree, stats) was requested from a
+	// session that has not completed a Learn yet.
+	ErrSessionNotDone = errors.New("core: session has no result yet")
+	// ErrSessionFailed: a result was requested from a session whose last
+	// Learn returned an error; the wrapped chain carries that error.
+	ErrSessionFailed = errors.New("core: session's last learn failed")
 )
 
 // ctxErr reports a context cancellation as a wrapped error so callers

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"repro/internal/datagraph"
+	"repro/internal/dtd"
+	"repro/internal/xmldoc"
+)
+
+// An Option configures a Session or Engine at construction time. The
+// functional-option list is the canonical public configuration surface;
+// the Options struct remains as the resolved configuration (and as a
+// compatibility shim for the older positional constructors, convertible
+// with WithOptions).
+type Option func(*Options)
+
+// New builds a session over the source document, applying the options
+// on top of DefaultOptions. It supersedes NewSession(source, teacher,
+// Options); the teacher's methods are called from the goroutine that
+// calls Learn.
+func New(source *xmldoc.Document, teacher Teacher, opts ...Option) *Session {
+	return &Session{engine: newEngine(source, teacher, resolveOptions(opts))}
+}
+
+// resolveOptions folds an option list over the defaults.
+func resolveOptions(opts []Option) Options {
+	o := DefaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithOptions replays a resolved Options value as one option. It is the
+// bridge from the older struct-based configuration: callers holding an
+// Options (including the zero value semantics of the positional
+// constructors) can pass WithOptions(o) and migrate field by field.
+// Note that unlike the other options it replaces the whole
+// configuration, so it should come first in an option list.
+func WithOptions(o Options) Option {
+	return func(dst *Options) { *dst = o }
+}
+
+// WithR1 toggles the metadata/instance filter rule (Section 8 R1).
+func WithR1(on bool) Option {
+	return func(o *Options) { o.R1 = on }
+}
+
+// WithR2 toggles the last-tag heuristic (Section 8 R2).
+func WithR2(on bool) Option {
+	return func(o *Options) { o.R2 = on }
+}
+
+// WithR1Filter backs R1 with an external metadata oracle (a DTD, a
+// DataGuide, a Relax NG schema...); it takes precedence over
+// WithSourceDTD. A nil filter falls back to the instance path index.
+func WithR1Filter(f PathFilter) Option {
+	return func(o *Options) { o.R1Filter = f }
+}
+
+// WithSourceDTD backs R1 with schema metadata instead of the instance
+// path index.
+func WithSourceDTD(d *dtd.DTD) Option {
+	return func(o *Options) { o.SourceDTD = d }
+}
+
+// WithMaxEQ bounds equivalence queries per fragment; n <= 0 restores
+// the default budget of 200.
+func WithMaxEQ(n int) Option {
+	return func(o *Options) { o.MaxEQ = n }
+}
+
+// WithGraphConfig bounds the data-graph predicate enumeration.
+func WithGraphConfig(cfg datagraph.Config) Option {
+	return func(o *Options) { o.Graph = cfg }
+}
+
+// WithKeepRedundantConds disables the post-learning minimization of the
+// learned conjunction when keep is true (ablation knob).
+func WithKeepRedundantConds(keep bool) Option {
+	return func(o *Options) { o.KeepRedundantConds = keep }
+}
+
+// WithRelativize toggles rewriting learned rooted paths as
+// variable-relative bindings (on by default; the off position is the
+// NoRelativize ablation).
+func WithRelativize(on bool) Option {
+	return func(o *Options) { o.NoRelativize = !on }
+}
+
+// WithKVLearner swaps Angluin's L* for the Kearns-Vazirani
+// classification-tree learner in the P-Learner when on is true (learner
+// ablation: fewer membership queries, more equivalence queries).
+func WithKVLearner(on bool) Option {
+	return func(o *Options) { o.UseKVLearner = on }
+}

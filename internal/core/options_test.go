@@ -313,3 +313,89 @@ func TestKVLearnerOption(t *testing.T) {
 		t.Log("KV asked no reducible membership queries on this target")
 	}
 }
+
+// TestFunctionalOptionsSetFields pins each With* option to the Options
+// field it controls, including the replace-wholesale WithOptions shim.
+func TestFunctionalOptionsSetFields(t *testing.T) {
+	apply := func(opts ...core.Option) core.Options {
+		o := core.DefaultOptions()
+		for _, f := range opts {
+			f(&o)
+		}
+		return o
+	}
+	if o := apply(core.WithR1(false), core.WithR2(false)); o.R1 || o.R2 {
+		t.Fatalf("WithR1/WithR2: %+v", o)
+	}
+	if o := apply(core.WithMaxEQ(7)); o.MaxEQ != 7 {
+		t.Fatalf("WithMaxEQ: %+v", o)
+	}
+	if o := apply(core.WithKVLearner(true)); !o.UseKVLearner {
+		t.Fatalf("WithKVLearner: %+v", o)
+	}
+	if o := apply(core.WithKeepRedundantConds(true)); !o.KeepRedundantConds {
+		t.Fatalf("WithKeepRedundantConds: %+v", o)
+	}
+	if o := apply(core.WithRelativize(false)); !o.NoRelativize {
+		t.Fatalf("WithRelativize(false): %+v", o)
+	}
+	d := dtd.MustParse(`<!ELEMENT a (#PCDATA)>`)
+	if o := apply(core.WithSourceDTD(d)); o.SourceDTD != d {
+		t.Fatalf("WithSourceDTD: %+v", o)
+	}
+	// WithOptions replaces the whole configuration, then later options
+	// refine it.
+	base := core.DefaultOptions()
+	base.MaxEQ = 3
+	if o := apply(core.WithR1(false), core.WithOptions(base), core.WithMaxEQ(9)); !o.R1 || o.MaxEQ != 9 {
+		t.Fatalf("WithOptions ordering: %+v", o)
+	}
+}
+
+// TestNewEquivalentToNewSession: the functional-option constructor and
+// the positional shim configure identical engines — same learned tree,
+// same interaction counts.
+func TestNewEquivalentToNewSession(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.R2 = false
+	shimTree, shimStats, _, _ := runningExample(t, opts, teacher.BestCase)
+
+	doc := xmldoc.MustParse(sourceXML)
+	truth := truthQ1()
+	sim := teacher.New(doc, truth)
+	sim.Pol = teacher.BestCase
+	sim.Boxes = map[string][]core.BoxEntry{
+		"in": {{
+			Select: func(d *xmldoc.Document, ce *xmldoc.Node) *xmldoc.Node {
+				for _, p := range d.NodesWithLabel("price") {
+					if p.Text() == "50" {
+						return p
+					}
+				}
+				return nil
+			},
+			Op: xq.OpLt, Const: "300",
+		}},
+	}
+	sess := core.New(doc, sim, core.WithOptions(core.DefaultOptions()), core.WithR2(false))
+	tree, stats, err := sess.Learn(context.Background(), &core.TaskSpec{
+		Target: dtd.MustParse(targetDTD),
+		Drops: []core.Drop{
+			{Path: "i_list/category/cname", Var: "cn", AnchorVar: "c",
+				Select: teacher.SelectByText("name", "book")},
+			{Path: "i_list/category/item/iname", Var: "in", AnchorVar: "i",
+				Select: teacher.SelectByText("name", "H. Potter")},
+			{Path: "i_list/category/item/desc", Var: "d",
+				Select: teacher.SelectByText("description", "Best Seller")},
+		},
+	})
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	if tree.String() != shimTree.String() {
+		t.Fatalf("core.New learned a different query:\n%s\nvs\n%s", tree.String(), shimTree.String())
+	}
+	if stats.Totals().MQ != shimStats.Totals().MQ || stats.Totals().ReducedTotal != shimStats.Totals().ReducedTotal {
+		t.Fatalf("stats diverged: %+v vs %+v", stats.Totals(), shimStats.Totals())
+	}
+}

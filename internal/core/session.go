@@ -59,10 +59,15 @@ type Session struct {
 	err    error
 }
 
-// NewSession builds a session over the source document. The teacher's
-// methods are called from the goroutine that calls Learn.
+// NewSession builds a session over the source document from a resolved
+// Options value. The teacher's methods are called from the goroutine
+// that calls Learn.
+//
+// Superseded by core.New (functional options); the positional form is
+// kept so existing callers compile and is equivalent to
+// New(source, teacher, WithOptions(opts)).
 func NewSession(source *xmldoc.Document, teacher Teacher, opts Options) *Session {
-	return &Session{engine: NewEngine(source, teacher, opts)}
+	return &Session{engine: newEngine(source, teacher, opts)}
 }
 
 // Engine exposes the session's engine (source document, options).

@@ -64,16 +64,14 @@ func TestGuidePathsEnumeration(t *testing.T) {
 func TestGuideAsR1Filter(t *testing.T) {
 	s := xmark.ScenarioByID("Q13")
 	guide := Build(s.Doc())
-	opts := core.DefaultOptions()
-	opts.R1Filter = guide
-	res, err := scenario.Run(context.Background(), s, opts, teacher.BestCase)
+	res, err := scenario.Run(context.Background(), s, teacher.BestCase, core.WithR1Filter(guide))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Verified {
 		t.Fatal("DataGuide-filtered learning failed to verify")
 	}
-	base, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
+	base, err := scenario.Run(context.Background(), s, teacher.BestCase)
 	if err != nil {
 		t.Fatal(err)
 	}

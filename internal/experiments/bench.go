@@ -4,33 +4,26 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"repro/internal/api"
 )
 
 // BenchRecord is the measured wall-clock of one table regeneration.
 // Timing happens in the caller (cmd/experiments): this package produces
 // deterministic tables and takes measured durations as plain data, so
-// it stays free of clock reads.
-type BenchRecord struct {
-	Name   string  `json:"name"`
-	Millis float64 `json:"millis"`
-}
+// it stays free of clock reads. The type is the versioned wire type —
+// the committed BENCH_eval.json baseline follows the api schema policy.
+type BenchRecord = api.BenchRecordV1
 
 // BenchReport is the JSON document written next to the tables; the
 // committed BENCH_eval.json baseline lets a later change compare its
 // evaluation wall-clock against this one's.
-type BenchReport struct {
-	Suite       string        `json:"suite"`
-	Runs        []BenchRecord `json:"runs"`
-	TotalMillis float64       `json:"total_millis"`
-}
+type BenchReport = api.BenchReportV1
 
-// NewBenchReport assembles a report, filling in the total.
+// NewBenchReport assembles a report, filling in the schema version and
+// the total.
 func NewBenchReport(suite string, runs []BenchRecord) BenchReport {
-	r := BenchReport{Suite: suite, Runs: runs}
-	for _, run := range runs {
-		r.TotalMillis += run.Millis
-	}
-	return r
+	return api.NewBenchReportV1(suite, runs)
 }
 
 // WriteBenchJSON writes the report as indented JSON.

@@ -5,7 +5,6 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/scenario"
 	"repro/internal/teacher"
 )
@@ -35,7 +34,7 @@ func TestParallelSessionsMatchSerial(t *testing.T) {
 
 	serial := make([]*scenario.Result, len(scenarios))
 	for i, s := range scenarios {
-		res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
+		res, err := scenario.Run(context.Background(), s, teacher.BestCase)
 		if err != nil {
 			t.Fatalf("serial %s: %v", s.ID, err)
 		}
@@ -49,7 +48,7 @@ func TestParallelSessionsMatchSerial(t *testing.T) {
 		wg.Add(1)
 		go func(i int, s *scenario.Scenario) {
 			defer wg.Done()
-			parallel[i], errs[i] = scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
+			parallel[i], errs[i] = scenario.Run(context.Background(), s, teacher.BestCase)
 		}(i, s)
 	}
 	wg.Wait()
@@ -78,13 +77,12 @@ func TestParallelSessionsMatchSerial(t *testing.T) {
 // exact rows — and therefore byte-identical formatted tables — at any
 // pool width.
 func TestRunFig16ParallelIdentical(t *testing.T) {
-	opts := core.DefaultOptions()
-	serialRows, err := RunFig16(context.Background(), XMarkScenarios(), opts, false, 1)
+	serialRows, err := RunFig16(context.Background(), XMarkScenarios(), false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, width := range []int{8} {
-		rows, err := RunFig16(context.Background(), XMarkScenarios(), opts, false, width)
+		rows, err := RunFig16(context.Background(), XMarkScenarios(), false, width)
 		if err != nil {
 			t.Fatalf("parallel=%d: %v", width, err)
 		}

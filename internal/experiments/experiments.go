@@ -46,10 +46,12 @@ type Fig16Row struct {
 // parallel sets the worker-pool width (one independent learning session
 // per scenario per worker); values <= 1 run serially, and any width
 // yields identical rows because results are ordered by scenario index.
-func RunFig16(ctx context.Context, scenarios []*scenario.Scenario, opts core.Options, worst bool, parallel int) ([]Fig16Row, error) {
+// The trailing option list configures every session (defaults when
+// empty).
+func RunFig16(ctx context.Context, scenarios []*scenario.Scenario, worst bool, parallel int, opts ...core.Option) ([]Fig16Row, error) {
 	return runPool(ctx, len(scenarios), parallel, func(ctx context.Context, i int) (Fig16Row, error) {
 		s := scenarios[i]
-		res, err := scenario.Run(ctx, s, opts, teacher.BestCase)
+		res, err := scenario.Run(ctx, s, teacher.BestCase, opts...)
 		if err != nil {
 			return Fig16Row{}, err
 		}
@@ -69,7 +71,7 @@ func RunFig16(ctx context.Context, scenarios []*scenario.Scenario, opts core.Opt
 			Verified: res.Verified,
 		}
 		if worst {
-			if wres, err := scenario.Run(ctx, s, opts, teacher.WorstCase); err == nil && wres.Verified {
+			if wres, err := scenario.Run(ctx, s, teacher.WorstCase, opts...); err == nil && wres.Verified {
 				row.CEWorst = wres.Stats.Totals().CE
 			} else if ctx.Err() != nil {
 				return Fig16Row{}, ctx.Err()
@@ -146,9 +148,7 @@ func RunAblation(ctx context.Context, scenarios []*scenario.Scenario, parallel i
 		s := scenarios[si]
 		row := AblationRow{Query: shortName(s.ID), AllVerified: true}
 		for i, c := range configs {
-			opts := core.DefaultOptions()
-			opts.R1, opts.R2 = c.r1, c.r2
-			res, err := scenario.Run(ctx, s, opts, teacher.BestCase)
+			res, err := scenario.Run(ctx, s, teacher.BestCase, core.WithR1(c.r1), core.WithR2(c.r2))
 			if err != nil {
 				return AblationRow{}, fmt.Errorf("%s (R1=%v R2=%v): %w", s.ID, c.r1, c.r2, err)
 			}

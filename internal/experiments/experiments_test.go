@@ -5,7 +5,6 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/core"
 )
 
 func TestFig15Format(t *testing.T) {
@@ -23,7 +22,7 @@ func TestFig15Format(t *testing.T) {
 }
 
 func TestFig16XMPShape(t *testing.T) {
-	rows, err := RunFig16(context.Background(), XMPScenarios(), core.DefaultOptions(), false, 1)
+	rows, err := RunFig16(context.Background(), XMPScenarios(), false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +52,7 @@ func TestFig16XMPShape(t *testing.T) {
 }
 
 func TestFig16WorstCaseBrackets(t *testing.T) {
-	rows, err := RunFig16(context.Background(), XMPScenarios()[:3], core.DefaultOptions(), true, 1)
+	rows, err := RunFig16(context.Background(), XMPScenarios()[:3], true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,7 +7,6 @@ import (
 	"path/filepath"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/scenario"
 	"repro/internal/teacher"
 )
@@ -22,7 +21,7 @@ func TestGoldenLearnedQueries(t *testing.T) {
 	for _, s := range allSuites() {
 		s := s
 		t.Run(s.ID, func(t *testing.T) {
-			res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
+			res, err := scenario.Run(context.Background(), s, teacher.BestCase)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -58,11 +57,11 @@ func TestLearningDeterministic(t *testing.T) {
 				s = c
 			}
 		}
-		a, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
+		a, err := scenario.Run(context.Background(), s, teacher.BestCase)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
+		b, err := scenario.Run(context.Background(), s, teacher.BestCase)
 		if err != nil {
 			t.Fatal(err)
 		}

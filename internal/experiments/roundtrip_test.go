@@ -45,7 +45,7 @@ func TestLearnedQueriesRoundTrip(t *testing.T) {
 	for _, s := range allSuites() {
 		s := s
 		t.Run(s.ID, func(t *testing.T) {
-			res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
+			res, err := scenario.Run(context.Background(), s, teacher.BestCase)
 			if err != nil {
 				t.Fatalf("learn: %v", err)
 			}
@@ -72,7 +72,7 @@ func TestLearnedResultsTypeCheck(t *testing.T) {
 	for _, s := range allSuites() {
 		s := s
 		t.Run(s.ID, func(t *testing.T) {
-			res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
+			res, err := scenario.Run(context.Background(), s, teacher.BestCase)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -93,12 +93,10 @@ func TestLearnedResultsTypeCheck(t *testing.T) {
 // TestKVLearnerAcrossSuites: the Kearns-Vazirani learner option
 // verifies on every benchmark scenario.
 func TestKVLearnerAcrossSuites(t *testing.T) {
-	opts := core.DefaultOptions()
-	opts.UseKVLearner = true
 	for _, s := range allSuites() {
 		s := s
 		t.Run(s.ID, func(t *testing.T) {
-			res, err := scenario.Run(context.Background(), s, opts, teacher.BestCase)
+			res, err := scenario.Run(context.Background(), s, teacher.BestCase, core.WithKVLearner(true))
 			if err != nil {
 				t.Fatalf("KV learning failed: %v", err)
 			}

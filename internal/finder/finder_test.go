@@ -93,7 +93,7 @@ func TestSelectTopDrivesLearning(t *testing.T) {
 			Select: SelectTop("wrench"),
 		}},
 	}
-	res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
+	res, err := scenario.Run(context.Background(), s, teacher.BestCase)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -52,27 +52,52 @@ type Result struct {
 	TruthXML   string
 }
 
-// Run learns the scenario with the given options and counterexample
-// policy and verifies the outcome. Each call builds a fresh document,
-// teacher, and session, so concurrent Runs share nothing mutable; the
-// context aborts the session when canceled.
-func Run(ctx context.Context, s *Scenario, opts core.Options, pol teacher.Policy) (*Result, error) {
+// Prepared is a scenario instantiated for one run: a fresh document,
+// simulated teacher, and core session. Callers that need the session
+// handle before learning — to cancel it, to poll its state, to read
+// cache statistics afterwards — prepare first and Learn when ready;
+// plain callers use Run. Distinct Prepared values share nothing
+// mutable.
+type Prepared struct {
+	Scenario *Scenario
+	Doc      *xmldoc.Document
+	Truth    *xq.Tree
+	Sim      *teacher.Sim
+	Session  *core.Session
+}
+
+// Prepare instantiates the scenario with the counterexample policy and
+// engine options.
+func Prepare(s *Scenario, pol teacher.Policy, opts ...core.Option) *Prepared {
 	doc := s.Doc()
 	truth := s.Truth()
 	sim := teacher.New(doc, truth)
 	sim.Pol = pol
 	sim.Boxes = s.Boxes
 	sim.Orders = s.Orders
-	sess := core.NewSession(doc, sim, opts)
-	tree, stats, err := sess.Learn(ctx, &core.TaskSpec{Target: s.Target, Drops: s.Drops})
+	return &Prepared{
+		Scenario: s,
+		Doc:      doc,
+		Truth:    truth,
+		Sim:      sim,
+		Session:  core.New(doc, sim, opts...),
+	}
+}
+
+// Learn runs the prepared session's dialogue and verifies the learned
+// query against the ground truth; the context aborts the session when
+// canceled.
+func (p *Prepared) Learn(ctx context.Context) (*Result, error) {
+	s := p.Scenario
+	tree, stats, err := p.Session.Learn(ctx, &core.TaskSpec{Target: s.Target, Drops: s.Drops})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.ID, err)
 	}
-	learnedDoc, err := xq.NewEvaluator(doc).Result(ctx, tree)
+	learnedDoc, err := xq.NewEvaluator(p.Doc).Result(ctx, tree)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: evaluate learned query: %w", s.ID, err)
 	}
-	truthDoc, err := xq.NewEvaluator(doc).Result(ctx, truth)
+	truthDoc, err := xq.NewEvaluator(p.Doc).Result(ctx, p.Truth)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: evaluate ground truth: %w", s.ID, err)
 	}
@@ -87,8 +112,17 @@ func Run(ctx context.Context, s *Scenario, opts core.Options, pol teacher.Policy
 	return res, nil
 }
 
+// Run learns the scenario with the given counterexample policy and
+// engine options (defaults when none are given) and verifies the
+// outcome. Each call builds a fresh document, teacher, and session, so
+// concurrent Runs share nothing mutable; the context aborts the session
+// when canceled.
+func Run(ctx context.Context, s *Scenario, pol teacher.Policy, opts ...core.Option) (*Result, error) {
+	return Prepare(s, pol, opts...).Learn(ctx)
+}
+
 // MustRun runs with default options and best-case policy, panicking on
 // error (for examples over embedded scenarios only).
 func MustRun(s *Scenario) *Result {
-	return must.Must(Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase))
+	return must.Must(Run(context.Background(), s, teacher.BestCase))
 }

@@ -31,7 +31,7 @@ func tiny() *Scenario {
 }
 
 func TestRunVerifies(t *testing.T) {
-	res, err := Run(context.Background(), tiny(), core.DefaultOptions(), teacher.BestCase)
+	res, err := Run(context.Background(), tiny(), teacher.BestCase)
 	if err != nil {
 		t.Fatal(err)
 	}

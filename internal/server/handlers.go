@@ -1,0 +1,142 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/api"
+	"repro/internal/teacher"
+)
+
+// routes builds the daemon's HTTP surface on Go 1.22 method+wildcard
+// mux patterns. All error responses flow through writeError (see
+// errors.go); handlers never pick status codes themselves.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/learn", s.handleLearn)
+	mux.HandleFunc("GET /v1/sessions/{id}/tree", s.handleTree)
+	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	total, learning, draining := s.mgr.counts()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, api.HealthV1{
+		SchemaVersion: api.SchemaVersion,
+		Status:        status,
+		Sessions:      total,
+		Learning:      learning,
+		UptimeMS:      s.mgr.now().Sub(s.started).Milliseconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.wire(s.mgr.byState()))
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req api.CreateSessionV1
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("%w: decode body: %w", ErrBadRequest, err))
+		return
+	}
+	pol := teacher.BestCase
+	switch req.Policy {
+	case "", "best":
+	case "worst":
+		pol = teacher.WorstCase
+	default:
+		writeError(w, fmt.Errorf("%w: policy %q (want best or worst)", ErrBadRequest, req.Policy))
+		return
+	}
+
+	scenarioID := req.Scenario
+	scn := s.scenarios[req.Scenario]
+	switch {
+	case req.Scenario != "" && req.Spec != nil:
+		writeError(w, fmt.Errorf("%w: scenario and spec are mutually exclusive", ErrBadRequest))
+		return
+	case req.Scenario != "" && scn == nil:
+		writeError(w, fmt.Errorf("%w: %q", ErrUnknownScenario, req.Scenario))
+		return
+	case req.Scenario == "" && req.Spec == nil:
+		writeError(w, fmt.Errorf("%w: need a scenario id or an uploaded spec", ErrBadRequest))
+		return
+	case req.Spec != nil:
+		var err error
+		if scn, err = scenarioFromSpec(req.Spec); err != nil {
+			writeError(w, err)
+			return
+		}
+		scenarioID = uploadScenarioID
+	}
+
+	sess, err := s.mgr.Create(scenarioID, scn, pol, req.Options.CoreOptions())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess)
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.SessionListV1{
+		SchemaVersion: api.SchemaVersion,
+		Sessions:      s.mgr.List(),
+	})
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess)
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.Delete(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.StartLearn(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, sess)
+}
+
+func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
+	tree, err := s.mgr.Tree(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tree)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.mgr.Result(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/scenario"
+	"repro/internal/teacher"
+	"repro/internal/xmp"
+)
+
+// TestConcurrentSessions hammers one daemon with 16 concurrent client
+// flows over real learns: most run to completion and must match the
+// direct in-process result; every third deletes its session mid-flight
+// to exercise cancellation under load. The test is the -race gate for
+// the session manager (CI runs this package with -race).
+func TestConcurrentSessions(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxLearning: 4, QueueDepth: 16})
+
+	// Direct results to compare against, one per scenario used.
+	suite := xmp.Scenarios()
+	direct := make(map[string]*scenario.Result, len(suite))
+	for _, s := range suite {
+		res, err := scenario.Run(context.Background(), s, teacher.BestCase)
+		if err != nil {
+			t.Fatalf("direct %s: %v", s.ID, err)
+		}
+		direct[s.ID] = res
+	}
+
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = runClient(t, ts.URL, suite[i%len(suite)].ID, i%3 == 2, direct)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+}
+
+// runClient drives one create → learn → (cancel | poll → verify) flow.
+// It reports failures as errors because it runs off the test goroutine.
+func runClient(t *testing.T, base, scenarioID string, cancelMidFlight bool, direct map[string]*scenario.Result) error {
+	t.Helper()
+	var sess api.SessionV1
+	status, _ := doJSON(t, http.MethodPost, base+"/v1/sessions", api.CreateSessionV1{Scenario: scenarioID}, &sess)
+	if status != http.StatusCreated {
+		return fmt.Errorf("create %s: status %d", scenarioID, status)
+	}
+	status, _ = doJSON(t, http.MethodPost, base+"/v1/sessions/"+sess.ID+"/learn", nil, nil)
+	if status != http.StatusAccepted {
+		return fmt.Errorf("learn %s: status %d", sess.ID, status)
+	}
+
+	if cancelMidFlight {
+		// Delete while the learn is (likely) queued or running; any
+		// session state is legal here — the invariant under test is that
+		// the delete always succeeds and the daemon stays consistent.
+		if status, _ := doJSON(t, http.MethodDelete, base+"/v1/sessions/"+sess.ID, nil, nil); status != http.StatusNoContent {
+			return fmt.Errorf("delete %s: status %d", sess.ID, status)
+		}
+		return nil
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var got api.SessionV1
+		if status, _ := doJSON(t, http.MethodGet, base+"/v1/sessions/"+sess.ID, nil, &got); status != http.StatusOK {
+			return fmt.Errorf("poll %s: status %d", sess.ID, status)
+		}
+		switch got.State {
+		case "done":
+			var tree api.TreeV1
+			if status, _ := doJSON(t, http.MethodGet, base+"/v1/sessions/"+sess.ID+"/tree", nil, &tree); status != http.StatusOK {
+				return fmt.Errorf("tree %s: status %d", sess.ID, status)
+			}
+			if want := direct[scenarioID].Tree.String(); tree.XQI != want {
+				return fmt.Errorf("%s: daemon learned a different query\n%s\nvs\n%s", scenarioID, tree.XQI, want)
+			}
+			if got.Verified == nil || !*got.Verified {
+				return fmt.Errorf("%s: not verified", sess.ID)
+			}
+			return nil
+		case "failed":
+			return fmt.Errorf("%s failed: %s", sess.ID, got.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("%s: timed out", sess.ID)
+}

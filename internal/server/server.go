@@ -1,0 +1,174 @@
+// Package server is the xlearnerd HTTP daemon: a JSON API that manages
+// many concurrent learning sessions end to end — create a session from
+// a registered benchmark scenario or an uploaded spec, start its
+// (asynchronous, cancellable) learn, poll state and statistics, fetch
+// the learned XQ-Tree, and delete it. A bounded session manager caps
+// concurrent learns with a fixed-depth wait queue (backpressure as
+// 429 + Retry-After), idle sessions expire on a TTL, and shutdown
+// drains active learns before canceling stragglers. See DESIGN.md,
+// "The xlearnerd daemon".
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// Config parameterizes the daemon. Zero values select the documented
+// defaults.
+type Config struct {
+	// Addr is the listen address (Run only), default ":8089".
+	Addr string
+	// MaxLearning caps concurrently running learns, default 4.
+	MaxLearning int
+	// QueueDepth caps learns waiting for a slot, default 16; an admit
+	// beyond MaxLearning+QueueDepth in flight is refused with 429.
+	QueueDepth int
+	// TTL evicts sessions idle longer than this, default 15m; negative
+	// disables eviction.
+	TTL time.Duration
+	// DrainTimeout bounds graceful shutdown: active learns get this
+	// long to finish before being canceled, default 10s.
+	DrainTimeout time.Duration
+	// Scenarios is the registry of runnable benchmark scenarios, keyed
+	// by Scenario.ID for the create endpoint.
+	Scenarios []*scenario.Scenario
+	// Logger receives structured request and session logs; default
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8089"
+	}
+	if c.MaxLearning <= 0 {
+		c.MaxLearning = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.TTL == 0 {
+		c.TTL = 15 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is one daemon instance.
+type Server struct {
+	cfg       Config
+	logger    *slog.Logger
+	metrics   *metrics
+	mgr       *manager
+	scenarios map[string]*scenario.Scenario
+	started   time.Time
+}
+
+// New builds a Server (and starts its TTL janitor); callers must
+// eventually Shutdown it, directly or through Run.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := newMetrics()
+	s := &Server{
+		cfg:       cfg,
+		logger:    cfg.Logger,
+		metrics:   m,
+		mgr:       newManager(cfg.MaxLearning, cfg.QueueDepth, cfg.TTL, m, cfg.Logger),
+		scenarios: make(map[string]*scenario.Scenario, len(cfg.Scenarios)),
+	}
+	s.started = s.mgr.now()
+	for _, scn := range cfg.Scenarios {
+		s.scenarios[scn.ID] = scn
+	}
+	return s
+}
+
+// Handler returns the daemon's full HTTP surface with request logging
+// applied.
+func (s *Server) Handler() http.Handler {
+	return s.logRequests(s.routes())
+}
+
+// Shutdown drains the session manager (see manager.Shutdown): no new
+// work, active learns finish until ctx expires, stragglers are
+// canceled, and every session goroutine has exited on return.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.mgr.Shutdown(ctx)
+}
+
+// Run serves the API on cfg.Addr until ctx is canceled (typically by
+// SIGTERM via signal.NotifyContext), then shuts down gracefully:
+// in-flight HTTP requests complete, active learns drain within
+// cfg.DrainTimeout, and stragglers are canceled.
+func (s *Server) Run(ctx context.Context) error {
+	httpSrv := &http.Server{
+		Addr:              s.cfg.Addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	s.logger.Info("listening", "addr", s.cfg.Addr,
+		"max_learning", s.cfg.MaxLearning, "queue_depth", s.cfg.QueueDepth)
+
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("server: listen on %s: %w", s.cfg.Addr, err)
+	case <-ctx.Done():
+	}
+	s.logger.Info("shutting down", "drain_timeout", s.cfg.DrainTimeout)
+
+	// The drain deadline is intentionally detached from ctx: ctx is
+	// already canceled, and the whole point is to give sessions bounded
+	// time beyond the signal.
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	drainErr := s.mgr.Shutdown(drainCtx)
+	httpErr := httpSrv.Shutdown(drainCtx)
+	if httpErr != nil {
+		httpErr = fmt.Errorf("server: http shutdown: %w", httpErr)
+	}
+	if err := errors.Join(drainErr, httpErr); err != nil {
+		return err
+	}
+	s.logger.Info("drained cleanly")
+	return nil
+}
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// logRequests emits one structured line per request.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := s.mgr.now()
+		next.ServeHTTP(rec, r)
+		s.logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration_ms", float64(s.mgr.now().Sub(start).Microseconds())/1e3,
+		)
+	})
+}

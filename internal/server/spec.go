@@ -1,0 +1,93 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/scenario"
+	"repro/internal/teacher"
+	"repro/internal/xmldoc"
+	"repro/internal/xq"
+)
+
+// uploadScenarioID names sessions created from a posted SpecV1 in
+// listings and metrics.
+const uploadScenarioID = "upload"
+
+// scenarioFromSpec converts an uploaded SpecV1 into a runnable
+// scenario: source instance, target schema, ground-truth query for the
+// simulated teacher, and the drop sequence. Everything is parsed and
+// resolved eagerly so a malformed spec fails the create request with
+// 400 instead of surfacing later as a failed learn.
+func scenarioFromSpec(spec *api.SpecV1) (*scenario.Scenario, error) {
+	doc, err := xmldoc.ParseString(spec.SourceXML)
+	if err != nil {
+		return nil, fmt.Errorf("%w: source_xml: %w", ErrBadRequest, err)
+	}
+	target, err := dtd.Parse(spec.TargetDTD)
+	if err != nil {
+		return nil, fmt.Errorf("%w: target_dtd: %w", ErrBadRequest, err)
+	}
+	truth, err := xq.ParseQuery(spec.TruthXQuery)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truth_xquery: %w", ErrBadRequest, err)
+	}
+	if len(spec.Drops) == 0 {
+		return nil, fmt.Errorf("%w: spec has no drops", ErrBadRequest)
+	}
+	drops := make([]core.Drop, len(spec.Drops))
+	for i, d := range spec.Drops {
+		if d.Path == "" || d.Var == "" {
+			return nil, fmt.Errorf("%w: drop %d needs path and var", ErrBadRequest, i)
+		}
+		sel, err := selector(doc, d.Select)
+		if err != nil {
+			return nil, fmt.Errorf("%w: drop %d: %w", ErrBadRequest, i, err)
+		}
+		alts := make([]func(*xmldoc.Document) *xmldoc.Node, len(d.Alternates))
+		for j, a := range d.Alternates {
+			if alts[j], err = selector(doc, a); err != nil {
+				return nil, fmt.Errorf("%w: drop %d alternate %d: %w", ErrBadRequest, i, j, err)
+			}
+		}
+		drops[i] = core.Drop{
+			Path:       d.Path,
+			Var:        d.Var,
+			AnchorVar:  d.AnchorVar,
+			Select:     sel,
+			Alternates: alts,
+		}
+	}
+	// The parsed document and truth tree are captured by the closures:
+	// the engine and evaluators treat both as read-only, and a session
+	// runs at most one learn at a time, so sharing them across re-learns
+	// of the same session is safe.
+	return &scenario.Scenario{
+		ID:          uploadScenarioID,
+		Description: "uploaded spec",
+		Doc:         func() *xmldoc.Document { return doc },
+		Target:      target,
+		Truth:       func() *xq.Tree { return truth },
+		Drops:       drops,
+	}, nil
+}
+
+// selector resolves a SelectV1 into a node selector and verifies it
+// finds a node on the uploaded document.
+func selector(doc *xmldoc.Document, sel api.SelectV1) (func(*xmldoc.Document) *xmldoc.Node, error) {
+	if sel.Label == "" {
+		return nil, fmt.Errorf("select needs a label")
+	}
+	var f func(*xmldoc.Document) *xmldoc.Node
+	if sel.Text != "" {
+		f = teacher.SelectByText(sel.Label, sel.Text)
+	} else {
+		f = teacher.SelectNth(sel.Label, sel.Nth)
+	}
+	if f(doc) == nil {
+		return nil, fmt.Errorf("select {label %q, text %q, nth %d} matches no node", sel.Label, sel.Text, sel.Nth)
+	}
+	return f, nil
+}

@@ -57,6 +57,13 @@ func New(doc *xmldoc.Document, truth *xq.Tree) *Sim {
 	return &Sim{Doc: doc, Truth: truth, ev: xq.NewEvaluator(doc), boxesServed: map[string]bool{}}
 }
 
+// CacheStats reports the hit/miss counters of the teacher's own
+// evaluator (the one answering MQ/EQ against the ground truth), for
+// aggregation next to the engine's Engine.CacheStats.
+func (s *Sim) CacheStats() xq.CacheStats {
+	return s.ev.CacheStats()
+}
+
 // extent computes the true extent for a fragment in the given context.
 func (s *Sim) extent(ctx context.Context, frag core.FragmentRef, pin map[string]*xmldoc.Node) ([]*xmldoc.Node, error) {
 	n := s.Truth.VarNode(frag.Var)

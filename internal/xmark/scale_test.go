@@ -4,7 +4,6 @@ import (
 	"context"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/scenario"
 	"repro/internal/teacher"
 	"repro/internal/xmldoc"
@@ -45,7 +44,7 @@ func TestLearningAtLargerScale(t *testing.T) {
 			Target: base.Target, Truth: base.Truth,
 			Drops: base.Drops, Boxes: base.Boxes, Orders: base.Orders,
 		}
-		res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
+		res, err := scenario.Run(context.Background(), s, teacher.BestCase)
 		if err != nil {
 			t.Fatalf("%s at 2x+ scale: %v", id, err)
 		}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/scenario"
 	"repro/internal/teacher"
 )
@@ -41,7 +40,7 @@ func TestLearnAllScenarios(t *testing.T) {
 	for _, s := range Scenarios() {
 		s := s
 		t.Run(s.ID, func(t *testing.T) {
-			res, err := scenario.Run(context.Background(), s, core.DefaultOptions(), teacher.BestCase)
+			res, err := scenario.Run(context.Background(), s, teacher.BestCase)
 			if err != nil {
 				t.Fatalf("learning failed: %v", err)
 			}

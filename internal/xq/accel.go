@@ -108,8 +108,10 @@ func pinFingerprint(pinned Env) string {
 func (e *Evaluator) cachedExtent(key extentKey) ([]*xmldoc.Node, bool) {
 	ext, ok := e.extents[key]
 	if !ok {
+		e.stats.Extent.Misses++
 		return nil, false
 	}
+	e.stats.Extent.Hits++
 	// Return a copy: callers own their result slice.
 	return append([]*xmldoc.Node(nil), ext...), true
 }
@@ -133,8 +135,10 @@ func (e *Evaluator) simplePath(start *xmldoc.Node, p SimplePath) []*xmldoc.Node 
 	}
 	key := simpleCacheKey{start: start.ID, path: p.String()}
 	if out, ok := e.simpleCache[key]; ok {
+		e.stats.Simple.Hits++
 		return out
 	}
+	e.stats.Simple.Misses++
 	out := EvalSimplePath(start, p)
 	if len(e.simpleCache) >= simpleCacheMax {
 		e.simpleCache = nil
@@ -154,8 +158,10 @@ func (e *Evaluator) nodeValue(n *xmldoc.Node) Value {
 		return NodeValue(n)
 	}
 	if v, ok := e.valueCache[n.ID]; ok {
+		e.stats.Value.Hits++
 		return v
 	}
+	e.stats.Value.Misses++
 	v := NodeValue(n)
 	if len(e.valueCache) >= valueCacheMax {
 		e.valueCache = nil
@@ -204,8 +210,10 @@ func valueKeys(v Value) []string {
 func (e *Evaluator) relayJoinIndex(start *xmldoc.Node, relayPath, atomPath SimplePath) map[string][]*xmldoc.Node {
 	key := strconv.Itoa(start.ID) + "\x00" + relayPath.String() + "\x01" + atomPath.String()
 	if idx, ok := e.relayIdx[key]; ok {
+		e.stats.Relay.Hits++
 		return idx
 	}
+	e.stats.Relay.Misses++
 	idx := map[string][]*xmldoc.Node{}
 	for _, w := range e.simplePath(start, relayPath) {
 		for _, t := range e.simplePath(w, atomPath) {

@@ -87,6 +87,9 @@ type Evaluator struct {
 	valueCache  map[int]Value
 	relayIdx    map[string]map[string][]*xmldoc.Node
 	extents     map[extentKey][]*xmldoc.Node
+	// stats counts cache hits/misses (cachestats.go); snapshot with
+	// CacheStats.
+	stats CacheStats
 }
 
 // NewEvaluator builds an evaluator over doc. The DFA alphabet is the
@@ -119,8 +122,10 @@ func (e *Evaluator) PathNodes(start *xmldoc.Node, p pathre.Expr) []*xmldoc.Node 
 	}
 	key := pathCacheKey{start: start.ID, expr: pathre.String(p)}
 	if out, ok := e.pathCache[key]; ok {
+		e.stats.Path.Hits++
 		return out
 	}
+	e.stats.Path.Misses++
 	var out []*xmldoc.Node
 	if start == e.Doc.DocNode() {
 		out = e.pathNodesIndexed(e.dfa(p))
