@@ -1,0 +1,97 @@
+// Command benchdiff is the CI benchmark-regression gate: it compares a
+// freshly measured -bench-json report against the committed
+// BENCH_eval.json baseline and fails (exit 1) when any table run — or
+// the suite total — regressed past the threshold. Wall-clock
+// comparisons carry an absolute slack so micro-runs (fig15 finishes in
+// well under a millisecond) cannot trip the gate on scheduler noise;
+// allocation counts are near-deterministic and get a smaller one.
+//
+//	go run ./ci/benchdiff -baseline BENCH_eval.json -current /tmp/bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/api"
+)
+
+func load(path string) (api.BenchReportV1, error) {
+	var r api.BenchReportV1
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_eval.json", "committed baseline report")
+	current := flag.String("current", "", "freshly measured report to check")
+	threshold := flag.Float64("threshold", 0.20, "maximum allowed relative regression (0.20 = +20%)")
+	msSlack := flag.Float64("ms-slack", 25, "absolute wall-clock slack in ms (noise floor for tiny runs)")
+	allocSlack := flag.Uint64("alloc-slack", 50_000, "absolute allocation-count slack per run")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	baseRuns := make(map[string]api.BenchRecordV1, len(base.Runs))
+	for _, r := range base.Runs {
+		baseRuns[r.Name] = r
+	}
+
+	failed := false
+	regress := func(run, metric string, got, want, slack float64, unit string) {
+		if want <= 0 || got <= want*(1+*threshold) || got-want <= slack {
+			return
+		}
+		failed = true
+		fmt.Fprintf(os.Stderr,
+			"benchdiff: REGRESSION in run %q: %s %.1f%s vs baseline %.1f%s (%+.1f%%, threshold %+.0f%%)\n",
+			run, metric, got, unit, want, unit, 100*(got/want-1), 100**threshold)
+	}
+
+	for _, c := range cur.Runs {
+		b, ok := baseRuns[c.Name]
+		if !ok {
+			fmt.Printf("benchdiff: run %q has no baseline (new table?), skipping\n", c.Name)
+			continue
+		}
+		regress(c.Name, "wall-clock", c.Millis, b.Millis, *msSlack, "ms")
+		// The baseline predates the allocation columns when zero.
+		if b.AllocsPerOp > 0 {
+			regress(c.Name, "allocations", float64(c.AllocsPerOp), float64(b.AllocsPerOp),
+				float64(*allocSlack), "")
+		}
+		fmt.Printf("benchdiff: %-12s %8.1fms (baseline %8.1fms)  %9d allocs (baseline %9d)\n",
+			c.Name, c.Millis, b.Millis, c.AllocsPerOp, b.AllocsPerOp)
+	}
+	regress("total", "wall-clock", cur.TotalMillis, base.TotalMillis, *msSlack, "ms")
+	fmt.Printf("benchdiff: total        %8.1fms (baseline %8.1fms)\n", cur.TotalMillis, base.TotalMillis)
+
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchdiff: benchmark regression gate FAILED (see runs above);")
+		fmt.Fprintln(os.Stderr, "benchdiff: if the slowdown is intended, regenerate the baseline:")
+		fmt.Fprintln(os.Stderr, "benchdiff:   go run ./cmd/experiments -table all -bench-json BENCH_eval.json")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok — no run regressed past the threshold")
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -79,7 +80,14 @@ func main() {
 		names = []string{"fig15", "fig16-xmark", "fig16-xmp", "fig16-r", "ablation"}
 	}
 	var records []experiments.BenchRecord
+	var ms runtime.MemStats
 	for _, n := range names {
+		// Mallocs/TotalAlloc are monotonic, so the before/after delta is
+		// the run's allocation bill (each regeneration is one "op" in the
+		// committed baseline). The table runner is the only allocator of
+		// consequence in this process, so no GC fencing is needed.
+		runtime.ReadMemStats(&ms)
+		allocs0, bytes0 := ms.Mallocs, ms.TotalAlloc
 		start := time.Now()
 		if err := run(n); err != nil {
 			if errors.Is(err, context.Canceled) {
@@ -89,9 +97,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms)
 		records = append(records, experiments.BenchRecord{
-			Name:   n,
-			Millis: float64(time.Since(start).Microseconds()) / 1000,
+			Name:        n,
+			Millis:      float64(elapsed.Microseconds()) / 1000,
+			AllocsPerOp: ms.Mallocs - allocs0,
+			BytesPerOp:  ms.TotalAlloc - bytes0,
 		})
 	}
 	if *benchJSON != "" {

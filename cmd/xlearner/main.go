@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"repro/internal/api"
+	"repro/internal/artifacts"
 	"repro/internal/core"
 	"repro/internal/replay"
 	"repro/internal/scenario"
@@ -89,7 +90,11 @@ func main() {
 		results[0], errs[0] = runSession(ctx, targets[0], opts, pol, *record, *replayFrom)
 	} else {
 		// One session per goroutine; results land in index order so the
-		// report below is deterministic regardless of -parallel.
+		// report below is deterministic regardless of -parallel. The
+		// sessions share one artifact store, so scenarios over a common
+		// document (each full suite shares one instance) parse and index
+		// it once.
+		store := artifacts.NewStore(artifacts.DefaultBudget)
 		width := *parallel
 		if width < 1 {
 			width = 1
@@ -104,7 +109,7 @@ func main() {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					results[i], errs[i] = scenario.Run(ctx, targets[i], pol, opts...)
+					results[i], errs[i] = scenario.RunIn(ctx, store, targets[i], pol, opts...)
 				}
 			}()
 		}

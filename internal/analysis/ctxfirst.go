@@ -35,6 +35,9 @@ var ctxPipelinePkgs = map[string]bool{
 	"repro/internal/teacher":     true,
 	"repro/internal/experiments": true,
 	"repro/internal/xq":          true,
+	// Store lookups block on in-flight builds, so every entry point
+	// must accept the caller's ctx to stay cancellable.
+	"repro/internal/artifacts": true,
 }
 
 func runCtxFirst(pass *Pass) error {

@@ -10,6 +10,10 @@ func TestDeterminismEvalLayer(t *testing.T) {
 	RunFixture(t, Determinism, "repro/internal/xq")
 }
 
+func TestDeterminismArtifactStore(t *testing.T) {
+	RunFixture(t, Determinism, "repro/internal/artifacts")
+}
+
 func TestDeterminismXmarkExemption(t *testing.T) {
 	RunFixture(t, Determinism, "repro/internal/xmark")
 }

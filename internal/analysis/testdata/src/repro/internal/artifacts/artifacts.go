@@ -1,0 +1,51 @@
+// Fixture for determinism inside the artifact store
+// (repro/internal/artifacts): the store feeds every table run its
+// document and index, so the table-package rules apply — stats or
+// listings assembled from its maps must sort, and entries must not
+// embed wall-clock values.
+package artifacts
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+type entry struct {
+	key  string
+	size int64
+}
+
+// keysSorted is the idiomatic collect-then-sort shape: allowed.
+func keysSorted(entries map[string]*entry) []string {
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// dumpEntries lets map order become listing order: flagged.
+func dumpEntries(entries map[string]*entry) []string {
+	var rows []string
+	for k, e := range entries { // want `map iteration appends to rows in unspecified order`
+		rows = append(rows, fmt.Sprintf("%s: %d bytes", k, e.size))
+	}
+	return rows
+}
+
+// stampEntry embeds wall-clock state in a cached artifact: flagged.
+func stampEntry(e *entry) int64 {
+	return int64(time.Now().Nanosecond()) + e.size // want `time.Now in a table-producing package`
+}
+
+// sizeTotal ranges a map without emitting in iteration order: allowed
+// (summation is order-insensitive).
+func sizeTotal(entries map[string]*entry) int64 {
+	var total int64
+	for _, e := range entries {
+		total += e.size
+	}
+	return total
+}

@@ -18,7 +18,10 @@ import (
 // restart — which aborts the learner immediately and propagates out of
 // Learn/LearnKV unwrapped, so callers can match it with errors.Is/As.
 type Teacher interface {
-	// Member reports whether word is in the target language.
+	// Member reports whether word is in the target language. The word
+	// slice is only valid for the duration of the call — the learner
+	// reuses its backing array — so implementations that keep it must
+	// copy.
 	Member(word []string) (bool, error)
 	// Equivalent checks the hypothesis. If the hypothesis is correct it
 	// returns (nil, true, nil); otherwise it returns a counterexample
@@ -58,8 +61,11 @@ func Learn(alphabet []string, t Teacher, opts ...Option) (*pathre.DFA, Stats, er
 	l := &learner{
 		alphabet: append([]string(nil), alphabet...),
 		teacher:  t,
-		table:    map[string]bool{},
-		maxEQ:    1000,
+		// Presized: the table grows with S×E and rehash copies of a
+		// large string-keyed map show up in profiles.
+		table: make(map[string]bool, 1<<10),
+		ids:   make(map[string]int32, 1<<9),
+		maxEQ: 1000,
 	}
 	for _, o := range opts {
 		o(l)
@@ -73,43 +79,70 @@ type learner struct {
 	initial  []string
 	maxEQ    int
 
-	// S: access strings (prefixes), each carrying its pre-joined map
-	// key; E: distinguishing suffixes, with eKeys their pre-joined keys.
-	s     []prefix
+	// Prefix interning. Every access string and one-symbol extension
+	// the learner touches is assigned a dense ID on first sight; all
+	// per-prefix state below is indexed by that ID, so the scans that
+	// dominate L* — closedness, consistency, hypothesis extraction —
+	// run on integer lookups instead of re-hashing long joined words.
+	// ids maps a joined prefix key to its ID; keys/words invert it.
+	ids   map[string]int32
+	keys  []string
+	words [][]string
+	// rows holds each prefix's observation-table row, built column by
+	// column. Rows grow incrementally: when a distinguishing suffix is
+	// added only the new column is probed, so each (prefix, suffix)
+	// membership pair is looked up once ever rather than once per
+	// suffix epoch.
+	rows []rowEntry
+	// ext memoizes one-symbol extensions: ext[id][ai] is the ID of
+	// prefix id extended by alphabet[ai] (-1 until interned).
+	ext [][]int32
+	// inS marks the IDs currently in S; checked marks extension IDs
+	// whose row was confirmed realized in S during the current suffix
+	// epoch (see close).
+	inS     []bool
+	checked []uint32
+	epoch   uint32
+
+	// s is the access-string set S in insertion order.
+	s []int32
+	// e is the distinguishing suffix set E, with eKeys the pre-joined
+	// map keys.
 	e     [][]string
 	eKeys []string
-	// table caches membership answers keyed by joined word.
+	// table caches membership answers keyed by joined word — the one
+	// remaining string-keyed structure, because distinct (prefix,
+	// suffix) pairs concatenating to the same word must share a single
+	// teacher question.
 	table map[string]bool
-	// sSet mirrors s as a set of joined prefixes for O(1) hasPrefix.
-	sSet map[string]bool
-	// rows caches row(s) per joined prefix. A row is a function of the
-	// prefix and the current suffix set E only, so the cache is exact
-	// until E grows and is dropped whenever a suffix is added.
-	rows map[string]string
 	// Incremental closedness state, valid for the current E. rowsOfS
-	// holds the rows S realizes (it only grows while E is fixed: prefixes
-	// are never removed); tabled counts the prefixes of s already folded
-	// into it; checked marks extension keys whose row was confirmed
-	// present. All three reset together when a suffix is added.
+	// holds the rows S realizes (it only grows while E is fixed:
+	// prefixes are never removed); tabled counts the prefixes of s
+	// already folded into it. Both reset, and the epoch advances, when
+	// a suffix is added.
 	rowsOfS map[string]bool
 	tabled  int
-	checked map[string]bool
-	// kb is a scratch buffer for building map keys without allocating:
-	// lookups go through the non-allocating map[string(kb)] form, and a
-	// key string is only materialized on insertion.
+	// kb is a scratch buffer for building membership keys without
+	// allocating: lookups go through the non-allocating map[string(kb)]
+	// form, and a key string is only materialized on insertion. wb is
+	// the matching scratch for the concatenated words handed to the
+	// teacher (the Teacher contract forbids retaining them).
 	kb []byte
+	wb []string
 
 	stats Stats
 }
 
-func key(w []string) string { return strings.Join(w, "\x00") }
-
-// prefix is an access string with its pre-joined key, so table scans do
-// not re-join the same word on every pass.
-type prefix struct {
-	w []string
-	k string
+// rowEntry is one prefix's row, built column by column. bits holds the
+// membership answers for the first len(bits) suffixes; str is
+// string(bits), re-materialized whenever the row catches up with the
+// suffix set (an empty str is never valid — E always contains ε).
+type rowEntry struct {
+	bits []byte
+	str  string
 }
+
+func key(w []string) string { return strings.Join(w, "\x00") }
 
 // extKey is the key of the one-symbol extension of the word keyed k.
 func extKey(k, a string) string {
@@ -117,11 +150,6 @@ func extKey(k, a string) string {
 		return a
 	}
 	return k + "\x00" + a
-}
-
-// extend returns p.w + a with the extension's key computed from p.k.
-func (p prefix) extend(a string) prefix {
-	return prefix{w: append(append([]string(nil), p.w...), a), k: extKey(p.k, a)}
 }
 
 // appendKey appends the key of a further word (given its key k) to the
@@ -135,6 +163,56 @@ func appendKey(kb []byte, k string) []byte {
 		kb = append(kb, 0)
 	}
 	return append(kb, k...)
+}
+
+// intern returns the ID for the prefix with joined key k, registering
+// word w (which intern takes ownership of) on first sight.
+func (l *learner) intern(k string, w []string) int32 {
+	if id, ok := l.ids[k]; ok {
+		return id
+	}
+	id := int32(len(l.keys))
+	l.ids[k] = id
+	l.keys = append(l.keys, k)
+	l.words = append(l.words, w)
+	l.rows = append(l.rows, rowEntry{})
+	l.ext = append(l.ext, nil)
+	l.inS = append(l.inS, false)
+	l.checked = append(l.checked, 0)
+	return id
+}
+
+// internWord interns a word, copying it.
+func (l *learner) internWord(w []string) int32 {
+	k := key(w)
+	if id, ok := l.ids[k]; ok {
+		return id
+	}
+	return l.intern(k, append([]string(nil), w...))
+}
+
+// extID returns the ID of prefix id extended by alphabet[ai],
+// interning the extension on first sight.
+func (l *learner) extID(id int32, ai int) int32 {
+	exts := l.ext[id]
+	if exts == nil {
+		exts = make([]int32, len(l.alphabet))
+		for i := range exts {
+			exts[i] = -1
+		}
+		l.ext[id] = exts
+	}
+	if e := exts[ai]; e >= 0 {
+		return e
+	}
+	a := l.alphabet[ai]
+	w := l.words[id]
+	ew := append(append(make([]string, 0, len(w)+1), w...), a)
+	e := l.intern(extKey(l.keys[id], a), ew)
+	// intern may grow l.ext, but append never moves the existing
+	// backing array, so the local header stays valid.
+	exts[ai] = e
+	return e
 }
 
 func (l *learner) member(w []string) (bool, error) {
@@ -151,21 +229,26 @@ func (l *learner) member(w []string) (bool, error) {
 	return v, nil
 }
 
-// row computes the observation-table row of prefix p, memoized until
-// the suffix set changes. Membership lookups build their cache key from
-// the pre-joined prefix and suffix keys; the concatenated word itself is
-// materialized only when the teacher actually has to be asked.
-func (l *learner) row(p prefix) (string, error) {
-	if r, ok := l.rows[p.k]; ok {
-		return r, nil
+// row computes the observation-table row of the prefix with the given
+// ID. A row is a function of the prefix and the suffix set E only, and
+// E only grows, so the cached row stays correct column-for-column
+// forever: a call after a suffix was added probes just the new columns.
+// Membership lookups build their cache key from the pre-joined prefix
+// and suffix keys; the concatenated word itself is materialized only
+// when the teacher actually has to be asked.
+func (l *learner) row(id int32) (string, error) {
+	ent := &l.rows[id]
+	if len(ent.bits) == len(l.e) && ent.str != "" {
+		return ent.str, nil
 	}
-	buf := make([]byte, len(l.e))
-	for i, e := range l.e {
-		kb := appendKey(append(l.kb[:0], p.k...), l.eKeys[i])
+	k := l.keys[id]
+	for i := len(ent.bits); i < len(l.e); i++ {
+		kb := appendKey(append(l.kb[:0], k...), l.eKeys[i])
 		l.kb = kb
 		v, ok := l.table[string(kb)]
 		if !ok {
-			w := append(append([]string(nil), p.w...), e...)
+			w := append(append(l.wb[:0], l.words[id]...), l.e[i]...)
+			l.wb = w
 			var err error
 			v, err = l.teacher.Member(w)
 			if err != nil {
@@ -175,34 +258,19 @@ func (l *learner) row(p prefix) (string, error) {
 			l.table[string(kb)] = v
 		}
 		if v {
-			buf[i] = '1'
+			ent.bits = append(ent.bits, '1')
 		} else {
-			buf[i] = '0'
+			ent.bits = append(ent.bits, '0')
 		}
 	}
-	r := string(buf)
-	if l.rows == nil {
-		l.rows = map[string]string{}
-	}
-	l.rows[p.k] = r
-	return r, nil
+	ent.str = string(ent.bits)
+	return ent.str, nil
 }
 
-// rowExt computes the row of p's one-symbol extension by a, building
-// the extended word (and its key) only on a row-cache miss.
-func (l *learner) rowExt(p prefix, a string) (string, error) {
-	kb := appendKey(append(l.kb[:0], p.k...), a)
-	l.kb = kb
-	if r, ok := l.rows[string(kb)]; ok {
-		return r, nil
-	}
-	return l.row(p.extend(a))
-}
-
-func (l *learner) addPrefix(p prefix) {
-	if !l.sSet[p.k] {
-		l.sSet[p.k] = true
-		l.s = append(l.s, p)
+func (l *learner) addPrefix(id int32) {
+	if !l.inS[id] {
+		l.inS[id] = true
+		l.s = append(l.s, id)
 	}
 }
 
@@ -217,14 +285,13 @@ func (l *learner) hasSuffix(w []string) bool {
 }
 
 func (l *learner) run() (*pathre.DFA, Stats, error) {
-	l.s = []prefix{{}}
-	l.sSet = map[string]bool{"": true}
+	l.s = []int32{l.intern("", nil)}
+	l.inS[0] = true
 	l.e = [][]string{{}}
 	l.eKeys = []string{""}
 	if l.initial != nil {
 		for i := 1; i <= len(l.initial); i++ {
-			w := l.initial[:i]
-			l.addPrefix(prefix{w: append([]string(nil), w...), k: key(w)})
+			l.addPrefix(l.internWord(l.initial[:i]))
 		}
 	}
 	for eq := 0; eq < l.maxEQ; eq++ {
@@ -256,8 +323,7 @@ func (l *learner) run() (*pathre.DFA, Stats, error) {
 			return nil, l.stats, fmt.Errorf("angluin: counterexample %v does not distinguish hypothesis from target", ce)
 		}
 		for i := 1; i <= len(ce); i++ {
-			w := ce[:i]
-			l.addPrefix(prefix{w: append([]string(nil), w...), k: key(w)})
+			l.addPrefix(l.internWord(ce[:i]))
 		}
 	}
 	return nil, l.stats, fmt.Errorf("angluin: exceeded %d equivalence queries", l.maxEQ)
@@ -272,8 +338,8 @@ func (l *learner) close() error {
 	for {
 		if l.rowsOfS == nil {
 			l.rowsOfS = map[string]bool{}
-			l.checked = map[string]bool{}
 			l.tabled = 0
+			l.epoch++
 		}
 		for l.tabled < len(l.s) {
 			r, err := l.row(l.s[l.tabled])
@@ -287,25 +353,21 @@ func (l *learner) close() error {
 		// Prefixes appended mid-scan are reached by the same loop, so one
 		// pass suffices.
 		for i := 0; i < len(l.s); i++ {
-			s := l.s[i]
-			for _, a := range l.alphabet {
-				kb := appendKey(append(l.kb[:0], s.k...), a)
-				l.kb = kb
-				if l.sSet[string(kb)] || l.checked[string(kb)] {
+			sid := l.s[i]
+			for ai := range l.alphabet {
+				eid := l.extID(sid, ai)
+				if l.inS[eid] || l.checked[eid] == l.epoch {
 					continue
 				}
-				// rowExt reuses the scratch buffer, so the key string is
-				// materialized here, where it is needed for insertion.
-				ek := extKey(s.k, a)
-				r, err := l.rowExt(s, a)
+				r, err := l.row(eid)
 				if err != nil {
 					return err
 				}
 				if l.rowsOfS[r] {
-					l.checked[ek] = true
+					l.checked[eid] = l.epoch
 					continue
 				}
-				l.addPrefix(s.extend(a))
+				l.addPrefix(eid)
 				l.rowsOfS[r] = true
 			}
 		}
@@ -319,7 +381,8 @@ func (l *learner) close() error {
 		if !fixed {
 			return nil
 		}
-		// A suffix was added: every row-derived structure is stale.
+		// A suffix was added: every row-derived structure is stale
+		// (cached rows stay valid column-for-column and extend lazily).
 		l.rowsOfS = nil
 	}
 }
@@ -338,12 +401,12 @@ func (l *learner) fixInconsistency() (bool, error) {
 			if ri0 != rj0 {
 				continue
 			}
-			for _, a := range l.alphabet {
-				ri, err := l.rowExt(l.s[i], a)
+			for ai, a := range l.alphabet {
+				ri, err := l.row(l.extID(l.s[i], ai))
 				if err != nil {
 					return false, err
 				}
-				rj, err := l.rowExt(l.s[j], a)
+				rj, err := l.row(l.extID(l.s[j], ai))
 				if err != nil {
 					return false, err
 				}
@@ -357,7 +420,6 @@ func (l *learner) fixInconsistency() (bool, error) {
 						if !l.hasSuffix(newSuffix) {
 							l.e = append(l.e, newSuffix)
 							l.eKeys = append(l.eKeys, key(newSuffix))
-							l.rows = nil // rows are a function of E
 							return true, nil
 						}
 					}
@@ -373,15 +435,15 @@ func (l *learner) fixInconsistency() (bool, error) {
 func (l *learner) hypothesis() (*pathre.DFA, error) {
 	// Unique rows of S become states.
 	stateOf := map[string]int{}
-	var reps []prefix
-	for _, s := range l.s {
-		r, err := l.row(s)
+	var reps []int32
+	for _, sid := range l.s {
+		r, err := l.row(sid)
 		if err != nil {
 			return nil, err
 		}
 		if _, ok := stateOf[r]; !ok {
 			stateOf[r] = len(reps)
-			reps = append(reps, s)
+			reps = append(reps, sid)
 		}
 	}
 	d := pathre.NewDFA(l.alphabet, len(reps))
@@ -393,8 +455,8 @@ func (l *learner) hypothesis() (*pathre.DFA, error) {
 			return nil, err
 		}
 		d.Accept[qi] = r[0] == '1' // E[0] is ε
-		for _, a := range l.alphabet {
-			re, err := l.rowExt(rep, a)
+		for ai, a := range l.alphabet {
+			re, err := l.row(l.extID(rep, ai))
 			if err != nil {
 				return nil, err
 			}
@@ -406,7 +468,7 @@ func (l *learner) hypothesis() (*pathre.DFA, error) {
 			d.Trans[qi][d.SymIndex(a)] = target
 		}
 	}
-	r0, err := l.row(prefix{})
+	r0, err := l.row(0)
 	if err != nil {
 		return nil, err
 	}

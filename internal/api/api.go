@@ -18,8 +18,11 @@ import (
 )
 
 // SchemaVersion is the current wire-schema generation stamped into
-// every V1 document.
-const SchemaVersion = 1
+// every V1 document. Version 2 added the additive artifact-store
+// surface: SessionV1.ArtifactHash, MetricsV1.Artifacts, and the
+// BenchRecordV1 allocation columns (all omitted-or-zero for readers of
+// version 1, per the additive-only policy above).
+const SchemaVersion = 2
 
 // ErrorV1 is the uniform error envelope: every non-2xx daemon response
 // body is one of these.
@@ -41,6 +44,11 @@ type SessionV1 struct {
 	// State is one of idle, queued, learning, done, failed.
 	State           string `json:"state"`
 	CreatedAtUnixMS int64  `json:"created_at_unix_ms"`
+	// ArtifactHash is the content hash keying the session's shared
+	// artifact bundle (document, index, truth extents) in the daemon's
+	// cross-session store; two sessions reporting the same hash share
+	// those immutable artifacts.
+	ArtifactHash string `json:"artifact_hash,omitempty"`
 	// Error carries the learn error of a failed session.
 	Error string `json:"error,omitempty"`
 	// Verified and Stats are set once the session is done.

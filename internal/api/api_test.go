@@ -15,8 +15,8 @@ import (
 // change — mint a V2 type instead of editing the golden set.
 func TestWireFieldNamesFrozen(t *testing.T) {
 	golden := map[string][]string{
-		"ErrorV1":   {"schema_version", "error", "status"},
-		"SessionV1": {"schema_version", "id", "scenario", "state", "created_at_unix_ms", "error", "verified", "stats"},
+		"ErrorV1":       {"schema_version", "error", "status"},
+		"SessionV1":     {"schema_version", "id", "scenario", "state", "created_at_unix_ms", "artifact_hash", "error", "verified", "stats"},
 		"SessionListV1": {"schema_version", "sessions"},
 		"FragmentStatsV1": {"var", "template_path", "mq", "ce", "cb", "cb_terms", "ob",
 			"reduced_r1", "reduced_r2", "reduced_both", "reduced_total",
@@ -31,13 +31,14 @@ func TestWireFieldNamesFrozen(t *testing.T) {
 		"OptionsV1":       {"r1", "r2", "max_eq", "kv_learner", "keep_redundant_conds", "relativize"},
 		"HealthV1":        {"schema_version", "status", "sessions", "learning", "uptime_ms"},
 		"MetricsV1": {"schema_version", "sessions_by_state", "sessions_created", "sessions_deleted",
-			"sessions_evicted", "learn", "interactions", "xq_cache"},
+			"sessions_evicted", "learn", "interactions", "xq_cache", "artifact_store"},
+		"ArtifactStoreV1":     {"lookups", "indexes", "evictions", "entries", "bytes"},
 		"LearnMetricsV1":      {"started", "completed", "failed", "canceled", "latency_ms"},
 		"HistogramV1":         {"upper_bounds", "counts", "sum", "count"},
 		"CacheCounterV1":      {"hits", "misses", "hit_rate"},
 		"CacheStatsV1":        {"path", "simple", "value", "extent", "relay"},
 		"InteractionTotalsV1": {"mq", "ce", "cb", "ob"},
-		"BenchRecordV1":       {"name", "millis"},
+		"BenchRecordV1":       {"name", "millis", "allocs_per_op", "bytes_per_op"},
 		"BenchReportV1":       {"schema_version", "suite", "runs", "total_millis"},
 	}
 	types := []any{
@@ -45,7 +46,7 @@ func TestWireFieldNamesFrozen(t *testing.T) {
 		TreeV1{}, ResultV1{}, CreateSessionV1{}, SpecV1{}, DropV1{}, SelectV1{},
 		OptionsV1{}, HealthV1{}, MetricsV1{}, LearnMetricsV1{}, HistogramV1{},
 		CacheCounterV1{}, CacheStatsV1{}, InteractionTotalsV1{},
-		BenchRecordV1{}, BenchReportV1{},
+		ArtifactStoreV1{}, BenchRecordV1{}, BenchReportV1{},
 	}
 	seen := make(map[string]bool)
 	for _, v := range types {
@@ -89,8 +90,8 @@ func TestResultV1Golden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := `{"schema_version":1,"scenario":"XMP-Q1","verified":true,` +
-		`"stats":{"schema_version":1,"dnd":2,"dnd_terms":3,` +
+	want := `{"schema_version":2,"scenario":"XMP-Q1","verified":true,` +
+		`"stats":{"schema_version":2,"dnd":2,"dnd_terms":3,` +
 		`"fragments":[{"var":"v","template_path":"x/y","mq":4,"ce":1,"cb":0,"cb_terms":0,"ob":0,` +
 		`"reduced_r1":7,"reduced_r2":0,"reduced_both":0,"reduced_total":7,` +
 		`"restarts":0,"context_switches":0,"path_states":0}],` +

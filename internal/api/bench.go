@@ -1,9 +1,16 @@
 package api
 
-// BenchRecordV1 is the measured wall-clock of one table regeneration.
+// BenchRecordV1 is the measured wall-clock and allocation cost of one
+// table regeneration (each regeneration is one "op").
 type BenchRecordV1 struct {
 	Name   string  `json:"name"`
 	Millis float64 `json:"millis"`
+	// AllocsPerOp and BytesPerOp are the heap allocation count and
+	// total bytes allocated while regenerating the table once
+	// (runtime.MemStats deltas, so concurrent allocation noise is
+	// possible but the regeneration loop dominates).
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
 }
 
 // BenchReportV1 is the -bench-json document (the committed

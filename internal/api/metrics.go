@@ -1,6 +1,9 @@
 package api
 
-import "repro/internal/xq"
+import (
+	"repro/internal/artifacts"
+	"repro/internal/xq"
+)
 
 // HealthV1 is the GET /healthz body.
 type HealthV1 struct {
@@ -28,6 +31,10 @@ type MetricsV1 struct {
 	// XQCache aggregates the evaluation acceleration caches (engine and
 	// teacher evaluators) across every completed learn.
 	XQCache CacheStatsV1 `json:"xq_cache"`
+	// Artifacts is the current state of the daemon's cross-session
+	// artifact store (bundle lookups, per-document index reuse,
+	// eviction pressure).
+	Artifacts ArtifactStoreV1 `json:"artifact_store"`
 }
 
 // LearnMetricsV1 counts learn runs and their wall-clock.
@@ -65,12 +72,38 @@ type CacheStatsV1 struct {
 	Relay  CacheCounterV1 `json:"relay"`
 }
 
+// ArtifactStoreV1 mirrors artifacts.Stats on the wire: Lookups tallies
+// bundle resolutions by content hash, Indexes tallies per-document
+// index reuse, and Evictions/Entries/Bytes describe the store's LRU
+// occupancy.
+type ArtifactStoreV1 struct {
+	Lookups   CacheCounterV1 `json:"lookups"`
+	Indexes   CacheCounterV1 `json:"indexes"`
+	Evictions uint64         `json:"evictions"`
+	Entries   int            `json:"entries"`
+	Bytes     int64          `json:"bytes"`
+}
+
 // InteractionTotalsV1 sums the user-facing interaction counters.
 type InteractionTotalsV1 struct {
 	MQ uint64 `json:"mq"`
 	CE uint64 `json:"ce"`
 	CB uint64 `json:"cb"`
 	OB uint64 `json:"ob"`
+}
+
+// NewArtifactStoreV1 converts a store snapshot.
+func NewArtifactStoreV1(s artifacts.Stats) ArtifactStoreV1 {
+	conv := func(c xq.CacheCounter) CacheCounterV1 {
+		return CacheCounterV1{Hits: c.Hits, Misses: c.Misses, HitRate: c.HitRate()}
+	}
+	return ArtifactStoreV1{
+		Lookups:   conv(s.Lookups),
+		Indexes:   conv(s.Indexes),
+		Evictions: s.Evictions,
+		Entries:   s.Entries,
+		Bytes:     s.Bytes,
+	}
 }
 
 // NewCacheStatsV1 converts an aggregated counter snapshot.

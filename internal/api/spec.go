@@ -6,7 +6,7 @@ import "repro/internal/core"
 // Scenario (a registered benchmark scenario id) or Spec (an uploaded
 // task) must be set.
 type CreateSessionV1 struct {
-	Scenario string `json:"scenario,omitempty"`
+	Scenario string  `json:"scenario,omitempty"`
 	Spec     *SpecV1 `json:"spec,omitempty"`
 	// Policy selects the simulated teacher's counterexample policy:
 	// "best" (default) or "worst".

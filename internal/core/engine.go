@@ -62,18 +62,34 @@ func newEngine(source *xmldoc.Document, teacher Teacher, opts Options) *Engine {
 	if e.Opts.MaxEQ <= 0 {
 		e.Opts.MaxEQ = 200
 	}
-	source.Walk(func(n *xmldoc.Node) bool {
-		if n.Kind == xmldoc.ElementNode || n.Kind == xmldoc.AttributeNode {
-			w := n.Path()
-			k := pathKey(w)
-			if _, ok := e.pathIndex[k]; !ok {
-				e.pathKeys = append(e.pathKeys, k)
-				e.pathLabels[k] = w
+	if ix := opts.SharedIndex; ix != nil && ix.Doc() == source {
+		// Adopt the shared, immutable index: the evaluator skips its
+		// lazy index build and the root-path table comes straight from
+		// the index's walk, which visits nodes in the same order as
+		// source.Walk (attributes first, then children). The node
+		// slices stay index-owned; the full-slice expression keeps a
+		// stray append from ever writing into them.
+		e.eval = xq.NewEvaluatorWithIndex(ix)
+		ix.RootPaths(func(labels []string, nodes []*xmldoc.Node) {
+			k := pathKey(labels)
+			e.pathKeys = append(e.pathKeys, k)
+			e.pathLabels[k] = labels
+			e.pathIndex[k] = nodes[:len(nodes):len(nodes)]
+		})
+	} else {
+		source.Walk(func(n *xmldoc.Node) bool {
+			if n.Kind == xmldoc.ElementNode || n.Kind == xmldoc.AttributeNode {
+				w := n.Path()
+				k := pathKey(w)
+				if _, ok := e.pathIndex[k]; !ok {
+					e.pathKeys = append(e.pathKeys, k)
+					e.pathLabels[k] = w
+				}
+				e.pathIndex[k] = append(e.pathIndex[k], n)
 			}
-			e.pathIndex[k] = append(e.pathIndex[k], n)
-		}
-		return true
-	})
+			return true
+		})
+	}
 	sort.Strings(e.pathKeys)
 	return e
 }

@@ -4,6 +4,7 @@ import (
 	"repro/internal/datagraph"
 	"repro/internal/dtd"
 	"repro/internal/xmldoc"
+	"repro/internal/xq"
 )
 
 // An Option configures a Session or Engine at construction time. The
@@ -85,6 +86,16 @@ func WithKeepRedundantConds(keep bool) Option {
 // NoRelativize ablation).
 func WithRelativize(on bool) Option {
 	return func(o *Options) { o.NoRelativize = !on }
+}
+
+// WithSharedIndex hands the session a pre-built, immutable evaluator
+// index over its source document (typically resolved through an
+// internal/artifacts store). The engine then skips its own document
+// walk and index build; sessions never mutate the index, so one index
+// may back any number of concurrent sessions. An index over a different
+// document instance than the session's source is ignored.
+func WithSharedIndex(ix *xq.Index) Option {
+	return func(o *Options) { o.SharedIndex = ix }
 }
 
 // WithKVLearner swaps Angluin's L* for the Kearns-Vazirani

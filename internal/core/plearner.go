@@ -101,7 +101,9 @@ func newPLearner(ctx context.Context, eng *Engine, frag FragmentRef, pinCtx, con
 	p := &pLearner{
 		ctx: ctx, eng: eng, frag: frag, pinCtx: pinCtx, condCtx: condCtx,
 		example: example, stripLevels: strip,
-		cache: map[string]pans{}, stats: stats,
+		// Presized: without the reduction rules the cache holds one
+		// entry per candidate word and rehash copies dominate profiles.
+		cache: make(map[string]pans, 1<<10), stats: stats,
 		clearner: newCLearner(eng.graph, condCtx, frag.AnchorVar),
 	}
 	ep := example.Path()

@@ -140,6 +140,13 @@ type Options struct {
 	// classification-tree learner in the P-Learner (learner ablation:
 	// fewer membership queries, more equivalence queries).
 	UseKVLearner bool
+	// SharedIndex, when set and built over the session's source
+	// document, lets the engine adopt a pre-built evaluator index and
+	// root-path table instead of walking the document itself. The index
+	// is immutable and may be shared by any number of concurrent
+	// sessions (see internal/artifacts); an index over a different
+	// document instance is ignored.
+	SharedIndex *xq.Index
 }
 
 // DefaultOptions returns the configuration used in the paper's

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/artifacts"
 	"repro/internal/core"
 	"repro/internal/scenario"
 	"repro/internal/teacher"
@@ -49,9 +50,13 @@ type Fig16Row struct {
 // The trailing option list configures every session (defaults when
 // empty).
 func RunFig16(ctx context.Context, scenarios []*scenario.Scenario, worst bool, parallel int, opts ...core.Option) ([]Fig16Row, error) {
+	// One store per table run: workers share each scenario's document,
+	// index, truth tree, and truth extents (the suites additionally
+	// share one document instance, so the whole table builds one index).
+	store := artifacts.NewStore(artifacts.DefaultBudget)
 	return runPool(ctx, len(scenarios), parallel, func(ctx context.Context, i int) (Fig16Row, error) {
 		s := scenarios[i]
-		res, err := scenario.Run(ctx, s, teacher.BestCase, opts...)
+		res, err := scenario.RunIn(ctx, store, s, teacher.BestCase, opts...)
 		if err != nil {
 			return Fig16Row{}, err
 		}
@@ -71,7 +76,7 @@ func RunFig16(ctx context.Context, scenarios []*scenario.Scenario, worst bool, p
 			Verified: res.Verified,
 		}
 		if worst {
-			if wres, err := scenario.Run(ctx, s, teacher.WorstCase, opts...); err == nil && wres.Verified {
+			if wres, err := scenario.RunIn(ctx, store, s, teacher.WorstCase, opts...); err == nil && wres.Verified {
 				row.CEWorst = wres.Stats.Totals().CE
 			} else if ctx.Err() != nil {
 				return Fig16Row{}, ctx.Err()
@@ -144,11 +149,14 @@ func RunAblation(ctx context.Context, scenarios []*scenario.Scenario, parallel i
 	configs := []struct {
 		r1, r2 bool
 	}{{true, true}, {true, false}, {false, true}, {false, false}}
+	// The four configurations of one scenario ask the teacher the same
+	// expensive extent questions; the shared store answers each once.
+	store := artifacts.NewStore(artifacts.DefaultBudget)
 	return runPool(ctx, len(scenarios), parallel, func(ctx context.Context, si int) (AblationRow, error) {
 		s := scenarios[si]
 		row := AblationRow{Query: shortName(s.ID), AllVerified: true}
 		for i, c := range configs {
-			res, err := scenario.Run(ctx, s, teacher.BestCase, core.WithR1(c.r1), core.WithR2(c.r2))
+			res, err := scenario.RunIn(ctx, store, s, teacher.BestCase, core.WithR1(c.r1), core.WithR2(c.r2))
 			if err != nil {
 				return AblationRow{}, fmt.Errorf("%s (R1=%v R2=%v): %w", s.ID, c.r1, c.r2, err)
 			}

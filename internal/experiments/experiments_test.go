@@ -4,7 +4,6 @@ import (
 	"context"
 	"strings"
 	"testing"
-
 )
 
 func TestFig15Format(t *testing.T) {

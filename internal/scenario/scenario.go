@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/artifacts"
 	"repro/internal/core"
 	"repro/internal/dtd"
 	"repro/internal/must"
@@ -64,6 +65,10 @@ type Prepared struct {
 	Truth    *xq.Tree
 	Sim      *teacher.Sim
 	Session  *core.Session
+	// Index is the shared evaluator index over Doc when the run was
+	// prepared through an artifact store (nil on the plain path); the
+	// verification evaluators adopt it instead of rebuilding.
+	Index *xq.Index
 }
 
 // Prepare instantiates the scenario with the counterexample policy and
@@ -84,6 +89,15 @@ func Prepare(s *Scenario, pol teacher.Policy, opts ...core.Option) *Prepared {
 	}
 }
 
+// evaluator builds a verification evaluator over the run's document,
+// adopting the shared index when the run was prepared through a store.
+func (p *Prepared) evaluator() *xq.Evaluator {
+	if p.Index != nil {
+		return xq.NewEvaluatorWithIndex(p.Index)
+	}
+	return xq.NewEvaluator(p.Doc)
+}
+
 // Learn runs the prepared session's dialogue and verifies the learned
 // query against the ground truth; the context aborts the session when
 // canceled.
@@ -93,11 +107,11 @@ func (p *Prepared) Learn(ctx context.Context) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.ID, err)
 	}
-	learnedDoc, err := xq.NewEvaluator(p.Doc).Result(ctx, tree)
+	learnedDoc, err := p.evaluator().Result(ctx, tree)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: evaluate learned query: %w", s.ID, err)
 	}
-	truthDoc, err := xq.NewEvaluator(p.Doc).Result(ctx, p.Truth)
+	truthDoc, err := p.evaluator().Result(ctx, p.Truth)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: evaluate ground truth: %w", s.ID, err)
 	}
@@ -125,4 +139,70 @@ func Run(ctx context.Context, s *Scenario, pol teacher.Policy, opts ...core.Opti
 // error (for examples over embedded scenarios only).
 func MustRun(s *Scenario) *Result {
 	return must.Must(Run(context.Background(), s, teacher.BestCase))
+}
+
+// ResolveBundle resolves the scenario's artifact bundle — canonical
+// document, evaluator index, ground-truth tree, shared truth-extent
+// memo — through the store, building everything on the first call for
+// the scenario's key and sharing it afterwards.
+func ResolveBundle(ctx context.Context, store *artifacts.Store, s *Scenario) (*artifacts.Bundle, error) {
+	b, err := store.Bundle(ctx, artifacts.ScenarioKey(s.ID),
+		func() (*xmldoc.Document, error) { return s.Doc(), nil },
+		func() (*xq.Tree, error) { return s.Truth(), nil })
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.ID, err)
+	}
+	return b, nil
+}
+
+// PrepareIn is Prepare through an artifact store: the document, index,
+// ground-truth tree, and the teacher's pinned truth extents come from
+// the scenario's shared bundle, so repeated and concurrent runs of one
+// scenario — the ablation's four rule configurations, the worst-case
+// re-run, a server hammering one spec — pay for the parse, the index
+// build, and each distinct extent computation once. The learned
+// dialogue and its interaction counts are identical to Prepare's:
+// sessions share only immutable artifacts and the teacher-side memo of
+// deterministic answers.
+func PrepareIn(ctx context.Context, store *artifacts.Store, s *Scenario, pol teacher.Policy, opts ...core.Option) (*Prepared, error) {
+	b, err := ResolveBundle(ctx, store, s)
+	if err != nil {
+		return nil, err
+	}
+	return PrepareBundle(s, b, pol, opts...), nil
+}
+
+// PrepareBundle instantiates the scenario over an already-resolved
+// artifact bundle (callers that key bundles themselves — the daemon
+// hashes uploaded spec content, for instance — resolve first and
+// prepare per session). The bundle must have been built from this
+// scenario's Doc/Truth constructors: the teacher answers against
+// b.Truth and the session learns over b.Doc, so a foreign bundle would
+// silently learn the wrong task.
+func PrepareBundle(s *Scenario, b *artifacts.Bundle, pol teacher.Policy, opts ...core.Option) *Prepared {
+	sim := teacher.New(b.Doc, b.Truth)
+	sim.Accelerate(b.Index, b.Extents)
+	sim.Pol = pol
+	sim.Boxes = s.Boxes
+	sim.Orders = s.Orders
+	opts = append(append([]core.Option(nil), opts...), core.WithSharedIndex(b.Index))
+	return &Prepared{
+		Scenario: s,
+		Doc:      b.Doc,
+		Truth:    b.Truth,
+		Sim:      sim,
+		Session:  core.New(b.Doc, sim, opts...),
+		Index:    b.Index,
+	}
+}
+
+// RunIn is Run through an artifact store: like Run, but sharing the
+// scenario's immutable artifacts with every other run resolved through
+// the same store.
+func RunIn(ctx context.Context, store *artifacts.Store, s *Scenario, pol teacher.Policy, opts ...core.Option) (*Result, error) {
+	p, err := PrepareIn(ctx, store, s, pol, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return p.Learn(ctx)
 }

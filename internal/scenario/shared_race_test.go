@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/artifacts"
+	"repro/internal/teacher"
+	"repro/internal/xmldoc"
+	"repro/internal/xq"
+)
+
+// TestSharedBundleAccelerationToggleRace is the audit test for the
+// session-local acceleration toggle under a shared artifact store: two
+// evaluation sessions run concurrently over one cached document — one
+// adopting the bundle's shared index and extent memo, one with
+// SetAcceleration(false) on the naive enumeration paths — while the
+// slow session repeatedly flips its toggle and invalidates its
+// extents. The toggle and InvalidateExtents are session-local by
+// contract (they drop the evaluator's own references, never mutating
+// the shared index or the published extent memo), so the -race run
+// must stay clean and both sessions must see element-identical
+// extents.
+func TestSharedBundleAccelerationToggleRace(t *testing.T) {
+	ctx := context.Background()
+	store := artifacts.NewStore(0)
+	s := tiny()
+	b, err := ResolveBundle(ctx, store, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2, err := ResolveBundle(ctx, store, s); err != nil || b2 != b {
+		t.Fatalf("second resolve did not share the bundle: %v", err)
+	}
+
+	n := b.Truth.VarNode("w")
+	if n == nil {
+		t.Fatal("truth tree lost its variable")
+	}
+	const rounds = 64
+	extents := make([][]*xmldoc.Node, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var ev *xq.Evaluator
+			if i == 0 {
+				ev = xq.NewEvaluatorWithIndex(b.Index)
+				ev.ShareExtents(b.Extents)
+			} else {
+				ev = xq.NewEvaluator(b.Doc)
+				ev.SetAcceleration(false)
+			}
+			for r := 0; r < rounds; r++ {
+				ext, err := ev.Extent(ctx, b.Truth, n, nil)
+				if err != nil {
+					t.Errorf("session %d: %v", i, err)
+					return
+				}
+				extents[i] = ext
+				if i == 1 && r%8 == 0 {
+					// Session-local churn: must never touch b.Index or
+					// the extents published under b.Extents.
+					ev.InvalidateExtents()
+					ev.SetAcceleration(true)
+					ev.SetAcceleration(false)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(extents[0]) == 0 || len(extents[0]) != len(extents[1]) {
+		t.Fatalf("extent sizes diverged: %d vs %d", len(extents[0]), len(extents[1]))
+	}
+	for j := range extents[0] {
+		if extents[0][j] != extents[1][j] {
+			// Same document instance, so identical elements means
+			// identical pointers.
+			t.Fatalf("extent %d diverged: %s vs %s", j, extents[0][j].Path(), extents[1][j].Path())
+		}
+	}
+}
+
+// TestConcurrentSharedSessionsMatchIsolated runs two full learning
+// sessions concurrently over one store-cached bundle and requires both
+// to produce the element-identical result of a fully isolated session
+// (fresh parse, no sharing).
+func TestConcurrentSharedSessionsMatchIsolated(t *testing.T) {
+	ctx := context.Background()
+	s := tiny()
+	iso, err := Run(ctx, s, teacher.BestCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := artifacts.NewStore(0)
+	results := make([]*Result, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = RunIn(ctx, store, s, teacher.BestCase)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("shared session %d: %v", i, errs[i])
+		}
+		if !results[i].Verified {
+			t.Fatalf("shared session %d not verified", i)
+		}
+		if results[i].Tree.String() != iso.Tree.String() {
+			t.Fatalf("shared session %d learned a different query:\n%s\nvs\n%s",
+				i, results[i].Tree, iso.Tree)
+		}
+		if results[i].LearnedXML != iso.LearnedXML {
+			t.Fatalf("shared session %d result diverged from isolated run", i)
+		}
+	}
+	if st := store.Stats(); st.Lookups.Hits == 0 {
+		t.Fatalf("two sessions on one scenario produced no store hit: %+v", st)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"net/http"
 
 	"repro/internal/api"
+	"repro/internal/artifacts"
+	"repro/internal/scenario"
 	"repro/internal/teacher"
 )
 
@@ -42,7 +44,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.wire(s.mgr.byState()))
+	writeJSON(w, http.StatusOK, s.metrics.wire(s.mgr.byState(), api.NewArtifactStoreV1(s.store.Stats())))
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -63,6 +65,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 
 	scenarioID := req.Scenario
 	scn := s.scenarios[req.Scenario]
+	var bundle *artifacts.Bundle
 	switch {
 	case req.Scenario != "" && req.Spec != nil:
 		writeError(w, fmt.Errorf("%w: scenario and spec are mutually exclusive", ErrBadRequest))
@@ -75,14 +78,23 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	case req.Spec != nil:
 		var err error
-		if scn, err = scenarioFromSpec(req.Spec); err != nil {
+		if scn, bundle, err = scenarioFromSpec(r.Context(), s.store, req.Spec); err != nil {
 			writeError(w, err)
 			return
 		}
 		scenarioID = uploadScenarioID
+	default:
+		// Registry path: the bundle is keyed by scenario id, so every
+		// session of one benchmark scenario shares its document, index,
+		// and truth extents for the daemon's lifetime.
+		var err error
+		if bundle, err = scenario.ResolveBundle(r.Context(), s.store, scn); err != nil {
+			writeError(w, err)
+			return
+		}
 	}
 
-	sess, err := s.mgr.Create(scenarioID, scn, pol, req.Options.CoreOptions())
+	sess, err := s.mgr.Create(scenarioID, scn, bundle, pol, req.Options.CoreOptions())
 	if err != nil {
 		writeError(w, err)
 		return

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/artifacts"
 	"repro/internal/core"
 	"repro/internal/scenario"
 	"repro/internal/teacher"
@@ -51,8 +52,13 @@ type session struct {
 	id         string
 	scenarioID string
 	scn        *scenario.Scenario
-	pol        teacher.Policy
-	opts       []core.Option
+	// bundle is the session's resolved artifact bundle — immutable,
+	// shared with every other session of the same content hash through
+	// the server's store. Nil only for test sessions created without a
+	// store; production sessions always carry one.
+	bundle *artifacts.Bundle
+	pol    teacher.Policy
+	opts   []core.Option
 
 	createdAt time.Time
 	lastTouch time.Time
@@ -70,11 +76,17 @@ type session struct {
 type learnFunc func(ctx context.Context, s *session) (*scenario.Result, xq.CacheStats, error)
 
 // runScenarioLearn is the production learnFunc: a fresh Prepared per
-// run (so re-learns and concurrent sessions share nothing mutable),
-// with the evaluator acceleration-cache counters harvested from both
-// the engine and the simulated teacher afterwards.
+// run (so re-learns and concurrent sessions share nothing mutable
+// beyond the bundle's immutable artifacts), with the evaluator
+// acceleration-cache counters harvested from both the engine and the
+// simulated teacher afterwards.
 func runScenarioLearn(ctx context.Context, s *session) (*scenario.Result, xq.CacheStats, error) {
-	p := scenario.Prepare(s.scn, s.pol, s.opts...)
+	var p *scenario.Prepared
+	if s.bundle != nil {
+		p = scenario.PrepareBundle(s.scn, s.bundle, s.pol, s.opts...)
+	} else {
+		p = scenario.Prepare(s.scn, s.pol, s.opts...)
+	}
 	res, err := p.Learn(ctx)
 	cache := p.Session.Engine().CacheStats().Add(p.Sim.CacheStats())
 	return res, cache, err
@@ -169,8 +181,9 @@ func (m *manager) evictExpired() {
 
 // Create registers a new idle session for the scenario and returns its
 // snapshot. scenarioID is the registry id, or "upload" for a posted
-// spec.
-func (m *manager) Create(scenarioID string, scn *scenario.Scenario, pol teacher.Policy, opts []core.Option) (api.SessionV1, error) {
+// spec; b is the session's resolved artifact bundle (nil only in
+// tests that bypass the store).
+func (m *manager) Create(scenarioID string, scn *scenario.Scenario, b *artifacts.Bundle, pol teacher.Policy, opts []core.Option) (api.SessionV1, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
@@ -182,6 +195,7 @@ func (m *manager) Create(scenarioID string, scn *scenario.Scenario, pol teacher.
 		id:         fmt.Sprintf("s-%04d", m.seq),
 		scenarioID: scenarioID,
 		scn:        scn,
+		bundle:     b,
 		pol:        pol,
 		opts:       opts,
 		createdAt:  now,
@@ -370,6 +384,9 @@ func (m *manager) snapshotLocked(s *session) api.SessionV1 {
 		Scenario:        s.scenarioID,
 		State:           s.state.String(),
 		CreatedAtUnixMS: s.createdAt.UnixMilli(),
+	}
+	if s.bundle != nil {
+		out.ArtifactHash = s.bundle.Hash
 	}
 	if s.err != nil {
 		out.Error = s.err.Error()

@@ -101,9 +101,10 @@ func (m *metrics) completed(latencyMS float64, tot interactionTotals, cache xq.C
 // aggregates.
 type interactionTotals struct{ mq, ce, cb, ob int }
 
-// wire renders the counters; byState comes from the session manager's
-// snapshot so the two halves of MetricsV1 are assembled by the caller.
-func (m *metrics) wire(byState map[string]int) api.MetricsV1 {
+// wire renders the counters; byState comes from the session manager
+// and artifacts from the server's store, so the three pieces of
+// MetricsV1 are assembled by the caller.
+func (m *metrics) wire(byState map[string]int, artifacts api.ArtifactStoreV1) api.MetricsV1 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return api.MetricsV1{
@@ -121,5 +122,6 @@ func (m *metrics) wire(byState map[string]int) api.MetricsV1 {
 		},
 		Interactions: api.InteractionTotalsV1{MQ: m.mq, CE: m.ce, CB: m.cb, OB: m.ob},
 		XQCache:      api.NewCacheStatsV1(m.cache),
+		Artifacts:    artifacts,
 	}
 }

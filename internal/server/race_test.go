@@ -49,6 +49,21 @@ func TestConcurrentSessions(t *testing.T) {
 			t.Errorf("client %d: %v", i, err)
 		}
 	}
+
+	// 16 clients over 8 scenarios must have shared bundles: every
+	// create past a scenario's first is a store hit, and the byte-
+	// identical tree comparison above already proved sharing changed
+	// nothing about what was learned.
+	var m api.MetricsV1
+	if status, _ := doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &m); status != http.StatusOK {
+		t.Fatal("metrics endpoint failed")
+	}
+	if m.Artifacts.Lookups.Hits == 0 {
+		t.Errorf("artifact store saw no hits across %d sessions: %+v", clients, m.Artifacts)
+	}
+	if m.Artifacts.Entries == 0 {
+		t.Errorf("artifact store empty after the hammer: %+v", m.Artifacts)
+	}
 }
 
 // runClient drives one create → learn → (cancel | poll → verify) flow.
@@ -59,6 +74,9 @@ func runClient(t *testing.T, base, scenarioID string, cancelMidFlight bool, dire
 	status, _ := doJSON(t, http.MethodPost, base+"/v1/sessions", api.CreateSessionV1{Scenario: scenarioID}, &sess)
 	if status != http.StatusCreated {
 		return fmt.Errorf("create %s: status %d", scenarioID, status)
+	}
+	if sess.ArtifactHash == "" {
+		return fmt.Errorf("create %s: session has no artifact hash", scenarioID)
 	}
 	status, _ = doJSON(t, http.MethodPost, base+"/v1/sessions/"+sess.ID+"/learn", nil, nil)
 	if status != http.StatusAccepted {

@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/artifacts"
 	"repro/internal/scenario"
 )
 
@@ -39,6 +40,10 @@ type Config struct {
 	// Scenarios is the registry of runnable benchmark scenarios, keyed
 	// by Scenario.ID for the create endpoint.
 	Scenarios []*scenario.Scenario
+	// ArtifactBudget caps the cross-session artifact store's resident
+	// bytes (approximate, see internal/artifacts); default
+	// artifacts.DefaultBudget.
+	ArtifactBudget int64
 	// Logger receives structured request and session logs; default
 	// slog.Default().
 	Logger *slog.Logger
@@ -73,7 +78,11 @@ type Server struct {
 	metrics   *metrics
 	mgr       *manager
 	scenarios map[string]*scenario.Scenario
-	started   time.Time
+	// store shares immutable session artifacts — parsed documents,
+	// evaluator indexes, truth trees, pinned truth extents — across
+	// every session of the daemon's lifetime, keyed by content hash.
+	store   *artifacts.Store
+	started time.Time
 }
 
 // New builds a Server (and starts its TTL janitor); callers must
@@ -87,6 +96,7 @@ func New(cfg Config) *Server {
 		metrics:   m,
 		mgr:       newManager(cfg.MaxLearning, cfg.QueueDepth, cfg.TTL, m, cfg.Logger),
 		scenarios: make(map[string]*scenario.Scenario, len(cfg.Scenarios)),
+		store:     artifacts.NewStore(cfg.ArtifactBudget),
 	}
 	s.started = s.mgr.now()
 	for _, scn := range cfg.Scenarios {

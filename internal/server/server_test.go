@@ -395,7 +395,7 @@ func TestShutdownDrains(t *testing.T) {
 	srv := New(Config{Logger: testLogger(), Scenarios: xmp.Scenarios()})
 	release := make(chan struct{})
 	srv.mgr.learn = blockingLearn(release)
-	sess, err := srv.mgr.Create("XMP-Q1", xmp.ScenarioByID("Q1"), teacher.BestCase, nil)
+	sess, err := srv.mgr.Create("XMP-Q1", xmp.ScenarioByID("Q1"), nil, teacher.BestCase, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -416,7 +416,7 @@ func TestShutdownDrains(t *testing.T) {
 		t.Fatalf("session after drain: %+v, %v", got, err)
 	}
 	// A drained manager accepts nothing new.
-	if _, err := srv.mgr.Create("XMP-Q1", xmp.ScenarioByID("Q1"), teacher.BestCase, nil); !errors.Is(err, ErrDraining) {
+	if _, err := srv.mgr.Create("XMP-Q1", xmp.ScenarioByID("Q1"), nil, teacher.BestCase, nil); !errors.Is(err, ErrDraining) {
 		t.Fatalf("create after shutdown = %v, want ErrDraining", err)
 	}
 }
@@ -426,7 +426,7 @@ func TestShutdownDrains(t *testing.T) {
 func TestShutdownCancelsStragglers(t *testing.T) {
 	srv := New(Config{Logger: testLogger(), Scenarios: xmp.Scenarios()})
 	srv.mgr.learn = blockingLearn(nil) // never finishes on its own
-	sess, err := srv.mgr.Create("XMP-Q1", xmp.ScenarioByID("Q1"), teacher.BestCase, nil)
+	sess, err := srv.mgr.Create("XMP-Q1", xmp.ScenarioByID("Q1"), nil, teacher.BestCase, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -466,11 +466,11 @@ func TestTTLEviction(t *testing.T) {
 	base := time.Now()
 	var offset atomic.Int64
 	m.now = func() time.Time { return base.Add(time.Duration(offset.Load())) }
-	idle, err := m.Create("XMP-Q1", xmp.ScenarioByID("Q1"), teacher.BestCase, nil)
+	idle, err := m.Create("XMP-Q1", xmp.ScenarioByID("Q1"), nil, teacher.BestCase, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	active, err := m.Create("XMP-Q1", xmp.ScenarioByID("Q1"), teacher.BestCase, nil)
+	active, err := m.Create("XMP-Q1", xmp.ScenarioByID("Q1"), nil, teacher.BestCase, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,11 @@
 package server
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/api"
+	"repro/internal/artifacts"
 	"repro/internal/core"
 	"repro/internal/dtd"
 	"repro/internal/scenario"
@@ -17,39 +19,58 @@ import (
 const uploadScenarioID = "upload"
 
 // scenarioFromSpec converts an uploaded SpecV1 into a runnable
-// scenario: source instance, target schema, ground-truth query for the
-// simulated teacher, and the drop sequence. Everything is parsed and
-// resolved eagerly so a malformed spec fails the create request with
-// 400 instead of surfacing later as a failed learn.
-func scenarioFromSpec(spec *api.SpecV1) (*scenario.Scenario, error) {
-	doc, err := xmldoc.ParseString(spec.SourceXML)
+// scenario plus its artifact bundle: source instance, evaluator index,
+// ground-truth query for the simulated teacher, and the drop sequence.
+// The heavy artifacts resolve through the store keyed by the spec's
+// content hash — two sessions posting byte-identical source, schema,
+// and truth share one parsed document, one index, and one truth-extent
+// memo (the session id "upload" is shared by every posted spec, so the
+// registry's per-ID key would wrongly alias them; the content hash
+// cannot). Everything is still parsed and validated eagerly so a
+// malformed spec fails the create request with 400 instead of
+// surfacing later as a failed learn; parse failures are never
+// published to the store.
+func scenarioFromSpec(ctx context.Context, store *artifacts.Store, spec *api.SpecV1) (*scenario.Scenario, *artifacts.Bundle, error) {
+	key := artifacts.SpecKey(spec.SourceXML, spec.TargetDTD, spec.TruthXQuery)
+	b, err := store.Bundle(ctx, key,
+		func() (*xmldoc.Document, error) {
+			doc, err := xmldoc.ParseString(spec.SourceXML)
+			if err != nil {
+				return nil, fmt.Errorf("%w: source_xml: %w", ErrBadRequest, err)
+			}
+			return doc, nil
+		},
+		func() (*xq.Tree, error) {
+			truth, err := xq.ParseQuery(spec.TruthXQuery)
+			if err != nil {
+				return nil, fmt.Errorf("%w: truth_xquery: %w", ErrBadRequest, err)
+			}
+			return truth, nil
+		})
 	if err != nil {
-		return nil, fmt.Errorf("%w: source_xml: %w", ErrBadRequest, err)
+		return nil, nil, err
 	}
+	doc := b.Doc
 	target, err := dtd.Parse(spec.TargetDTD)
 	if err != nil {
-		return nil, fmt.Errorf("%w: target_dtd: %w", ErrBadRequest, err)
-	}
-	truth, err := xq.ParseQuery(spec.TruthXQuery)
-	if err != nil {
-		return nil, fmt.Errorf("%w: truth_xquery: %w", ErrBadRequest, err)
+		return nil, nil, fmt.Errorf("%w: target_dtd: %w", ErrBadRequest, err)
 	}
 	if len(spec.Drops) == 0 {
-		return nil, fmt.Errorf("%w: spec has no drops", ErrBadRequest)
+		return nil, nil, fmt.Errorf("%w: spec has no drops", ErrBadRequest)
 	}
 	drops := make([]core.Drop, len(spec.Drops))
 	for i, d := range spec.Drops {
 		if d.Path == "" || d.Var == "" {
-			return nil, fmt.Errorf("%w: drop %d needs path and var", ErrBadRequest, i)
+			return nil, nil, fmt.Errorf("%w: drop %d needs path and var", ErrBadRequest, i)
 		}
 		sel, err := selector(doc, d.Select)
 		if err != nil {
-			return nil, fmt.Errorf("%w: drop %d: %w", ErrBadRequest, i, err)
+			return nil, nil, fmt.Errorf("%w: drop %d: %w", ErrBadRequest, i, err)
 		}
 		alts := make([]func(*xmldoc.Document) *xmldoc.Node, len(d.Alternates))
 		for j, a := range d.Alternates {
 			if alts[j], err = selector(doc, a); err != nil {
-				return nil, fmt.Errorf("%w: drop %d alternate %d: %w", ErrBadRequest, i, j, err)
+				return nil, nil, fmt.Errorf("%w: drop %d alternate %d: %w", ErrBadRequest, i, j, err)
 			}
 		}
 		drops[i] = core.Drop{
@@ -60,18 +81,19 @@ func scenarioFromSpec(spec *api.SpecV1) (*scenario.Scenario, error) {
 			Alternates: alts,
 		}
 	}
-	// The parsed document and truth tree are captured by the closures:
-	// the engine and evaluators treat both as read-only, and a session
-	// runs at most one learn at a time, so sharing them across re-learns
-	// of the same session is safe.
+	// The bundle's document and truth tree are captured by the
+	// closures: the engine and evaluators treat both as read-only, so
+	// sharing them across re-learns of this session — and, through the
+	// store, with every other session of the same spec content — is
+	// safe.
 	return &scenario.Scenario{
 		ID:          uploadScenarioID,
 		Description: "uploaded spec",
-		Doc:         func() *xmldoc.Document { return doc },
+		Doc:         func() *xmldoc.Document { return b.Doc },
 		Target:      target,
-		Truth:       func() *xq.Tree { return truth },
+		Truth:       func() *xq.Tree { return b.Truth },
 		Drops:       drops,
-	}, nil
+	}, b, nil
 }
 
 // selector resolves a SelectV1 into a node selector and verifies it

@@ -65,27 +65,91 @@ type Node struct {
 	Children []*Node
 
 	doc *Document
+	// label is the precomputed Label() string (interned per document),
+	// sym its dense per-document symbol ID (NoSym for text/document
+	// nodes, which are outside the path alphabet).
+	label string
+	sym   int32
 }
+
+// NoSym is the LabelSym of nodes outside the path alphabet (text and
+// document nodes).
+const NoSym int32 = -1
+
+// textLabel is the shared Label of every text node.
+const textLabel = "#text"
 
 // Document owns a tree of nodes and provides ID-based lookup.
 type Document struct {
 	root  *Node // the DocumentNode
 	nodes []*Node
+	// syms/labels intern the element/attribute label set: syms maps a
+	// label to its dense symbol ID, labels is the inverse in first-seen
+	// order. attrSyms shortcuts the "@"+name concatenation for
+	// already-interned attribute names.
+	syms     map[string]int32
+	labels   []string
+	attrSyms map[string]int32
 }
 
 // NewDocument returns an empty document containing only the document
 // node. Use CreateElement/CreateAttr/CreateText (or Builder) to fill it.
 func NewDocument() *Document {
-	d := &Document{}
+	d := &Document{syms: map[string]int32{}, attrSyms: map[string]int32{}}
 	d.root = d.newNode(DocumentNode, "", "")
 	return d
 }
 
 func (d *Document) newNode(k Kind, name, value string) *Node {
-	n := &Node{ID: len(d.nodes), Kind: k, Name: name, Value: value, doc: d}
+	n := &Node{ID: len(d.nodes), Kind: k, Name: name, Value: value, doc: d, sym: NoSym}
+	switch k {
+	case ElementNode:
+		n.label, n.sym = d.intern(name)
+	case AttributeNode:
+		if s, ok := d.attrSyms[name]; ok {
+			n.label, n.sym = d.labels[s], s
+		} else {
+			n.label, n.sym = d.intern("@" + name)
+			d.attrSyms[name] = n.sym
+		}
+	case TextNode:
+		n.label = textLabel
+	}
 	d.nodes = append(d.nodes, n)
 	return n
 }
+
+// intern returns the canonical string and symbol ID for a label,
+// assigning the next dense ID on first sight.
+func (d *Document) intern(label string) (string, int32) {
+	if s, ok := d.syms[label]; ok {
+		return d.labels[s], s
+	}
+	s := int32(len(d.labels))
+	d.labels = append(d.labels, label)
+	d.syms[label] = s
+	return label, s
+}
+
+// LabelSym returns the node's per-document symbol ID (dense from 0 in
+// first-seen document order), or NoSym for text and document nodes.
+// Two element/attribute nodes of one document have equal labels iff
+// they have equal symbols.
+func (n *Node) LabelSym() int32 { return n.sym }
+
+// SymOf returns the symbol ID interned for the label, if any
+// element/attribute node of the document carries it.
+func (d *Document) SymOf(label string) (int32, bool) {
+	s, ok := d.syms[label]
+	return s, ok
+}
+
+// NumSyms reports how many distinct element/attribute labels the
+// document has interned; valid symbol IDs are [0, NumSyms).
+func (d *Document) NumSyms() int { return len(d.labels) }
+
+// LabelOfSym returns the label string for a symbol ID.
+func (d *Document) LabelOfSym(s int32) string { return d.labels[s] }
 
 // DocNode returns the synthetic document node.
 func (d *Document) DocNode() *Node { return d.root }
@@ -173,19 +237,10 @@ func (d *Document) checkParent(p *Node) {
 func (n *Node) Document() *Document { return n.doc }
 
 // Label is the path-alphabet symbol for the node: the tag for elements,
-// "@name" for attributes, and "#text" for text nodes.
-func (n *Node) Label() string {
-	switch n.Kind {
-	case ElementNode:
-		return n.Name
-	case AttributeNode:
-		return "@" + n.Name
-	case TextNode:
-		return "#text"
-	default:
-		return ""
-	}
-}
+// "@name" for attributes, and "#text" for text nodes. The string is
+// precomputed at node creation (and interned per document for
+// element/attribute labels), so calling Label never allocates.
+func (n *Node) Label() string { return n.label }
 
 // Path returns the sequence of labels from the document element down to
 // the node itself. The document node has an empty path. This is the
@@ -374,19 +429,10 @@ func (d *Document) NodesWithLabel(label string) []*Node {
 
 // Alphabet returns the sorted set of labels (element tags and "@attr"
 // names) occurring in the document. This is the DFA alphabet for
-// instance-driven learning.
+// instance-driven learning. The label set is maintained incrementally
+// by the interner, so this is a sorted copy rather than a tree walk.
 func (d *Document) Alphabet() []string {
-	seen := map[string]bool{}
-	d.Walk(func(n *Node) bool {
-		if n.Kind == ElementNode || n.Kind == AttributeNode {
-			seen[n.Label()] = true
-		}
-		return true
-	})
-	out := make([]string, 0, len(seen))
-	for s := range seen {
-		out = append(out, s)
-	}
+	out := append([]string(nil), d.labels...)
 	sort.Strings(out)
 	return out
 }

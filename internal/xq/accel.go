@@ -3,7 +3,7 @@ package xq
 import (
 	"sort"
 	"strconv"
-	"strings"
+	"sync"
 
 	"repro/internal/pathre"
 	"repro/internal/xmldoc"
@@ -13,11 +13,12 @@ import (
 // index-backed fast paths layered over the naive evaluator. Every fast
 // path is result-identical to the naive code — the caches key on
 // immutable inputs (the document, rendered path expressions, node
-// identities), candidate prefilters are verified by the unchanged
-// predicate code afterwards, and index-gathered node sets are re-sorted
-// into the exact walk order the naive enumeration produces. The one
-// cache that depends on mutable state — the extent memo, which sees the
-// query tree's where clauses — has an explicit invalidation hook
+// identities, simple-path backing arrays that are never mutated after
+// parse), candidate prefilters are verified by the unchanged predicate
+// code afterwards, and index-gathered node sets are re-sorted into the
+// exact walk order the naive enumeration produces. The one cache that
+// depends on mutable state — the extent memo, which sees the query
+// tree's where clauses — has an explicit invalidation hook
 // (InvalidateExtents) that tree-mutating callers must use.
 //
 // Determinism guarantee: no map iteration order reaches any output;
@@ -35,28 +36,71 @@ const (
 	extentCacheMax    = 1 << 14
 	pathCacheMax      = 1 << 15
 	simpleCacheMax    = 1 << 17
-	valueCacheMax     = 1 << 17
 )
 
 // pathCacheKey memoizes PathNodes per (start node, rendered expression).
+// Path expressions are interface values over slice-bearing structs, so
+// the rendered string is the only comparable identity they have — and
+// rendering doubles as the mutation guard for engine-rewritten paths.
 type pathCacheKey struct {
 	start int
 	expr  string
 }
 
-// simpleCacheKey memoizes EvalSimplePath per (start node, rendered path).
+// simpleCacheKey memoizes EvalSimplePath per (start node, path
+// identity). A SimplePath's backing array is allocated at parse time
+// and never written afterwards (the engine swaps whole Where slices,
+// never individual steps), so the first-step pointer plus length
+// identifies the path without rendering it; the pointer also keeps the
+// array alive, so a key can never alias a recycled allocation.
 type simpleCacheKey struct {
 	start int
-	path  string
+	first *Step
+	n     int
 }
 
-// extentKey memoizes Extent per (query-node identity, pinned-env
-// fingerprint). Node identity is pointer identity: two query nodes are
-// the same extent subject iff they are the same *Node.
-type extentKey struct {
-	node *Node
-	pin  string
+// spKey derives the identity of a simple path for cache keys.
+func spKey(p SimplePath) (*Step, int) {
+	if len(p) == 0 {
+		return nil, 0
+	}
+	return &p[0], len(p)
 }
+
+// relayKey identifies an equality-join index by start node and the
+// identities of the relay and atom paths.
+type relayKey struct {
+	start         int
+	relay, atom   *Step
+	relayN, atomN int
+}
+
+// fpPool recycles the byte buffers that pinned-environment fingerprints
+// are rendered into: one Get/Put pair per Extent call, shared across
+// evaluators (fingerprinting also happens on the cross-session shared
+// extent store's lookup path).
+var fpPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// putFP returns a fingerprint buffer to the pool, keeping whatever
+// capacity fp grew to. Callers must not touch fp afterwards; the map
+// inserts keying on it copy the bytes (string conversion), so nothing
+// retains the buffer.
+func putFP(buf *[]byte, fp []byte) {
+	*buf = fp[:0]
+	fpPool.Put(buf)
+}
+
+// nodeScratch recycles the candidate-binding slices the evaluator walks
+// during extent recursion and result construction; the slices never
+// escape their loop, so pooling them removes the dominant per-binding
+// allocation.
+var nodeScratch = sync.Pool{New: func() any {
+	s := make([]*xmldoc.Node, 0, 32)
+	return &s
+}}
+
+func getScratch() *[]*xmldoc.Node  { return nodeScratch.Get().(*[]*xmldoc.Node) }
+func putScratch(s *[]*xmldoc.Node) { *s = (*s)[:0]; nodeScratch.Put(s) }
 
 // Index returns the per-document index, building it on first use. The
 // index depends only on the immutable document, never on query state.
@@ -68,45 +112,91 @@ func (e *Evaluator) Index() *Index {
 }
 
 // SetAcceleration toggles the acceleration layer. It is on by default;
-// turning it off clears every cache and routes all evaluation through
-// the naive enumeration paths (the reference implementation the
-// property tests compare against).
+// turning it off clears every session-local cache and routes all
+// evaluation through the naive enumeration paths (the reference
+// implementation the property tests compare against). The shared index
+// and shared extent store, when attached, are cross-session artifacts
+// owned by the artifact store: the toggle must never mutate them, so it
+// only drops this evaluator's references to its own caches.
 func (e *Evaluator) SetAcceleration(on bool) {
 	e.accel = on
 	if !on {
 		e.pathCache = nil
 		e.simpleCache = nil
 		e.valueCache = nil
+		e.valueSet = nil
 		e.relayIdx = nil
 		e.extents = nil
+		e.extentCount = 0
 	}
 }
 
-// InvalidateExtents drops every memoized extent. Callers that mutate a
-// query tree previously passed to Extent — changing a node's Where,
-// Path, or OrderBy — must invalidate before the next Extent call;
-// extents are the only cache that reads mutable query state, so nothing
-// else needs flushing. Evaluating a never-before-seen tree needs no
-// invalidation: its nodes are fresh pointers.
-func (e *Evaluator) InvalidateExtents() { e.extents = nil }
+// InvalidateExtents drops every memoized extent and detaches the shared
+// extent store. Callers that mutate a query tree previously passed to
+// Extent — changing a node's Where, Path, or OrderBy — must invalidate
+// before the next Extent call; extents are the only cache that reads
+// mutable query state, so nothing else needs flushing. Detaching the
+// shared store (rather than flushing it) keeps the cross-session
+// invariant: shared artifacts are immutable after publish, and an
+// evaluator that mutates its trees simply stops publishing.
+func (e *Evaluator) InvalidateExtents() {
+	e.extents = nil
+	e.extentCount = 0
+	e.shared = nil
+}
 
-// pinFingerprint canonicalizes a pinned environment: sorted var=nodeID
-// pairs, so fingerprint equality is exactly environment equality.
-func pinFingerprint(pinned Env) string {
+// ShareExtents attaches a cross-evaluator extent store. Only evaluators
+// that never mutate the query trees they compute extents for may share
+// one — in this repository that is the teacher's evaluator answering
+// MQ/EQ against the immutable ground truth (the engine's evaluator
+// rewrites its hypothesis trees and must stay detached; its
+// InvalidateExtents calls would otherwise race the store).
+func (e *Evaluator) ShareExtents(s *SharedExtents) { e.shared = s }
+
+// appendPinFP canonicalizes a pinned environment into buf: sorted
+// var=nodeID pairs, so fingerprint equality is exactly environment
+// equality. The empty and single-binding cases need no ordering and
+// stay allocation-free (the sort.Slice call below allocates its
+// closure, so unpinned extents — the common top-level question — must
+// not reach it).
+func appendPinFP(buf []byte, pinned Env) []byte {
 	if len(pinned) == 0 {
-		return ""
+		return buf
 	}
-	parts := make([]string, 0, len(pinned))
+	if len(pinned) == 1 {
+		for k, v := range pinned {
+			buf = append(buf, k...)
+			buf = append(buf, '=')
+			buf = strconv.AppendInt(buf, int64(v.ID), 10)
+		}
+		return buf
+	}
+	type kv struct {
+		k  string
+		id int
+	}
+	kvs := make([]kv, 0, len(pinned))
 	for k, v := range pinned {
-		parts = append(parts, k+"="+strconv.Itoa(v.ID))
+		kvs = append(kvs, kv{k, v.ID})
 	}
-	sort.Strings(parts)
-	return strings.Join(parts, ",")
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	for i, p := range kvs {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, p.k...)
+		buf = append(buf, '=')
+		buf = strconv.AppendInt(buf, int64(p.id), 10)
+	}
+	return buf
 }
 
-// cachedExtent returns the memoized extent for the key, if any.
-func (e *Evaluator) cachedExtent(key extentKey) ([]*xmldoc.Node, bool) {
-	ext, ok := e.extents[key]
+// cachedExtent returns the memoized extent for (query node, pinned
+// fingerprint), if any. The fingerprint stays a byte slice: the
+// two-level map lets the lookup use the compiler's zero-copy
+// string(fp) map-probe, so a cache hit does not allocate a key.
+func (e *Evaluator) cachedExtent(n *Node, fp []byte) ([]*xmldoc.Node, bool) {
+	ext, ok := e.extents[n][string(fp)]
 	if !ok {
 		e.stats.Extent.Misses++
 		return nil, false
@@ -116,15 +206,23 @@ func (e *Evaluator) cachedExtent(key extentKey) ([]*xmldoc.Node, bool) {
 	return append([]*xmldoc.Node(nil), ext...), true
 }
 
-// storeExtent memoizes a computed extent.
-func (e *Evaluator) storeExtent(key extentKey, ext []*xmldoc.Node) {
-	if len(e.extents) >= extentCacheMax {
+// storeExtent memoizes a computed extent. The stored slice is owned by
+// the cache and treated as immutable; lookups copy on the way out.
+func (e *Evaluator) storeExtent(n *Node, fp []byte, ext []*xmldoc.Node) {
+	if e.extentCount >= extentCacheMax {
 		e.extents = nil
+		e.extentCount = 0
 	}
 	if e.extents == nil {
-		e.extents = map[extentKey][]*xmldoc.Node{}
+		e.extents = map[*Node]map[string][]*xmldoc.Node{}
 	}
-	e.extents[key] = ext
+	m := e.extents[n]
+	if m == nil {
+		m = map[string][]*xmldoc.Node{}
+		e.extents[n] = m
+	}
+	m[string(fp)] = ext
+	e.extentCount++
 }
 
 // simplePath is EvalSimplePath with memoization: the document is
@@ -133,7 +231,8 @@ func (e *Evaluator) simplePath(start *xmldoc.Node, p SimplePath) []*xmldoc.Node 
 	if !e.accel || len(p) == 0 || start.Document() != e.Doc {
 		return EvalSimplePath(start, p)
 	}
-	key := simpleCacheKey{start: start.ID, path: p.String()}
+	first, n := spKey(p)
+	key := simpleCacheKey{start: start.ID, first: first, n: n}
 	if out, ok := e.simpleCache[key]; ok {
 		e.stats.Simple.Hits++
 		return out
@@ -150,42 +249,54 @@ func (e *Evaluator) simplePath(start *xmldoc.Node, p SimplePath) []*xmldoc.Node 
 	return out
 }
 
-// nodeValue is NodeValue with memoization keyed by node identity (the
+// nodeValue is NodeValue with memoization indexed by node ID (the
 // atomized value of an immutable node never changes; element Text()
-// concatenation and float parsing are the hot part).
+// concatenation and float parsing are the hot part). The cache is a
+// dense array: node IDs run [0, NumNodes), so a slice probe replaces
+// the map hash of the string-keyed design.
 func (e *Evaluator) nodeValue(n *xmldoc.Node) Value {
 	if !e.accel || n.Document() != e.Doc {
 		return NodeValue(n)
 	}
-	if v, ok := e.valueCache[n.ID]; ok {
+	if e.valueCache == nil {
+		e.valueCache = make([]Value, e.Doc.NumNodes())
+		e.valueSet = make([]bool, e.Doc.NumNodes())
+	}
+	if n.ID >= len(e.valueCache) {
+		return NodeValue(n)
+	}
+	if e.valueSet[n.ID] {
 		e.stats.Value.Hits++
-		return v
+		return e.valueCache[n.ID]
 	}
 	e.stats.Value.Misses++
 	v := NodeValue(n)
-	if len(e.valueCache) >= valueCacheMax {
-		e.valueCache = nil
-	}
-	if e.valueCache == nil {
-		e.valueCache = map[int]Value{}
-	}
 	e.valueCache[n.ID] = v
+	e.valueSet[n.ID] = true
 	return v
 }
 
 // pathNodesIndexed evaluates a document-rooted binding path through the
 // distinct-root-path table: one DFA run per distinct label path in the
-// instance instead of one DFA step per node. The gathered groups are
-// re-sorted by pre-order clock, which is exactly the naive walk order.
+// instance instead of one DFA step per node. When more than one path
+// group matches, the gathered groups are re-sorted by pre-order clock,
+// which is exactly the naive walk order; a single matching group is
+// already in document order (the index files each group's nodes in
+// walk order), so the re-sort is skipped.
 func (e *Evaluator) pathNodesIndexed(d *pathre.DFA) []*xmldoc.Node {
 	ix := e.Index()
 	var out []*xmldoc.Node
-	for _, k := range ix.pathKeys {
-		if d.Accepts(ix.pathLabels[k]) {
-			out = append(out, ix.pathNodes[k]...)
+	groups := 0
+	for i := range ix.paths {
+		p := &ix.paths[i]
+		if d.Accepts(p.labels) {
+			out = append(out, p.nodes...)
+			groups++
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return ix.docOrderLess(out[i], out[j]) })
+	if groups > 1 {
+		sort.Slice(out, func(i, j int) bool { return ix.docOrderLess(out[i], out[j]) })
+	}
 	return out
 }
 
@@ -208,7 +319,9 @@ func valueKeys(v Value) []string {
 // "some $w in /site/people/person satisfies w/@id = data($p/person)" —
 // where the naive evaluator re-scans every relay node per candidate.
 func (e *Evaluator) relayJoinIndex(start *xmldoc.Node, relayPath, atomPath SimplePath) map[string][]*xmldoc.Node {
-	key := strconv.Itoa(start.ID) + "\x00" + relayPath.String() + "\x01" + atomPath.String()
+	rf, rn := spKey(relayPath)
+	af, an := spKey(atomPath)
+	key := relayKey{start: start.ID, relay: rf, relayN: rn, atom: af, atomN: an}
 	if idx, ok := e.relayIdx[key]; ok {
 		e.stats.Relay.Hits++
 		return idx
@@ -227,7 +340,7 @@ func (e *Evaluator) relayJoinIndex(start *xmldoc.Node, relayPath, atomPath Simpl
 		}
 	}
 	if e.relayIdx == nil {
-		e.relayIdx = map[string]map[string][]*xmldoc.Node{}
+		e.relayIdx = map[relayKey]map[string][]*xmldoc.Node{}
 	}
 	e.relayIdx[key] = idx
 	return idx
@@ -255,13 +368,13 @@ func splitJoinAtom(a Cmp, relayVar string) (SimplePath, Operand, bool) {
 }
 
 // relayCandidates returns the relay bindings worth testing for the
-// predicate under env. The naive candidate set is every node reached by
+// predicate under sc. The naive candidate set is every node reached by
 // the relay path; when the set is large and the predicate carries an
 // equality-join atom, the value index narrows it to the nodes that can
 // satisfy that atom. The prefilter only ever removes nodes the indexed
 // atom rejects — every returned candidate still runs through the full
 // atom conjunction — and candidates stay in document order.
-func (e *Evaluator) relayCandidates(start *xmldoc.Node, p *Pred, env Env) []*xmldoc.Node {
+func (e *Evaluator) relayCandidates(start *xmldoc.Node, p *Pred, sc *scope) []*xmldoc.Node {
 	full := e.simplePath(start, p.RelayPath)
 	if !e.accel || len(full) < relayIndexMinSize || start.Document() != e.Doc {
 		return full
@@ -273,12 +386,12 @@ func (e *Evaluator) relayCandidates(start *xmldoc.Node, p *Pred, env Env) []*xml
 		}
 		idx := e.relayJoinIndex(start, p.RelayPath, atomPath)
 		var cands []*xmldoc.Node
-		seen := map[int]bool{}
-		for _, v := range e.operandValues(other, env) {
+		e.relayBuf = e.operandValuesInto(e.relayBuf[:0], other, sc)
+		seen := e.beginRelaySeen()
+		for _, v := range e.relayBuf {
 			for _, vk := range valueKeys(v) {
 				for _, w := range idx[vk] {
-					if !seen[w.ID] {
-						seen[w.ID] = true
+					if seen.mark(w.ID) {
 						cands = append(cands, w)
 					}
 				}
@@ -289,4 +402,54 @@ func (e *Evaluator) relayCandidates(start *xmldoc.Node, p *Pred, env Env) []*xml
 		return cands
 	}
 	return full
+}
+
+// seenSet is an epoch-stamped membership mark over dense node IDs: a
+// cleared set costs one counter bump instead of a map allocation per
+// extent or relay scan.
+type seenSet struct {
+	marks []uint32
+	epoch uint32
+}
+
+// begin starts a fresh generation sized for at least n IDs.
+func (s *seenSet) begin(n int) {
+	if len(s.marks) < n {
+		s.marks = make([]uint32, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale marks could alias, so clear
+		for i := range s.marks {
+			s.marks[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// mark records the ID and reports whether it was new this generation.
+func (s *seenSet) mark(id int) bool {
+	if id >= len(s.marks) {
+		grown := make([]uint32, id+1)
+		copy(grown, s.marks)
+		s.marks = grown
+	}
+	if s.marks[id] == s.epoch {
+		return false
+	}
+	s.marks[id] = s.epoch
+	return true
+}
+
+// beginExtentSeen/beginRelaySeen start a generation of the two seen
+// sets. They are distinct because a relay scan runs inside an extent
+// enumeration and must not disturb its dedup marks.
+func (e *Evaluator) beginExtentSeen() *seenSet {
+	e.extentSeen.begin(e.Doc.NumNodes())
+	return &e.extentSeen
+}
+
+func (e *Evaluator) beginRelaySeen() *seenSet {
+	e.relaySeen.begin(e.Doc.NumNodes())
+	return &e.relaySeen
 }

@@ -55,12 +55,54 @@ func StrValue(s string) Value {
 // Env is a variable assignment.
 type Env map[string]*xmldoc.Node
 
-func (e Env) clone() Env {
-	out := make(Env, len(e)+1)
-	for k, v := range e {
-		out[k] = v
+// scope is the evaluator's internal environment: an immutable linked
+// stack of variable bindings. Extending a scope allocates one small
+// frame instead of cloning a map — the dominant allocation of the
+// binding enumeration — and lookups walk a chain whose depth is the
+// binding-chain depth (single digits), cheaper than a map probe at
+// that size. The nearest frame wins, which matches map-overwrite
+// semantics for rebound names.
+type scope struct {
+	name string
+	node *xmldoc.Node
+	up   *scope
+}
+
+// lookup returns the binding of name, or nil.
+func (s *scope) lookup(name string) *xmldoc.Node {
+	for f := s; f != nil; f = f.up {
+		if f.name == name {
+			return f.node
+		}
+	}
+	return nil
+}
+
+// with returns the scope extended by one binding.
+func (s *scope) with(name string, n *xmldoc.Node) *scope {
+	return &scope{name: name, node: n, up: s}
+}
+
+// env materializes the scope as an Env map (nearest frame wins).
+func (s *scope) env() Env {
+	out := Env{}
+	for f := s; f != nil; f = f.up {
+		if _, ok := out[f.name]; !ok {
+			out[f.name] = f.node
+		}
 	}
 	return out
+}
+
+// scopeOf lifts an Env map into a scope chain. Frame order is the map's
+// iteration order, which is fine: lookups are order-insensitive because
+// map keys are unique.
+func scopeOf(env Env) *scope {
+	var s *scope
+	for k, v := range env {
+		s = s.with(k, v)
+	}
+	return s
 }
 
 // Evaluator computes extents and full results of XQ-Trees over one
@@ -69,8 +111,11 @@ func (e Env) clone() Env {
 //
 // An Evaluator is not goroutine-safe: the DFA cache and the
 // acceleration-layer caches (accel.go) are mutated during evaluation.
-// Sessions own one evaluator each and share nothing, matching the
-// repository's concurrency model.
+// Sessions own one evaluator each, matching the repository's
+// concurrency model; the only cross-evaluator structures are the
+// immutable document, an optional prebuilt Index (immutable after
+// construction), and an optional SharedExtents store, which is
+// internally synchronized.
 type Evaluator struct {
 	Doc      *xmldoc.Document
 	alphabet []string
@@ -84,9 +129,21 @@ type Evaluator struct {
 	idx         *Index
 	pathCache   map[pathCacheKey][]*xmldoc.Node
 	simpleCache map[simpleCacheKey][]*xmldoc.Node
-	valueCache  map[int]Value
-	relayIdx    map[string]map[string][]*xmldoc.Node
-	extents     map[extentKey][]*xmldoc.Node
+	valueCache  []Value
+	valueSet    []bool
+	relayIdx    map[relayKey]map[string][]*xmldoc.Node
+	extents     map[*Node]map[string][]*xmldoc.Node
+	extentCount int
+	// shared is the optional cross-evaluator extent store (attach with
+	// ShareExtents; detached by InvalidateExtents).
+	shared *SharedExtents
+	// extentSeen/relaySeen are epoch-stamped dedup marks; lbuf/rbuf and
+	// relayBuf are operand-value scratch reused across atom evaluations.
+	extentSeen seenSet
+	relaySeen  seenSet
+	lbuf, rbuf []Value
+	relayBuf   []Value
+	pinScratch [1]*xmldoc.Node
 	// stats counts cache hits/misses (cachestats.go); snapshot with
 	// CacheStats.
 	stats CacheStats
@@ -97,6 +154,16 @@ type Evaluator struct {
 // instance, as XQI is in the paper).
 func NewEvaluator(doc *xmldoc.Document) *Evaluator {
 	return &Evaluator{Doc: doc, alphabet: doc.Alphabet(), dfas: map[string]*pathre.DFA{}, accel: true}
+}
+
+// NewEvaluatorWithIndex builds an evaluator over the document of a
+// prebuilt index, adopting the index (and its captured alphabet)
+// instead of rebuilding either. The index must have been built for the
+// same document the evaluator will serve; it is read-only here, so any
+// number of evaluators — concurrent ones included — may adopt one
+// index (the artifact store's sharing model).
+func NewEvaluatorWithIndex(ix *Index) *Evaluator {
+	return &Evaluator{Doc: ix.Doc(), alphabet: ix.Alphabet(), dfas: map[string]*pathre.DFA{}, accel: true, idx: ix}
 }
 
 func (e *Evaluator) dfa(p pathre.Expr) *pathre.DFA {
@@ -228,33 +295,32 @@ func EvalSimplePath(start *xmldoc.Node, p SimplePath) []*xmldoc.Node {
 	return cur
 }
 
-// operandValues evaluates an operand under env, with the document node
-// used for document()-rooted paths (empty Var, not const).
-func (e *Evaluator) operandValues(o Operand, env Env) []Value {
-	var out []Value
+// operandValuesInto evaluates an operand under sc, appending the values
+// to dst. Callers pass a reusable scratch slice; the returned slice
+// aliases it.
+func (e *Evaluator) operandValuesInto(dst []Value, o Operand, sc *scope) []Value {
+	base := len(dst)
 	if o.IsConst {
-		out = []Value{StrValue(o.Const)}
+		dst = append(dst, StrValue(o.Const))
 	} else {
-		start := env[o.Var]
+		start := sc.lookup(o.Var)
 		if start == nil {
-			return nil
+			return dst
 		}
-		nodes := e.simplePath(start, o.Path)
-		out = make([]Value, len(nodes))
-		for i, n := range nodes {
-			out[i] = e.nodeValue(n)
+		for _, n := range e.simplePath(start, o.Path) {
+			dst = append(dst, e.nodeValue(n))
 		}
 	}
 	if o.Mul != 0 && o.Mul != 1 {
-		scaled := make([]Value, 0, len(out))
-		for _, v := range out {
+		scaled := dst[:base]
+		for _, v := range dst[base:] {
 			if v.IsNum {
 				scaled = append(scaled, NumValue(v.Num*o.Mul))
 			}
 		}
-		out = scaled
+		dst = scaled
 	}
-	return out
+	return dst
 }
 
 func compareValues(op CmpOp, l, r Value) bool {
@@ -297,15 +363,17 @@ func compareValues(op CmpOp, l, r Value) bool {
 // atomHolds implements XQuery general-comparison semantics: the
 // comparison holds if some pair of values from the two operand
 // sequences satisfies it. OpEmpty tests the left sequence for emptiness.
-func (e *Evaluator) atomHolds(a Cmp, env Env) bool {
-	lv := e.operandValues(a.L, env)
+func (e *Evaluator) atomHolds(a Cmp, sc *scope) bool {
+	e.lbuf = e.operandValuesInto(e.lbuf[:0], a.L, sc)
+	lv := e.lbuf
 	if a.Op == OpEmpty {
 		return len(lv) == 0
 	}
 	if a.Op == OpExists {
 		return len(lv) > 0
 	}
-	rv := e.operandValues(a.R, env)
+	e.rbuf = e.operandValuesInto(e.rbuf[:0], a.R, sc)
+	rv := e.rbuf
 	for _, l := range lv {
 		for _, r := range rv {
 			if compareValues(a.Op, l, r) {
@@ -318,57 +386,59 @@ func (e *Evaluator) atomHolds(a Cmp, env Env) bool {
 
 // PredHolds evaluates a predicate under env.
 func (e *Evaluator) PredHolds(p *Pred, env Env) bool {
-	res := e.predBody(p, env)
+	return e.predHolds(p, scopeOf(env))
+}
+
+func (e *Evaluator) predHolds(p *Pred, sc *scope) bool {
+	res := e.predBody(p, sc)
 	if p.Negated {
 		return !res
 	}
 	return res
 }
 
-func (e *Evaluator) predBody(p *Pred, env Env) bool {
+func (e *Evaluator) predBody(p *Pred, sc *scope) bool {
 	if !p.HasRelay() {
 		for _, a := range p.Atoms {
-			if !e.atomHolds(a, env) {
+			if !e.atomHolds(a, sc) {
 				return false
 			}
 		}
 		return true
 	}
-	var starts []*xmldoc.Node
+	var start *xmldoc.Node
 	if p.RelayFrom == "" {
-		starts = []*xmldoc.Node{e.Doc.DocNode()}
-	} else if n := env[p.RelayFrom]; n != nil {
-		starts = []*xmldoc.Node{n}
+		start = e.Doc.DocNode()
+	} else if start = sc.lookup(p.RelayFrom); start == nil {
+		return false
 	}
-	for _, s := range starts {
-		for _, w := range e.relayCandidates(s, p, env) {
-			inner := env.clone()
-			inner[p.RelayVar] = w
-			ok := true
-			for _, a := range p.Atoms {
-				if !e.atomHolds(a, inner) {
-					ok = false
-					break
-				}
+	for _, w := range e.relayCandidates(start, p, sc) {
+		inner := sc.with(p.RelayVar, w)
+		ok := true
+		for _, a := range p.Atoms {
+			if !e.atomHolds(a, inner) {
+				ok = false
+				break
 			}
-			if ok {
-				return true
-			}
+		}
+		if ok {
+			return true
 		}
 	}
 	return false
 }
 
-// bindings enumerates the candidate nodes of n's for clause under env,
-// filtered by n's where predicates and ordered by its sort keys. If
-// pinned contains n.Var, the enumeration is restricted to that node
-// ("ve is e" conjunct of the extent definition).
-func (e *Evaluator) bindings(n *Node, env Env, pinned Env) []*xmldoc.Node {
+// bindingsInto enumerates the candidate nodes of n's for clause under
+// sc into dst, filtered by n's where predicates and ordered by its sort
+// keys. If pinned contains n.Var, the enumeration is restricted to that
+// node ("ve is e" conjunct of the extent definition). The returned
+// slice aliases dst, which callers recycle through the scratch pool.
+func (e *Evaluator) bindingsInto(dst []*xmldoc.Node, n *Node, sc *scope, pinned Env) []*xmldoc.Node {
 	var start *xmldoc.Node
 	if n.From != "" {
-		start = env[n.From]
+		start = sc.lookup(n.From)
 		if start == nil {
-			return nil
+			return dst
 		}
 	}
 	cands := e.PathNodes(start, n.Path)
@@ -381,32 +451,33 @@ func (e *Evaluator) bindings(n *Node, env Env, pinned Env) []*xmldoc.Node {
 			}
 		}
 		if !found {
-			return nil
+			return dst
 		}
-		cands = []*xmldoc.Node{pin}
+		e.pinScratch[0] = pin
+		cands = e.pinScratch[:]
 	}
-	var out []*xmldoc.Node
+	base := len(dst)
 	for _, c := range cands {
-		inner := env.clone()
-		inner[n.Var] = c
+		inner := sc.with(n.Var, c)
 		ok := true
 		for _, p := range n.Where {
-			if !e.PredHolds(p, inner) {
+			if !e.predHolds(p, inner) {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			out = append(out, c)
+			dst = append(dst, c)
 		}
 	}
 	if len(n.OrderBy) > 0 {
-		out = e.sortByKeys(out, n.OrderBy)
+		e.sortByKeys(dst[base:], n.OrderBy)
 	}
-	return out
+	return dst
 }
 
-func (e *Evaluator) sortByKeys(nodes []*xmldoc.Node, keys []SortKey) []*xmldoc.Node {
+// sortByKeys stably reorders nodes in place by the sort keys.
+func (e *Evaluator) sortByKeys(nodes []*xmldoc.Node, keys []SortKey) {
 	type row struct {
 		n    *xmldoc.Node
 		vals []Value
@@ -447,11 +518,9 @@ func (e *Evaluator) sortByKeys(nodes []*xmldoc.Node, keys []SortKey) []*xmldoc.N
 		}
 		return false
 	})
-	out := make([]*xmldoc.Node, len(rows))
 	for i, r := range rows {
-		out[i] = r.n
+		nodes[i] = r.n
 	}
-	return out
 }
 
 // Extent computes EXT_{e,context}: the nodes bound to n.Var over all
@@ -464,48 +533,89 @@ func (e *Evaluator) Extent(ctx context.Context, t *Tree, n *Node, pinned Env) ([
 	if n.Var == "" {
 		return nil, fmt.Errorf("xq: Extent of %s: %w", n.Name(), ErrNoVariable)
 	}
-	var key extentKey
+	// The fingerprint buffer is returned to the pool explicitly on each
+	// path rather than via a deferred closure: the closure would be the
+	// hit path's only heap allocation beyond the caller-owned result
+	// copy, and this is the teacher's hottest loop (the alloc_test
+	// bounds pin it).
+	var fpBuf *[]byte
+	var fp []byte
 	if e.accel {
-		key = extentKey{node: n, pin: pinFingerprint(pinned)}
-		if ext, ok := e.cachedExtent(key); ok {
+		fpBuf = fpPool.Get().(*[]byte)
+		fp = appendPinFP((*fpBuf)[:0], pinned)
+		if ext, ok := e.cachedExtent(n, fp); ok {
+			putFP(fpBuf, fp)
 			return ext, nil
+		}
+		if e.shared != nil {
+			if ext, ok := e.shared.get(n, fp); ok {
+				// Adopt the published slice locally (both caches treat
+				// stored slices as immutable) and hand out a copy.
+				e.storeExtent(n, fp, ext)
+				putFP(fpBuf, fp)
+				return append([]*xmldoc.Node(nil), ext...), nil
+			}
 		}
 	}
 	chain := n.BindingChain()
-	seen := map[int]bool{}
+	seen := e.beginExtentSeen()
 	var out []*xmldoc.Node
-	var rec func(i int, env Env) error
-	rec = func(i int, env Env) error {
+	var rec func(i int, sc *scope) error
+	rec = func(i int, sc *scope) error {
 		if err := ctxErr(ctx); err != nil {
 			return err
 		}
 		if i == len(chain) {
-			b := env[n.Var]
-			if !seen[b.ID] {
-				seen[b.ID] = true
+			if b := sc.lookup(n.Var); seen.mark(b.ID) {
 				out = append(out, b)
 			}
 			return nil
 		}
 		node := chain[i]
-		for _, b := range e.bindings(node, env, pinned) {
-			inner := env.clone()
-			inner[node.Var] = b
-			if err := rec(i+1, inner); err != nil {
+		bp := getScratch()
+		bs := e.bindingsInto((*bp)[:0], node, sc, pinned)
+		for _, b := range bs {
+			if err := rec(i+1, sc.with(node.Var, b)); err != nil {
+				*bp = bs[:0]
+				putScratch(bp)
 				return err
 			}
 		}
+		*bp = bs[:0]
+		putScratch(bp)
 		return nil
 	}
-	if err := rec(0, Env{}); err != nil {
+	if err := rec(0, nil); err != nil {
+		if fpBuf != nil {
+			putFP(fpBuf, fp)
+		}
 		return nil, err
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sortNodesByID(out)
 	if e.accel {
-		// Store a private copy: the caller owns the returned slice.
-		e.storeExtent(key, append([]*xmldoc.Node(nil), out...))
+		// Store a private copy: the caller owns the returned slice. The
+		// same immutable copy is published to the shared store, if one
+		// is attached.
+		stored := append([]*xmldoc.Node(nil), out...)
+		e.storeExtent(n, fp, stored)
+		if e.shared != nil {
+			e.shared.put(n, fp, stored)
+		}
+		putFP(fpBuf, fp)
 	}
 	return out, nil
+}
+
+// sortNodesByID orders nodes by ID, skipping the sort when the slice is
+// already ordered (binding enumeration usually emits document order,
+// and IDs are assigned in creation order).
+func sortNodesByID(out []*xmldoc.Node) {
+	for i := 1; i < len(out); i++ {
+		if out[i-1].ID > out[i].ID {
+			sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+			return
+		}
+	}
 }
 
 // Assignments enumerates every satisfying assignment of n's strict
@@ -518,20 +628,26 @@ func (e *Evaluator) Assignments(ctx context.Context, t *Tree, n *Node) ([]Env, e
 	if n.Var != "" && len(chain) > 0 {
 		chain = chain[:len(chain)-1]
 	}
-	out := []Env{{}}
+	scopes := []*scope{nil}
 	for _, node := range chain {
-		var next []Env
-		for _, env := range out {
+		var next []*scope
+		for _, sc := range scopes {
 			if err := ctxErr(ctx); err != nil {
 				return nil, err
 			}
-			for _, b := range e.bindings(node, env, nil) {
-				inner := env.clone()
-				inner[node.Var] = b
-				next = append(next, inner)
+			bp := getScratch()
+			bs := e.bindingsInto((*bp)[:0], node, sc, nil)
+			for _, b := range bs {
+				next = append(next, sc.with(node.Var, b))
 			}
+			*bp = bs[:0]
+			putScratch(bp)
 		}
-		out = next
+		scopes = next
+	}
+	out := make([]Env, len(scopes))
+	for i, sc := range scopes {
+		out[i] = sc.env()
 	}
 	return out, nil
 }
@@ -549,65 +665,69 @@ func (t *Tree) XQueryResultString(ctx context.Context, ev *Evaluator) (string, e
 // Result materializes the full query result as a new document.
 func (e *Evaluator) Result(ctx context.Context, t *Tree) (*xmldoc.Document, error) {
 	out := xmldoc.NewDocument()
-	if err := e.buildInto(ctx, out, out.DocNode(), t.Root, Env{}); err != nil {
+	if err := e.buildInto(ctx, out, out.DocNode(), t.Root, nil); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// buildInto evaluates node n under env, appending its produced items to
+// buildInto evaluates node n under sc, appending its produced items to
 // parent in the output document.
-func (e *Evaluator) buildInto(ctx context.Context, out *xmldoc.Document, parent *xmldoc.Node, n *Node, env Env) error {
+func (e *Evaluator) buildInto(ctx context.Context, out *xmldoc.Document, parent *xmldoc.Node, n *Node, sc *scope) error {
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
 	if n.Var == "" {
-		return e.emitRet(ctx, out, parent, n.Ret, env)
+		return e.emitRet(ctx, out, parent, n.Ret, sc)
 	}
-	for _, b := range e.bindings(n, env, nil) {
-		inner := env.clone()
-		inner[n.Var] = b
-		if err := e.emitRet(ctx, out, parent, n.Ret, inner); err != nil {
+	bp := getScratch()
+	bs := e.bindingsInto((*bp)[:0], n, sc, nil)
+	for _, b := range bs {
+		if err := e.emitRet(ctx, out, parent, n.Ret, sc.with(n.Var, b)); err != nil {
+			*bp = bs[:0]
+			putScratch(bp)
 			return err
 		}
 	}
+	*bp = bs[:0]
+	putScratch(bp)
 	return nil
 }
 
-func (e *Evaluator) emitRet(ctx context.Context, out *xmldoc.Document, parent *xmldoc.Node, r RetExpr, env Env) error {
+func (e *Evaluator) emitRet(ctx context.Context, out *xmldoc.Document, parent *xmldoc.Node, r RetExpr, sc *scope) error {
 	switch t := r.(type) {
 	case nil:
 	case RElem:
 		el := out.CreateElement(parent, t.Tag)
 		for _, k := range t.Kids {
-			if err := e.emitRet(ctx, out, el, k, env); err != nil {
+			if err := e.emitRet(ctx, out, el, k, sc); err != nil {
 				return err
 			}
 		}
 	case RSeq:
 		for _, k := range t.Items {
-			if err := e.emitRet(ctx, out, parent, k, env); err != nil {
+			if err := e.emitRet(ctx, out, parent, k, sc); err != nil {
 				return err
 			}
 		}
 	case RVar:
-		if n := env[t.Name]; n != nil {
+		if n := sc.lookup(t.Name); n != nil {
 			out.ImportSubtree(parent, n)
 		}
 	case RPath:
-		if start := env[t.Var]; start != nil {
+		if start := sc.lookup(t.Var); start != nil {
 			for _, n := range EvalSimplePath(start, t.Path) {
 				out.ImportSubtree(parent, n)
 			}
 		}
 	case RChild:
-		return e.buildInto(ctx, out, parent, t.Node, env)
+		return e.buildInto(ctx, out, parent, t.Node, sc)
 	case RText:
 		out.CreateText(parent, t.Value)
 	case RNum:
 		out.CreateText(parent, formatNum(t.Value))
 	case RFunc, RBin:
-		vals, err := e.evalSeq(r, env)
+		vals, err := e.evalSeq(r, sc)
 		if err != nil {
 			return err
 		}
@@ -631,17 +751,17 @@ func formatNum(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 
 // evalSeq evaluates a return expression to a value sequence (used for
 // function arguments and computed content, Nested Drop Boxes).
-func (e *Evaluator) evalSeq(r RetExpr, env Env) ([]Value, error) {
+func (e *Evaluator) evalSeq(r RetExpr, sc *scope) ([]Value, error) {
 	switch t := r.(type) {
 	case nil:
 		return nil, nil
 	case RVar:
-		if n := env[t.Name]; n != nil {
+		if n := sc.lookup(t.Name); n != nil {
 			return []Value{NodeValue(n)}, nil
 		}
 		return nil, nil
 	case RPath:
-		start := env[t.Var]
+		start := sc.lookup(t.Var)
 		if start == nil {
 			return nil, nil
 		}
@@ -657,7 +777,7 @@ func (e *Evaluator) evalSeq(r RetExpr, env Env) ([]Value, error) {
 	case RSeq:
 		var out []Value
 		for _, k := range t.Items {
-			vs, err := e.evalSeq(k, env)
+			vs, err := e.evalSeq(k, sc)
 			if err != nil {
 				return nil, err
 			}
@@ -667,7 +787,7 @@ func (e *Evaluator) evalSeq(r RetExpr, env Env) ([]Value, error) {
 	case RElem:
 		var out []Value
 		for _, k := range t.Kids {
-			vs, err := e.evalSeq(k, env)
+			vs, err := e.evalSeq(k, sc)
 			if err != nil {
 				return nil, err
 			}
@@ -675,13 +795,13 @@ func (e *Evaluator) evalSeq(r RetExpr, env Env) ([]Value, error) {
 		}
 		return out, nil
 	case RChild:
-		return e.childSeq(t.Node, env)
+		return e.childSeq(t.Node, sc)
 	case RBin:
-		lv, err := e.evalSeq(t.L, env)
+		lv, err := e.evalSeq(t.L, sc)
 		if err != nil {
 			return nil, err
 		}
-		rv, err := e.evalSeq(t.R, env)
+		rv, err := e.evalSeq(t.R, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -704,35 +824,39 @@ func (e *Evaluator) evalSeq(r RetExpr, env Env) ([]Value, error) {
 		}
 		return []Value{NumValue(res)}, nil
 	case RFunc:
-		return e.evalFunc(t, env)
+		return e.evalFunc(t, sc)
 	default:
 		return nil, fmt.Errorf("xq: cannot evaluate %T as a sequence", r)
 	}
 }
 
 // childSeq evaluates a child fragment to the sequence of values it
-// produces under env.
-func (e *Evaluator) childSeq(n *Node, env Env) ([]Value, error) {
+// produces under sc.
+func (e *Evaluator) childSeq(n *Node, sc *scope) ([]Value, error) {
 	if n.Var == "" {
-		return e.evalSeq(n.Ret, env)
+		return e.evalSeq(n.Ret, sc)
 	}
 	var out []Value
-	for _, b := range e.bindings(n, env, nil) {
-		inner := env.clone()
-		inner[n.Var] = b
-		vs, err := e.evalSeq(n.Ret, inner)
+	bp := getScratch()
+	bs := e.bindingsInto((*bp)[:0], n, sc, nil)
+	for _, b := range bs {
+		vs, err := e.evalSeq(n.Ret, sc.with(n.Var, b))
 		if err != nil {
+			*bp = bs[:0]
+			putScratch(bp)
 			return nil, err
 		}
 		out = append(out, vs...)
 	}
+	*bp = bs[:0]
+	putScratch(bp)
 	return out, nil
 }
 
-func (e *Evaluator) evalFunc(f RFunc, env Env) ([]Value, error) {
+func (e *Evaluator) evalFunc(f RFunc, sc *scope) ([]Value, error) {
 	var args []Value
 	for _, a := range f.Args {
-		vs, err := e.evalSeq(a, env)
+		vs, err := e.evalSeq(a, sc)
 		if err != nil {
 			return nil, err
 		}

@@ -55,7 +55,7 @@ func TestClassStringNames(t *testing.T) {
 func TestEvalSeqArithmeticOps(t *testing.T) {
 	doc := xmldoc.MustParse(`<r><v>10</v></r>`)
 	ev := NewEvaluator(doc)
-	env := Env{"v": doc.NodesWithLabel("v")[0]}
+	env := scopeOf(Env{"v": doc.NodesWithLabel("v")[0]})
 	cases := []struct {
 		op   string
 		want float64
@@ -77,7 +77,7 @@ func TestEvalSeqArithmeticOps(t *testing.T) {
 func TestEvalSeqMiscellany(t *testing.T) {
 	doc := xmldoc.MustParse(`<r><v>1</v><v>2</v></r>`)
 	ev := NewEvaluator(doc)
-	env := Env{}
+	env := scopeOf(Env{})
 	if got := must.Must(ev.evalSeq(RText{Value: "x"}, env)); len(got) != 1 || got[0].Str != "x" {
 		t.Errorf("RText = %v", got)
 	}
@@ -113,14 +113,14 @@ func TestEvalSeqMiscellany(t *testing.T) {
 
 func TestEvalSeqUnknownFunctionErrors(t *testing.T) {
 	ev := NewEvaluator(xmldoc.MustParse(`<r/>`))
-	if _, err := ev.evalSeq(RFunc{Name: "bogus"}, Env{}); err == nil {
+	if _, err := ev.evalSeq(RFunc{Name: "bogus"}, nil); err == nil {
 		t.Fatal("unknown function must error")
 	}
 }
 
 func TestEvalSeqUnknownOperatorErrors(t *testing.T) {
 	ev := NewEvaluator(xmldoc.MustParse(`<r/>`))
-	if _, err := ev.evalSeq(RBin{Op: "%", L: RNum{Value: 1}, R: RNum{Value: 2}}, Env{}); err == nil {
+	if _, err := ev.evalSeq(RBin{Op: "%", L: RNum{Value: 1}, R: RNum{Value: 2}}, nil); err == nil {
 		t.Fatal("unknown operator must error")
 	}
 }

@@ -1,18 +1,17 @@
 package xq
 
 import (
-	"strings"
-
 	"repro/internal/xmldoc"
 )
 
 // Index is the per-document acceleration structure behind the
-// evaluator's fast paths: tag→nodes lookup, O(1) ancestor/descendant
+// evaluator's fast paths: label→nodes lookup, O(1) ancestor/descendant
 // tests via pre/post-order intervals, and the distinct-root-path table
 // that turns document-rooted path evaluation from a full tree walk into
 // a handful of DFA runs. An Index is built once per document, depends
-// only on the (immutable) document, and is therefore safe to reuse for
-// the lifetime of the evaluator; it holds no query state.
+// only on the (immutable) document, and is immutable after NewIndex
+// returns; it holds no query state and is therefore safe to share
+// across evaluators and goroutines (the artifact store relies on this).
 type Index struct {
 	doc *xmldoc.Document
 	// pre/post are pre-/post-order visit clocks indexed by node ID.
@@ -20,18 +19,34 @@ type Index struct {
 	// pre also encodes document order: sorting nodes by pre reproduces
 	// exactly the order a full document walk would visit them in.
 	pre, post []int
-	// byLabel maps a label ("item", "@id") to its element/attribute
-	// nodes in document order.
-	byLabel map[string][]*xmldoc.Node
-	// pathKeys lists the distinct root label paths in first-seen
-	// (document) order; pathNodes/pathLabels are keyed by rootKey.
-	pathKeys   []string
-	pathNodes  map[string][]*xmldoc.Node
-	pathLabels map[string][]string
+	// byLabel files element/attribute nodes (document order) under the
+	// document's label symbol — a slice lookup instead of a string-map
+	// probe on the hot path.
+	byLabel [][]*xmldoc.Node
+	// alphabet is the document's sorted label set, captured once so
+	// evaluators built over a shared index skip the per-session copy.
+	alphabet []string
+	// paths is the distinct-root-path table in first-seen (document)
+	// order; pathLookup interns a path as {parent path ID, label
+	// symbol}, replacing the strings.Join root keys of the string-keyed
+	// design.
+	paths      []rootPath
+	pathLookup map[pathEdge]int32
 }
 
-// rootKey encodes a label sequence as a map key.
-func rootKey(w []string) string { return strings.Join(w, "\x00") }
+// rootPath is one distinct root label path with its nodes in document
+// order.
+type rootPath struct {
+	labels []string
+	nodes  []*xmldoc.Node
+}
+
+// pathEdge extends an interned root path (-1 for the empty path at the
+// document node) by one label symbol.
+type pathEdge struct {
+	parent int32
+	sym    int32
+}
 
 // NewIndex builds the index for doc in one document walk.
 func NewIndex(doc *xmldoc.Document) *Index {
@@ -39,40 +54,92 @@ func NewIndex(doc *xmldoc.Document) *Index {
 		doc:        doc,
 		pre:        make([]int, doc.NumNodes()),
 		post:       make([]int, doc.NumNodes()),
-		byLabel:    map[string][]*xmldoc.Node{},
-		pathNodes:  map[string][]*xmldoc.Node{},
-		pathLabels: map[string][]string{},
+		byLabel:    make([][]*xmldoc.Node, doc.NumSyms()),
+		alphabet:   doc.Alphabet(),
+		pathLookup: map[pathEdge]int32{},
 	}
 	clock := 0
-	var walk func(n *xmldoc.Node, path []string)
-	walk = func(n *xmldoc.Node, path []string) {
+	var walk func(n *xmldoc.Node, pathID int32)
+	walk = func(n *xmldoc.Node, pathID int32) {
 		ix.pre[n.ID] = clock
 		clock++
-		if n.Kind == xmldoc.ElementNode || n.Kind == xmldoc.AttributeNode {
-			ix.byLabel[n.Label()] = append(ix.byLabel[n.Label()], n)
-			k := rootKey(path)
-			if _, ok := ix.pathNodes[k]; !ok {
-				ix.pathKeys = append(ix.pathKeys, k)
-				ix.pathLabels[k] = append([]string(nil), path...)
+		if sym := n.LabelSym(); sym != xmldoc.NoSym {
+			if int(sym) >= len(ix.byLabel) {
+				// A label interned after the walk began cannot occur, but
+				// grow defensively so a stale NumSyms never panics.
+				grown := make([][]*xmldoc.Node, sym+1)
+				copy(grown, ix.byLabel)
+				ix.byLabel = grown
 			}
-			ix.pathNodes[k] = append(ix.pathNodes[k], n)
+			ix.byLabel[sym] = append(ix.byLabel[sym], n)
+			edge := pathEdge{parent: pathID, sym: sym}
+			id, ok := ix.pathLookup[edge]
+			if !ok {
+				id = int32(len(ix.paths))
+				labels := make([]string, 0, len(ix.pathLabels(pathID))+1)
+				labels = append(labels, ix.pathLabels(pathID)...)
+				labels = append(labels, n.Label())
+				ix.paths = append(ix.paths, rootPath{labels: labels})
+				ix.pathLookup[edge] = id
+			}
+			ix.paths[id].nodes = append(ix.paths[id].nodes, n)
+			pathID = id
 		}
 		for _, a := range n.Attrs {
-			walk(a, append(path, a.Label()))
+			walk(a, pathID)
 		}
 		for _, c := range n.Children {
-			walk(c, append(path, c.Label()))
+			walk(c, pathID)
 		}
 		ix.post[n.ID] = clock
 		clock++
 	}
-	walk(doc.DocNode(), make([]string, 0, 16))
+	walk(doc.DocNode(), -1)
 	return ix
 }
 
+// pathLabels returns the label sequence of an interned path ID (nil for
+// the empty path).
+func (ix *Index) pathLabels(id int32) []string {
+	if id < 0 {
+		return nil
+	}
+	return ix.paths[id].labels
+}
+
+// Doc returns the indexed document.
+func (ix *Index) Doc() *xmldoc.Document { return ix.doc }
+
+// Alphabet returns the document's sorted label set, captured at build
+// time. Callers must not mutate the returned slice.
+func (ix *Index) Alphabet() []string { return ix.alphabet }
+
 // Nodes returns the element/attribute nodes with the given label in
 // document order. Callers must not mutate the returned slice.
-func (ix *Index) Nodes(label string) []*xmldoc.Node { return ix.byLabel[label] }
+func (ix *Index) Nodes(label string) []*xmldoc.Node {
+	sym, ok := ix.doc.SymOf(label)
+	if !ok {
+		return nil
+	}
+	return ix.byLabel[sym]
+}
+
+// NodesSym is Nodes by label symbol.
+func (ix *Index) NodesSym(sym int32) []*xmldoc.Node {
+	if sym < 0 || int(sym) >= len(ix.byLabel) {
+		return nil
+	}
+	return ix.byLabel[sym]
+}
+
+// RootPaths calls f for each distinct root label path of the document,
+// in first-seen (document) order, with the path's nodes in document
+// order. Callers must not mutate either slice.
+func (ix *Index) RootPaths(f func(labels []string, nodes []*xmldoc.Node)) {
+	for _, p := range ix.paths {
+		f(p.labels, p.nodes)
+	}
+}
 
 // Ancestor reports whether anc is a proper ancestor of n, in O(1) for
 // nodes of the indexed document (falling back to the pointer walk for
