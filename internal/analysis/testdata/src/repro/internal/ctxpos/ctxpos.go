@@ -15,4 +15,17 @@ func buried(n int, ctx context.Context) error { // want `buried takes context.Co
 	return ctx.Err()
 }
 
-var _, _ = Root, buried
+// execBuried mirrors the compiled executor's per-level recursion
+// helper: cancellation stays parameter 1 even in internal plumbing.
+func execBuried(level int, ctx context.Context) error { // want `execBuried takes context.Context as parameter 2`
+	_ = level
+	return ctx.Err()
+}
+
+// execLevel is the accepted executor shape.
+func execLevel(ctx context.Context, level int) error {
+	_ = level
+	return ctx.Err()
+}
+
+var _, _, _, _ = Root, buried, execBuried, execLevel

@@ -32,3 +32,24 @@ func drainCache(idx map[string][]int) []int {
 func stamp() int64 {
 	return time.Now().UnixNano() // want `time.Now in a table-producing package`
 }
+
+// drainPlans is the compiled-plan cache shape: draining the plan map
+// into a candidate list lets map order become execution order —
+// flagged.
+func drainPlans(plans map[string][]int) []int {
+	var cands []int
+	for _, p := range plans { // want `map iteration appends to cands in unspecified order`
+		cands = append(cands, p...)
+	}
+	return cands
+}
+
+// planBytes folds the plan map into an order-insensitive scalar (the
+// artifact store's byte accounting): allowed.
+func planBytes(plans map[string][]int) int {
+	total := 0
+	for _, p := range plans {
+		total += len(p)
+	}
+	return total
+}

@@ -6,6 +6,7 @@
 package angluin
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 
@@ -27,6 +28,19 @@ type Teacher interface {
 	// returns (nil, true, nil); otherwise it returns a counterexample
 	// word from the symmetric difference and false.
 	Equivalent(hypothesis *pathre.DFA) (counterexample []string, ok bool, err error)
+}
+
+// KeyedTeacher is an optional Teacher extension. MemberKeyed is Member
+// with the word's canonical cache key — strings.Join(word, "\x00") —
+// already materialized: the learner interns every word it asks about,
+// so a teacher that maintains its own word-keyed answer cache can probe
+// and insert with the learner's string instead of re-joining the word
+// (that join is a per-query allocation that tops whole-benchmark
+// profiles). The word-validity contract is Member's; the key may be
+// retained.
+type KeyedTeacher interface {
+	Teacher
+	MemberKeyed(word []string, key string) (bool, error)
 }
 
 // Stats counts the queries the learner issued. Membership queries are
@@ -67,6 +81,7 @@ func Learn(alphabet []string, t Teacher, opts ...Option) (*pathre.DFA, Stats, er
 		ids:   make(map[string]int32, 1<<9),
 		maxEQ: 1000,
 	}
+	l.keyed, _ = t.(KeyedTeacher)
 	for _, o := range opts {
 		o(l)
 	}
@@ -76,8 +91,12 @@ func Learn(alphabet []string, t Teacher, opts ...Option) (*pathre.DFA, Stats, er
 type learner struct {
 	alphabet []string
 	teacher  Teacher
-	initial  []string
-	maxEQ    int
+	// keyed is teacher's KeyedTeacher form when it implements one (nil
+	// otherwise); membership misses prefer it, passing the table key
+	// they materialize anyway.
+	keyed   KeyedTeacher
+	initial []string
+	maxEQ   int
 
 	// Prefix interning. Every access string and one-symbol extension
 	// the learner touches is assigned a dense ID on first sight; all
@@ -133,13 +152,14 @@ type learner struct {
 	stats Stats
 }
 
-// rowEntry is one prefix's row, built column by column. bits holds the
-// membership answers for the first len(bits) suffixes; str is
-// string(bits), re-materialized whenever the row catches up with the
-// suffix set (an empty str is never valid — E always contains ε).
+// rowEntry is one prefix's row, built column by column: bits holds the
+// membership answers ('0'/'1') for the first len(bits) suffixes. Rows
+// are handed out as byte slices aliasing bits — map probes use the
+// non-allocating map[string(bits)] form and a row string is only
+// materialized when a genuinely new row is inserted — so a caller must
+// not hold a row across a row call for the same prefix.
 type rowEntry struct {
 	bits []byte
-	str  string
 }
 
 func key(w []string) string { return strings.Join(w, "\x00") }
@@ -220,7 +240,13 @@ func (l *learner) member(w []string) (bool, error) {
 	if v, ok := l.table[k]; ok {
 		return v, nil
 	}
-	v, err := l.teacher.Member(w)
+	var v bool
+	var err error
+	if l.keyed != nil {
+		v, err = l.keyed.MemberKeyed(w, k)
+	} else {
+		v, err = l.teacher.Member(w)
+	}
 	if err != nil {
 		return false, err
 	}
@@ -235,11 +261,13 @@ func (l *learner) member(w []string) (bool, error) {
 // forever: a call after a suffix was added probes just the new columns.
 // Membership lookups build their cache key from the pre-joined prefix
 // and suffix keys; the concatenated word itself is materialized only
-// when the teacher actually has to be asked.
-func (l *learner) row(id int32) (string, error) {
+// when the teacher actually has to be asked. The returned slice aliases
+// the entry's growing buffer — valid until the next row call for the
+// same prefix, which callers never interleave.
+func (l *learner) row(id int32) ([]byte, error) {
 	ent := &l.rows[id]
-	if len(ent.bits) == len(l.e) && ent.str != "" {
-		return ent.str, nil
+	if len(ent.bits) == len(l.e) {
+		return ent.bits, nil
 	}
 	k := l.keys[id]
 	for i := len(ent.bits); i < len(l.e); i++ {
@@ -249,13 +277,20 @@ func (l *learner) row(id int32) (string, error) {
 		if !ok {
 			w := append(append(l.wb[:0], l.words[id]...), l.e[i]...)
 			l.wb = w
+			// The insertion key is materialized either way; hand it to a
+			// keyed teacher so its own cache skips re-joining the word.
+			ks := string(kb)
 			var err error
-			v, err = l.teacher.Member(w)
+			if l.keyed != nil {
+				v, err = l.keyed.MemberKeyed(w, ks)
+			} else {
+				v, err = l.teacher.Member(w)
+			}
 			if err != nil {
-				return "", err
+				return nil, err
 			}
 			l.stats.MembershipQueries++
-			l.table[string(kb)] = v
+			l.table[ks] = v
 		}
 		if v {
 			ent.bits = append(ent.bits, '1')
@@ -263,8 +298,7 @@ func (l *learner) row(id int32) (string, error) {
 			ent.bits = append(ent.bits, '0')
 		}
 	}
-	ent.str = string(ent.bits)
-	return ent.str, nil
+	return ent.bits, nil
 }
 
 func (l *learner) addPrefix(id int32) {
@@ -346,7 +380,12 @@ func (l *learner) close() error {
 			if err != nil {
 				return err
 			}
-			l.rowsOfS[r] = true
+			// Probe before inserting: the map[string(r)] probe form never
+			// allocates, and a row string is materialized only for the few
+			// genuinely distinct rows.
+			if !l.rowsOfS[string(r)] {
+				l.rowsOfS[string(r)] = true
+			}
 			l.tabled++
 		}
 		// Closedness: every one-step extension's row must appear in S.
@@ -363,12 +402,12 @@ func (l *learner) close() error {
 				if err != nil {
 					return err
 				}
-				if l.rowsOfS[r] {
+				if l.rowsOfS[string(r)] {
 					l.checked[eid] = l.epoch
 					continue
 				}
 				l.addPrefix(eid)
-				l.rowsOfS[r] = true
+				l.rowsOfS[string(r)] = true
 			}
 		}
 		l.tabled = len(l.s)
@@ -398,7 +437,7 @@ func (l *learner) fixInconsistency() (bool, error) {
 			if err != nil {
 				return false, err
 			}
-			if ri0 != rj0 {
+			if !bytes.Equal(ri0, rj0) {
 				continue
 			}
 			for ai, a := range l.alphabet {
@@ -410,7 +449,7 @@ func (l *learner) fixInconsistency() (bool, error) {
 				if err != nil {
 					return false, err
 				}
-				if ri == rj {
+				if bytes.Equal(ri, rj) {
 					continue
 				}
 				// Find the suffix position where they differ; add a.e.
@@ -441,8 +480,8 @@ func (l *learner) hypothesis() (*pathre.DFA, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, ok := stateOf[r]; !ok {
-			stateOf[r] = len(reps)
+		if _, ok := stateOf[string(r)]; !ok {
+			stateOf[string(r)] = len(reps)
 			reps = append(reps, sid)
 		}
 	}
@@ -460,7 +499,7 @@ func (l *learner) hypothesis() (*pathre.DFA, error) {
 			if err != nil {
 				return nil, err
 			}
-			target, ok := stateOf[re]
+			target, ok := stateOf[string(re)]
 			if !ok {
 				// Table is closed, so this cannot happen; guard anyway.
 				target = qi
@@ -472,6 +511,6 @@ func (l *learner) hypothesis() (*pathre.DFA, error) {
 	if err != nil {
 		return nil, err
 	}
-	d.Start = stateOf[r0]
+	d.Start = stateOf[string(r0)]
 	return d, nil
 }

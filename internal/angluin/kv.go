@@ -33,8 +33,10 @@ func (n *ctNode) isLeaf() bool { return n.yes == nil && n.no == nil }
 type kvLearner struct {
 	alphabet []string
 	teacher  Teacher
-	maxEQ    int
-	initial  []string
+	// keyed is teacher's KeyedTeacher form when implemented (see Learn).
+	keyed   KeyedTeacher
+	maxEQ   int
+	initial []string
 
 	root  *ctNode
 	cache map[string]bool
@@ -56,6 +58,7 @@ func LearnKV(alphabet []string, t Teacher, opts ...Option) (*pathre.DFA, Stats, 
 		initial:  shim.initial,
 		cache:    map[string]bool{},
 	}
+	k.keyed, _ = t.(KeyedTeacher)
 	return k.run()
 }
 
@@ -64,7 +67,13 @@ func (k *kvLearner) member(w []string) (bool, error) {
 	if v, ok := k.cache[key]; ok {
 		return v, nil
 	}
-	v, err := k.teacher.Member(w)
+	var v bool
+	var err error
+	if k.keyed != nil {
+		v, err = k.keyed.MemberKeyed(w, key)
+	} else {
+		v, err = k.teacher.Member(w)
+	}
 	if err != nil {
 		return false, err
 	}

@@ -21,8 +21,11 @@ import (
 // every V1 document. Version 2 added the additive artifact-store
 // surface: SessionV1.ArtifactHash, MetricsV1.Artifacts, and the
 // BenchRecordV1 allocation columns (all omitted-or-zero for readers of
-// version 1, per the additive-only policy above).
-const SchemaVersion = 2
+// version 1, per the additive-only policy above). Version 3 adds the
+// plan/execute counters: CacheStatsV1.Plan/.Arena and
+// ArtifactStoreV1.Plans (additive again — absent means the serving
+// build predates compiled plans).
+const SchemaVersion = 3
 
 // ErrorV1 is the uniform error envelope: every non-2xx daemon response
 // body is one of these.

@@ -32,11 +32,11 @@ func TestWireFieldNamesFrozen(t *testing.T) {
 		"HealthV1":        {"schema_version", "status", "sessions", "learning", "uptime_ms"},
 		"MetricsV1": {"schema_version", "sessions_by_state", "sessions_created", "sessions_deleted",
 			"sessions_evicted", "learn", "interactions", "xq_cache", "artifact_store"},
-		"ArtifactStoreV1":     {"lookups", "indexes", "evictions", "entries", "bytes"},
+		"ArtifactStoreV1":     {"lookups", "indexes", "evictions", "entries", "bytes", "plans"},
 		"LearnMetricsV1":      {"started", "completed", "failed", "canceled", "latency_ms"},
 		"HistogramV1":         {"upper_bounds", "counts", "sum", "count"},
 		"CacheCounterV1":      {"hits", "misses", "hit_rate"},
-		"CacheStatsV1":        {"path", "simple", "value", "extent", "relay"},
+		"CacheStatsV1":        {"path", "simple", "value", "extent", "relay", "plan", "arena"},
 		"InteractionTotalsV1": {"mq", "ce", "cb", "ob"},
 		"BenchRecordV1":       {"name", "millis", "allocs_per_op", "bytes_per_op"},
 		"BenchReportV1":       {"schema_version", "suite", "runs", "total_millis"},
@@ -90,8 +90,8 @@ func TestResultV1Golden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := `{"schema_version":2,"scenario":"XMP-Q1","verified":true,` +
-		`"stats":{"schema_version":2,"dnd":2,"dnd_terms":3,` +
+	want := `{"schema_version":3,"scenario":"XMP-Q1","verified":true,` +
+		`"stats":{"schema_version":3,"dnd":2,"dnd_terms":3,` +
 		`"fragments":[{"var":"v","template_path":"x/y","mq":4,"ce":1,"cb":0,"cb_terms":0,"ob":0,` +
 		`"reduced_r1":7,"reduced_r2":0,"reduced_both":0,"reduced_total":7,` +
 		`"restarts":0,"context_switches":0,"path_states":0}],` +

@@ -63,13 +63,17 @@ type CacheCounterV1 struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
-// CacheStatsV1 mirrors xq.CacheStats on the wire.
+// CacheStatsV1 mirrors xq.CacheStats on the wire. Plan and Arena
+// (schema version 3) report the compiled plan/execute layer: plan
+// compilations vs reuses and executor arena reuse.
 type CacheStatsV1 struct {
 	Path   CacheCounterV1 `json:"path"`
 	Simple CacheCounterV1 `json:"simple"`
 	Value  CacheCounterV1 `json:"value"`
 	Extent CacheCounterV1 `json:"extent"`
 	Relay  CacheCounterV1 `json:"relay"`
+	Plan   CacheCounterV1 `json:"plan"`
+	Arena  CacheCounterV1 `json:"arena"`
 }
 
 // ArtifactStoreV1 mirrors artifacts.Stats on the wire: Lookups tallies
@@ -82,6 +86,9 @@ type ArtifactStoreV1 struct {
 	Evictions uint64         `json:"evictions"`
 	Entries   int            `json:"entries"`
 	Bytes     int64          `json:"bytes"`
+	// Plans (schema version 3) tallies bundle resolutions by
+	// compiled-plan reuse.
+	Plans CacheCounterV1 `json:"plans"`
 }
 
 // InteractionTotalsV1 sums the user-facing interaction counters.
@@ -103,6 +110,7 @@ func NewArtifactStoreV1(s artifacts.Stats) ArtifactStoreV1 {
 		Evictions: s.Evictions,
 		Entries:   s.Entries,
 		Bytes:     s.Bytes,
+		Plans:     conv(s.Plans),
 	}
 }
 
@@ -117,5 +125,7 @@ func NewCacheStatsV1(s xq.CacheStats) CacheStatsV1 {
 		Value:  conv(s.Value),
 		Extent: conv(s.Extent),
 		Relay:  conv(s.Relay),
+		Plan:   conv(s.Plan),
+		Arena:  conv(s.Arena),
 	}
 }

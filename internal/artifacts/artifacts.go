@@ -53,6 +53,11 @@ type Store struct {
 	indexes     sync.Map // *xmldoc.Document → *indexOnce, see IndexFor
 	indexHits   atomic.Uint64
 	indexMisses atomic.Uint64
+
+	// planHits/planMisses count bundle resolutions by whether the
+	// compiled truth plan was reused or built (see Store.Bundle).
+	planHits   atomic.Uint64
+	planMisses atomic.Uint64
 }
 
 // entry is one keyed slot. ready is closed when the build finishes;
@@ -166,6 +171,9 @@ type Stats struct {
 	Lookups xq.CacheCounter
 	// Indexes counts IndexFor calls the same way.
 	Indexes xq.CacheCounter
+	// Plans counts bundle resolutions by compiled-plan reuse: a miss
+	// compiled the truth tree's plan set, a hit adopted a published one.
+	Plans xq.CacheCounter
 	// Evictions counts entries dropped to enforce the byte budget.
 	Evictions uint64
 	// Entries and Bytes describe the published residents.
@@ -181,6 +189,7 @@ func (s *Store) Stats() Stats {
 	return Stats{
 		Lookups:   xq.CacheCounter{Hits: s.hits.Load(), Misses: s.misses.Load()},
 		Indexes:   xq.CacheCounter{Hits: s.indexHits.Load(), Misses: s.indexMisses.Load()},
+		Plans:     xq.CacheCounter{Hits: s.planHits.Load(), Misses: s.planMisses.Load()},
 		Evictions: s.evictions.Load(),
 		Entries:   entries,
 		Bytes:     bytes,

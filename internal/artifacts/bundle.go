@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/datagraph"
 	"repro/internal/xmldoc"
 	"repro/internal/xq"
 )
@@ -27,6 +28,18 @@ type Bundle struct {
 	Index   *xq.Index
 	Truth   *xq.Tree
 	Extents *xq.SharedExtents
+	// Plan is the compiled plan set for Truth over Doc — bundles are
+	// immutable and content-addressed, so every session sharing the
+	// bundle reuses one compilation (adopted via xq.Evaluator.AdoptPlan;
+	// sound for the same reason Extents sharing is: the bundle's tree is
+	// never mutated).
+	Plan *xq.TreePlan
+	// Graph is the default-config data graph over Doc — immutable after
+	// datagraph.New, so sessions running with the default graph bounds
+	// (the common case) adopt it via core.WithSharedGraph instead of
+	// rebuilding the value buckets per session. Engines running with
+	// non-default bounds ignore it and build their own.
+	Graph *datagraph.Graph
 	// Hash is the store key the bundle was published under.
 	Hash string
 }
@@ -58,6 +71,7 @@ func ScenarioKey(id string) string {
 // return the same document instance (as the embedded benchmark suites
 // do) share one index build across distinct keys.
 func (s *Store) Bundle(ctx context.Context, key string, doc func() (*xmldoc.Document, error), truth func() (*xq.Tree, error)) (*Bundle, error) {
+	compiled := false
 	v, err := s.Get(ctx, key, func(ctx context.Context) (any, int64, error) {
 		d, err := doc()
 		if err != nil {
@@ -67,17 +81,29 @@ func (s *Store) Bundle(ctx context.Context, key string, doc func() (*xmldoc.Docu
 		if err != nil {
 			return nil, 0, fmt.Errorf("parse truth query: %w", err)
 		}
+		ix := s.IndexFor(d)
+		plan := xq.NewTreePlan(ix, t)
+		compiled = true
 		b := &Bundle{
 			Doc:     d,
-			Index:   s.IndexFor(d),
+			Index:   ix,
 			Truth:   t,
 			Extents: xq.NewSharedExtents(),
+			Plan:    plan,
+			Graph:   datagraph.New(d, datagraph.DefaultConfig()),
 			Hash:    key,
 		}
-		return b, approxBundleBytes(d), nil
+		return b, approxBundleBytes(d) + int64(plan.ApproxBytes()), nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Counted like IndexFor: a resolution that compiled is a miss, one
+	// that reused the published bundle's plan is a hit.
+	if compiled {
+		s.planMisses.Add(1)
+	} else {
+		s.planHits.Add(1)
 	}
 	b, ok := v.(*Bundle)
 	if !ok {

@@ -16,10 +16,12 @@ import (
 //
 // An Engine is NOT goroutine-safe: the path index, the evaluator's DFA
 // cache, and the realized-path DFA are mutated during Learn. It shares
-// no mutable state with other Engine instances, though — xmldoc
-// documents are read-only after parsing, and every cache here is
-// per-instance — so independent Engines (one per Session) may run
-// concurrently over the same or different documents.
+// no unsynchronized mutable state with other Engine instances, though —
+// xmldoc documents are read-only after parsing, every cache here is
+// per-instance, and the shared artifacts an engine may adopt (index,
+// data graph, plan) are either immutable or internally synchronized —
+// so independent Engines (one per Session) may run concurrently over
+// the same or different documents.
 type Engine struct {
 	Source  *xmldoc.Document
 	Teacher Teacher
@@ -53,11 +55,18 @@ func newEngine(source *xmldoc.Document, teacher Teacher, opts Options) *Engine {
 		Source:     source,
 		Teacher:    teacher,
 		Opts:       opts,
-		graph:      datagraph.New(source, opts.Graph),
 		eval:       xq.NewEvaluator(source),
 		alphabet:   source.Alphabet(),
 		pathIndex:  map[string][]*xmldoc.Node{},
 		pathLabels: map[string][]string{},
+	}
+	if g := opts.SharedGraph; g != nil && g.Doc == source && g.Cfg == opts.Graph {
+		// Adopt the shared, immutable data graph: same document, same
+		// enumeration bounds, so the value buckets are identical to what
+		// datagraph.New would rebuild here.
+		e.graph = g
+	} else {
+		e.graph = datagraph.New(source, opts.Graph)
 	}
 	if e.Opts.MaxEQ <= 0 {
 		e.Opts.MaxEQ = 200
@@ -599,11 +608,17 @@ func (e *Engine) minimizeConds(ctx context.Context, tree *xq.Tree, f *fragment, 
 // the user actually confirmed, and it renders as a readable expression.
 func (e *Engine) trimDFA(d *pathre.DFA) *pathre.DFA {
 	if e.realized == nil {
-		words := make([][]string, 0, len(e.pathKeys))
-		for _, k := range e.pathKeys {
-			words = append(words, e.pathLabels[k])
+		if ix := e.Opts.SharedIndex; ix != nil && ix.Doc() == e.Source {
+			// The engine's path table came from this index's walk, so the
+			// index's cached build is word-for-word the same construction.
+			e.realized = ix.RealizedPathsDFA()
+		} else {
+			words := make([][]string, 0, len(e.pathKeys))
+			for _, k := range e.pathKeys {
+				words = append(words, e.pathLabels[k])
+			}
+			e.realized = pathre.FromStrings(words, e.alphabet)
 		}
-		e.realized = pathre.FromStrings(words, e.alphabet)
 	}
 	return d.Intersect(e.realized)
 }

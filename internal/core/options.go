@@ -98,6 +98,16 @@ func WithSharedIndex(ix *xq.Index) Option {
 	return func(o *Options) { o.SharedIndex = ix }
 }
 
+// WithSharedGraph hands the session a pre-built, immutable data graph
+// over its source document (typically resolved through an
+// internal/artifacts store). The engine adopts it — skipping its own
+// document walk and value-bucket build — only when the graph's document
+// is the session's source and its config equals the session's Graph
+// config; otherwise it is ignored and the engine builds its own.
+func WithSharedGraph(g *datagraph.Graph) Option {
+	return func(o *Options) { o.SharedGraph = g }
+}
+
 // WithKVLearner swaps Angluin's L* for the Kearns-Vazirani
 // classification-tree learner in the P-Learner when on is true (learner
 // ablation: fewer membership queries, more equivalence queries).

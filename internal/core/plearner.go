@@ -169,10 +169,17 @@ func (p *pLearner) condsHold(n *xmldoc.Node) bool {
 // session context is checked before every query, so a cancellation
 // aborts the learner at the next MQ boundary.
 func (p *pLearner) Member(w []string) (bool, error) {
+	return p.memberKeyed(w, pathKey(w))
+}
+
+// memberKeyed is Member with the word's pathKey pre-joined — the
+// angluin.KeyedTeacher fast path. The learner interns the key anyway,
+// so taking it here removes one join per membership query (and the
+// cache insert below reuses the same string).
+func (p *pLearner) memberKeyed(w []string, k string) (bool, error) {
 	if err := ctxErr(p.ctx); err != nil {
 		return false, err
 	}
-	k := pathKey(w)
 	if a, ok := p.cache[k]; ok {
 		return a.ans, nil
 	}
@@ -520,10 +527,15 @@ func (p *pLearner) run() (*pathre.DFA, error) {
 	}
 }
 
-// teacherAdapter exposes the pLearner as an angluin.Teacher.
+// teacherAdapter exposes the pLearner as an angluin.Teacher (and its
+// KeyedTeacher extension: pathKey and the learner's word key are the
+// same "\x00" join, so the learner-materialized key is used verbatim).
 type teacherAdapter struct{ p *pLearner }
 
 func (t teacherAdapter) Member(w []string) (bool, error) { return t.p.Member(w) }
+func (t teacherAdapter) MemberKeyed(w []string, k string) (bool, error) {
+	return t.p.memberKeyed(w, k)
+}
 func (t teacherAdapter) Equivalent(h *pathre.DFA) ([]string, bool, error) {
 	return t.p.Equivalent(h)
 }

@@ -147,6 +147,13 @@ type Options struct {
 	// sessions (see internal/artifacts); an index over a different
 	// document instance is ignored.
 	SharedIndex *xq.Index
+	// SharedGraph, when set, built over the session's source document,
+	// and built with the session's Graph config, lets the engine adopt a
+	// pre-built data graph instead of walking the document itself. A
+	// Graph is immutable after datagraph.New and may back any number of
+	// concurrent sessions; a graph over a different document or config is
+	// ignored.
+	SharedGraph *datagraph.Graph
 }
 
 // DefaultOptions returns the configuration used in the paper's

@@ -181,11 +181,12 @@ func PrepareIn(ctx context.Context, store *artifacts.Store, s *Scenario, pol tea
 // silently learn the wrong task.
 func PrepareBundle(s *Scenario, b *artifacts.Bundle, pol teacher.Policy, opts ...core.Option) *Prepared {
 	sim := teacher.New(b.Doc, b.Truth)
-	sim.Accelerate(b.Index, b.Extents)
+	sim.Accelerate(b.Index, b.Extents, b.Plan)
 	sim.Pol = pol
 	sim.Boxes = s.Boxes
 	sim.Orders = s.Orders
-	opts = append(append([]core.Option(nil), opts...), core.WithSharedIndex(b.Index))
+	opts = append(append([]core.Option(nil), opts...),
+		core.WithSharedIndex(b.Index), core.WithSharedGraph(b.Graph))
 	return &Prepared{
 		Scenario: s,
 		Doc:      b.Doc,

@@ -58,22 +58,25 @@ func New(doc *xmldoc.Document, truth *xq.Tree) *Sim {
 }
 
 // Accelerate rebinds the teacher's evaluator to a shared document
-// index and attaches the cross-session memo of pinned truth extents
-// (both typically resolved through an internal/artifacts bundle). Call
-// it before learning starts. The index is adopted only when it was
-// built over this teacher's document; se may be shared by every teacher
-// evaluating the same Truth tree instance — the memo is keyed by
-// query-node identity, so teachers holding distinct parses of the same
-// query text must not share one. Interaction counting is unaffected:
-// questions are counted before extents are computed, so shared extents
-// change speed, never the measured dialogue.
-func (s *Sim) Accelerate(ix *xq.Index, se *xq.SharedExtents) {
+// index, attaches the cross-session memo of pinned truth extents, and
+// adopts the precompiled plan set for the Truth tree (all typically
+// resolved through an internal/artifacts bundle). Call it before
+// learning starts. The index and plan set are adopted only when they
+// were built over this teacher's document; se and plan may be shared by
+// every teacher evaluating the same Truth tree instance — both are
+// keyed by query-node identity, so teachers holding distinct parses of
+// the same query text must not share them (a foreign tree's plans are
+// simply never matched). Interaction counting is unaffected: questions
+// are counted before extents are computed, so shared artifacts change
+// speed, never the measured dialogue.
+func (s *Sim) Accelerate(ix *xq.Index, se *xq.SharedExtents, plan *xq.TreePlan) {
 	if ix != nil && ix.Doc() == s.Doc {
 		s.ev = xq.NewEvaluatorWithIndex(ix)
 	}
 	if se != nil {
 		s.ev.ShareExtents(se)
 	}
+	s.ev.AdoptPlan(plan)
 }
 
 // CacheStats reports the hit/miss counters of the teacher's own

@@ -1,0 +1,177 @@
+package xmldoc
+
+// Columns is a structure-of-arrays view of a document: parallel slices
+// indexed by node ID holding the node kind, interned label symbol,
+// parent ID, intrusive child lists (elements and attributes chained
+// separately, both in document order), and text-value spans into two
+// shared string buffers. It exists for the compiled extent executor in
+// internal/xq, which walks documents by integer ID instead of chasing
+// *Node pointers, but it is generally useful to any reader that wants
+// cache-friendly traversal.
+//
+// A Columns is immutable once built (documents themselves are immutable
+// after parsing) and safe for concurrent use. Callers must treat the
+// exported slices as read-only; IDs outside [0, Len()) are the
+// caller's responsibility except where a method documents otherwise.
+type Columns struct {
+	// Kind[id] is the uint8 of the node's Kind.
+	Kind []uint8
+	// Sym[id] is the node's label symbol (NoSym for text nodes and the
+	// document node).
+	Sym []int32
+	// Parent[id] is the parent's node ID, -1 for the document node.
+	Parent []int32
+	// FirstElem[id]/NextElem[id] chain the element children of id in
+	// document order; -1 terminates. Attributes chain separately via
+	// FirstAttr/NextAttr. Text children are not chained: their data is
+	// reachable through the parent's text span.
+	FirstElem, NextElem []int32
+	FirstAttr, NextAttr []int32
+
+	// textStart/textEnd span textBuf for document, element, and text
+	// nodes, and attrBuf for attribute nodes. Because the build walk
+	// visits text nodes in document order, an element's span is exactly
+	// the concatenation of its descendant text — the same string
+	// Node.Text returns, with zero assembly at read time.
+	textStart, textEnd []int32
+	textBuf, attrBuf   string
+}
+
+// Len returns the number of nodes (equal to the document's NumNodes at
+// build time).
+func (c *Columns) Len() int { return len(c.Kind) }
+
+// Text returns the node's text value by ID: for elements and the
+// document node the concatenated descendant text, for attribute and
+// text nodes their value — identical to Node.Text on the corresponding
+// node. Out-of-range IDs return "".
+func (c *Columns) Text(id int) string {
+	if id < 0 || id >= len(c.Kind) {
+		return ""
+	}
+	if Kind(c.Kind[id]) == AttributeNode {
+		return c.attrBuf[c.textStart[id]:c.textEnd[id]]
+	}
+	return c.textBuf[c.textStart[id]:c.textEnd[id]]
+}
+
+// ColumnsBuilder assembles a Columns during a single document-order
+// walk. The caller drives it with one Enter(n) before descending into
+// n's attributes and children (attributes first, matching the document
+// walk everywhere else in this codebase) and one Leave(n) after, then
+// seals the result with Finish. internal/xq's index build reuses its
+// existing walk this way instead of paying a second traversal.
+type ColumnsBuilder struct {
+	c        *Columns
+	lastElem []int32
+	lastAttr []int32
+	text     []byte
+	attr     []byte
+}
+
+// NewColumnsBuilder sizes a builder for d's current node count.
+func NewColumnsBuilder(d *Document) *ColumnsBuilder {
+	n := d.NumNodes()
+	c := &Columns{
+		Kind:      make([]uint8, n),
+		Sym:       make([]int32, n),
+		Parent:    make([]int32, n),
+		FirstElem: make([]int32, n),
+		NextElem:  make([]int32, n),
+		FirstAttr: make([]int32, n),
+		NextAttr:  make([]int32, n),
+		textStart: make([]int32, n),
+		textEnd:   make([]int32, n),
+	}
+	b := &ColumnsBuilder{
+		c:        c,
+		lastElem: make([]int32, n),
+		lastAttr: make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		c.FirstElem[i] = -1
+		c.NextElem[i] = -1
+		c.FirstAttr[i] = -1
+		c.NextAttr[i] = -1
+		b.lastElem[i] = -1
+		b.lastAttr[i] = -1
+	}
+	return b
+}
+
+// Enter records n's columns and links it into its parent's child chain.
+// Call in document order, before walking n's attributes and children.
+func (b *ColumnsBuilder) Enter(n *Node) {
+	id := n.ID
+	c := b.c
+	c.Kind[id] = uint8(n.Kind)
+	c.Sym[id] = n.LabelSym()
+	if n.Parent != nil {
+		c.Parent[id] = int32(n.Parent.ID)
+	} else {
+		c.Parent[id] = -1
+	}
+	switch n.Kind {
+	case ElementNode:
+		link(c.FirstElem, c.NextElem, b.lastElem, n)
+		c.textStart[id] = int32(len(b.text))
+	case AttributeNode:
+		link(c.FirstAttr, c.NextAttr, b.lastAttr, n)
+		c.textStart[id] = int32(len(b.attr))
+		b.attr = append(b.attr, n.Value...)
+		c.textEnd[id] = int32(len(b.attr))
+	case TextNode:
+		c.textStart[id] = int32(len(b.text))
+		b.text = append(b.text, n.Value...)
+		c.textEnd[id] = int32(len(b.text))
+	case DocumentNode:
+		c.textStart[id] = int32(len(b.text))
+	}
+}
+
+// Leave seals an element's (or the document node's) text span. Call
+// after walking n's subtree.
+func (b *ColumnsBuilder) Leave(n *Node) {
+	if n.Kind == ElementNode || n.Kind == DocumentNode {
+		b.c.textEnd[n.ID] = int32(len(b.text))
+	}
+}
+
+// link appends n to its parent's chain (first/next with a tail cursor).
+func link(first, next, last []int32, n *Node) {
+	pid := n.Parent.ID
+	id := int32(n.ID)
+	if first[pid] < 0 {
+		first[pid] = id
+	} else {
+		next[last[pid]] = id
+	}
+	last[pid] = id
+}
+
+// Finish seals the text buffers and returns the built Columns. The
+// builder must not be reused afterwards.
+func (b *ColumnsBuilder) Finish() *Columns {
+	b.c.textBuf = string(b.text)
+	b.c.attrBuf = string(b.attr)
+	return b.c
+}
+
+// BuildColumns builds the columnar view with its own walk, for callers
+// that are not already traversing the document.
+func BuildColumns(d *Document) *Columns {
+	b := NewColumnsBuilder(d)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		b.Enter(n)
+		for _, a := range n.Attrs {
+			walk(a)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+		b.Leave(n)
+	}
+	walk(d.DocNode())
+	return b.Finish()
+}

@@ -1,0 +1,73 @@
+package xmldoc
+
+import "testing"
+
+// TestColumnsMatchesPointerView checks the SoA view agrees with the
+// pointer tree on every node: kind, symbol, parent, child chains, and
+// text values.
+func TestColumnsMatchesPointerView(t *testing.T) {
+	doc := MustParse(`<site a="1" b="two"><regions>  <europe><item id="i7">mixed <name>n1</name> text <price>9.5</price></item><item/></europe></regions><tail>end</tail></site>`)
+	c := BuildColumns(doc)
+	if c.Len() != doc.NumNodes() {
+		t.Fatalf("Len = %d, want %d", c.Len(), doc.NumNodes())
+	}
+	for id := 0; id < doc.NumNodes(); id++ {
+		n := doc.NodeByID(id)
+		if Kind(c.Kind[id]) != n.Kind {
+			t.Errorf("node %d: Kind = %v, want %v", id, Kind(c.Kind[id]), n.Kind)
+		}
+		if c.Sym[id] != n.LabelSym() {
+			t.Errorf("node %d: Sym = %d, want %d", id, c.Sym[id], n.LabelSym())
+		}
+		wantParent := int32(-1)
+		if n.Parent != nil {
+			wantParent = int32(n.Parent.ID)
+		}
+		if c.Parent[id] != wantParent {
+			t.Errorf("node %d: Parent = %d, want %d", id, c.Parent[id], wantParent)
+		}
+		if got, want := c.Text(id), n.Text(); got != want {
+			t.Errorf("node %d (%v): Text = %q, want %q", id, n.Kind, got, want)
+		}
+		// Child chains must list exactly the element children and the
+		// attributes, in document order.
+		var elems, attrs []int32
+		for e := c.FirstElem[id]; e >= 0; e = c.NextElem[e] {
+			elems = append(elems, e)
+		}
+		for a := c.FirstAttr[id]; a >= 0; a = c.NextAttr[a] {
+			attrs = append(attrs, a)
+		}
+		var wantElems []int32
+		for _, ch := range n.Children {
+			if ch.Kind == ElementNode {
+				wantElems = append(wantElems, int32(ch.ID))
+			}
+		}
+		var wantAttrs []int32
+		for _, a := range n.Attrs {
+			wantAttrs = append(wantAttrs, int32(a.ID))
+		}
+		if !sameInt32s(elems, wantElems) {
+			t.Errorf("node %d: elem chain = %v, want %v", id, elems, wantElems)
+		}
+		if !sameInt32s(attrs, wantAttrs) {
+			t.Errorf("node %d: attr chain = %v, want %v", id, attrs, wantAttrs)
+		}
+	}
+	if c.Text(-1) != "" || c.Text(doc.NumNodes()) != "" {
+		t.Error("out-of-range Text must return \"\"")
+	}
+}
+
+func sameInt32s(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -128,6 +128,11 @@ func (e *Evaluator) SetAcceleration(on bool) {
 		e.relayIdx = nil
 		e.extents = nil
 		e.extentCount = 0
+		// Compiled plans are part of the acceleration layer too; the
+		// shared plan set stays attached (it is a cross-session artifact,
+		// like the shared extent store) but is unreachable while the
+		// executor is gated off.
+		e.plans = nil
 	}
 }
 
@@ -143,6 +148,13 @@ func (e *Evaluator) InvalidateExtents() {
 	e.extents = nil
 	e.extentCount = 0
 	e.shared = nil
+	// Compiled plans resolve predicates, binding paths, and join
+	// prefilters at compile time, so they are exactly as stale as the
+	// extents they produced: drop the local cache and detach the shared
+	// set under the same immutable-after-publish rule as the extent
+	// store. Recompiles are cheap — the DFA and path caches survive.
+	e.plans = nil
+	e.sharedPlan = nil
 }
 
 // ShareExtents attaches a cross-evaluator extent store. Only evaluators
@@ -270,7 +282,14 @@ func (e *Evaluator) nodeValue(n *xmldoc.Node) Value {
 		return e.valueCache[n.ID]
 	}
 	e.stats.Value.Misses++
-	v := NodeValue(n)
+	var v Value
+	if e.idx != nil && e.idx.cols != nil && n.ID < e.idx.cols.Len() {
+		// Columnar fast path: the span table already holds the node's
+		// concatenated text, so atomization skips Text()'s assembly walk.
+		v = nodeValueOf(n, e.idx.cols.Text(n.ID))
+	} else {
+		v = NodeValue(n)
+	}
 	e.valueCache[n.ID] = v
 	e.valueSet[n.ID] = true
 	return v

@@ -52,6 +52,44 @@ func TestExtentHotPathAllocs(t *testing.T) {
 	}
 }
 
+// TestCompiledExecAllocs pins the compiled executor's steady state: a
+// warm plan run must complete entirely inside the arena — candidates
+// stream from the path caches, operand values from the dense value
+// cache, bindings and output through the reused scratch — with zero
+// heap allocations. This is the budget the ablation table's >=2x
+// allocation reduction rests on; any object born here multiplies by
+// every membership query of every dialogue.
+func TestCompiledExecAllocs(t *testing.T) {
+	doc, _ := allocDoc()
+	tree := MustParseQuery(`for $i in /site/regions/europe/item where data($i/payment) = "Cash" return <r>$i</r>`)
+	n := tree.VarNode("i")
+	if n == nil {
+		t.Fatal("no var node")
+	}
+	ev := NewEvaluator(doc)
+	ctx := context.Background()
+	// First Extent compiles the plan and warms the path/value caches and
+	// the arena; afterwards the raw executor must be allocation-free.
+	if _, err := ev.Extent(ctx, tree, n, nil); err != nil {
+		t.Fatal(err)
+	}
+	p := ev.planFor(n)
+	if p == nil {
+		t.Fatal("no compiled plan")
+	}
+	if _, err := ev.execExtent(ctx, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := ev.execExtent(ctx, p, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm compiled execExtent allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
 // TestSharedExtentHitAllocs pins the cross-session variant: a hit in a
 // published SharedExtents store must stay allocation-free too, since
 // every concurrent server session funnels through it.

@@ -37,6 +37,13 @@ type CacheStats struct {
 	Extent CacheCounter
 	// Relay counts equality-join relay-index lookups.
 	Relay CacheCounter
+	// Plan counts compiled-plan lookups: a hit served an extent from an
+	// already compiled program (shared or local), a miss compiled one
+	// (plan.go).
+	Plan CacheCounter
+	// Arena counts executor runs by arena reuse: a hit ran entirely in
+	// the existing scratch buffers, a miss had to grow one (exec.go).
+	Arena CacheCounter
 }
 
 // Add returns the element-wise sum of two stat snapshots, for
@@ -48,6 +55,8 @@ func (s CacheStats) Add(o CacheStats) CacheStats {
 		Value:  s.Value.add(o.Value),
 		Extent: s.Extent.add(o.Extent),
 		Relay:  s.Relay.add(o.Relay),
+		Plan:   s.Plan.add(o.Plan),
+		Arena:  s.Arena.add(o.Arena),
 	}
 }
 

@@ -32,11 +32,36 @@ type Value struct {
 // NodeValue converts a node to its atomized value (data() semantics:
 // the concatenated text; numeric when it parses as a number).
 func NodeValue(n *xmldoc.Node) Value {
-	s := strings.TrimSpace(n.Text())
-	if f, err := strconv.ParseFloat(s, 64); err == nil {
-		return Value{Node: n, Str: s, Num: f, IsNum: true}
+	return nodeValueOf(n, n.Text())
+}
+
+// nodeValueOf atomizes a node given its raw text — shared between
+// NodeValue and the columnar fast path, which reads the text from the
+// index's span table instead of assembling it.
+func nodeValueOf(n *xmldoc.Node, text string) Value {
+	s := strings.TrimSpace(text)
+	if numericPrefix(s) {
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return Value{Node: n, Str: s, Num: f, IsNum: true}
+		}
 	}
 	return Value{Node: n, Str: s}
+}
+
+// numericPrefix reports whether s could possibly parse as a float —
+// ParseFloat accepts only strings starting with a digit, sign, point,
+// or an inf/nan spelling. Filtering first keeps ordinary text values
+// from paying ParseFloat's allocated syntax error on every atomization.
+func numericPrefix(s string) bool {
+	if s == "" {
+		return false
+	}
+	switch s[0] {
+	case '0', '1', '2', '3', '4', '5', '6', '7', '8', '9', '+', '-', '.',
+		'i', 'I', 'n', 'N': // inf/nan spellings
+		return true
+	}
+	return false
 }
 
 // NumValue returns a numeric value.
@@ -120,6 +145,9 @@ type Evaluator struct {
 	Doc      *xmldoc.Document
 	alphabet []string
 	dfas     map[string]*pathre.DFA
+	// dfaSyms caches, per compiled DFA, the document-symbol →
+	// DFA-alphabet-index row the columnar walk steps with (exec.go).
+	dfaSyms map[*pathre.DFA][]int32
 
 	// Acceleration layer (accel.go). accel is on by default; the caches
 	// are lazy. extents is the one cache keyed on mutable query state
@@ -144,6 +172,15 @@ type Evaluator struct {
 	lbuf, rbuf []Value
 	relayBuf   []Value
 	pinScratch [1]*xmldoc.Node
+	// Plan/execute split (plan.go, exec.go). compile is on by default;
+	// plans is the evaluator-local compiled-plan cache, sharedPlan an
+	// optional cross-evaluator plan set (AdoptPlan), and exe the
+	// executor's arena scratch. Plans bake in predicate and path state,
+	// so they invalidate with the extent memo.
+	compile    bool
+	plans      map[*Node]*nodePlan
+	sharedPlan *TreePlan
+	exe        execArena
 	// stats counts cache hits/misses (cachestats.go); snapshot with
 	// CacheStats.
 	stats CacheStats
@@ -153,7 +190,7 @@ type Evaluator struct {
 // document's label set (learning and evaluation are relative to the
 // instance, as XQI is in the paper).
 func NewEvaluator(doc *xmldoc.Document) *Evaluator {
-	return &Evaluator{Doc: doc, alphabet: doc.Alphabet(), dfas: map[string]*pathre.DFA{}, accel: true}
+	return &Evaluator{Doc: doc, alphabet: doc.Alphabet(), dfas: map[string]*pathre.DFA{}, accel: true, compile: true}
 }
 
 // NewEvaluatorWithIndex builds an evaluator over the document of a
@@ -163,7 +200,7 @@ func NewEvaluator(doc *xmldoc.Document) *Evaluator {
 // number of evaluators — concurrent ones included — may adopt one
 // index (the artifact store's sharing model).
 func NewEvaluatorWithIndex(ix *Index) *Evaluator {
-	return &Evaluator{Doc: ix.Doc(), alphabet: ix.Alphabet(), dfas: map[string]*pathre.DFA{}, accel: true, idx: ix}
+	return &Evaluator{Doc: ix.Doc(), alphabet: ix.Alphabet(), dfas: map[string]*pathre.DFA{}, accel: true, compile: true, idx: ix}
 }
 
 func (e *Evaluator) dfa(p pathre.Expr) *pathre.DFA {
@@ -171,7 +208,16 @@ func (e *Evaluator) dfa(p pathre.Expr) *pathre.DFA {
 	if d, ok := e.dfas[key]; ok {
 		return d
 	}
-	d := pathre.Compile(p, e.alphabet)
+	var d *pathre.DFA
+	if e.idx != nil {
+		// Share compilations through the index: every evaluator adopting
+		// one index (sessions, teachers, shared plans) compiles each
+		// expression once per document instead of once per evaluator. The
+		// index alphabet is the same document label set as e.alphabet.
+		d = e.idx.dfaFor(key, p)
+	} else {
+		d = pathre.Compile(p, e.alphabet)
+	}
 	e.dfas[key] = d
 	return d
 }
@@ -197,7 +243,7 @@ func (e *Evaluator) PathNodes(start *xmldoc.Node, p pathre.Expr) []*xmldoc.Node 
 	if start == e.Doc.DocNode() {
 		out = e.pathNodesIndexed(e.dfa(p))
 	} else {
-		out = e.pathNodesWalk(start, p)
+		out = e.pathNodesFrom(start, e.dfa(p))
 	}
 	if len(e.pathCache) >= pathCacheMax {
 		e.pathCache = nil
@@ -212,7 +258,12 @@ func (e *Evaluator) PathNodes(start *xmldoc.Node, p pathre.Expr) []*xmldoc.Node 
 // pathNodesWalk is the naive enumeration: one DFA walk over the whole
 // subtree under start.
 func (e *Evaluator) pathNodesWalk(start *xmldoc.Node, p pathre.Expr) []*xmldoc.Node {
-	d := e.dfa(p)
+	return e.pathNodesWalkDFA(start, e.dfa(p))
+}
+
+// pathNodesWalkDFA is the pointer-tree DFA walk (the columnar variant
+// lives in exec.go; see pathNodesFrom).
+func (e *Evaluator) pathNodesWalkDFA(start *xmldoc.Node, d *pathre.DFA) []*xmldoc.Node {
 	var out []*xmldoc.Node
 	var walk func(n *xmldoc.Node, state int)
 	walk = func(n *xmldoc.Node, state int) {
@@ -557,64 +608,116 @@ func (e *Evaluator) Extent(ctx context.Context, t *Tree, n *Node, pinned Env) ([
 			}
 		}
 	}
-	chain := n.BindingChain()
-	seen := e.beginExtentSeen()
+	// Compiled path: lower the binding chain once (plan.go), then run
+	// the arena executor (exec.go). The result aliases the arena, so
+	// the memo/shared/caller copies below are the only allocations.
 	var out []*xmldoc.Node
-	var rec func(i int, sc *scope) error
-	rec = func(i int, sc *scope) error {
-		if err := ctxErr(ctx); err != nil {
-			return err
-		}
-		if i == len(chain) {
-			if b := sc.lookup(n.Var); seen.mark(b.ID) {
-				out = append(out, b)
+	computed := false
+	if e.accel && e.compile {
+		if p := e.planFor(n); p != nil {
+			res, err := e.execExtent(ctx, p, pinned)
+			if err != nil {
+				putFP(fpBuf, fp)
+				return nil, err
 			}
-			return nil
+			out = res
+			computed = true
 		}
-		node := chain[i]
-		bp := getScratch()
-		bs := e.bindingsInto((*bp)[:0], node, sc, pinned)
-		for _, b := range bs {
-			if err := rec(i+1, sc.with(node.Var, b)); err != nil {
-				*bp = bs[:0]
-				putScratch(bp)
+	}
+	if !computed {
+		chain := n.BindingChain()
+		seen := e.beginExtentSeen()
+		var rec func(i int, sc *scope) error
+		rec = func(i int, sc *scope) error {
+			if err := ctxErr(ctx); err != nil {
 				return err
 			}
+			if i == len(chain) {
+				if b := sc.lookup(n.Var); seen.mark(b.ID) {
+					out = append(out, b)
+				}
+				return nil
+			}
+			node := chain[i]
+			bp := getScratch()
+			bs := e.bindingsInto((*bp)[:0], node, sc, pinned)
+			for _, b := range bs {
+				if err := rec(i+1, sc.with(node.Var, b)); err != nil {
+					*bp = bs[:0]
+					putScratch(bp)
+					return err
+				}
+			}
+			*bp = bs[:0]
+			putScratch(bp)
+			return nil
 		}
-		*bp = bs[:0]
-		putScratch(bp)
-		return nil
-	}
-	if err := rec(0, nil); err != nil {
-		if fpBuf != nil {
-			putFP(fpBuf, fp)
+		if err := rec(0, nil); err != nil {
+			if fpBuf != nil {
+				putFP(fpBuf, fp)
+			}
+			return nil, err
 		}
-		return nil, err
 	}
 	sortNodesByID(out)
 	if e.accel {
-		// Store a private copy: the caller owns the returned slice. The
-		// same immutable copy is published to the shared store, if one
-		// is attached.
+		// Store a private copy: the caller owns the returned slice (and
+		// the compiled path's slice is arena scratch). The same immutable
+		// copy is published to the shared store, if one is attached.
 		stored := append([]*xmldoc.Node(nil), out...)
 		e.storeExtent(n, fp, stored)
 		if e.shared != nil {
 			e.shared.put(n, fp, stored)
 		}
 		putFP(fpBuf, fp)
+		if computed {
+			return append([]*xmldoc.Node(nil), stored...), nil
+		}
 	}
 	return out, nil
 }
 
 // sortNodesByID orders nodes by ID, skipping the sort when the slice is
 // already ordered (binding enumeration usually emits document order,
-// and IDs are assigned in creation order).
+// and IDs are assigned in creation order). The fallback is a hand-run
+// heapsort rather than sort.Slice: the closure the latter allocates is
+// the only thing between the compiled executor and a zero-allocation
+// steady state, and extents are ID-deduplicated sets, so heapsort's
+// instability cannot reorder equal keys (there are none).
 func sortNodesByID(out []*xmldoc.Node) {
 	for i := 1; i < len(out); i++ {
 		if out[i-1].ID > out[i].ID {
-			sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+			heapsortNodesByID(out)
 			return
 		}
+	}
+}
+
+func heapsortNodesByID(out []*xmldoc.Node) {
+	n := len(out)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftNodesByID(out, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		out[0], out[i] = out[i], out[0]
+		siftNodesByID(out, 0, i)
+	}
+}
+
+func siftNodesByID(out []*xmldoc.Node, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && out[child+1].ID > out[child].ID {
+			child++
+		}
+		if out[root].ID >= out[child].ID {
+			return
+		}
+		out[root], out[child] = out[child], out[root]
+		root = child
 	}
 }
 

@@ -1,6 +1,11 @@
 package xq
 
-import "testing"
+import (
+	"context"
+	"testing"
+
+	"repro/internal/xmldoc"
+)
 
 // FuzzParseQuery: the query parser never panics, and accepted queries
 // render to text that reparses.
@@ -22,6 +27,78 @@ func FuzzParseQuery(f *testing.F) {
 		rendered := tree.XQueryString()
 		if _, err := ParseQuery(rendered); err != nil {
 			t.Fatalf("accepted %q but rendering does not reparse: %v\n%s", src, err, rendered)
+		}
+	})
+}
+
+// fuzzDoc is the fixed document FuzzCompiledExtent evaluates against:
+// small enough to bound per-input work, varied enough (attributes,
+// text, repeated labels, join keys) to reach paths, predicates, and
+// relay joins.
+var fuzzDoc = xmldoc.MustParse(`<r><items>` +
+	`<item key="k1"><price>10</price><tag>t</tag></item>` +
+	`<item key="k2"><price>20</price><tag>u</tag></item>` +
+	`<item key="k3"><price>30</price></item>` +
+	`</items><ppl><p><pid>k1</pid></p><p><pid>k3</pid></p></ppl></r>`)
+
+// FuzzCompiledExtent: every query the parser accepts must produce
+// node-for-node identical extents under the naive interpreter and the
+// compiled plan/execute path, for every bound variable, unpinned and
+// pinned — the differential oracle for the plan compiler and arena
+// executor.
+func FuzzCompiledExtent(f *testing.F) {
+	for _, seed := range []string{
+		`for $i in /r/items/item return <o>$i</o>`,
+		`for $i in /r/items/item where data($i/price) > 15 return <o>$i</o>`,
+		`for $i in /r/items/item where data($i/@key) = "k2" return <o>$i</o>`,
+		`for $i in /r/items/item where some $w in document()/r/ppl/p satisfies (data($w/pid) = data($i/@key)) return <o>$i</o>`,
+		`for $i in /r/items return <o>{for $j in $i/item where not(empty(data($j/tag))) return $j}</o>`,
+		`for $i in /r//price where data($i) * 0.5 >= 10 return <o>$i</o>`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tree, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		// Bound the nested-loop depth so the naive oracle stays cheap.
+		if len(tree.Nodes()) > 8 {
+			return
+		}
+		naive := NewEvaluator(fuzzDoc)
+		naive.SetAcceleration(false)
+		comp := NewEvaluator(fuzzDoc)
+		ctx := context.Background()
+		for _, n := range tree.Nodes() {
+			if n.Var == "" {
+				continue
+			}
+			want, werr := naive.Extent(ctx, tree, n, nil)
+			got, gerr := comp.Extent(ctx, tree, n, nil)
+			if (werr != nil) != (gerr != nil) {
+				t.Fatalf("extent($%s) of %q: naive err=%v, compiled err=%v", n.Var, src, werr, gerr)
+			}
+			if werr != nil {
+				continue
+			}
+			if !nodesEqual(want, got) {
+				t.Fatalf("extent($%s) of %q: compiled %d nodes != naive %d", n.Var, src, len(got), len(want))
+			}
+			pins := []Env{{n.Var: fuzzDoc.DocNode()}}
+			if len(want) > 0 {
+				pins = append(pins, Env{n.Var: want[0]})
+			}
+			for _, pin := range pins {
+				want, werr := naive.Extent(ctx, tree, n, pin)
+				got, gerr := comp.Extent(ctx, tree, n, pin)
+				if werr != nil || gerr != nil {
+					t.Fatalf("pinned extent($%s) of %q: naive err=%v, compiled err=%v", n.Var, src, werr, gerr)
+				}
+				if !nodesEqual(want, got) {
+					t.Fatalf("pinned extent($%s) of %q: compiled %d nodes != naive %d", n.Var, src, len(got), len(want))
+				}
+			}
 		}
 	})
 }

@@ -1,6 +1,11 @@
 package xq
 
 import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/pathre"
 	"repro/internal/xmldoc"
 )
 
@@ -9,9 +14,12 @@ import (
 // tests via pre/post-order intervals, and the distinct-root-path table
 // that turns document-rooted path evaluation from a full tree walk into
 // a handful of DFA runs. An Index is built once per document, depends
-// only on the (immutable) document, and is immutable after NewIndex
-// returns; it holds no query state and is therefore safe to share
-// across evaluators and goroutines (the artifact store relies on this).
+// only on the (immutable) document, and is logically immutable after
+// NewIndex returns; it holds no query state and is therefore safe to
+// share across evaluators and goroutines (the artifact store relies on
+// this). The only interior mutability is the mutex-guarded DFA cache
+// below, which memoizes pure functions of (expression, document
+// alphabet) and never changes an observable result.
 type Index struct {
 	doc *xmldoc.Document
 	// pre/post are pre-/post-order visit clocks indexed by node ID.
@@ -32,6 +40,57 @@ type Index struct {
 	// design.
 	paths      []rootPath
 	pathLookup map[pathEdge]int32
+	// cols is the structure-of-arrays document view the compiled
+	// executor walks, built in the same walk as the clocks above. DFAs
+	// step over it by integer label symbol through the evaluator's
+	// per-DFA symbol rows (dfaSymRow), with no string lookup.
+	cols *xmldoc.Columns
+
+	// dfaMu guards the shared compiled-DFA cache. Every evaluator
+	// adopting this index keeps its own L1 map (no lock on its hot path)
+	// and falls through here on a miss, so an expression is compiled
+	// once per document rather than once per evaluator/session.
+	dfaMu sync.RWMutex
+	dfas  map[string]*pathre.DFA
+
+	// realizedOnce/realized lazily cache the DFA accepting exactly the
+	// document's realized root label paths (see RealizedPathsDFA) — a
+	// pure function of the path table and alphabet, shared by every
+	// learning session over this document.
+	realizedOnce sync.Once
+	realized     *pathre.DFA
+}
+
+// dfaCacheMax bounds the shared DFA cache; adversarial query streams
+// aside, real sessions revisit a few dozen expressions.
+const dfaCacheMax = 1 << 12
+
+// dfaFor returns the compiled DFA for expression p (whose render is
+// key), compiling against the document alphabet on first use. Safe for
+// concurrent use.
+func (ix *Index) dfaFor(key string, p pathre.Expr) *pathre.DFA {
+	ix.dfaMu.RLock()
+	d, ok := ix.dfas[key]
+	ix.dfaMu.RUnlock()
+	if ok {
+		return d
+	}
+	d = pathre.Compile(p, ix.alphabet)
+	ix.dfaMu.Lock()
+	if prev, ok := ix.dfas[key]; ok {
+		// Another evaluator compiled it concurrently; keep one canonical
+		// DFA so per-DFA symbol rows and plan pointers stay shareable.
+		d = prev
+	} else {
+		if ix.dfas == nil {
+			ix.dfas = map[string]*pathre.DFA{}
+		}
+		if len(ix.dfas) < dfaCacheMax {
+			ix.dfas[key] = d
+		}
+	}
+	ix.dfaMu.Unlock()
+	return d
 }
 
 // rootPath is one distinct root label path with its nodes in document
@@ -58,9 +117,11 @@ func NewIndex(doc *xmldoc.Document) *Index {
 		alphabet:   doc.Alphabet(),
 		pathLookup: map[pathEdge]int32{},
 	}
+	cb := xmldoc.NewColumnsBuilder(doc)
 	clock := 0
 	var walk func(n *xmldoc.Node, pathID int32)
 	walk = func(n *xmldoc.Node, pathID int32) {
+		cb.Enter(n)
 		ix.pre[n.ID] = clock
 		clock++
 		if sym := n.LabelSym(); sym != xmldoc.NoSym {
@@ -93,8 +154,10 @@ func NewIndex(doc *xmldoc.Document) *Index {
 		}
 		ix.post[n.ID] = clock
 		clock++
+		cb.Leave(n)
 	}
 	walk(doc.DocNode(), -1)
+	ix.cols = cb.Finish()
 	return ix
 }
 
@@ -139,6 +202,36 @@ func (ix *Index) RootPaths(f func(labels []string, nodes []*xmldoc.Node)) {
 	for _, p := range ix.paths {
 		f(p.labels, p.nodes)
 	}
+}
+
+// Columns returns the structure-of-arrays view of the indexed
+// document, built in the same walk as the clocks. Callers must treat it
+// as read-only.
+func (ix *Index) Columns() *xmldoc.Columns { return ix.cols }
+
+// RealizedPathsDFA returns the DFA accepting exactly the document's
+// realized root label paths, built lazily at most once. The words are
+// fed to the construction sorted by their "\x00"-joined keys — the
+// same order the learning engine sorts its path-key table into — so
+// the automaton, state numbering included, is identical to the
+// per-session build it replaces. Safe for concurrent use.
+func (ix *Index) RealizedPathsDFA() *pathre.DFA {
+	ix.realizedOnce.Do(func() {
+		keys := make([]string, len(ix.paths))
+		byKey := make(map[string][]string, len(ix.paths))
+		for i := range ix.paths {
+			k := strings.Join(ix.paths[i].labels, "\x00")
+			keys[i] = k
+			byKey[k] = ix.paths[i].labels
+		}
+		sort.Strings(keys)
+		words := make([][]string, len(keys))
+		for i, k := range keys {
+			words[i] = byKey[k]
+		}
+		ix.realized = pathre.FromStrings(words, ix.alphabet)
+	})
+	return ix.realized
 }
 
 // Ancestor reports whether anc is a proper ancestor of n, in O(1) for

@@ -1,8 +1,10 @@
-// Property test for the acceleration layer: on every scenario truth
-// tree, the indexed/memoized Extent path must be node-for-node
-// identical to the naive walk — including repeated calls (memo hits)
-// and pinned environments (distinct cache keys). External test package
-// because xmark/xmp pull in core, which imports xq.
+// Property test for the acceleration layers: on every scenario truth
+// tree, three evaluation modes must be node-for-node identical — the
+// naive interpreter (acceleration off), the memoized interpreter
+// (acceleration on, plan compilation off: the PR-3 layer), and the
+// compiled plan/execute path (the default) — including repeated calls
+// (memo hits) and pinned environments (distinct cache keys). External
+// test package because xmark/xmp pull in core, which imports xq.
 package xq_test
 
 import (
@@ -28,10 +30,20 @@ func sameNodes(a, b []*xmldoc.Node) bool {
 	return true
 }
 
-// checkExtents compares both evaluators on every bound variable of the
-// tree, twice per pinned environment so the second call is served from
-// the extent memo.
-func checkExtents(t *testing.T, doc *xmldoc.Document, tree *xq.Tree, naive, accel *xq.Evaluator) {
+// threeWay builds the three evaluation modes over one document.
+func threeWay(doc *xmldoc.Document) (naive, memo, comp *xq.Evaluator) {
+	naive = xq.NewEvaluator(doc)
+	naive.SetAcceleration(false)
+	memo = xq.NewEvaluator(doc)
+	memo.SetPlanCompilation(false)
+	comp = xq.NewEvaluator(doc)
+	return naive, memo, comp
+}
+
+// checkExtents compares all three evaluators on every bound variable of
+// the tree, twice per pinned environment so the second call is served
+// from each accelerated mode's extent memo.
+func checkExtents(t *testing.T, doc *xmldoc.Document, tree *xq.Tree, naive, memo, comp *xq.Evaluator) {
 	t.Helper()
 	ctx := context.Background()
 	for _, n := range tree.Nodes() {
@@ -53,14 +65,20 @@ func checkExtents(t *testing.T, doc *xmldoc.Document, tree *xq.Tree, naive, acce
 			if err != nil {
 				t.Fatalf("naive Extent($%s, pin): %v", n.Var, err)
 			}
-			for round := 0; round < 2; round++ {
-				got, err := accel.Extent(ctx, tree, n, pin)
-				if err != nil {
-					t.Fatalf("accelerated Extent($%s) round %d: %v", n.Var, round, err)
-				}
-				if !sameNodes(want, got) {
-					t.Errorf("extent($%s) pin=%v round %d: accelerated %d nodes != naive %d nodes",
-						n.Var, pin, round, len(got), len(want))
+			for _, m := range []struct {
+				mode string
+				ev   *xq.Evaluator
+			}{{"memoized", memo}, {"compiled", comp}} {
+				mode, ev := m.mode, m.ev
+				for round := 0; round < 2; round++ {
+					got, err := ev.Extent(ctx, tree, n, pin)
+					if err != nil {
+						t.Fatalf("%s Extent($%s) round %d: %v", mode, n.Var, round, err)
+					}
+					if !sameNodes(want, got) {
+						t.Errorf("extent($%s) pin=%v round %d: %s %d nodes != naive %d nodes",
+							n.Var, pin, round, mode, len(got), len(want))
+					}
 				}
 			}
 		}
@@ -74,9 +92,8 @@ func TestAcceleratedExtentMatchesNaive(t *testing.T) {
 	for _, s := range scens {
 		t.Run(s.ID, func(t *testing.T) {
 			doc := s.Doc()
-			naive := xq.NewEvaluator(doc)
-			naive.SetAcceleration(false)
-			checkExtents(t, doc, s.Truth(), naive, xq.NewEvaluator(doc))
+			naive, memo, comp := threeWay(doc)
+			checkExtents(t, doc, s.Truth(), naive, memo, comp)
 		})
 	}
 }
@@ -94,9 +111,48 @@ func TestAcceleratedExtentMatchesNaiveReseeded(t *testing.T) {
 	doc := xmark.Generate(cfg)
 	for _, s := range xmark.Scenarios() {
 		t.Run(s.ID, func(t *testing.T) {
-			naive := xq.NewEvaluator(doc)
-			naive.SetAcceleration(false)
-			checkExtents(t, doc, s.Truth(), naive, xq.NewEvaluator(doc))
+			naive, memo, comp := threeWay(doc)
+			checkExtents(t, doc, s.Truth(), naive, memo, comp)
+		})
+	}
+}
+
+// TestThreeWayExtentInvalidation extends the PR-3 invalidation contract
+// to compiled plans: mutate a truth tree's predicates, invalidate all
+// three modes, and require agreement again — the compiled path must
+// recompile, not serve the plan it baked the old predicate into.
+func TestThreeWayExtentInvalidation(t *testing.T) {
+	var scens []*scenario.Scenario
+	scens = append(scens, xmark.Scenarios()...)
+	scens = append(scens, xmp.Scenarios()...)
+	for _, s := range scens {
+		t.Run(s.ID, func(t *testing.T) {
+			doc := s.Doc()
+			tree := s.Truth() // a fresh parse, safe to mutate
+			var target *xq.Node
+			for _, n := range tree.Nodes() {
+				if n.Var != "" && len(n.Where) > 0 {
+					target = n
+					break
+				}
+			}
+			if target == nil {
+				t.Skip("truth tree has no predicated variable")
+			}
+			naive, memo, comp := threeWay(doc)
+			// Warm every cache on the original tree first.
+			checkExtents(t, doc, tree, naive, memo, comp)
+			saved := target.Where
+			target.Where = nil
+			naive.InvalidateExtents()
+			memo.InvalidateExtents()
+			comp.InvalidateExtents()
+			checkExtents(t, doc, tree, naive, memo, comp)
+			target.Where = saved
+			naive.InvalidateExtents()
+			memo.InvalidateExtents()
+			comp.InvalidateExtents()
+			checkExtents(t, doc, tree, naive, memo, comp)
 		})
 	}
 }
