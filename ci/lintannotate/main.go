@@ -1,0 +1,66 @@
+// Command lintannotate converts `xlint -json` findings (one JSON
+// object per line: {file,line,col,analyzer,message}) into GitHub
+// Actions workflow commands, so lint findings surface as inline
+// annotations on the PR diff instead of buried job logs. It passes the
+// findings through to stdout as ::error lines and echoes a plain copy
+// to stderr for the log; the exit status mirrors xlint's (1 when any
+// finding was read, 0 when the stream was empty), so the pipeline
+// `xlint -json | lintannotate` fails exactly when xlint would.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// escape applies GitHub's workflow-command escaping to message data.
+func escape(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
+}
+
+// escapeProp escapes property values, which additionally quote : and ,.
+func escapeProp(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+	return r.Replace(s)
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	count := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var f finding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			fmt.Fprintf(os.Stderr, "lintannotate: skipping unparseable line: %v\n", err)
+			continue
+		}
+		count++
+		fmt.Printf("::error file=%s,line=%d,col=%d,title=xlint %s::%s\n",
+			escapeProp(f.File), f.Line, f.Col, escapeProp(f.Analyzer),
+			escape(f.Analyzer+": "+f.Message))
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "lintannotate: read stdin: %v\n", err)
+		os.Exit(2)
+	}
+	if count > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,7 +1,12 @@
 // Command xlint is the repository's multichecker: it loads the
-// packages named by its arguments (default ./...) and runs every
-// analyzer in internal/analysis over them, printing one line per
-// finding. Exit status: 0 clean, 1 findings, 2 load/usage failure.
+// packages named by its arguments (default ./...) into one analysis
+// Suite and runs every analyzer in internal/analysis over them,
+// printing one line per finding. Exit status: 0 clean, 1 findings,
+// 2 load/usage failure.
+//
+// With -json each finding is one JSON object per line
+// ({file,line,col,analyzer,message}), the stable machine interface CI
+// converts into GitHub problem-matcher annotations (ci/lintannotate).
 //
 // It is part of the tier-1 verify loop:
 //
@@ -9,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,14 +24,26 @@ import (
 	"repro/internal/analysis"
 )
 
+// finding is one diagnostic in output order; the exported field names
+// are the -json wire schema and must stay stable.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	run := flag.String("run", "", "run only analyzers whose name matches this regexp")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per finding instead of text")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: xlint [-list] [-run regexp] [packages]\n\n"+
+			"usage: xlint [-list] [-json] [-run regexp] [packages]\n\n"+
 				"Runs the project analyzers (nopanic, ctxfirst, wrapsentinel,\n"+
-				"determinism, httpstatus) over the named packages (default ./...).\n\n")
+				"determinism, httpstatus, arenaalias, lockorder, goleak) over the\n"+
+				"named packages (default ./...).\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -58,16 +76,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	type finding struct {
-		file      string
-		line, col int
-		analyzer  string
-		message   string
-	}
+	// One Suite across all loaded packages: the interprocedural
+	// analyzers compute their whole-program facts once and report
+	// per package.
+	suite := analysis.NewSuite(pkgs)
 	var findings []finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			diags, err := analysis.RunAnalyzer(a, pkg)
+			diags, err := suite.Run(a, pkg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "xlint: %v\n", err)
 				os.Exit(2)
@@ -80,19 +96,29 @@ func main() {
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
-		if a.file != b.file {
-			return a.file < b.file
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		if a.line != b.line {
-			return a.line < b.line
+		if a.Line != b.Line {
+			return a.Line < b.Line
 		}
-		if a.col != b.col {
-			return a.col < b.col
+		if a.Col != b.Col {
+			return a.Col < b.Col
 		}
-		return a.analyzer < b.analyzer
+		return a.Analyzer < b.Analyzer
 	})
-	for _, f := range findings {
-		fmt.Printf("%s:%d:%d: %s: %s\n", f.file, f.line, f.col, f.analyzer, f.message)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, f := range findings {
+			if err := enc.Encode(f); err != nil {
+				fmt.Fprintf(os.Stderr, "xlint: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
 	}
 	if len(findings) > 0 {
 		os.Exit(1)

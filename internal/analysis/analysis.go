@@ -1,16 +1,22 @@
 // Package analysis is the repository's static-analysis suite: a small,
 // dependency-free framework in the shape of golang.org/x/tools/go/analysis
-// plus the five project-specific analyzers (nopanic, ctxfirst,
-// wrapsentinel, determinism, httpstatus) that mechanically enforce the
-// error-discipline, determinism, and HTTP-taxonomy invariants
-// documented in DESIGN.md.
+// plus the eight project-specific analyzers (nopanic, ctxfirst,
+// wrapsentinel, determinism, httpstatus, arenaalias, lockorder, goleak)
+// that mechanically enforce the error-discipline, determinism,
+// HTTP-taxonomy, arena-ownership, lock-order, and goroutine-lifetime
+// invariants documented in DESIGN.md.
 //
 // The framework mirrors the x/tools API surface (Analyzer, Pass,
-// Diagnostic, "// want" golden fixtures) so the analyzers can migrate to
-// the real module with mechanical edits, but it is built entirely on the
-// standard library: packages are loaded with `go list -export` and
-// typechecked through go/types with a gc-export-data importer, because
-// this build environment has no module network access.
+// Diagnostic, Facts, "// want" golden fixtures) so the analyzers can
+// migrate to the real module with mechanical edits, but it is built
+// entirely on the standard library: packages are loaded with `go list
+// -export` and typechecked through go/types with a gc-export-data
+// importer, because this build environment has no module network
+// access. Interprocedural analyzers see the whole module at once: a
+// Suite bundles the loaded packages with a static call graph
+// (callgraph.go) and a cross-package fact store (facts.go), so an
+// analyzer can tag a function in one package and act on the tag at a
+// call site in another.
 package analysis
 
 import (
@@ -42,6 +48,18 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Graph and Packages describe the whole Suite this pass belongs to:
+	// the static call graph over every loaded package and the packages
+	// themselves, in load (dependency) order. Interprocedural analyzers
+	// compute whole-program facts from these once per suite (SuiteMemo)
+	// and report only the findings positioned in this pass's package.
+	Graph    *CallGraph
+	Packages []*Package
+
+	// facts is the suite's shared fact store; access it through
+	// ExportObjectFact/ImportObjectFact and the key-level forms.
+	facts *Facts
+
 	// Report delivers one finding. The driver and the fixture test
 	// harness install their own sinks.
 	Report func(Diagnostic)
@@ -61,7 +79,10 @@ type Diagnostic struct {
 // All returns the full analyzer suite in deterministic order; cmd/xlint
 // runs exactly this list.
 func All() []*Analyzer {
-	return []*Analyzer{NoPanic, CtxFirst, WrapSentinel, Determinism, HTTPStatus}
+	return []*Analyzer{
+		NoPanic, CtxFirst, WrapSentinel, Determinism, HTTPStatus,
+		ArenaAlias, LockOrder, GoLeak,
+	}
 }
 
 // enclosingFuncDecl returns the top-level function declaration whose

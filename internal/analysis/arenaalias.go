@@ -1,0 +1,486 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ArenaAlias enforces the evaluator's arena-ownership contract
+// (DESIGN.md "Arena ownership"): slices handed out by the execution
+// arena (execArena's buffers, and anything derived from them by
+// slicing, assignment, or a call that returns them) are valid only
+// until the next extent execution. They must not outlive that window:
+// storing one in a struct, map, or composite literal, returning one
+// from an exported function, passing one to a function that retains
+// its argument, or capturing one in a goroutine are all reported.
+// Copying is the escape hatch the contract documents —
+// append([]T(nil), s...) or string(b) launder the taint.
+//
+// The analysis is a forward may-alias taint pass per function, made
+// interprocedural by two facts propagated over the Suite:
+// "arenaReturns" (the function's result aliases the arena — so callers'
+// results are tainted too) and "retains" (the function stores one of
+// its slice parameters — so passing it a tainted argument is an
+// escape). As a rider, the analyzer also guards xmldoc's columnar
+// views: Columns fields are read-only outside internal/xmldoc.
+var ArenaAlias = &Analyzer{
+	Name: "arenaalias",
+	Doc: "track slices aliasing the execution arena and report escapes " +
+		"past the copy boundary (stores, exported returns, retaining " +
+		"callees, goroutine captures); Columns views are read-only",
+	Run: runArenaAlias,
+}
+
+// arenaAllowlist names functions whose arena diagnostics are
+// suppressed, keyed pkg.func like nopanic's allowlist. The executor
+// itself owns the arena: stores inside the owner are the contract, not
+// a leak.
+var arenaAllowlist = map[string]string{
+	"repro/internal/xq.execExtent": "the arena owner; its internal buffer shuffling is the contract itself",
+}
+
+// ArenaFact is the per-function interprocedural summary.
+type ArenaFact struct {
+	// Returns: some return statement's result aliases the arena.
+	Returns bool
+	// Retains lists the indices of slice parameters the function stores
+	// past its own frame (into a field, map, composite, or a callee that
+	// itself retains).
+	Retains []int
+}
+
+func (f ArenaFact) retains(i int) bool {
+	for _, r := range f.Retains {
+		if r == i {
+			return true
+		}
+	}
+	return false
+}
+
+type arenaResult struct {
+	byPkg map[string][]Diagnostic
+}
+
+func runArenaAlias(pass *Pass) error {
+	res := pass.SuiteMemo("arenaalias", func() any {
+		return computeArenaAlias(pass)
+	}).(*arenaResult)
+	for _, d := range res.byPkg[pass.Pkg.Path()] {
+		pass.Report(d)
+	}
+	return nil
+}
+
+func computeArenaAlias(pass *Pass) *arenaResult {
+	graph, pkgs := pass.Graph, pass.Packages
+
+	// Phase 1: fact fixpoint. Taint depends on callee facts and facts on
+	// taint, so iterate the whole suite until the summaries stabilize.
+	facts := map[string]*ArenaFact{}
+	graph.Funcs(pkgs, func(fn *FuncNode) { facts[fn.Key] = &ArenaFact{} })
+	for changed := true; changed; {
+		changed = false
+		graph.Funcs(pkgs, func(fn *FuncNode) {
+			f := summarize(fn, facts)
+			old := facts[fn.Key]
+			if f.Returns != old.Returns || len(f.Retains) != len(old.Retains) {
+				facts[fn.Key] = &f
+				changed = true
+			}
+		})
+	}
+	for k, f := range facts {
+		if f.Returns || len(f.Retains) > 0 {
+			pass.ExportFact(k, *f)
+		}
+	}
+
+	// Phase 2: diagnostics per function, allowlist and scope applied.
+	res := &arenaResult{byPkg: map[string][]Diagnostic{}}
+	graph.Funcs(pkgs, func(fn *FuncNode) {
+		if !underInternalOrCmd(fn.Pkg.PkgPath) {
+			return
+		}
+		pkgPath := fn.Pkg.PkgPath
+		report := func(pos token.Pos, format string, args ...any) {
+			res.byPkg[pkgPath] = append(res.byPkg[pkgPath],
+				Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+		}
+		if _, ok := arenaAllowlist[pkgPath+"."+fn.Decl.Name.Name]; !ok {
+			tainted := computeTaint(fn, arenaSource(fn.Pkg), facts)
+			for _, s := range arenaSinks(fn, tainted, facts) {
+				switch s.kind {
+				case "store":
+					report(s.pos, "arena-aliasing slice stored in %s; the arena is only valid until the next extent execution — copy first (append([]T(nil), s...))", s.what)
+				case "return":
+					if fn.Decl.Name.IsExported() {
+						report(s.pos, "arena-aliasing slice returned from exported %s; the caller outlives the arena — return a copy", fn.Decl.Name.Name)
+					}
+				case "arg":
+					report(s.pos, "arena-aliasing slice passed to %s, which retains its argument; pass a copy", s.what)
+				case "go":
+					report(s.pos, "arena-aliasing slice captured by a goroutine; the arena is only valid until the next extent execution")
+				}
+			}
+		}
+		// Rider: Columns views are read-only outside internal/xmldoc.
+		if !strings.HasSuffix(pkgPath, "internal/xmldoc") {
+			ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for _, lhs := range as.Lhs {
+					if sel := columnsWrite(fn.Pkg, lhs); sel != "" {
+						report(lhs.Pos(), "write to Columns.%s outside internal/xmldoc; Columns is a read-only view of the document", sel)
+					}
+				}
+				return true
+			})
+		}
+	})
+	return res
+}
+
+// summarize computes one function's ArenaFact under the current fact
+// environment.
+func summarize(fn *FuncNode, facts map[string]*ArenaFact) ArenaFact {
+	var f ArenaFact
+
+	// Returns: run arena-source taint and look at return results.
+	tainted := computeTaint(fn, arenaSource(fn.Pkg), facts)
+	for _, s := range arenaSinks(fn, tainted, facts) {
+		if s.kind == "return" {
+			f.Returns = true
+			break
+		}
+	}
+
+	// Retains: for each slice parameter, taint only it and ask whether a
+	// store-shaped sink fires. Returning the parameter is not retention
+	// (the caller still owns it).
+	for i, p := range paramVars(fn) {
+		if _, isSlice := types.Unalias(p.Type()).Underlying().(*types.Slice); !isSlice {
+			continue
+		}
+		seed := func(e ast.Expr) bool {
+			id, ok := ast.Unparen(e).(*ast.Ident)
+			if !ok {
+				return false
+			}
+			return fn.Pkg.TypesInfo.Uses[id] == p
+		}
+		t := computeTaint(fn, seed, facts)
+		t[p] = true
+		for _, s := range arenaSinks(fn, t, facts) {
+			if s.kind == "store" || s.kind == "arg" || s.kind == "go" {
+				f.Retains = append(f.Retains, i)
+				break
+			}
+		}
+	}
+	return f
+}
+
+// paramVars returns the declared parameter objects in order.
+func paramVars(fn *FuncNode) []*types.Var {
+	var out []*types.Var
+	if fn.Decl.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fn.Decl.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := fn.Pkg.TypesInfo.Defs[name].(*types.Var); ok {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// arenaSource recognizes the taint origins: slice-typed fields of a
+// struct type named execArena.
+func arenaSource(pkg *Package) func(ast.Expr) bool {
+	return func(e ast.Expr) bool {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		s, ok := pkg.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return false
+		}
+		if namedTypeName(s.Recv()) != "execArena" {
+			return false
+		}
+		_, isSlice := types.Unalias(s.Obj().Type()).Underlying().(*types.Slice)
+		return isSlice
+	}
+}
+
+// computeTaint runs the per-function may-alias pass: starting from
+// source expressions, taint flows through assignments, slicing,
+// append-onto-tainted, and calls whose callee has the arenaReturns
+// fact. append onto a fresh slice and string conversions are the copy
+// barriers.
+func computeTaint(fn *FuncNode, source func(ast.Expr) bool, facts map[string]*ArenaFact) map[types.Object]bool {
+	info := fn.Pkg.TypesInfo
+	tainted := map[types.Object]bool{}
+	taintedExpr := func(e ast.Expr) bool {
+		return exprIsTainted(info, e, tainted, source, facts)
+	}
+
+	// Propagate through assignments to a fixpoint (taint can flow
+	// against source order via loops).
+	var pairs [][2]ast.Expr
+	// Tuple assignments `v, err := call()`: if the call's callee has the
+	// arenaReturns fact, every slice-typed LHS aliases the arena.
+	var tuples []*ast.AssignStmt
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					pairs = append(pairs, [2]ast.Expr{n.Lhs[i], n.Rhs[i]})
+				}
+			} else if len(n.Rhs) == 1 {
+				tuples = append(tuples, n)
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i := range vs.Names {
+					pairs = append(pairs, [2]ast.Expr{vs.Names[i], vs.Values[i]})
+				}
+			}
+		}
+		return true
+	})
+	taintIdent := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return false
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil || tainted[obj] {
+			return false
+		}
+		tainted[obj] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range pairs {
+			if taintedExpr(p[1]) && taintIdent(p[0]) {
+				changed = true
+			}
+		}
+		for _, n := range tuples {
+			if !taintedExpr(n.Rhs[0]) {
+				continue
+			}
+			for _, lhs := range n.Lhs {
+				tv, ok := info.Types[lhs]
+				if !ok {
+					if id, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+						if obj := info.Defs[id]; obj != nil {
+							tv.Type = obj.Type()
+							ok = true
+						}
+					}
+				}
+				if !ok || tv.Type == nil {
+					continue
+				}
+				if _, isSlice := types.Unalias(tv.Type).Underlying().(*types.Slice); !isSlice {
+					continue
+				}
+				if taintIdent(lhs) {
+					changed = true
+				}
+			}
+		}
+	}
+	return tainted
+}
+
+// arenaSink is one escape of a tainted value.
+type arenaSink struct {
+	pos  token.Pos
+	kind string // "store", "return", "arg", "go"
+	what string
+}
+
+// arenaSinks scans one body for escapes of the tainted set.
+func arenaSinks(fn *FuncNode, tainted map[types.Object]bool, facts map[string]*ArenaFact) []arenaSink {
+	info := fn.Pkg.TypesInfo
+	source := arenaSource(fn.Pkg)
+	taintedExpr := func(e ast.Expr) bool {
+		return exprIsTainted(info, e, tainted, source, facts)
+	}
+	var sinks []arenaSink
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				if !taintedExpr(n.Rhs[i]) {
+					continue
+				}
+				switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					// Writing back into the arena itself is fine.
+					if source(lhs) {
+						continue
+					}
+					sinks = append(sinks, arenaSink{pos: n.Pos(), kind: "store", what: "field " + lhs.Sel.Name})
+				case *ast.IndexExpr:
+					if taintedExpr(lhs.X) || source(lhs.X) {
+						continue
+					}
+					sinks = append(sinks, arenaSink{pos: n.Pos(), kind: "store", what: "map/slice element"})
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if taintedExpr(el) {
+					sinks = append(sinks, arenaSink{pos: el.Pos(), kind: "store", what: "composite literal"})
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if taintedExpr(r) {
+					sinks = append(sinks, arenaSink{pos: n.Pos(), kind: "return"})
+					break
+				}
+			}
+		case *ast.CallExpr:
+			// append(container, s) with a tainted slice s as an element
+			// stores the alias in the container's backing array. The
+			// ellipsis form append(fresh, s...) copies s's elements out
+			// instead — that is the barrier, not a sink.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					for i, arg := range n.Args {
+						if i == 0 || (n.Ellipsis.IsValid() && i == len(n.Args)-1) {
+							continue
+						}
+						if taintedExpr(arg) {
+							sinks = append(sinks, arenaSink{pos: arg.Pos(), kind: "store", what: "slice-of-slices append"})
+						}
+					}
+					return true
+				}
+			}
+			callee := calleeFunc(info, n)
+			if callee == nil {
+				return true
+			}
+			f := facts[ObjectKey(callee)]
+			if f == nil || len(f.Retains) == 0 {
+				return true
+			}
+			for i, arg := range n.Args {
+				// For methods, args align with parameter indices directly
+				// (the receiver is not among Args).
+				if f.retains(i) && taintedExpr(arg) {
+					sinks = append(sinks, arenaSink{pos: arg.Pos(), kind: "arg", what: callee.Name()})
+				}
+			}
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				captured := false
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil && tainted[obj] {
+							captured = true
+						}
+					}
+					return !captured
+				})
+				if captured {
+					sinks = append(sinks, arenaSink{pos: n.Pos(), kind: "go"})
+				}
+			}
+			for _, arg := range n.Call.Args {
+				if taintedExpr(arg) {
+					sinks = append(sinks, arenaSink{pos: arg.Pos(), kind: "go"})
+				}
+			}
+			return false
+		}
+		return true
+	})
+	return sinks
+}
+
+// exprIsTainted mirrors computeTaint's expression rule for use after
+// the fixpoint.
+func exprIsTainted(info *types.Info, e ast.Expr, tainted map[types.Object]bool, source func(ast.Expr) bool, facts map[string]*ArenaFact) bool {
+	e = ast.Unparen(e)
+	if source(e) {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		return obj != nil && tainted[obj]
+	case *ast.SliceExpr:
+		return exprIsTainted(info, e.X, tainted, source, facts)
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(e.Args) > 0 {
+				return exprIsTainted(info, e.Args[0], tainted, source, facts)
+			}
+		}
+		if callee := calleeFunc(info, e); callee != nil {
+			if f := facts[ObjectKey(callee)]; f != nil && f.Returns {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// columnsWrite reports a write through an xmldoc.Columns field: the
+// field name when lhs assigns cols.F or cols.F[i], "" otherwise.
+func columnsWrite(pkg *Package, lhs ast.Expr) string {
+	lhs = ast.Unparen(lhs)
+	if ix, ok := lhs.(*ast.IndexExpr); ok {
+		lhs = ast.Unparen(ix.X)
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s, ok := pkg.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	named, ok := types.Unalias(derefType(s.Recv())).(*types.Named)
+	if !ok || named.Obj().Name() != "Columns" || named.Obj().Pkg() == nil {
+		return ""
+	}
+	if !strings.HasSuffix(named.Obj().Pkg().Path(), "internal/xmldoc") {
+		return ""
+	}
+	return sel.Sel.Name
+}

@@ -1,0 +1,13 @@
+package analysis
+
+import "testing"
+
+// The arenaalias fixtures live under their own root
+// (testdata/arenaalias/src) because every // want comment in a fixture
+// package is checked against the single analyzer under test, and
+// repro/internal/xq already serves the determinism fixtures under the
+// default root.
+
+func TestArenaAlias(t *testing.T) {
+	RunFixtureIn(t, "testdata/arenaalias", ArenaAlias, "repro/internal/xq")
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the interprocedural half of the framework: a static call
+// graph over every package a Suite loads, keyed by canonical object
+// keys (see ObjectKey) rather than *types.Func identity. Keys matter
+// because the loader typechecks each target package from source but
+// resolves its imports from gc export data, so the *types.Func a caller
+// sees for a cross-package callee is a different object than the one
+// the callee's own (source-loaded) package defines. Stringly keys
+// launder that split identity, exactly the way x/tools serializes facts
+// between passes.
+
+// ObjectKey returns the canonical cross-package identity of a declared
+// object: "pkgpath.Name" for package-level functions and variables,
+// "pkgpath.RecvType.Name" for methods and struct fields. The empty
+// string means the object has no stable identity (builtins, locals
+// handled elsewhere).
+func ObjectKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	key := obj.Pkg().Path() + "."
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			key += namedTypeName(sig.Recv().Type()) + "."
+		}
+	}
+	return key + obj.Name()
+}
+
+// namedTypeName unwraps pointers and aliases to the declared type name.
+func namedTypeName(t types.Type) string {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return "?"
+}
+
+// A CallEdge is one static call site inside a function body.
+type CallEdge struct {
+	// Callee is the ObjectKey of the invoked function. Calls through
+	// function values, builtins, and conversions produce no edge.
+	Callee string
+	// Site is the call position, for diagnostics.
+	Site token.Pos
+	// Go marks a call that only runs on a spawned goroutine: the operand
+	// of a go statement, or any call inside a function literal that a go
+	// statement launches. Lock-order analysis must not charge these to
+	// the spawner (the spawner does not block on them); goroutine-
+	// lifetime analysis keys on them.
+	Go bool
+}
+
+// A FuncNode is one declared function with a body.
+type FuncNode struct {
+	Key  string
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	// Calls lists the body's static call sites in source order,
+	// including calls inside function literals (attributed to this
+	// declaration, as the allowlists do).
+	Calls []CallEdge
+}
+
+// A CallGraph indexes every declared function of a Suite's packages.
+type CallGraph struct {
+	fns map[string]*FuncNode
+	// callers is the reverse adjacency: for each callee key, the keys of
+	// the functions with at least one edge to it.
+	callers map[string][]string
+}
+
+// NewCallGraph builds the static call graph of the loaded packages.
+func NewCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{fns: map[string]*FuncNode{}, callers: map[string][]string{}}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				key := ObjectKey(pkg.TypesInfo.Defs[fd.Name])
+				if key == "" {
+					continue
+				}
+				node := &FuncNode{Key: key, Pkg: pkg, Decl: fd}
+				collectCalls(pkg.TypesInfo, fd.Body, false, &node.Calls)
+				g.fns[key] = node
+				for _, e := range node.Calls {
+					if e.Callee != "" {
+						g.callers[e.Callee] = append(g.callers[e.Callee], key)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// collectCalls walks a body gathering call edges. inGo marks the walk
+// as inside goroutine-only code; go statements flip it for their
+// operand and for the bodies of function literals they launch.
+func collectCalls(info *types.Info, body ast.Node, inGo bool, out *[]CallEdge) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// The spawn expression (and a spawned literal's body) is
+			// goroutine-only; recurse with the flag and skip the default
+			// descent so the sites are not collected twice.
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				collectCalls(info, lit.Body, true, out)
+			}
+			if fn := calleeFunc(info, n.Call); fn != nil {
+				*out = append(*out, CallEdge{Callee: ObjectKey(fn), Site: n.Call.Pos(), Go: true})
+			}
+			for _, arg := range n.Call.Args {
+				collectCalls(info, arg, inGo, out)
+			}
+			return false
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil {
+				*out = append(*out, CallEdge{Callee: ObjectKey(fn), Site: n.Pos(), Go: inGo})
+			}
+		}
+		return true
+	})
+}
+
+// Func returns the node for an object key, or nil for functions outside
+// the suite (export-data dependencies, function values).
+func (g *CallGraph) Func(key string) *FuncNode { return g.fns[key] }
+
+// Funcs calls f for every declared function, grouped by package in load
+// order and by file/source position within a package, so iteration is
+// deterministic.
+func (g *CallGraph) Funcs(pkgs []*Package, f func(*FuncNode)) {
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				key := ObjectKey(pkg.TypesInfo.Defs[fd.Name])
+				if node := g.fns[key]; node != nil && node.Decl == fd {
+					f(node)
+				}
+			}
+		}
+	}
+}
+
+// Callers returns the keys of the functions calling key, in insertion
+// order (deterministic given deterministic construction).
+func (g *CallGraph) Callers(key string) []string { return g.callers[key] }

@@ -38,6 +38,10 @@ var ctxPipelinePkgs = map[string]bool{
 	// Store lookups block on in-flight builds, so every entry point
 	// must accept the caller's ctx to stay cancellable.
 	"repro/internal/artifacts": true,
+	// Document parsing/column building and replay re-execution both run
+	// inside learning sessions and must stay cancellable.
+	"repro/internal/xmldoc": true,
+	"repro/internal/replay": true,
 }
 
 func runCtxFirst(pass *Pass) error {

@@ -9,3 +9,11 @@ func TestCtxFirstPipeline(t *testing.T) {
 func TestCtxFirstPositionOnlyOutsidePipeline(t *testing.T) {
 	RunFixture(t, CtxFirst, "repro/internal/ctxpos")
 }
+
+func TestCtxFirstColumnsEnrollment(t *testing.T) {
+	RunFixtureIn(t, "testdata/ctxfirst", CtxFirst, "repro/internal/xmldoc")
+}
+
+func TestCtxFirstReplayEnrollment(t *testing.T) {
+	RunFixtureIn(t, "testdata/ctxfirst", CtxFirst, "repro/internal/replay")
+}

@@ -45,6 +45,11 @@ var determinismTablePkgs = map[string]bool{
 	// truth extents; a wall-clock or map-order leak here would perturb
 	// all of them at once.
 	"repro/internal/artifacts": true,
+	// The columnar document layout and the replay log are inputs to
+	// every table: node IDs, column order, and replayed decision order
+	// must be bit-stable run to run.
+	"repro/internal/xmldoc": true,
+	"repro/internal/replay": true,
 }
 
 func runDeterminism(pass *Pass) error {

@@ -21,3 +21,14 @@ func TestDeterminismXmarkExemption(t *testing.T) {
 func TestDeterminismScope(t *testing.T) {
 	RunFixture(t, Determinism, "other/pkg")
 }
+
+// The xmldoc and replay enrollments use their own fixture root: the
+// default root's repro/internal/xmldoc already carries nopanic
+// expectations.
+func TestDeterminismColumnsEnrollment(t *testing.T) {
+	RunFixtureIn(t, "testdata/determinism", Determinism, "repro/internal/xmldoc")
+}
+
+func TestDeterminismReplayEnrollment(t *testing.T) {
+	RunFixtureIn(t, "testdata/determinism", Determinism, "repro/internal/replay")
+}

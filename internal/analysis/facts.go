@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+)
+
+// The Fact mechanism, shaped after x/tools' analysis facts: an analyzer
+// tags functions and objects with values while it works and queries the
+// tags later — including tags earned in *other* packages of the same
+// Suite, which is what makes the ownership, lock-order, and
+// goroutine-lifetime analyzers interprocedural. Facts are namespaced
+// per analyzer and keyed by ObjectKey, so the export-data/source split
+// identity of cross-package objects (see callgraph.go) never matters.
+
+// factKey namespaces one fact: the owning analyzer and the tagged
+// object's canonical key.
+type factKey struct {
+	analyzer string
+	object   string
+}
+
+// Facts is a Suite-scoped fact store shared by every package-level run
+// of each analyzer.
+type Facts struct {
+	m map[factKey]any
+}
+
+// NewFacts returns an empty store.
+func NewFacts() *Facts { return &Facts{m: map[factKey]any{}} }
+
+// ExportObjectFact tags obj with a fact under the pass's analyzer.
+// Re-exporting replaces the previous fact.
+func (p *Pass) ExportObjectFact(obj types.Object, fact any) {
+	p.ExportFact(ObjectKey(obj), fact)
+}
+
+// ImportObjectFact returns the fact attached to obj by this pass's
+// analyzer, in this package or any other package of the Suite.
+func (p *Pass) ImportObjectFact(obj types.Object) (any, bool) {
+	return p.ImportFact(ObjectKey(obj))
+}
+
+// ExportFact and ImportFact are the key-level forms, for facts about
+// functions reached through the call graph (whose canonical keys are
+// already in hand).
+func (p *Pass) ExportFact(key string, fact any) {
+	if key == "" || p.facts == nil {
+		return
+	}
+	p.facts.m[factKey{p.Analyzer.Name, key}] = fact
+}
+
+func (p *Pass) ImportFact(key string) (any, bool) {
+	if key == "" || p.facts == nil {
+		return nil, false
+	}
+	f, ok := p.facts.m[factKey{p.Analyzer.Name, key}]
+	return f, ok
+}
+
+// SuiteMemo computes a suite-wide value at most once per (analyzer,
+// key) pair. The interprocedural analyzers use it to run their
+// whole-program fact-propagation step on the first package they see and
+// reuse the result for every later package of the same Suite.
+func (p *Pass) SuiteMemo(key string, compute func() any) any {
+	k := factKey{p.Analyzer.Name, "\x00memo:" + key}
+	if p.facts == nil {
+		return compute()
+	}
+	if v, ok := p.facts.m[k]; ok {
+		return v
+	}
+	v := compute()
+	p.facts.m[k] = v
+	return v
+}
+
+// A Suite is one analysis universe: a set of loaded packages, their
+// call graph, and the fact store the analyzers share across packages.
+// Run every analyzer over every package of one Suite (the driver's and
+// TestTreeIsClean's loop) and cross-function facts flow wherever the
+// call graph reaches.
+type Suite struct {
+	pkgs  []*Package
+	graph *CallGraph
+	facts *Facts
+}
+
+// NewSuite builds the call graph for pkgs (which must share one
+// FileSet, as one Load or one fixture loader produces) and an empty
+// fact store.
+func NewSuite(pkgs []*Package) *Suite {
+	return &Suite{pkgs: pkgs, graph: NewCallGraph(pkgs), facts: NewFacts()}
+}
+
+// Packages returns the suite's packages in load (dependency) order.
+func (s *Suite) Packages() []*Package { return s.pkgs }
+
+// Graph returns the suite's call graph.
+func (s *Suite) Graph() *CallGraph { return s.graph }
+
+// Run applies one analyzer to one package of the suite, collecting its
+// diagnostics. Facts exported here stay visible to the analyzer's runs
+// over the suite's other packages.
+func (s *Suite) Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Graph:     s.graph,
+		Packages:  s.pkgs,
+		facts:     s.facts,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	return diags, nil
+}
+
+// RunAnalyzer applies one analyzer to one package in a fresh
+// single-package Suite — the shape intraprocedural fixture tests use.
+// Cross-package facts need a shared Suite; see Suite.Run.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	return NewSuite([]*Package{pkg}).Run(a, pkg)
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFactPropagationAcrossPackages is the framework's selfcheck: a
+// fact recorded on a callee in one fixture package (lockdep.Acquire's
+// lock set) must trigger a diagnostic at a call site in another
+// (lockuse.Bad), and the callee's own package must stay clean.
+func TestFactPropagationAcrossPackages(t *testing.T) {
+	RunFixtureIn(t, "testdata/facts", LockOrder,
+		"repro/internal/lockdep", "repro/internal/lockuse")
+}
+
+// TestFactStoreRecordsCalleeSummary inspects the fact store directly:
+// after one lockorder run over the pair, the callee's transitive
+// Acquires fact must name the package lock.
+func TestFactStoreRecordsCalleeSummary(t *testing.T) {
+	ld, err := newFixtureLoader("testdata/facts")
+	if err != nil {
+		t.Fatalf("fixture loader: %v", err)
+	}
+	for _, path := range []string{"repro/internal/lockdep", "repro/internal/lockuse"} {
+		if _, err := ld.load(path); err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+	}
+	suite := NewSuite(ld.order)
+	if _, err := suite.Run(LockOrder, ld.pkgs["repro/internal/lockuse"]); err != nil {
+		t.Fatalf("run lockorder: %v", err)
+	}
+	fact, ok := suite.facts.m[factKey{"lockorder", "repro/internal/lockdep.Acquire"}]
+	if !ok {
+		t.Fatal("no lockorder fact recorded for repro/internal/lockdep.Acquire")
+	}
+	lf, ok := fact.(LockFact)
+	if !ok {
+		t.Fatalf("fact has type %T, want LockFact", fact)
+	}
+	if !lf.acquires("repro/internal/lockdep.Mu") {
+		t.Errorf("Acquire's fact %v does not include repro/internal/lockdep.Mu", lf.Acquires)
+	}
+}
+
+// TestSuiteMemoComputesOnce pins the memoization contract the
+// interprocedural analyzers rely on: the whole-program step runs once
+// per suite, not once per package.
+func TestSuiteMemoComputesOnce(t *testing.T) {
+	probe := &Analyzer{Name: "memoprobe", Doc: "test probe"}
+	calls := 0
+	probe.Run = func(pass *Pass) error {
+		pass.SuiteMemo("k", func() any {
+			calls++
+			return calls
+		})
+		return nil
+	}
+	ld, err := newFixtureLoader("testdata/facts")
+	if err != nil {
+		t.Fatalf("fixture loader: %v", err)
+	}
+	for _, path := range []string{"repro/internal/lockdep", "repro/internal/lockuse"} {
+		if _, err := ld.load(path); err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+	}
+	suite := NewSuite(ld.order)
+	for _, pkg := range suite.Packages() {
+		if _, err := suite.Run(probe, pkg); err != nil {
+			t.Fatalf("run probe: %v", err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("SuiteMemo computed %d times over one suite, want 1", calls)
+	}
+}
+
+// TestObjectKeyShapes pins the canonical key format the call graph and
+// fact store share.
+func TestObjectKeyShapes(t *testing.T) {
+	ld, err := newFixtureLoader("testdata/facts")
+	if err != nil {
+		t.Fatalf("fixture loader: %v", err)
+	}
+	pkg, err := ld.load("repro/internal/lockdep")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	obj := pkg.Types.Scope().Lookup("Acquire")
+	if got := ObjectKey(obj); got != "repro/internal/lockdep.Acquire" {
+		t.Errorf("ObjectKey(Acquire) = %q", got)
+	}
+	mu := pkg.Types.Scope().Lookup("Mu")
+	if got := ObjectKey(mu); got != "repro/internal/lockdep.Mu" {
+		t.Errorf("ObjectKey(Mu) = %q", got)
+	}
+	graph := NewCallGraph([]*Package{pkg})
+	if graph.Func("repro/internal/lockdep.Acquire") == nil {
+		t.Error("call graph is missing lockdep.Acquire")
+	}
+	callers := graph.Callers("repro/internal/lockdep.Acquire")
+	for _, c := range callers {
+		if !strings.HasPrefix(c, "repro/internal/lockdep.") {
+			t.Errorf("unexpected caller %q in single-package graph", c)
+		}
+	}
+}

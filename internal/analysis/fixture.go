@@ -33,18 +33,38 @@ import (
 // at testdata/src relative to the current test's working directory.
 func RunFixture(t *testing.T, a *Analyzer, pkgpaths ...string) {
 	t.Helper()
-	ld, err := newFixtureLoader("testdata")
+	RunFixtureIn(t, "testdata", a, pkgpaths...)
+}
+
+// RunFixtureIn is RunFixture with an explicit fixture root (root/src/...).
+// The interprocedural analyzers use per-analyzer roots
+// (testdata/<name>/src/...) because every // want comment in a package
+// is checked against the single analyzer under test, so one fixture
+// tree cannot serve two analyzers' expectations for the same import
+// path.
+//
+// All named packages (and the sibling fixtures they import) are loaded
+// into one Suite before any analyzer runs, so facts propagate across
+// the fixture packages exactly as they do across the real module.
+func RunFixtureIn(t *testing.T, root string, a *Analyzer, pkgpaths ...string) {
+	t.Helper()
+	ld, err := newFixtureLoader(root)
 	if err != nil {
 		t.Fatalf("fixture loader: %v", err)
 	}
-	for _, path := range pkgpaths {
+	named := make([]*Package, len(pkgpaths))
+	for i, path := range pkgpaths {
 		pkg, err := ld.load(path)
 		if err != nil {
 			t.Fatalf("load fixture %s: %v", path, err)
 		}
-		diags, err := RunAnalyzer(a, pkg)
+		named[i] = pkg
+	}
+	suite := NewSuite(ld.order)
+	for i, pkg := range named {
+		diags, err := suite.Run(a, pkg)
 		if err != nil {
-			t.Fatalf("run %s on %s: %v", a.Name, path, err)
+			t.Fatalf("run %s on %s: %v", a.Name, pkgpaths[i], err)
 		}
 		checkExpectations(t, a, pkg, diags)
 	}
@@ -122,6 +142,7 @@ type fixtureLoader struct {
 	root    string // testdata directory
 	fset    *token.FileSet
 	pkgs    map[string]*Package // by fixture import path
+	order   []*Package          // load (dependency) order, for Suite construction
 	loading map[string]bool     // import-cycle guard
 	gc      types.Importer
 }
@@ -194,6 +215,7 @@ func (ld *fixtureLoader) load(path string) (*Package, error) {
 	}
 	pkg := &Package{PkgPath: path, Fset: ld.fset, Files: files, Types: tpkg, TypesInfo: info}
 	ld.pkgs[path] = pkg
+	ld.order = append(ld.order, pkg)
 	return pkg, nil
 }
 

@@ -1,0 +1,374 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// GoLeak enforces the goroutine-lifetime invariant (DESIGN.md "Enforced
+// invariants"): every `go` statement in the tree must be provably
+// joinable — the spawned body selects on a cancellation signal
+// (ctx.Done() or a shutdown channel some function closes), participates
+// in a sync.WaitGroup the spawner Adds to, or is a one-shot
+// result-reporter whose only sends land on buffered channels. Anything
+// else is a goroutine the daemon cannot drain on Shutdown, which is how
+// the 16-session hammer test dies under -race.
+//
+// The proof is interprocedural: a fact-propagation step computes, for
+// every function in the Suite, the cancellation signals its (transitive,
+// non-goroutine) body may wait on, then each go statement is judged by
+// the fact of its spawn target — a named function in another package
+// works as well as an inline literal.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc: "require every go statement to be provably joinable: select on " +
+		"ctx.Done()/a closed shutdown channel, WaitGroup registration, or " +
+		"sends confined to buffered channels",
+	Run: runGoLeak,
+}
+
+// goleakAllowlist names spawning functions whose go statements are
+// exempt, keyed pkg.func like nopanic's allowlist. Entries are reviewed
+// design decisions documented in DESIGN.md.
+var goleakAllowlist = map[string]string{}
+
+// GoFact is the per-function joinability evidence, unioned transitively
+// over non-goroutine call edges.
+type GoFact struct {
+	// CtxDone: the body receives from a context's Done() channel.
+	CtxDone bool
+	// WGDone / WGWait: the body calls (*sync.WaitGroup).Done / .Wait.
+	WGDone bool
+	WGWait bool
+	// Recv and Sends are stateKey identities of channels the body
+	// receives from (or ranges over / selects on) and sends to.
+	Recv  []string
+	Sends []string
+}
+
+// mergeInto unions o into f, reporting whether f changed.
+func mergeInto(f *GoFact, o GoFact) bool {
+	changed := false
+	if o.CtxDone && !f.CtxDone {
+		f.CtxDone = true
+		changed = true
+	}
+	if o.WGDone && !f.WGDone {
+		f.WGDone = true
+		changed = true
+	}
+	if o.WGWait && !f.WGWait {
+		f.WGWait = true
+		changed = true
+	}
+	var c bool
+	if c, f.Recv = mergeKeys(f.Recv, o.Recv); c {
+		changed = true
+	}
+	if c, f.Sends = mergeKeys(f.Sends, o.Sends); c {
+		changed = true
+	}
+	return changed
+}
+
+func mergeKeys(dst, src []string) (bool, []string) {
+	changed := false
+	for _, k := range src {
+		found := false
+		for _, d := range dst {
+			if d == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst = append(dst, k)
+			changed = true
+		}
+	}
+	return changed, dst
+}
+
+// goleakResult is the whole-suite output, computed once per Suite.
+type goleakResult struct {
+	byPkg map[string][]Diagnostic
+}
+
+func runGoLeak(pass *Pass) error {
+	res := pass.SuiteMemo("goleak", func() any {
+		return computeGoLeak(pass)
+	}).(*goleakResult)
+	for _, d := range res.byPkg[pass.Pkg.Path()] {
+		pass.Report(d)
+	}
+	return nil
+}
+
+func computeGoLeak(pass *Pass) *goleakResult {
+	graph, pkgs := pass.Graph, pass.Packages
+
+	// Global channel evidence: every channel key that some function
+	// closes or sends to (a receiver of such a channel eventually wakes),
+	// and every channel key created buffered with a constant capacity (a
+	// sender on such a channel cannot block on a one-shot handoff).
+	closedOrSent := map[string]bool{}
+	buffered := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if n == nil {
+					return false
+				}
+				fd := enclosingFuncDecl(file, n.Pos())
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+						if _, isBuiltin := pkg.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+							if k := stateKey(pkg, fd, n.Args[0]); k != "" {
+								closedOrSent[k] = true
+							}
+						}
+					}
+				case *ast.SendStmt:
+					if k := stateKey(pkg, fd, n.Chan); k != "" {
+						closedOrSent[k] = true
+					}
+				case *ast.AssignStmt:
+					for i, rhs := range n.Rhs {
+						if i >= len(n.Lhs) {
+							break
+						}
+						if isBufferedMake(pkg.TypesInfo, rhs) {
+							if k := stateKey(pkg, fd, n.Lhs[i]); k != "" {
+								buffered[k] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Direct per-function facts, then transitive propagation over the
+	// call graph (goroutine edges excluded) to fixpoint.
+	facts := map[string]*GoFact{}
+	graph.Funcs(pkgs, func(fn *FuncNode) {
+		f := collectGoFact(fn.Pkg, fn.Decl, fn.Decl.Body)
+		facts[fn.Key] = &f
+	})
+	for changed := true; changed; {
+		changed = false
+		graph.Funcs(pkgs, func(fn *FuncNode) {
+			for _, e := range fn.Calls {
+				if e.Go {
+					continue
+				}
+				if callee := facts[e.Callee]; callee != nil {
+					if mergeInto(facts[fn.Key], *callee) {
+						changed = true
+					}
+				}
+			}
+		})
+	}
+	for k, f := range facts {
+		pass.ExportFact(k, *f)
+	}
+
+	// Judge every go statement by its spawn target's fact.
+	res := &goleakResult{byPkg: map[string][]Diagnostic{}}
+	joinable := func(f *GoFact, spawner *FuncNode, site token.Pos) (bool, string) {
+		if f == nil {
+			return false, "its body is outside the analyzed module"
+		}
+		if f.CtxDone {
+			return true, ""
+		}
+		if f.WGWait {
+			return true, ""
+		}
+		for _, k := range f.Recv {
+			if closedOrSent[k] {
+				return true, ""
+			}
+		}
+		if f.WGDone && spawnerAddsWaitGroup(spawner, site) {
+			return true, ""
+		}
+		if len(f.Sends) > 0 {
+			ok := true
+			for _, k := range f.Sends {
+				if !buffered[k] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true, ""
+			}
+			return false, "it sends on an unbuffered channel with no cancellation path"
+		}
+		return false, "it neither selects on a cancellation signal nor joins a WaitGroup"
+	}
+	graph.Funcs(pkgs, func(fn *FuncNode) {
+		if !underInternalOrCmd(fn.Pkg.PkgPath) {
+			return
+		}
+		if _, ok := goleakAllowlist[fn.Pkg.PkgPath+"."+fn.Decl.Name.Name]; ok {
+			return
+		}
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var fact *GoFact
+			name := "goroutine"
+			if lit, isLit := ast.Unparen(g.Call.Fun).(*ast.FuncLit); isLit {
+				f := collectGoFact(fn.Pkg, fn.Decl, lit.Body)
+				// Fold in the transitive facts of everything the literal
+				// calls synchronously.
+				var edges []CallEdge
+				collectCalls(fn.Pkg.TypesInfo, lit.Body, false, &edges)
+				for _, e := range edges {
+					if e.Go {
+						continue
+					}
+					if callee := facts[e.Callee]; callee != nil {
+						mergeInto(&f, *callee)
+					}
+				}
+				fact = &f
+			} else if callee := calleeFunc(fn.Pkg.TypesInfo, g.Call); callee != nil {
+				name = callee.Name()
+				fact = facts[ObjectKey(callee)]
+			}
+			if ok, why := joinable(fact, fn, g.Pos()); !ok {
+				res.byPkg[fn.Pkg.PkgPath] = append(res.byPkg[fn.Pkg.PkgPath], Diagnostic{
+					Pos: g.Pos(),
+					Message: "go statement spawns " + name + " that is not provably joinable: " + why +
+						" (select on ctx.Done()/a shutdown channel, or register with a WaitGroup)",
+				})
+			}
+			return true
+		})
+	})
+	return res
+}
+
+// collectGoFact gathers the direct joinability evidence of one body,
+// skipping nested go statements (their bodies run on yet another
+// goroutine and are judged at their own spawn sites).
+func collectGoFact(pkg *Package, fd *ast.FuncDecl, body ast.Node) GoFact {
+	var f GoFact
+	info := pkg.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if isCtxDone(info, n.X) {
+					f.CtxDone = true
+				} else if k := stateKey(pkg, fd, n.X); k != "" {
+					_, f.Recv = mergeKeys(f.Recv, []string{k})
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := types.Unalias(tv.Type).Underlying().(*types.Chan); isChan {
+					if isCtxDone(info, n.X) {
+						f.CtxDone = true
+					} else if k := stateKey(pkg, fd, n.X); k != "" {
+						_, f.Recv = mergeKeys(f.Recv, []string{k})
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if k := stateKey(pkg, fd, n.Chan); k != "" {
+				_, f.Sends = mergeKeys(f.Sends, []string{k})
+			}
+		case *ast.CallExpr:
+			if m := waitGroupMethod(info, n); m == "Done" {
+				f.WGDone = true
+			} else if m == "Wait" {
+				f.WGWait = true
+			}
+		}
+		return true
+	})
+	return f
+}
+
+// isCtxDone recognizes <-x.Done() where Done comes from context.Context.
+func isCtxDone(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "context"
+}
+
+// waitGroupMethod returns the method name for (*sync.WaitGroup) calls.
+func waitGroupMethod(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || namedTypeName(sig.Recv().Type()) != "WaitGroup" {
+		return ""
+	}
+	return fn.Name()
+}
+
+// spawnerAddsWaitGroup reports whether the spawning function calls
+// (*sync.WaitGroup).Add before the go statement at site — the Add-then-
+// spawn half of the WaitGroup protocol whose Done half lives in the
+// spawned body.
+func spawnerAddsWaitGroup(fn *FuncNode, site token.Pos) bool {
+	found := false
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= site {
+			return true
+		}
+		if waitGroupMethod(fn.Pkg.TypesInfo, call) == "Add" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isBufferedMake recognizes make(chan T, n) with constant n > 0.
+func isBufferedMake(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok {
+		return false
+	}
+	if _, isChan := types.Unalias(tv.Type).Underlying().(*types.Chan); !isChan {
+		return false
+	}
+	if cap, ok := info.Types[call.Args[1]]; ok && cap.Value != nil {
+		if n, err := strconv.ParseInt(cap.Value.ExactString(), 10, 64); err == nil {
+			return n > 0
+		}
+	}
+	return false
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestGoLeak(t *testing.T) {
+	RunFixtureIn(t, "testdata/goleak", GoLeak, "repro/internal/leakfix")
+}

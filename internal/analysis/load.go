@@ -141,21 +141,3 @@ func newTypesInfo() *types.Info {
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
 }
-
-// RunAnalyzer applies one analyzer to one package, collecting its
-// diagnostics.
-func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	pass := &Pass{
-		Analyzer:  a,
-		Fset:      pkg.Fset,
-		Files:     pkg.Files,
-		Pkg:       pkg.Types,
-		TypesInfo: pkg.TypesInfo,
-		Report:    func(d Diagnostic) { diags = append(diags, d) },
-	}
-	if err := a.Run(pass); err != nil {
-		return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
-	}
-	return diags, nil
-}

@@ -1,0 +1,393 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder guards the daemon's deadlock freedom (DESIGN.md "Enforced
+// invariants"): the mutex-bearing layers (xq.Index, xq.SharedExtents,
+// artifacts.Store, server.manager, server.metrics, core.Session) may
+// nest lock acquisitions, but only in one global order, and no function
+// may call — while holding a lock — into a function that (transitively)
+// acquires the same lock. Locks are identified structurally, by the
+// field or variable that holds them ("pkg.Type.field" / "pkg.var"), so
+// the analysis is instance-insensitive: conservative, but exactly right
+// for this repository, where each guarded structure has one lock role.
+//
+// The analysis is interprocedural: a fact-propagation step first
+// computes, for every function in the Suite, the set of lock keys it
+// may acquire (directly or through calls; goroutine spawns are
+// excluded, since the spawner does not block on them). Each function
+// body is then scanned linearly — acquire adds to the held set, release
+// removes, a deferred release holds to function end — and every call
+// made under a held lock is checked against the callee's fact.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "flag lock-acquisition cycles and calls made while holding a " +
+		"mutex into functions that (transitively) acquire the same lock",
+	Run: runLockOrder,
+}
+
+// lockAllowlist names functions whose diagnostics are suppressed, keyed
+// pkg.func like nopanic's. Adding an entry is a reviewed design
+// decision documented in DESIGN.md's "Enforced invariants" table.
+var lockAllowlist = map[string]string{}
+
+// LockFact is the exported per-function fact: the sorted lock keys the
+// function may acquire, transitively.
+type LockFact struct {
+	Acquires []string
+}
+
+func (f LockFact) acquires(key string) bool {
+	i := sort.SearchStrings(f.Acquires, key)
+	return i < len(f.Acquires) && f.Acquires[i] == key
+}
+
+// lockResult is the whole-suite analysis output, computed once per
+// Suite and sliced per package when reporting.
+type lockResult struct {
+	byPkg map[string][]Diagnostic
+}
+
+func runLockOrder(pass *Pass) error {
+	res := pass.SuiteMemo("lockorder", func() any {
+		return computeLockOrder(pass)
+	}).(*lockResult)
+	for _, d := range res.byPkg[pass.Pkg.Path()] {
+		pass.Report(d)
+	}
+	return nil
+}
+
+// lockEvent is one ordered occurrence in a function body.
+type lockEvent struct {
+	pos token.Pos
+	// kind: "acquire", "release", "call"
+	kind string
+	key  string // lock key (acquire/release)
+	try  bool   // TryLock/TryRLock: acquisition is non-blocking
+	// callee is the called function's object key (kind "call").
+	callee string
+}
+
+// lockEdge is one observed acquisition order: from held before to.
+type lockEdge struct{ from, to string }
+
+func computeLockOrder(pass *Pass) *lockResult {
+	graph, pkgs := pass.Graph, pass.Packages
+
+	// Phase 1: direct acquisitions and ordered events per function.
+	events := map[string][]lockEvent{}
+	direct := map[string]map[string]bool{}
+	graph.Funcs(pkgs, func(fn *FuncNode) {
+		evs := collectLockEvents(fn)
+		events[fn.Key] = evs
+		for _, ev := range evs {
+			if ev.kind == "acquire" {
+				if direct[fn.Key] == nil {
+					direct[fn.Key] = map[string]bool{}
+				}
+				direct[fn.Key][ev.key] = true
+			}
+		}
+	})
+
+	// Phase 2: fact propagation — transitive Acquires over the call
+	// graph (goroutine edges excluded), to fixpoint.
+	trans := map[string]map[string]bool{}
+	for k, s := range direct {
+		trans[k] = map[string]bool{}
+		for l := range s {
+			trans[k][l] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		graph.Funcs(pkgs, func(fn *FuncNode) {
+			for _, e := range fn.Calls {
+				if e.Go {
+					continue
+				}
+				callee := trans[e.Callee]
+				if len(callee) == 0 {
+					continue
+				}
+				mine := trans[fn.Key]
+				if mine == nil {
+					mine = map[string]bool{}
+					trans[fn.Key] = mine
+				}
+				for l := range callee {
+					if !mine[l] {
+						mine[l] = true
+						changed = true
+					}
+				}
+			}
+		})
+	}
+	facts := map[string]LockFact{}
+	for k, s := range trans {
+		keys := make([]string, 0, len(s))
+		for l := range s {
+			keys = append(keys, l)
+		}
+		sort.Strings(keys)
+		facts[k] = LockFact{Acquires: keys}
+		pass.ExportFact(k, facts[k])
+	}
+
+	// Phase 3: simulate each body; collect held-across diagnostics and
+	// the global acquisition-order edge set.
+	res := &lockResult{byPkg: map[string][]Diagnostic{}}
+	report := func(fn *FuncNode, pos token.Pos, format string, args ...any) {
+		if !underInternalOrCmd(fn.Pkg.PkgPath) {
+			return
+		}
+		if _, ok := lockAllowlist[fn.Pkg.PkgPath+"."+fn.Decl.Name.Name]; ok {
+			return
+		}
+		res.byPkg[fn.Pkg.PkgPath] = append(res.byPkg[fn.Pkg.PkgPath],
+			Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+	var edges []lockEdge
+	edgeSite := map[lockEdge]struct {
+		fn  *FuncNode
+		pos token.Pos
+	}{}
+	addEdge := func(fn *FuncNode, pos token.Pos, from, to string) {
+		e := lockEdge{from, to}
+		if _, ok := edgeSite[e]; !ok {
+			edges = append(edges, e)
+			edgeSite[e] = struct {
+				fn  *FuncNode
+				pos token.Pos
+			}{fn, pos}
+		}
+	}
+	graph.Funcs(pkgs, func(fn *FuncNode) {
+		var held []string
+		for _, ev := range events[fn.Key] {
+			switch ev.kind {
+			case "acquire":
+				for _, h := range held {
+					if h == ev.key {
+						if !ev.try {
+							report(fn, ev.pos,
+								"%s acquired while already held in %s; sync mutexes are not reentrant",
+								ev.key, fn.Decl.Name.Name)
+						}
+					} else {
+						addEdge(fn, ev.pos, h, ev.key)
+					}
+				}
+				held = append(held, ev.key)
+			case "release":
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == ev.key {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			case "call":
+				if len(held) == 0 {
+					continue
+				}
+				fact, ok := facts[ev.callee]
+				if !ok {
+					continue
+				}
+				for _, h := range held {
+					if fact.acquires(h) {
+						report(fn, ev.pos,
+							"%s called while %s is held, and it (transitively) acquires %s; possible self-deadlock",
+							shortKey(ev.callee), h, h)
+						continue
+					}
+					for _, l := range fact.Acquires {
+						addEdge(fn, ev.pos, h, l)
+					}
+				}
+			}
+		}
+	})
+
+	// Phase 4: cycle detection over the acquisition-order graph. Every
+	// edge on a cycle is reported at its own site, so each involved
+	// package sees its half of the inversion.
+	adj := map[string][]string{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for _, e := range edges {
+		if path := lockPath(adj, e.to, e.from); path != nil {
+			site := edgeSite[e]
+			report(site.fn, site.pos,
+				"lock order cycle: %s is acquired before %s here, but %s is reachable from %s (%s)",
+				e.from, e.to, e.from, e.to, strings.Join(append([]string{e.to}, path...), " -> "))
+		}
+	}
+	return res
+}
+
+// lockPath returns the acquisition path from -> ... -> to (excluding
+// from), or nil when unreachable.
+func lockPath(adj map[string][]string, from, to string) []string {
+	seen := map[string]bool{from: true}
+	type frame struct {
+		key  string
+		path []string
+	}
+	queue := []frame{{from, nil}}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[f.key] {
+			if seen[next] {
+				continue
+			}
+			path := append(append([]string(nil), f.path...), next)
+			if next == to {
+				return path
+			}
+			seen[next] = true
+			queue = append(queue, frame{next, path})
+		}
+	}
+	return nil
+}
+
+// collectLockEvents scans one function body in source order. Goroutine
+// bodies are skipped (the spawner does not block on them); deferred
+// releases produce no event, so the lock stays held to function end —
+// the defer-unlock idiom's real semantics.
+func collectLockEvents(fn *FuncNode) []lockEvent {
+	var evs []lockEvent
+	info := fn.Pkg.TypesInfo
+	var walk func(n ast.Node)
+	walk = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				return false
+			case *ast.DeferStmt:
+				if op, _ := syncLockOp(info, n.Call); op == "Unlock" || op == "RUnlock" {
+					return false // held to function end
+				}
+				if fn := calleeFunc(info, n.Call); fn != nil {
+					// A deferred call runs at return — by then explicit
+					// releases have happened but defer-held locks have not,
+					// which the linear scan already approximates.
+					evs = append(evs, lockEvent{pos: n.Call.Pos(), kind: "call", callee: ObjectKey(fn)})
+				}
+				return false
+			case *ast.CallExpr:
+				if op, lockExpr := syncLockOp(info, n); op != "" {
+					key := stateKey(fn.Pkg, fn.Decl, lockExpr)
+					if key == "" {
+						return true
+					}
+					switch op {
+					case "Lock", "RLock":
+						evs = append(evs, lockEvent{pos: n.Pos(), kind: "acquire", key: key})
+					case "TryLock", "TryRLock":
+						evs = append(evs, lockEvent{pos: n.Pos(), kind: "acquire", key: key, try: true})
+					case "Unlock", "RUnlock":
+						evs = append(evs, lockEvent{pos: n.Pos(), kind: "release", key: key})
+					}
+					return true
+				}
+				if fn := calleeFunc(info, n); fn != nil {
+					evs = append(evs, lockEvent{pos: n.Pos(), kind: "call", callee: ObjectKey(fn)})
+				}
+			}
+			return true
+		})
+	}
+	walk(fn.Decl.Body)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	return evs
+}
+
+// syncLockOp recognizes a sync.Mutex/RWMutex method call and returns
+// the operation name plus the expression holding the lock.
+func syncLockOp(info *types.Info, call *ast.CallExpr) (op string, lockExpr ast.Expr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", nil
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", nil
+	}
+	if name := namedTypeName(recv.Type()); name != "Mutex" && name != "RWMutex" {
+		return "", nil
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+		return fn.Name(), sel.X
+	}
+	return "", nil
+}
+
+// stateKey names a field or variable structurally, for lock and channel
+// identity: "pkg.Type.field" for struct fields (any receiver instance),
+// "pkg.var" for package-level variables, "pkg.func.var" for locals.
+func stateKey(pkg *Package, fd *ast.FuncDecl, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			owner := sel.Recv()
+			if name := namedTypeName(owner); name != "?" {
+				if named, ok := types.Unalias(derefType(owner)).(*types.Named); ok && named.Obj().Pkg() != nil {
+					return named.Obj().Pkg().Path() + "." + name + "." + e.Sel.Name
+				}
+			}
+			return ""
+		}
+		// Package-qualified variable: pkg.Var.
+		if v, ok := pkg.TypesInfo.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		obj := pkg.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = pkg.TypesInfo.Defs[e]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return ""
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		fnName := "?"
+		if fd != nil {
+			fnName = fd.Name.Name
+		}
+		return v.Pkg().Path() + "." + fnName + "." + v.Name()
+	}
+	return ""
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// shortKey trims the module prefix from an object key for messages.
+func shortKey(key string) string {
+	return strings.TrimPrefix(key, "repro/internal/")
+}

@@ -20,13 +20,18 @@ func TestTreeIsClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("loaded no packages")
 	}
+	// One Suite for the whole module: the interprocedural analyzers
+	// (arenaalias, lockorder, goleak) need cross-package facts, and the
+	// single fact store means their whole-program step runs once, not
+	// once per package.
+	suite := NewSuite(pkgs)
 	var sawAnalysis bool
 	for _, pkg := range pkgs {
 		if strings.HasSuffix(pkg.PkgPath, "internal/analysis") {
 			sawAnalysis = true
 		}
 		for _, a := range All() {
-			diags, err := RunAnalyzer(a, pkg)
+			diags, err := suite.Run(a, pkg)
 			if err != nil {
 				t.Fatalf("%s on %s: %v", a.Name, pkg.PkgPath, err)
 			}

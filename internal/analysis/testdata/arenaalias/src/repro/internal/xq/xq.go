@@ -1,0 +1,104 @@
+// Package xq is the arenaalias fixture: it mirrors the evaluator's
+// arena shape (an execArena struct whose slice fields own scratch
+// memory) so each taint rule, each copy barrier, and the allowlist is
+// pinned by a // want line — or, for the negatives, by its absence.
+package xq
+
+import "repro/internal/xmldoc"
+
+type execArena struct {
+	out []int
+	buf []byte
+}
+
+type Evaluator struct {
+	exe   execArena
+	memo  map[string][]int
+	cache [][]int
+}
+
+// run mirrors the executor: unexported, returns the arena. Callers of
+// run inherit the taint through the arenaReturns fact; run itself is
+// not a diagnostic.
+func (e *Evaluator) run() []int {
+	e.exe.out = e.exe.out[:0]
+	return e.exe.out
+}
+
+// runErr is the tuple-returning form (the executor's real signature).
+func (e *Evaluator) runErr() ([]int, error) {
+	return e.exe.out, nil
+}
+
+// Extent leaks the arena across the exported API boundary.
+func (e *Evaluator) Extent() []int {
+	res, err := e.runErr()
+	if err != nil {
+		return nil
+	}
+	return res // want `arena-aliasing slice returned from exported Extent`
+}
+
+// ExtentCopy copies at the boundary: clean.
+func (e *Evaluator) ExtentCopy() []int {
+	res := e.run()
+	return append([]int(nil), res...)
+}
+
+// memoize stores the arena in a map once raw (reported) and once
+// through the documented copy barrier (clean).
+func (e *Evaluator) memoize(k string) {
+	e.memo[k] = e.run() // want `arena-aliasing slice stored in map/slice element`
+	e.memo[k] = append([]int(nil), e.run()...)
+}
+
+// stash stores the arena in a struct field.
+func (e *Evaluator) stash(s *struct{ last []int }) {
+	s.last = e.exe.out // want `arena-aliasing slice stored in field last`
+}
+
+// keep retains its parameter (the retains fact; no diagnostic here —
+// keep itself never touches the arena).
+func (e *Evaluator) keep(xs []int) {
+	e.cache = append(e.cache, xs)
+}
+
+// viaRetain escapes through keep's retention, and then does it right.
+func (e *Evaluator) viaRetain() {
+	e.keep(e.run()) // want `arena-aliasing slice passed to keep, which retains its argument`
+	e.keep(append([]int(nil), e.run()...))
+}
+
+// spawn captures the arena on a goroutine that outlives the window.
+func (e *Evaluator) spawn() {
+	out := e.run()
+	go func() { // want `arena-aliasing slice captured by a goroutine`
+		_ = out[0]
+	}()
+}
+
+// str crosses the string barrier: string(b) copies the bytes.
+func (e *Evaluator) str() string {
+	b := e.exe.buf
+	return string(b)
+}
+
+// execExtent matches the arenaAllowlist entry
+// (repro/internal/xq.execExtent): the arena owner's internal shuffling
+// is the contract, so this store is suppressed.
+func (e *Evaluator) execExtent() {
+	e.memo["scratch"] = e.exe.out
+}
+
+// storeLeak is byte-for-byte the same shape as execExtent without the
+// allowlist entry — proof the allowlist does not over-suppress.
+func (e *Evaluator) storeLeak() {
+	e.memo["scratch"] = e.exe.out // want `arena-aliasing slice stored in map/slice element`
+}
+
+// scribble writes through a Columns view outside internal/xmldoc.
+func scribble(c *xmldoc.Columns) {
+	c.Kind[0] = 0 // want `write to Columns.Kind outside internal/xmldoc`
+	c.Sym = nil   // want `write to Columns.Sym outside internal/xmldoc`
+	_ = c.Kind[0] // reads are fine
+}

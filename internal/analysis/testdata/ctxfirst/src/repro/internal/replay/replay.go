@@ -1,0 +1,21 @@
+// Package replay (ctxfirst fixture) pins the enrollment of replay
+// re-execution in the cancellable-pipeline scope.
+package replay
+
+import "context"
+
+// Run has a ctx parameter but abandons it for a fresh root.
+func Run(ctx context.Context, log []string) error {
+	_ = log
+	return work(context.Background()) // want `Run has a ctx parameter but calls context.Background`
+}
+
+func work(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// RunContext threads the context: clean.
+func RunContext(ctx context.Context, log []string) error {
+	_ = log
+	return work(ctx)
+}

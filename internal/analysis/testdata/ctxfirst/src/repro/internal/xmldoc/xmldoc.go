@@ -1,0 +1,26 @@
+// Package xmldoc (ctxfirst fixture) pins the enrollment of document
+// parsing in the cancellable-pipeline scope: exported entry points may
+// not mint their own root context, and ctx comes first.
+package xmldoc
+
+import "context"
+
+// Parse mints its own context despite being an exported entry point.
+func Parse(data []byte) error {
+	ctx := context.Background() // want `exported Parse calls context.Background`
+	_ = ctx
+	_ = data
+	return nil
+}
+
+// Build takes ctx in the wrong position.
+func Build(data []byte, ctx context.Context) error { // want `Build takes context.Context as parameter 2`
+	_ = data
+	return ctx.Err()
+}
+
+// ParseContext threads the caller's context: clean.
+func ParseContext(ctx context.Context, data []byte) error {
+	_ = data
+	return ctx.Err()
+}

@@ -1,0 +1,29 @@
+// Package replay (determinism fixture) pins the enrollment of the
+// replay log in the table-package scope: a replayed session must
+// re-execute bit-identically, so wall-clock reads and map-order
+// emission are reported.
+package replay
+
+import (
+	"fmt"
+	"time"
+)
+
+// Timestamp would make replay logs differ run to run.
+func Timestamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in a table-producing package`
+}
+
+// DumpCounts writes map entries in iteration order.
+func DumpCounts(counts map[string]int) {
+	for k, v := range counts { // want `map iteration`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// Replay of a recorded slice is naturally ordered: no report.
+func Replay(steps []string) {
+	for _, s := range steps {
+		fmt.Println(s)
+	}
+}

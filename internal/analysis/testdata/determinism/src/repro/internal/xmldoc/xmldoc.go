@@ -1,0 +1,33 @@
+// Package xmldoc (determinism fixture) pins the enrollment of the
+// columnar document layout in the table-package scope: wall-clock reads
+// and unsorted map-order emission are reported here exactly as in the
+// packages that write the experiment tables.
+package xmldoc
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Stamp would make column builds time-dependent.
+func Stamp() string {
+	return time.Now().String() // want `time.Now in a table-producing package`
+}
+
+// DumpSyms emits map entries in iteration order.
+func DumpSyms(syms map[string]int32) {
+	for name := range syms { // want `map iteration`
+		fmt.Println(name)
+	}
+}
+
+// SortedSyms collects then sorts: the idiomatic fix.
+func SortedSyms(syms map[string]int32) []string {
+	names := make([]string, 0, len(syms))
+	for name := range syms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

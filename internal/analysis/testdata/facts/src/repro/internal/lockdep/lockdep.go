@@ -1,0 +1,16 @@
+// Package lockdep is the callee half of the cross-package fact
+// fixture: Acquire's lock fact is recorded here and consumed by a
+// caller in repro/internal/lockuse. This package itself is clean.
+package lockdep
+
+import "sync"
+
+// Mu is the package lock; its structural key is
+// "repro/internal/lockdep.Mu" from both sides of the package boundary.
+var Mu sync.Mutex
+
+// Acquire takes and releases the package lock.
+func Acquire() {
+	Mu.Lock()
+	defer Mu.Unlock()
+}

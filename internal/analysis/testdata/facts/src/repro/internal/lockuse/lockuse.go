@@ -1,0 +1,19 @@
+// Package lockuse is the caller half of the cross-package fact
+// fixture: the diagnostic below exists only because lockorder's
+// fact-propagation step tagged lockdep.Acquire — in another package —
+// with the lock it acquires.
+package lockuse
+
+import "repro/internal/lockdep"
+
+// Bad holds the dependency's lock while calling back into it.
+func Bad() {
+	lockdep.Mu.Lock()
+	defer lockdep.Mu.Unlock()
+	lockdep.Acquire() // want `lockdep.Acquire called while repro/internal/lockdep.Mu is held`
+}
+
+// Good calls without holding: no report.
+func Good() {
+	lockdep.Acquire()
+}

@@ -1,0 +1,94 @@
+// Package leakfix is the goleak fixture: one positive and one negative
+// for each joinability rule — ctx.Done selection, shutdown-channel
+// receive (closed elsewhere in the package), WaitGroup registration,
+// and one-shot sends on buffered channels.
+package leakfix
+
+import (
+	"context"
+	"sync"
+)
+
+type Server struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Leak spins forever with no cancellation path.
+func (s *Server) Leak() {
+	go func() { // want `not provably joinable`
+		for {
+			_ = s
+		}
+	}()
+}
+
+func spin() {
+	for {
+	}
+}
+
+// LeakNamed spawns a named function with no joinability evidence.
+func (s *Server) LeakNamed() {
+	go spin() // want `not provably joinable`
+}
+
+// CtxOK selects on ctx.Done.
+func (s *Server) CtxOK(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// worker drains the shutdown channel; its joinability is a fact the
+// spawn site below imports.
+func (s *Server) worker() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// StopOK spawns the worker; Close closes the channel it receives from.
+func (s *Server) StopOK() {
+	go s.worker()
+}
+
+func (s *Server) Close() {
+	close(s.stop)
+}
+
+// WGOK follows the Add-then-spawn / Done-in-body protocol.
+func (s *Server) WGOK() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+	}()
+}
+
+// BufferedOK is a one-shot result reporter: the buffered send cannot
+// block, so the goroutine always terminates.
+func BufferedOK() error {
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- nil
+	}()
+	return <-errCh
+}
+
+// UnbufferedLeak blocks forever if the receiver abandons the channel.
+func UnbufferedLeak() {
+	ch := make(chan int)
+	go func() { // want `sends on an unbuffered channel`
+		ch <- 1
+	}()
+	<-ch
+}

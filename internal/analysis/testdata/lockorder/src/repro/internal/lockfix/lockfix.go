@@ -1,0 +1,102 @@
+// Package lockfix is the lockorder fixture: structural lock identity
+// ("pkg.Type.field"), held-across-call detection through the transitive
+// Acquires fact, direct re-acquisition, and acquisition-order cycles —
+// plus the negatives (consistent ordering, release-before-call, read
+// locks, deferred unlocks) that must stay silent.
+package lockfix
+
+import "sync"
+
+type S struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	mu sync.RWMutex
+}
+
+// lockA acquires and releases a: the fact callers are judged by.
+func (s *S) lockA() {
+	s.a.Lock()
+	defer s.a.Unlock()
+}
+
+// Deadlock calls back into the lock it holds.
+func (s *S) Deadlock() {
+	s.a.Lock()
+	s.lockA() // want `lockA called while repro/internal/lockfix.S.a is held`
+	s.a.Unlock()
+}
+
+// helper only reaches lockA indirectly; the fact is transitive.
+func (s *S) helper() {
+	s.lockA()
+}
+
+// DeadlockTransitive deadlocks two hops away.
+func (s *S) DeadlockTransitive() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.helper() // want `helper called while repro/internal/lockfix.S.a is held`
+}
+
+// Recursive re-acquires directly.
+func (s *S) Recursive() {
+	s.a.Lock()
+	s.a.Lock() // want `sync mutexes are not reentrant`
+	s.a.Unlock()
+	s.a.Unlock()
+}
+
+// AB and BA acquire in opposite orders: each half of the cycle is
+// reported at its own site.
+func (s *S) AB() {
+	s.a.Lock()
+	s.b.Lock() // want `lock order cycle`
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *S) BA() {
+	s.b.Lock()
+	s.a.Lock() // want `lock order cycle`
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+type T struct {
+	c, d sync.Mutex
+}
+
+// Consistent nesting (always c before d) is fine.
+func (t *T) CD() {
+	t.c.Lock()
+	t.d.Lock()
+	t.d.Unlock()
+	t.c.Unlock()
+}
+
+func (t *T) lockD() {
+	t.d.Lock()
+	defer t.d.Unlock()
+}
+
+// UnderC calls into a d-acquirer while holding c: same c-before-d
+// order, no report.
+func (t *T) UnderC() {
+	t.c.Lock()
+	defer t.c.Unlock()
+	t.lockD()
+}
+
+// ReleaseThenCall is clean: nothing is held at the call.
+func (s *S) ReleaseThenCall() {
+	s.a.Lock()
+	s.a.Unlock()
+	s.lockA()
+}
+
+// Read locks nest with nothing.
+func (s *S) Read() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return 0
+}

@@ -1,0 +1,60 @@
+package xq
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/xmldoc"
+)
+
+// TestExtentResultDoesNotAliasArena pins the ownership contract the
+// arenaalias analyzer enforces statically (DESIGN.md "Arena
+// ownership"): Extent's result is caller-owned on every path. Running
+// a different extent through the same evaluator reuses the compiled
+// executor's arena, so if Extent ever handed out the arena directly,
+// the earlier result would be clobbered here.
+func TestExtentResultDoesNotAliasArena(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<site><regions><europe>")
+	for i := 0; i < 50; i++ {
+		b.WriteString("<item id=\"a\"><name>x</name><payment>Cash</payment></item>")
+	}
+	b.WriteString("</europe></regions></site>")
+	doc := xmldoc.MustParse(b.String())
+
+	itemQ := MustParseQuery(`for $i in /site/regions/europe/item return <r>$i</r>`)
+	nameQ := MustParseQuery(`for $j in /site/regions/europe/item/name return <r>$j</r>`)
+	itemN := itemQ.VarNode("i")
+	nameN := nameQ.VarNode("j")
+	if itemN == nil || nameN == nil {
+		t.Fatal("no var node")
+	}
+
+	ev := NewEvaluator(doc)
+	ctx := context.Background()
+	first, err := ev.Extent(ctx, itemQ, itemN, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("empty extent")
+	}
+	saved := append([]*xmldoc.Node(nil), first...)
+
+	// A different node set through the same arena: were `first` an
+	// arena alias, its elements would now be name nodes.
+	if _, err := ev.Extent(ctx, nameQ, nameN, nil); err != nil {
+		t.Fatal(err)
+	}
+	ev.InvalidateExtents()
+	if _, err := ev.Extent(ctx, nameQ, nameN, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range saved {
+		if first[i] != saved[i] {
+			t.Fatalf("Extent result changed at index %d after arena reuse", i)
+		}
+	}
+}

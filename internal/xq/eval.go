@@ -609,8 +609,12 @@ func (e *Evaluator) Extent(ctx context.Context, t *Tree, n *Node, pinned Env) ([
 		}
 	}
 	// Compiled path: lower the binding chain once (plan.go), then run
-	// the arena executor (exec.go). The result aliases the arena, so
-	// the memo/shared/caller copies below are the only allocations.
+	// the arena executor (exec.go). The executor's result aliases the
+	// arena (see "Arena ownership" in DESIGN.md), so it is copied here,
+	// at the boundary, and `out` is caller-owned on every path below —
+	// the arenaalias analyzer proves this function never leaks the
+	// arena. The copy is not an extra allocation: it replaces the
+	// second caller-copy the tail used to make on the computed path.
 	var out []*xmldoc.Node
 	computed := false
 	if e.accel && e.compile {
@@ -620,7 +624,7 @@ func (e *Evaluator) Extent(ctx context.Context, t *Tree, n *Node, pinned Env) ([
 				putFP(fpBuf, fp)
 				return nil, err
 			}
-			out = res
+			out = append([]*xmldoc.Node(nil), res...)
 			computed = true
 		}
 	}
@@ -661,18 +665,14 @@ func (e *Evaluator) Extent(ctx context.Context, t *Tree, n *Node, pinned Env) ([
 	}
 	sortNodesByID(out)
 	if e.accel {
-		// Store a private copy: the caller owns the returned slice (and
-		// the compiled path's slice is arena scratch). The same immutable
-		// copy is published to the shared store, if one is attached.
+		// Store a private copy: the caller owns `out`, while the memo and
+		// the shared store (if attached) treat their slices as immutable.
 		stored := append([]*xmldoc.Node(nil), out...)
 		e.storeExtent(n, fp, stored)
 		if e.shared != nil {
 			e.shared.put(n, fp, stored)
 		}
 		putFP(fpBuf, fp)
-		if computed {
-			return append([]*xmldoc.Node(nil), stored...), nil
-		}
 	}
 	return out, nil
 }

@@ -10,12 +10,14 @@ import (
 
 // execArena is the executor's reusable scratch: the slot environment,
 // the output accumulator, and the join-probe key buffer. Ownership
-// rule: everything here is owned by the evaluator and valid only until
-// the next execExtent call — execExtent returns a slice aliasing out,
-// and Extent copies it before memoizing or returning, so no arena
-// memory ever escapes the evaluator. Steady state performs zero heap
-// allocations: candidates stream out of the path caches, values out of
-// the dense value cache, and the arena absorbs everything per-row.
+// rule (one home: "Arena ownership" in DESIGN.md, enforced by the
+// arenaalias analyzer): everything here is owned by the evaluator and
+// valid only until the next execExtent call — execExtent returns a
+// slice aliasing out, and Extent copies it at the boundary, so no
+// arena memory ever escapes the evaluator. Steady state performs zero
+// heap allocations: candidates stream out of the path caches, values
+// out of the dense value cache, and the arena absorbs everything
+// per-row.
 type execArena struct {
 	env    []*xmldoc.Node
 	out    []*xmldoc.Node
