@@ -4,6 +4,7 @@
 //	experiments -table=fig16-xmark    XMark interaction counts (Figure 16 top)
 //	experiments -table=fig16-xmp      XMP interaction counts (Figure 16 bottom)
 //	experiments -table=ablation       R1/R2 rule ablation (DESIGN.md)
+//	experiments -table=teacher_latency  serial vs batched protocol wall-clock at 5ms/query
 //	experiments -table=all            everything
 //
 // Add -worst to fill the bracketed worst-case counterexample counts and
@@ -23,11 +24,12 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/artifacts"
 	"repro/internal/experiments"
 )
 
 func main() {
-	table := flag.String("table", "all", "fig15 | fig16-xmark | fig16-xmp | fig16-r | ablation | all")
+	table := flag.String("table", "all", "fig15 | fig16-xmark | fig16-xmp | fig16-r | ablation | teacher_latency | all")
 	worst := flag.Bool("worst", false, "also run the worst-case counterexample policy (bracketed CE)")
 	parallel := flag.Int("parallel", 1, "number of concurrent learning sessions (<=1 runs serially)")
 	benchJSON := flag.String("bench-json", "", "write per-table wall-clock timings to this JSON file")
@@ -69,6 +71,33 @@ func main() {
 				return err
 			}
 			fmt.Println(experiments.FormatAblation(rows))
+		case "teacher_latency":
+			// The batched-protocol wall-clock benchmark: same dialogue,
+			// simulated 5ms-per-round-trip teacher, serial vs. batched.
+			// An untimed warm-up sweep fills the shared artifact store so
+			// both timed sweeps measure protocol latency, not parsing.
+			const lat = 5 * time.Millisecond
+			store := artifacts.NewStore(0)
+			scns := experiments.XMarkScenarios()
+			if _, err := experiments.LatencySweep(ctx, store, scns, 0, false); err != nil {
+				return err
+			}
+			t0 := time.Now()
+			fpSerial, err := experiments.LatencySweep(ctx, store, scns, lat, false)
+			if err != nil {
+				return err
+			}
+			serialWall := time.Since(t0)
+			t1 := time.Now()
+			fpBatched, err := experiments.LatencySweep(ctx, store, scns, lat, true)
+			if err != nil {
+				return err
+			}
+			batchedWall := time.Since(t1)
+			if fpSerial != fpBatched {
+				return fmt.Errorf("teacher_latency: batched dialogue diverged from serial")
+			}
+			fmt.Println(experiments.FormatTeacherLatency(lat, serialWall, batchedWall))
 		default:
 			return fmt.Errorf("unknown table %q", name)
 		}
@@ -77,7 +106,7 @@ func main() {
 
 	names := []string{*table}
 	if *table == "all" {
-		names = []string{"fig15", "fig16-xmark", "fig16-xmp", "fig16-r", "ablation"}
+		names = []string{"fig15", "fig16-xmark", "fig16-xmp", "fig16-r", "ablation", "teacher_latency"}
 	}
 	var records []experiments.BenchRecord
 	var ms runtime.MemStats

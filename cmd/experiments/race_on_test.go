@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; wall-clock assertions are skipped under it.
+const raceEnabled = true

@@ -41,6 +41,8 @@ func main() {
 	queue := flag.Int("queue", 16, "max learns waiting for a slot (beyond that: 429)")
 	ttl := flag.Duration("ttl", 15*time.Minute, "evict sessions idle longer than this")
 	drain := flag.Duration("drain", 10*time.Second, "grace period for active learns on shutdown")
+	teacherLatency := flag.Duration("teacher-latency", 0,
+		"simulate a slow teacher: sleep this long per answering round trip (benchmark knob)")
 	verbose := flag.Bool("v", false, "debug-level logging")
 	flag.Parse()
 
@@ -54,13 +56,14 @@ func main() {
 	defer stop()
 
 	srv := server.New(server.Config{
-		Addr:         *addr,
-		MaxLearning:  *maxLearning,
-		QueueDepth:   *queue,
-		TTL:          *ttl,
-		DrainTimeout: *drain,
-		Scenarios:    registry(),
-		Logger:       logger,
+		Addr:           *addr,
+		MaxLearning:    *maxLearning,
+		QueueDepth:     *queue,
+		TTL:            *ttl,
+		DrainTimeout:   *drain,
+		TeacherLatency: *teacherLatency,
+		Scenarios:      registry(),
+		Logger:         logger,
 	})
 	if err := srv.Run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "xlearnerd:", err)

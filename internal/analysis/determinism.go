@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -24,6 +25,13 @@ import (
 //  3. Everywhere except internal/xmark (the seeded generator that owns
 //     all randomness): no math/rand at all — neither the globally
 //     seeded top-level functions nor a locally constructed rand.New.
+//  4. In the batch-protocol packages (angluin, core, teacher): a
+//     `range` over a []bool answer vector that discards the index while
+//     advancing a cursor declared outside the loop is flagged. Batch
+//     answers are positional — answers[i] belongs to queries[i] — and
+//     an external cursor silently drifts past the first conditional
+//     skip, committing answers to the wrong table cells without
+//     failing any test. Commit by the range index instead.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "forbid unsorted map-iteration output, time.Now, and math/rand " +
@@ -50,6 +58,19 @@ var determinismTablePkgs = map[string]bool{
 	// must be bit-stable run to run.
 	"repro/internal/xmldoc": true,
 	"repro/internal/replay": true,
+	// The learner's dialogue counters are the tables' payload; the
+	// batched teacher protocol must not let map order or wall clock
+	// perturb them.
+	"repro/internal/angluin": true,
+}
+
+// determinismBatchPkgs implement the batched teacher protocol: they
+// ship query sets and commit positional answer vectors, so rule 4
+// (answers committed by range index, never an external cursor) applies.
+var determinismBatchPkgs = map[string]bool{
+	"repro/internal/angluin": true,
+	"repro/internal/core":    true,
+	"repro/internal/teacher": true,
 }
 
 func runDeterminism(pass *Pass) error {
@@ -80,6 +101,9 @@ func runDeterminism(pass *Pass) error {
 			case *ast.RangeStmt:
 				if tablePkg {
 					checkMapRangeOutput(pass, file, n)
+				}
+				if determinismBatchPkgs[path] {
+					checkBatchAnswerCursor(pass, n)
 				}
 			}
 			return true
@@ -219,6 +243,111 @@ func sortsAfter(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) bool {
 				found = true
 			}
 		}
+		return !found
+	})
+	return found
+}
+
+// checkBatchAnswerCursor implements rule 4 for one range statement: a
+// blank-index range over a []bool answer vector whose body advances a
+// cursor variable declared outside the loop AND uses that cursor as a
+// subscript. The cursor reproduces the range index only while every
+// iteration advances it exactly once; the first conditional skip
+// desynchronizes answers from their queries. A plain accumulator
+// (counting trues) advances without subscripting and is left alone.
+func checkBatchAnswerCursor(pass *Pass, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return
+	}
+	if b, ok := sl.Elem().Underlying().(*types.Basic); !ok || b.Kind() != types.Bool {
+		return
+	}
+	if !blankIdent(rng.Key) || rng.Value == nil {
+		return
+	}
+	for _, cursor := range outerCursorAdvances(pass, rng) {
+		if cursorSubscripts(pass, rng, cursor) {
+			pass.Reportf(rng.Pos(),
+				"batch answers consumed without their index while cursor %s selects their targets; "+
+					"answers are positional — commit answers[i] by the range index",
+				cursor.Name())
+			return
+		}
+	}
+}
+
+// blankIdent reports whether the range key is discarded (`_` or
+// omitted entirely).
+func blankIdent(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// outerCursorAdvances collects the integer variables declared outside
+// the range statement that its body advances with ++ or +=.
+func outerCursorAdvances(pass *Pass, rng *ast.RangeStmt) []*types.Var {
+	var cursors []*types.Var
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		var target ast.Expr
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			target = n.X
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				target = n.Lhs[0]
+			}
+		}
+		if target == nil {
+			return true
+		}
+		id, ok := ast.Unparen(target).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if b, ok := v.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+			return true
+		}
+		if v.Pos() >= rng.Pos() && v.Pos() < rng.End() {
+			return true // loop-local; dies with the iteration
+		}
+		cursors = append(cursors, v)
+		return true
+	})
+	return cursors
+}
+
+// cursorSubscripts reports whether the loop body indexes anything with
+// the cursor (keys[j], table[keys[j]], …) — the positional use that
+// makes drift corrupting rather than merely redundant.
+func cursorSubscripts(pass *Pass, rng *ast.RangeStmt, cursor *types.Var) bool {
+	found := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		ast.Inspect(ix.Index, func(e ast.Node) bool {
+			id, ok := e.(*ast.Ident)
+			if ok && pass.TypesInfo.Uses[id] == cursor {
+				found = true
+			}
+			return !found
+		})
 		return !found
 	})
 	return found

@@ -32,3 +32,10 @@ func TestDeterminismColumnsEnrollment(t *testing.T) {
 func TestDeterminismReplayEnrollment(t *testing.T) {
 	RunFixtureIn(t, "testdata/determinism", Determinism, "repro/internal/replay")
 }
+
+// The batch-answer rule (rule 4) has its own fixture root for the same
+// reason: the default root's repro/internal/angluin does not exist and
+// the rule only fires in the batch-protocol packages.
+func TestDeterminismBatchAnswers(t *testing.T) {
+	RunFixtureIn(t, "testdata/determinism", Determinism, "repro/internal/angluin")
+}

@@ -1,0 +1,60 @@
+// Package angluin (determinism fixture) pins rule 4: batch answers are
+// positional, so committing them while discarding the range index and
+// advancing a hand-rolled cursor is flagged — the cursor drifts from
+// the query index at the first conditional skip, writing answers into
+// the wrong table cells without failing any test.
+package angluin
+
+// commitDrifting is the hazard: the blank index plus an outer cursor.
+// The `if` makes the drift concrete — one unknown key and every later
+// answer lands one cell off.
+func commitDrifting(table map[string]bool, keys []string, answers []bool) {
+	j := 0
+	for _, v := range answers { // want `batch answers consumed without their index`
+		if keys[j] == "" {
+			j++
+			continue
+		}
+		table[keys[j]] = v
+		j++
+	}
+}
+
+// commitAccumulating hides the same cursor behind +=.
+func commitAccumulating(table map[string]bool, keys []string, answers []bool) {
+	next := 0
+	for _, v := range answers { // want `batch answers consumed without their index`
+		table[keys[next]] = v
+		next += 1
+	}
+}
+
+// commitIndexed is the required shape: the range index binds each
+// answer to its query.
+func commitIndexed(table map[string]bool, keys []string, answers []bool) {
+	for i, v := range answers {
+		table[keys[i]] = v
+	}
+}
+
+// countTrue folds without any positional state; order-independent, not
+// flagged.
+func countTrue(answers []bool) int {
+	n := 0
+	for _, v := range answers {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// wordsPerRow ranges a non-answer slice with a cursor; rule 4 keys on
+// []bool and leaves other element types alone.
+func wordsPerRow(rows [][]string) int {
+	total := 0
+	for _, r := range rows {
+		total += len(r)
+	}
+	return total
+}

@@ -44,13 +44,27 @@ type KeyedTeacher interface {
 }
 
 // Stats counts the queries the learner issued. Membership queries are
-// counted per call to Teacher.Member (the learner itself never repeats
-// a word; repeats are served from the observation table).
+// counted per distinct word asked — one charge per word whether it went
+// out alone or inside a batch (the learner itself never repeats a word;
+// repeats are served from the observation table) — so the counts are
+// identical across the serial and batched protocols.
 type Stats struct {
 	MembershipQueries  int
 	EquivalenceQueries int
 	Counterexamples    int
 	HypothesisStates   int
+	// BatchRounds / BatchedQueries count MemberBatch round trips and
+	// the membership queries shipped in them (zero for single-query
+	// teachers).
+	BatchRounds    int
+	BatchedQueries int
+	// Speculated counts frontier cells offered to the teacher's
+	// Speculator while a batch was in flight; SpeculationKept and
+	// SpeculationDiscarded count how the precomputed values reconciled
+	// against the landed answers.
+	Speculated           int
+	SpeculationKept      int
+	SpeculationDiscarded int
 }
 
 // Option configures Learn.
@@ -82,6 +96,9 @@ func Learn(alphabet []string, t Teacher, opts ...Option) (*pathre.DFA, Stats, er
 		maxEQ: 1000,
 	}
 	l.keyed, _ = t.(KeyedTeacher)
+	l.batch, _ = t.(BatchTeacher)
+	l.kbatch, _ = t.(KeyedBatchTeacher)
+	l.spec, _ = t.(Speculator)
 	for _, o := range opts {
 		o(l)
 	}
@@ -94,7 +111,14 @@ type learner struct {
 	// keyed is teacher's KeyedTeacher form when it implements one (nil
 	// otherwise); membership misses prefer it, passing the table key
 	// they materialize anyway.
-	keyed   KeyedTeacher
+	keyed KeyedTeacher
+	// batch/kbatch are the teacher's batch forms when implemented: the
+	// closedness scan then prefills whole query sets per round trip
+	// (see batch.go) instead of asking cell by cell. spec is the
+	// teacher's speculation hook, offered in-flight cells.
+	batch   BatchTeacher
+	kbatch  KeyedBatchTeacher
+	spec    Speculator
 	initial []string
 	maxEQ   int
 
@@ -141,6 +165,10 @@ type learner struct {
 	// a suffix is added.
 	rowsOfS map[string]bool
 	tabled  int
+	// prefilled is the S index up to which the current epoch's
+	// closedness query set was batch-prefetched (see prefill); reset
+	// with the epoch.
+	prefilled int
 	// kb is a scratch buffer for building membership keys without
 	// allocating: lookups go through the non-allocating map[string(kb)]
 	// form, and a key string is only materialized on insertion. wb is
@@ -368,12 +396,23 @@ func (l *learner) run() (*pathre.DFA, Stats, error) {
 // change and S only grows, so extension checks that passed once are
 // never repeated — neither within one call nor across the successive
 // close calls of the counterexample loop.
+//
+// With a batch teacher the scan is batch-first: before touching a
+// frontier level it prefills every cell the level's checks will need as
+// one query set (prefill), so the row calls below are pure table reads;
+// without one, prefill is a no-op and the row calls ask cell by cell
+// exactly as before. Either way the cells are answered in the same
+// order with the same charges.
 func (l *learner) close() error {
 	for {
 		if l.rowsOfS == nil {
 			l.rowsOfS = map[string]bool{}
 			l.tabled = 0
+			l.prefilled = 0
 			l.epoch++
+		}
+		if err := l.prefill(); err != nil {
+			return err
 		}
 		for l.tabled < len(l.s) {
 			r, err := l.row(l.s[l.tabled])
@@ -390,8 +429,14 @@ func (l *learner) close() error {
 		}
 		// Closedness: every one-step extension's row must appear in S.
 		// Prefixes appended mid-scan are reached by the same loop, so one
-		// pass suffices.
+		// pass suffices; their query sets are prefilled level by level as
+		// the scan reaches them.
 		for i := 0; i < len(l.s); i++ {
+			if i >= l.prefilled {
+				if err := l.prefill(); err != nil {
+					return err
+				}
+			}
 			sid := l.s[i]
 			for ai := range l.alphabet {
 				eid := l.extID(sid, ai)

@@ -1,0 +1,203 @@
+package angluin
+
+import (
+	"fmt"
+
+	"repro/internal/pathre"
+)
+
+// This file is the batch-first half of the teacher protocol: the
+// learner no longer asks the teacher cell by cell but emits *query
+// sets* — all unfilled cells of a row, all cells a pending closedness
+// or consistency check will need — and commits the answers by index.
+// Ordering is load-bearing twice over:
+//
+//   - Emission order equals the serial learner's ask order exactly, so
+//     a teacher whose answers depend on dialogue state (the P-Learner's
+//     representative selection evolves with positive answers) sees the
+//     same question sequence and gives the same answers; batched and
+//     serial sessions produce byte-identical observation tables and
+//     interaction counts.
+//   - Commitment is by query index, never by arrival order: answers[i]
+//     belongs to words[i] whatever order a transport delivered them in,
+//     so shuffling a batch's answer delivery cannot perturb the table
+//     (the xlint determinism suite enforces the pattern).
+
+// BatchTeacher is an optional Teacher extension: MemberBatch answers a
+// whole query set in one round trip. The returned slice has exactly one
+// answer per word, same index. Word slices follow Member's validity
+// contract (only valid for the duration of the call). Teachers whose
+// answers depend on dialogue state must process the set in index order;
+// the learner emits it in serial ask order for exactly that reason.
+type BatchTeacher interface {
+	Teacher
+	MemberBatch(words [][]string) ([]bool, error)
+}
+
+// KeyedBatchTeacher is the keyed form of BatchTeacher (see
+// KeyedTeacher): the learner passes the canonical cache key of every
+// word alongside, and keys may be retained.
+type KeyedBatchTeacher interface {
+	KeyedTeacher
+	MemberBatchKeyed(words [][]string, keys []string) ([]bool, error)
+}
+
+// Speculator is an optional extension of a batch teacher. While a
+// batch is in flight the learner offers the teacher's local side the
+// cells a pending closedness check needs; the implementation may
+// precompute an answer from local knowledge only — caches, auto-answer
+// rules, a mirrored truth extent — returning ok=false whenever it
+// cannot promise that the value equals what the committed dialogue will
+// produce. SpeculateMember must be free of dialogue side effects (no
+// counter charges, no cache writes) and safe to call concurrently with
+// an in-flight MemberBatch on the same teacher; the learner reconciles
+// every speculated value against the landed answer and counts it kept
+// or discarded (Stats.SpeculationKept/SpeculationDiscarded).
+type Speculator interface {
+	SpeculateMember(word []string, key string) (ans bool, ok bool)
+}
+
+// SerialAdapter adapts any single-query Teacher to the batch seam by
+// asking the set in index order, one Member call per word — today's
+// single-query teachers (test doubles, replay logs, teacher.Sim used
+// serially) keep working unchanged behind it, with an unchanged
+// dialogue. It forwards the keyed fast path when the wrapped teacher
+// has one.
+type SerialAdapter struct{ T Teacher }
+
+func (a SerialAdapter) Member(w []string) (bool, error) { return a.T.Member(w) }
+
+func (a SerialAdapter) Equivalent(h *pathre.DFA) ([]string, bool, error) {
+	return a.T.Equivalent(h)
+}
+
+// MemberBatch answers the set serially, in index order.
+func (a SerialAdapter) MemberBatch(words [][]string) ([]bool, error) {
+	out := make([]bool, len(words))
+	keyed, _ := a.T.(KeyedTeacher)
+	for i, w := range words {
+		var v bool
+		var err error
+		if keyed != nil {
+			v, err = keyed.MemberKeyed(w, key(w))
+		} else {
+			v, err = a.T.Member(w)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// askWave ships one query set to the batch teacher and commits the
+// answers by index: l.table[keys[i]] = answers[i], one membership-query
+// charge per word, exactly as the serial learner would have charged
+// asking the same cells one at a time. The wire call runs on its own
+// goroutine with a buffered result channel — if the teacher aborts on a
+// canceled session the goroutine still completes its send and exits, so
+// cancellation mid-batch leaks nothing. While the round trip is in
+// flight, the calling goroutine offers the same set to the teacher's
+// Speculator (when it has one) and reconciles the precomputed values
+// against the landed answers.
+func (l *learner) askWave(words [][]string, keys []string) error {
+	if len(words) == 0 {
+		return nil
+	}
+	type batchRes struct {
+		ans []bool
+		err error
+	}
+	ch := make(chan batchRes, 1)
+	go func() {
+		var a []bool
+		var err error
+		if l.kbatch != nil {
+			a, err = l.kbatch.MemberBatchKeyed(words, keys)
+		} else {
+			a, err = l.batch.MemberBatch(words)
+		}
+		ch <- batchRes{a, err}
+	}()
+	var parked map[int]bool
+	if l.spec != nil {
+		parked = make(map[int]bool, len(words))
+		for i, w := range words {
+			if v, ok := l.spec.SpeculateMember(w, keys[i]); ok {
+				parked[i] = v
+				l.stats.Speculated++
+			}
+		}
+	}
+	r := <-ch
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.ans) != len(words) {
+		return fmt.Errorf("angluin: batch teacher answered %d of %d queries", len(r.ans), len(words))
+	}
+	l.stats.BatchRounds++
+	l.stats.BatchedQueries += len(words)
+	for i, k := range keys {
+		l.table[k] = r.ans[i]
+		l.stats.MembershipQueries++
+		if v, ok := parked[i]; ok {
+			if v == r.ans[i] {
+				l.stats.SpeculationKept++
+			} else {
+				l.stats.SpeculationDiscarded++
+			}
+		}
+	}
+	return nil
+}
+
+// prefill emits the query set a pending closedness check needs — every
+// unfilled cell of the rows of s[l.prefilled:] and of their one-symbol
+// extensions — as one wave, in exactly the serial ask order: first the
+// rows of S (the tabled loop's cells, row by row, column by column),
+// then the extension rows in scan order. Cells already answered in the
+// table contribute nothing; duplicate words within the wave (distinct
+// prefix·suffix splits of one word) are asked once, as serially.
+// Without a batch teacher prefill is a no-op and the scan asks cell by
+// cell as before.
+func (l *learner) prefill() error {
+	from := l.prefilled
+	l.prefilled = len(l.s)
+	if l.batch == nil && l.kbatch == nil {
+		return nil
+	}
+	var words [][]string
+	var keysQ []string
+	seen := map[string]bool{}
+	collect := func(id int32) {
+		ent := &l.rows[id]
+		k := l.keys[id]
+		for i := len(ent.bits); i < len(l.e); i++ {
+			kb := appendKey(append(l.kb[:0], k...), l.eKeys[i])
+			l.kb = kb
+			if _, ok := l.table[string(kb)]; ok || seen[string(kb)] {
+				continue
+			}
+			ks := string(kb)
+			seen[ks] = true
+			w := append(append(make([]string, 0, len(l.words[id])+len(l.e[i])), l.words[id]...), l.e[i]...)
+			words = append(words, w)
+			keysQ = append(keysQ, ks)
+		}
+	}
+	for _, sid := range l.s[from:] {
+		collect(sid)
+	}
+	for _, sid := range l.s[from:] {
+		for ai := range l.alphabet {
+			eid := l.extID(sid, ai)
+			if l.inS[eid] {
+				continue // its own row and extensions are collected as an S entry
+			}
+			collect(eid)
+		}
+	}
+	return l.askWave(words, keysQ)
+}

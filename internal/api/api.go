@@ -24,8 +24,11 @@ import (
 // version 1, per the additive-only policy above). Version 3 adds the
 // plan/execute counters: CacheStatsV1.Plan/.Arena and
 // ArtifactStoreV1.Plans (additive again — absent means the serving
-// build predates compiled plans).
-const SchemaVersion = 3
+// build predates compiled plans). Version 4 adds the streaming session
+// surface: the FrameV1 NDJSON envelope and its subdocuments,
+// SessionV1.BatchedMQs, and MetricsV1.Speculation (additive — absent
+// means the serving build predates the batched teacher protocol).
+const SchemaVersion = 4
 
 // ErrorV1 is the uniform error envelope: every non-2xx daemon response
 // body is one of these.
@@ -57,6 +60,10 @@ type SessionV1 struct {
 	// Verified and Stats are set once the session is done.
 	Verified *bool    `json:"verified,omitempty"`
 	Stats    *StatsV1 `json:"stats,omitempty"`
+	// BatchedMQs (schema version 4) counts the membership queries the
+	// session answered through batched teacher round trips or the local
+	// mirror; zero for sessions learned over the serial protocol.
+	BatchedMQs int `json:"batched_mqs,omitempty"`
 }
 
 // SessionListV1 wraps the session collection.

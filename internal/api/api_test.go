@@ -16,7 +16,7 @@ import (
 func TestWireFieldNamesFrozen(t *testing.T) {
 	golden := map[string][]string{
 		"ErrorV1":       {"schema_version", "error", "status"},
-		"SessionV1":     {"schema_version", "id", "scenario", "state", "created_at_unix_ms", "artifact_hash", "error", "verified", "stats"},
+		"SessionV1":     {"schema_version", "id", "scenario", "state", "created_at_unix_ms", "artifact_hash", "error", "verified", "stats", "batched_mqs"},
 		"SessionListV1": {"schema_version", "sessions"},
 		"FragmentStatsV1": {"var", "template_path", "mq", "ce", "cb", "cb_terms", "ob",
 			"reduced_r1", "reduced_r2", "reduced_both", "reduced_total",
@@ -31,7 +31,12 @@ func TestWireFieldNamesFrozen(t *testing.T) {
 		"OptionsV1":       {"r1", "r2", "max_eq", "kv_learner", "keep_redundant_conds", "relativize"},
 		"HealthV1":        {"schema_version", "status", "sessions", "learning", "uptime_ms"},
 		"MetricsV1": {"schema_version", "sessions_by_state", "sessions_created", "sessions_deleted",
-			"sessions_evicted", "learn", "interactions", "xq_cache", "artifact_store"},
+			"sessions_evicted", "learn", "interactions", "xq_cache", "artifact_store", "speculation"},
+		"FrameV1":             {"schema_version", "type", "seq", "batch", "answers", "hypothesis", "session", "error"},
+		"MQBatchV1":           {"fragment", "queries"},
+		"MQAnswersV1":         {"fragment", "answers"},
+		"HypothesisV1":        {"fragment", "xqi"},
+		"SpeculationV1":       {"prefetches", "mirror_answers", "batch_rounds", "batched_mq", "kept", "discarded"},
 		"ArtifactStoreV1":     {"lookups", "indexes", "evictions", "entries", "bytes", "plans"},
 		"LearnMetricsV1":      {"started", "completed", "failed", "canceled", "latency_ms"},
 		"HistogramV1":         {"upper_bounds", "counts", "sum", "count"},
@@ -47,6 +52,7 @@ func TestWireFieldNamesFrozen(t *testing.T) {
 		OptionsV1{}, HealthV1{}, MetricsV1{}, LearnMetricsV1{}, HistogramV1{},
 		CacheCounterV1{}, CacheStatsV1{}, InteractionTotalsV1{},
 		ArtifactStoreV1{}, BenchRecordV1{}, BenchReportV1{},
+		FrameV1{}, MQBatchV1{}, MQAnswersV1{}, HypothesisV1{}, SpeculationV1{},
 	}
 	seen := make(map[string]bool)
 	for _, v := range types {
@@ -90,8 +96,8 @@ func TestResultV1Golden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := `{"schema_version":3,"scenario":"XMP-Q1","verified":true,` +
-		`"stats":{"schema_version":3,"dnd":2,"dnd_terms":3,` +
+	want := `{"schema_version":4,"scenario":"XMP-Q1","verified":true,` +
+		`"stats":{"schema_version":4,"dnd":2,"dnd_terms":3,` +
 		`"fragments":[{"var":"v","template_path":"x/y","mq":4,"ce":1,"cb":0,"cb_terms":0,"ob":0,` +
 		`"reduced_r1":7,"reduced_r2":0,"reduced_both":0,"reduced_total":7,` +
 		`"restarts":0,"context_switches":0,"path_states":0}],` +

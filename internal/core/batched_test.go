@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/teacher"
+)
+
+// TestNoMirrorWirePathMatchesSerial pins the wire half of the batched
+// protocol in isolation: with the prefetch mirror disabled, every
+// membership query rides BatchTeacher.MemberBatch with speculative
+// representative selection and post-landing revalidation (the
+// reconcile path). The dialogue — tree, counters, condition boxes —
+// must still be byte-identical to the serial run's; only the transport
+// counters may differ, and they must show wire rounds with zero
+// prefetches.
+func TestNoMirrorWirePathMatchesSerial(t *testing.T) {
+	serialTree, serialStats, _, doc := runningExample(t, core.DefaultOptions(), teacher.BestCase)
+
+	opts := core.DefaultOptions()
+	opts.Batched = true
+	wireTree, wireStats, _, _ := runningExampleWith(t, opts, teacher.BestCase, core.DisableMirror)
+
+	if got, want := wireTree.String(), serialTree.String(); got != want {
+		t.Errorf("wire-path tree diverged\nwire:\n%s\nserial:\n%s", got, want)
+	}
+	if _, _, eq := resultEqual(doc, wireTree, serialTree); !eq {
+		t.Error("wire-path result differs from serial result")
+	}
+
+	spec := wireStats.Speculation
+	if spec.BatchRounds == 0 || spec.BatchedMQ == 0 {
+		t.Errorf("wire path unused: %+v", spec)
+	}
+	if spec.Prefetches != 0 || spec.MirrorAnswers != 0 {
+		t.Errorf("mirror active despite DisableMirror: %+v", spec)
+	}
+
+	ws, ss := *wireStats, *serialStats
+	ws.Speculation, ss.Speculation = core.SpeculationStats{}, core.SpeculationStats{}
+	if got, want := fmt.Sprintf("%+v", ws), fmt.Sprintf("%+v", ss); got != want {
+		t.Errorf("dialogue counters diverged\nwire:   %s\nserial: %s", got, want)
+	}
+}
+
+// TestMirrorAgainstWire: the full protocol (mirror + wire fallback)
+// and the wire-only protocol answer the same dialogue; their split
+// between mirror and wire is the only difference.
+func TestMirrorAgainstWire(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Batched = true
+	mirTree, mirStats, _, _ := runningExample(t, opts, teacher.BestCase)
+	wireTree, wireStats, _, _ := runningExampleWith(t, opts, teacher.BestCase, core.DisableMirror)
+
+	if got, want := mirTree.String(), wireTree.String(); got != want {
+		t.Errorf("mirror and wire trees diverged\nmirror:\n%s\nwire:\n%s", got, want)
+	}
+	if mirStats.Speculation.Prefetches == 0 {
+		t.Errorf("mirrored run dispatched no prefetches: %+v", mirStats.Speculation)
+	}
+	ms, ws := *mirStats, *wireStats
+	ms.Speculation, ws.Speculation = core.SpeculationStats{}, core.SpeculationStats{}
+	if got, want := fmt.Sprintf("%+v", ms), fmt.Sprintf("%+v", ws); got != want {
+		t.Errorf("dialogue counters diverged\nmirror: %s\nwire:   %s", got, want)
+	}
+}

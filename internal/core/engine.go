@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/datagraph"
 	"repro/internal/pathre"
@@ -38,6 +39,29 @@ type Engine struct {
 	pathLabels map[string][]string
 	// realized caches the DFA of the instance's realized paths.
 	realized *pathre.DFA
+
+	// Batched-protocol state (see batched.go). batch is the teacher's
+	// batch form, set only when Opts.Batched and the teacher implements
+	// it; noMirror keeps the wire MemberBatch path even then (tests).
+	batch    BatchTeacher
+	noMirror bool
+	// mirMu guards the prefetch tables; the mirrors and stashes they
+	// hold are immutable once their ready channels close.
+	mirMu   sync.Mutex
+	mirrors map[string]*mirror
+	stash   map[string]*varStash
+	boxUsed map[string]bool
+	// prefWG tracks prefetch goroutines; Learn waits for all of them
+	// before returning. prefCtx is the session context of the running
+	// Learn, which prefetches dispatched mid-session inherit.
+	prefWG  sync.WaitGroup
+	prefCtx context.Context
+	// spec counts the protocol's transport bookkeeping. Only the learn
+	// loop (and the batch goroutine it alternates with) writes it.
+	spec SpeculationStats
+	// obsMu/obsSeq serialize Observe events (see observe.go).
+	obsMu  sync.Mutex
+	obsSeq int
 }
 
 // NewEngine builds an engine for the source document from a resolved
@@ -59,6 +83,12 @@ func newEngine(source *xmldoc.Document, teacher Teacher, opts Options) *Engine {
 		alphabet:   source.Alphabet(),
 		pathIndex:  map[string][]*xmldoc.Node{},
 		pathLabels: map[string][]string{},
+		mirrors:    map[string]*mirror{},
+		stash:      map[string]*varStash{},
+		boxUsed:    map[string]bool{},
+	}
+	if opts.Batched {
+		e.batch, _ = teacher.(BatchTeacher)
 	}
 	if g := opts.SharedGraph; g != nil && g.Doc == source && g.Cfg == opts.Graph {
 		// Adopt the shared, immutable data graph: same document, same
@@ -148,14 +178,35 @@ func (e *Engine) Learn(ctx context.Context, spec *TaskSpec) (*xq.Tree, *Stats, e
 		return nil, nil, err
 	}
 	tree := xq.NewTree(root)
+	// Speculative prefetch: dispatch every fragment context's answer-set
+	// fetch up front so the round trips overlap. Contexts whose pins
+	// change later (alternate-example switches) miss and refetch
+	// synchronously. Learn never returns — success or not — with a
+	// prefetch goroutine still running.
+	e.prefCtx = ctx
+	defer e.prefWG.Wait()
+	if e.batch != nil && !e.noMirror {
+		for _, f := range frags {
+			pin := map[string]*xmldoc.Node{}
+			for a := f.parent; a != nil; a = a.parent {
+				pin[a.ref.AnchorVar] = a.anchorNode
+				pin[a.ref.Var] = a.example
+			}
+			e.dispatchPrefetch(f.ref, pin)
+		}
+	}
 	for _, f := range frags {
 		fs := FragmentStats{Var: f.ref.Var, TemplatePath: f.ref.TemplatePath}
 		if err := e.learnWithAlternates(ctx, tree, f, &fs); err != nil {
 			return nil, nil, err
 		}
 		stats.Fragments = append(stats.Fragments, fs)
+		if e.Opts.Observe != nil {
+			e.observe(Event{Kind: EventHypothesis, Fragment: f.ref.Var, XQI: tree.String()})
+		}
 	}
 	tree.Renumber()
+	stats.Speculation = e.spec
 	return tree, stats, nil
 }
 
@@ -380,6 +431,7 @@ func (e *Engine) learnFragment(ctx context.Context, tree *xq.Tree, f *fragment, 
 		strip = 1
 	}
 	pl := newPLearner(ctx, e, f.ref, pinCtx, condCtx, f.example, strip, fs)
+	pl.mirror = e.lookupMirror(f.ref, pinCtx)
 	d, err := pl.run()
 	if err != nil {
 		return err
@@ -438,7 +490,7 @@ func (e *Engine) learnFragment(ctx context.Context, tree *xq.Tree, f *fragment, 
 	}
 
 	// OrderBy Box.
-	keys, err := e.Teacher.OrderBy(ctx, f.ref)
+	keys, err := e.orderBy(ctx, f.ref)
 	if err != nil {
 		return fmt.Errorf("core: fragment %s: OrderBy Box: %w", f.ref.Var, err)
 	}

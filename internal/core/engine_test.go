@@ -110,6 +110,13 @@ func truthQ1() *xq.Tree {
 
 func runningExample(t *testing.T, opts core.Options, pol teacher.Policy) (*xq.Tree, *core.Stats, *teacher.Sim, *xmldoc.Document) {
 	t.Helper()
+	return runningExampleWith(t, opts, pol, nil)
+}
+
+// runningExampleWith is runningExample with a pre-Learn engine hook for
+// tests that flip unexported engine state (the noMirror wire path).
+func runningExampleWith(t *testing.T, opts core.Options, pol teacher.Policy, mut func(*core.Engine)) (*xq.Tree, *core.Stats, *teacher.Sim, *xmldoc.Document) {
+	t.Helper()
 	doc := xmldoc.MustParse(sourceXML)
 	truth := truthQ1()
 	sim := teacher.New(doc, truth)
@@ -131,6 +138,9 @@ func runningExample(t *testing.T, opts core.Options, pol teacher.Policy) (*xq.Tr
 		}},
 	}
 	eng := core.NewEngine(doc, sim, opts)
+	if mut != nil {
+		mut(eng)
+	}
 	spec := &core.TaskSpec{
 		Target: dtd.MustParse(targetDTD),
 		Drops: []core.Drop{

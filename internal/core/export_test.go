@@ -1,0 +1,8 @@
+package core
+
+// DisableMirror forces every batched membership query of the engine
+// over the wire MemberBatch path, skipping the prefetch mirror. The
+// reconcile tests use it to pin the wire protocol's behavior in
+// isolation (normally the mirror answers first and the wire path only
+// carries queries the prefetch could not cover).
+func DisableMirror(e *Engine) { e.noMirror = true }

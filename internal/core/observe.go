@@ -1,0 +1,71 @@
+package core
+
+// EventKind discriminates protocol events delivered to an Observe
+// callback (Options.Observe). The kinds mirror the streaming API's
+// frame types (internal/api FrameV1): every wire round trip produces a
+// batch/answers pair, and every learned fragment an incremental
+// hypothesis update.
+type EventKind string
+
+const (
+	// EventMQBatch announces a query set leaving for the teacher.
+	EventMQBatch EventKind = "mq_batch"
+	// EventMQAnswers delivers the answers of the matching batch (same
+	// Seq as the EventMQBatch it answers).
+	EventMQAnswers EventKind = "mq_answers"
+	// EventHypothesis carries an incremental hypothesis: the partial
+	// XQ-Tree after a fragment finished learning.
+	EventHypothesis EventKind = "hypothesis"
+)
+
+// Event is one teacher-protocol observation. Queries are rendered
+// human-readably (one string per question in the batch); Answers align
+// with the Queries of the batch sharing the Seq.
+type Event struct {
+	Kind     EventKind
+	Seq      int
+	Fragment string
+	Queries  []string
+	Answers  []bool
+	// XQI is the partial learned query (EventHypothesis only).
+	XQI string
+}
+
+// observe emits an event with the next sequence number, serializing
+// concurrent emitters (prefetch goroutines overlap the learn loop).
+// The batch/answers pairing contract is that an answers event reuses
+// the seq of its batch event, which emitters arrange by emitting the
+// pair under one lock acquisition via observePair.
+func (e *Engine) observe(ev Event) {
+	if e.Opts.Observe == nil {
+		return
+	}
+	e.obsMu.Lock()
+	defer e.obsMu.Unlock()
+	e.obsSeq++
+	ev.Seq = e.obsSeq
+	e.Opts.Observe(ev)
+}
+
+// observePair emits a batch event and returns the emitter for its
+// answers event, which will carry the same Seq. The answers emitter is
+// safe to call from any goroutine (it takes the lock itself) and may be
+// called with a nil answers slice to signal an aborted round trip.
+func (e *Engine) observePair(batch Event) func(answers []bool) {
+	if e.Opts.Observe == nil {
+		return func([]bool) {}
+	}
+	e.obsMu.Lock()
+	e.obsSeq++
+	batch.Seq = e.obsSeq
+	batch.Kind = EventMQBatch
+	e.Opts.Observe(batch)
+	e.obsMu.Unlock()
+	seq := batch.Seq
+	frag := batch.Fragment
+	return func(answers []bool) {
+		e.obsMu.Lock()
+		defer e.obsMu.Unlock()
+		e.Opts.Observe(Event{Kind: EventMQAnswers, Seq: seq, Fragment: frag, Answers: answers})
+	}
+}

@@ -114,3 +114,23 @@ func WithSharedGraph(g *datagraph.Graph) Option {
 func WithKVLearner(on bool) Option {
 	return func(o *Options) { o.UseKVLearner = on }
 }
+
+// WithBatchedProtocol enables the batch-first, speculative teacher
+// protocol when the session's teacher implements BatchTeacher: answer
+// sets are prefetched concurrently per fragment context and the
+// dialogue replays against local mirrors, collapsing per-question round
+// trips to a slow teacher. Queries, counterexamples, and all
+// interaction counters stay byte-identical to the serial protocol. A
+// teacher without a batch interface ignores the option.
+func WithBatchedProtocol(on bool) Option {
+	return func(o *Options) { o.Batched = on }
+}
+
+// WithObserver streams protocol events (MQ batches, answers,
+// incremental hypothesis updates) to fn as the session runs — the
+// engine-side feed of the daemon's streaming session endpoint. Events
+// are serialized; fn must not block for long or call back into the
+// session. A nil fn disables observation.
+func WithObserver(fn func(Event)) Option {
+	return func(o *Options) { o.Observe = fn }
+}

@@ -1,0 +1,86 @@
+package core
+
+import "repro/internal/xmldoc"
+
+// CEPolicy selects which counterexample a teacher returns from the
+// symmetric difference of the truth and hypothesis extents. It lives in
+// core (rather than internal/teacher) because the batched protocol
+// replays counterexample selection on the learner side: a teacher that
+// ships its full answer set ahead of time (BatchTeacher.EquivalentFull)
+// also declares its policy, and the engine applies PickCounterexample
+// locally at exactly the dialogue points where a serial teacher would
+// have picked — so the two protocols produce byte-identical dialogues.
+type CEPolicy int
+
+const (
+	// CEBestCase prefers positive counterexamples, shallow nodes,
+	// document order — informative answers, like the paper's hand-picked
+	// ones.
+	CEBestCase CEPolicy = iota
+	// CEWorstCase prefers negative counterexamples, deep nodes, reverse
+	// document order.
+	CEWorstCase
+)
+
+// PickCounterexample applies the policy to a non-empty symmetric
+// difference (pos = truth minus hypothesis, neg = hypothesis minus
+// truth) and returns the chosen node and whether it is positive. The
+// choice depends only on the policy and the (depth, ID) of each node —
+// never on slice order — so any order-preserving or shuffled diff
+// yields the same counterexample.
+func PickCounterexample(pol CEPolicy, pos, neg []*xmldoc.Node) (*xmldoc.Node, bool) {
+	choose := func(list []*xmldoc.Node) *xmldoc.Node {
+		best := list[0]
+		for _, n := range list[1:] {
+			if pol == CEBestCase {
+				if n.Depth() < best.Depth() || (n.Depth() == best.Depth() && n.ID < best.ID) {
+					best = n
+				}
+			} else {
+				if n.Depth() > best.Depth() || (n.Depth() == best.Depth() && n.ID > best.ID) {
+					best = n
+				}
+			}
+		}
+		return best
+	}
+	if pol == CEBestCase {
+		if len(pos) > 0 {
+			return choose(pos), true
+		}
+		return choose(neg), false
+	}
+	if len(neg) > 0 {
+		return choose(neg), false
+	}
+	return choose(pos), true
+}
+
+// DiffExtents computes the two sides of the symmetric difference of the
+// truth and hypothesis extents — pos is truth minus hypothesis, neg is
+// hypothesis minus truth — preserving the input order of each side.
+// This is the learner-side (mirror) counterpart of the simulated
+// teacher's diff; both preserve order, and PickCounterexample is
+// order-independent, so serving an equivalence query from a mirrored
+// truth extent selects the same counterexample the wire teacher would.
+func DiffExtents(truth, hyp []*xmldoc.Node) (pos, neg []*xmldoc.Node) {
+	inHyp := make(map[int]bool, len(hyp))
+	for _, n := range hyp {
+		inHyp[n.ID] = true
+	}
+	inTruth := make(map[int]bool, len(truth))
+	for _, n := range truth {
+		inTruth[n.ID] = true
+	}
+	for _, n := range truth {
+		if !inHyp[n.ID] {
+			pos = append(pos, n)
+		}
+	}
+	for _, n := range hyp {
+		if !inTruth[n.ID] {
+			neg = append(neg, n)
+		}
+	}
+	return pos, neg
+}

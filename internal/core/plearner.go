@@ -90,6 +90,10 @@ type pLearner struct {
 	hypDFA  *pathre.DFA
 	hypKeys []string
 
+	// mirror is the fragment context's prefetched truth knowledge under
+	// the batched protocol (nil serially); see batched.go.
+	mirror *mirror
+
 	learned *pathre.DFA
 	stats   *FragmentStats
 }
@@ -177,11 +181,31 @@ func (p *pLearner) Member(w []string) (bool, error) {
 // so taking it here removes one join per membership query (and the
 // cache insert below reuses the same string).
 func (p *pLearner) memberKeyed(w []string, k string) (bool, error) {
+	ans, final, rep, err := p.memberLocal(w, k)
+	if err != nil || final {
+		return ans, err
+	}
+	ans, err = p.askMember(rep)
+	if err != nil {
+		return false, fmt.Errorf("core: fragment %s: membership query: %w", p.frag.Var, err)
+	}
+	p.commitAsked(k, rep, ans)
+	return ans, nil
+}
+
+// memberLocal runs the local stages of the membership pipeline: the
+// cache, rules R1/R2, and the no-node dismissal — all of which commit
+// immediately (final=true). Otherwise it selects the representative
+// node the teacher must be asked about under the current dialogue state
+// and returns it uncommitted, so batch transports can ask many
+// representatives per round trip and commit each answer with
+// commitAsked once its representative is revalidated.
+func (p *pLearner) memberLocal(w []string, k string) (ans, final bool, rep *xmldoc.Node, err error) {
 	if err := ctxErr(p.ctx); err != nil {
-		return false, err
+		return false, false, nil, err
 	}
 	if a, ok := p.cache[k]; ok {
-		return a.ans, nil
+		return a.ans, true, nil, nil
 	}
 	nodes := p.eng.pathIndex[k]
 	r1 := p.eng.Opts.R1 && p.r1Applicable(w, nodes)
@@ -202,7 +226,7 @@ func (p *pLearner) memberKeyed(w []string, k string) (bool, error) {
 			prov = provR2
 		}
 		p.cache[k] = pans{ans: false, prov: prov}
-		return false, nil
+		return false, true, nil, nil
 	}
 	// Ask the user. With no node at this path the user still has to
 	// dismiss the query (counts as an interaction; this is what R1
@@ -210,7 +234,7 @@ func (p *pLearner) memberKeyed(w []string, k string) (bool, error) {
 	if len(nodes) == 0 {
 		p.stats.MQ++
 		p.cache[k] = pans{ans: false, prov: provAsked}
-		return false, nil
+		return false, true, nil, nil
 	}
 	m := nodes[0]
 	for _, n := range nodes {
@@ -219,16 +243,18 @@ func (p *pLearner) memberKeyed(w []string, k string) (bool, error) {
 			break
 		}
 	}
-	ans, err := p.eng.Teacher.Member(p.ctx, p.frag, p.pinCtx, m)
-	if err != nil {
-		return false, fmt.Errorf("core: fragment %s: membership query: %w", p.frag.Var, err)
-	}
+	return false, false, m, nil
+}
+
+// commitAsked commits a teacher-answered membership query into the
+// dialogue: the MQ charge, the cache entry, and the positive-example
+// observation, exactly as the serial pipeline commits them.
+func (p *pLearner) commitAsked(k string, rep *xmldoc.Node, ans bool) {
 	p.stats.MQ++
-	p.cache[k] = pans{ans: ans, prov: provAsked, node: m}
+	p.cache[k] = pans{ans: ans, prov: provAsked, node: rep}
 	if ans {
-		p.addPositive(m)
+		p.addPositive(rep)
 	}
-	return ans, nil
 }
 
 func (p *pLearner) r1Applicable(w []string, nodes []*xmldoc.Node) bool {
@@ -323,7 +349,7 @@ func (p *pLearner) Equivalent(h *pathre.DFA) ([]string, bool, error) {
 			return nil, false, err
 		}
 		hyp := p.hypothesisExtent(h)
-		ce, positive, ok, err := p.eng.Teacher.Equivalent(p.ctx, p.frag, p.pinCtx, hyp)
+		ce, positive, ok, err := p.askEquivalent(hyp)
 		if err != nil {
 			return nil, false, fmt.Errorf("core: fragment %s: equivalence query: %w", p.frag.Var, err)
 		}
@@ -424,7 +450,7 @@ func (p *pLearner) processNegative(h *pathre.DFA, ce *xmldoc.Node) (bool, error)
 		// value condition outside the learnable family is missing —
 		// open a Condition Box (Section 9(3), triggered by the IHT
 		// inconsistency).
-		entries, err := p.eng.Teacher.ConditionBox(p.ctx, p.frag, ce)
+		entries, err := p.conditionBox(ce)
 		if err != nil {
 			return false, fmt.Errorf("core: fragment %s: Condition Box: %w", p.frag.Var, err)
 		}
@@ -511,6 +537,14 @@ func (p *pLearner) run() (*pathre.DFA, error) {
 		d, stats, err := learn(p.eng.alphabet, teacherAdapter{p},
 			angluin.WithInitialExample(p.example.Path()),
 			angluin.WithMaxEquivalenceQueries(p.eng.Opts.MaxEQ))
+		// Fold the learner's transport bookkeeping into the session's
+		// (every attempt's work counts, restarts included); the dialogue
+		// counters live in FragmentStats and are charged by the oracle
+		// callbacks above, not here.
+		p.eng.spec.BatchRounds += stats.BatchRounds
+		p.eng.spec.BatchedMQ += stats.BatchedQueries
+		p.eng.spec.Kept += stats.SpeculationKept
+		p.eng.spec.Discarded += stats.SpeculationDiscarded
 		if err == nil {
 			p.stats.PathStates = stats.HypothesisStates
 			return d, nil
@@ -527,9 +561,11 @@ func (p *pLearner) run() (*pathre.DFA, error) {
 	}
 }
 
-// teacherAdapter exposes the pLearner as an angluin.Teacher (and its
-// KeyedTeacher extension: pathKey and the learner's word key are the
-// same "\x00" join, so the learner-materialized key is used verbatim).
+// teacherAdapter exposes the pLearner as an angluin.Teacher — plus its
+// KeyedTeacher extension (pathKey and the learner's word key are the
+// same "\x00" join, so the learner-materialized key is used verbatim),
+// the batch seam (query sets, committed by index), and the Speculator
+// (precompute from immutable local knowledge while a batch flies).
 type teacherAdapter struct{ p *pLearner }
 
 func (t teacherAdapter) Member(w []string) (bool, error) { return t.p.Member(w) }
@@ -538,4 +574,17 @@ func (t teacherAdapter) MemberKeyed(w []string, k string) (bool, error) {
 }
 func (t teacherAdapter) Equivalent(h *pathre.DFA) ([]string, bool, error) {
 	return t.p.Equivalent(h)
+}
+func (t teacherAdapter) MemberBatch(words [][]string) ([]bool, error) {
+	keys := make([]string, len(words))
+	for i, w := range words {
+		keys[i] = pathKey(w)
+	}
+	return t.p.memberBatchKeyed(words, keys)
+}
+func (t teacherAdapter) MemberBatchKeyed(words [][]string, keys []string) ([]bool, error) {
+	return t.p.memberBatchKeyed(words, keys)
+}
+func (t teacherAdapter) SpeculateMember(w []string, k string) (bool, bool) {
+	return t.p.speculateMember(w, k)
 }

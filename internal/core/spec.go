@@ -107,6 +107,42 @@ type Teacher interface {
 	OrderBy(ctx context.Context, frag FragmentRef) ([]xq.SortKey, error)
 }
 
+// BatchTeacher is an optional Teacher extension for slow teachers — a
+// remote endpoint, a human behind a GUI — where per-question round-trip
+// latency, not evaluation, dominates session wall-clock. A teacher that
+// implements it lets the engine ship whole query sets per round trip
+// and mirror the answers locally:
+//
+//   - MemberBatch answers one membership query per candidate node in a
+//     single round trip; answers[i] corresponds to nodes[i], so answer
+//     handling is order-independent by construction (commitment is by
+//     index, never by arrival order).
+//   - EquivalentFull is the speculative form of Equivalent: instead of
+//     one counterexample it returns the full symmetric difference of
+//     the truth extent against hyp (add = truth − hyp, remove = hyp −
+//     truth) plus the teacher's deterministic counterexample policy.
+//     The engine reconstructs the truth extent (hyp − remove + add),
+//     mirrors it, and replays every subsequent membership and
+//     equivalence question for the fragment locally — selecting
+//     counterexamples with PickCounterexample(pol, ...) at the same
+//     dialogue points a serial teacher would answer, so interaction
+//     counts and experiment tables stay byte-identical to the serial
+//     protocol.
+//
+// The engine only uses these methods when the batched protocol is
+// enabled (WithBatchedProtocol); serial sessions never call them.
+type BatchTeacher interface {
+	Teacher
+	// MemberBatch answers membership for every candidate in one round
+	// trip; the returned slice has one answer per node, same index.
+	MemberBatch(ctx context.Context, frag FragmentRef, pin map[string]*xmldoc.Node, nodes []*xmldoc.Node) ([]bool, error)
+	// EquivalentFull returns the full symmetric difference of the truth
+	// extent against hyp, plus the counterexample-selection policy the
+	// teacher would apply serially. hyp may be nil (then add is the
+	// whole truth extent).
+	EquivalentFull(ctx context.Context, frag FragmentRef, pin map[string]*xmldoc.Node, hyp []*xmldoc.Node) (add, remove []*xmldoc.Node, pol CEPolicy, err error)
+}
+
 // PathFilter answers rule R1's realizability question: is the label
 // path possible at all? dtd.DTD and dataguide.Guide both implement it.
 type PathFilter interface {
@@ -154,6 +190,21 @@ type Options struct {
 	// concurrent sessions; a graph over a different document or config is
 	// ignored.
 	SharedGraph *datagraph.Graph
+	// Batched enables the batch-first, speculative teacher protocol
+	// when the teacher implements BatchTeacher: fragment answer sets are
+	// prefetched concurrently at session start and the dialogue is
+	// replayed against local mirrors, collapsing per-question round
+	// trips. The dialogue itself — queries, counterexamples, counters —
+	// is byte-identical to the serial protocol; only who answers (the
+	// mirror instead of the wire) changes. Ignored when the teacher has
+	// no batch interface.
+	Batched bool
+	// Observe, when non-nil, receives protocol events (outgoing MQ
+	// batches, their answers, incremental hypothesis updates) as the
+	// session runs. Callbacks may come from prefetch goroutines but are
+	// serialized by the engine; they must not block for long, and must
+	// not call back into the session.
+	Observe func(Event)
 }
 
 // DefaultOptions returns the configuration used in the paper's
@@ -189,6 +240,30 @@ type FragmentStats struct {
 	PathStates int
 }
 
+// SpeculationStats counts the batched-protocol bookkeeping of one
+// session: wire round trips saved and speculative work reconciled. All
+// zero for serial sessions. Deliberately not part of FragmentStats or
+// Totals — the experiment tables measure the paper's dialogue, which
+// the batched protocol reproduces byte-for-byte; these counters measure
+// the transport on top of it.
+type SpeculationStats struct {
+	// Prefetches counts speculative answer-set round trips dispatched
+	// at session start (one EquivalentFull + ConditionBox + OrderBy
+	// group per fragment context).
+	Prefetches int
+	// MirrorAnswers counts dialogue questions (membership and
+	// equivalence) answered from a local mirror instead of the wire.
+	MirrorAnswers int
+	// BatchRounds / BatchedMQ count MemberBatch round trips and the
+	// membership queries shipped in them (the no-mirror wire path).
+	BatchRounds int
+	BatchedMQ   int
+	// Kept / Discarded count speculatively precomputed answers that the
+	// reconcile step committed into the dialogue vs. threw away.
+	Kept      int
+	Discarded int
+}
+
 // Stats aggregates a learning session.
 type Stats struct {
 	// DnD / DnDTerms count dropped examples and their terminals.
@@ -196,6 +271,10 @@ type Stats struct {
 	DnDTerms int
 	// Fragments in learning order.
 	Fragments []FragmentStats
+	// Speculation counts batched-protocol transport work (see
+	// SpeculationStats); all zero for serial sessions and excluded from
+	// Totals.
+	Speculation SpeculationStats
 }
 
 // Totals sums the per-fragment counters.

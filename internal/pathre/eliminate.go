@@ -378,8 +378,12 @@ func initOf(e Expr) Expr {
 }
 
 // RenderPath renders e as a path-expression string suitable for
-// embedding in an emitted XQuery query.
+// embedding in an emitted XQuery query. A nil expression renders empty
+// (a binding not yet learned, e.g. in an incremental hypothesis).
 func RenderPath(e Expr) string {
+	if e == nil {
+		return ""
+	}
 	s := String(e)
 	// Cosmetic: collapse accidental "/()" artifacts.
 	return strings.ReplaceAll(s, "/()", "")

@@ -1,0 +1,81 @@
+// Package pool provides the bounded worker pool shared by the
+// experiment runner and the batched teacher protocol. It exists as its
+// own leaf package so both internal/experiments (which cannot be
+// imported from core) and internal/core/internal/teacher can evaluate
+// work sets over it without an import cycle.
+package pool
+
+import (
+	"context"
+	"sync"
+)
+
+// Run executes jobs 0..n-1 on a bounded pool of workers and returns
+// the results in index order, so a parallel run produces byte-identical
+// output to a serial one. Each job gets the shared context; the first
+// job error cancels it, the remaining queued jobs are skipped, and that
+// first error is returned. parallel <= 1 degenerates to a serial loop
+// on the calling goroutine.
+//
+// Jobs must share no unsynchronized mutable state; the pool provides
+// ordering of results, not of side effects.
+func Run[T any](ctx context.Context, n, parallel int, job func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if parallel <= 1 {
+		for i := 0; i < n; i++ {
+			r, err := job(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	if parallel > n {
+		parallel = n
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	idx := make(chan int)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if runCtx.Err() != nil {
+					continue // canceled: drain without running
+				}
+				r, err := job(runCtx, i)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -9,6 +9,7 @@ package scenario
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/artifacts"
 	"repro/internal/core"
@@ -88,6 +89,13 @@ func Prepare(s *Scenario, pol teacher.Policy, opts ...core.Option) *Prepared {
 		Session:  core.New(doc, sim, opts...),
 	}
 }
+
+// SetTeacherLatency simulates a slow teacher for this run: every
+// answering round trip of the simulated teacher sleeps d before
+// touching teacher state (see teacher.Sim.Latency). Call it between
+// Prepare and Learn; combined with core.WithBatchedProtocol it is the
+// benchmark knob for the batched protocol's wall-clock win.
+func (p *Prepared) SetTeacherLatency(d time.Duration) { p.Sim.Latency = d }
 
 // evaluator builds a verification evaluator over the run's document,
 // adopting the shared index when the run was prepared through a store.

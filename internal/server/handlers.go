@@ -23,6 +23,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/learn", s.handleLearn)
+	mux.HandleFunc("POST /v1/sessions/{id}/stream", s.handleLearnStream)
 	mux.HandleFunc("GET /v1/sessions/{id}/tree", s.handleTree)
 	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
 	return mux
@@ -133,6 +134,54 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, sess)
+}
+
+// handleLearnStream starts a learn over the batched + speculative
+// teacher protocol and streams its dialogue live as chunked NDJSON:
+// one api.FrameV1 per line — mq_batch / mq_answers / hypothesis frames
+// while the session learns, then exactly one terminal done frame
+// (carrying the final session document) or error frame. The learn is
+// coupled to the connection: a client that hangs up cancels it.
+func (s *Server) handleLearnStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ch, err := s.mgr.StartLearnStream(r.Context(), id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	fl, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	seq := -1
+	for ev := range ch {
+		if ev.Seq > seq {
+			seq = ev.Seq
+		}
+		// Encode appends the newline that delimits NDJSON frames. An
+		// encode error means the client is gone; keep draining so the
+		// canceled learn can finish and record its terminal state.
+		_ = enc.Encode(api.NewFrameV1(ev))
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	// The channel closed after the terminal state was recorded, so this
+	// snapshot is final.
+	snap, err := s.mgr.Get(id)
+	var frame api.FrameV1
+	switch {
+	case err != nil:
+		frame = api.NewErrorFrameV1(seq+1, err.Error())
+	case snap.State == stateDone.String():
+		frame = api.NewDoneFrameV1(seq+1, snap)
+	default:
+		frame = api.NewErrorFrameV1(seq+1, snap.Error)
+	}
+	_ = enc.Encode(frame)
+	if fl != nil {
+		fl.Flush()
+	}
 }
 
 func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {

@@ -67,25 +67,38 @@ type session struct {
 	cancel context.CancelFunc
 	result *scenario.Result
 	err    error
+	// batched records that the last learn ran over the batched +
+	// speculative teacher protocol (the streaming endpoint's mode), so
+	// the session snapshot can surface its transport counters.
+	batched bool
 }
 
 // learnFunc performs one learn run for a session. The production
 // function prepares and runs the scenario; tests substitute blocking
 // stubs to exercise queueing, backpressure, and shutdown without real
-// learning work.
-type learnFunc func(ctx context.Context, s *session) (*scenario.Result, xq.CacheStats, error)
+// learning work. extra holds per-run engine options appended on top of
+// the session's own (the streaming endpoint's batched protocol and
+// observer); nil for a plain learn.
+type learnFunc func(ctx context.Context, s *session, extra []core.Option) (*scenario.Result, xq.CacheStats, error)
 
-// runScenarioLearn is the production learnFunc: a fresh Prepared per
-// run (so re-learns and concurrent sessions share nothing mutable
-// beyond the bundle's immutable artifacts), with the evaluator
+// scenarioLearn is the production learnFunc: a fresh Prepared per run
+// (so re-learns and concurrent sessions share nothing mutable beyond
+// the bundle's immutable artifacts), with the evaluator
 // acceleration-cache counters harvested from both the engine and the
 // simulated teacher afterwards.
-func runScenarioLearn(ctx context.Context, s *session) (*scenario.Result, xq.CacheStats, error) {
+func (m *manager) scenarioLearn(ctx context.Context, s *session, extra []core.Option) (*scenario.Result, xq.CacheStats, error) {
+	opts := s.opts
+	if len(extra) > 0 {
+		opts = append(append([]core.Option{}, s.opts...), extra...)
+	}
 	var p *scenario.Prepared
 	if s.bundle != nil {
-		p = scenario.PrepareBundle(s.scn, s.bundle, s.pol, s.opts...)
+		p = scenario.PrepareBundle(s.scn, s.bundle, s.pol, opts...)
 	} else {
-		p = scenario.Prepare(s.scn, s.pol, s.opts...)
+		p = scenario.Prepare(s.scn, s.pol, opts...)
+	}
+	if m.teacherLatency > 0 {
+		p.SetTeacherLatency(m.teacherLatency)
 	}
 	res, err := p.Learn(ctx)
 	cache := p.Session.Engine().CacheStats().Add(p.Sim.CacheStats())
@@ -101,6 +114,9 @@ type manager struct {
 	maxLearning int
 	queueDepth  int
 	ttl         time.Duration
+	// teacherLatency simulates a slow teacher on every learn (the
+	// benchmark knob for the batched protocol); zero for real speed.
+	teacherLatency time.Duration
 
 	metrics *metrics
 	logger  *slog.Logger
@@ -120,20 +136,21 @@ type manager struct {
 	janitorDone chan struct{}
 }
 
-func newManager(maxLearning, queueDepth int, ttl time.Duration, m *metrics, logger *slog.Logger) *manager {
+func newManager(maxLearning, queueDepth int, ttl, teacherLatency time.Duration, m *metrics, logger *slog.Logger) *manager {
 	mgr := &manager{
-		maxLearning: maxLearning,
-		queueDepth:  queueDepth,
-		ttl:         ttl,
-		metrics:     m,
-		logger:      logger,
-		now:         time.Now,
-		learn:       runScenarioLearn,
-		sem:         make(chan struct{}, maxLearning),
-		sessions:    make(map[string]*session),
-		janitorStop: make(chan struct{}),
-		janitorDone: make(chan struct{}),
+		maxLearning:    maxLearning,
+		queueDepth:     queueDepth,
+		ttl:            ttl,
+		teacherLatency: teacherLatency,
+		metrics:        m,
+		logger:         logger,
+		now:            time.Now,
+		sem:            make(chan struct{}, maxLearning),
+		sessions:       make(map[string]*session),
+		janitorStop:    make(chan struct{}),
+		janitorDone:    make(chan struct{}),
 	}
+	mgr.learn = mgr.scenarioLearn
 	go mgr.janitor()
 	return mgr
 }
@@ -247,14 +264,74 @@ func (m *manager) StartLearn(id string) (api.SessionV1, error) {
 	s.state = stateQueued
 	s.cancel = cancel
 	s.result, s.err = nil, nil
+	s.batched = false
 	s.lastTouch = m.now()
 	m.metrics.started()
 	m.wg.Add(1)
-	go m.runSession(ctx, s)
+	go m.runSession(ctx, s, nil)
 	return m.snapshotLocked(s), nil
 }
 
-func (m *manager) runSession(ctx context.Context, s *session) {
+// streamBuffer bounds the event channel between a learning session and
+// its streaming HTTP response. The learn blocks once the buffer fills
+// and the client stops reading — acceptable backpressure, since client
+// disconnect cancels the learn's context and unblocks it.
+const streamBuffer = 64
+
+// StartLearnStream admits the session like StartLearn, but runs the
+// learn over the batched + speculative teacher protocol with a
+// protocol observer attached, and couples the learn's lifetime to the
+// stream's context: protocol events arrive in emit order on the
+// returned channel, which closes only after the terminal state (done
+// or failed) is recorded, so a Get after drain reads the final
+// snapshot. Canceling ctx — the client hanging up — cancels the learn;
+// the session then finishes failed with a canceled error, exactly as a
+// DELETE mid-learn would.
+func (m *manager) StartLearnStream(ctx context.Context, id string) (<-chan core.Event, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, ErrDraining
+	}
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", core.ErrSessionNotFound, id)
+	}
+	if s.state == stateQueued || s.state == stateLearning {
+		return nil, fmt.Errorf("%w: %s", core.ErrSessionBusy, id)
+	}
+	if n := m.inFlightLocked(); n >= m.maxLearning+m.queueDepth {
+		return nil, fmt.Errorf("%w: %d sessions in flight (max %d learning + %d queued)",
+			ErrQueueFull, n, m.maxLearning, m.queueDepth)
+	}
+	lctx, cancel := context.WithCancel(ctx)
+	ch := make(chan core.Event, streamBuffer)
+	extra := []core.Option{
+		core.WithBatchedProtocol(true),
+		core.WithObserver(func(ev core.Event) {
+			select {
+			case ch <- ev:
+			case <-lctx.Done():
+				// Client gone: drop the event; the learn itself is being
+				// canceled through the same context.
+			}
+		}),
+	}
+	s.state = stateQueued
+	s.cancel = cancel
+	s.result, s.err = nil, nil
+	s.batched = true
+	s.lastTouch = m.now()
+	m.metrics.started()
+	m.wg.Add(1)
+	go func() {
+		defer close(ch)
+		m.runSession(lctx, s, extra)
+	}()
+	return ch, nil
+}
+
+func (m *manager) runSession(ctx context.Context, s *session, extra []core.Option) {
 	defer m.wg.Done()
 	select {
 	case m.sem <- struct{}{}:
@@ -265,7 +342,7 @@ func (m *manager) runSession(ctx context.Context, s *session) {
 	defer func() { <-m.sem }()
 	m.setState(s, stateLearning)
 	start := m.now()
-	res, cache, err := m.learn(ctx, s)
+	res, cache, err := m.learn(ctx, s, extra)
 	m.finish(s, res, cache, err, float64(m.now().Sub(start).Microseconds())/1e3)
 }
 
@@ -294,7 +371,8 @@ func (m *manager) finish(s *session, res *scenario.Result, cache xq.CacheStats, 
 	s.state = stateDone
 	s.result = res
 	tot := res.Stats.Totals()
-	m.metrics.completed(latencyMS, interactionTotals{mq: tot.MQ, ce: tot.CE, cb: tot.CB, ob: tot.OB}, cache)
+	m.metrics.completed(latencyMS, interactionTotals{mq: tot.MQ, ce: tot.CE, cb: tot.CB, ob: tot.OB},
+		cache, res.Stats.Speculation)
 	m.logger.Info("learn done", "session", s.id, "scenario", s.scenarioID,
 		"verified", res.Verified, "latency_ms", latencyMS)
 }
@@ -395,6 +473,9 @@ func (m *manager) snapshotLocked(s *session) api.SessionV1 {
 		v := s.result.Verified
 		out.Verified = &v
 		out.Stats = api.NewStatsV1(s.result.Stats)
+		if s.batched {
+			out.BatchedMQs = s.result.Stats.Speculation.BatchedMQ
+		}
 	}
 	return out
 }

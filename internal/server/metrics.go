@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/api"
+	"repro/internal/core"
 	"repro/internal/xq"
 )
 
@@ -69,6 +70,10 @@ type metrics struct {
 	// xq acceleration-cache counters summed over completed learns
 	// (engine evaluator + teacher evaluator).
 	cache xq.CacheStats
+
+	// spec sums the batched teacher protocol's transport counters over
+	// completed learns; all zero when every learn ran serially.
+	spec core.SpeculationStats
 }
 
 func newMetrics() *metrics {
@@ -85,7 +90,7 @@ func (m *metrics) failed()   { m.mu.Lock(); m.learnsFailed++; m.mu.Unlock() }
 // completed records one successful learn: its wall-clock latency, the
 // interaction totals of its stats, and the acceleration-cache counters
 // of its evaluators.
-func (m *metrics) completed(latencyMS float64, tot interactionTotals, cache xq.CacheStats) {
+func (m *metrics) completed(latencyMS float64, tot interactionTotals, cache xq.CacheStats, spec core.SpeculationStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.learnsCompleted++
@@ -95,6 +100,12 @@ func (m *metrics) completed(latencyMS float64, tot interactionTotals, cache xq.C
 	m.cb += uint64(tot.cb)
 	m.ob += uint64(tot.ob)
 	m.cache = m.cache.Add(cache)
+	m.spec.Prefetches += spec.Prefetches
+	m.spec.MirrorAnswers += spec.MirrorAnswers
+	m.spec.BatchRounds += spec.BatchRounds
+	m.spec.BatchedMQ += spec.BatchedMQ
+	m.spec.Kept += spec.Kept
+	m.spec.Discarded += spec.Discarded
 }
 
 // interactionTotals is the subset of core stats the metrics endpoint
@@ -123,5 +134,6 @@ func (m *metrics) wire(byState map[string]int, artifacts api.ArtifactStoreV1) ap
 		Interactions: api.InteractionTotalsV1{MQ: m.mq, CE: m.ce, CB: m.cb, OB: m.ob},
 		XQCache:      api.NewCacheStatsV1(m.cache),
 		Artifacts:    artifacts,
+		Speculation:  api.NewSpeculationV1(m.spec),
 	}
 }

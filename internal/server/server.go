@@ -44,6 +44,11 @@ type Config struct {
 	// bytes (approximate, see internal/artifacts); default
 	// artifacts.DefaultBudget.
 	ArtifactBudget int64
+	// TeacherLatency simulates a slow teacher: every answering round
+	// trip of the simulated teacher sleeps this long. The benchmark
+	// knob for the batched streaming protocol; zero (the default) runs
+	// at full speed.
+	TeacherLatency time.Duration
 	// Logger receives structured request and session logs; default
 	// slog.Default().
 	Logger *slog.Logger
@@ -94,7 +99,7 @@ func New(cfg Config) *Server {
 		cfg:       cfg,
 		logger:    cfg.Logger,
 		metrics:   m,
-		mgr:       newManager(cfg.MaxLearning, cfg.QueueDepth, cfg.TTL, m, cfg.Logger),
+		mgr:       newManager(cfg.MaxLearning, cfg.QueueDepth, cfg.TTL, cfg.TeacherLatency, m, cfg.Logger),
 		scenarios: make(map[string]*scenario.Scenario, len(cfg.Scenarios)),
 		store:     artifacts.NewStore(cfg.ArtifactBudget),
 	}
@@ -166,6 +171,14 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so streaming handlers can push
+// NDJSON frames through the logging middleware chunk by chunk.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // logRequests emits one structured line per request.

@@ -264,7 +264,7 @@ func TestCreateRejections(t *testing.T) {
 // blockingLearn substitutes the manager's learn function with one that
 // parks until release is closed (or the session is canceled).
 func blockingLearn(release <-chan struct{}) learnFunc {
-	return func(ctx context.Context, s *session) (*scenario.Result, xq.CacheStats, error) {
+	return func(ctx context.Context, s *session, extra []core.Option) (*scenario.Result, xq.CacheStats, error) {
 		select {
 		case <-release:
 			return &scenario.Result{Stats: &core.Stats{}, Verified: true}, xq.CacheStats{}, nil
@@ -359,7 +359,7 @@ func TestDeleteCancelsLearning(t *testing.T) {
 // failed sessions distinctly.
 func TestTreeBeforeDone(t *testing.T) {
 	srv, ts := newTestServer(t, Config{})
-	srv.mgr.learn = func(ctx context.Context, s *session) (*scenario.Result, xq.CacheStats, error) {
+	srv.mgr.learn = func(ctx context.Context, s *session, extra []core.Option) (*scenario.Result, xq.CacheStats, error) {
 		return nil, xq.CacheStats{}, errors.New("deliberate failure")
 	}
 	ids := createSessions(t, ts.URL, 1)
@@ -451,7 +451,7 @@ func TestShutdownCancelsStragglers(t *testing.T) {
 // TestTTLEviction: idle and finished sessions expire; queued/learning
 // ones never do.
 func TestTTLEviction(t *testing.T) {
-	m := newManager(1, 1, time.Minute, newMetrics(), testLogger())
+	m := newManager(1, 1, time.Minute, 0, newMetrics(), testLogger())
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

@@ -12,8 +12,11 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/pool"
 	"repro/internal/xmldoc"
 	"repro/internal/xq"
 )
@@ -31,6 +34,13 @@ const (
 )
 
 // Sim is the simulated teacher.
+//
+// Question answering is safe for concurrent use: the batched protocol
+// dispatches per-fragment prefetches concurrently, so every answering
+// method serializes its state (interaction counters, one-shot boxes,
+// evaluator caches) behind one mutex. The simulated Latency sleep runs
+// before the lock is taken — concurrent round trips overlap their
+// latency, which is exactly the win batching models.
 type Sim struct {
 	// Doc is the source document.
 	Doc *xmldoc.Document
@@ -43,13 +53,23 @@ type Sim struct {
 	Orders map[string][]xq.SortKey
 	// Pol is the counterexample policy.
 	Pol Policy
+	// Latency simulates a slow teacher — a remote endpoint, a human
+	// behind a GUI: every answering method sleeps this long once per
+	// round trip (context-aware) before touching teacher state. Zero
+	// disables the sleep. Set it before learning starts.
+	Latency time.Duration
 
 	ev *xq.Evaluator
-	// Interactions counts every question the simulated user answered
-	// (for sanity cross-checks against engine stats).
+	// Interactions counts every question the simulated user answered.
+	// Under the serial protocol this matches the engine's wire-visible
+	// dialogue; under the batched protocol it counts questions answered
+	// over the wire (batch prefetches), while the engine's Stats keep
+	// counting the replayed dialogue — see core.SpeculationStats.
 	Interactions int
 	// boxesServed tracks one-shot box delivery per fragment.
 	boxesServed map[string]bool
+	// mu serializes answering state; see the type comment.
+	mu sync.Mutex
 }
 
 // New builds a simulated teacher.
@@ -83,6 +103,8 @@ func (s *Sim) Accelerate(ix *xq.Index, se *xq.SharedExtents, plan *xq.TreePlan) 
 // evaluator (the one answering MQ/EQ against the ground truth), for
 // aggregation next to the engine's Engine.CacheStats.
 func (s *Sim) CacheStats() xq.CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.ev.CacheStats()
 }
 
@@ -103,8 +125,38 @@ func (s *Sim) extent(ctx context.Context, frag core.FragmentRef, pin map[string]
 	return s.ev.Extent(ctx, s.Truth, n, pinned)
 }
 
+// delay simulates one round trip to the teacher. It runs before the
+// state lock is taken so concurrent questions overlap their latency.
+func (s *Sim) delay(ctx context.Context) error {
+	if s.Latency <= 0 {
+		return nil
+	}
+	t := time.NewTimer(s.Latency)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// cePolicy maps the teacher policy onto the core counterexample policy
+// shared with learner-side mirrors.
+func (s *Sim) cePolicy() core.CEPolicy {
+	if s.Pol == WorstCase {
+		return core.CEWorstCase
+	}
+	return core.CEBestCase
+}
+
 // Member implements core.Teacher.
 func (s *Sim) Member(ctx context.Context, frag core.FragmentRef, pin map[string]*xmldoc.Node, n *xmldoc.Node) (bool, error) {
+	if err := s.delay(ctx); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.Interactions++
 	ext, err := s.extent(ctx, frag, pin)
 	if err != nil {
@@ -118,8 +170,57 @@ func (s *Sim) Member(ctx context.Context, frag core.FragmentRef, pin map[string]
 	return false, nil
 }
 
+// MemberBatch implements core.BatchTeacher: one round trip (one
+// latency sleep) answers membership for every candidate. Answers are
+// indexed by candidate — nodes[i] is answered by the i-th element —
+// so callers commit by index, never by arrival order. Large batches
+// fan the membership scan out over the shared bounded worker pool.
+func (s *Sim) MemberBatch(ctx context.Context, frag core.FragmentRef, pin map[string]*xmldoc.Node, nodes []*xmldoc.Node) ([]bool, error) {
+	if err := s.delay(ctx); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Interactions += len(nodes)
+	ext, err := s.extent(ctx, frag, pin)
+	if err != nil {
+		return nil, err
+	}
+	in := make(map[int]bool, len(ext))
+	for _, m := range ext {
+		in[m.ID] = true
+	}
+	out := make([]bool, len(nodes))
+	if len(nodes) < diffMinLen {
+		for i, n := range nodes {
+			out[i] = in[n.ID]
+		}
+		return out, nil
+	}
+	// Pool path: chunk the candidate list; workers only read the extent
+	// set and write disjoint ranges of out, chunk results in index order.
+	const chunk = 1024
+	nChunks := (len(nodes) + chunk - 1) / chunk
+	if _, err := pool.Run(ctx, nChunks, 8, func(_ context.Context, c int) (struct{}, error) {
+		lo := c * chunk
+		hi := min(lo+chunk, len(nodes))
+		for i := lo; i < hi; i++ {
+			out[i] = in[nodes[i].ID]
+		}
+		return struct{}{}, nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Equivalent implements core.Teacher.
 func (s *Sim) Equivalent(ctx context.Context, frag core.FragmentRef, pin map[string]*xmldoc.Node, hyp []*xmldoc.Node) (*xmldoc.Node, bool, bool, error) {
+	if err := s.delay(ctx); err != nil {
+		return nil, false, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.Interactions++
 	truth, err := s.extent(ctx, frag, pin)
 	if err != nil {
@@ -133,37 +234,40 @@ func (s *Sim) Equivalent(ctx context.Context, frag core.FragmentRef, pin map[str
 	return ce, positive, false, nil
 }
 
+// EquivalentFull implements core.BatchTeacher: one round trip ships the
+// full symmetric difference plus this teacher's counterexample policy,
+// so the engine can mirror the truth extent and replay the rest of the
+// fragment's dialogue locally with identical counterexample choices.
+func (s *Sim) EquivalentFull(ctx context.Context, frag core.FragmentRef, pin map[string]*xmldoc.Node, hyp []*xmldoc.Node) (add, remove []*xmldoc.Node, pol core.CEPolicy, err error) {
+	if err := s.delay(ctx); err != nil {
+		return nil, nil, 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Interactions++
+	truth, err := s.extent(ctx, frag, pin)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	add, remove = diffExtents(truth, hyp)
+	return add, remove, s.cePolicy(), nil
+}
+
+// pick selects the policy's counterexample from a non-empty symmetric
+// difference; the selection logic lives in core.PickCounterexample so
+// learner-side mirrors replay it bit-identically.
 func (s *Sim) pick(pos, neg []*xmldoc.Node) (*xmldoc.Node, bool) {
-	choose := func(list []*xmldoc.Node) *xmldoc.Node {
-		best := list[0]
-		for _, n := range list[1:] {
-			if s.Pol == BestCase {
-				if n.Depth() < best.Depth() || (n.Depth() == best.Depth() && n.ID < best.ID) {
-					best = n
-				}
-			} else {
-				if n.Depth() > best.Depth() || (n.Depth() == best.Depth() && n.ID > best.ID) {
-					best = n
-				}
-			}
-		}
-		return best
-	}
-	if s.Pol == BestCase {
-		if len(pos) > 0 {
-			return choose(pos), true
-		}
-		return choose(neg), false
-	}
-	if len(neg) > 0 {
-		return choose(neg), false
-	}
-	return choose(pos), true
+	return core.PickCounterexample(s.cePolicy(), pos, neg)
 }
 
 // ConditionBox implements core.Teacher: it serves the scenario's
 // pre-declared entries for the fragment, once.
 func (s *Sim) ConditionBox(ctx context.Context, frag core.FragmentRef, ce *xmldoc.Node) ([]core.BoxEntry, error) {
+	if err := s.delay(ctx); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.boxesServed[frag.Var] {
 		return nil, nil
 	}
@@ -175,6 +279,11 @@ func (s *Sim) ConditionBox(ctx context.Context, frag core.FragmentRef, ce *xmldo
 
 // OrderBy implements core.Teacher.
 func (s *Sim) OrderBy(ctx context.Context, frag core.FragmentRef) ([]xq.SortKey, error) {
+	if err := s.delay(ctx); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.Orders[frag.Var], nil
 }
 
