@@ -3,6 +3,14 @@
 // microbenchmarks for the substrates. Run:
 //
 //	go test -bench=. -benchmem
+//
+// To profile a benchmark, use go test's native pprof flags — the same
+// capture the experiments runner exposes via -cpuprofile/-memprofile
+// (see EXPERIMENTS.md, "Profiling methodology"):
+//
+//	go test -bench=BenchmarkAngluinLearn -benchmem \
+//	    -cpuprofile cpu.out -memprofile mem.out .
+//	go tool pprof -top -sample_index=alloc_objects mem.out
 package repro
 
 import (

@@ -4,7 +4,9 @@
 // the suite total — regressed past the threshold. Wall-clock
 // comparisons carry an absolute slack so micro-runs (fig15 finishes in
 // well under a millisecond) cannot trip the gate on scheduler noise;
-// allocation counts are near-deterministic and get a smaller one.
+// allocation counts are near-deterministic and get a smaller one, and
+// allocated bytes get a megabyte-sized floor of their own (capacity
+// growth is GC-timing dependent).
 //
 //	go run ./ci/benchdiff -baseline BENCH_eval.json -current /tmp/bench.json
 package main
@@ -36,6 +38,9 @@ func main() {
 	threshold := flag.Float64("threshold", 0.20, "maximum allowed relative regression (0.20 = +20%)")
 	msSlack := flag.Float64("ms-slack", 25, "absolute wall-clock slack in ms (noise floor for tiny runs)")
 	allocSlack := flag.Uint64("alloc-slack", 50_000, "absolute allocation-count slack per run")
+	byteSlack := flag.Uint64("byte-slack", 8<<20, "absolute allocated-bytes slack per run")
+	markdown := flag.String("markdown", "",
+		"also write a before/after markdown table to this file (- for stdout); CI appends it to the job summary")
 	flag.Parse()
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
@@ -81,11 +86,26 @@ func main() {
 			regress(c.Name, "allocations", float64(c.AllocsPerOp), float64(b.AllocsPerOp),
 				float64(*allocSlack), "")
 		}
-		fmt.Printf("benchdiff: %-12s %8.1fms (baseline %8.1fms)  %9d allocs (baseline %9d)\n",
-			c.Name, c.Millis, b.Millis, c.AllocsPerOp, b.AllocsPerOp)
+		// Allocated bytes get the same relative threshold with their own
+		// absolute slack: byte counts wobble more than allocation counts
+		// (GC-timing-dependent growth picks different capacities), so the
+		// noise floor is sized in megabytes, not counts.
+		if b.BytesPerOp > 0 {
+			regress(c.Name, "allocated bytes", float64(c.BytesPerOp), float64(b.BytesPerOp),
+				float64(*byteSlack), "B")
+		}
+		fmt.Printf("benchdiff: %-12s %8.1fms (baseline %8.1fms)  %9d allocs (baseline %9d)  %11d B (baseline %11d)\n",
+			c.Name, c.Millis, b.Millis, c.AllocsPerOp, b.AllocsPerOp, c.BytesPerOp, b.BytesPerOp)
 	}
 	regress("total", "wall-clock", cur.TotalMillis, base.TotalMillis, *msSlack, "ms")
 	fmt.Printf("benchdiff: total        %8.1fms (baseline %8.1fms)\n", cur.TotalMillis, base.TotalMillis)
+
+	if *markdown != "" {
+		if err := writeMarkdown(*markdown, base, cur, baseRuns); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	}
 
 	if failed {
 		fmt.Fprintln(os.Stderr, "benchdiff: benchmark regression gate FAILED (see runs above);")
@@ -94,4 +114,40 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: ok — no run regressed past the threshold")
+}
+
+// writeMarkdown renders the before/after comparison as a GitHub
+// markdown table (the bench-compare job appends it to the step
+// summary). Percentage deltas are relative to the baseline; runs
+// without a baseline row print "new".
+func writeMarkdown(path string, base, cur api.BenchReportV1, baseRuns map[string]api.BenchRecordV1) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	pct := func(got, want float64) string {
+		if want <= 0 {
+			return "new"
+		}
+		return fmt.Sprintf("%+.1f%%", 100*(got/want-1))
+	}
+	fmt.Fprintln(out, "### Benchmark comparison vs committed baseline")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "| run | baseline ms | current ms | Δms | baseline allocs | current allocs | Δallocs | baseline MB | current MB | ΔB |")
+	fmt.Fprintln(out, "|-----|------------:|-----------:|----:|----------------:|---------------:|--------:|------------:|-----------:|---:|")
+	for _, c := range cur.Runs {
+		b := baseRuns[c.Name]
+		fmt.Fprintf(out, "| %s | %.1f | %.1f | %s | %d | %d | %s | %.1f | %.1f | %s |\n",
+			c.Name, b.Millis, c.Millis, pct(c.Millis, b.Millis),
+			b.AllocsPerOp, c.AllocsPerOp, pct(float64(c.AllocsPerOp), float64(b.AllocsPerOp)),
+			float64(b.BytesPerOp)/1e6, float64(c.BytesPerOp)/1e6, pct(float64(c.BytesPerOp), float64(b.BytesPerOp)))
+	}
+	fmt.Fprintf(out, "| **total** | %.1f | %.1f | %s | | | | | | |\n",
+		base.TotalMillis, cur.TotalMillis, pct(cur.TotalMillis, base.TotalMillis))
+	return nil
 }

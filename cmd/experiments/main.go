@@ -11,7 +11,9 @@
 // -parallel N to learn scenarios on N concurrent sessions (the tables
 // are byte-identical to a serial run). Ctrl-C cancels all sessions.
 // -bench-json FILE additionally writes each table's wall-clock to FILE
-// (the committed BENCH_eval.json baseline).
+// (the committed BENCH_eval.json baseline). -cpuprofile/-memprofile
+// capture pprof profiles of the whole run (see EXPERIMENTS.md,
+// "Profiling methodology").
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/artifacts"
@@ -33,7 +36,38 @@ func main() {
 	worst := flag.Bool("worst", false, "also run the worst-case counterexample policy (bracketed CE)")
 	parallel := flag.Int("parallel", 1, "number of concurrent learning sessions (<=1 runs serially)")
 	benchJSON := flag.String("bench-json", "", "write per-table wall-clock timings to this JSON file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			// Flush recent frees so inuse numbers are settled; the
+			// alloc_objects/alloc_space samples are unaffected.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -43,6 +43,8 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "grace period for active learns on shutdown")
 	teacherLatency := flag.Duration("teacher-latency", 0,
 		"simulate a slow teacher: sleep this long per answering round trip (benchmark knob)")
+	enablePprof := flag.Bool("pprof", false,
+		"serve net/http/pprof profiling endpoints under /debug/pprof/ (exposes internals; keep off in untrusted networks)")
 	verbose := flag.Bool("v", false, "debug-level logging")
 	flag.Parse()
 
@@ -64,6 +66,7 @@ func main() {
 		TeacherLatency: *teacherLatency,
 		Scenarios:      registry(),
 		Logger:         logger,
+		EnablePprof:    *enablePprof,
 	})
 	if err := srv.Run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "xlearnerd:", err)

@@ -8,11 +8,14 @@ import (
 	"strings"
 )
 
-// ArenaAlias enforces the evaluator's arena-ownership contract
+// ArenaAlias enforces the evaluator's arena-ownership contracts
 // (DESIGN.md "Arena ownership"): slices handed out by the execution
-// arena (execArena's buffers, and anything derived from them by
-// slicing, assignment, or a call that returns them) are valid only
-// until the next extent execution. They must not outlive that window:
+// arena (execArena's buffers) are valid only until the next extent
+// execution, and slices carved from the compile arena (compileArena's
+// chunks) are valid only until the next arena reset — in both cases,
+// anything derived from them by slicing, assignment, or a call that
+// returns them inherits the constraint. They must not outlive that
+// window:
 // storing one in a struct, map, or composite literal, returning one
 // from an exported function, passing one to a function that retains
 // its argument, or capturing one in a goroutine are all reported.
@@ -40,6 +43,12 @@ var ArenaAlias = &Analyzer{
 // a leak.
 var arenaAllowlist = map[string]string{
 	"repro/internal/xq.execExtent": "the arena owner; its internal buffer shuffling is the contract itself",
+	// The plan compiler owns the compile arena: storing carved slices
+	// into the plans it builds is the contract (plans share the chunks'
+	// lifetime; see compilearena.go), not a leak.
+	"repro/internal/xq.compileExtent":  "the compile-arena owner; compiled plans alias its chunks by design",
+	"repro/internal/xq.compilePred":    "the compile-arena owner; compiled plans alias its chunks by design",
+	"repro/internal/xq.compileOperand": "the compile-arena owner; compiled plans alias its chunks by design",
 }
 
 // ArenaFact is the per-function interprocedural summary.
@@ -202,8 +211,9 @@ func paramVars(fn *FuncNode) []*types.Var {
 	return out
 }
 
-// arenaSource recognizes the taint origins: slice-typed fields of a
-// struct type named execArena.
+// arenaSource recognizes the taint origins: slice-typed fields of the
+// arena struct types — execArena (execution scratch) and compileArena
+// (compile-time scratch; see xq/compilearena.go).
 func arenaSource(pkg *Package) func(ast.Expr) bool {
 	return func(e ast.Expr) bool {
 		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
@@ -214,7 +224,7 @@ func arenaSource(pkg *Package) func(ast.Expr) bool {
 		if !ok || s.Kind() != types.FieldVal {
 			return false
 		}
-		if namedTypeName(s.Recv()) != "execArena" {
+		if n := namedTypeName(s.Recv()); n != "execArena" && n != "compileArena" {
 			return false
 		}
 		_, isSlice := types.Unalias(s.Obj().Type()).Underlying().(*types.Slice)

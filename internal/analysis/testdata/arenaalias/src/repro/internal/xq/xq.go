@@ -102,3 +102,60 @@ func scribble(c *xmldoc.Columns) {
 	c.Sym = nil   // want `write to Columns.Sym outside internal/xmldoc`
 	_ = c.Kind[0] // reads are fine
 }
+
+// compileArena mirrors the plan compiler's scratch arena: carved
+// slices alias evaluator-owned chunks and are valid only until the
+// next arena reset.
+type compileArena struct {
+	levels []int
+	vals   []byte
+}
+
+type planner struct {
+	comp  compileArena
+	plans map[string][]int
+}
+
+// carve mirrors the carvers: unexported, returns a compile-arena
+// carve. Callers inherit the taint through the arenaReturns fact.
+func (p *planner) carve(n int) []int {
+	off := len(p.comp.levels)
+	p.comp.levels = p.comp.levels[:off+n]
+	return p.comp.levels[off : off+n : off+n]
+}
+
+// Carve leaks a carve across the exported API boundary.
+func (p *planner) Carve(n int) []int {
+	return p.carve(n) // want `arena-aliasing slice returned from exported Carve`
+}
+
+// compileExtent matches the arenaAllowlist entry
+// (repro/internal/xq.compileExtent): the compile-arena owner stores
+// carves into the plans it builds by design, so this store is
+// suppressed.
+func (p *planner) compileExtent(k string) {
+	p.plans[k] = p.carve(3)
+}
+
+// planLeak is the same store without an allowlist entry — the
+// compile-arena contract is enforced for everyone else.
+func (p *planner) planLeak(k string) {
+	p.plans[k] = p.carve(3) // want `arena-aliasing slice stored in map/slice element`
+}
+
+// planCopy copies a carve out of the arena: clean.
+func (p *planner) planCopy(k string) {
+	p.plans[k] = append([]int(nil), p.carve(3)...)
+}
+
+// compileReset truncates the arena's own chunks in place — writes back
+// into the arena are the owner's reset, not an escape.
+func (p *planner) compileReset() {
+	p.comp.levels = p.comp.levels[:0]
+	p.comp.vals = p.comp.vals[:0]
+}
+
+// blobOf crosses the string barrier with compile-arena bytes: clean.
+func (p *planner) blobOf() string {
+	return string(p.comp.vals)
+}

@@ -32,9 +32,10 @@ type Teacher interface {
 
 // KeyedTeacher is an optional Teacher extension. MemberKeyed is Member
 // with the word's canonical cache key — strings.Join(word, "\x00") —
-// already materialized: the learner interns every word it asks about,
-// so a teacher that maintains its own word-keyed answer cache can probe
-// and insert with the learner's string instead of re-joining the word
+// already materialized: the learner tracks every word it asks about as
+// an integer trie node, so a teacher that maintains its own word-keyed
+// answer cache can probe and insert with the one key string the learner
+// materializes at the teacher boundary instead of re-joining the word
 // (that join is a per-query allocation that tops whole-benchmark
 // profiles). The word-validity contract is Member's; the key may be
 // retained.
@@ -83,17 +84,26 @@ func WithMaxEquivalenceQueries(n int) Option {
 	return func(l *learner) { l.maxEQ = n }
 }
 
+// WithSymbolTable hands the learner a shared symbol intern table (see
+// SymbolTable). Sessions learning over the same document should pass
+// the bundle's table so the alphabet is interned once per document, not
+// once per fragment; a nil table is ignored and the learner builds a
+// private one.
+func WithSymbolTable(t *SymbolTable) Option {
+	return func(l *learner) {
+		if t != nil {
+			l.tab = t
+		}
+	}
+}
+
 // Learn runs L* over the given alphabet against the teacher and returns
 // the learned minimal DFA.
 func Learn(alphabet []string, t Teacher, opts ...Option) (*pathre.DFA, Stats, error) {
 	l := &learner{
 		alphabet: append([]string(nil), alphabet...),
 		teacher:  t,
-		// Presized: the table grows with S×E and rehash copies of a
-		// large string-keyed map show up in profiles.
-		table: make(map[string]bool, 1<<10),
-		ids:   make(map[string]int32, 1<<9),
-		maxEQ: 1000,
+		maxEQ:    1000,
 	}
 	l.keyed, _ = t.(KeyedTeacher)
 	l.batch, _ = t.(BatchTeacher)
@@ -102,15 +112,35 @@ func Learn(alphabet []string, t Teacher, opts ...Option) (*pathre.DFA, Stats, er
 	for _, o := range opts {
 		o(l)
 	}
+	if l.tab == nil {
+		l.tab = NewSymbolTable()
+	}
+	sc, _ := scratchPool.Get().(*scratch)
+	l.adopt(sc)
+	defer func() {
+		l.release(sc)
+		scratchPool.Put(sc)
+	}()
+	l.tr.init(l.tab, l.alphabet)
+	l.grow()
 	return l.run()
 }
+
+// Membership-table cell states: the table is a dense array indexed by
+// trie node ID, so a probe is one load instead of a string-keyed map
+// lookup.
+const (
+	ansUnknown uint8 = iota
+	ansNo
+	ansYes
+)
 
 type learner struct {
 	alphabet []string
 	teacher  Teacher
 	// keyed is teacher's KeyedTeacher form when it implements one (nil
-	// otherwise); membership misses prefer it, passing the table key
-	// they materialize anyway.
+	// otherwise); membership misses prefer it, passing the cache key
+	// materialized at the ask.
 	keyed KeyedTeacher
 	// batch/kbatch are the teacher's batch forms when implemented: the
 	// closedness scan then prefills whole query sets per round trip
@@ -122,42 +152,40 @@ type learner struct {
 	initial []string
 	maxEQ   int
 
-	// Prefix interning. Every access string and one-symbol extension
-	// the learner touches is assigned a dense ID on first sight; all
-	// per-prefix state below is indexed by that ID, so the scans that
-	// dominate L* — closedness, consistency, hypothesis extraction —
-	// run on integer lookups instead of re-hashing long joined words.
-	// ids maps a joined prefix key to its ID; keys/words invert it.
-	ids   map[string]int32
-	keys  []string
-	words [][]string
-	// rows holds each prefix's observation-table row, built column by
-	// column. Rows grow incrementally: when a distinguishing suffix is
-	// added only the new column is probed, so each (prefix, suffix)
-	// membership pair is looked up once ever rather than once per
-	// suffix epoch.
-	rows []rowEntry
-	// ext memoizes one-symbol extensions: ext[id][ai] is the ID of
-	// prefix id extended by alphabet[ai] (-1 until interned).
-	ext [][]int32
-	// inS marks the IDs currently in S; checked marks extension IDs
-	// whose row was confirmed realized in S during the current suffix
-	// epoch (see close).
-	inS     []bool
-	checked []uint32
+	// Word interning. Every access string, one-symbol extension, and
+	// asked word is a node of an integer parent-chain trie (see
+	// trie.go); all per-word state below is indexed by node ID, so the
+	// scans that dominate L* — closedness, consistency, hypothesis
+	// extraction — and the membership-table probes run on integer
+	// lookups with zero string building. tab is the (possibly shared)
+	// symbol intern table behind the trie.
+	tab *SymbolTable
+	tr  trie
+	// rowOf maps a node to its observation-table entry in rowEnts, -1
+	// until the node is first used as a table prefix. The indirection
+	// keeps the per-node cost at 4 bytes: only the prefixes of S and
+	// their one-symbol extensions ever get an entry, while the vast
+	// majority of nodes — intermediate links of the prefix·suffix word
+	// walks — never do.
+	rowOf   []int32
+	rowEnts []rowEntry
 	epoch   uint32
+	// ans is the membership table: the answer for the word at each trie
+	// node. Distinct (prefix, suffix) pairs concatenating to the same
+	// word walk to the same node, so they share a single teacher
+	// question exactly as the string-keyed table did.
+	ans []uint8
+	// waveMark stamps nodes already collected into the current batch
+	// wave (see prefill), replacing the per-wave seen map.
+	waveMark  []uint32
+	waveEpoch uint32
 
 	// s is the access-string set S in insertion order.
 	s []int32
-	// e is the distinguishing suffix set E, with eKeys the pre-joined
-	// map keys.
+	// e is the distinguishing suffix set E, with eSyms the suffixes
+	// resolved to symbol IDs for the trie walk.
 	e     [][]string
-	eKeys []string
-	// table caches membership answers keyed by joined word — the one
-	// remaining string-keyed structure, because distinct (prefix,
-	// suffix) pairs concatenating to the same word must share a single
-	// teacher question.
-	table map[string]bool
+	eSyms [][]int32
 	// Incremental closedness state, valid for the current E. rowsOfS
 	// holds the rows S realizes (it only grows while E is fixed:
 	// prefixes are never removed); tabled counts the prefixes of s
@@ -169,13 +197,26 @@ type learner struct {
 	// closedness query set was batch-prefetched (see prefill); reset
 	// with the epoch.
 	prefilled int
-	// kb is a scratch buffer for building membership keys without
-	// allocating: lookups go through the non-allocating map[string(kb)]
-	// form, and a key string is only materialized on insertion. wb is
-	// the matching scratch for the concatenated words handed to the
-	// teacher (the Teacher contract forbids retaining them).
+	// kb is a scratch buffer for the key strings materialized at the
+	// teacher boundary; wb is the matching scratch for the concatenated
+	// words handed to the teacher (the Teacher contract forbids
+	// retaining them).
 	kb []byte
 	wb []string
+	// Batch-wave scratch, reused across waves (see prefill): wvSyms
+	// flat-stores the wave's words back to back and wvOff/wvKOff record
+	// each word's start in wvSyms and in the key blob built in kb, so
+	// the per-word slice headers (wvWords/wvKeys) are materialized only
+	// after the flat buffers stop growing. Word slices carved from
+	// wvSyms are only valid for the batch call — exactly the Teacher
+	// word contract — while keys are substrings of one immutable blob
+	// string per wave, safe for the teacher to retain.
+	wvSyms  []string
+	wvOff   []int32
+	wvKOff  []int32
+	wvWords [][]string
+	wvKeys  []string
+	wvWids  []int32
 
 	stats Stats
 }
@@ -185,93 +226,124 @@ type learner struct {
 // are handed out as byte slices aliasing bits — map probes use the
 // non-allocating map[string(bits)] form and a row string is only
 // materialized when a genuinely new row is inserted — so a caller must
-// not hold a row across a row call for the same prefix.
+// not hold a row across a row call for the same prefix. The per-prefix
+// closedness state rides along: inS marks membership in S, checked the
+// suffix epoch in which the row was confirmed realized in S.
 type rowEntry struct {
-	bits []byte
+	bits    []byte
+	checked uint32
+	inS     bool
 }
 
 func key(w []string) string { return strings.Join(w, "\x00") }
 
-// extKey is the key of the one-symbol extension of the word keyed k.
-func extKey(k, a string) string {
-	if k == "" {
-		return a
+// grow extends the per-node side arrays to the trie's node count.
+func (l *learner) grow() {
+	for len(l.rowOf) < l.tr.len() {
+		l.rowOf = append(l.rowOf, -1)
+		l.ans = append(l.ans, ansUnknown)
+		l.waveMark = append(l.waveMark, 0)
 	}
-	return k + "\x00" + a
 }
 
-// appendKey appends the key of a further word (given its key k) to the
-// word key already in kb — the allocation-free form of extKey, also
-// covering whole-word concatenation (empty parts contribute nothing).
-func appendKey(kb []byte, k string) []byte {
-	if k == "" {
-		return kb
+// rowEnt returns node id's table entry, allocating it on first use as a
+// prefix. The pointer is valid until the next rowEnt call for a node
+// without one — callers must not hold it across prefix additions.
+func (l *learner) rowEnt(id int32) *rowEntry {
+	ri := l.rowOf[id]
+	if ri < 0 {
+		ri = int32(len(l.rowEnts))
+		l.rowOf[id] = ri
+		if n := len(l.rowEnts); n < cap(l.rowEnts) {
+			// Reuse a pooled slot in place so its bits buffer keeps its
+			// capacity across sessions.
+			l.rowEnts = l.rowEnts[:n+1]
+			e := &l.rowEnts[n]
+			e.bits = e.bits[:0]
+			e.checked = 0
+			e.inS = false
+		} else {
+			l.rowEnts = append(l.rowEnts, rowEntry{})
+		}
 	}
-	if len(kb) > 0 {
-		kb = append(kb, 0)
-	}
-	return append(kb, k...)
+	return &l.rowEnts[ri]
 }
 
-// intern returns the ID for the prefix with joined key k, registering
-// word w (which intern takes ownership of) on first sight.
-func (l *learner) intern(k string, w []string) int32 {
-	if id, ok := l.ids[k]; ok {
-		return id
+// isInS reports whether node id is in S, without allocating an entry.
+func (l *learner) isInS(id int32) bool {
+	ri := l.rowOf[id]
+	return ri >= 0 && l.rowEnts[ri].inS
+}
+
+// checkedAt returns node id's closedness-check epoch stamp (0 = never),
+// without allocating an entry.
+func (l *learner) checkedAt(id int32) uint32 {
+	ri := l.rowOf[id]
+	if ri < 0 {
+		return 0
 	}
-	id := int32(len(l.keys))
-	l.ids[k] = id
-	l.keys = append(l.keys, k)
-	l.words = append(l.words, w)
-	l.rows = append(l.rows, rowEntry{})
-	l.ext = append(l.ext, nil)
-	l.inS = append(l.inS, false)
-	l.checked = append(l.checked, 0)
+	return l.rowEnts[ri].checked
+}
+
+// node returns the trie node for prefix p extended by symbol sym,
+// registering it on first sight.
+func (l *learner) node(p, sym int32) int32 {
+	if c := l.tr.child(p, sym); c >= 0 {
+		return c
+	}
+	id := l.tr.add(p, sym)
+	l.grow()
 	return id
 }
 
-// internWord interns a word, copying it.
-func (l *learner) internWord(w []string) int32 {
-	k := key(w)
-	if id, ok := l.ids[k]; ok {
-		return id
+// walk returns the node of prefix id extended by the given symbols.
+func (l *learner) walk(id int32, syms []int32) int32 {
+	for _, s := range syms {
+		id = l.node(id, s)
 	}
-	return l.intern(k, append([]string(nil), w...))
+	return id
+}
+
+// internWord interns a word, resolving its symbols as needed
+// (counterexamples can contain symbols outside the alphabet).
+func (l *learner) internWord(w []string) int32 {
+	id := int32(0)
+	for _, s := range w {
+		id = l.node(id, l.tr.resolve(s))
+	}
+	return id
 }
 
 // extID returns the ID of prefix id extended by alphabet[ai],
-// interning the extension on first sight.
+// interning the extension on first sight. In dense mode this is the
+// two-load fast path the closedness and hypothesis scans hit.
 func (l *learner) extID(id int32, ai int) int32 {
-	exts := l.ext[id]
-	if exts == nil {
-		exts = make([]int32, len(l.alphabet))
-		for i := range exts {
-			exts[i] = -1
+	if ri := l.tr.rowIdx[id]; ri >= 0 {
+		if c := l.tr.rowData[int(ri)*len(l.tr.alpha)+ai]; c >= 0 {
+			return c
 		}
-		l.ext[id] = exts
 	}
-	if e := exts[ai]; e >= 0 {
-		return e
+	return l.node(id, l.tr.alpha[ai])
+}
+
+func (l *learner) setAns(id int32, v bool) {
+	if v {
+		l.ans[id] = ansYes
+	} else {
+		l.ans[id] = ansNo
 	}
-	a := l.alphabet[ai]
-	w := l.words[id]
-	ew := append(append(make([]string, 0, len(w)+1), w...), a)
-	e := l.intern(extKey(l.keys[id], a), ew)
-	// intern may grow l.ext, but append never moves the existing
-	// backing array, so the local header stays valid.
-	exts[ai] = e
-	return e
 }
 
 func (l *learner) member(w []string) (bool, error) {
-	k := key(w)
-	if v, ok := l.table[k]; ok {
-		return v, nil
+	id := l.internWord(w)
+	if v := l.ans[id]; v != ansUnknown {
+		return v == ansYes, nil
 	}
 	var v bool
 	var err error
 	if l.keyed != nil {
-		v, err = l.keyed.MemberKeyed(w, k)
+		l.kb = l.tr.appendKey(l.kb[:0], id)
+		v, err = l.keyed.MemberKeyed(w, string(l.kb))
 	} else {
 		v, err = l.teacher.Member(w)
 	}
@@ -279,7 +351,7 @@ func (l *learner) member(w []string) (bool, error) {
 		return false, err
 	}
 	l.stats.MembershipQueries++
-	l.table[k] = v
+	l.setAns(id, v)
 	return v, nil
 }
 
@@ -287,40 +359,41 @@ func (l *learner) member(w []string) (bool, error) {
 // ID. A row is a function of the prefix and the suffix set E only, and
 // E only grows, so the cached row stays correct column-for-column
 // forever: a call after a suffix was added probes just the new columns.
-// Membership lookups build their cache key from the pre-joined prefix
-// and suffix keys; the concatenated word itself is materialized only
-// when the teacher actually has to be asked. The returned slice aliases
-// the entry's growing buffer — valid until the next row call for the
-// same prefix, which callers never interleave.
+// A cell's membership lookup walks the suffix symbols from the prefix
+// node — integer steps, no key building — and the concatenated word and
+// its key are materialized only when the teacher actually has to be
+// asked. The returned slice aliases the entry's growing buffer — valid
+// until the next row call for the same prefix, which callers never
+// interleave.
 func (l *learner) row(id int32) ([]byte, error) {
-	ent := &l.rows[id]
+	ent := l.rowEnt(id)
 	if len(ent.bits) == len(l.e) {
 		return ent.bits, nil
 	}
-	k := l.keys[id]
 	for i := len(ent.bits); i < len(l.e); i++ {
-		kb := appendKey(append(l.kb[:0], k...), l.eKeys[i])
-		l.kb = kb
-		v, ok := l.table[string(kb)]
-		if !ok {
-			w := append(append(l.wb[:0], l.words[id]...), l.e[i]...)
+		wid := l.walk(id, l.eSyms[i])
+		v := l.ans[wid]
+		if v == ansUnknown {
+			w := l.tr.appendWord(l.wb[:0], wid)
 			l.wb = w
-			// The insertion key is materialized either way; hand it to a
-			// keyed teacher so its own cache skips re-joining the word.
-			ks := string(kb)
+			var b bool
 			var err error
 			if l.keyed != nil {
-				v, err = l.keyed.MemberKeyed(w, ks)
+				// Materialize the cache key at the boundary so the keyed
+				// teacher's own cache skips re-joining the word.
+				l.kb = l.tr.appendKey(l.kb[:0], wid)
+				b, err = l.keyed.MemberKeyed(w, string(l.kb))
 			} else {
-				v, err = l.teacher.Member(w)
+				b, err = l.teacher.Member(w)
 			}
 			if err != nil {
 				return nil, err
 			}
 			l.stats.MembershipQueries++
-			l.table[ks] = v
+			l.setAns(wid, b)
+			v = l.ans[wid]
 		}
-		if v {
+		if v == ansYes {
 			ent.bits = append(ent.bits, '1')
 		} else {
 			ent.bits = append(ent.bits, '0')
@@ -330,16 +403,25 @@ func (l *learner) row(id int32) ([]byte, error) {
 }
 
 func (l *learner) addPrefix(id int32) {
-	if !l.inS[id] {
-		l.inS[id] = true
+	if ent := l.rowEnt(id); !ent.inS {
+		ent.inS = true
 		l.s = append(l.s, id)
 	}
 }
 
-func (l *learner) hasSuffix(w []string) bool {
-	k := key(w)
-	for _, e := range l.e {
-		if key(e) == k {
+func (l *learner) hasSuffix(syms []int32) bool {
+	for _, es := range l.eSyms {
+		if len(es) != len(syms) {
+			continue
+		}
+		eq := true
+		for i := range es {
+			if es[i] != syms[i] {
+				eq = false
+				break
+			}
+		}
+		if eq {
 			return true
 		}
 	}
@@ -347,10 +429,10 @@ func (l *learner) hasSuffix(w []string) bool {
 }
 
 func (l *learner) run() (*pathre.DFA, Stats, error) {
-	l.s = []int32{l.intern("", nil)}
-	l.inS[0] = true
+	l.s = append(l.s[:0], 0)
+	l.rowEnt(0).inS = true
 	l.e = [][]string{{}}
-	l.eKeys = []string{""}
+	l.eSyms = [][]int32{{}}
 	if l.initial != nil {
 		for i := 1; i <= len(l.initial); i++ {
 			l.addPrefix(l.internWord(l.initial[:i]))
@@ -440,7 +522,7 @@ func (l *learner) close() error {
 			sid := l.s[i]
 			for ai := range l.alphabet {
 				eid := l.extID(sid, ai)
-				if l.inS[eid] || l.checked[eid] == l.epoch {
+				if l.isInS(eid) || l.checkedAt(eid) == l.epoch {
 					continue
 				}
 				r, err := l.row(eid)
@@ -448,7 +530,7 @@ func (l *learner) close() error {
 					return err
 				}
 				if l.rowsOfS[string(r)] {
-					l.checked[eid] = l.epoch
+					l.rowEnt(eid).checked = l.epoch
 					continue
 				}
 				l.addPrefix(eid)
@@ -500,10 +582,10 @@ func (l *learner) fixInconsistency() (bool, error) {
 				// Find the suffix position where they differ; add a.e.
 				for p := 0; p < len(ri); p++ {
 					if ri[p] != rj[p] {
-						newSuffix := append([]string{a}, l.e[p]...)
-						if !l.hasSuffix(newSuffix) {
-							l.e = append(l.e, newSuffix)
-							l.eKeys = append(l.eKeys, key(newSuffix))
+						newSyms := append([]int32{l.tr.alpha[ai]}, l.eSyms[p]...)
+						if !l.hasSuffix(newSyms) {
+							l.e = append(l.e, append([]string{a}, l.e[p]...))
+							l.eSyms = append(l.eSyms, newSyms)
 							return true, nil
 						}
 					}

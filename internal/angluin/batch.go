@@ -92,7 +92,7 @@ func (a SerialAdapter) MemberBatch(words [][]string) ([]bool, error) {
 }
 
 // askWave ships one query set to the batch teacher and commits the
-// answers by index: l.table[keys[i]] = answers[i], one membership-query
+// answers by index: l.ans[wids[i]] = answers[i], one membership-query
 // charge per word, exactly as the serial learner would have charged
 // asking the same cells one at a time. The wire call runs on its own
 // goroutine with a buffered result channel — if the teacher aborts on a
@@ -101,7 +101,7 @@ func (a SerialAdapter) MemberBatch(words [][]string) ([]bool, error) {
 // flight, the calling goroutine offers the same set to the teacher's
 // Speculator (when it has one) and reconciles the precomputed values
 // against the landed answers.
-func (l *learner) askWave(words [][]string, keys []string) error {
+func (l *learner) askWave(words [][]string, keys []string, wids []int32) error {
 	if len(words) == 0 {
 		return nil
 	}
@@ -139,8 +139,8 @@ func (l *learner) askWave(words [][]string, keys []string) error {
 	}
 	l.stats.BatchRounds++
 	l.stats.BatchedQueries += len(words)
-	for i, k := range keys {
-		l.table[k] = r.ans[i]
+	for i, wid := range wids {
+		l.setAns(wid, r.ans[i])
 		l.stats.MembershipQueries++
 		if v, ok := parked[i]; ok {
 			if v == r.ans[i] {
@@ -168,23 +168,31 @@ func (l *learner) prefill() error {
 	if l.batch == nil && l.kbatch == nil {
 		return nil
 	}
-	var words [][]string
-	var keysQ []string
-	seen := map[string]bool{}
+	l.waveEpoch++
+	// Collect into the reused flat scratch: word symbols back to back in
+	// wvSyms, key bytes back to back in kb, per-word start offsets
+	// alongside. Appends may move the flat buffers, so the per-word
+	// headers are carved only after collection finishes — the whole wave
+	// then costs a bounded handful of allocations (buffer growth plus
+	// one key blob) instead of a word slice and a key string per query.
+	l.wvSyms = l.wvSyms[:0]
+	l.kb = l.kb[:0]
+	l.wvOff = l.wvOff[:0]
+	l.wvKOff = l.wvKOff[:0]
+	l.wvWids = l.wvWids[:0]
 	collect := func(id int32) {
-		ent := &l.rows[id]
-		k := l.keys[id]
+		ent := l.rowEnt(id)
 		for i := len(ent.bits); i < len(l.e); i++ {
-			kb := appendKey(append(l.kb[:0], k...), l.eKeys[i])
-			l.kb = kb
-			if _, ok := l.table[string(kb)]; ok || seen[string(kb)] {
+			wid := l.walk(id, l.eSyms[i])
+			if l.ans[wid] != ansUnknown || l.waveMark[wid] == l.waveEpoch {
 				continue
 			}
-			ks := string(kb)
-			seen[ks] = true
-			w := append(append(make([]string, 0, len(l.words[id])+len(l.e[i])), l.words[id]...), l.e[i]...)
-			words = append(words, w)
-			keysQ = append(keysQ, ks)
+			l.waveMark[wid] = l.waveEpoch
+			l.wvOff = append(l.wvOff, int32(len(l.wvSyms)))
+			l.wvSyms = l.tr.appendWord(l.wvSyms, wid)
+			l.wvKOff = append(l.wvKOff, int32(len(l.kb)))
+			l.kb = l.tr.appendKey(l.kb, wid)
+			l.wvWids = append(l.wvWids, wid)
 		}
 	}
 	for _, sid := range l.s[from:] {
@@ -193,11 +201,34 @@ func (l *learner) prefill() error {
 	for _, sid := range l.s[from:] {
 		for ai := range l.alphabet {
 			eid := l.extID(sid, ai)
-			if l.inS[eid] {
+			if l.isInS(eid) {
 				continue // its own row and extensions are collected as an S entry
 			}
 			collect(eid)
 		}
 	}
-	return l.askWave(words, keysQ)
+	n := len(l.wvWids)
+	if n == 0 {
+		return nil
+	}
+	words := l.wvWords[:0]
+	if cap(words) < n {
+		words = make([][]string, 0, n)
+	}
+	keys := l.wvKeys[:0]
+	if cap(keys) < n {
+		keys = make([]string, 0, n)
+	}
+	blob := string(l.kb)
+	for i := 0; i < n; i++ {
+		we, ke := int32(len(l.wvSyms)), int32(len(blob))
+		if i+1 < n {
+			we, ke = l.wvOff[i+1], l.wvKOff[i+1]
+		}
+		ws := l.wvOff[i]
+		words = append(words, l.wvSyms[ws:we:we])
+		keys = append(keys, blob[l.wvKOff[i]:ke])
+	}
+	l.wvWords, l.wvKeys = words, keys
+	return l.askWave(words, keys, l.wvWids)
 }

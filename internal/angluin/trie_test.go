@@ -1,0 +1,188 @@
+package angluin
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/pathre"
+)
+
+// TestTriePropertyAgainstStringJoinOracle drives the integer prefix
+// trie with randomized alphabets and words, in both the dense and the
+// packed-map child regimes, and checks every derived quantity against
+// the string-join oracle the trie replaced: two words reach the same
+// node iff their joined keys are equal, and each node's materialized
+// key and word round-trip to exactly the oracle's strings. Symbols are
+// non-empty by construction — the trie distinguishes the empty word
+// from a one-empty-symbol word, a split the joined-string oracle
+// conflates, and the learner's alphabets are document labels, never "".
+func TestTriePropertyAgainstStringJoinOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		nsym := 1 + rng.Intn(denseAlphabetMax+40) // straddles the dense cutoff
+		alphabet := make([]string, nsym)
+		for i := range alphabet {
+			alphabet[i] = "s" + strings.Repeat("x", rng.Intn(3)) + string(rune('A'+i%26)) + string(rune('0'+i/26%10)) + string(rune('a'+i/260))
+		}
+		var tr trie
+		tr.init(NewSymbolTable(), alphabet)
+		if wantDense := nsym <= denseAlphabetMax; tr.dense != wantDense {
+			t.Fatalf("trial %d: dense = %v for %d symbols, want %v", trial, tr.dense, nsym, wantDense)
+		}
+
+		nodeOf := map[string]int32{"": 0}
+		var keys []string
+		walkIn := func(w []string) int32 {
+			id := int32(0)
+			for _, s := range w {
+				sym := tr.resolve(s)
+				c := tr.child(id, sym)
+				if c < 0 {
+					c = tr.add(id, sym)
+				}
+				id = c
+			}
+			return id
+		}
+		for i := 0; i < 120; i++ {
+			n := rng.Intn(8)
+			w := make([]string, n)
+			for j := range w {
+				w[j] = alphabet[rng.Intn(nsym)]
+			}
+			key := strings.Join(w, "\x00")
+			id := walkIn(w)
+			if prev, seen := nodeOf[key]; seen {
+				if prev != id {
+					t.Fatalf("trial %d: key %q reached node %d, previously %d", trial, key, id, prev)
+				}
+			} else {
+				nodeOf[key] = id
+				keys = append(keys, key)
+			}
+			if got := string(tr.appendKey(nil, id)); got != key {
+				t.Fatalf("trial %d: appendKey(%d) = %q, want %q", trial, id, got, key)
+			}
+			if got := strings.Join(tr.word(id), "\x00"); got != key {
+				t.Fatalf("trial %d: word(%d) joins to %q, want %q", trial, id, got, key)
+			}
+			if int(tr.depth[id]) != n {
+				t.Fatalf("trial %d: depth(%d) = %d, want %d", trial, id, tr.depth[id], n)
+			}
+			if int(tr.keyLen[id]) != len(key) {
+				t.Fatalf("trial %d: keyLen(%d) = %d, want %d", trial, id, tr.keyLen[id], len(key))
+			}
+		}
+		// Distinct keys must occupy distinct nodes (the trie is a perfect
+		// intern), and every recorded node must still materialize its key.
+		ids := map[int32]string{}
+		for _, key := range keys {
+			id := nodeOf[key]
+			if other, dup := ids[id]; dup {
+				t.Fatalf("trial %d: node %d shared by keys %q and %q", trial, id, key, other)
+			}
+			ids[id] = key
+		}
+	}
+}
+
+// TestTrieSharedSymbolTable: two tries over one symbol table agree on
+// IDs, and a trie resolves symbols another trie interned first (the
+// bundle-sharing case: fragments of one session, sessions of one spec).
+func TestTrieSharedSymbolTable(t *testing.T) {
+	tab := NewSymbolTable("a", "b")
+	var t1, t2 trie
+	t1.init(tab, []string{"a", "b"})
+	t2.init(tab, []string{"b", "c"})
+	if t1.resolve("c") != t2.resolve("c") {
+		t.Fatalf("shared table resolved c to different IDs")
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("table has %d symbols, want 3 (a, b, c)", tab.Len())
+	}
+	if tab.Sym(t1.resolve("a")) != "a" {
+		t.Fatalf("Sym(ID(a)) != a")
+	}
+}
+
+// keyRecorder is a keyed (optionally batch) teacher that records the
+// key delivered for every word, for checking the learner's keys
+// against the documented contract: key == strings.Join(word, "\x00").
+type keyRecorder struct {
+	perfectTeacher
+	batch bool
+	got   map[string]string // joined word -> key as delivered
+}
+
+func (k *keyRecorder) MemberKeyed(w []string, key string) (bool, error) {
+	k.got[strings.Join(w, "\x00")] = key
+	return k.Member(w)
+}
+
+func (k *keyRecorder) MemberBatchKeyed(words [][]string, keys []string) ([]bool, error) {
+	if !k.batch {
+		// Hide the batch seam: a non-batch run answers serially through
+		// the SerialAdapter instead.
+		return nil, errors.New("keyRecorder: batch disabled")
+	}
+	out := make([]bool, len(words))
+	for i, w := range words {
+		k.got[strings.Join(w, "\x00")] = keys[i]
+		v, err := k.Member(w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// TestKeyedBatchKeysRoundTrip learns one target twice — serially
+// through a keyed teacher, and through the keyed batch seam — and
+// checks that every key delivered on either path is exactly the
+// documented strings.Join(word, "\x00"), that the batch blob-sliced
+// keys are bytewise equal to the serial per-ask keys, and that the
+// dialogue (the learned DFA and the interaction counts) is unchanged
+// between the two protocols.
+func TestKeyedBatchKeysRoundTrip(t *testing.T) {
+	target := pathre.Compile(pathre.MustParsePath("/site/regions//item"), alphabet)
+
+	serial := &keyRecorder{perfectTeacher: perfectTeacher{target}, got: map[string]string{}}
+	dSerial, stSerial, err := Learn(alphabet, SerialAdapter{T: serial})
+	if err != nil {
+		t.Fatalf("serial Learn: %v", err)
+	}
+
+	batched := &keyRecorder{perfectTeacher: perfectTeacher{target}, batch: true, got: map[string]string{}}
+	dBatched, stBatched, err := Learn(alphabet, batched)
+	if err != nil {
+		t.Fatalf("batched Learn: %v", err)
+	}
+
+	for name, rec := range map[string]*keyRecorder{"serial": serial, "batched": batched} {
+		if len(rec.got) == 0 {
+			t.Fatalf("%s: no keyed queries recorded", name)
+		}
+		for joined, key := range rec.got {
+			if key != joined {
+				t.Errorf("%s: key %q delivered for word joining to %q", name, key, joined)
+			}
+		}
+	}
+	for joined, key := range batched.got {
+		if sk, ok := serial.got[joined]; ok && sk != key {
+			t.Errorf("batch key %q != serial key %q for the same word", key, sk)
+		}
+	}
+	if w, diff := dSerial.Distinguish(dBatched); diff {
+		t.Fatalf("serial and batched learned different languages, witness %v", w)
+	}
+	if stSerial.MembershipQueries != stBatched.MembershipQueries ||
+		stSerial.EquivalenceQueries != stBatched.EquivalenceQueries {
+		t.Fatalf("dialogue diverged: serial %d MQ / %d EQ, batched %d MQ / %d EQ",
+			stSerial.MembershipQueries, stSerial.EquivalenceQueries,
+			stBatched.MembershipQueries, stBatched.EquivalenceQueries)
+	}
+}

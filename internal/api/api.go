@@ -28,7 +28,12 @@ import (
 // surface: the FrameV1 NDJSON envelope and its subdocuments,
 // SessionV1.BatchedMQs, and MetricsV1.Speculation (additive — absent
 // means the serving build predates the batched teacher protocol).
-const SchemaVersion = 4
+// Version 5 adds the profile-guided hot-path counters:
+// CacheStatsV1.Compile (plan-compile arena carves) and
+// ArtifactStoreV1.Symtabs (shared learner symbol-table reuse), both
+// additive — absent means the serving build predates the compile arena
+// and the bundle-shared symbol table.
+const SchemaVersion = 5
 
 // ErrorV1 is the uniform error envelope: every non-2xx daemon response
 // body is one of these.

@@ -37,11 +37,11 @@ func TestWireFieldNamesFrozen(t *testing.T) {
 		"MQAnswersV1":         {"fragment", "answers"},
 		"HypothesisV1":        {"fragment", "xqi"},
 		"SpeculationV1":       {"prefetches", "mirror_answers", "batch_rounds", "batched_mq", "kept", "discarded"},
-		"ArtifactStoreV1":     {"lookups", "indexes", "evictions", "entries", "bytes", "plans"},
+		"ArtifactStoreV1":     {"lookups", "indexes", "evictions", "entries", "bytes", "plans", "symtabs"},
 		"LearnMetricsV1":      {"started", "completed", "failed", "canceled", "latency_ms"},
 		"HistogramV1":         {"upper_bounds", "counts", "sum", "count"},
 		"CacheCounterV1":      {"hits", "misses", "hit_rate"},
-		"CacheStatsV1":        {"path", "simple", "value", "extent", "relay", "plan", "arena"},
+		"CacheStatsV1":        {"path", "simple", "value", "extent", "relay", "plan", "arena", "compile"},
 		"InteractionTotalsV1": {"mq", "ce", "cb", "ob"},
 		"BenchRecordV1":       {"name", "millis", "allocs_per_op", "bytes_per_op"},
 		"BenchReportV1":       {"schema_version", "suite", "runs", "total_millis"},
@@ -96,8 +96,8 @@ func TestResultV1Golden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := `{"schema_version":4,"scenario":"XMP-Q1","verified":true,` +
-		`"stats":{"schema_version":4,"dnd":2,"dnd_terms":3,` +
+	want := `{"schema_version":5,"scenario":"XMP-Q1","verified":true,` +
+		`"stats":{"schema_version":5,"dnd":2,"dnd_terms":3,` +
 		`"fragments":[{"var":"v","template_path":"x/y","mq":4,"ce":1,"cb":0,"cb_terms":0,"ob":0,` +
 		`"reduced_r1":7,"reduced_r2":0,"reduced_both":0,"reduced_total":7,` +
 		`"restarts":0,"context_switches":0,"path_states":0}],` +

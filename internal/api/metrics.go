@@ -68,15 +68,18 @@ type CacheCounterV1 struct {
 
 // CacheStatsV1 mirrors xq.CacheStats on the wire. Plan and Arena
 // (schema version 3) report the compiled plan/execute layer: plan
-// compilations vs reuses and executor arena reuse.
+// compilations vs reuses and executor arena reuse. Compile (schema
+// version 5) reports the plan compiler's scratch arena: carves served
+// from the current chunk vs fresh chunk allocations.
 type CacheStatsV1 struct {
-	Path   CacheCounterV1 `json:"path"`
-	Simple CacheCounterV1 `json:"simple"`
-	Value  CacheCounterV1 `json:"value"`
-	Extent CacheCounterV1 `json:"extent"`
-	Relay  CacheCounterV1 `json:"relay"`
-	Plan   CacheCounterV1 `json:"plan"`
-	Arena  CacheCounterV1 `json:"arena"`
+	Path    CacheCounterV1 `json:"path"`
+	Simple  CacheCounterV1 `json:"simple"`
+	Value   CacheCounterV1 `json:"value"`
+	Extent  CacheCounterV1 `json:"extent"`
+	Relay   CacheCounterV1 `json:"relay"`
+	Plan    CacheCounterV1 `json:"plan"`
+	Arena   CacheCounterV1 `json:"arena"`
+	Compile CacheCounterV1 `json:"compile"`
 }
 
 // ArtifactStoreV1 mirrors artifacts.Stats on the wire: Lookups tallies
@@ -92,6 +95,9 @@ type ArtifactStoreV1 struct {
 	// Plans (schema version 3) tallies bundle resolutions by
 	// compiled-plan reuse.
 	Plans CacheCounterV1 `json:"plans"`
+	// Symtabs (schema version 5) tallies bundle resolutions by learner
+	// symbol-table reuse.
+	Symtabs CacheCounterV1 `json:"symtabs"`
 }
 
 // InteractionTotalsV1 sums the user-facing interaction counters.
@@ -114,6 +120,7 @@ func NewArtifactStoreV1(s artifacts.Stats) ArtifactStoreV1 {
 		Entries:   s.Entries,
 		Bytes:     s.Bytes,
 		Plans:     conv(s.Plans),
+		Symtabs:   conv(s.Symtabs),
 	}
 }
 
@@ -123,12 +130,13 @@ func NewCacheStatsV1(s xq.CacheStats) CacheStatsV1 {
 		return CacheCounterV1{Hits: c.Hits, Misses: c.Misses, HitRate: c.HitRate()}
 	}
 	return CacheStatsV1{
-		Path:   conv(s.Path),
-		Simple: conv(s.Simple),
-		Value:  conv(s.Value),
-		Extent: conv(s.Extent),
-		Relay:  conv(s.Relay),
-		Plan:   conv(s.Plan),
-		Arena:  conv(s.Arena),
+		Path:    conv(s.Path),
+		Simple:  conv(s.Simple),
+		Value:   conv(s.Value),
+		Extent:  conv(s.Extent),
+		Relay:   conv(s.Relay),
+		Plan:    conv(s.Plan),
+		Arena:   conv(s.Arena),
+		Compile: conv(s.Compile),
 	}
 }

@@ -58,6 +58,12 @@ type Store struct {
 	// compiled truth plan was reused or built (see Store.Bundle).
 	planHits   atomic.Uint64
 	planMisses atomic.Uint64
+
+	// symHits/symMisses count bundle resolutions by whether the shared
+	// learner symbol table was reused or freshly seeded (see
+	// Store.Bundle).
+	symHits   atomic.Uint64
+	symMisses atomic.Uint64
 }
 
 // entry is one keyed slot. ready is closed when the build finishes;
@@ -174,6 +180,10 @@ type Stats struct {
 	// Plans counts bundle resolutions by compiled-plan reuse: a miss
 	// compiled the truth tree's plan set, a hit adopted a published one.
 	Plans xq.CacheCounter
+	// Symtabs counts bundle resolutions by learner symbol-table reuse:
+	// a miss seeded a fresh table from the document alphabet, a hit
+	// adopted a published one.
+	Symtabs xq.CacheCounter
 	// Evictions counts entries dropped to enforce the byte budget.
 	Evictions uint64
 	// Entries and Bytes describe the published residents.
@@ -190,6 +200,7 @@ func (s *Store) Stats() Stats {
 		Lookups:   xq.CacheCounter{Hits: s.hits.Load(), Misses: s.misses.Load()},
 		Indexes:   xq.CacheCounter{Hits: s.indexHits.Load(), Misses: s.indexMisses.Load()},
 		Plans:     xq.CacheCounter{Hits: s.planHits.Load(), Misses: s.planMisses.Load()},
+		Symtabs:   xq.CacheCounter{Hits: s.symHits.Load(), Misses: s.symMisses.Load()},
 		Evictions: s.evictions.Load(),
 		Entries:   entries,
 		Bytes:     bytes,

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/angluin"
 	"repro/internal/datagraph"
 	"repro/internal/xmldoc"
 	"repro/internal/xq"
@@ -40,6 +41,12 @@ type Bundle struct {
 	// rebuilding the value buckets per session. Engines running with
 	// non-default bounds ignore it and build their own.
 	Graph *datagraph.Graph
+	// Syms is the learner symbol table pre-seeded with Doc's alphabet —
+	// concurrency-safe and append-only, so every session sharing the
+	// bundle (adopted via core.WithSharedSymbols) resolves the
+	// document's labels against one intern instead of re-interning them
+	// per fragment learner.
+	Syms *angluin.SymbolTable
 	// Hash is the store key the bundle was published under.
 	Hash string
 }
@@ -91,6 +98,7 @@ func (s *Store) Bundle(ctx context.Context, key string, doc func() (*xmldoc.Docu
 			Extents: xq.NewSharedExtents(),
 			Plan:    plan,
 			Graph:   datagraph.New(d, datagraph.DefaultConfig()),
+			Syms:    angluin.NewSymbolTable(d.Alphabet()...),
 			Hash:    key,
 		}
 		return b, approxBundleBytes(d) + int64(plan.ApproxBytes()), nil
@@ -99,11 +107,14 @@ func (s *Store) Bundle(ctx context.Context, key string, doc func() (*xmldoc.Docu
 		return nil, err
 	}
 	// Counted like IndexFor: a resolution that compiled is a miss, one
-	// that reused the published bundle's plan is a hit.
+	// that reused the published bundle's plan (and its symbol table) is
+	// a hit.
 	if compiled {
 		s.planMisses.Add(1)
+		s.symMisses.Add(1)
 	} else {
 		s.planHits.Add(1)
+		s.symHits.Add(1)
 	}
 	b, ok := v.(*Bundle)
 	if !ok {

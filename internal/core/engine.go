@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/angluin"
 	"repro/internal/datagraph"
 	"repro/internal/pathre"
 	"repro/internal/xmldoc"
@@ -31,6 +32,11 @@ type Engine struct {
 	graph    *datagraph.Graph
 	eval     *xq.Evaluator
 	alphabet []string
+	// syms is the symbol intern table every fragment learner resolves
+	// its alphabet through — the session's SharedSymbols when one was
+	// supplied (bundle-backed sessions intern a document's labels once
+	// across all replicas), a private table otherwise.
+	syms *angluin.SymbolTable
 	// pathIndex groups instance nodes by their root path; pathKeys is
 	// the deterministic iteration order and pathLabels the decoded
 	// label sequences.
@@ -89,6 +95,9 @@ func newEngine(source *xmldoc.Document, teacher Teacher, opts Options) *Engine {
 	}
 	if opts.Batched {
 		e.batch, _ = teacher.(BatchTeacher)
+	}
+	if e.syms = opts.SharedSymbols; e.syms == nil {
+		e.syms = angluin.NewSymbolTable(e.alphabet...)
 	}
 	if g := opts.SharedGraph; g != nil && g.Doc == source && g.Cfg == opts.Graph {
 		// Adopt the shared, immutable data graph: same document, same

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/angluin"
 	"repro/internal/datagraph"
 	"repro/internal/dtd"
 	"repro/internal/xmldoc"
@@ -106,6 +107,16 @@ func WithSharedIndex(ix *xq.Index) Option {
 // config; otherwise it is ignored and the engine builds its own.
 func WithSharedGraph(g *datagraph.Graph) Option {
 	return func(o *Options) { o.SharedGraph = g }
+}
+
+// WithSharedSymbols hands the session a shared symbol intern table
+// (typically the artifact bundle's, see internal/artifacts): every
+// fragment learner resolves its alphabet through it, so replicated
+// sessions over one document intern each label once instead of once per
+// learner. Tables are concurrency-safe and append-only; a nil table is
+// ignored and the engine builds a private one.
+func WithSharedSymbols(t *angluin.SymbolTable) Option {
+	return func(o *Options) { o.SharedSymbols = t }
 }
 
 // WithKVLearner swaps Angluin's L* for the Kearns-Vazirani

@@ -536,7 +536,8 @@ func (p *pLearner) run() (*pathre.DFA, error) {
 		}
 		d, stats, err := learn(p.eng.alphabet, teacherAdapter{p},
 			angluin.WithInitialExample(p.example.Path()),
-			angluin.WithMaxEquivalenceQueries(p.eng.Opts.MaxEQ))
+			angluin.WithMaxEquivalenceQueries(p.eng.Opts.MaxEQ),
+			angluin.WithSymbolTable(p.eng.syms))
 		// Fold the learner's transport bookkeeping into the session's
 		// (every attempt's work counts, restarts included); the dialogue
 		// counters live in FragmentStats and are charged by the oracle

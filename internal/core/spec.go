@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"repro/internal/angluin"
 	"repro/internal/datagraph"
 	"repro/internal/dtd"
 	"repro/internal/xmldoc"
@@ -190,6 +191,13 @@ type Options struct {
 	// concurrent sessions; a graph over a different document or config is
 	// ignored.
 	SharedGraph *datagraph.Graph
+	// SharedSymbols, when set, is the symbol intern table every learner
+	// of the session resolves its alphabet through (see
+	// angluin.SymbolTable). Tables are concurrency-safe and append-only,
+	// so one table (typically the artifact bundle's) may back any number
+	// of concurrent sessions; nil gives the engine a private table
+	// shared across its own fragments.
+	SharedSymbols *angluin.SymbolTable
 	// Batched enables the batch-first, speculative teacher protocol
 	// when the teacher implements BatchTeacher: fragment answer sets are
 	// prefetched concurrently at session start and the dialogue is

@@ -194,7 +194,8 @@ func PrepareBundle(s *Scenario, b *artifacts.Bundle, pol teacher.Policy, opts ..
 	sim.Boxes = s.Boxes
 	sim.Orders = s.Orders
 	opts = append(append([]core.Option(nil), opts...),
-		core.WithSharedIndex(b.Index), core.WithSharedGraph(b.Graph))
+		core.WithSharedIndex(b.Index), core.WithSharedGraph(b.Graph),
+		core.WithSharedSymbols(b.Syms))
 	return &Prepared{
 		Scenario: s,
 		Doc:      b.Doc,

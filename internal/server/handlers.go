@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 
 	"repro/internal/api"
 	"repro/internal/artifacts"
@@ -26,6 +27,16 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/sessions/{id}/stream", s.handleLearnStream)
 	mux.HandleFunc("GET /v1/sessions/{id}/tree", s.handleTree)
 	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
+	if s.cfg.EnablePprof {
+		// Registered explicitly rather than via the package's init side
+		// effect on http.DefaultServeMux, so profiling is confined to
+		// this mux and only when opted in (see Config.EnablePprof).
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

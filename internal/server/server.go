@@ -52,6 +52,11 @@ type Config struct {
 	// Logger receives structured request and session logs; default
 	// slog.Default().
 	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof's profiling handlers under
+	// /debug/pprof/ (off by default: the endpoints expose goroutine
+	// stacks and heap contents, so they are opt-in and belong behind
+	// the same trust boundary as the rest of the daemon's API).
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {

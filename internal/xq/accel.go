@@ -155,6 +155,9 @@ func (e *Evaluator) InvalidateExtents() {
 	// store. Recompiles are cheap — the DFA and path caches survive.
 	e.plans = nil
 	e.sharedPlan = nil
+	// With the local plans gone, nothing aliases the compile arena's
+	// chunks any more; reclaim them for the recompiles.
+	e.comp.reset()
 }
 
 // ShareExtents attaches a cross-evaluator extent store. Only evaluators

@@ -44,19 +44,24 @@ type CacheStats struct {
 	// Arena counts executor runs by arena reuse: a hit ran entirely in
 	// the existing scratch buffers, a miss had to grow one (exec.go).
 	Arena CacheCounter
+	// Compile counts compile-arena carves: a hit carved plan slices
+	// from the current scratch chunk, a miss opened a fresh chunk
+	// (compilearena.go).
+	Compile CacheCounter
 }
 
 // Add returns the element-wise sum of two stat snapshots, for
 // aggregating across evaluators.
 func (s CacheStats) Add(o CacheStats) CacheStats {
 	return CacheStats{
-		Path:   s.Path.add(o.Path),
-		Simple: s.Simple.add(o.Simple),
-		Value:  s.Value.add(o.Value),
-		Extent: s.Extent.add(o.Extent),
-		Relay:  s.Relay.add(o.Relay),
-		Plan:   s.Plan.add(o.Plan),
-		Arena:  s.Arena.add(o.Arena),
+		Path:    s.Path.add(o.Path),
+		Simple:  s.Simple.add(o.Simple),
+		Value:   s.Value.add(o.Value),
+		Extent:  s.Extent.add(o.Extent),
+		Relay:   s.Relay.add(o.Relay),
+		Plan:    s.Plan.add(o.Plan),
+		Arena:   s.Arena.add(o.Arena),
+		Compile: s.Compile.add(o.Compile),
 	}
 }
 

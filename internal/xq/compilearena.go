@@ -1,0 +1,141 @@
+package xq
+
+// The compile arena: reusable scratch chunks the plan compiler carves
+// levelPlan/predPlan/atomPlan slices (and constant Value cells) from,
+// instead of allocating one fresh slice per chain level, predicate, and
+// atom of every compiled hypothesis node. The engine compiles fresh
+// hypothesis trees constantly, so this per-fragment slice churn was the
+// largest remaining profile entry on the compile side.
+//
+// Ownership contract (the compile-time sibling of execArena's, and
+// enrolled in the same arenaalias analyzer): the carved slices alias
+// the evaluator-owned chunks, and the compiled plans that store them
+// share the chunks' lifetime exactly. The arena therefore resets only
+// at the points where every evaluator-local plan is dropped — the
+// planFor cache overflow, SetPlanCompilation(false), and
+// InvalidateExtents — never while a plan that could still serve an
+// extent holds a carve. A TreePlan built by NewTreePlan keeps the
+// throwaway compiling evaluator's chunks alive for as long as the plan
+// set itself lives; that evaluator is discarded unreset, so the shared
+// plans can never be clobbered.
+//
+// Carves are bump allocations: a carve that fits the current chunk
+// advances its length (a Compile cache hit); one that does not opens a
+// fresh chunk (a miss), retiring the full chunk to whatever plans
+// already alias it. Chunks are never grown with append — growth would
+// move the backing array out from under earlier carves.
+
+// compileChunk is the chunk capacity, in entries, of each carver. 256
+// covers the deepest chains and widest predicate lists the benchmark
+// suites compile while keeping a retired chunk's waste small.
+const compileChunk = 256
+
+type compileArena struct {
+	levels []levelPlan
+	preds  []predPlan
+	atoms  []atomPlan
+	vals   []Value
+}
+
+// reset truncates every carver to the start of its current chunk,
+// zeroing the chunk so dropped plans' pointers do not linger. Callers
+// must have dropped every evaluator-local plan first (see the
+// ownership contract above).
+func (a *compileArena) reset() {
+	clear(a.levels[:cap(a.levels)])
+	a.levels = a.levels[:0]
+	clear(a.preds[:cap(a.preds)])
+	a.preds = a.preds[:0]
+	clear(a.atoms[:cap(a.atoms)])
+	a.atoms = a.atoms[:0]
+	clear(a.vals[:cap(a.vals)])
+	a.vals = a.vals[:0]
+}
+
+// carveLevels carves n zeroed levelPlan entries from the arena. The
+// full-slice expression keeps a stray append from writing into the
+// chunk's tail.
+func (e *Evaluator) carveLevels(n int) []levelPlan {
+	if n == 0 {
+		return nil
+	}
+	a := &e.comp
+	if len(a.levels)+n > cap(a.levels) {
+		c := compileChunk
+		if n > c {
+			c = n
+		}
+		a.levels = make([]levelPlan, 0, c)
+		e.stats.Compile.Misses++
+	} else {
+		e.stats.Compile.Hits++
+	}
+	off := len(a.levels)
+	a.levels = a.levels[:off+n]
+	s := a.levels[off : off+n : off+n]
+	clear(s)
+	return s
+}
+
+// carvePreds carves n zeroed predPlan entries from the arena.
+func (e *Evaluator) carvePreds(n int) []predPlan {
+	if n == 0 {
+		return nil
+	}
+	a := &e.comp
+	if len(a.preds)+n > cap(a.preds) {
+		c := compileChunk
+		if n > c {
+			c = n
+		}
+		a.preds = make([]predPlan, 0, c)
+		e.stats.Compile.Misses++
+	} else {
+		e.stats.Compile.Hits++
+	}
+	off := len(a.preds)
+	a.preds = a.preds[:off+n]
+	s := a.preds[off : off+n : off+n]
+	clear(s)
+	return s
+}
+
+// carveAtoms carves n zeroed atomPlan entries from the arena.
+func (e *Evaluator) carveAtoms(n int) []atomPlan {
+	if n == 0 {
+		return nil
+	}
+	a := &e.comp
+	if len(a.atoms)+n > cap(a.atoms) {
+		c := compileChunk
+		if n > c {
+			c = n
+		}
+		a.atoms = make([]atomPlan, 0, c)
+		e.stats.Compile.Misses++
+	} else {
+		e.stats.Compile.Hits++
+	}
+	off := len(a.atoms)
+	a.atoms = a.atoms[:off+n]
+	s := a.atoms[off : off+n : off+n]
+	clear(s)
+	return s
+}
+
+// carveVal carves one Value cell — the compiled constant operand's
+// single-element constVals slice.
+func (e *Evaluator) carveVal(v Value) []Value {
+	a := &e.comp
+	if len(a.vals)+1 > cap(a.vals) {
+		a.vals = make([]Value, 0, compileChunk)
+		e.stats.Compile.Misses++
+	} else {
+		e.stats.Compile.Hits++
+	}
+	off := len(a.vals)
+	a.vals = a.vals[:off+1]
+	s := a.vals[off : off+1 : off+1]
+	s[0] = v
+	return s
+}

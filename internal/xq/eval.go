@@ -181,6 +181,9 @@ type Evaluator struct {
 	plans      map[*Node]*nodePlan
 	sharedPlan *TreePlan
 	exe        execArena
+	// comp is the plan compiler's scratch arena (compilearena.go); it
+	// resets exactly when plans drops.
+	comp compileArena
 	// stats counts cache hits/misses (cachestats.go); snapshot with
 	// CacheStats.
 	stats CacheStats
@@ -204,9 +207,16 @@ func NewEvaluatorWithIndex(ix *Index) *Evaluator {
 }
 
 func (e *Evaluator) dfa(p pathre.Expr) *pathre.DFA {
+	_, d := e.dfaKeyed(p)
+	return d
+}
+
+// dfaKeyed is dfa plus the rendered cache key, for callers (the plan
+// compiler) that need both — one render instead of two.
+func (e *Evaluator) dfaKeyed(p pathre.Expr) (string, *pathre.DFA) {
 	key := pathre.String(p)
 	if d, ok := e.dfas[key]; ok {
-		return d
+		return key, d
 	}
 	var d *pathre.DFA
 	if e.idx != nil {
@@ -219,7 +229,7 @@ func (e *Evaluator) dfa(p pathre.Expr) *pathre.DFA {
 		d = pathre.Compile(p, e.alphabet)
 	}
 	e.dfas[key] = d
-	return d
+	return key, d
 }
 
 // PathNodes returns the nodes reachable from start (the document node

@@ -31,8 +31,9 @@ import (
 // planCacheMax bounds the per-evaluator plan cache. Plans are keyed by
 // query-node pointer; the engine compiles fresh hypothesis trees
 // constantly, so the cache resets (cheaply — plans are small) rather
-// than growing without bound.
-const planCacheMax = 1 << 12
+// than growing without bound. A var, not a const, so the eviction test
+// can overflow a small cache without compiling 4096 plans.
+var planCacheMax = 1 << 12
 
 // Slot conventions: levels of the binding chain occupy slots
 // 0..len(levels)-1; the relay variable of a `some … satisfies`
@@ -124,7 +125,7 @@ func (e *Evaluator) compileExtent(n *Node) *nodePlan {
 	if len(chain) == 0 {
 		return nil
 	}
-	p := &nodePlan{levels: make([]levelPlan, len(chain)), relaySlot: len(chain)}
+	p := &nodePlan{levels: e.carveLevels(len(chain)), relaySlot: len(chain)}
 	// slotOf resolves a variable reference visible at chain level upto:
 	// nearest (deepest) binding wins, matching scope.lookup.
 	slotOf := func(name string, upto int) int {
@@ -154,10 +155,9 @@ func (e *Evaluator) compileExtent(n *Node) *nodePlan {
 			}
 			lv.fromSlot = from
 			lv.expr = cn.Path
-			lv.exprStr = pathre.String(cn.Path)
-			lv.dfa = e.dfa(cn.Path)
+			lv.exprStr, lv.dfa = e.dfaKeyed(cn.Path)
 		}
-		lv.preds = make([]predPlan, len(cn.Where))
+		lv.preds = e.carvePreds(len(cn.Where))
 		for k, pr := range cn.Where {
 			lv.preds[k] = e.compilePred(pr, i, p.relaySlot, slotOf)
 		}
@@ -196,7 +196,7 @@ func (e *Evaluator) compilePred(pr *Pred, level, relaySlot int, slotOf func(stri
 			}
 		}
 	}
-	pp.atoms = make([]atomPlan, len(pr.Atoms))
+	pp.atoms = e.carveAtoms(len(pr.Atoms))
 	for i, a := range pr.Atoms {
 		pp.atoms[i] = atomPlan{op: a.Op, l: e.compileOperand(a.L, resolve), r: e.compileOperand(a.R, resolve)}
 	}
@@ -213,7 +213,7 @@ func (e *Evaluator) compileOperand(o Operand, resolve func(string) int) operandP
 			}
 			v = NumValue(v.Num * o.Mul)
 		}
-		return operandPlan{isConst: true, constVals: []Value{v}}
+		return operandPlan{isConst: true, constVals: e.carveVal(v)}
 	}
 	return operandPlan{slot: resolve(o.Var), path: o.Path, mul: o.Mul}
 }
@@ -235,10 +235,15 @@ func (e *Evaluator) planFor(n *Node) *nodePlan {
 		return p
 	}
 	e.stats.Plan.Misses++
-	p := e.compileExtent(n)
+	// Evict before compiling, not after: the reset drops every cached
+	// plan, which is exactly when the compile arena may reclaim its
+	// chunks — resetting after compileExtent would clobber the plan just
+	// carved from them.
 	if len(e.plans) >= planCacheMax {
 		e.plans = nil
+		e.comp.reset()
 	}
+	p := e.compileExtent(n)
 	if e.plans == nil {
 		e.plans = map[*Node]*nodePlan{}
 	}
@@ -318,5 +323,6 @@ func (e *Evaluator) SetPlanCompilation(on bool) {
 	e.compile = on
 	if !on {
 		e.plans = nil
+		e.comp.reset()
 	}
 }

@@ -207,3 +207,49 @@ func TestColumnarPathWalkMatchesPointerWalk(t *testing.T) {
 		}
 	}
 }
+
+// TestPlanCacheEviction overflows the bounded planFor memo and checks
+// that eviction is invisible: the memo never exceeds its bound, trees
+// whose plans were dropped recompile into the reset compile arena, and
+// every extent — before and after the reset — still matches the
+// interpreter.
+func TestPlanCacheEviction(t *testing.T) {
+	defer func(old int) { planCacheMax = old }(planCacheMax)
+	planCacheMax = 4
+
+	doc := planDoc()
+	ev := NewEvaluator(doc)
+	naive := NewEvaluator(doc)
+	naive.SetAcceleration(false)
+	ctx := context.Background()
+	var trees []*Tree
+	for i := 0; i < 6; i++ {
+		src := `for $i in /r/items/item where data($i/price) > ` + strconv.Itoa(i*10) + ` return <o>$i</o>`
+		trees = append(trees, MustParseQuery(src))
+	}
+	check := func(sweep int, tree *Tree, pin Env) {
+		t.Helper()
+		n := tree.VarNode("i")
+		got := must.Must(ev.Extent(ctx, tree, n, pin))
+		want := must.Must(naive.Extent(ctx, tree, n, pin))
+		if !nodesEqual(got, want) {
+			t.Fatalf("sweep %d: extent mismatch after eviction: compiled %d nodes != naive %d", sweep, len(got), len(want))
+		}
+		if len(ev.plans) > planCacheMax {
+			t.Fatalf("plan cache grew past its bound: %d > %d", len(ev.plans), planCacheMax)
+		}
+	}
+	// Sweep 1 compiles six distinct trees against a four-entry cache, so
+	// eviction fires mid-sweep; sweep 2 pins the variable, bypassing the
+	// extent memo and forcing planFor lookups for trees whose plans were
+	// dropped — the recompile-into-reset-arena path.
+	for _, tree := range trees {
+		check(1, tree, nil)
+	}
+	for _, tree := range trees {
+		check(2, tree, Env{"i": doc.DocNode()})
+	}
+	if misses := ev.CacheStats().Plan.Misses; misses <= uint64(planCacheMax) {
+		t.Fatalf("Plan.Misses = %d, want more than the cache bound %d (eviction never fired?)", misses, planCacheMax)
+	}
+}
